@@ -1,0 +1,230 @@
+package dscted
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (each drives the corresponding experiment runner at a reduced
+// scale so `go test -bench=.` stays tractable; run cmd/experiments for
+// paper-scale sweeps), plus ablation benchmarks for the design choices
+// called out in DESIGN.md. Custom metrics (accuracy, optimality gap) are
+// attached via b.ReportMetric where they are the point of the comparison.
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/mip"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// benchCfg is the reduced-scale configuration used by the per-figure
+// benchmarks.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		Seed:            1,
+		Replicates:      2,
+		Scale:           0.2,
+		Workers:         2,
+		SolverTimeLimit: 2 * time.Second,
+	}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1GPUCatalog(b *testing.B)         { runExperiment(b, "fig1") }
+func BenchmarkFig2AccuracyCurve(b *testing.B)      { runExperiment(b, "fig2") }
+func BenchmarkFig3OptimalityGap(b *testing.B)      { runExperiment(b, "fig3") }
+func BenchmarkFig4aRuntimeVsTasks(b *testing.B)    { runExperiment(b, "fig4a") }
+func BenchmarkFig4bRuntimeVsMachines(b *testing.B) { runExperiment(b, "fig4b") }
+func BenchmarkTable1FROptVsLP(b *testing.B)        { runExperiment(b, "table1") }
+
+// Note: fig5 and gain share a memoised β sweep, so after the first
+// iteration these two benchmarks measure table assembly over the cached
+// series, not the solve; BenchmarkApproxEndToEnd covers the solve cost.
+func BenchmarkFig5AccuracyVsBudget(b *testing.B) { runExperiment(b, "fig5") }
+func BenchmarkGainEnergySaving(b *testing.B)     { runExperiment(b, "gain") }
+func BenchmarkFig6aProfileUniform(b *testing.B)  { runExperiment(b, "fig6a") }
+func BenchmarkFig6bProfileSkewed(b *testing.B)   { runExperiment(b, "fig6b") }
+func BenchmarkExtRenewable(b *testing.B)         { runExperiment(b, "ext-renewable") }
+func BenchmarkExtComm(b *testing.B)              { runExperiment(b, "ext-comm") }
+
+// benchInstance generates a fixed mid-size instance for the ablations.
+func benchInstance(b *testing.B, n, m int, mu float64) *task.Instance {
+	b.Helper()
+	cfg := task.DefaultConfig(n, 0.35, 0.5)
+	cfg.ThetaMax = cfg.ThetaMin * mu
+	in, err := task.GenerateUniformFleet(rng.New(99, "bench"), cfg, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkAblationSegtreeVsScan compares the paper's O(n²) slack scan
+// against the segment-tree slack tracker inside Algorithm 1.
+func BenchmarkAblationSegtreeVsScan(b *testing.B) {
+	for _, n := range []int{100, 500, 2000} {
+		in := benchInstance(b, n, 1, 10)
+		caps := core.Caps(in, core.Profile{in.MaxDeadline()})
+		b.Run("scan/n="+strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.GreedyAllocate(in.Tasks, caps, core.GreedyOptions{UseScan: true})
+			}
+		})
+		b.Run("segtree/n="+strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.GreedyAllocate(in.Tasks, caps, core.GreedyOptions{UseScan: false})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRefineVariants compares the profile-refinement variants:
+// none (naive profile), exchanges without the polish pass, and the full
+// refinement. The accuracy each attains is reported alongside the time.
+func BenchmarkAblationRefineVariants(b *testing.B) {
+	in := benchSkewedInstance(b, 100)
+	variants := []struct {
+		name string
+		opts core.FROptions
+	}{
+		{"naive", core.FROptions{SkipRefine: true}},
+		{"paper-pairs", core.FROptions{PaperRefine: true}},
+		{"exchange", core.FROptions{Refine: core.RefineOptions{DisablePolish: true}}},
+		{"exchange+polish", core.FROptions{}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				sol, err := core.SolveFR(in, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = sol.TotalAccuracy
+			}
+			b.ReportMetric(acc/float64(in.N()), "avg-accuracy")
+		})
+	}
+}
+
+// benchSkewedInstance builds the Fig 6b scenario where refinement matters.
+func benchSkewedInstance(b *testing.B, n int) *task.Instance {
+	b.Helper()
+	cfg := task.DefaultConfig(n, 0.01, 0.3)
+	cfg.Scenario = task.EarliestHighEfficient
+	cfg.ThetaMin, cfg.ThetaMax = 0.1, 1.0
+	cfg.EarlyFraction = 0.30
+	cfg.EarlyThetaMin, cfg.EarlyThetaMax = 4.0, 4.9
+	in, err := task.Generate(rng.New(42, "bench-skew"), cfg, machine.TwoMachineScenario())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkAblationParallelMIP compares serial vs parallel branch-and-bound
+// on a fixed DSCT-EA instance.
+func BenchmarkAblationParallelMIP(b *testing.B) {
+	in := benchInstance(b, 8, 2, 2)
+	mm := model.BuildMIP(in)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := mip.Solve(mm.Prob, mip.Options{
+					Workers:  workers,
+					Deadline: time.Now().Add(30 * time.Second),
+					Rounding: mm.RoundingHook(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Status != mip.Optimal {
+					b.Fatalf("status %v", res.Status)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationApproxVariants compares the flop-preserving rounding
+// (default, the intended Algorithm 5) against the literal time-preserving
+// rule of the pseudocode.
+func BenchmarkAblationApproxVariants(b *testing.B) {
+	in := benchInstance(b, 100, 4, 10)
+	for _, v := range []struct {
+		name string
+		opts approx.Options
+	}{
+		{"flop-preserving", approx.Options{}},
+		{"time-preserving", approx.Options{TimePreserving: true}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				sol, err := approx.Solve(in, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = sol.TotalAccuracy
+			}
+			b.ReportMetric(acc/float64(in.N()), "avg-accuracy")
+		})
+	}
+}
+
+// BenchmarkAblationParallelExperiments measures the worker-pool speedup of
+// the experiment harness on the fig3 sweep.
+func BenchmarkAblationParallelExperiments(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		cfg := benchCfg()
+		cfg.Workers = workers
+		cfg.Replicates = 4
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run("fig3", cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveFRScaling tracks the combinatorial solver alone across
+// instance sizes (the left column of Table 1).
+func BenchmarkSolveFRScaling(b *testing.B) {
+	for _, n := range []int{100, 200, 500} {
+		in := benchInstance(b, n, 5, 5)
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveFR(in, core.FROptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkApproxEndToEnd is the headline end-to-end latency of
+// DSCT-EA-APPROX at the paper's Fig 3 size.
+func BenchmarkApproxEndToEnd(b *testing.B) {
+	in := benchInstance(b, 100, 5, 10)
+	for i := 0; i < b.N; i++ {
+		if _, err := approx.Solve(in, approx.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig5 -format md
+//	experiments -run all -scale 0.2 -out results/
+//
+// Every experiment is deterministic given -seed; -scale shrinks the
+// paper's instance sizes and replicate counts for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runID   = flag.String("run", "", "experiment id (fig1..fig6b, table1, gain) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		seed    = flag.Int64("seed", 1, "root random seed")
+		scale   = flag.Float64("scale", 1.0, "size/replicate scale in (0,1]")
+		reps    = flag.Int("reps", 0, "override replicate count (0: paper value × scale)")
+		workers = flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-solver time limit (fig4, table1)")
+		format  = flag.String("format", "md", "output format: md | csv")
+		outDir  = flag.String("out", "", "write each table to <out>/<id>.<format> instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Printf("%-8s %s\n         %s\n", s.ID, s.Title, s.Description)
+		}
+		return
+	}
+	if *runID == "" {
+		fatalf("missing -run (or use -list)")
+	}
+	cfg := experiments.Config{
+		Seed:            *seed,
+		Replicates:      *reps,
+		Scale:           *scale,
+		Workers:         *workers,
+		SolverTimeLimit: *timeout,
+	}
+
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = ids[:0]
+		for _, s := range experiments.All() {
+			ids = append(ids, s.ID)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := experiments.Run(id, cfg)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		elapsed := time.Since(start).Round(10 * time.Millisecond)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatalf("creating %s: %v", *outDir, err)
+			}
+			path := filepath.Join(*outDir, id+"."+*format)
+			f, err := os.Create(path)
+			if err != nil {
+				fatalf("creating %s: %v", path, err)
+			}
+			if err := emit(tbl, *format, f); err != nil {
+				fatalf("writing %s: %v", path, err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "%s -> %s (%s)\n", id, path, elapsed)
+			continue
+		}
+		if err := emit(tbl, *format, os.Stdout); err != nil {
+			fatalf("writing %s: %v", id, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %s\n", id, elapsed)
+	}
+}
+
+func emit(tbl *experiments.Table, format string, w *os.File) error {
+	switch format {
+	case "md":
+		_, err := fmt.Fprintln(w, tbl.Markdown())
+		return err
+	case "csv":
+		return tbl.WriteCSV(w)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

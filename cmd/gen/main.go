@@ -1,0 +1,105 @@
+// Command gen generates synthetic DSCT-EA problem instances as JSON, using
+// the paper's workload model (§6): uniform machine fleets, exponential-
+// derived piecewise-linear accuracy functions, deadline tolerance ρ and
+// energy budget ratio β.
+//
+// Usage:
+//
+//	gen -n 100 -m 5 -rho 0.35 -beta 0.5 -seed 1 -out instance.json
+//	gen -n 100 -m 2 -rho 0.01 -beta 0.4 -scenario earliest-high-efficient -two-machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 100, "number of tasks")
+		m          = flag.Int("m", 5, "number of machines (uniform random fleet)")
+		rho        = flag.Float64("rho", 0.35, "deadline tolerance ρ")
+		beta       = flag.Float64("beta", 0.5, "energy budget ratio β")
+		thetaMin   = flag.Float64("theta-min", 0.1, "minimum task efficiency θ")
+		thetaMax   = flag.Float64("theta-max", 0.1, "maximum task efficiency θ")
+		scenario   = flag.String("scenario", "uniform", "workload scenario: uniform | earliest-high-efficient")
+		seed       = flag.Int64("seed", 1, "random seed")
+		out        = flag.String("out", "", "output file (default stdout)")
+		twoMachine = flag.Bool("two-machine", false, "use the paper's fixed Fig 6 two-machine fleet instead of a random one")
+		preset     = flag.String("preset", "", "paper workload preset: fig3 | fig4 | fig5 | fig6a | fig6b (overrides rho/beta/theta/scenario; fig6* implies -two-machine)")
+		mu         = flag.Float64("mu", 10, "task heterogeneity ratio for -preset fig3")
+	)
+	flag.Parse()
+
+	var cfg task.GenConfig
+	switch *preset {
+	case "":
+		cfg = task.DefaultConfig(*n, *rho, *beta)
+		cfg.ThetaMin, cfg.ThetaMax = *thetaMin, *thetaMax
+		switch *scenario {
+		case "uniform":
+		case "earliest-high-efficient":
+			cfg.Scenario = task.EarliestHighEfficient
+			cfg.EarlyFraction = 0.30
+			cfg.EarlyThetaMin, cfg.EarlyThetaMax = 4.0, 4.9
+		default:
+			fatalf("unknown scenario %q", *scenario)
+		}
+	case "fig3":
+		cfg = task.PaperFig3(*n, *mu)
+	case "fig4":
+		cfg = task.PaperFig4(*n)
+	case "fig5":
+		cfg = task.PaperFig5(*n, *beta)
+	case "fig6a", "fig6b":
+		sc := task.Uniform
+		if *preset == "fig6b" {
+			sc = task.EarliestHighEfficient
+		}
+		var err error
+		cfg, err = task.PaperFig6(*n, sc, *beta)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		*twoMachine = true
+	default:
+		fatalf("unknown preset %q", *preset)
+	}
+
+	src := rng.New(*seed, "cmd/gen")
+	var fleet machine.Fleet
+	if *twoMachine {
+		fleet = machine.TwoMachineScenario()
+	} else {
+		fleet = machine.UniformFleet(src, *m)
+	}
+	in, err := task.Generate(src, cfg, fleet)
+	if err != nil {
+		fatalf("generating instance: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := in.WriteJSON(w); err != nil {
+		fatalf("writing instance: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "generated n=%d m=%d d_max=%.4gs budget=%.4gJ (μ=%.3g)\n",
+		in.N(), in.M(), in.MaxDeadline(), in.Budget, in.HeterogeneityRatio())
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "gen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+package dscted_test
+
+import (
+	"fmt"
+
+	dscted "repro"
+)
+
+// ExampleSolveApprox plans a small workload with the approximation
+// algorithm and reports its accuracy against the fractional upper bound.
+func ExampleSolveApprox() {
+	cfg := dscted.DefaultConfig(20, 0.5, 0.3)
+	inst, err := dscted.GenerateUniformFleet(dscted.NewRand(1, "example"), cfg, 2)
+	if err != nil {
+		panic(err)
+	}
+	sol, err := dscted.SolveApprox(inst, dscted.ApproxOptions{})
+	if err != nil {
+		panic(err)
+	}
+	feasible := sol.Schedule.Validate(inst, dscted.ValidateOptions{RequireIntegral: true}) == nil
+	fmt.Printf("feasible=%v within_bound=%v\n",
+		feasible, sol.TotalAccuracy <= sol.FR.TotalAccuracy+1e-9)
+	// Output: feasible=true within_bound=true
+}
+
+// ExampleSolveFR shows the fractional relaxation's energy profile: the
+// per-machine busy-time caps that also feed the approximation algorithm.
+func ExampleSolveFR() {
+	cfg := dscted.DefaultConfig(10, 0.5, 0.4)
+	inst, err := dscted.GenerateUniformFleet(dscted.NewRand(2, "example-fr"), cfg, 2)
+	if err != nil {
+		panic(err)
+	}
+	fr, err := dscted.SolveFR(inst, dscted.FROptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("profile entries=%d energy_within_budget=%v\n",
+		len(fr.Profile), fr.Profile.Energy(inst) <= inst.Budget+1e-9)
+	// Output: profile entries=2 energy_within_budget=true
+}
+
+// ExampleSimulate replays a plan on the discrete-event simulator and
+// verifies it end to end.
+func ExampleSimulate() {
+	cfg := dscted.DefaultConfig(15, 0.5, 0.5)
+	inst, err := dscted.GenerateUniformFleet(dscted.NewRand(3, "example-sim"), cfg, 2)
+	if err != nil {
+		panic(err)
+	}
+	sol, err := dscted.SolveApprox(inst, dscted.ApproxOptions{})
+	if err != nil {
+		panic(err)
+	}
+	res, err := dscted.Simulate(inst, sol.Schedule, dscted.SimOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("misses=%d events=%v\n", len(res.Missed), len(res.Trace) > 0)
+	// Output: misses=0 events=true
+}
+
+// ExampleEDF3CompressionLevels runs the discrete-compression baseline.
+func ExampleEDF3CompressionLevels() {
+	cfg := dscted.DefaultConfig(10, 0.8, 0.5)
+	inst, err := dscted.GenerateUniformFleet(dscted.NewRand(4, "example-edf3"), cfg, 2)
+	if err != nil {
+		panic(err)
+	}
+	s, err := dscted.EDF3CompressionLevels(inst, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("feasible=%v\n", s.Validate(inst, dscted.ValidateOptions{}) == nil)
+	// Output: feasible=true
+}
+
+// ExampleSolveRenewable plans under a battery-style energy envelope.
+func ExampleSolveRenewable() {
+	cfg := dscted.DefaultConfig(10, 0.8, 0.5)
+	inst, err := dscted.GenerateUniformFleet(dscted.NewRand(5, "example-renewable"), cfg, 2)
+	if err != nil {
+		panic(err)
+	}
+	env, err := dscted.NewEnvelope([]dscted.EnvelopePoint{{T: 0, Energy: inst.Budget}})
+	if err != nil {
+		panic(err)
+	}
+	sol, err := dscted.SolveRenewable(inst, env, dscted.RenewableOptions{})
+	if err != nil {
+		panic(err)
+	}
+	ok, _ := dscted.EnvelopeComplies(inst, sol.Schedule, env, sol.StartDelay)
+	fmt.Printf("compliant=%v\n", ok)
+	// Output: compliant=true
+}
+
+// ExampleSolveWithCommEnergy charges dispatch energy per scheduled task.
+func ExampleSolveWithCommEnergy() {
+	cfg := dscted.DefaultConfig(10, 0.8, 0.4)
+	inst, err := dscted.GenerateUniformFleet(dscted.NewRand(6, "example-comm"), cfg, 2)
+	if err != nil {
+		panic(err)
+	}
+	sol, err := dscted.SolveWithCommEnergy(inst, inst.Budget/50, dscted.CommOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("within_budget=%v\n", sol.TotalEnergy <= inst.Budget+1e-9)
+	// Output: within_budget=true
+}

@@ -1,0 +1,166 @@
+// Adaptive replanning: a machine fails mid-execution (thermal throttling
+// to 30% speed) and the operator replans the remaining work at the failure
+// instant — rebuilding a sub-instance with shifted deadlines and the
+// unspent energy budget — instead of riding the stale plan. The example
+// composes the public API: plan with SolveApprox, detect the degradation
+// with the simulator, replan, and compare the accuracy actually delivered
+// with and without the intervention.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dscted "repro"
+)
+
+func main() {
+	fleet := dscted.Fleet{
+		dscted.NewMachine("a100", 19_500, 49),
+		dscted.NewMachine("v100", 14_100, 56),
+	}
+	cfg := dscted.DefaultConfig(60, 0.02, 1.0)
+	cfg.ThetaMax = 2.0
+	inst, err := dscted.Generate(dscted.NewRand(23, "replan"), cfg, fleet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst.Budget *= 0.6 // a constrained site
+	plan, err := dscted.SolveApprox(inst, dscted.ApproxOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := float64(inst.N())
+	fmt.Printf("plan: avg accuracy %.4f (energy %.1f of %.1f J)\n\n",
+		plan.TotalAccuracy/n, plan.Schedule.Energy(inst), inst.Budget)
+
+	// Failure: machine 0 throttles to 30% from tFail onward, early enough
+	// to hit most of the planned busy window.
+	tFail := 0.0
+	for _, load := range plan.Schedule.Profile() {
+		if load > tFail {
+			tFail = load
+		}
+	}
+	tFail *= 0.25
+	failure := dscted.Slowdown{Machine: 0, From: tFail, To: inst.MaxDeadline() * 10, Factor: 0.3}
+
+	// Strategy A: ride the stale plan through the failure.
+	stale, err := dscted.Simulate(inst, plan.Schedule, dscted.SimOptions{
+		Slowdowns:         []dscted.Slowdown{failure},
+		AbandonAtDeadline: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stale plan under failure:   accuracy %.4f, %d misses avoided by abandoning late tasks\n",
+		stale.TotalAccuracy/n, len(stale.Missed))
+
+	// Strategy B: replan at tFail. Execute the original plan up to tFail,
+	// then rebuild an instance from the unfinished tasks: deadlines shift
+	// by tFail, the throttled machine's speed drops to 30%, and the budget
+	// is whatever the first phase left unspent.
+	phase1 := truncatePlan(inst, plan.Schedule, tFail)
+	p1res, err := dscted.Simulate(inst, phase1, dscted.SimOptions{
+		Slowdowns: []dscted.Slowdown{failure},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rest, restIdx := remainingInstance(inst, p1res.WorkDone, tFail)
+	rest.Machines[0].Speed *= 0.3 // plan against the degraded reality
+	rest.Budget = inst.Budget - p1res.Energy
+	replanned, err := dscted.SolveApprox(rest, dscted.ApproxOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deliverables: phase-1 work plus phase-2 work per original task.
+	total := append([]float64(nil), p1res.WorkDone...)
+	for sj, j := range restIdx {
+		total[j] += replanned.Schedule.Work(rest, sj)
+	}
+	var acc float64
+	for j, tk := range inst.Tasks {
+		acc += tk.Acc.Eval(total[j])
+	}
+	energy := p1res.Energy + replanned.Schedule.Energy(rest)
+	fmt.Printf("replanned at failure time:  accuracy %.4f (energy %.1f of %.1f J)\n",
+		acc/n, energy, inst.Budget)
+	fmt.Printf("\nreplanning recovered %.1f accuracy points per 100 tasks\n",
+		(acc-stale.TotalAccuracy)/n*100)
+}
+
+// truncatePlan keeps only the processing time each machine can start
+// before tCut (a simple prefix cut of the planned queues).
+func truncatePlan(inst *dscted.Instance, s *dscted.Schedule, tCut float64) *dscted.Schedule {
+	out := dscted.Schedule{Times: make([][]float64, len(s.Times))}
+	for j := range s.Times {
+		out.Times[j] = make([]float64, len(s.Times[j]))
+	}
+	for r := 0; r < inst.M(); r++ {
+		elapsed := 0.0
+		for j := 0; j < inst.N(); j++ {
+			t := s.Times[j][r]
+			if t == 0 {
+				continue
+			}
+			if elapsed >= tCut {
+				break
+			}
+			if elapsed+t > tCut {
+				t = tCut - elapsed
+			}
+			out.Times[j][r] = t
+			elapsed += t
+		}
+	}
+	return &out
+}
+
+// remainingInstance builds the phase-2 instance: tasks not yet fully
+// processed whose deadline lies beyond tCut, with deadlines shifted and
+// *residual* accuracy functions that credit the work already delivered —
+// so the replanner values only additional operations.
+func remainingInstance(inst *dscted.Instance, done []float64, tCut float64) (*dscted.Instance, []int) {
+	out := &dscted.Instance{Machines: inst.Machines.Clone()}
+	var idx []int
+	for j, tk := range inst.Tasks {
+		if tk.Deadline <= tCut || done[j] >= tk.FMax()*0.999 {
+			continue
+		}
+		res, err := residual(tk.Acc, done[j])
+		if err != nil || res == nil {
+			continue
+		}
+		shifted := tk
+		shifted.Deadline = tk.Deadline - tCut
+		shifted.Acc = res
+		out.Tasks = append(out.Tasks, shifted)
+		idx = append(idx, j)
+	}
+	return out, idx
+}
+
+// residual returns the accuracy function for work beyond `done` GFLOPs:
+// a'(f) = a(done + f), with a'(0) = a(done).
+func residual(acc *dscted.AccuracyPWL, done float64) (*dscted.AccuracyPWL, error) {
+	if done <= 0 {
+		return acc, nil
+	}
+	breaks := []float64{0}
+	vals := []float64{acc.Eval(done)}
+	origBreaks := acc.Breakpoints()
+	origVals := acc.Values()
+	for i, bp := range origBreaks {
+		if bp > done {
+			breaks = append(breaks, bp-done)
+			vals = append(vals, origVals[i])
+		}
+	}
+	if len(breaks) < 2 {
+		return nil, nil // fully processed
+	}
+	return dscted.NewPWLAccuracy(breaks, vals)
+}

@@ -1,0 +1,67 @@
+// Energy-cap day: a data-center operator runs hourly batches of inference
+// requests under a fixed daily energy cap, splitting the cap across
+// batches. Each batch is planned with DSCT-EA-APPROX and then executed on
+// the discrete-event cluster simulator — including one hour where a
+// machine is throttled to half speed, to show how the plan degrades under
+// real-world contention (deadline misses, extra energy burned).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dscted "repro"
+)
+
+func main() {
+	fleet := dscted.Fleet{
+		dscted.NewMachine("efficient-a30", 10_000, 60),
+		dscted.NewMachine("legacy-p100", 9_000, 37),
+	}
+	const (
+		hours     = 8
+		perHour   = 60 // requests per batch
+		dailyCapJ = 4000.0
+	)
+	capPerBatch := dailyCapJ / hours
+
+	var totalAcc, totalEnergy float64
+	var totalMisses int
+	fmt.Printf("%5s  %10s  %10s  %8s  %s\n", "hour", "accuracy", "energy(J)", "misses", "note")
+	for h := 0; h < hours; h++ {
+		cfg := dscted.DefaultConfig(perHour, 0.3, 1.0)
+		cfg.ThetaMax = 2.0
+		inst, err := dscted.Generate(dscted.NewRand(int64(h), "energy-cap-day"), cfg, fleet)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst.Budget = capPerBatch
+
+		sol, err := dscted.SolveApprox(inst, dscted.ApproxOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Hour 4: the legacy card is throttled to 50% for the first half of
+		// the batch horizon (thermal event).
+		var simOpts dscted.SimOptions
+		note := ""
+		if h == 4 {
+			simOpts.Slowdowns = []dscted.Slowdown{
+				{Machine: 1, From: 0, To: inst.MaxDeadline() / 2, Factor: 0.5},
+			}
+			note = "legacy card throttled to 50%"
+		}
+		res, err := dscted.Simulate(inst, sol.Schedule, simOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := res.TotalAccuracy / float64(inst.N())
+		fmt.Printf("%5d  %10.4f  %10.1f  %8d  %s\n", h, acc, res.Energy, len(res.Missed), note)
+		totalAcc += acc
+		totalEnergy += res.Energy
+		totalMisses += len(res.Missed)
+	}
+	fmt.Printf("\nday summary: mean accuracy %.4f, energy %.0f J of %.0f J cap, %d misses\n",
+		totalAcc/hours, totalEnergy, dailyCapJ, totalMisses)
+}

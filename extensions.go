@@ -1,0 +1,58 @@
+package dscted
+
+import (
+	"repro/internal/comm"
+	"repro/internal/renewable"
+	"repro/internal/schedule"
+)
+
+// Extension re-exports: the paper's §7 future-work directions, implemented
+// as documented heuristic extensions (see DESIGN.md).
+
+type (
+	// Envelope is a time-varying cumulative energy budget B(t) for the
+	// renewable-energy extension.
+	Envelope = renewable.Envelope
+	// EnvelopePoint is one checkpoint of an Envelope.
+	EnvelopePoint = renewable.Point
+	// RenewableOptions tunes SolveRenewable.
+	RenewableOptions = renewable.Options
+	// RenewableSolution is an envelope-compliant plan.
+	RenewableSolution = renewable.Solution
+	// CommOptions tunes SolveWithCommEnergy.
+	CommOptions = comm.Options
+	// CommSolution is a communication-energy-aware plan.
+	CommSolution = comm.Solution
+)
+
+// NewEnvelope builds a cumulative energy envelope from checkpoints.
+func NewEnvelope(points []EnvelopePoint) (*Envelope, error) {
+	return renewable.NewEnvelope(points)
+}
+
+// SolarEnvelope builds a day-like envelope: generation ramps sinusoidally
+// between sunrise and sunset, accumulating totalJ Joules.
+func SolarEnvelope(sunrise, sunset, totalJ float64, steps int) (*Envelope, error) {
+	return renewable.Solar(sunrise, sunset, totalJ, steps)
+}
+
+// SolveRenewable plans the instance under a time-varying energy envelope
+// (the instance's scalar Budget is ignored). The returned schedule is
+// verified envelope-compliant.
+func SolveRenewable(in *Instance, env *Envelope, opts RenewableOptions) (*RenewableSolution, error) {
+	return renewable.Solve(in, env, opts)
+}
+
+// EnvelopeComplies checks a schedule's cumulative consumption against an
+// envelope, with machines starting at startDelay; it returns the first
+// violating time when non-compliant.
+func EnvelopeComplies(in *Instance, s *Schedule, env *Envelope, startDelay float64) (bool, float64) {
+	return renewable.Complies(in, s, env, startDelay, schedule.DefaultTol)
+}
+
+// SolveWithCommEnergy plans the instance charging perTaskJoules of
+// dispatch (communication) energy for every scheduled task, keeping
+// computation + communication within the instance budget.
+func SolveWithCommEnergy(in *Instance, perTaskJoules float64, opts CommOptions) (*CommSolution, error) {
+	return comm.Solve(in, perTaskJoules, opts)
+}

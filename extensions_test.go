@@ -1,0 +1,74 @@
+package dscted
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRenewableFacade(t *testing.T) {
+	inst, err := GenerateUniformFleet(NewRand(3, "ext-facade"), DefaultConfig(15, 0.8, 0.6), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnvelope([]EnvelopePoint{{T: 0, Energy: inst.Budget}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveRenewable(inst, env, RenewableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, at := EnvelopeComplies(inst, sol.Schedule, env, sol.StartDelay); !ok {
+		t.Fatalf("non-compliant at %g", at)
+	}
+	plain, err := SolveApprox(inst, ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.TotalAccuracy-plain.TotalAccuracy) > 1e-9 {
+		t.Errorf("front-loaded envelope %g != scalar %g", sol.TotalAccuracy, plain.TotalAccuracy)
+	}
+}
+
+func TestSolarEnvelopeFacade(t *testing.T) {
+	env, err := SolarEnvelope(0, 10, 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(env.Total()-500) > 1e-9 {
+		t.Errorf("Total = %g", env.Total())
+	}
+	if env.At(5) <= 0 || env.At(5) >= 500 {
+		t.Errorf("At(noon) = %g", env.At(5))
+	}
+}
+
+func TestCommFacade(t *testing.T) {
+	inst, err := GenerateUniformFleet(NewRand(4, "comm-facade"), DefaultConfig(15, 0.8, 0.3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveWithCommEnergy(inst, inst.Budget/100, CommOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.TotalEnergy > inst.Budget*(1+1e-9) {
+		t.Errorf("total energy %g exceeds budget %g", sol.TotalEnergy, inst.Budget)
+	}
+	if sol.Scheduled < 0 || sol.Scheduled > inst.N() {
+		t.Errorf("scheduled = %d", sol.Scheduled)
+	}
+}
+
+func TestNewPWLAccuracyFacade(t *testing.T) {
+	pwl, err := NewPWLAccuracy([]float64{0, 10}, []float64{0.1, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pwl.Eval(5)-0.45) > 1e-12 {
+		t.Errorf("Eval(5) = %g", pwl.Eval(5))
+	}
+	if _, err := NewPWLAccuracy([]float64{0, 10}, []float64{0.8, 0.1}); err == nil {
+		t.Error("decreasing values accepted")
+	}
+}

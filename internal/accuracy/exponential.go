@@ -1,0 +1,99 @@
+package accuracy
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultAMin is the accuracy of a random guess on ImageNet-1k
+// (1/1000 classes), the paper's minimum task accuracy.
+const DefaultAMin = 1.0 / 1000
+
+// DefaultAMax is the top accuracy of the uncompressed ofa-resnet model on
+// ImageNet-1k reported by the paper.
+const DefaultAMax = 0.82
+
+// DefaultCut is the fraction of the asymptotic accuracy gap that the
+// uncompressed model realises: f_max is the work at which the exponential
+// curve has closed DefaultCut of the gap toward its asymptote, and the
+// curve value there is defined to be exactly AMax (see Exponential).
+const DefaultCut = 0.98
+
+// Exponential is the saturating accuracy model the paper fits its PWL
+// functions to:
+//
+//	a(f) = asym − (asym − AMin) · exp(−c·f)
+//
+// parameterised so that (i) the derivative at f = 0 equals Theta (the
+// paper's "task efficiency", the slope of the first PWL segment), and
+// (ii) a(FMax()) = AMax exactly, with the asymptote sitting slightly above
+// AMax (asym = AMin + (AMax−AMin)/Cut). Larger Theta means the task reaches
+// high accuracy with less work.
+type Exponential struct {
+	AMin  float64 // accuracy at f = 0
+	AMax  float64 // accuracy at f = FMax()
+	Theta float64 // derivative at f = 0, accuracy per GFLOP
+	Cut   float64 // fraction of the gap closed at FMax (0 < Cut < 1)
+}
+
+// NewExponential returns the model with the paper's default accuracy range
+// and the given task efficiency θ.
+func NewExponential(theta float64) Exponential {
+	return Exponential{AMin: DefaultAMin, AMax: DefaultAMax, Theta: theta, Cut: DefaultCut}
+}
+
+// Validate checks the parameterisation.
+func (e Exponential) Validate() error {
+	if !(e.AMin >= 0 && e.AMax > e.AMin) {
+		return fmt.Errorf("accuracy: need 0 <= AMin < AMax, got [%g, %g]", e.AMin, e.AMax)
+	}
+	if e.Theta <= 0 {
+		return fmt.Errorf("accuracy: Theta must be positive, got %g", e.Theta)
+	}
+	if !(e.Cut > 0 && e.Cut < 1) {
+		return fmt.Errorf("accuracy: Cut must lie in (0,1), got %g", e.Cut)
+	}
+	return nil
+}
+
+// asym returns the asymptotic accuracy (slightly above AMax).
+func (e Exponential) asym() float64 { return e.AMin + (e.AMax-e.AMin)/e.Cut }
+
+// rate returns the exponent coefficient c such that a'(0) = Theta.
+func (e Exponential) rate() float64 { return e.Theta / (e.asym() - e.AMin) }
+
+// Eval returns the model accuracy at f GFLOPs (clamped below at 0 work and
+// capped at AMax so Eval(FMax) == AMax holds exactly despite rounding).
+func (e Exponential) Eval(f float64) float64 {
+	if f <= 0 {
+		return e.AMin
+	}
+	a := e.asym() - (e.asym()-e.AMin)*math.Exp(-e.rate()*f)
+	if a > e.AMax {
+		return e.AMax
+	}
+	return a
+}
+
+// Derivative returns a'(f) of the unclamped curve.
+func (e Exponential) Derivative(f float64) float64 {
+	return e.Theta * math.Exp(-e.rate()*f)
+}
+
+// FMax returns the work at which the model reaches AMax:
+// the point where exp(−c·f) = 1 − Cut.
+func (e Exponential) FMax() float64 {
+	return math.Log(1/(1-e.Cut)) / e.rate()
+}
+
+// InverseEval returns the work needed to reach accuracy a on the smooth
+// curve (0 for a <= AMin, FMax for a >= AMax).
+func (e Exponential) InverseEval(a float64) float64 {
+	if a <= e.AMin {
+		return 0
+	}
+	if a >= e.AMax {
+		return e.FMax()
+	}
+	return -math.Log((e.asym()-a)/(e.asym()-e.AMin)) / e.rate()
+}

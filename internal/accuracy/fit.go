@@ -1,0 +1,191 @@
+package accuracy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultSegments is the number of linear pieces the paper fits over the
+// exponential accuracy curve.
+const DefaultSegments = 5
+
+// FitChord builds a K-segment concave PWL approximation of the exponential
+// model by interpolating the curve at K+1 breakpoints (so the PWL passes
+// through the curve and through both endpoints (0, AMin) and (FMax, AMax)).
+// Breakpoints are placed at equal accuracy increments, which concentrates
+// them where the curve bends; chord interpolation of a concave function is
+// concave with non-increasing slopes by construction.
+func FitChord(model Exponential, segments int) (*PWL, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if segments < 1 {
+		return nil, fmt.Errorf("accuracy: need at least 1 segment, got %d", segments)
+	}
+	fmax := model.FMax()
+	breaks := make([]float64, segments+1)
+	vals := make([]float64, segments+1)
+	breaks[0], vals[0] = 0, model.AMin
+	for k := 1; k < segments; k++ {
+		a := model.AMin + (model.AMax-model.AMin)*float64(k)/float64(segments)
+		breaks[k] = model.InverseEval(a)
+		vals[k] = a
+	}
+	breaks[segments], vals[segments] = fmax, model.AMax
+	return NewPWL(breaks, vals)
+}
+
+// FitLeastSquares builds a K-segment PWL approximation of the exponential
+// model by least-squares regression: breakpoints are fixed at the same
+// equal-accuracy positions FitChord uses, endpoint values are pinned to
+// (AMin, AMax), and the interior breakpoint values are chosen to minimise
+// the squared error against samples of the curve. If the regression result
+// violates concavity (possible on nearly-linear curves due to sampling), it
+// falls back to the chord fit. This mirrors the paper's "linear regression
+// with 5 segments over an exponential accuracy function".
+func FitLeastSquares(model Exponential, segments, samples int) (*PWL, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if segments < 1 {
+		return nil, fmt.Errorf("accuracy: need at least 1 segment, got %d", segments)
+	}
+	if samples < 2*segments {
+		return nil, fmt.Errorf("accuracy: need at least %d samples for %d segments, got %d", 2*segments, segments, samples)
+	}
+	if segments == 1 {
+		return FitChord(model, 1)
+	}
+	fmax := model.FMax()
+	breaks := make([]float64, segments+1)
+	breaks[0] = 0
+	for k := 1; k < segments; k++ {
+		a := model.AMin + (model.AMax-model.AMin)*float64(k)/float64(segments)
+		breaks[k] = model.InverseEval(a)
+	}
+	breaks[segments] = fmax
+
+	// Hat-function basis over interior breakpoints 1..segments-1; endpoint
+	// contributions move to the right-hand side.
+	nFree := segments - 1
+	ata := make([][]float64, nFree)
+	for i := range ata {
+		ata[i] = make([]float64, nFree)
+	}
+	atb := make([]float64, nFree)
+	for s := 0; s < samples; s++ {
+		f := fmax * (float64(s) + 0.5) / float64(samples)
+		y := model.Eval(f)
+		// Locate the segment containing f and the two hat weights.
+		k := 0
+		for k+1 < segments && f > breaks[k+1] {
+			k++
+		}
+		w1 := (breaks[k+1] - f) / (breaks[k+1] - breaks[k]) // weight of breakpoint k
+		w2 := 1 - w1                                        // weight of breakpoint k+1
+		// Map breakpoint index -> free-variable index (or pinned value).
+		type term struct {
+			idx int // -1 when pinned
+			w   float64
+			val float64 // pinned value when idx == -1
+		}
+		mk := func(bp int, w float64) term {
+			switch bp {
+			case 0:
+				return term{idx: -1, w: w, val: model.AMin}
+			case segments:
+				return term{idx: -1, w: w, val: model.AMax}
+			default:
+				return term{idx: bp - 1, w: w}
+			}
+		}
+		t1, t2 := mk(k, w1), mk(k+1, w2)
+		rhs := y
+		for _, t := range []term{t1, t2} {
+			if t.idx == -1 {
+				rhs -= t.w * t.val
+			}
+		}
+		for _, ti := range []term{t1, t2} {
+			if ti.idx == -1 {
+				continue
+			}
+			atb[ti.idx] += ti.w * rhs
+			for _, tj := range []term{t1, t2} {
+				if tj.idx == -1 {
+					continue
+				}
+				ata[ti.idx][tj.idx] += ti.w * tj.w
+			}
+		}
+	}
+	interior, err := solveSPD(ata, atb)
+	if err != nil {
+		return FitChord(model, segments)
+	}
+	vals := make([]float64, segments+1)
+	vals[0], vals[segments] = model.AMin, model.AMax
+	copy(vals[1:segments], interior)
+	pwl, err := NewPWL(breaks, vals)
+	if err != nil {
+		// Concavity violated by regression noise; the chord fit is always valid.
+		return FitChord(model, segments)
+	}
+	return pwl, nil
+}
+
+// solveSPD solves the small symmetric positive-definite system A·x = b by
+// Gaussian elimination with partial pivoting. It returns an error for
+// singular systems.
+func solveSPD(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, errors.New("accuracy: singular normal equations")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+// MaxFitError returns the maximum absolute deviation between the PWL and
+// the model over a dense grid; used in tests and in the fig2 experiment.
+func MaxFitError(pwl *PWL, model Exponential, grid int) float64 {
+	fmax := model.FMax()
+	var worst float64
+	for i := 0; i <= grid; i++ {
+		f := fmax * float64(i) / float64(grid)
+		d := math.Abs(pwl.Eval(f) - model.Eval(f))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,244 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExponentialBasics(t *testing.T) {
+	m := NewExponential(0.1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Eval(0); got != DefaultAMin {
+		t.Errorf("Eval(0) = %g, want AMin", got)
+	}
+	if got := m.Eval(m.FMax()); math.Abs(got-DefaultAMax) > 1e-9 {
+		t.Errorf("Eval(FMax) = %g, want AMax %g", got, DefaultAMax)
+	}
+	if got := m.Eval(10 * m.FMax()); got != DefaultAMax {
+		t.Errorf("Eval beyond FMax = %g, want capped at AMax", got)
+	}
+	// Derivative at 0 equals Theta by construction.
+	if got := m.Derivative(0); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Derivative(0) = %g, want Theta", got)
+	}
+	// Numerical derivative check at 0.
+	h := 1e-7
+	num := (m.Eval(h) - m.Eval(0)) / h
+	if math.Abs(num-0.1) > 1e-4 {
+		t.Errorf("numerical derivative at 0 = %g, want ~0.1", num)
+	}
+}
+
+func TestExponentialThetaScalesFMax(t *testing.T) {
+	lo, hi := NewExponential(0.1), NewExponential(1.0)
+	// Ten times the efficiency needs one tenth of the work.
+	if math.Abs(lo.FMax()/hi.FMax()-10) > 1e-9 {
+		t.Errorf("FMax ratio = %g, want 10", lo.FMax()/hi.FMax())
+	}
+}
+
+func TestExponentialInverseRoundTrip(t *testing.T) {
+	m := NewExponential(0.7)
+	for _, a := range []float64{0.05, 0.3, 0.5, 0.7, 0.81} {
+		f := m.InverseEval(a)
+		if got := m.Eval(f); math.Abs(got-a) > 1e-9 {
+			t.Errorf("Eval(InverseEval(%g)) = %g", a, got)
+		}
+	}
+	if m.InverseEval(0.0005) != 0 {
+		t.Error("below AMin should map to 0")
+	}
+	if m.InverseEval(0.9) != m.FMax() {
+		t.Error("above AMax should map to FMax")
+	}
+}
+
+func TestExponentialValidate(t *testing.T) {
+	bad := []Exponential{
+		{AMin: 0.5, AMax: 0.4, Theta: 1, Cut: 0.9},
+		{AMin: 0, AMax: 0.8, Theta: 0, Cut: 0.9},
+		{AMin: 0, AMax: 0.8, Theta: 1, Cut: 1},
+		{AMin: -0.1, AMax: 0.8, Theta: 1, Cut: 0.9},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestFitChordEndpointsAndConcavity(t *testing.T) {
+	for _, theta := range []float64{0.1, 0.5, 1.0, 4.9} {
+		m := NewExponential(theta)
+		p, err := FitChord(m, DefaultSegments)
+		if err != nil {
+			t.Fatalf("theta=%g: %v", theta, err)
+		}
+		if p.NumSegments() != DefaultSegments {
+			t.Errorf("theta=%g: got %d segments", theta, p.NumSegments())
+		}
+		if p.AMin() != m.AMin || math.Abs(p.AMax()-m.AMax) > 1e-12 {
+			t.Errorf("theta=%g: endpoints [%g,%g]", theta, p.AMin(), p.AMax())
+		}
+		if math.Abs(p.FMax()-m.FMax()) > 1e-9 {
+			t.Errorf("theta=%g: FMax %g vs model %g", theta, p.FMax(), m.FMax())
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("theta=%g: %v", theta, err)
+		}
+		// The PWL underestimates a concave curve between breakpoints and
+		// matches it at breakpoints.
+		for _, bp := range p.Breakpoints() {
+			if math.Abs(p.Eval(bp)-m.Eval(bp)) > 1e-9 {
+				t.Errorf("theta=%g: chord should interpolate at breakpoint %g", theta, bp)
+			}
+		}
+		if e := MaxFitError(p, m, 500); e > 0.05 {
+			t.Errorf("theta=%g: chord fit error %g too large", theta, e)
+		}
+	}
+}
+
+func TestFitChordFirstSlopeApproximatesTheta(t *testing.T) {
+	// The first-segment slope of the fit is the paper's task efficiency; it
+	// should track Theta closely (it is the average derivative over the
+	// first segment, slightly below Theta).
+	for _, theta := range []float64{0.1, 1.0, 4.9} {
+		p, err := FitChord(NewExponential(theta), DefaultSegments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := p.FirstSlope() / theta
+		if ratio < 0.8 || ratio > 1.0 {
+			t.Errorf("theta=%g: first slope %g (ratio %g) should be within [0.8, 1.0] of theta", theta, p.FirstSlope(), ratio)
+		}
+	}
+}
+
+func TestFitLeastSquaresBeatsOrMatchesChord(t *testing.T) {
+	m := NewExponential(0.5)
+	chord, err := FitChord(m, DefaultSegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := FitLeastSquares(m, DefaultSegments, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Validate(); err != nil {
+		t.Fatalf("least-squares fit invalid: %v", err)
+	}
+	// Compare mean squared error on a dense grid; LS should not be
+	// dramatically worse than chord (it may fall back to chord).
+	mse := func(p *PWL) float64 {
+		var s float64
+		const grid = 400
+		for i := 0; i <= grid; i++ {
+			f := m.FMax() * float64(i) / grid
+			d := p.Eval(f) - m.Eval(f)
+			s += d * d
+		}
+		return s / (grid + 1)
+	}
+	if mse(ls) > mse(chord)*1.5 {
+		t.Errorf("least squares MSE %g much worse than chord %g", mse(ls), mse(chord))
+	}
+}
+
+func TestFitErrorsOnBadArgs(t *testing.T) {
+	m := NewExponential(1)
+	if _, err := FitChord(m, 0); err == nil {
+		t.Error("FitChord with 0 segments should fail")
+	}
+	if _, err := FitLeastSquares(m, 0, 100); err == nil {
+		t.Error("FitLeastSquares with 0 segments should fail")
+	}
+	if _, err := FitLeastSquares(m, 5, 3); err == nil {
+		t.Error("FitLeastSquares with too few samples should fail")
+	}
+	bad := Exponential{AMin: 0.5, AMax: 0.2, Theta: 1, Cut: 0.9}
+	if _, err := FitChord(bad, 5); err == nil {
+		t.Error("FitChord with invalid model should fail")
+	}
+}
+
+func TestFitSingleSegment(t *testing.T) {
+	m := NewExponential(1)
+	p, err := FitLeastSquares(m, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSegments() != 1 {
+		t.Errorf("got %d segments", p.NumSegments())
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	// 2x2 system: [[2,1],[1,3]] x = [5, 10] -> x = [1, 3].
+	x, err := solveSPD([][]float64{{2, 1}, {1, 3}}, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("solveSPD = %v, want [1 3]", x)
+	}
+	if _, err := solveSPD([][]float64{{0, 0}, {0, 0}}, []float64{1, 1}); err == nil {
+		t.Error("singular system should fail")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if len(Presets) < 3 {
+		t.Fatal("too few presets")
+	}
+	for _, p := range Presets {
+		if err := p.Model().Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		pwl, err := p.PWL()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if pwl.AMax() != p.AMax {
+			t.Errorf("%s: AMax %g != %g", p.Name, pwl.AMax(), p.AMax)
+		}
+		if err := pwl.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	// The paper's subject reaches full accuracy near its published GFLOPs.
+	res, err := PresetByName("ofa-resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmax := res.Model().FMax()
+	if fmax < 2 || fmax > 8 {
+		t.Errorf("ofa-resnet50 FMax = %g GFLOPs, want a few GFLOPs", fmax)
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestChordFitNeverOverestimates(t *testing.T) {
+	// A chord interpolation of a concave function lies on or below it
+	// everywhere; the scheduler's accuracy estimates are therefore
+	// conservative with respect to the smooth model.
+	for _, theta := range []float64{0.1, 0.9, 4.9} {
+		m := NewExponential(theta)
+		p, err := FitChord(m, DefaultSegments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const grid = 300
+		for i := 0; i <= grid; i++ {
+			f := m.FMax() * float64(i) / grid
+			if p.Eval(f) > m.Eval(f)+1e-9 {
+				t.Fatalf("theta=%g: chord overestimates at f=%g: %g > %g",
+					theta, f, p.Eval(f), m.Eval(f))
+			}
+		}
+	}
+}

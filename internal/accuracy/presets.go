@@ -1,0 +1,49 @@
+package accuracy
+
+import "fmt"
+
+// Preset describes a named slimmable-network family with its accuracy
+// range and a representative task-efficiency scale. The values follow the
+// published top-1 ImageNet-1k accuracies of the Once-For-All and AutoSlim
+// model families the paper builds on (Cai et al. 2020, Yu & Huang 2019);
+// Theta is calibrated so the uncompressed work FMax lands at the family's
+// typical full-model GFLOPs.
+type Preset struct {
+	Name  string
+	AMin  float64 // random guess over the class count
+	AMax  float64 // uncompressed top-1 accuracy
+	Theta float64 // accuracy per GFLOP at zero work
+}
+
+// Model returns the exponential accuracy model of the preset.
+func (p Preset) Model() Exponential {
+	return Exponential{AMin: p.AMin, AMax: p.AMax, Theta: p.Theta, Cut: DefaultCut}
+}
+
+// PWL returns the paper's 5-segment piecewise-linear fit of the preset.
+func (p Preset) PWL() (*PWL, error) {
+	return FitChord(p.Model(), DefaultSegments)
+}
+
+// Presets lists the built-in model families. "ofa-resnet50" is the paper's
+// experimental subject (a_min = 1/1000, a_max = 0.82).
+var Presets = []Preset{
+	// ofa-resnet50: full model ≈ 4.1 GFLOPs at 0.82 top-1.
+	{Name: "ofa-resnet50", AMin: 1.0 / 1000, AMax: 0.82, Theta: 0.80},
+	// ofa-mobilenetv3: full model ≈ 0.6 GFLOPs at 0.767 top-1.
+	{Name: "ofa-mobilenetv3", AMin: 1.0 / 1000, AMax: 0.767, Theta: 5.0},
+	// autoslim-mnasnet: full model ≈ 0.53 GFLOPs at 0.765 top-1.
+	{Name: "autoslim-mnasnet", AMin: 1.0 / 1000, AMax: 0.765, Theta: 5.6},
+	// ofa-resnet50 on a 100-class task: higher floor, same family.
+	{Name: "ofa-resnet50-100c", AMin: 1.0 / 100, AMax: 0.82, Theta: 0.80},
+}
+
+// PresetByName returns the named preset.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("accuracy: unknown preset %q", name)
+}

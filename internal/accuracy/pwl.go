@@ -1,0 +1,268 @@
+// Package accuracy models the accuracy functions of compressible inference
+// tasks (paper §3.1). A task's accuracy a(f) is a concave, non-decreasing
+// function of the number of floating-point operations f dedicated to it,
+// with a(0) = a_min (a random guess) and a(f_max) = a_max. The paper's
+// experiments use piecewise-linear (PWL) functions with 5 segments fitted
+// to an exponential curve derived from Once-For-All slimmable networks
+// (Fig 2); this package provides both the exponential model and the PWL
+// machinery (evaluation, marginal gains/losses, inverses, fitting).
+//
+// Units: f is measured in GFLOPs throughout the module; slopes are accuracy
+// per GFLOP.
+package accuracy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Segment is one linear piece of a PWL accuracy function: on [Start, End]
+// the function is Slope*f + Intercept.
+type Segment struct {
+	Slope     float64
+	Intercept float64
+	Start     float64 // breakpoint p_k
+	End       float64 // breakpoint p_{k+1}
+}
+
+// Width returns the segment length End - Start in GFLOPs.
+func (s Segment) Width() float64 { return s.End - s.Start }
+
+// PWL is a concave, non-decreasing piecewise-linear accuracy function.
+// Construct it with NewPWL; the zero value is not usable.
+type PWL struct {
+	segs []Segment
+	aMin float64
+	aMax float64
+}
+
+// NewPWL builds a PWL function from breakpoints and the accuracy values at
+// those breakpoints. It requires at least two points, breakpoints starting
+// at 0, strictly increasing breakpoints, non-decreasing values and concavity
+// (non-increasing chord slopes).
+func NewPWL(breakpoints, values []float64) (*PWL, error) {
+	if len(breakpoints) != len(values) {
+		return nil, fmt.Errorf("accuracy: %d breakpoints but %d values", len(breakpoints), len(values))
+	}
+	if len(breakpoints) < 2 {
+		return nil, errors.New("accuracy: need at least two points")
+	}
+	if breakpoints[0] != 0 {
+		return nil, fmt.Errorf("accuracy: first breakpoint must be 0, got %g", breakpoints[0])
+	}
+	segs := make([]Segment, 0, len(breakpoints)-1)
+	prevSlope := math.Inf(1)
+	for k := 0; k+1 < len(breakpoints); k++ {
+		p0, p1 := breakpoints[k], breakpoints[k+1]
+		v0, v1 := values[k], values[k+1]
+		if p1 <= p0 {
+			return nil, fmt.Errorf("accuracy: breakpoints must strictly increase (p[%d]=%g, p[%d]=%g)", k, p0, k+1, p1)
+		}
+		if v1 < v0 {
+			return nil, fmt.Errorf("accuracy: values must be non-decreasing (v[%d]=%g, v[%d]=%g)", k, v0, k+1, v1)
+		}
+		slope := (v1 - v0) / (p1 - p0)
+		if slope > prevSlope*(1+1e-9)+1e-15 {
+			return nil, fmt.Errorf("accuracy: not concave at breakpoint %d (slope %g after %g)", k, slope, prevSlope)
+		}
+		prevSlope = slope
+		segs = append(segs, Segment{
+			Slope:     slope,
+			Intercept: v0 - slope*p0,
+			Start:     p0,
+			End:       p1,
+		})
+	}
+	return &PWL{segs: segs, aMin: values[0], aMax: values[len(values)-1]}, nil
+}
+
+// MustPWL is NewPWL that panics on error; for package-internal literals and
+// tests.
+func MustPWL(breakpoints, values []float64) *PWL {
+	p, err := NewPWL(breakpoints, values)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// AMin returns a(0), the accuracy with no processing.
+func (p *PWL) AMin() float64 { return p.aMin }
+
+// AMax returns a(FMax), the accuracy of the uncompressed model.
+func (p *PWL) AMax() float64 { return p.aMax }
+
+// FMax returns the work (GFLOPs) needed for full, uncompressed processing.
+func (p *PWL) FMax() float64 { return p.segs[len(p.segs)-1].End }
+
+// NumSegments returns the number of linear pieces.
+func (p *PWL) NumSegments() int { return len(p.segs) }
+
+// Segments returns a copy of the linear pieces in increasing-f order.
+func (p *PWL) Segments() []Segment {
+	return append([]Segment(nil), p.segs...)
+}
+
+// Segment returns the k-th linear piece (0-based).
+func (p *PWL) Segment(k int) Segment { return p.segs[k] }
+
+// FirstSlope returns the slope of the first segment — the paper's "task
+// efficiency" θ of the task.
+func (p *PWL) FirstSlope() float64 { return p.segs[0].Slope }
+
+// LastSlope returns the slope of the final segment.
+func (p *PWL) LastSlope() float64 { return p.segs[len(p.segs)-1].Slope }
+
+// segIndex returns the index of the segment containing f, clamping f into
+// [0, FMax].
+func (p *PWL) segIndex(f float64) int {
+	if f <= 0 {
+		return 0
+	}
+	if f >= p.FMax() {
+		return len(p.segs) - 1
+	}
+	// Binary search over segment ends.
+	i := sort.Search(len(p.segs), func(k int) bool { return p.segs[k].End >= f })
+	if i == len(p.segs) {
+		i = len(p.segs) - 1
+	}
+	return i
+}
+
+// Eval returns the accuracy achieved with f GFLOPs of work. f is clamped
+// into [0, FMax]: negative work scores AMin and work beyond FMax scores
+// AMax (extra operations cannot improve a fully processed task).
+func (p *PWL) Eval(f float64) float64 {
+	if f <= 0 {
+		return p.aMin
+	}
+	if f >= p.FMax() {
+		return p.aMax
+	}
+	s := p.segs[p.segIndex(f)]
+	return s.Slope*f + s.Intercept
+}
+
+// MarginalGain returns the right-hand derivative at f: the accuracy gained
+// per additional GFLOP. At or beyond FMax the gain is 0; at a breakpoint it
+// is the slope of the following segment.
+func (p *PWL) MarginalGain(f float64) float64 {
+	if f >= p.FMax() {
+		return 0
+	}
+	if f <= 0 {
+		return p.segs[0].Slope
+	}
+	i := p.segIndex(f)
+	// If f sits exactly at the end of segment i, the right derivative is the
+	// next segment's slope.
+	if f == p.segs[i].End && i+1 < len(p.segs) {
+		return p.segs[i+1].Slope
+	}
+	return p.segs[i].Slope
+}
+
+// MarginalLoss returns the left-hand derivative at f: the accuracy lost per
+// GFLOP removed. At or below 0 the loss is the first slope by convention.
+func (p *PWL) MarginalLoss(f float64) float64 {
+	if f <= 0 {
+		return p.segs[0].Slope
+	}
+	if f >= p.FMax() {
+		return p.segs[len(p.segs)-1].Slope
+	}
+	i := p.segIndex(f)
+	// If f sits exactly at the start of segment i, the left derivative is the
+	// previous segment's slope.
+	if f == p.segs[i].Start && i > 0 {
+		return p.segs[i-1].Slope
+	}
+	return p.segs[i].Slope
+}
+
+// Inverse returns the minimum work f such that Eval(f) >= a. Accuracies at
+// or below AMin map to 0; accuracies at or above AMax map to FMax. It
+// returns an error only for a > AMax (unreachable accuracy).
+func (p *PWL) Inverse(a float64) (float64, error) {
+	if a <= p.aMin {
+		return 0, nil
+	}
+	if a > p.aMax {
+		return 0, fmt.Errorf("accuracy: %g exceeds reachable maximum %g", a, p.aMax)
+	}
+	for _, s := range p.segs {
+		endVal := s.Slope*s.End + s.Intercept
+		if a <= endVal || s.End == p.FMax() {
+			if s.Slope == 0 {
+				return s.Start, nil
+			}
+			f := (a - s.Intercept) / s.Slope
+			if f < s.Start {
+				f = s.Start
+			}
+			if f > s.End {
+				f = s.End
+			}
+			return f, nil
+		}
+	}
+	return p.FMax(), nil
+}
+
+// Validate re-checks the structural invariants (contiguity, concavity,
+// monotonicity). It is used by property tests and by instance loaders.
+func (p *PWL) Validate() error {
+	if len(p.segs) == 0 {
+		return errors.New("accuracy: empty PWL")
+	}
+	if p.segs[0].Start != 0 {
+		return errors.New("accuracy: first segment must start at 0")
+	}
+	for k, s := range p.segs {
+		if s.End <= s.Start {
+			return fmt.Errorf("accuracy: segment %d empty", k)
+		}
+		if k > 0 {
+			prev := p.segs[k-1]
+			if s.Start != prev.End {
+				return fmt.Errorf("accuracy: gap between segments %d and %d", k-1, k)
+			}
+			if s.Slope > prev.Slope*(1+1e-9)+1e-15 {
+				return fmt.Errorf("accuracy: slopes increase at segment %d", k)
+			}
+			// Continuity of values.
+			vPrev := prev.Slope*prev.End + prev.Intercept
+			vCur := s.Slope*s.Start + s.Intercept
+			if math.Abs(vPrev-vCur) > 1e-9*math.Max(1, math.Abs(vPrev)) {
+				return fmt.Errorf("accuracy: discontinuity at segment %d (%g vs %g)", k, vPrev, vCur)
+			}
+		}
+		if s.Slope < 0 {
+			return fmt.Errorf("accuracy: negative slope in segment %d", k)
+		}
+	}
+	return nil
+}
+
+// Breakpoints returns the K+1 breakpoints including 0 and FMax.
+func (p *PWL) Breakpoints() []float64 {
+	out := make([]float64, 0, len(p.segs)+1)
+	out = append(out, p.segs[0].Start)
+	for _, s := range p.segs {
+		out = append(out, s.End)
+	}
+	return out
+}
+
+// Values returns the accuracy at each breakpoint, aligned with Breakpoints.
+func (p *PWL) Values() []float64 {
+	out := make([]float64, 0, len(p.segs)+1)
+	out = append(out, p.aMin)
+	for _, s := range p.segs {
+		out = append(out, s.Slope*s.End+s.Intercept)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// simplePWL: a(0)=0.1, a(10)=0.6, a(30)=0.8 — two segments, slopes 0.05, 0.01.
+func simplePWL(t *testing.T) *PWL {
+	t.Helper()
+	p, err := NewPWL([]float64{0, 10, 30}, []float64{0.1, 0.6, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPWLValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		breaks []float64
+		vals   []float64
+	}{
+		{"mismatched lengths", []float64{0, 1}, []float64{0.1}},
+		{"too few points", []float64{0}, []float64{0.1}},
+		{"nonzero start", []float64{1, 2}, []float64{0.1, 0.2}},
+		{"non-increasing breaks", []float64{0, 5, 5}, []float64{0.1, 0.2, 0.3}},
+		{"decreasing values", []float64{0, 5, 10}, []float64{0.1, 0.3, 0.2}},
+		{"convex (increasing slopes)", []float64{0, 10, 20}, []float64{0.0, 0.1, 0.5}},
+	}
+	for _, c := range cases {
+		if _, err := NewPWL(c.breaks, c.vals); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	p := simplePWL(t)
+	cases := []struct{ f, want float64 }{
+		{-5, 0.1}, {0, 0.1}, {5, 0.35}, {10, 0.6}, {20, 0.7}, {30, 0.8}, {100, 0.8},
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.f); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", c.f, got, c.want)
+		}
+	}
+}
+
+func TestMarginalGainLoss(t *testing.T) {
+	p := simplePWL(t)
+	if g := p.MarginalGain(5); g != 0.05 {
+		t.Errorf("gain mid-segment 1 = %g", g)
+	}
+	if g := p.MarginalGain(10); math.Abs(g-0.01) > 1e-12 {
+		t.Errorf("gain at breakpoint = %g, want next slope 0.01", g)
+	}
+	if l := p.MarginalLoss(10); l != 0.05 {
+		t.Errorf("loss at breakpoint = %g, want prev slope 0.05", l)
+	}
+	if g := p.MarginalGain(30); g != 0 {
+		t.Errorf("gain at FMax = %g, want 0", g)
+	}
+	if l := p.MarginalLoss(30); math.Abs(l-0.01) > 1e-12 {
+		t.Errorf("loss at FMax = %g, want 0.01", l)
+	}
+	if g := p.MarginalGain(0); g != 0.05 {
+		t.Errorf("gain at 0 = %g", g)
+	}
+	if l := p.MarginalLoss(0); l != 0.05 {
+		t.Errorf("loss at 0 (convention) = %g", l)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	p := simplePWL(t)
+	cases := []struct{ a, want float64 }{
+		{0.05, 0}, {0.1, 0}, {0.35, 5}, {0.6, 10}, {0.7, 20}, {0.8, 30},
+	}
+	for _, c := range cases {
+		got, err := p.Inverse(c.a)
+		if err != nil {
+			t.Fatalf("Inverse(%g): %v", c.a, err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Inverse(%g) = %g, want %g", c.a, got, c.want)
+		}
+	}
+	if _, err := p.Inverse(0.9); err == nil {
+		t.Error("Inverse above AMax should fail")
+	}
+}
+
+func TestInverseEvalRoundTrip(t *testing.T) {
+	p := simplePWL(t)
+	f := func(raw float64) bool {
+		a := 0.1 + math.Mod(math.Abs(raw), 0.7) // a in [0.1, 0.8)
+		fval, err := p.Inverse(a)
+		if err != nil {
+			return false
+		}
+		return math.Abs(p.Eval(fval)-a) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	p := simplePWL(t)
+	if p.AMin() != 0.1 || p.AMax() != 0.8 || p.FMax() != 30 || p.NumSegments() != 2 {
+		t.Errorf("accessors: AMin=%g AMax=%g FMax=%g K=%d", p.AMin(), p.AMax(), p.FMax(), p.NumSegments())
+	}
+	if p.FirstSlope() != 0.05 || math.Abs(p.LastSlope()-0.01) > 1e-12 {
+		t.Errorf("slopes: first=%g last=%g", p.FirstSlope(), p.LastSlope())
+	}
+	bp := p.Breakpoints()
+	if len(bp) != 3 || bp[0] != 0 || bp[2] != 30 {
+		t.Errorf("Breakpoints = %v", bp)
+	}
+	vals := p.Values()
+	if len(vals) != 3 || vals[0] != 0.1 || vals[2] != 0.8 {
+		t.Errorf("Values = %v", vals)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	segs := p.Segments()
+	if segs[0].Width() != 10 || segs[1].Width() != 20 {
+		t.Errorf("segment widths: %g %g", segs[0].Width(), segs[1].Width())
+	}
+}
+
+func TestEvalMonotoneAndConcaveProperty(t *testing.T) {
+	p := simplePWL(t)
+	f := func(r1, r2 float64) bool {
+		f1 := math.Mod(math.Abs(r1), 30)
+		f2 := math.Mod(math.Abs(r2), 30)
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		// Monotone non-decreasing.
+		if p.Eval(f1) > p.Eval(f2)+1e-12 {
+			return false
+		}
+		// Midpoint concavity: a((f1+f2)/2) >= (a(f1)+a(f2))/2.
+		mid := (f1 + f2) / 2
+		return p.Eval(mid)+1e-12 >= (p.Eval(f1)+p.Eval(f2))/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustPWLPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPWL should panic on invalid input")
+		}
+	}()
+	MustPWL([]float64{0}, []float64{0.5})
+}
+
+func TestSingleSegment(t *testing.T) {
+	p := MustPWL([]float64{0, 4}, []float64{0.2, 0.6})
+	if p.Eval(2) != 0.4 {
+		t.Errorf("Eval(2) = %g", p.Eval(2))
+	}
+	if p.MarginalGain(4) != 0 {
+		t.Error("gain at FMax should be 0")
+	}
+}

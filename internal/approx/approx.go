@@ -1,0 +1,178 @@
+// Package approx implements DSCT-EA-APPROX (Algorithm 5), the paper's
+// approximation algorithm for the integral problem DSCT-EA: it solves the
+// fractional relaxation with core.SolveFR, then list-schedules each task —
+// in deadline order, onto the machine with the least work — giving it its
+// total fractional processing time, capped by the machine's energy-profile
+// budget; finally it cuts tasks that would overrun their deadlines and
+// shifts the followers forward.
+//
+// The resulting schedule is integral (one machine per task), deadline
+// feasible and within the energy budget, and satisfies the paper's
+// absolute guarantee OPT − G <= SOL <= OPT with
+// G = m·(a_max − a_min)·(1 + ln(θ_max/θ_min)) (Eq. 13–14).
+package approx
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// Options tunes the approximation algorithm.
+type Options struct {
+	// FR configures the fractional solve that seeds the rounding.
+	FR core.FROptions
+	// TimePreserving grants each task the literal quantity of Algorithm 5
+	// line 9 — its total fractional time Σ_r t^f_jr — on the chosen
+	// machine. The default (false) grants the time needed to reproduce the
+	// task's fractional work f_j on that machine, f_j / s_r. With
+	// heterogeneous speeds the literal rule silently re-scales a task's
+	// work by the speed ratio and loses substantial accuracy, which
+	// contradicts the paper's near-optimal results, so the flop-preserving
+	// reading is taken as the intended algorithm; the literal rule is kept
+	// for the ablation BenchmarkAblationApproxVariants.
+	TimePreserving bool
+}
+
+// Solution is the output of DSCT-EA-APPROX.
+type Solution struct {
+	// Schedule is the integral schedule (one machine per task).
+	Schedule *schedule.Schedule
+	// FR is the fractional solution used as the seed; FR.TotalAccuracy is
+	// the DSCT-EA-UB upper bound.
+	FR *core.FRSolution
+	// TotalAccuracy is the accuracy of the integral schedule.
+	TotalAccuracy float64
+	// Guarantee is the paper's absolute bound G (Eq. 14).
+	Guarantee float64
+}
+
+// Solve runs DSCT-EA-APPROX on the instance.
+func Solve(in *task.Instance, opts Options) (*Solution, error) {
+	fr, err := core.SolveFR(in, opts.FR)
+	if err != nil {
+		return nil, err
+	}
+	sched := Round(in, fr, opts)
+	if err := sched.Validate(in, schedule.ValidateOptions{RequireIntegral: true}); err != nil {
+		return nil, fmt.Errorf("approx: internal error, rounded schedule invalid: %w", err)
+	}
+	return &Solution{
+		Schedule:      sched,
+		FR:            fr,
+		TotalAccuracy: sched.TotalAccuracy(in),
+		Guarantee:     Guarantee(in),
+	}, nil
+}
+
+// Round is the list-scheduling half of Algorithm 5: it converts a
+// fractional solution into an integral schedule without re-solving.
+func Round(in *task.Instance, fr *core.FRSolution, opts Options) *schedule.Schedule {
+	n, m := in.N(), in.M()
+	sched := schedule.New(n, m)
+	work := make([]float64, m) // w_r: committed busy time per machine
+	full := make([]bool, m)    // F: machines whose profile is exhausted
+	// w^max_r: the energy profile of the fractional solution acts as the
+	// per-machine cap, which keeps the total energy within budget.
+	wMax := fr.Profile
+
+	for j := range in.Tasks {
+		// Least-loaded machine among those not yet full.
+		best := -1
+		for r := 0; r < m; r++ {
+			if full[r] || wMax[r] <= 0 {
+				continue
+			}
+			if best == -1 || work[r] < work[best] {
+				best = r
+			}
+		}
+		if best == -1 {
+			continue // every machine exhausted: task stays unscheduled (a_min)
+		}
+		// Requested time on the chosen machine.
+		var want float64
+		if opts.TimePreserving {
+			var s numeric.KahanSum
+			for r := 0; r < m; r++ {
+				s.Add(fr.Schedule.Times[j][r])
+			}
+			want = s.Value()
+		} else {
+			want = fr.Work[j] / in.Machines[best].Speed
+		}
+		// Never give a task more time than its full processing needs.
+		if need := in.Tasks[j].FMax() / in.Machines[best].Speed; want > need {
+			want = need
+		}
+		grant := math.Min(want, wMax[best]-work[best])
+		if grant < 0 {
+			grant = 0
+		}
+		sched.Times[j][best] = grant
+		work[best] += grant
+		if work[best] >= wMax[best]-numeric.Eps {
+			full[best] = true
+		}
+	}
+
+	cutToDeadlines(in, sched)
+	return sched
+}
+
+// cutToDeadlines trims each machine's task list so every task completes by
+// its deadline (lines 13–19 of Algorithm 5): a task that would overrun is
+// cut to finish exactly at its deadline, and its followers shift forward.
+func cutToDeadlines(in *task.Instance, s *schedule.Schedule) {
+	for r := 0; r < in.M(); r++ {
+		var elapsed float64
+		for j := range in.Tasks {
+			t := s.Times[j][r]
+			if t == 0 {
+				continue
+			}
+			deadline := in.Tasks[j].Deadline
+			if elapsed >= deadline {
+				s.Times[j][r] = 0
+				continue
+			}
+			if elapsed+t > deadline {
+				t = deadline - elapsed
+				s.Times[j][r] = t
+			}
+			elapsed += t
+		}
+	}
+}
+
+// Guarantee returns the paper's absolute performance bound
+// G = m·(a_max − a_min)·(1 + ln(θ_max/θ_min)) (Eq. 14), where θ_min and
+// θ_max are the extreme first/last segment slopes over all tasks.
+func Guarantee(in *task.Instance) float64 {
+	thetaMax := math.Inf(-1)
+	thetaMin := math.Inf(1)
+	aMax, aMin := math.Inf(-1), math.Inf(1)
+	for _, tk := range in.Tasks {
+		if v := tk.Acc.FirstSlope(); v > thetaMax {
+			thetaMax = v
+		}
+		if v := tk.Acc.LastSlope(); v > 0 && v < thetaMin {
+			thetaMin = v
+		}
+		if v := tk.Acc.AMax(); v > aMax {
+			aMax = v
+		}
+		if v := tk.Acc.AMin(); v < aMin {
+			aMin = v
+		}
+	}
+	if !numeric.IsFinite(thetaMax) || !numeric.IsFinite(thetaMin) || thetaMin <= 0 {
+		return 0
+	}
+	m := float64(in.M())
+	return m * (aMax - aMin) * (1 + math.Log(thetaMax/thetaMin))
+}

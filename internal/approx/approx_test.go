@@ -1,0 +1,281 @@
+package approx
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/accuracy"
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/machine"
+	"repro/internal/mip"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+func genInstance(t *testing.T, seed int64, n, m int, rho, beta, mu float64) *task.Instance {
+	t.Helper()
+	cfg := task.DefaultConfig(n, rho, beta)
+	cfg.ThetaMax = cfg.ThetaMin * mu
+	in, err := task.GenerateUniformFleet(rng.New(seed, "approx"), cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSolutionFeasibleAndIntegral(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		in := genInstance(t, int64(trial), 30, 3, 0.35, 0.5, 10)
+		sol, err := Solve(in, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sol.Schedule.Validate(in, schedule.ValidateOptions{RequireIntegral: true}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSolBetweenBounds(t *testing.T) {
+	// OPT − G <= SOL <= OPT (Eq. 13), with OPT the fractional optimum.
+	for trial := 0; trial < 8; trial++ {
+		in := genInstance(t, 100+int64(trial), 40, 4, 0.35, 0.5, 20)
+		sol, err := Solve(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub := sol.FR.TotalAccuracy
+		if sol.TotalAccuracy > ub+1e-6*math.Max(1, ub) {
+			t.Errorf("trial %d: SOL %g exceeds UB %g", trial, sol.TotalAccuracy, ub)
+		}
+		if sol.Guarantee <= 0 {
+			t.Fatalf("trial %d: guarantee %g", trial, sol.Guarantee)
+		}
+		if sol.TotalAccuracy < ub-sol.Guarantee-1e-6 {
+			t.Errorf("trial %d: SOL %g below OPT−G = %g", trial, sol.TotalAccuracy, ub-sol.Guarantee)
+		}
+	}
+}
+
+func TestNearOptimalOnUniformTasks(t *testing.T) {
+	// The paper's Fig 5 observation: with uniform tasks the approximation
+	// stays near the fractional upper bound.
+	in := genInstance(t, 7, 100, 2, 1.0, 0.5, 1)
+	sol, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub := sol.FR.TotalAccuracy
+	if sol.TotalAccuracy < 0.9*ub {
+		t.Errorf("approx %g far below UB %g on uniform tasks", sol.TotalAccuracy, ub)
+	}
+}
+
+func TestApproxDominatedByMIPOptimum(t *testing.T) {
+	// On a tiny instance the MIP optimum must lie between the approximation
+	// and the fractional bound.
+	in := genInstance(t, 9, 4, 2, 0.8, 0.6, 2)
+	sol, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := model.BuildMIP(in)
+	res, err := mip.Solve(mm.Prob, mip.Options{Deadline: time.Now().Add(30 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != mip.Optimal {
+		t.Skipf("MIP not optimal in time: %v", res.Status)
+	}
+	if sol.TotalAccuracy > res.Objective+1e-5 {
+		t.Errorf("approx %g beats MIP optimum %g", sol.TotalAccuracy, res.Objective)
+	}
+	if res.Objective > sol.FR.TotalAccuracy+1e-5 {
+		t.Errorf("MIP optimum %g beats fractional bound %g", res.Objective, sol.FR.TotalAccuracy)
+	}
+}
+
+func TestTimePreservingVariantFeasible(t *testing.T) {
+	in := genInstance(t, 11, 30, 3, 0.35, 0.5, 10)
+	sol, err := Solve(in, Options{TimePreserving: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Schedule.Validate(in, schedule.ValidateOptions{RequireIntegral: true}); err != nil {
+		t.Fatal(err)
+	}
+	if sol.TotalAccuracy > sol.FR.TotalAccuracy+1e-6 {
+		t.Error("flop-preserving variant exceeds the fractional bound")
+	}
+}
+
+func TestEnergyWithinProfileCaps(t *testing.T) {
+	in := genInstance(t, 13, 50, 4, 0.3, 0.2, 5)
+	sol, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, l := range sol.Schedule.Profile() {
+		if l > sol.FR.Profile[r]*(1+1e-9)+1e-9 {
+			t.Errorf("machine %d load %g exceeds profile cap %g", r, l, sol.FR.Profile[r])
+		}
+	}
+	if e := sol.Schedule.Energy(in); e > in.Budget*(1+1e-9)+1e-9 {
+		t.Errorf("energy %g exceeds budget %g", e, in.Budget)
+	}
+}
+
+func TestZeroBudget(t *testing.T) {
+	in := genInstance(t, 15, 10, 2, 0.5, 0, 1)
+	in.Budget = 0
+	sol, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, tk := range in.Tasks {
+		want += tk.Acc.AMin()
+	}
+	if math.Abs(sol.TotalAccuracy-want) > 1e-9 {
+		t.Errorf("accuracy %g, want Σ a_min %g", sol.TotalAccuracy, want)
+	}
+}
+
+func TestGenerousSettingReachesNearAMax(t *testing.T) {
+	in := genInstance(t, 17, 20, 2, 1.0, 1.0, 1)
+	sol, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var amax float64
+	for _, tk := range in.Tasks {
+		amax += tk.Acc.AMax()
+	}
+	if sol.TotalAccuracy < 0.95*amax {
+		t.Errorf("accuracy %g, want near Σ a_max %g", sol.TotalAccuracy, amax)
+	}
+}
+
+func TestCutToDeadlinesTrims(t *testing.T) {
+	// Build a deliberate overrun and check the cut repairs it.
+	in := genInstance(t, 19, 3, 1, 0.5, 1.0, 1)
+	s := schedule.New(3, 1)
+	d0 := in.Tasks[0].Deadline
+	s.Times[0][0] = d0 * 2 // overruns its own deadline
+	s.Times[1][0] = in.Tasks[1].Deadline
+	cutToDeadlines(in, s)
+	if s.Times[0][0] > d0+1e-12 {
+		t.Errorf("task 0 not cut: %g > %g", s.Times[0][0], d0)
+	}
+	// Task 1 starts after task 0's (cut) time; total must fit d1.
+	if s.Times[0][0]+s.Times[1][0] > in.Tasks[1].Deadline+1e-9 {
+		t.Errorf("task 1 still overruns after shift")
+	}
+	// A task whose start already passed its deadline is dropped.
+	s2 := schedule.New(3, 1)
+	s2.Times[0][0] = in.Tasks[1].Deadline // fills past task 1's start
+	s2.Times[1][0] = 0.5
+	cutToDeadlines(in, s2)
+	if in.Tasks[0].Deadline < in.Tasks[1].Deadline && s2.Times[0][0] > in.Tasks[0].Deadline {
+		t.Errorf("task 0 exceeds own deadline after cut")
+	}
+}
+
+func TestGuaranteeFormula(t *testing.T) {
+	// Hand-built instance: 2 machines, uniform tasks with first slope θ_hi
+	// and last slope θ_lo -> G = 2·(amax−amin)·(1+ln(θ_hi/θ_lo)).
+	brk := []float64{0, 10, 30}
+	val := []float64{0.1, 0.6, 0.8}
+	tk := task.Task{Name: "t", Deadline: 1, Acc: accuracy.MustPWL(brk, val)}
+	in := &task.Instance{
+		Tasks:    []task.Task{tk, {Name: "u", Deadline: 2, Acc: tk.Acc}},
+		Machines: machine.Fleet{machine.New("a", 1000, 10), machine.New("b", 2000, 20)},
+		Budget:   100,
+	}
+	got := Guarantee(in)
+	want := 2 * (0.8 - 0.1) * (1 + math.Log(0.05/0.01))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("G = %g, want %g", got, want)
+	}
+}
+
+// TestRoundRespectsLeastLoaded sanity-checks the machine choice.
+func TestRoundRespectsLeastLoaded(t *testing.T) {
+	in := genInstance(t, 21, 10, 3, 0.5, 0.8, 1)
+	fr, err := core.SolveFR(in, core.FROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Round(in, fr, Options{})
+	// Every task on at most one machine.
+	for j := 0; j < in.N(); j++ {
+		if _, err := s.AssignedMachine(j); err != nil {
+			t.Fatalf("task %d: %v", j, err)
+		}
+	}
+}
+
+// TestUBMatchesLP ties the chain together: the approximation's reported
+// upper bound must match the independent LP relaxation.
+func TestUBMatchesLP(t *testing.T) {
+	in := genInstance(t, 23, 12, 2, 0.4, 0.4, 5)
+	sol, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := lp.Solve(model.BuildFR(in).Prob, lp.Options{})
+	if err != nil || ref.Status != lp.Optimal {
+		t.Fatalf("%v %v", ref.Status, err)
+	}
+	if math.Abs(sol.FR.TotalAccuracy-ref.Objective) > 2e-4*math.Max(1, ref.Objective) {
+		t.Errorf("UB %g != LP %g", sol.FR.TotalAccuracy, ref.Objective)
+	}
+}
+
+func TestTinyBudgetCompressesEveryone(t *testing.T) {
+	// Compression means a starved budget shrinks every task rather than
+	// dropping a few: each task keeps a sliver of work and the average
+	// accuracy sits far below a_max (the defining contrast with the EDF
+	// baselines, and the reason the comm extension needs dispatch pruning).
+	in := genInstance(t, 25, 40, 2, 0.5, 0.01, 1)
+	sol, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := sol.TotalAccuracy / float64(in.N())
+	if avg > 0.5*accuracy.DefaultAMax {
+		t.Errorf("1%% budget should compress hard: avg accuracy %g", avg)
+	}
+	if e := sol.Schedule.Energy(in); e > in.Budget*(1+1e-9)+1e-9 {
+		t.Errorf("energy %g exceeds tiny budget %g", e, in.Budget)
+	}
+	// Accuracy accounting is consistent with the schedule.
+	var want float64
+	for j, tk := range in.Tasks {
+		want += tk.Acc.Eval(sol.Schedule.Work(in, j))
+	}
+	if math.Abs(want-sol.TotalAccuracy) > 1e-9 {
+		t.Errorf("accuracy accounting mismatch: %g vs %g", want, sol.TotalAccuracy)
+	}
+}
+
+func TestVariantsAgreeOnSingleMachine(t *testing.T) {
+	// With one machine, time-preserving and flop-preserving grants are the
+	// same quantity, so the two roundings must coincide.
+	in := genInstance(t, 27, 20, 1, 0.4, 0.4, 5)
+	a, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(in, Options{TimePreserving: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.TotalAccuracy-b.TotalAccuracy) > 1e-9 {
+		t.Errorf("single-machine variants diverge: %g vs %g", a.TotalAccuracy, b.TotalAccuracy)
+	}
+}

@@ -1,0 +1,110 @@
+// Package baselines implements the state-of-the-art scheduling strategies
+// the paper compares DSCT-EA-APPROX against (§6):
+//
+//   - EDF-NoCompression: tasks are never compressed (always f_j^max
+//     operations). Earliest-Deadline-First order combined with
+//     least-loaded-machine placement; scheduling stops when the energy
+//     budget is exhausted.
+//   - EDF-3CompressionLevels: neural networks may run at three discrete
+//     compression levels (accuracy 27%, 55% or 82% by default, after the
+//     quality-oriented allocation of Lee & Song). Each task gets the
+//     highest level that fits both its deadline on the least-loaded
+//     machine and the remaining energy budget.
+//
+// Tasks that cannot be scheduled at all remain unprocessed and score
+// a_j(0) = a_min.
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// DefaultLevels are the paper's three discrete accuracy levels for
+// EDF-3CompressionLevels.
+var DefaultLevels = []float64{0.27, 0.55, 0.82}
+
+// EDFNoCompression schedules every task uncompressed. For each task in
+// deadline (EDF) order it picks the machine with the least committed work;
+// the task is scheduled there only if its full processing time fits the
+// deadline and the remaining energy budget, otherwise it is skipped.
+func EDFNoCompression(in *task.Instance) *schedule.Schedule {
+	s := schedule.New(in.N(), in.M())
+	work := make([]float64, in.M())
+	remaining := in.Budget
+	for j, tk := range in.Tasks {
+		r := leastLoaded(work)
+		t := tk.FMax() / in.Machines[r].Speed
+		if work[r]+t > tk.Deadline {
+			continue // would miss its deadline: cannot compress, so skip
+		}
+		if e := t * in.Machines[r].Power; e > remaining {
+			continue // budget exhausted for a full run
+		}
+		s.Times[j][r] = t
+		work[r] += t
+		remaining -= t * in.Machines[r].Power
+	}
+	return s
+}
+
+// EDF3CompressionLevels schedules tasks at the highest of the given
+// discrete accuracy levels that fits the deadline (on the least-loaded
+// machine) and the remaining budget. Levels must be increasing accuracies;
+// nil selects DefaultLevels.
+func EDF3CompressionLevels(in *task.Instance, levels []float64) (*schedule.Schedule, error) {
+	if levels == nil {
+		levels = DefaultLevels
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] <= levels[i-1] {
+			return nil, fmt.Errorf("baselines: levels must strictly increase, got %v", levels)
+		}
+	}
+	s := schedule.New(in.N(), in.M())
+	work := make([]float64, in.M())
+	remaining := in.Budget
+	for j, tk := range in.Tasks {
+		r := leastLoaded(work)
+		// Highest level first.
+		for li := len(levels) - 1; li >= 0; li-- {
+			target := levels[li]
+			if target > tk.Acc.AMax() {
+				continue // level unreachable for this task's model
+			}
+			f, err := tk.Acc.Inverse(target)
+			if err != nil {
+				continue
+			}
+			if f <= 0 {
+				break // level at or below a_min: not worth scheduling
+			}
+			t := f / in.Machines[r].Speed
+			if work[r]+t > tk.Deadline {
+				continue
+			}
+			if e := t * in.Machines[r].Power; e > remaining {
+				continue
+			}
+			s.Times[j][r] = t
+			work[r] += t
+			remaining -= t * in.Machines[r].Power
+			break
+		}
+	}
+	return s, nil
+}
+
+// leastLoaded returns the index of the machine with the least committed
+// work (lowest index on ties).
+func leastLoaded(work []float64) int {
+	best := 0
+	for r := 1; r < len(work); r++ {
+		if work[r] < work[best] {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,188 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+func genInstance(t *testing.T, seed int64, n, m int, rho, beta float64) *task.Instance {
+	t.Helper()
+	cfg := task.DefaultConfig(n, rho, beta)
+	in, err := task.GenerateUniformFleet(rng.New(seed, "baselines"), cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestEDFNoCompressionFeasible(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		in := genInstance(t, int64(trial), 40, 3, 0.5, 0.5)
+		s := EDFNoCompression(in)
+		if err := s.Validate(in, schedule.ValidateOptions{RequireIntegral: true}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestEDFNoCompressionAllOrNothing(t *testing.T) {
+	in := genInstance(t, 10, 30, 2, 0.8, 0.7)
+	s := EDFNoCompression(in)
+	for j := range in.Tasks {
+		w := s.Work(in, j)
+		fmax := in.Tasks[j].FMax()
+		if w > 1e-9 && math.Abs(w-fmax) > 1e-6*fmax {
+			t.Errorf("task %d partially processed (%g of %g) without compression", j, w, fmax)
+		}
+	}
+}
+
+func TestEDFNoCompressionBudgetStops(t *testing.T) {
+	in := genInstance(t, 11, 30, 2, 1.0, 1.0)
+	in.Budget = in.FullProcessingEnergy() * 0.2 // only ~20% of the cheapest full run
+	s := EDFNoCompression(in)
+	if err := s.Validate(in, schedule.ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	scheduled := 0
+	for j := range in.Tasks {
+		if s.Work(in, j) > 0 {
+			scheduled++
+		}
+	}
+	if scheduled == len(in.Tasks) {
+		t.Error("tight budget should leave tasks unscheduled")
+	}
+}
+
+func TestEDF3LevelsFeasibleAndQuantized(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		in := genInstance(t, 20+int64(trial), 40, 3, 0.5, 0.5)
+		s, err := EDF3CompressionLevels(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(in, schedule.ValidateOptions{RequireIntegral: true}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Every processed task sits at one of the level accuracies.
+		for j := range in.Tasks {
+			w := s.Work(in, j)
+			if w <= 1e-9 {
+				continue
+			}
+			a := in.Tasks[j].Acc.Eval(w)
+			ok := false
+			for _, lv := range DefaultLevels {
+				if math.Abs(a-lv) < 1e-6 {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("trial %d: task %d accuracy %g not at a level", trial, j, a)
+			}
+		}
+	}
+}
+
+func TestEDF3LevelsRejectsBadLevels(t *testing.T) {
+	in := genInstance(t, 30, 5, 2, 0.5, 0.5)
+	if _, err := EDF3CompressionLevels(in, []float64{0.5, 0.5}); err == nil {
+		t.Error("non-increasing levels accepted")
+	}
+}
+
+func TestEDF3LevelsBeatsNoCompressionUnderTightBudget(t *testing.T) {
+	// With a strict budget, compression should allow more tasks (higher
+	// total accuracy) than always-full processing — the paper's Fig 5 gap.
+	var acc3, accNo float64
+	for trial := 0; trial < 5; trial++ {
+		in := genInstance(t, 40+int64(trial), 60, 2, 1.0, 0.15)
+		s3, err := EDF3CompressionLevels(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sNo := EDFNoCompression(in)
+		acc3 += s3.TotalAccuracy(in)
+		accNo += sNo.TotalAccuracy(in)
+	}
+	if acc3 <= accNo {
+		t.Errorf("3-levels (%g) should beat no-compression (%g) under a tight budget", acc3, accNo)
+	}
+}
+
+func TestApproxDominatesBaselinesUnderTightBudget(t *testing.T) {
+	// The paper's headline comparison (Fig 5): under a constrained budget
+	// DSCT-EA-APPROX clearly beats both baselines.
+	var accApprox, acc3, accNo float64
+	for trial := 0; trial < 4; trial++ {
+		in := genInstance(t, 50+int64(trial), 50, 2, 1.0, 0.15)
+		sol, err := approx.Solve(in, approx.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s3, err := EDF3CompressionLevels(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accApprox += sol.TotalAccuracy
+		acc3 += s3.TotalAccuracy(in)
+		accNo += EDFNoCompression(in).TotalAccuracy(in)
+	}
+	if accApprox <= acc3 || accApprox <= accNo {
+		t.Errorf("approx (%g) should dominate 3-levels (%g) and no-compression (%g)",
+			accApprox, acc3, accNo)
+	}
+}
+
+func TestApproxCompetitiveUnderGenerousBudget(t *testing.T) {
+	// At generous budgets all methods converge toward Σ a_max (Fig 5 right
+	// edge); the approximation must stay within 1% of the best baseline.
+	var accApprox, accBest float64
+	for trial := 0; trial < 4; trial++ {
+		in := genInstance(t, 50+int64(trial), 50, 2, 1.0, 0.5)
+		sol, err := approx.Solve(in, approx.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s3, err := EDF3CompressionLevels(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accApprox += sol.TotalAccuracy
+		accBest += math.Max(s3.TotalAccuracy(in), EDFNoCompression(in).TotalAccuracy(in))
+	}
+	if accApprox < 0.99*accBest {
+		t.Errorf("approx (%g) more than 1%% below best baseline (%g) at generous budget",
+			accApprox, accBest)
+	}
+}
+
+func TestLeastLoaded(t *testing.T) {
+	if leastLoaded([]float64{3, 1, 2}) != 1 {
+		t.Error("leastLoaded wrong")
+	}
+	if leastLoaded([]float64{1, 1}) != 0 {
+		t.Error("tie should pick lowest index")
+	}
+}
+
+func TestZeroBudgetSchedulesNothing(t *testing.T) {
+	in := genInstance(t, 60, 10, 2, 0.5, 0)
+	in.Budget = 0
+	sNo := EDFNoCompression(in)
+	s3, err := EDF3CompressionLevels(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range in.Tasks {
+		if sNo.Work(in, j) != 0 || s3.Work(in, j) != 0 {
+			t.Fatalf("task %d scheduled with zero budget", j)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package cluster is a discrete-event simulator of the machine cluster: it
+// executes a planned schedule, machine by machine, producing an event
+// trace, per-task completion times and delivered work, integrated energy
+// consumption, and the list of deadline misses. It is the evaluation
+// substrate the paper's experiments implicitly assume (schedules are
+// executed, not just priced), and the module's end-to-end verification
+// layer: a feasible schedule must replay with no misses and with exactly
+// its planned energy.
+//
+// The simulator also supports failure injection — per-machine slowdown
+// windows during which a machine delivers a fraction of its nominal speed
+// while still drawing full power — and an optional deadline-abandon policy
+// that stops a task at its deadline and moves on.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/numeric"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// EventKind distinguishes trace entries.
+type EventKind int
+
+// Event kinds.
+const (
+	// TaskStart marks a task beginning execution on a machine.
+	TaskStart EventKind = iota
+	// TaskFinish marks a task completing (or being abandoned) on a machine.
+	TaskFinish
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case TaskStart:
+		return "start"
+	case TaskFinish:
+		return "finish"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one trace entry.
+type Event struct {
+	Time    float64
+	Machine int
+	Task    int
+	Kind    EventKind
+}
+
+// Slowdown injects a speed degradation: during [From, To) machine Machine
+// runs at Factor times its nominal speed (0 <= Factor < 1 models
+// contention or thermal throttling; 0 is a full stall) while still drawing
+// full power.
+type Slowdown struct {
+	Machine  int
+	From, To float64
+	Factor   float64
+}
+
+// Options tunes a simulation run.
+type Options struct {
+	// Slowdowns lists injected degradations. Overlapping windows on the
+	// same machine are rejected.
+	Slowdowns []Slowdown
+	// AbandonAtDeadline stops a task when the simulated clock passes its
+	// deadline (delivering only the work completed so far) instead of
+	// letting it run long.
+	AbandonAtDeadline bool
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	// Trace is the merged event log in time order.
+	Trace []Event
+	// Completion[j] is the time task j finished on its last machine
+	// (0 for tasks with no scheduled time).
+	Completion []float64
+	// WorkDone[j] is the work actually delivered to task j, in GFLOPs.
+	WorkDone []float64
+	// Missed lists the tasks that finished after their deadline (strictly,
+	// beyond tolerance).
+	Missed []int
+	// Energy is the total energy drawn, in Joules (busy time × power,
+	// including slowed execution).
+	Energy float64
+	// TotalAccuracy is Σ_j a_j(WorkDone_j).
+	TotalAccuracy float64
+}
+
+// Run simulates schedule s for instance in. The schedule's shape must match
+// the instance; it does not otherwise need to be feasible (that is the
+// point: infeasibility shows up as misses).
+func Run(in *task.Instance, s *schedule.Schedule, opts Options) (*Result, error) {
+	n, m := in.N(), in.M()
+	if s.N() != n || (n > 0 && s.M() != m) {
+		return nil, fmt.Errorf("cluster: schedule shape %dx%d does not match instance %dx%d",
+			s.N(), s.M(), n, m)
+	}
+	slow, err := slowdownIndex(m, opts.Slowdowns)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Completion: make([]float64, n),
+		WorkDone:   make([]float64, n),
+	}
+	var energy numeric.KahanSum
+
+	// Per-machine sweep; events are merged afterwards through a heap to
+	// produce a globally time-ordered trace.
+	var trace eventHeap
+	for r := 0; r < m; r++ {
+		clock := 0.0
+		for j := 0; j < n; j++ {
+			planned := s.Times[j][r]
+			if planned <= 0 {
+				continue
+			}
+			heap.Push(&trace, Event{Time: clock, Machine: r, Task: j, Kind: TaskStart})
+			var limit float64 = math.Inf(1)
+			if opts.AbandonAtDeadline {
+				limit = in.Tasks[j].Deadline
+			}
+			end, delivered := executeOn(slow[r], clock, planned, limit)
+			res.WorkDone[j] += delivered * in.Machines[r].Speed
+			energy.Add((end - clock) * in.Machines[r].Power)
+			clock = end
+			heap.Push(&trace, Event{Time: clock, Machine: r, Task: j, Kind: TaskFinish})
+			if clock > res.Completion[j] {
+				res.Completion[j] = clock
+			}
+		}
+	}
+	for trace.Len() > 0 {
+		res.Trace = append(res.Trace, heap.Pop(&trace).(Event))
+	}
+
+	for j := 0; j < n; j++ {
+		if res.Completion[j] > in.Tasks[j].Deadline*(1+1e-9)+1e-9 {
+			res.Missed = append(res.Missed, j)
+		}
+	}
+	res.Energy = energy.Value()
+	var acc numeric.KahanSum
+	for j, tk := range in.Tasks {
+		acc.Add(tk.Acc.Eval(res.WorkDone[j]))
+	}
+	res.TotalAccuracy = acc.Value()
+	return res, nil
+}
+
+// executeOn runs `planned` seconds of nominal work starting at `start` on a
+// machine with the given slowdown windows, stopping at wall-clock `limit`
+// if reached. It returns the wall-clock end time and the nominal seconds of
+// work delivered.
+func executeOn(windows []Slowdown, start, planned, limit float64) (end, delivered float64) {
+	clock := start
+	remaining := planned
+	for remaining > 1e-15 && clock < limit {
+		factor, until := speedAt(windows, clock)
+		horizon := math.Min(until, limit)
+		if factor <= 0 {
+			// Full stall: burn wall-clock until the window ends (or limit).
+			clock = horizon
+			continue
+		}
+		// Wall time to finish the remaining nominal work at this factor.
+		need := remaining / factor
+		if clock+need <= horizon {
+			clock += need
+			delivered += remaining
+			remaining = 0
+			break
+		}
+		span := horizon - clock
+		delivered += span * factor
+		remaining -= span * factor
+		clock = horizon
+	}
+	return clock, delivered
+}
+
+// speedAt returns the speed factor at time t and the time at which the
+// factor next changes.
+func speedAt(windows []Slowdown, t float64) (factor, until float64) {
+	factor, until = 1.0, math.Inf(1)
+	for _, w := range windows {
+		if t >= w.From && t < w.To {
+			return w.Factor, w.To
+		}
+		if w.From > t && w.From < until {
+			until = w.From
+		}
+	}
+	return factor, until
+}
+
+// slowdownIndex groups and validates the injected windows per machine.
+func slowdownIndex(m int, all []Slowdown) ([][]Slowdown, error) {
+	idx := make([][]Slowdown, m)
+	for _, w := range all {
+		if w.Machine < 0 || w.Machine >= m {
+			return nil, fmt.Errorf("cluster: slowdown for unknown machine %d", w.Machine)
+		}
+		if w.To <= w.From || w.From < 0 {
+			return nil, fmt.Errorf("cluster: slowdown window [%g, %g) invalid", w.From, w.To)
+		}
+		if w.Factor < 0 || w.Factor > 1 {
+			return nil, fmt.Errorf("cluster: slowdown factor %g out of [0,1]", w.Factor)
+		}
+		idx[w.Machine] = append(idx[w.Machine], w)
+	}
+	for r := range idx {
+		ws := idx[r]
+		sort.Slice(ws, func(a, b int) bool { return ws[a].From < ws[b].From })
+		for i := 1; i < len(ws); i++ {
+			if ws[i].From < ws[i-1].To {
+				return nil, fmt.Errorf("cluster: overlapping slowdowns on machine %d", r)
+			}
+		}
+	}
+	return idx, nil
+}
+
+// eventHeap orders events by time, then machine, then kind (finish before
+// start at equal times on the same machine would be wrong, so starts of a
+// later task sort after the finish of the earlier one via task index).
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Machine != b.Machine {
+		return a.Machine < b.Machine
+	}
+	if a.Task != b.Task {
+		return a.Task < b.Task
+	}
+	return a.Kind == TaskFinish && b.Kind == TaskStart
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Utilization returns each machine's busy time divided by the given
+// horizon (typically the last deadline); a value above 1 means the machine
+// ran past the horizon. It panics for a non-positive horizon.
+func (r *Result) Utilization(m int, horizon float64) []float64 {
+	if horizon <= 0 {
+		panic("cluster: non-positive horizon")
+	}
+	busy := make([]float64, m)
+	open := make(map[[2]int]float64, m)
+	for _, e := range r.Trace {
+		key := [2]int{e.Machine, e.Task}
+		if e.Kind == TaskStart {
+			open[key] = e.Time
+		} else if s, ok := open[key]; ok {
+			busy[e.Machine] += e.Time - s
+			delete(open, key)
+		}
+	}
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = busy[i] / horizon
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+func genInstance(t *testing.T, seed int64, n, m int) *task.Instance {
+	t.Helper()
+	cfg := task.DefaultConfig(n, 0.5, 0.5)
+	cfg.ThetaMax = 1.0
+	in, err := task.GenerateUniformFleet(rng.New(seed, "cluster"), cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestReplayFidelity: a feasible planned schedule replays with no misses,
+// delivering exactly its planned work, energy and accuracy.
+func TestReplayFidelity(t *testing.T) {
+	in := genInstance(t, 1, 30, 3)
+	sol, err := approx.Solve(in, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, sol.Schedule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Missed) != 0 {
+		t.Fatalf("feasible schedule missed deadlines: %v", res.Missed)
+	}
+	if math.Abs(res.Energy-sol.Schedule.Energy(in)) > 1e-6*math.Max(1, res.Energy) {
+		t.Errorf("energy %g != planned %g", res.Energy, sol.Schedule.Energy(in))
+	}
+	if math.Abs(res.TotalAccuracy-sol.TotalAccuracy) > 1e-6*math.Max(1, sol.TotalAccuracy) {
+		t.Errorf("accuracy %g != planned %g", res.TotalAccuracy, sol.TotalAccuracy)
+	}
+	for j := range in.Tasks {
+		if w := sol.Schedule.Work(in, j); math.Abs(res.WorkDone[j]-w) > 1e-6*math.Max(1, w) {
+			t.Errorf("task %d: delivered %g != planned %g", j, res.WorkDone[j], w)
+		}
+	}
+}
+
+func TestCompletionsAreStaircasePrefixSums(t *testing.T) {
+	in := genInstance(t, 2, 10, 2)
+	s := schedule.New(in.N(), in.M())
+	// Tasks 0..3 on machine 0 back to back (tiny times are always feasible).
+	times := []float64{0.001, 0.002, 0.003, 0.004}
+	for j, tm := range times {
+		s.Times[j][0] = tm
+	}
+	res, err := Run(in, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefix float64
+	for j, tm := range times {
+		prefix += tm
+		if math.Abs(res.Completion[j]-prefix) > 1e-12 {
+			t.Errorf("completion[%d] = %g, want %g", j, res.Completion[j], prefix)
+		}
+	}
+	if res.Completion[5] != 0 {
+		t.Error("unscheduled task should have completion 0")
+	}
+}
+
+func TestTraceOrderingAndPairing(t *testing.T) {
+	in := genInstance(t, 3, 20, 3)
+	sol, err := approx.Solve(in, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, sol.Schedule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Time-ordered.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Time < res.Trace[i-1].Time-1e-12 {
+			t.Fatalf("trace out of order at %d", i)
+		}
+	}
+	// Every start has a matching finish per (machine, task).
+	open := map[[2]int]int{}
+	for _, e := range res.Trace {
+		key := [2]int{e.Machine, e.Task}
+		if e.Kind == TaskStart {
+			open[key]++
+		} else {
+			open[key]--
+		}
+	}
+	for k, v := range open {
+		if v != 0 {
+			t.Errorf("unbalanced events for machine %d task %d", k[0], k[1])
+		}
+	}
+}
+
+func TestSlowdownCausesMissesAndBurnsEnergy(t *testing.T) {
+	in := genInstance(t, 4, 20, 2)
+	sol, err := approx.Solve(in, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(in, sol.Schedule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Missed) != 0 {
+		t.Fatal("baseline run should not miss")
+	}
+	// Halve machine 0's speed over the whole horizon.
+	horizon := in.MaxDeadline() * 10
+	slowed, err := Run(in, sol.Schedule, Options{
+		Slowdowns: []Slowdown{{Machine: 0, From: 0, To: horizon, Factor: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work is still fully delivered (no abandon), but later and at higher
+	// energy (longer busy time at full power).
+	if slowed.Energy <= base.Energy {
+		t.Errorf("slowdown should increase energy: %g <= %g", slowed.Energy, base.Energy)
+	}
+	if len(slowed.Missed) == 0 {
+		t.Log("note: schedule had enough slack to absorb a 2x slowdown")
+	}
+	for j := range in.Tasks {
+		if slowed.Completion[j] < base.Completion[j]-1e-9 {
+			t.Errorf("task %d completed earlier under slowdown", j)
+		}
+	}
+}
+
+func TestAbandonAtDeadlineDeliversPartialWork(t *testing.T) {
+	in := genInstance(t, 5, 5, 1)
+	// Deliberately overrun task 0: plan double its deadline.
+	s := schedule.New(in.N(), in.M())
+	d0 := in.Tasks[0].Deadline
+	s.Times[0][0] = 2 * d0
+
+	long, err := Run(in, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(long.Missed) != 1 || long.Missed[0] != 0 {
+		t.Fatalf("expected task 0 to miss, got %v", long.Missed)
+	}
+	if math.Abs(long.Completion[0]-2*d0) > 1e-9 {
+		t.Errorf("completion %g, want %g", long.Completion[0], 2*d0)
+	}
+
+	cut, err := Run(in, s, Options{AbandonAtDeadline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut.Missed) != 0 {
+		t.Errorf("abandoned task should not be counted as missed: %v", cut.Missed)
+	}
+	wantWork := d0 * in.Machines[0].Speed
+	if math.Abs(cut.WorkDone[0]-wantWork) > 1e-6*wantWork {
+		t.Errorf("delivered %g, want %g", cut.WorkDone[0], wantWork)
+	}
+	if cut.Energy >= long.Energy {
+		t.Errorf("abandoning should save energy: %g >= %g", cut.Energy, long.Energy)
+	}
+}
+
+func TestFullStallWindow(t *testing.T) {
+	in := genInstance(t, 6, 3, 1)
+	s := schedule.New(in.N(), in.M())
+	s.Times[0][0] = 0.010
+	res, err := Run(in, s, Options{
+		Slowdowns: []Slowdown{{Machine: 0, From: 0.005, To: 0.020, Factor: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5ms runs, 15ms stall, then the remaining 5ms: finish at 25ms.
+	if math.Abs(res.Completion[0]-0.025) > 1e-9 {
+		t.Errorf("completion %g, want 0.025", res.Completion[0])
+	}
+	// Full planned work delivered.
+	if math.Abs(res.WorkDone[0]-0.010*in.Machines[0].Speed) > 1e-6 {
+		t.Errorf("work %g", res.WorkDone[0])
+	}
+}
+
+func TestSlowdownValidation(t *testing.T) {
+	in := genInstance(t, 7, 2, 2)
+	s := schedule.New(in.N(), in.M())
+	cases := []Slowdown{
+		{Machine: 5, From: 0, To: 1, Factor: 0.5},  // unknown machine
+		{Machine: 0, From: 1, To: 1, Factor: 0.5},  // empty window
+		{Machine: 0, From: -1, To: 1, Factor: 0.5}, // negative start
+		{Machine: 0, From: 0, To: 1, Factor: 1.5},  // factor > 1
+	}
+	for i, w := range cases {
+		if _, err := Run(in, s, Options{Slowdowns: []Slowdown{w}}); err == nil {
+			t.Errorf("case %d: invalid slowdown accepted", i)
+		}
+	}
+	// Overlap on the same machine.
+	overlap := []Slowdown{
+		{Machine: 0, From: 0, To: 2, Factor: 0.5},
+		{Machine: 0, From: 1, To: 3, Factor: 0.5},
+	}
+	if _, err := Run(in, s, Options{Slowdowns: overlap}); err == nil {
+		t.Error("overlapping slowdowns accepted")
+	}
+}
+
+func TestShapeMismatchRejected(t *testing.T) {
+	in := genInstance(t, 8, 4, 2)
+	if _, err := Run(in, schedule.New(3, 2), Options{}); err == nil {
+		t.Error("wrong task count accepted")
+	}
+	if _, err := Run(in, schedule.New(4, 3), Options{}); err == nil {
+		t.Error("wrong machine count accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	in := genInstance(t, 9, 15, 3)
+	sol, err := approx.Solve(in, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(in, sol.Schedule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(in, sol.Schedule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatal("trace lengths differ across runs")
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace differs at %d", i)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if TaskStart.String() != "start" || TaskFinish.String() != "finish" {
+		t.Error("kind strings wrong")
+	}
+	if EventKind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	in := genInstance(t, 10, 3, 2)
+	s := schedule.New(3, 2)
+	s.Times[0][0] = 0.004
+	s.Times[1][0] = 0.002
+	s.Times[2][1] = 0.003
+	res, err := Run(in, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Utilization(2, 0.01)
+	if math.Abs(u[0]-0.6) > 1e-9 || math.Abs(u[1]-0.3) > 1e-9 {
+		t.Errorf("utilization = %v, want [0.6 0.3]", u)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive horizon should panic")
+		}
+	}()
+	res.Utilization(2, 0)
+}
+
+// TestValidatorSimulatorAgreement: any schedule the static validator
+// accepts must replay with no deadline misses and no budget overdraft —
+// the two feasibility notions must agree.
+func TestValidatorSimulatorAgreement(t *testing.T) {
+	src := rng.New(40, "agreement")
+	in := genInstance(t, 41, 12, 3)
+	accepted, checked := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		s := schedule.New(in.N(), in.M())
+		for j := 0; j < in.N(); j++ {
+			if src.Float64() < 0.5 {
+				r := src.Intn(in.M())
+				s.Times[j][r] = src.Uniform(0, in.Tasks[j].Deadline/4)
+			}
+		}
+		checked++
+		if err := s.Validate(in, schedule.ValidateOptions{}); err != nil {
+			continue
+		}
+		accepted++
+		res, err := Run(in, s, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Missed) != 0 {
+			t.Fatalf("trial %d: validated schedule missed deadlines %v", trial, res.Missed)
+		}
+		if res.Energy > in.Budget*(1+1e-9)+1e-9 {
+			t.Fatalf("trial %d: validated schedule overspent: %g > %g", trial, res.Energy, in.Budget)
+		}
+	}
+	if accepted == 0 {
+		t.Fatalf("no random schedule validated (%d tried) — test is vacuous", checked)
+	}
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/task"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events), loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name     string            `json:"name"`
+	Cat      string            `json:"cat"`
+	Phase    string            `json:"ph"`
+	TsMicros float64           `json:"ts"`
+	DurMicro float64           `json:"dur"`
+	PID      int               `json:"pid"`
+	TID      int               `json:"tid"`
+	Args     map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the simulation trace in the Chrome trace-event
+// JSON array format: one lane (tid) per machine, one complete event per
+// task execution span, with work and deadline attached as args. Times are
+// converted from seconds to microseconds as the format expects.
+func (r *Result) WriteChromeTrace(w io.Writer, in *task.Instance) error {
+	type open struct{ start float64 }
+	pending := map[[2]int]open{}
+	var events []chromeEvent
+	for _, e := range r.Trace {
+		key := [2]int{e.Machine, e.Task}
+		switch e.Kind {
+		case TaskStart:
+			pending[key] = open{start: e.Time}
+		case TaskFinish:
+			o, ok := pending[key]
+			if !ok {
+				return fmt.Errorf("cluster: finish without start for machine %d task %d", e.Machine, e.Task)
+			}
+			delete(pending, key)
+			name := fmt.Sprintf("t%d", e.Task)
+			if tn := in.Tasks[e.Task].Name; tn != "" {
+				name = tn
+			}
+			events = append(events, chromeEvent{
+				Name:     name,
+				Cat:      "task",
+				Phase:    "X",
+				TsMicros: o.start * 1e6,
+				DurMicro: (e.Time - o.start) * 1e6,
+				PID:      1,
+				TID:      e.Machine,
+				Args: map[string]string{
+					"deadline_s":  fmt.Sprintf("%.6g", in.Tasks[e.Task].Deadline),
+					"work_gflops": fmt.Sprintf("%.6g", r.WorkDone[e.Task]),
+				},
+			})
+		}
+	}
+	if len(pending) != 0 {
+		return fmt.Errorf("cluster: %d unterminated spans in trace", len(pending))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

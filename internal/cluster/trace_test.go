@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/approx"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	in := genInstance(t, 20, 12, 2)
+	sol, err := approx.Solve(in, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, sol.Schedule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteChromeTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	// One complete event per (machine, task) execution span.
+	want := len(res.Trace) / 2
+	if len(events) != want {
+		t.Errorf("%d events, want %d", len(events), want)
+	}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			t.Fatalf("unexpected phase %v", e["ph"])
+		}
+		if e["dur"].(float64) < 0 {
+			t.Fatal("negative duration")
+		}
+		args := e["args"].(map[string]interface{})
+		if args["deadline_s"] == "" || args["work_gflops"] == "" {
+			t.Fatal("missing args")
+		}
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	in := genInstance(t, 21, 2, 1)
+	res := &Result{}
+	var buf bytes.Buffer
+	if err := res.WriteChromeTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "null\n" && got != "[]\n" {
+		t.Errorf("empty trace rendered %q", got)
+	}
+}

@@ -1,0 +1,224 @@
+// Package comm extends the DSCT-EA model with communication energy — the
+// per-task dispatch overhead the paper lists as future work (§7): sending
+// a request's input to its machine and returning the result costs a fixed
+// amount c of energy per dispatched task, drawn from the same budget as
+// the computation.
+//
+// Because accuracy is compressible, a plain solve dispatches *every* task
+// (each gets at least a sliver of work), so with n·c overhead reserved the
+// computation budget collapses as c grows. Solve therefore prunes the
+// dispatch set: starting from all tasks, it repeatedly drops tasks whose
+// accuracy gain over a_min is worth less than the accuracy their dispatch
+// energy could buy elsewhere (estimated by the current marginal
+// accuracy-per-Joule λ of the schedule), re-solving the kept set with
+// budget B − |S|·c until the set is stable. The returned plan's total
+// energy (computation + dispatch) never exceeds B.
+package comm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/approx"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// Options tunes Solve.
+type Options struct {
+	// Approx configures the inner DSCT-EA-APPROX solves.
+	Approx approx.Options
+	// MaxRounds bounds the pruning iteration (default 20; the dispatch set
+	// only shrinks, so termination is guaranteed regardless).
+	MaxRounds int
+}
+
+// Solution is a communication-aware plan.
+type Solution struct {
+	// Schedule holds processing times for the ORIGINAL task indices;
+	// undispatched tasks have all-zero rows and score a_min.
+	Schedule *schedule.Schedule
+	// TotalAccuracy is Σ_j a_j(f_j) over all original tasks.
+	TotalAccuracy float64
+	// Scheduled is the number of dispatched tasks (|S|).
+	Scheduled int
+	// CommEnergy is the dispatch energy |S|·c in Joules.
+	CommEnergy float64
+	// TotalEnergy is computation + communication energy.
+	TotalEnergy float64
+	// Rounds is the number of pruning iterations performed.
+	Rounds int
+}
+
+// Solve plans the instance charging perTaskJoules of dispatch energy for
+// every dispatched task. The pruning iteration is run from several initial
+// dispatch sets — all tasks, then geometrically smaller sets of the
+// highest-efficiency tasks (which buy accuracy cheapest) — and the best
+// resulting plan wins; the restarts matter when the overhead is so large
+// that reserving dispatch energy for everyone leaves no compute budget at
+// all.
+func Solve(in *task.Instance, perTaskJoules float64, opts Options) (*Solution, error) {
+	if perTaskJoules < 0 {
+		return nil, fmt.Errorf("comm: negative dispatch energy %g", perTaskJoules)
+	}
+	n := in.N()
+	best, err := solveFrom(in, perTaskJoules, opts, allOf(n))
+	if err != nil {
+		return nil, err
+	}
+	if perTaskJoules > 0 {
+		byEff := tasksByEfficiencyDesc(in)
+		for size := n / 2; size >= 1; size /= 2 {
+			keep := make([]bool, n)
+			for _, j := range byEff[:size] {
+				keep[j] = true
+			}
+			cand, err := solveFrom(in, perTaskJoules, opts, keep)
+			if err != nil {
+				return nil, err
+			}
+			if cand.TotalAccuracy > best.TotalAccuracy {
+				best = cand
+			}
+		}
+	}
+	return best, nil
+}
+
+func allOf(n int) []bool {
+	keep := make([]bool, n)
+	for j := range keep {
+		keep[j] = true
+	}
+	return keep
+}
+
+// tasksByEfficiencyDesc ranks task indices by first-segment slope.
+func tasksByEfficiencyDesc(in *task.Instance) []int {
+	idx := make([]int, in.N())
+	for j := range idx {
+		idx[j] = j
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return in.Tasks[idx[a]].Efficiency() > in.Tasks[idx[b]].Efficiency()
+	})
+	return idx
+}
+
+// solveFrom runs the λ-pruning iteration from an initial dispatch set.
+func solveFrom(in *task.Instance, perTaskJoules float64, opts Options, keep []bool) (*Solution, error) {
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 20
+	}
+	n := in.N()
+	count := func() int {
+		k := 0
+		for _, v := range keep {
+			if v {
+				k++
+			}
+		}
+		return k
+	}
+
+	var last *approx.Solution
+	var lastIdx []int
+	rounds := 0
+	for ; rounds < maxRounds; rounds++ {
+		k := count()
+		if k == 0 {
+			break // nothing worth dispatching
+		}
+		sub, idx := subInstance(in, keep)
+		budget := in.Budget - float64(k)*perTaskJoules
+		if budget < 0 {
+			budget = 0
+		}
+		sub.Budget = budget
+		sol, err := approx.Solve(sub, opts.Approx)
+		if err != nil {
+			return nil, err
+		}
+		last, lastIdx = sol, idx
+
+		if perTaskJoules == 0 {
+			rounds++
+			break
+		}
+		// λ: the best marginal accuracy a recycled Joule could buy at the
+		// current operating point.
+		lambda := marginalPerJoule(sub, sol)
+		dropped := false
+		for sj, j := range idx {
+			work := sol.Schedule.Work(sub, sj)
+			gain := in.Tasks[j].Acc.Eval(work) - in.Tasks[j].Acc.AMin()
+			// Drop when the dispatch overhead is worth more elsewhere, or
+			// when the task received (essentially) no work at all.
+			if gain <= 1e-12 || gain < perTaskJoules*lambda {
+				keep[j] = false
+				dropped = true
+			}
+		}
+		if !dropped {
+			rounds++
+			break
+		}
+	}
+
+	// Map the sub-schedule back onto the original indices. Tasks dropped in
+	// the very last round (possible only when MaxRounds cut the iteration
+	// short) lose their work — conservative: both compute and dispatch
+	// energy only decrease.
+	full := schedule.New(n, in.M())
+	if last != nil {
+		for sj, j := range lastIdx {
+			if keep[j] {
+				copy(full.Times[j], last.Schedule.Times[sj])
+			}
+		}
+	}
+	k := count()
+	compute := full.Energy(in)
+	return &Solution{
+		Schedule:      full,
+		TotalAccuracy: full.TotalAccuracy(in),
+		Scheduled:     k,
+		CommEnergy:    float64(k) * perTaskJoules,
+		TotalEnergy:   compute + float64(k)*perTaskJoules,
+		Rounds:        rounds,
+	}, nil
+}
+
+// subInstance restricts the instance to the kept tasks (order preserved,
+// so deadlines stay sorted). idx maps sub indices to original indices.
+func subInstance(in *task.Instance, keep []bool) (*task.Instance, []int) {
+	var tasks []task.Task
+	var idx []int
+	for j, tk := range in.Tasks {
+		if keep[j] {
+			tasks = append(tasks, tk)
+			idx = append(idx, j)
+		}
+	}
+	return &task.Instance{Tasks: tasks, Machines: in.Machines.Clone(), Budget: in.Budget}, idx
+}
+
+// marginalPerJoule estimates λ: the largest accuracy-per-Joule any task
+// could still extract at its current work level, over the most efficient
+// machine.
+func marginalPerJoule(in *task.Instance, sol *approx.Solution) float64 {
+	bestEff := 0.0
+	for _, m := range in.Machines {
+		if e := m.Efficiency(); e > bestEff {
+			bestEff = e
+		}
+	}
+	bestSlope := 0.0
+	for j, tk := range in.Tasks {
+		if g := tk.Acc.MarginalGain(sol.Schedule.Work(in, j)); g > bestSlope {
+			bestSlope = g
+		}
+	}
+	return bestSlope * bestEff
+}

@@ -1,0 +1,123 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+func genInstance(t *testing.T, seed int64, n int, beta float64) *task.Instance {
+	t.Helper()
+	cfg := task.DefaultConfig(n, 0.5, beta)
+	cfg.ThetaMax = 1.0
+	in, err := task.GenerateUniformFleet(rng.New(seed, "comm"), cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestZeroDispatchMatchesPlainApprox(t *testing.T) {
+	in := genInstance(t, 1, 20, 0.4)
+	sol, err := Solve(in, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := approx.Solve(in, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.TotalAccuracy-plain.TotalAccuracy) > 1e-9 {
+		t.Errorf("c=0: %g != plain %g", sol.TotalAccuracy, plain.TotalAccuracy)
+	}
+	if sol.CommEnergy != 0 {
+		t.Errorf("CommEnergy = %g", sol.CommEnergy)
+	}
+}
+
+func TestTotalEnergyWithinBudget(t *testing.T) {
+	for _, c := range []float64{0, 0.01, 0.1, 1} {
+		for seed := int64(0); seed < 4; seed++ {
+			in := genInstance(t, 10+seed, 30, 0.3)
+			perTask := c * in.Budget / float64(in.N())
+			sol, err := Solve(in, perTask, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.TotalEnergy > in.Budget*(1+1e-9)+1e-9 {
+				t.Errorf("c=%g seed=%d: total energy %g exceeds budget %g",
+					c, seed, sol.TotalEnergy, in.Budget)
+			}
+			if err := sol.Schedule.Validate(in.Clone(), schedule.ValidateOptions{}); err != nil {
+				// The schedule was planned against a reduced budget, so
+				// validate against the full-budget instance.
+				t.Errorf("c=%g seed=%d: %v", c, seed, err)
+			}
+		}
+	}
+}
+
+func TestDispatchEnergyReducesAccuracy(t *testing.T) {
+	in := genInstance(t, 2, 30, 0.2)
+	cheap, err := Solve(in, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := Solve(in, in.Budget/float64(in.N())/2, Options{}) // half the per-task budget to dispatch
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costly.TotalAccuracy > cheap.TotalAccuracy+1e-9 {
+		t.Errorf("dispatch cost increased accuracy: %g > %g", costly.TotalAccuracy, cheap.TotalAccuracy)
+	}
+	if costly.CommEnergy <= 0 && costly.Scheduled > 0 {
+		t.Error("scheduled tasks but no communication energy")
+	}
+}
+
+func TestScheduledCountConsistent(t *testing.T) {
+	in := genInstance(t, 3, 25, 0.3)
+	sol, err := Solve(in, in.Budget/200, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 0
+	for j := 0; j < in.N(); j++ {
+		if sol.Schedule.Work(in, j) > 1e-9 {
+			k++
+		}
+	}
+	if k != sol.Scheduled {
+		t.Errorf("reported %d scheduled, schedule has %d", sol.Scheduled, k)
+	}
+	if sol.Rounds < 1 {
+		t.Errorf("rounds = %d", sol.Rounds)
+	}
+}
+
+func TestRejectsNegativeDispatch(t *testing.T) {
+	in := genInstance(t, 4, 5, 0.5)
+	if _, err := Solve(in, -1, Options{}); err == nil {
+		t.Error("negative dispatch energy accepted")
+	}
+}
+
+func TestHugeDispatchSchedulesNothingSafely(t *testing.T) {
+	in := genInstance(t, 5, 10, 0.5)
+	sol, err := Solve(in, in.Budget, Options{}) // one dispatch eats the whole budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.TotalEnergy > in.Budget*(1+1e-9) {
+		t.Errorf("total energy %g exceeds budget %g", sol.TotalEnergy, in.Budget)
+	}
+	// With such overhead, at most one task can even be dispatched — and
+	// only if computation is free, so effectively none.
+	if sol.Scheduled > 1 {
+		t.Errorf("scheduled %d tasks with per-task cost = whole budget", sol.Scheduled)
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/lp"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// mkTask builds a task with an explicit 2-segment accuracy function.
+func mkTask(t *testing.T, name string, deadline float64, breaks, vals []float64) task.Task {
+	t.Helper()
+	return task.Task{Name: name, Deadline: deadline, Acc: accuracy.MustPWL(breaks, vals)}
+}
+
+func genInstance(t *testing.T, seed int64, n, m int, rho, beta, thetaMax float64) *task.Instance {
+	t.Helper()
+	cfg := task.DefaultConfig(n, rho, beta)
+	cfg.ThetaMax = thetaMax
+	in, err := task.GenerateUniformFleet(rng.New(seed, "core"), cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestGreedySingleMachineHandCase(t *testing.T) {
+	// Machine speed 100 GFLOP/s. Tasks (deadline order):
+	//   t0: d=1, segments 0..50 slope 0.01, 50..100 slope 0.002
+	//   t1: d=2, segments 0..50 slope 0.005, 50..100 slope 0.001
+	// Capacities: C_0 = 100, C_1 = 200.
+	tasks := []task.Task{
+		mkTask(t, "t0", 1, []float64{0, 50, 100}, []float64{0, 0.5, 0.6}),
+		mkTask(t, "t1", 2, []float64{0, 50, 100}, []float64{0, 0.25, 0.3}),
+	}
+	f := GreedyAllocate(tasks, []float64{100, 200}, GreedyOptions{})
+	// Slope order: t0s0 (0.01), t1s0 (0.005), t0s1 (0.002), t1s1 (0.001).
+	// t0s0: min(50, min(100,200)) = 50 -> f0=50, slack (50,150)
+	// t1s0: min(50, 150) = 50 -> f1=50, slack (50,100)
+	// t0s1: min(50, min(50,100)) = 50 -> f0=100, slack (0,50)
+	// t1s1: min(50, 50) = 50 -> f1=100.
+	if math.Abs(f[0]-100) > 1e-9 || math.Abs(f[1]-100) > 1e-9 {
+		t.Errorf("f = %v, want [100 100]", f)
+	}
+
+	// Tighter capacity: C = (60, 120): t0s0 50, t1s0 50 (slack 10,20-> wait)
+	f = GreedyAllocate(tasks, []float64{60, 120}, GreedyOptions{})
+	// t0s0: min(50, 60)=50, slack (10,70); t1s0: min(50,70)=50, slack (10,20);
+	// t0s1: min(50, min(10,20))=10 -> f0=60; slack (0,10); t1s1: min(50,10)=10 -> f1=60.
+	if math.Abs(f[0]-60) > 1e-9 || math.Abs(f[1]-60) > 1e-9 {
+		t.Errorf("f = %v, want [60 60]", f)
+	}
+}
+
+func TestGreedyPrefixFeasibility(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		in := genInstance(t, int64(trial), 30, 1, 0.4, 1.0, 2.0)
+		caps := Caps(in, Profile{in.MaxDeadline()})
+		f := GreedyAllocate(in.Tasks, caps, GreedyOptions{})
+		var prefix float64
+		for j := range f {
+			if f[j] < -1e-12 {
+				t.Fatalf("negative work f[%d] = %g", j, f[j])
+			}
+			if f[j] > in.Tasks[j].FMax()+1e-6 {
+				t.Fatalf("f[%d] = %g exceeds fmax %g", j, f[j], in.Tasks[j].FMax())
+			}
+			prefix += f[j]
+			if prefix > caps[j]*(1+1e-9)+1e-6 {
+				t.Fatalf("prefix %g exceeds cap %g at %d", prefix, caps[j], j)
+			}
+		}
+	}
+}
+
+func TestGreedyScanMatchesSegtree(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		in := genInstance(t, 100+int64(trial), 40, 3, 0.3, 0.6, 3.0)
+		caps := Caps(in, NaiveProfile(in))
+		a := GreedyAllocate(in.Tasks, caps, GreedyOptions{UseScan: true})
+		b := GreedyAllocate(in.Tasks, caps, GreedyOptions{UseScan: false})
+		for j := range a {
+			if math.Abs(a[j]-b[j]) > 1e-6*math.Max(1, a[j]) {
+				t.Fatalf("trial %d: backends disagree at %d: %g vs %g", trial, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestGreedyPanicsOnBadCaps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched caps length should panic")
+		}
+	}()
+	GreedyAllocate([]task.Task{mkTask(t, "x", 1, []float64{0, 1}, []float64{0, 0.5})}, nil, GreedyOptions{})
+}
+
+// TestGreedyMatchesLPSingleMachine: with one machine and ample energy, the
+// greedy must equal the LP optimum of the fractional relaxation.
+func TestGreedyMatchesLPSingleMachine(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		in := genInstance(t, 200+int64(trial), 15, 1, 0.5, 1.0, 4.0)
+		in.Budget = 1e12 // effectively unconstrained energy
+
+		caps := Caps(in, Profile{in.MaxDeadline()})
+		f := GreedyAllocate(in.Tasks, caps, GreedyOptions{})
+		got := TotalAccuracy(in.Tasks, f)
+
+		sol, err := lp.Solve(model.BuildFR(in).Prob, lp.Options{})
+		if err != nil || sol.Status != lp.Optimal {
+			t.Fatalf("trial %d: LP %v %v", trial, sol.Status, err)
+		}
+		if math.Abs(got-sol.Objective) > 1e-5*math.Max(1, sol.Objective) {
+			t.Errorf("trial %d: greedy %g != LP %g", trial, got, sol.Objective)
+		}
+	}
+}
+
+func TestCapsMonotone(t *testing.T) {
+	in := genInstance(t, 9, 20, 4, 0.3, 0.5, 2.0)
+	caps := Caps(in, NaiveProfile(in))
+	for j := 1; j < len(caps); j++ {
+		if caps[j] < caps[j-1]-1e-9 {
+			t.Fatalf("caps not monotone at %d: %g < %g", j, caps[j], caps[j-1])
+		}
+	}
+}
+
+func TestNaiveProfileProperties(t *testing.T) {
+	in := genInstance(t, 10, 20, 5, 0.3, 0.4, 1.0)
+	p := NaiveProfile(in)
+	if err := p.Validate(in, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// Budget either exhausted or every machine at d_max.
+	e := p.Energy(in)
+	dMax := in.MaxDeadline()
+	allFull := true
+	for _, v := range p {
+		if v < dMax-1e-9 {
+			allFull = false
+		}
+	}
+	if !allFull && math.Abs(e-in.Budget) > 1e-6*in.Budget {
+		t.Errorf("naive profile wastes budget: %g of %g", e, in.Budget)
+	}
+	// Machines are filled in efficiency order: a machine with positive
+	// profile < d_max implies every more efficient machine is at d_max.
+	order := in.Machines.ByEfficiencyDesc()
+	for i, r := range order {
+		if p[r] > 0 && p[r] < dMax-1e-9 {
+			for _, earlier := range order[:i] {
+				if p[earlier] < dMax-1e-9 {
+					t.Errorf("machine %d partially filled while more efficient %d not full", r, earlier)
+				}
+			}
+		}
+	}
+}
+
+func TestProfileValidateErrors(t *testing.T) {
+	in := genInstance(t, 11, 5, 2, 0.5, 0.5, 1.0)
+	if err := (Profile{1}).Validate(in, 1e-9); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if err := (Profile{-1, 0}).Validate(in, 1e-9); err == nil {
+		t.Error("negative entry accepted")
+	}
+	huge := Profile{in.MaxDeadline() * 2, 0}
+	if err := huge.Validate(in, 1e-9); err == nil {
+		t.Error("over-d_max entry accepted")
+	}
+	overBudget := Profile{in.MaxDeadline(), in.MaxDeadline()}
+	in.Budget = 0.001
+	if err := overBudget.Validate(in, 1e-9); err == nil {
+		t.Error("over-budget profile accepted")
+	}
+}
+
+// TestSolveFRMatchesLP is the central correctness test: the combinatorial
+// DSCT-EA-FR-OPT must match the LP optimum of the same relaxation.
+func TestSolveFRMatchesLP(t *testing.T) {
+	cases := []struct {
+		seed          int64
+		n, m          int
+		rho, beta, mu float64
+	}{
+		{1, 10, 2, 0.5, 0.5, 1},
+		{2, 12, 3, 0.35, 0.5, 4},
+		{3, 15, 2, 1.0, 0.3, 10},
+		{4, 8, 4, 0.2, 0.7, 2},
+		{5, 20, 3, 0.05, 0.2, 20},
+		{6, 10, 2, 0.01, 0.4, 49}, // strict deadlines, skewed tasks
+		{7, 12, 5, 0.35, 0.1, 5},  // very tight energy
+		{8, 10, 2, 2.0, 1.0, 1},   // loose everything
+	}
+	for _, c := range cases {
+		cfg := task.DefaultConfig(c.n, c.rho, c.beta)
+		cfg.ThetaMax = cfg.ThetaMin * c.mu
+		in, err := task.GenerateUniformFleet(rng.New(c.seed, "frlp"), cfg, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := SolveFR(in, FROptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", c.seed, err)
+		}
+		ref, err := lp.Solve(model.BuildFR(in).Prob, lp.Options{})
+		if err != nil || ref.Status != lp.Optimal {
+			t.Fatalf("seed %d: LP %v %v", c.seed, ref.Status, err)
+		}
+		rel := math.Abs(sol.TotalAccuracy-ref.Objective) / math.Max(1, ref.Objective)
+		if rel > 2e-4 {
+			t.Errorf("seed %d (n=%d m=%d rho=%g beta=%g mu=%g): FR-OPT %.9g vs LP %.9g (rel %g)",
+				c.seed, c.n, c.m, c.rho, c.beta, c.mu, sol.TotalAccuracy, ref.Objective, rel)
+		}
+		// FR-OPT is a feasible solution, hence also a lower bound.
+		if sol.TotalAccuracy > ref.Objective+1e-5*math.Max(1, ref.Objective) {
+			t.Errorf("seed %d: FR-OPT %g exceeds LP optimum %g", c.seed, sol.TotalAccuracy, ref.Objective)
+		}
+	}
+}
+
+func TestSolveFRSolutionConsistency(t *testing.T) {
+	in := genInstance(t, 31, 25, 3, 0.3, 0.4, 5.0)
+	sol, err := SolveFR(in, FROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Profile.Validate(in, 1e-6); err != nil {
+		t.Errorf("profile invalid: %v", err)
+	}
+	if err := sol.Schedule.Validate(in, schedule.ValidateOptions{}); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+	// Work vector matches the schedule and the declared accuracy.
+	for j := range sol.Work {
+		if w := sol.Schedule.Work(in, j); math.Abs(w-sol.Work[j]) > 1e-6*math.Max(1, sol.Work[j]) {
+			t.Errorf("task %d: schedule work %g != f_j %g", j, w, sol.Work[j])
+		}
+	}
+	if acc := sol.Schedule.TotalAccuracy(in); math.Abs(acc-sol.TotalAccuracy) > 1e-6*math.Max(1, acc) {
+		t.Errorf("accuracy mismatch: schedule %g vs declared %g", acc, sol.TotalAccuracy)
+	}
+	// Machine loads never exceed the profile.
+	for r, l := range sol.Schedule.Profile() {
+		if l > sol.Profile[r]*(1+1e-9)+1e-9 {
+			t.Errorf("machine %d load %g exceeds profile %g", r, l, sol.Profile[r])
+		}
+	}
+}
+
+func TestRefineNeverHurts(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		in := genInstance(t, 300+int64(trial), 20, 3, 0.1, 0.3, 10)
+		naive, err := SolveFR(in, FROptions{SkipRefine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, err := SolveFR(in, FROptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refined.TotalAccuracy < naive.TotalAccuracy-1e-9 {
+			t.Errorf("trial %d: refine hurt: %g -> %g", trial, naive.TotalAccuracy, refined.TotalAccuracy)
+		}
+	}
+}
+
+// TestRefineImprovesSkewedScenario reproduces the paper's Fig 6b setting in
+// miniature: early deadline tasks are highly efficient, so the naive
+// profile (all energy on the efficient machine) is suboptimal and the
+// refinement must shift work onto the fast machine.
+func TestRefineImprovesSkewedScenario(t *testing.T) {
+	cfg := task.DefaultConfig(40, 0.01, 0.3)
+	cfg.Scenario = task.EarliestHighEfficient
+	cfg.ThetaMin, cfg.ThetaMax = 0.1, 1.0
+	cfg.EarlyFraction = 0.3
+	cfg.EarlyThetaMin, cfg.EarlyThetaMax = 4.0, 4.9
+	in, err := task.Generate(rng.New(77, "fig6b"), cfg, machine.TwoMachineScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := SolveFR(in, FROptions{SkipRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := SolveFR(in, FROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.TotalAccuracy <= naive.TotalAccuracy+1e-9 {
+		t.Errorf("expected strict improvement in skewed scenario: naive %g, refined %g",
+			naive.TotalAccuracy, refined.TotalAccuracy)
+	}
+	// The refined profile must give the fast machine (index 1) time that
+	// the naive profile did not.
+	naiveP := NaiveProfile(in)
+	if refined.Profile[1] <= naiveP[1]+1e-9 {
+		t.Errorf("refined profile did not shift work to the fast machine: naive %v, refined %v",
+			naiveP, refined.Profile)
+	}
+}
+
+func TestSplitPropertyRandom(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		in := genInstance(t, 400+int64(trial), 30, 4, 0.2, 0.5, 8)
+		p := NaiveProfile(in)
+		_, f := Value(in, p, GreedyOptions{})
+		s, err := Split(in, p, f)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Validate(in, schedule.ValidateOptions{}); err != nil {
+			t.Fatalf("trial %d: split schedule invalid: %v", trial, err)
+		}
+		for r := 0; r < in.M(); r++ {
+			if l := s.MachineLoad(r); l > p[r]*(1+1e-9)+1e-9 {
+				t.Fatalf("trial %d: machine %d load %g exceeds profile %g", trial, r, l, p[r])
+			}
+		}
+	}
+}
+
+func TestSplitRejectsInfeasibleWork(t *testing.T) {
+	in := genInstance(t, 50, 5, 2, 0.5, 0.5, 1.0)
+	p := Profile{0, 0} // no machine time at all
+	f := make([]float64, in.N())
+	f[0] = 10
+	if _, err := Split(in, p, f); err == nil {
+		t.Error("expected error for unplaceable work")
+	}
+	if _, err := Split(in, p, []float64{1}); err == nil {
+		t.Error("expected error for wrong work length")
+	}
+}
+
+func TestSolveFRRejectsInvalidInstance(t *testing.T) {
+	in := genInstance(t, 51, 5, 2, 0.5, 0.5, 1.0)
+	in.Budget = -5
+	if _, err := SolveFR(in, FROptions{}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestZeroBudgetYieldsAMin(t *testing.T) {
+	in := genInstance(t, 52, 8, 2, 0.5, 0, 1.0)
+	in.Budget = 0
+	sol, err := SolveFR(in, FROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, tk := range in.Tasks {
+		want += tk.Acc.AMin()
+	}
+	if math.Abs(sol.TotalAccuracy-want) > 1e-9 {
+		t.Errorf("accuracy %g, want Σ a_min = %g", sol.TotalAccuracy, want)
+	}
+}
+
+func TestGenerousBudgetReachesAMax(t *testing.T) {
+	// With beta = 1 and loose deadlines every task should be fully
+	// processed (the paper's Fig 5 right edge).
+	in := genInstance(t, 53, 10, 2, 1.0, 1.0, 1.0)
+	sol, err := SolveFR(in, FROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, tk := range in.Tasks {
+		want += tk.Acc.AMax()
+	}
+	if math.Abs(sol.TotalAccuracy-want) > 1e-6*want {
+		t.Errorf("accuracy %g, want Σ a_max = %g", sol.TotalAccuracy, want)
+	}
+}

@@ -1,0 +1,175 @@
+// Package core implements the paper's exact algorithm for the fractional
+// relaxation DSCT-EA-FR (Algorithms 1–4):
+//
+//   - the single-machine greedy allocator (Algorithm 1), generalised to run
+//     over aggregate prefix capacities;
+//   - energy profiles and the naive profile of ComputeNaiveSolution
+//     (Algorithm 2);
+//   - profile refinement guided by accuracy-per-Joule exchanges
+//     (Algorithm 3 / RefineProfile);
+//   - the end-to-end solver DSCT-EA-FR-OPT (Algorithm 4), including the
+//     reconstruction of per-machine processing times t_jr from the
+//     aggregate solution.
+//
+// The key structural fact (see DESIGN.md §4): with fractional splitting a
+// work vector f is feasible for an energy profile p iff for every task j
+// (deadline order) Σ_{i<=j} f_i <= C(d_j, p) = Σ_r s_r·min(d_j, p_r). The
+// prefix constraints form a chain, so for fixed p the feasible work vectors
+// form a polymatroid (intersected with the boxes f_j <= f_j^max) and
+// allocating PWL segments in non-increasing slope order is optimal — this
+// is exactly the paper's Algorithm 1. The value V(p) of that inner optimum
+// is concave in p, which RefineProfile exploits.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/numeric"
+	"repro/internal/segtree"
+	"repro/internal/task"
+)
+
+// segRef is one linear piece of one task's accuracy function, flattened for
+// the greedy allocator.
+type segRef struct {
+	task  int     // task index (deadline order)
+	pos   int     // segment position within the task's accuracy function
+	slope float64 // accuracy per GFLOP
+	width float64 // GFLOPs in this segment
+}
+
+// flattenSegments lists every accuracy segment of every task, sorted by
+// non-increasing slope (ties broken by task then position, so a task's
+// earlier segments always precede its later ones — concavity makes their
+// slopes non-increasing).
+func flattenSegments(tasks []task.Task) []segRef {
+	var segs []segRef
+	for j, tk := range tasks {
+		for k, s := range tk.Acc.Segments() {
+			if s.Width() <= 0 {
+				continue
+			}
+			segs = append(segs, segRef{task: j, pos: k, slope: s.Slope, width: s.Width()})
+		}
+	}
+	sort.SliceStable(segs, func(a, b int) bool {
+		sa, sb := segs[a], segs[b]
+		if sa.slope != sb.slope {
+			return sa.slope > sb.slope
+		}
+		if sa.task != sb.task {
+			return sa.task < sb.task
+		}
+		return sa.pos < sb.pos
+	})
+	return segs
+}
+
+// slackTracker maintains the prefix slacks slack_i = C_i − Σ_{k<=i} f_k and
+// answers suffix-minimum queries. Two implementations: a naive O(n) scan
+// (the paper's O(n²) inner loop) and a segment tree (O(log n)).
+type slackTracker interface {
+	// SuffixMin returns min_{i >= j} slack_i.
+	SuffixMin(j int) float64
+	// AddSuffix subtracts delta from every slack_i with i >= j.
+	AddSuffix(j int, delta float64)
+}
+
+type naiveSlack struct{ slack []float64 }
+
+func (s *naiveSlack) SuffixMin(j int) float64 {
+	m := math.Inf(1)
+	for i := j; i < len(s.slack); i++ {
+		if s.slack[i] < m {
+			m = s.slack[i]
+		}
+	}
+	return m
+}
+
+func (s *naiveSlack) AddSuffix(j int, delta float64) {
+	for i := j; i < len(s.slack); i++ {
+		s.slack[i] -= delta
+	}
+}
+
+type treeSlack struct{ t *segtree.Tree }
+
+func (s *treeSlack) SuffixMin(j int) float64        { return s.t.MinRange(j, s.t.Len()-1) }
+func (s *treeSlack) AddSuffix(j int, delta float64) { s.t.AddRange(j, s.t.Len()-1, -delta) }
+
+// GreedyOptions tunes the allocator.
+type GreedyOptions struct {
+	// UseScan selects the paper's O(n²) slack scan instead of the segment
+	// tree (ablation BenchmarkAblationSegtreeVsScan).
+	UseScan bool
+}
+
+// Allocator is a reusable Algorithm 1 runner: it caches the slope-sorted
+// segment list of a task set so that repeated allocations against
+// different capacity vectors (as in RefineProfile's line searches) skip
+// the O(S log S) sort.
+type Allocator struct {
+	n    int
+	segs []segRef
+	opts GreedyOptions
+}
+
+// NewAllocator prepares an allocator for the tasks (deadline order).
+func NewAllocator(tasks []task.Task, opts GreedyOptions) *Allocator {
+	return &Allocator{n: len(tasks), segs: flattenSegments(tasks), opts: opts}
+}
+
+// Allocate is Algorithm 1 over aggregate capacities: given the
+// non-decreasing prefix capacities caps[j] (GFLOPs available to tasks 1..j
+// together), it returns the optimal work vector f.
+//
+// Algorithm: consider segments in non-increasing slope order; grant each
+// segment the largest amount that keeps every prefix constraint i >= j
+// satisfied (min suffix slack). caps must be non-decreasing and
+// non-negative.
+func (a *Allocator) Allocate(caps []float64) []float64 {
+	if len(caps) != a.n {
+		panic("core: caps length must match task count")
+	}
+	slackVals := make([]float64, a.n)
+	for i, c := range caps {
+		if c < 0 {
+			c = 0
+		}
+		slackVals[i] = c
+	}
+	var slack slackTracker
+	if a.opts.UseScan {
+		slack = &naiveSlack{slack: slackVals}
+	} else {
+		slack = &treeSlack{t: segtree.New(slackVals)}
+	}
+
+	f := make([]float64, a.n)
+	for _, seg := range a.segs {
+		room := slack.SuffixMin(seg.task)
+		if room <= numeric.Eps {
+			continue
+		}
+		grant := math.Min(seg.width, room)
+		f[seg.task] += grant
+		slack.AddSuffix(seg.task, grant)
+	}
+	return f
+}
+
+// GreedyAllocate runs Algorithm 1 once (see Allocator.Allocate).
+func GreedyAllocate(tasks []task.Task, caps []float64, opts GreedyOptions) []float64 {
+	return NewAllocator(tasks, opts).Allocate(caps)
+}
+
+// TotalAccuracy evaluates Σ_j a_j(f_j) for a work vector.
+func TotalAccuracy(tasks []task.Task, f []float64) float64 {
+	var acc numeric.KahanSum
+	for j, tk := range tasks {
+		acc.Add(tk.Acc.Eval(f[j]))
+	}
+	return acc.Value()
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+	"repro/internal/task"
+)
+
+// Profile is an energy profile: p[r] is the maximum busy time (seconds) of
+// machine r. A profile is admissible for budget B when Σ_r p_r·P_r <= B
+// (paper §3.2, "The Energy Profiles").
+type Profile []float64
+
+// Clone returns a copy of the profile.
+func (p Profile) Clone() Profile { return append(Profile(nil), p...) }
+
+// Energy returns Σ_r p_r·P_r, the energy consumed if every machine runs for
+// its full profile.
+func (p Profile) Energy(in *task.Instance) float64 {
+	var e numeric.KahanSum
+	for r, mc := range in.Machines {
+		e.Add(p[r] * mc.Power)
+	}
+	return e.Value()
+}
+
+// Validate checks non-negativity, admissibility for the instance budget and
+// the d_max cap.
+func (p Profile) Validate(in *task.Instance, tol float64) error {
+	if len(p) != in.M() {
+		return fmt.Errorf("core: profile has %d entries for %d machines", len(p), in.M())
+	}
+	dMax := in.MaxDeadline()
+	for r, v := range p {
+		if !numeric.IsFinite(v) || v < -tol {
+			return fmt.Errorf("core: profile[%d] = %g invalid", r, v)
+		}
+		if v > dMax*(1+tol)+tol {
+			return fmt.Errorf("core: profile[%d] = %g exceeds d_max %g", r, v, dMax)
+		}
+	}
+	if e := p.Energy(in); !numeric.LessEq(e, in.Budget, tol) {
+		return fmt.Errorf("core: profile energy %g exceeds budget %g", e, in.Budget)
+	}
+	return nil
+}
+
+// Caps returns the aggregate prefix capacities C(d_j, p) = Σ_r s_r·min(d_j, p_r)
+// for every task j, in GFLOPs. The result is non-decreasing because
+// deadlines are sorted.
+func Caps(in *task.Instance, p Profile) []float64 {
+	caps := make([]float64, in.N())
+	for j, tk := range in.Tasks {
+		var c numeric.KahanSum
+		for r, mc := range in.Machines {
+			c.Add(mc.Speed * math.Min(tk.Deadline, p[r]))
+		}
+		caps[j] = c.Value()
+	}
+	return caps
+}
+
+// NaiveProfile is the first half of ComputeNaiveSolution (Algorithm 2):
+// machines are taken in non-increasing energy-efficiency order and each is
+// given the longest profile the remaining budget allows, capped at d_max.
+func NaiveProfile(in *task.Instance) Profile {
+	p := make(Profile, in.M())
+	dMax := in.MaxDeadline()
+	remaining := in.Budget
+	for _, r := range in.Machines.ByEfficiencyDesc() {
+		if remaining <= 0 {
+			break
+		}
+		power := in.Machines[r].Power
+		t := math.Min(remaining/power, dMax)
+		p[r] = t
+		remaining -= t * power
+	}
+	return p
+}
+
+// Value computes V(p): the optimal total accuracy achievable with profile p
+// (inner greedy, Algorithm 1 over the aggregate capacities), together with
+// the optimal work vector.
+func Value(in *task.Instance, p Profile, opts GreedyOptions) (float64, []float64) {
+	return valueWith(NewAllocator(in.Tasks, opts), in, p)
+}
+
+// valueWith is Value against a prepared allocator (hot path of the
+// refinement line searches).
+func valueWith(alloc *Allocator, in *task.Instance, p Profile) (float64, []float64) {
+	f := alloc.Allocate(Caps(in, p))
+	return TotalAccuracy(in.Tasks, f), f
+}

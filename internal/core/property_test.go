@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestValueMonotoneInProfile: enlarging any profile entry can never reduce
+// V(p) — the structural fact behind spending the whole budget.
+func TestValueMonotoneInProfile(t *testing.T) {
+	in := genInstance(t, 700, 20, 3, 0.2, 1.0, 10)
+	in.Budget = math.Inf(1) // profiles checked directly, not via budget
+	dMax := in.MaxDeadline()
+	src := rng.New(7, "monotone")
+	f := func(seedByte uint8) bool {
+		_ = seedByte
+		p := Profile{src.Uniform(0, dMax), src.Uniform(0, dMax), src.Uniform(0, dMax)}
+		v0, _ := Value(in, p, GreedyOptions{})
+		r := src.Intn(3)
+		q := p.Clone()
+		q[r] = math.Min(dMax, q[r]+src.Uniform(0, dMax/2))
+		v1, _ := Value(in, q, GreedyOptions{})
+		return v1 >= v0-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValueConcaveAlongSegments: V is concave along straight lines in
+// profile space — the property RefineProfile's ternary line search relies
+// on. Midpoint concavity is checked on random segments.
+func TestValueConcaveAlongSegments(t *testing.T) {
+	in := genInstance(t, 701, 15, 2, 0.1, 1.0, 20)
+	in.Budget = math.Inf(1)
+	dMax := in.MaxDeadline()
+	src := rng.New(9, "concave")
+	f := func(seedByte uint8) bool {
+		_ = seedByte
+		p := Profile{src.Uniform(0, dMax), src.Uniform(0, dMax)}
+		q := Profile{src.Uniform(0, dMax), src.Uniform(0, dMax)}
+		mid := Profile{(p[0] + q[0]) / 2, (p[1] + q[1]) / 2}
+		vp, _ := Value(in, p, GreedyOptions{})
+		vq, _ := Value(in, q, GreedyOptions{})
+		vm, _ := Value(in, mid, GreedyOptions{})
+		return vm >= (vp+vq)/2-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyIdempotentOnAllocation: granting the greedy its own result's
+// prefix sums as capacities reproduces the same allocation (a fixed-point
+// sanity check on Algorithm 1).
+func TestGreedyIdempotentOnAllocation(t *testing.T) {
+	in := genInstance(t, 702, 25, 1, 0.3, 1.0, 5)
+	caps := Caps(in, Profile{in.MaxDeadline()})
+	f := GreedyAllocate(in.Tasks, caps, GreedyOptions{})
+	// Tight capacities: exactly the prefix sums of f.
+	tight := make([]float64, len(f))
+	var prefix float64
+	for j, v := range f {
+		prefix += v
+		tight[j] = prefix
+	}
+	g := GreedyAllocate(in.Tasks, tight, GreedyOptions{})
+	var sumF, sumG float64
+	for j := range f {
+		sumF += f[j]
+		sumG += g[j]
+	}
+	// Same total work is extracted and the same accuracy achieved.
+	if math.Abs(sumF-sumG) > 1e-6*math.Max(1, sumF) {
+		t.Errorf("total work changed under tight caps: %g vs %g", sumF, sumG)
+	}
+	af := TotalAccuracy(in.Tasks, f)
+	ag := TotalAccuracy(in.Tasks, g)
+	if ag < af-1e-9 {
+		t.Errorf("accuracy dropped under tight caps: %g vs %g", ag, af)
+	}
+}
+
+// TestSplitRandomProfilesQuick: any (profile, greedy work) pair must split
+// into a valid per-machine schedule.
+func TestSplitRandomProfilesQuick(t *testing.T) {
+	in := genInstance(t, 703, 20, 4, 0.15, 1.0, 8)
+	in.Budget = math.Inf(1)
+	dMax := in.MaxDeadline()
+	src := rng.New(11, "split")
+	f := func(seedByte uint8) bool {
+		_ = seedByte
+		p := make(Profile, in.M())
+		for r := range p {
+			p[r] = src.Uniform(0, dMax)
+		}
+		_, work := Value(in, p, GreedyOptions{})
+		s, err := Split(in, p, work)
+		if err != nil {
+			return false
+		}
+		for r := range p {
+			if s.MachineLoad(r) > p[r]*(1+1e-9)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/numeric"
+	"repro/internal/schedule"
+	"repro/internal/segtree"
+	"repro/internal/task"
+)
+
+// RefinePaperPairs is a literal transcription of the paper's Algorithm 3
+// (RefineProfile): it operates on the concrete processing-time matrix t_jr
+// of a fractional solution rather than on the profile abstraction.
+//
+// A pair list of every (accuracy segment, machine) combination is sorted
+// by non-increasing accuracy-per-Joule ψ = slope·E_r. Walking the list
+// from the front, each pair (seg, r) computes how much energy E_add it
+// could absorb — bounded by the segment's unfilled work and by the
+// deadline headroom of seg's task on machine r (generalised from the
+// paper's line 8 to respect the deadlines of the *following* tasks on the
+// machine, as Algorithm 1 does) — and funds it first from unused budget,
+// then by draining pairs (seg', r') from the back of the list whenever
+// ψ' < ψ, exactly as lines 9–17 prescribe.
+//
+// Segment ordering within a task is respected: a segment may only gain
+// work when its predecessor is full, and only lose work when its successor
+// is empty, so every intermediate state remains a valid point of the
+// concave accuracy functions.
+//
+// The returned schedule is feasible whenever the input schedule is. The
+// single sweep of the pair list matches the paper; it is weaker than the
+// fixed-point exchange refinement (RefineProfile), which the ablation
+// BenchmarkAblationRefineVariants quantifies.
+func RefinePaperPairs(in *task.Instance, s *schedule.Schedule) *schedule.Schedule {
+	n, m := in.N(), in.M()
+	s = s.Clone()
+
+	// Per-task per-segment usage from the current work vector.
+	segs := make([][]accSeg, n)
+	for j, tk := range in.Tasks {
+		f := s.Work(in, j)
+		for _, sg := range tk.Acc.Segments() {
+			used := numeric.Clamp(f-sg.Start, 0, sg.Width())
+			segs[j] = append(segs[j], accSeg{slope: sg.Slope, width: sg.Width(), used: used})
+		}
+	}
+
+	// Deadline slack trees per machine: slack_i = d_i − Σ_{k<=i} t_kr.
+	slack := make([]*segtree.Tree, m)
+	for r := 0; r < m; r++ {
+		vals := make([]float64, n)
+		var load float64
+		for j := 0; j < n; j++ {
+			load += s.Times[j][r]
+			vals[j] = in.Tasks[j].Deadline - load
+		}
+		slack[r] = segtree.New(vals)
+	}
+
+	// Budget slack: energy not yet spent.
+	freeEnergy := in.Budget - s.Energy(in)
+	if freeEnergy < 0 {
+		freeEnergy = 0
+	}
+
+	type pair struct {
+		j, k, r int
+		psi     float64
+	}
+	var pairs []pair
+	for j := range segs {
+		for k := range segs[j] {
+			for r := 0; r < m; r++ {
+				pairs = append(pairs, pair{j: j, k: k, r: r,
+					psi: segs[j][k].slope * in.Machines[r].Efficiency()})
+			}
+		}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].psi > pairs[b].psi })
+
+	apply := func(j, k, r int, energy float64) {
+		eff := in.Machines[r].Efficiency()
+		dt := energy * eff / in.Machines[r].Speed // seconds gained/lost
+		s.Times[j][r] += dt
+		if s.Times[j][r] < 0 {
+			s.Times[j][r] = 0
+		}
+		segs[j][k].used += energy * eff
+		segs[j][k].used = numeric.Clamp(segs[j][k].used, 0, segs[j][k].width)
+		slack[r].AddRange(j, n-1, -dt)
+	}
+
+	const eps = 1e-12
+	for front, p := range pairs {
+		back := len(pairs) - 1 // the paper rescans the reversed list per pair
+		sg := &segs[p.j][p.k]
+		// Gain gate: predecessor segment must be full.
+		if p.k > 0 && segs[p.j][p.k-1].used < segs[p.j][p.k-1].width-1e-9 {
+			continue
+		}
+		machineE := in.Machines[p.r].Efficiency()
+		// E_add: unfilled segment work and deadline headroom, in Joules.
+		headroom := slack[p.r].MinRange(p.j, n-1)
+		if headroom <= eps {
+			continue
+		}
+		eAdd := math.Min((sg.width-sg.used)/machineE,
+			headroom*in.Machines[p.r].Power)
+		if eAdd <= eps {
+			continue
+		}
+
+		// Free budget first.
+		if freeEnergy > eps {
+			take := math.Min(eAdd, freeEnergy)
+			apply(p.j, p.k, p.r, take)
+			freeEnergy -= take
+			eAdd -= take
+		}
+
+		// Then drain low-ψ pairs from the back of the list.
+		for back > front && eAdd > eps {
+			q := pairs[back]
+			if q.psi >= p.psi-eps {
+				break // nothing cheaper remains
+			}
+			sq := &segs[q.j][q.k]
+			// Loss gates: successor segment must be empty, and the donor
+			// must actually hold time on that machine.
+			nextUsed := 0.0
+			if q.k+1 < len(segs[q.j]) {
+				nextUsed = segs[q.j][q.k+1].used
+			}
+			t := s.Times[q.j][q.r]
+			if nextUsed > 1e-9 || sq.used <= eps || t <= eps || (q.j == p.j) {
+				back--
+				continue
+			}
+			effQ := in.Machines[q.r].Efficiency()
+			eSub := math.Min(sq.used/effQ, t*in.Machines[q.r].Power)
+			if eSub <= eps {
+				back--
+				continue
+			}
+			eTrans := math.Min(eAdd, eSub)
+			apply(q.j, q.k, q.r, -eTrans) // drain donor (frees deadline slack)
+			apply(p.j, p.k, p.r, eTrans)  // feed receiver
+			eAdd -= eTrans
+			// Receiver headroom shrank; re-clamp the remaining demand.
+			if h := slack[p.r].MinRange(p.j, n-1); h < 0 {
+				// Numerical guard: undo the overdraft.
+				over := -h * in.Machines[p.r].Power
+				apply(p.j, p.k, p.r, -over)
+				apply(q.j, q.k, q.r, over)
+				eAdd = 0
+			}
+			if sq.used <= eps || s.Times[q.j][q.r] <= eps {
+				back--
+			}
+		}
+	}
+	return s
+}
+
+// accSeg tracks one segment's fill state during the paper-literal refine.
+type accSeg struct {
+	slope float64
+	width float64
+	used  float64
+}

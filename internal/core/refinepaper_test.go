@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+func TestPaperRefineFeasibleAndImproving(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		in := genInstance(t, 500+int64(trial), 25, 3, 0.1, 0.3, 10)
+		naive, err := SolveFR(in, FROptions{SkipRefine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		paper, err := SolveFR(in, FROptions{PaperRefine: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := paper.Schedule.Validate(in, schedule.ValidateOptions{}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if paper.TotalAccuracy < naive.TotalAccuracy-1e-6 {
+			t.Errorf("trial %d: paper refine hurt: %g -> %g",
+				trial, naive.TotalAccuracy, paper.TotalAccuracy)
+		}
+	}
+}
+
+func TestPaperRefineBoundedByExchangeRefine(t *testing.T) {
+	// The single-sweep pair refinement must not beat the fixed-point
+	// exchange refinement (which matches the LP optimum) by more than
+	// numerical noise, and should close most of the gap on the skewed
+	// scenario.
+	cfg := task.DefaultConfig(40, 0.01, 0.3)
+	cfg.Scenario = task.EarliestHighEfficient
+	cfg.ThetaMin, cfg.ThetaMax = 0.1, 1.0
+	cfg.EarlyFraction = 0.3
+	cfg.EarlyThetaMin, cfg.EarlyThetaMax = 4.0, 4.9
+	in, err := task.Generate(rng.New(91, "paper-refine"), cfg, machine.TwoMachineScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := SolveFR(in, FROptions{SkipRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := SolveFR(in, FROptions{PaperRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exchange, err := SolveFR(in, FROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.TotalAccuracy > exchange.TotalAccuracy+1e-6 {
+		t.Errorf("paper refine %g exceeds exchange optimum %g",
+			paper.TotalAccuracy, exchange.TotalAccuracy)
+	}
+	if paper.TotalAccuracy <= naive.TotalAccuracy+1e-9 {
+		t.Errorf("paper refine made no progress on the skewed scenario: naive %g, paper %g (exchange %g)",
+			naive.TotalAccuracy, paper.TotalAccuracy, exchange.TotalAccuracy)
+	}
+	t.Logf("naive %.6f, paper %.6f, exchange %.6f",
+		naive.TotalAccuracy, paper.TotalAccuracy, exchange.TotalAccuracy)
+}
+
+func TestPaperRefineEnergyWithinBudget(t *testing.T) {
+	in := genInstance(t, 600, 30, 4, 0.2, 0.25, 5)
+	paper, err := SolveFR(in, FROptions{PaperRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := paper.Schedule.Energy(in); e > in.Budget*(1+1e-9)+1e-9 {
+		t.Errorf("energy %g exceeds budget %g", e, in.Budget)
+	}
+	// Work vector consistent with the schedule.
+	for j := range paper.Work {
+		if w := paper.Schedule.Work(in, j); math.Abs(w-paper.Work[j]) > 1e-6*math.Max(1, w) {
+			t.Errorf("task %d work mismatch: %g vs %g", j, w, paper.Work[j])
+		}
+	}
+}
+
+func TestPaperRefineSpendsFreeBudget(t *testing.T) {
+	// When the naive inner solution leaves budget unspent (profile time
+	// it cannot use), the pair sweep should still be able to draw on the
+	// remaining budget for better segments.
+	in := genInstance(t, 601, 15, 2, 0.05, 0.6, 20)
+	naive, err := SolveFR(in, FROptions{SkipRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := SolveFR(in, FROptions{PaperRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.TotalAccuracy < naive.TotalAccuracy-1e-9 {
+		t.Errorf("free-budget sweep hurt: %g -> %g", naive.TotalAccuracy, paper.TotalAccuracy)
+	}
+}

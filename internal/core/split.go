@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// Split reconstructs per-machine processing times t_jr from an aggregate
+// solution (profile p, work vector f): tasks are taken in deadline order
+// and each task's work is water-filled across machines subject to the
+// availability caps min(d_j, p_r) minus the load already placed there.
+//
+// This always succeeds when Σ_{i<=j} f_i <= C(d_j, p) for all j (the
+// aggregate feasibility condition): allocating anywhere reduces the
+// aggregate Σ_r s_r·load_r by exactly the work placed, and the per-machine
+// caps min(d_j, p_r) are non-decreasing in j, so no choice at step j can
+// starve a later task. A tiny residual (relative 1e-9) is forgiven to
+// absorb floating-point slop; anything larger is an error.
+func Split(in *task.Instance, p Profile, f []float64) (*schedule.Schedule, error) {
+	n, m := in.N(), in.M()
+	if len(f) != n {
+		return nil, fmt.Errorf("core: work vector has %d entries for %d tasks", len(f), n)
+	}
+	s := schedule.New(n, m)
+	load := make([]float64, m)
+	for j, tk := range in.Tasks {
+		need := f[j]
+		if need <= 0 {
+			continue
+		}
+		for r := 0; r < m && need > 0; r++ {
+			avail := math.Min(tk.Deadline, p[r]) - load[r]
+			if avail <= 0 {
+				continue
+			}
+			speed := in.Machines[r].Speed
+			t := math.Min(need/speed, avail)
+			if t <= 0 {
+				continue
+			}
+			s.Times[j][r] = t
+			load[r] += t
+			need -= t * speed
+		}
+		if need > 1e-9*math.Max(1, f[j]) {
+			return nil, fmt.Errorf("core: could not place %g GFLOPs of task %d (aggregate feasibility violated)", need, j)
+		}
+	}
+	return s, nil
+}

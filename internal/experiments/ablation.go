@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+func init() {
+	register(Spec{
+		ID:    "abl-refine",
+		Title: "Ablation: profile refinement variants",
+		Description: "Compares the DSCT-EA-FR-OPT refinement stages on the paper's skewed Fig 6b " +
+			"scenario: naive profile only (Algorithm 2), the paper-literal Algorithm 3 pair " +
+			"sweep, pairwise exchanges without the polish pass, and the full fixed-point " +
+			"refinement. Reports accuracy and runtime per variant.",
+		Run: runAblRefine,
+	})
+}
+
+func runAblRefine(cfg Config) (*Table, error) {
+	n := cfg.scaled(100, 20)
+	reps := cfg.replicates(10)
+	variants := []struct {
+		name string
+		opts core.FROptions
+	}{
+		{"naive (Alg 2 only)", core.FROptions{SkipRefine: true}},
+		{"paper pair sweep (Alg 3 literal)", core.FROptions{PaperRefine: true}},
+		{"exchange, no polish", core.FROptions{Refine: core.RefineOptions{DisablePolish: true}}},
+		{"exchange + polish (default)", core.FROptions{}},
+	}
+	t := &Table{
+		ID: "abl-refine",
+		Title: fmt.Sprintf("Refinement variants — Fig 6b scenario, n=%d, ρ=0.01, β=0.3, %d reps",
+			n, reps),
+		Columns: []string{"variant", "avg_accuracy", "gap_to_best", "mean_runtime_ms"},
+	}
+	accs := make([][]float64, len(variants))
+	times := make([][]float64, len(variants))
+	for v := range variants {
+		accs[v] = make([]float64, reps)
+		times[v] = make([]float64, reps)
+	}
+	var firstErr error
+	parMap(cfg.Workers, reps, func(i int) {
+		gcfg := task.DefaultConfig(n, 0.01, 0.3)
+		gcfg.Scenario = task.EarliestHighEfficient
+		gcfg.ThetaMin, gcfg.ThetaMax = 0.1, 1.0
+		gcfg.EarlyFraction = 0.30
+		gcfg.EarlyThetaMin, gcfg.EarlyThetaMax = 4.0, 4.9
+		in, err := task.Generate(rng.NewReplicate(cfg.Seed, "abl-refine", i), gcfg, machine.TwoMachineScenario())
+		if err != nil {
+			firstErr = err
+			return
+		}
+		for v, variant := range variants {
+			start := time.Now()
+			sol, err := core.SolveFR(in, variant.opts)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			times[v][i] = float64(time.Since(start).Microseconds()) / 1000
+			accs[v][i] = sol.TotalAccuracy / float64(n)
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	best := 0.0
+	for v := range variants {
+		if m := stats.Mean(accs[v]); m > best {
+			best = m
+		}
+	}
+	for v, variant := range variants {
+		m := stats.Mean(accs[v])
+		t.AddRow(variant.name, f4(m), f4(best-m), f3(stats.Mean(times[v])))
+	}
+	t.Note("the naive profile is measurably suboptimal on this scenario (Fig 6b); both Algorithm 3 readings recover most of the gap")
+	return t, nil
+}

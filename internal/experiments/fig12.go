@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accuracy"
+	"repro/internal/machine"
+)
+
+func init() {
+	register(Spec{
+		ID:          "fig1",
+		Title:       "Energy efficiency vs speed for server GPUs",
+		Description: "Reproduces Figure 1: the GPU catalog (after Desislavov et al.) with the linear efficiency-vs-speed trend the paper reads off it.",
+		Run:         runFig1,
+	})
+	register(Spec{
+		ID:          "fig2",
+		Title:       "Once-For-All accuracy vs floating operations",
+		Description: "Reproduces Figure 2: the exponential accuracy curve for a θ=0.1 task with its 5-segment piecewise-linear fit.",
+		Run:         runFig2,
+	})
+}
+
+func runFig1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "fig1",
+		Title:   "Energy efficiency vs speed across NVIDIA server GPUs",
+		Columns: []string{"gpu", "year", "speed_tflops", "power_w", "efficiency_gflops_per_w"},
+	}
+	for _, g := range machine.Catalog {
+		t.AddRow(g.Name, fmt.Sprintf("%d", g.Year), f3(g.Speed/1000), f3(g.Power), f3(g.Efficiency()))
+	}
+	alpha, beta, r2 := machine.EfficiencyTrend(machine.Catalog)
+	t.Note("linear trend: efficiency ≈ %.4g·speed %+.4g (R² = %.3f) — efficiency improves with hardware speed, as the paper observes", alpha, beta, r2)
+	return t, nil
+}
+
+func runFig2(cfg Config) (*Table, error) {
+	model := accuracy.NewExponential(0.1)
+	pwl, err := accuracy.FitChord(model, accuracy.DefaultSegments)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig2",
+		Title:   "Accuracy vs GFLOPs: exponential model and 5-segment PWL fit (θ = 0.1)",
+		Columns: []string{"gflops", "accuracy_exponential", "accuracy_pwl"},
+	}
+	const points = 40
+	fmax := model.FMax()
+	for i := 0; i <= points; i++ {
+		f := fmax * float64(i) / points
+		t.AddRow(f3(f), f4(model.Eval(f)), f4(pwl.Eval(f)))
+	}
+	t.Note("breakpoints at %v GFLOPs; max fit error %.4g", pwl.Breakpoints(), accuracy.MaxFitError(pwl, model, 400))
+	t.Note("a_min = %.3g (random guess over 1000 classes), a_max = %.3g (ofa-resnet on ImageNet-1k)", model.AMin, model.AMax)
+	return t, nil
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/approx"
+	"repro/internal/baselines"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+func init() {
+	register(Spec{
+		ID:    "fig5",
+		Title: "Average accuracy vs energy budget ratio",
+		Description: "Reproduces Figure 5: DSCT-EA-APPROX vs DSCT-EA-UB vs EDF-NoCompression vs " +
+			"EDF-3CompressionLevels as β sweeps 0.1..1.0 (n=100, m=2, ρ=1.0, uniform θ=0.1).",
+		Run: runFig5,
+	})
+	register(Spec{
+		ID:    "gain",
+		Title: "Energy gain at 2% accuracy loss",
+		Description: "Reproduces the paper's Energy Gain claim: the share of the energy budget " +
+			"DSCT-EA-APPROX saves while staying within 2 accuracy points of the no-compression accuracy.",
+		Run: runGain,
+	})
+}
+
+// fig5Series holds the per-β mean average-accuracies of all four methods,
+// plus the mean energies actually consumed (Joules) by the approximation
+// and the no-compression baseline (used by the gain experiment).
+type fig5Series struct {
+	betas   []float64
+	ub      []float64
+	approx  []float64
+	noComp  []float64
+	levels  []float64
+	approxE []float64
+	noCompE []float64
+	// perRep[i][b] holds replicate i's raw points for per-replicate
+	// statistics (the paper's "up to" claims are best-case over instances).
+	perRep [][]fig5Point
+}
+
+// fig5Point is one (replicate, β) measurement.
+type fig5Point struct{ ub, ap, nc, lv, apE, ncE float64 }
+
+// fig5Cache memoises the sweep per Config so `gain` (which derives from the
+// same series) does not recompute it during a `-run all` pass.
+var fig5Cache struct {
+	sync.Mutex
+	key Config
+	val *fig5Series
+}
+
+func computeFig5(cfg Config) (*fig5Series, error) {
+	fig5Cache.Lock()
+	if fig5Cache.val != nil && fig5Cache.key == cfg {
+		v := fig5Cache.val
+		fig5Cache.Unlock()
+		return v, nil
+	}
+	fig5Cache.Unlock()
+	s, err := computeFig5Uncached(cfg)
+	if err == nil {
+		fig5Cache.Lock()
+		fig5Cache.key, fig5Cache.val = cfg, s
+		fig5Cache.Unlock()
+	}
+	return s, err
+}
+
+func computeFig5Uncached(cfg Config) (*fig5Series, error) {
+	n := cfg.scaled(100, 10)
+	const m = 2
+	reps := cfg.replicates(10)
+	betas := make([]float64, 10)
+	for b := range betas {
+		betas[b] = float64(b+1) / 10
+	}
+	// Each replicate uses ONE instance across the whole β sweep (only the
+	// budget varies), so the per-replicate curves — and their means — are
+	// monotone in β as in the paper's figure.
+	results := make([][]fig5Point, reps)
+	var firstErr error
+	parMap(cfg.Workers, reps, func(i int) {
+		base, err := task.GenerateUniformFleet(rng.NewReplicate(cfg.Seed, "fig5", i), task.PaperFig5(n, 1.0), m)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		fullBudget := base.Budget // β = 1 by construction
+		results[i] = make([]fig5Point, len(betas))
+		for b, beta := range betas {
+			in := base.Clone()
+			in.Budget = beta * fullBudget
+			sol, err := approx.Solve(in, approx.Options{})
+			if err != nil {
+				firstErr = err
+				return
+			}
+			fn := float64(n)
+			s3, err := baselines.EDF3CompressionLevels(in, nil)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			nc := baselines.EDFNoCompression(in)
+			results[i][b] = fig5Point{
+				ub:  sol.FR.TotalAccuracy / fn,
+				ap:  sol.TotalAccuracy / fn,
+				nc:  nc.AverageAccuracy(in),
+				lv:  s3.AverageAccuracy(in),
+				apE: sol.Schedule.Energy(in),
+				ncE: nc.Energy(in),
+			}
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	s := &fig5Series{betas: betas, perRep: results}
+	for b := range betas {
+		ub := make([]float64, reps)
+		ap := make([]float64, reps)
+		nc := make([]float64, reps)
+		lv := make([]float64, reps)
+		apE := make([]float64, reps)
+		ncE := make([]float64, reps)
+		for i := 0; i < reps; i++ {
+			p := results[i][b]
+			ub[i], ap[i], nc[i], lv[i], apE[i], ncE[i] = p.ub, p.ap, p.nc, p.lv, p.apE, p.ncE
+		}
+		s.ub = append(s.ub, stats.Mean(ub))
+		s.approx = append(s.approx, stats.Mean(ap))
+		s.noComp = append(s.noComp, stats.Mean(nc))
+		s.levels = append(s.levels, stats.Mean(lv))
+		s.approxE = append(s.approxE, stats.Mean(apE))
+		s.noCompE = append(s.noCompE, stats.Mean(ncE))
+	}
+	return s, nil
+}
+
+func runFig5(cfg Config) (*Table, error) {
+	s, err := computeFig5(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.scaled(100, 10)
+	t := &Table{
+		ID:      "fig5",
+		Title:   fmt.Sprintf("Average accuracy vs β — n=%d, m=2, ρ=1.0, θ=0.1, %d reps", n, cfg.replicates(10)),
+		Columns: []string{"beta", "dsct_ea_ub", "dsct_ea_approx", "edf_3levels", "edf_nocompression"},
+	}
+	for i, beta := range s.betas {
+		t.AddRow(f3(beta), f4(s.ub[i]), f4(s.approx[i]), f4(s.levels[i]), f4(s.noComp[i]))
+	}
+	t.Note("expected shape: approx ≈ ub for all β and dominates both EDF baselines; all methods converge to a_max = 0.82 as β → 1")
+	return t, nil
+}
+
+func runGain(cfg Config) (*Table, error) {
+	s, err := computeFig5(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Reference: the accuracy no-compression reaches with the full budget.
+	ref := s.noComp[len(s.noComp)-1]
+	// Budget no-compression needs to (first) reach that accuracy.
+	betaFull := 1.0
+	for i, beta := range s.betas {
+		if s.noComp[i] >= ref-1e-6 {
+			betaFull = beta
+			break
+		}
+	}
+	// Smallest budget at which the approximation stays within 2 accuracy
+	// points of that reference (linear interpolation between grid points).
+	beta2pc := math.NaN()
+	target := ref - 0.02
+	for i, beta := range s.betas {
+		if s.approx[i] >= target {
+			if i == 0 {
+				beta2pc = beta
+			} else {
+				lo, hi := s.betas[i-1], beta
+				alo, ahi := s.approx[i-1], s.approx[i]
+				if ahi > alo {
+					beta2pc = lo + (hi-lo)*(target-alo)/(ahi-alo)
+				} else {
+					beta2pc = beta
+				}
+			}
+			break
+		}
+	}
+	t := &Table{
+		ID:    "gain",
+		Title: "Energy gain of DSCT-EA-APPROX at 2% accuracy loss vs no compression",
+		Columns: []string{
+			"nocomp_accuracy_full", "beta_nocomp_full", "beta_approx_2pc",
+			"budget_saving", "consumed_energy_saving",
+		},
+	}
+	budgetSaving := math.NaN()
+	if !math.IsNaN(beta2pc) && betaFull > 0 {
+		budgetSaving = 1 - beta2pc/betaFull
+	}
+	// Energy actually consumed: no-compression at its saturation budget vs
+	// the approximation at the 2%-loss budget, per replicate; the paper's
+	// "up to 70%" is a best-case-over-instances claim, so report both the
+	// mean and the maximum.
+	var savings []float64
+	for _, rep := range s.perRep {
+		if sv, ok := replicateSaving(rep); ok {
+			savings = append(savings, sv)
+		}
+	}
+	consumedMean, consumedMax := math.NaN(), math.NaN()
+	if len(savings) > 0 {
+		consumedMean = stats.Mean(savings)
+		_, consumedMax = stats.MinMax(savings)
+	}
+	t.AddRow(f4(ref), f3(betaFull), f3(beta2pc), f3(budgetSaving),
+		fmt.Sprintf("%s (max %s)", f3(consumedMean), f3(consumedMax)))
+	t.Note("the paper reports ≈70%% saving at ≈2%% accuracy loss; consumed_energy_saving compares the Joules actually drawn (compression + efficient-machine placement), budget_saving compares the β knobs")
+	return t, nil
+}
+
+// replicateSaving computes one instance's consumed-energy saving at 2%
+// accuracy loss: the energy the approximation draws at the smallest β
+// whose accuracy is within 0.02 of the no-compression saturation accuracy,
+// versus the energy no-compression draws at its own saturation point.
+func replicateSaving(rep []fig5Point) (float64, bool) {
+	last := len(rep) - 1
+	ref := rep[last].nc
+	// No-compression saturation energy.
+	eNoComp := rep[last].ncE
+	for b := range rep {
+		if rep[b].nc >= ref-1e-6 {
+			eNoComp = rep[b].ncE
+			break
+		}
+	}
+	if eNoComp <= 0 {
+		return 0, false
+	}
+	target := ref - 0.02
+	for b := range rep {
+		if rep[b].ap >= target {
+			eApprox := rep[b].apE
+			if b > 0 && rep[b].ap > rep[b-1].ap {
+				// Interpolate the energy at the exact crossing.
+				frac := (target - rep[b-1].ap) / (rep[b].ap - rep[b-1].ap)
+				eApprox = rep[b-1].apE + frac*(rep[b].apE-rep[b-1].apE)
+			}
+			return 1 - eApprox/eNoComp, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+func init() {
+	register(Spec{
+		ID:    "fig6a",
+		Title: "Energy profile vs budget ratio — Uniform tasks",
+		Description: "Reproduces Figure 6a: the computed energy profiles of the 2-machine scenario " +
+			"(machine 1: 2 TFLOPS / 80 GFLOPS/W, machine 2: 5 TFLOPS / 70 GFLOPS/W) under uniform " +
+			"task efficiencies θ∈[0.1, 4.9], ρ=0.01.",
+		Run: func(cfg Config) (*Table, error) { return runFig6(cfg, "fig6a", task.Uniform) },
+	})
+	register(Spec{
+		ID:    "fig6b",
+		Title: "Energy profile vs budget ratio — Earliest High Efficient tasks",
+		Description: "Reproduces Figure 6b: as fig6a but the earliest 30% of tasks have θ∈[4.0, 4.9] " +
+			"and the rest θ∈[0.1, 1.0]; the refined profile deviates from the naive one.",
+		Run: func(cfg Config) (*Table, error) { return runFig6(cfg, "fig6b", task.EarliestHighEfficient) },
+	})
+}
+
+func runFig6(cfg Config, id string, scenario task.Scenario) (*Table, error) {
+	n := cfg.scaled(100, 10)
+	reps := cfg.replicates(10)
+	fleet := machine.TwoMachineScenario()
+	t := &Table{
+		ID: id,
+		Title: fmt.Sprintf("Energy profiles vs β — %s tasks, n=%d, ρ=0.01, %d reps",
+			scenario, n, reps),
+		Columns: []string{"beta", "p1_naive_s", "p2_naive_s", "p1_s", "p2_s", "d_max_s"},
+	}
+	betas := []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.75, 1.0}
+	for _, beta := range betas {
+		p1n := make([]float64, reps)
+		p2n := make([]float64, reps)
+		p1 := make([]float64, reps)
+		p2 := make([]float64, reps)
+		dmx := make([]float64, reps)
+		var firstErr error
+		parMap(cfg.Workers, reps, func(i int) {
+			label := fmt.Sprintf("%s/beta=%g", id, beta)
+			gcfg, err := task.PaperFig6(n, scenario, beta)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			in, err := task.Generate(rng.NewReplicate(cfg.Seed, label, i), gcfg, fleet)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			naive := core.NaiveProfile(in)
+			sol, err := core.SolveFR(in, core.FROptions{})
+			if err != nil {
+				firstErr = err
+				return
+			}
+			p1n[i], p2n[i] = naive[0], naive[1]
+			p1[i], p2[i] = sol.Profile[0], sol.Profile[1]
+			dmx[i] = in.MaxDeadline()
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		t.AddRow(f3(beta),
+			f4(stats.Mean(p1n)), f4(stats.Mean(p2n)),
+			f4(stats.Mean(p1)), f4(stats.Mean(p2)),
+			f4(stats.Mean(dmx)))
+	}
+	switch scenario {
+	case task.Uniform:
+		t.Note("expected shape: the refined profile stays close to the naive one (machine 1 first)")
+	default:
+		t.Note("expected shape: for small β the refinement moves budget to the fast machine 2, deviating from the naive profile that spends everything on efficient machine 1")
+	}
+	return t, nil
+}

@@ -1,0 +1,148 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§6). Each experiment is a Spec with a stable ID
+// (fig1, fig2, fig3, fig4a, fig4b, table1, fig5, gain, fig6a, fig6b); the
+// Run function produces a Table that the cmd/experiments tool renders as
+// CSV or markdown and that EXPERIMENTS.md records against the paper's
+// reported shapes. Replicated experiments fan out over a worker pool and
+// derive every random stream from (Config.Seed, experiment ID, replicate),
+// so results are bit-reproducible at any parallelism.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config scales and seeds an experiment run.
+type Config struct {
+	// Seed drives all random streams (default 1).
+	Seed int64
+	// Replicates is the number of random instances per parameter point
+	// (the paper uses 100 for fig3 and 10 for fig4; 0 selects each
+	// experiment's paper value scaled by Scale).
+	Replicates int
+	// Scale in (0, 1] shrinks the paper's instance sizes and replicate
+	// counts proportionally for quick runs (default 1: full size).
+	Scale float64
+	// Workers bounds the worker pool (default: GOMAXPROCS).
+	Workers int
+	// SolverTimeLimit bounds each exact-solver invocation (fig4, table1;
+	// default 60s, the paper's limit).
+	SolverTimeLimit time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.SolverTimeLimit <= 0 {
+		c.SolverTimeLimit = 60 * time.Second
+	}
+	return c
+}
+
+// scaled applies Scale to a paper quantity, keeping at least min.
+func (c Config) scaled(paper, min int) int {
+	v := int(float64(paper)*c.Scale + 0.5)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// replicates returns the replicate count: explicit Replicates if set,
+// otherwise the paper value scaled.
+func (c Config) replicates(paper int) int {
+	if c.Replicates > 0 {
+		return c.Replicates
+	}
+	return c.scaled(paper, 1)
+}
+
+// Spec describes one reproducible experiment.
+type Spec struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(Config) (*Table, error)
+}
+
+var registry = map[string]Spec{}
+var registryOrder []string
+
+func register(s Spec) {
+	if _, dup := registry[s.ID]; dup {
+		panic("experiments: duplicate id " + s.ID)
+	}
+	registry[s.ID] = s
+	registryOrder = append(registryOrder, s.ID)
+}
+
+// All returns every registered experiment in registration order.
+func All() []Spec {
+	out := make([]Spec, 0, len(registryOrder))
+	for _, id := range registryOrder {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Spec, error) {
+	s, ok := registry[id]
+	if !ok {
+		ids := append([]string(nil), registryOrder...)
+		sort.Strings(ids)
+		return Spec{}, fmt.Errorf("experiments: unknown id %q (have: %s)", id, strings.Join(ids, ", "))
+	}
+	return s, nil
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (*Table, error) {
+	s, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(cfg.withDefaults())
+}
+
+// parMap runs fn(0..n-1) on a pool of workers and blocks until done. fn
+// must write only to its own index of any shared slice.
+func parMap(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,207 @@
+package lp
+
+// Dual values and optimality certificates. The simplex tableau carries the
+// dual solution implicitly: for an optimal basis, the reduced cost of the
+// i-th logical (slack/surplus) column equals ± the dual multiplier of
+// constraint i, and complementary slackness links primal activities to
+// dual prices. SolveWithDuals exposes them, and Certify re-verifies a
+// claimed optimum from first principles (feasibility + dual feasibility +
+// matching objectives), which the test suite uses as an independent
+// correctness oracle for the solver.
+
+import (
+	"fmt"
+	"math"
+)
+
+// DualSolution augments a Solution with constraint duals and variable
+// reduced costs.
+type DualSolution struct {
+	Solution
+	// Duals[i] is the shadow price of constraint i: the rate of change of
+	// the optimal objective per unit of slack added to the RHS. For a
+	// maximisation with a·x <= b rows, duals are >= 0; for >= rows, <= 0.
+	Duals []float64
+	// ReducedCosts[v] is c_v − yᵀA_v for structural variable v; at an
+	// optimum it is <= 0, and 0 for basic (positive) variables.
+	ReducedCosts []float64
+}
+
+// SolveWithDuals solves p and extracts the dual values of the optimal
+// basis. Only Optimal results carry duals.
+func SolveWithDuals(p *Problem, opts Options) (*DualSolution, error) {
+	t := newTableau(p, opts)
+	if t.nArt > 0 {
+		phase1 := make([]float64, t.width)
+		for c := t.artBase; c < t.width; c++ {
+			phase1[c] = -1
+		}
+		t.setObjective(phase1)
+		status := t.iterate(true)
+		if status != Optimal {
+			return &DualSolution{Solution: Solution{Status: status, Iterations: t.iters}}, nil
+		}
+		if t.artificialResidual() > feasTol {
+			return &DualSolution{Solution: Solution{Status: Infeasible, Iterations: t.iters}}, nil
+		}
+		t.driveOutArtificials()
+	}
+	phase2 := make([]float64, t.width)
+	copy(phase2, p.obj)
+	t.setObjective(phase2)
+	status := t.iterate(false)
+
+	ds := &DualSolution{Solution: Solution{Status: status, Iterations: t.iters}}
+	if status != Optimal && status != IterLimit && status != TimeLimit {
+		return ds, nil
+	}
+	ds.X = t.extract(p)
+	for v, c := range p.obj {
+		ds.Objective += c * ds.X[v]
+	}
+	if status != Optimal {
+		return ds, nil
+	}
+
+	// Duals from the logical columns' reduced costs. Building the tableau
+	// assigned one slack (LE, +1) or surplus (GE, −1) column per row in
+	// row order, after RHS normalisation (which flips senses for negative
+	// RHS and scales rows); undo both effects here.
+	ds.Duals = make([]float64, len(p.rows))
+	ds.ReducedCosts = make([]float64, p.nVars)
+	logical := t.n
+	for i := range p.rows {
+		scale := t.rowScale[i]
+		flipped := t.rowFlipped[i]
+		var y float64
+		switch t.rowSense[i] { // sense after normalisation
+		case LE:
+			y = -t.objRow[logical] // slack column: d_slack = −y_i
+			logical++
+		case GE:
+			y = t.objRow[logical] // surplus column (−1 coef): d = +y_i
+			logical++
+		case EQ:
+			// Equality rows have no logical column; recover the dual from
+			// any basic row... handled below via reduced-cost identity.
+			y = math.NaN()
+		}
+		if flipped {
+			y = -y
+		}
+		// The tableau rows were divided by `scale`, which multiplies the
+		// dual by 1/scale relative to the original row; undo it.
+		if scale != 0 {
+			y /= scale
+		}
+		ds.Duals[i] = y
+	}
+	// Recover equality duals (and double-check the rest) by solving
+	// yᵀA_B = c_B is unnecessary: instead use the identity
+	// reduced(v) = c_v − Σ_i y_i·A[i][v] and the fact that the artificial
+	// column of an EQ row is an identity column in the original matrix:
+	// its reduced cost is 0 − y_i (artificials have zero cost in phase 2).
+	art := t.artBase
+	logical = t.n
+	for i := range p.rows {
+		switch t.rowSense[i] {
+		case LE, GE:
+			logical++
+		case EQ:
+			y := -t.objRow[art]
+			if t.rowFlipped[i] {
+				y = -y
+			}
+			if s := t.rowScale[i]; s != 0 {
+				y /= s
+			}
+			ds.Duals[i] = y
+		}
+		if t.rowSense[i] == GE || t.rowSense[i] == EQ {
+			art++
+		}
+	}
+	// Structural reduced costs straight from the objective row.
+	copy(ds.ReducedCosts, t.objRow[:p.nVars])
+	return ds, nil
+}
+
+// Certify checks an optimality certificate for an all-finite (x, y) pair:
+// primal feasibility of x, sign-correct dual feasibility of y with
+// non-positive structural reduced costs wherever x_v = 0 (complementary
+// slackness in the other direction is implied by the matching objectives),
+// and b·y == c·x within tol. It returns nil when the certificate proves
+// optimality.
+func Certify(p *Problem, x, y []float64, tol float64) error {
+	if len(x) != p.nVars || len(y) != len(p.rows) {
+		return fmt.Errorf("lp: certificate dimensions mismatch")
+	}
+	// Primal feasibility.
+	for v, xv := range x {
+		if xv < -tol {
+			return fmt.Errorf("lp: x[%d] = %g negative", v, xv)
+		}
+	}
+	for i, r := range p.rows {
+		var lhs float64
+		for _, tm := range r.terms {
+			lhs += tm.Coef * x[tm.Var]
+		}
+		switch r.sense {
+		case LE:
+			if lhs > r.rhs+tol*scaleOf(r.rhs) {
+				return fmt.Errorf("lp: row %d violated: %g > %g", i, lhs, r.rhs)
+			}
+		case GE:
+			if lhs < r.rhs-tol*scaleOf(r.rhs) {
+				return fmt.Errorf("lp: row %d violated: %g < %g", i, lhs, r.rhs)
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > tol*scaleOf(r.rhs) {
+				return fmt.Errorf("lp: row %d violated: %g != %g", i, lhs, r.rhs)
+			}
+		}
+	}
+	// Dual sign feasibility.
+	for i, r := range p.rows {
+		switch r.sense {
+		case LE:
+			if y[i] < -tol {
+				return fmt.Errorf("lp: dual %d = %g negative for <= row", i, y[i])
+			}
+		case GE:
+			if y[i] > tol {
+				return fmt.Errorf("lp: dual %d = %g positive for >= row", i, y[i])
+			}
+		}
+	}
+	// Reduced costs: c_v − yᵀA_v <= 0 for all v (maximisation).
+	colSum := make([]float64, p.nVars)
+	colScale := make([]float64, p.nVars)
+	for i, r := range p.rows {
+		for _, tm := range r.terms {
+			colSum[tm.Var] += y[i] * tm.Coef
+			colScale[tm.Var] += math.Abs(y[i] * tm.Coef)
+		}
+	}
+	for v := range colSum {
+		red := p.obj[v] - colSum[v]
+		if red > tol*math.Max(1, colScale[v]) {
+			return fmt.Errorf("lp: reduced cost of x[%d] = %g positive", v, red)
+		}
+	}
+	// Strong duality.
+	var primal, dual float64
+	for v, c := range p.obj {
+		primal += c * x[v]
+	}
+	for i, r := range p.rows {
+		dual += y[i] * r.rhs
+	}
+	if math.Abs(primal-dual) > tol*math.Max(1, math.Abs(primal)) {
+		return fmt.Errorf("lp: duality gap %g (primal %g, dual %g)", primal-dual, primal, dual)
+	}
+	return nil
+}
+
+func scaleOf(x float64) float64 { return math.Max(1, math.Abs(x)) }

@@ -1,0 +1,149 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDualsTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18; optimum 36 with
+	// duals (0, 3/2, 1).
+	p := NewProblem(2)
+	p.SetObjCoef(0, 3)
+	p.SetObjCoef(1, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 4)
+	p.AddConstraint([]Term{{1, 2}}, LE, 12)
+	p.AddConstraint([]Term{{0, 3}, {1, 2}}, LE, 18)
+	ds, err := SolveWithDuals(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Status != Optimal {
+		t.Fatalf("status %v", ds.Status)
+	}
+	want := []float64{0, 1.5, 1}
+	for i := range want {
+		if math.Abs(ds.Duals[i]-want[i]) > 1e-7 {
+			t.Errorf("dual %d = %g, want %g", i, ds.Duals[i], want[i])
+		}
+	}
+	if err := Certify(p, ds.X, ds.Duals, 1e-6); err != nil {
+		t.Errorf("certificate rejected: %v", err)
+	}
+	// Reduced costs of basic variables are zero.
+	for v, rc := range ds.ReducedCosts {
+		if ds.X[v] > 1e-9 && math.Abs(rc) > 1e-7 {
+			t.Errorf("basic var %d has reduced cost %g", v, rc)
+		}
+	}
+}
+
+func TestDualsWithEqualityAndGE(t *testing.T) {
+	// max x + 2y s.t. x + y == 4, y >= 1, x <= 2.5.
+	// Optimum: y as large as possible: x=0? obj = x+2y = x + 2(4−x) = 8−x
+	// -> x = 0, y = 4, obj 8. Duals: eq row 2, ge row 0, le row 0.
+	p := NewProblem(2)
+	p.SetObjCoef(0, 1)
+	p.SetObjCoef(1, 2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 4)
+	p.AddConstraint([]Term{{1, 1}}, GE, 1)
+	p.AddConstraint([]Term{{0, 1}}, LE, 2.5)
+	ds, err := SolveWithDuals(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Status != Optimal || math.Abs(ds.Objective-8) > 1e-7 {
+		t.Fatalf("status %v obj %g", ds.Status, ds.Objective)
+	}
+	if err := Certify(p, ds.X, ds.Duals, 1e-6); err != nil {
+		t.Errorf("certificate rejected: %v", err)
+	}
+	if math.Abs(ds.Duals[0]-2) > 1e-7 {
+		t.Errorf("equality dual = %g, want 2", ds.Duals[0])
+	}
+}
+
+func TestDualsNegativeRHS(t *testing.T) {
+	// max -x s.t. -x <= -3 (x >= 3). Optimum x=3, obj -3; the flipped row's
+	// dual in original orientation is y <= 0 with value -1... specifically
+	// c - y·a = 0 for basic x: -1 - y·(-1) = 0 -> y = -1? With a = -1:
+	// -1 + y = 0 -> y = 1? Let Certify decide.
+	p := NewProblem(1)
+	p.SetObjCoef(0, -1)
+	p.AddConstraint([]Term{{0, -1}}, LE, -3)
+	ds, err := SolveWithDuals(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Status != Optimal {
+		t.Fatalf("status %v", ds.Status)
+	}
+	if err := Certify(p, ds.X, ds.Duals, 1e-6); err != nil {
+		t.Errorf("certificate rejected: %v", err)
+	}
+}
+
+func TestCertifyOnRandomLPs(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		src := rng.NewReplicate(123, "certify", trial)
+		p := randomLP(src, 3+src.Intn(12), 3+src.Intn(20))
+		ds, err := SolveWithDuals(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, ds.Status)
+		}
+		if err := Certify(p, ds.X, ds.Duals, 1e-5); err != nil {
+			t.Errorf("trial %d: certificate rejected: %v", trial, err)
+		}
+	}
+}
+
+func TestCertifyRejectsBadCertificates(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjCoef(0, 1)
+	p.AddConstraint([]Term{{0, 1}}, LE, 2)
+	// Wrong dimensions.
+	if err := Certify(p, []float64{1, 2}, []float64{0}, 1e-9); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	// Primal infeasible point.
+	if err := Certify(p, []float64{3}, []float64{1}, 1e-9); err == nil {
+		t.Error("infeasible primal accepted")
+	}
+	// Negative primal.
+	if err := Certify(p, []float64{-1}, []float64{1}, 1e-9); err == nil {
+		t.Error("negative primal accepted")
+	}
+	// Wrong dual sign.
+	if err := Certify(p, []float64{2}, []float64{-1}, 1e-9); err == nil {
+		t.Error("negative LE dual accepted")
+	}
+	// Duality gap (suboptimal primal with optimal dual).
+	if err := Certify(p, []float64{1}, []float64{1}, 1e-9); err == nil {
+		t.Error("duality gap accepted")
+	}
+	// Positive reduced cost (zero dual on the only binding row).
+	if err := Certify(p, []float64{2}, []float64{0}, 1e-9); err == nil {
+		t.Error("positive reduced cost accepted")
+	}
+}
+
+func TestSolveWithDualsInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 2)
+	ds, err := SolveWithDuals(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Status != Infeasible {
+		t.Errorf("status %v", ds.Status)
+	}
+	if ds.Duals != nil {
+		t.Error("infeasible problems should not carry duals")
+	}
+}

@@ -1,0 +1,181 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	maximize    c·x
+//	subject to  a_i·x {<=, =, >=} b_i    for each constraint i
+//	            x >= 0
+//
+// It is the module's substitute for the commercial LP/MIP toolchain the
+// paper uses (cvx + MOSEK): the DSCT-EA-FR relaxation (paper §3.2) is
+// solved with it directly, and the branch-and-bound solver in package mip
+// uses it for node relaxations of the DSCT-EA MIP (paper §3).
+//
+// The implementation favours robustness over raw speed: rows are
+// equilibrated before solving, Dantzig pricing falls back to Bland's rule
+// after a run of degenerate pivots (anti-cycling), and artificials are
+// pivoted out after phase 1. Problems are built through a small dense/
+// sparse hybrid API.
+package lp
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sense is a constraint direction.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // a·x <= b
+	GE              // a·x >= b
+	EQ              // a·x == b
+)
+
+// String names the sense.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("sense(%d)", int(s))
+	}
+}
+
+// Term is one non-zero coefficient of a constraint row.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+type row struct {
+	terms []Term
+	sense Sense
+	rhs   float64
+}
+
+// Problem is a linear program under construction. Create it with
+// NewProblem, then set the objective and add constraints. Variables are
+// indexed 0..NumVars-1 and implicitly bounded below by zero.
+type Problem struct {
+	nVars int
+	obj   []float64
+	rows  []row
+}
+
+// NewProblem returns an empty maximization problem over nVars non-negative
+// variables. It panics for nVars <= 0.
+func NewProblem(nVars int) *Problem {
+	if nVars <= 0 {
+		panic(fmt.Sprintf("lp: nVars must be positive, got %d", nVars))
+	}
+	return &Problem{nVars: nVars, obj: make([]float64, nVars)}
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.nVars }
+
+// NumConstraints returns the number of constraint rows.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// SetObjCoef sets the objective coefficient of variable v.
+func (p *Problem) SetObjCoef(v int, c float64) {
+	p.checkVar(v)
+	p.obj[v] = c
+}
+
+// ObjCoef returns the objective coefficient of variable v.
+func (p *Problem) ObjCoef(v int) float64 {
+	p.checkVar(v)
+	return p.obj[v]
+}
+
+// AddConstraint appends the constraint Σ terms {sense} rhs and returns its
+// row index. Terms may repeat a variable; coefficients accumulate.
+func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) int {
+	for _, t := range terms {
+		p.checkVar(t.Var)
+	}
+	p.rows = append(p.rows, row{terms: append([]Term(nil), terms...), sense: sense, rhs: rhs})
+	return len(p.rows) - 1
+}
+
+func (p *Problem) checkVar(v int) {
+	if v < 0 || v >= p.nVars {
+		panic(fmt.Sprintf("lp: variable %d out of range [0,%d)", v, p.nVars))
+	}
+}
+
+// Clone returns an independent copy of the problem (used by branch-and-
+// bound to derive node problems).
+func (p *Problem) Clone() *Problem {
+	c := &Problem{
+		nVars: p.nVars,
+		obj:   append([]float64(nil), p.obj...),
+		rows:  make([]row, len(p.rows)),
+	}
+	for i, r := range p.rows {
+		c.rows[i] = row{terms: append([]Term(nil), r.terms...), sense: r.sense, rhs: r.rhs}
+	}
+	return c
+}
+
+// Status reports how a solve terminated.
+type Status int
+
+// Solver statuses.
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint system has no solution.
+	Infeasible
+	// Unbounded means the objective can grow without limit.
+	Unbounded
+	// IterLimit means the pivot budget was exhausted.
+	IterLimit
+	// TimeLimit means the wall-clock deadline passed.
+	TimeLimit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	case TimeLimit:
+		return "time-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Options tunes a solve. The zero value uses defaults.
+type Options struct {
+	// MaxIters caps simplex pivots across both phases
+	// (default 50·(rows+cols)).
+	MaxIters int
+	// Deadline aborts the solve when passed (zero means none).
+	Deadline time.Time
+	// Tol is the pivot/feasibility tolerance (default 1e-9).
+	Tol float64
+}
+
+// Solution is the result of a solve. X is populated for Optimal and, on a
+// best-effort basis, for IterLimit/TimeLimit (the current basic solution,
+// which may be primal-feasible but suboptimal).
+type Solution struct {
+	Status     Status
+	Objective  float64
+	X          []float64
+	Iterations int
+}

@@ -1,0 +1,358 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+// Classic 2-var LP: max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+// Optimum 36 at (2, 6).
+func TestTextbookLP(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjCoef(0, 3)
+	p.SetObjCoef(1, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 4)
+	p.AddConstraint([]Term{{1, 2}}, LE, 12)
+	p.AddConstraint([]Term{{0, 3}, {1, 2}}, LE, 18)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-36) > 1e-7 {
+		t.Errorf("objective = %g, want 36", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-7 || math.Abs(sol.X[1]-6) > 1e-7 {
+		t.Errorf("x = %v, want [2 6]", sol.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// max x + y s.t. x + y == 5, x >= 2, y <= 2 -> x=3, y=2, obj=5.
+	p := NewProblem(2)
+	p.SetObjCoef(0, 1)
+	p.SetObjCoef(1, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 5)
+	p.AddConstraint([]Term{{0, 1}}, GE, 2)
+	p.AddConstraint([]Term{{1, 1}}, LE, 2)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-5) > 1e-7 {
+		t.Errorf("objective = %g, want 5", sol.Objective)
+	}
+	if sol.X[0] < 2-1e-7 {
+		t.Errorf("x = %v violates x >= 2", sol.X)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// max x s.t. -x <= -3 (i.e. x >= 3), x <= 7 -> 7.
+	p := NewProblem(1)
+	p.SetObjCoef(0, 1)
+	p.AddConstraint([]Term{{0, -1}}, LE, -3)
+	p.AddConstraint([]Term{{0, 1}}, LE, 7)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-7) > 1e-7 {
+		t.Errorf("objective = %g, want 7", sol.Objective)
+	}
+	// And minimization-style: max -x s.t. x >= 3 -> -3.
+	q := NewProblem(1)
+	q.SetObjCoef(0, -1)
+	q.AddConstraint([]Term{{0, 1}}, GE, 3)
+	sol = solveOK(t, q)
+	if math.Abs(sol.Objective-(-3)) > 1e-7 {
+		t.Errorf("objective = %g, want -3", sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjCoef(0, 1)
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 2)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjCoef(0, 1)
+	p.AddConstraint([]Term{{1, 1}}, LE, 5) // x0 unconstrained above
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	// Pure feasibility problem with equalities.
+	p := NewProblem(2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 4)
+	p.AddConstraint([]Term{{0, 1}, {1, -1}}, EQ, 2)
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-3) > 1e-7 || math.Abs(sol.X[1]-1) > 1e-7 {
+		t.Errorf("x = %v, want [3 1]", sol.X)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// Duplicate equality rows leave a redundant artificial basic at zero.
+	p := NewProblem(2)
+	p.SetObjCoef(0, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 3)
+	p.AddConstraint([]Term{{0, 2}, {1, 2}}, EQ, 6)
+	p.AddConstraint([]Term{{0, 1}}, LE, 2)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-2) > 1e-7 {
+		t.Errorf("objective = %g, want 2", sol.Objective)
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// A classically degenerate problem (multiple constraints active at the
+	// origin-adjacent vertex); must terminate and find the optimum 1 at x=(1,0,...).
+	p := NewProblem(3)
+	p.SetObjCoef(0, 0.75)
+	p.SetObjCoef(1, -150)
+	p.SetObjCoef(2, 0.02)
+	p.AddConstraint([]Term{{0, 0.25}, {1, -60}, {2, -0.04}}, LE, 0)
+	p.AddConstraint([]Term{{0, 0.5}, {1, -90}, {2, -0.02}}, LE, 0)
+	p.AddConstraint([]Term{{2, 1}}, LE, 1)
+	sol := solveOK(t, p)
+	// Beale's cycling example (without anti-cycling it loops forever).
+	if sol.Objective < 0.05-1e-7 {
+		t.Errorf("objective = %g, want 1/20", sol.Objective)
+	}
+}
+
+func TestIterationLimit(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjCoef(0, 1)
+	p.SetObjCoef(1, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 10)
+	sol, err := Solve(p, Options{MaxIters: 0}) // default generous limit
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("default limit should solve: %v %v", sol.Status, err)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	src := rng.New(1, "deadline")
+	p := randomLP(src, 60, 80)
+	sol, err := Solve(p, Options{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != TimeLimit && sol.Status != Optimal {
+		t.Errorf("status = %v, want time-limit (or instantly optimal)", sol.Status)
+	}
+}
+
+func TestProblemAPI(t *testing.T) {
+	p := NewProblem(3)
+	if p.NumVars() != 3 || p.NumConstraints() != 0 {
+		t.Error("fresh problem dimensions wrong")
+	}
+	p.SetObjCoef(1, 2.5)
+	if p.ObjCoef(1) != 2.5 {
+		t.Error("ObjCoef roundtrip failed")
+	}
+	idx := p.AddConstraint([]Term{{0, 1}, {0, 1}}, LE, 2) // accumulating terms
+	if idx != 0 || p.NumConstraints() != 1 {
+		t.Error("AddConstraint index/count wrong")
+	}
+	p.SetObjCoef(0, 1)
+	p.SetObjCoef(1, 0) // leave x1, x2 out of the objective so the LP is bounded
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-1) > 1e-7 { // 2x <= 2
+		t.Errorf("duplicate terms should accumulate: x = %v", sol.X)
+	}
+	c := p.Clone()
+	c.SetObjCoef(0, 99)
+	if p.ObjCoef(0) == 99 {
+		t.Error("Clone shares objective")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range variable should panic")
+		}
+	}()
+	p.AddConstraint([]Term{{7, 1}}, LE, 1)
+}
+
+func TestNewProblemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewProblem(0) should panic")
+		}
+	}()
+	NewProblem(0)
+}
+
+func TestStatusAndSenseStrings(t *testing.T) {
+	for _, s := range []Status{Optimal, Infeasible, Unbounded, IterLimit, TimeLimit, Status(99)} {
+		if s.String() == "" {
+			t.Error("empty status string")
+		}
+	}
+	for _, s := range []Sense{LE, GE, EQ, Sense(99)} {
+		if s.String() == "" {
+			t.Error("empty sense string")
+		}
+	}
+}
+
+// randomLP builds a bounded, feasible LP: nonnegative constraint matrix,
+// positive rhs (x = 0 feasible), box rows keeping it bounded.
+func randomLP(src *rng.Source, nVars, nRows int) *Problem {
+	p := NewProblem(nVars)
+	for v := 0; v < nVars; v++ {
+		p.SetObjCoef(v, src.Uniform(-1, 2))
+		p.AddConstraint([]Term{{v, 1}}, LE, src.Uniform(1, 10))
+	}
+	for i := 0; i < nRows; i++ {
+		var terms []Term
+		for v := 0; v < nVars; v++ {
+			if src.Float64() < 0.3 {
+				terms = append(terms, Term{v, src.Uniform(0, 5)})
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		p.AddConstraint(terms, LE, src.Uniform(1, 20))
+	}
+	return p
+}
+
+// dualOf builds the dual of an all-LE primal: min b·y s.t. Aᵀy >= c, y >= 0,
+// expressed as max −b·y.
+func dualOf(p *Problem) *Problem {
+	d := NewProblem(p.NumConstraints())
+	for i, r := range p.rows {
+		d.SetObjCoef(i, -r.rhs)
+	}
+	colTerms := make([][]Term, p.nVars)
+	for i, r := range p.rows {
+		for _, tm := range r.terms {
+			colTerms[tm.Var] = append(colTerms[tm.Var], Term{i, tm.Coef})
+		}
+	}
+	for v := 0; v < p.nVars; v++ {
+		d.AddConstraint(colTerms[v], GE, p.obj[v])
+	}
+	return d
+}
+
+// TestStrongDualityOnRandomLPs is the solver's main correctness oracle:
+// for random bounded feasible LPs, the primal optimum must equal the dual
+// optimum (with sign flipped by the max/min conversion).
+func TestStrongDualityOnRandomLPs(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		src := rng.NewReplicate(99, "duality", trial)
+		nVars := 2 + src.Intn(10)
+		nRows := 2 + src.Intn(15)
+		p := randomLP(src, nVars, nRows)
+		primal, err := Solve(p, Options{})
+		if err != nil || primal.Status != Optimal {
+			t.Fatalf("trial %d: primal %v %v", trial, primal.Status, err)
+		}
+		dual, err := Solve(dualOf(p), Options{})
+		if err != nil || dual.Status != Optimal {
+			t.Fatalf("trial %d: dual %v %v", trial, dual.Status, err)
+		}
+		// primal max = dual min = -(dual max of -b·y)
+		if math.Abs(primal.Objective-(-dual.Objective)) > 1e-6*math.Max(1, math.Abs(primal.Objective)) {
+			t.Errorf("trial %d: duality gap: primal %g, dual %g", trial, primal.Objective, -dual.Objective)
+		}
+		// Primal solution must satisfy all constraints.
+		for i, r := range p.rows {
+			var lhs float64
+			for _, tm := range r.terms {
+				lhs += tm.Coef * primal.X[tm.Var]
+			}
+			if lhs > r.rhs+1e-6 {
+				t.Errorf("trial %d: constraint %d violated: %g > %g", trial, i, lhs, r.rhs)
+			}
+		}
+	}
+}
+
+func TestLargerSparseLP(t *testing.T) {
+	// Moderately large LP solved and verified by duality.
+	src := rng.New(7, "large")
+	p := randomLP(src, 60, 120)
+	primal := solveOK(t, p)
+	dual := solveOK(t, dualOf(p))
+	if math.Abs(primal.Objective-(-dual.Objective)) > 1e-5*math.Max(1, math.Abs(primal.Objective)) {
+		t.Errorf("duality gap on large LP: %g vs %g", primal.Objective, -dual.Objective)
+	}
+}
+
+func TestMixedScaleCoefficients(t *testing.T) {
+	// Rows mixing 1e4-scale and 1e-3-scale coefficients (as in the DSCT-EA
+	// models) must still solve accurately thanks to equilibration.
+	p := NewProblem(2)
+	p.SetObjCoef(0, 1e-3)
+	p.SetObjCoef(1, 1e-3)
+	p.AddConstraint([]Term{{0, 2e4}, {1, 1e4}}, LE, 3e4)
+	p.AddConstraint([]Term{{0, 1}, {1, 3}}, LE, 4)
+	sol := solveOK(t, p)
+	// Optimum at intersection: 2e4 x + 1e4 y = 3e4, x + 3y = 4 -> x=1, y=1.
+	if math.Abs(sol.X[0]-1) > 1e-6 || math.Abs(sol.X[1]-1) > 1e-6 {
+		t.Errorf("x = %v, want [1 1]", sol.X)
+	}
+}
+
+func TestIterLimitReturnsBestEffort(t *testing.T) {
+	src := rng.New(5, "iterlimit")
+	p := randomLP(src, 40, 60)
+	sol, err := Solve(p, Options{MaxIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterLimit {
+		t.Skipf("solved within 3 pivots: %v", sol.Status)
+	}
+	if sol.X == nil {
+		t.Fatal("iteration-limited solve should return the current basis")
+	}
+	// The partial solution is primal feasible for an all-LE problem
+	// (phase 2 preserves feasibility pivot by pivot).
+	for i, r := range p.rows {
+		var lhs float64
+		for _, tm := range r.terms {
+			lhs += tm.Coef * sol.X[tm.Var]
+		}
+		if lhs > r.rhs+1e-6 {
+			t.Errorf("row %d violated in partial solution: %g > %g", i, lhs, r.rhs)
+		}
+	}
+	// And its objective is a valid lower bound on the optimum.
+	full, err := Solve(p, Options{})
+	if err != nil || full.Status != Optimal {
+		t.Fatalf("%v %v", full.Status, err)
+	}
+	if sol.Objective > full.Objective+1e-6 {
+		t.Errorf("partial objective %g exceeds optimum %g", sol.Objective, full.Objective)
+	}
+}

@@ -1,0 +1,376 @@
+package lp
+
+import (
+	"math"
+	"time"
+)
+
+const (
+	defaultTol = 1e-9
+	// feasTol is the (post-equilibration) tolerance used to decide phase-1
+	// feasibility and to report residual artificial infeasibility.
+	feasTol = 1e-7
+	// degenerateRunLimit is the number of consecutive degenerate pivots
+	// after which pricing switches to Bland's rule (which cannot cycle).
+	degenerateRunLimit = 64
+)
+
+// tableau is the dense simplex working state.
+type tableau struct {
+	m, n      int // constraint rows, structural variables
+	nSlack    int
+	nArt      int
+	width     int       // n + nSlack + nArt
+	a         []float64 // m * width, row-major
+	b         []float64 // m
+	basis     []int     // basis[i] = column basic in row i
+	objRow    []float64 // reduced costs, length width
+	artBase   int       // first artificial column index
+	tol       float64
+	iterLimit int
+	deadline  time.Time
+	iters     int
+	blandMode bool
+	degenRun  int
+
+	// Normalisation metadata per original row, for dual recovery.
+	rowScale   []float64 // equilibration divisor applied to the row
+	rowFlipped []bool    // whether the row was negated (RHS < 0)
+	rowSense   []Sense   // sense after normalisation
+}
+
+// Solve runs two-phase primal simplex on p.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	t := newTableau(p, opts)
+
+	// Phase 1: drive artificials to zero.
+	if t.nArt > 0 {
+		phase1 := make([]float64, t.width)
+		for c := t.artBase; c < t.width; c++ {
+			phase1[c] = -1
+		}
+		t.setObjective(phase1)
+		status := t.iterate(true)
+		switch status {
+		case IterLimit, TimeLimit:
+			return &Solution{Status: status, Iterations: t.iters}, nil
+		case Unbounded:
+			// Phase 1 is bounded by construction; treat as numerical failure.
+			return &Solution{Status: Infeasible, Iterations: t.iters}, nil
+		}
+		if t.artificialResidual() > feasTol {
+			return &Solution{Status: Infeasible, Iterations: t.iters}, nil
+		}
+		t.driveOutArtificials()
+	}
+
+	// Phase 2: original objective over structural variables.
+	phase2 := make([]float64, t.width)
+	copy(phase2, p.obj)
+	t.setObjective(phase2)
+	status := t.iterate(false)
+
+	sol := &Solution{Status: status, Iterations: t.iters}
+	if status == Optimal || status == IterLimit || status == TimeLimit {
+		sol.X = t.extract(p)
+		var obj float64
+		for v, c := range p.obj {
+			obj += c * sol.X[v]
+		}
+		sol.Objective = obj
+	}
+	return sol, nil
+}
+
+// newTableau builds the standard-form tableau with slacks and artificials,
+// after row equilibration.
+func newTableau(p *Problem, opts Options) *tableau {
+	m := len(p.rows)
+	n := p.nVars
+
+	// Count auxiliary columns. Rows are first normalised to rhs >= 0.
+	type normRow struct {
+		coefs []float64
+		sense Sense
+		rhs   float64
+	}
+	rows := make([]normRow, m)
+	rowScale := make([]float64, m)
+	rowFlipped := make([]bool, m)
+	rowSense := make([]Sense, m)
+	nSlack, nArt := 0, 0
+	for i, r := range p.rows {
+		coefs := make([]float64, n)
+		for _, t := range r.terms {
+			coefs[t.Var] += t.Coef
+		}
+		sense, rhs := r.sense, r.rhs
+		if rhs < 0 {
+			rowFlipped[i] = true
+			for v := range coefs {
+				coefs[v] = -coefs[v]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		// Equilibrate: scale the row so its largest structural coefficient
+		// has magnitude 1 (keeps pivot tolerances meaningful across rows
+		// mixing GFLOP/s-scale and accuracy-slope-scale data).
+		scale := 0.0
+		for _, c := range coefs {
+			if a := math.Abs(c); a > scale {
+				scale = a
+			}
+		}
+		if scale > 0 {
+			inv := 1 / scale
+			for v := range coefs {
+				coefs[v] *= inv
+			}
+			rhs *= inv
+		} else {
+			scale = 1
+		}
+		rowScale[i] = scale
+		rowSense[i] = sense
+		rows[i] = normRow{coefs: coefs, sense: sense, rhs: rhs}
+		switch sense {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++ // surplus
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	width := n + nSlack + nArt
+	t := &tableau{
+		m: m, n: n,
+		nSlack: nSlack, nArt: nArt,
+		width:      width,
+		a:          make([]float64, m*width),
+		b:          make([]float64, m),
+		basis:      make([]int, m),
+		artBase:    n + nSlack,
+		tol:        opts.Tol,
+		rowScale:   rowScale,
+		rowFlipped: rowFlipped,
+		rowSense:   rowSense,
+	}
+	if t.tol == 0 {
+		t.tol = defaultTol
+	}
+	t.iterLimit = opts.MaxIters
+	if t.iterLimit == 0 {
+		t.iterLimit = 100*(m+n) + 1000
+	}
+	t.deadline = opts.Deadline
+
+	slack := n
+	art := t.artBase
+	for i, r := range rows {
+		row := t.a[i*width : (i+1)*width]
+		copy(row, r.coefs)
+		t.b[i] = r.rhs
+		switch r.sense {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+	}
+	return t
+}
+
+// setObjective installs cost vector c (length width) as the current reduced
+// cost row, pricing out the current basis.
+func (t *tableau) setObjective(c []float64) {
+	t.objRow = append(t.objRow[:0], c...)
+	for i := 0; i < t.m; i++ {
+		cb := c[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i*t.width : (i+1)*t.width]
+		for j := 0; j < t.width; j++ {
+			t.objRow[j] -= cb * row[j]
+		}
+	}
+	// Reduced costs of basic columns are exactly zero by definition; zap
+	// rounding residue so pricing never re-selects them.
+	for i := 0; i < t.m; i++ {
+		t.objRow[t.basis[i]] = 0
+	}
+	t.blandMode = false
+	t.degenRun = 0
+}
+
+// iterate runs simplex pivots until optimality or a limit. phase1 allows
+// artificial columns to stay basic but never lets them enter.
+func (t *tableau) iterate(phase1 bool) Status {
+	enterLimit := t.width
+	if !phase1 {
+		enterLimit = t.artBase // artificials may never re-enter in phase 2
+	}
+	for {
+		if t.iters >= t.iterLimit {
+			return IterLimit
+		}
+		if t.iters%128 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
+			return TimeLimit
+		}
+
+		// Entering column.
+		pc := -1
+		if t.blandMode {
+			for j := 0; j < enterLimit; j++ {
+				if t.objRow[j] > t.tol {
+					pc = j
+					break
+				}
+			}
+		} else {
+			best := t.tol
+			for j := 0; j < enterLimit; j++ {
+				if t.objRow[j] > best {
+					best = t.objRow[j]
+					pc = j
+				}
+			}
+		}
+		if pc == -1 {
+			return Optimal
+		}
+
+		// Ratio test.
+		pr := -1
+		minRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i*t.width+pc]
+			if aij <= t.tol {
+				continue
+			}
+			ratio := t.b[i] / aij
+			if ratio < minRatio-t.tol || (math.Abs(ratio-minRatio) <= t.tol && (pr == -1 || t.basis[i] < t.basis[pr])) {
+				minRatio = ratio
+				pr = i
+			}
+		}
+		if pr == -1 {
+			return Unbounded
+		}
+		if minRatio <= t.tol {
+			t.degenRun++
+			if t.degenRun >= degenerateRunLimit {
+				t.blandMode = true
+			}
+		} else {
+			t.degenRun = 0
+		}
+
+		t.pivot(pr, pc)
+		t.iters++
+	}
+}
+
+// pivot performs a full tableau pivot on (pr, pc).
+func (t *tableau) pivot(pr, pc int) {
+	w := t.width
+	prow := t.a[pr*w : (pr+1)*w]
+	piv := prow[pc]
+	inv := 1 / piv
+	for j := range prow {
+		prow[j] *= inv
+	}
+	prow[pc] = 1 // exact
+	t.b[pr] *= inv
+
+	for i := 0; i < t.m; i++ {
+		if i == pr {
+			continue
+		}
+		row := t.a[i*w : (i+1)*w]
+		f := row[pc]
+		if f == 0 {
+			continue
+		}
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+		row[pc] = 0 // exact
+		t.b[i] -= f * t.b[pr]
+		if t.b[i] < 0 && t.b[i] > -t.tol {
+			t.b[i] = 0
+		}
+	}
+	if f := t.objRow[pc]; f != 0 {
+		for j := range t.objRow {
+			t.objRow[j] -= f * prow[j]
+		}
+		t.objRow[pc] = 0
+	}
+	t.basis[pr] = pc
+}
+
+// artificialResidual returns the total value of basic artificial variables.
+func (t *tableau) artificialResidual() float64 {
+	var s float64
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] >= t.artBase {
+			s += t.b[i]
+		}
+	}
+	return s
+}
+
+// driveOutArtificials pivots basic artificials (at value zero after a
+// feasible phase 1) out of the basis wherever a usable pivot exists. Rows
+// with no usable pivot are redundant and stay inert: their artificial never
+// re-enters pricing, and every other entry of the row is (numerically)
+// zero, so later pivots leave them untouched.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artBase {
+			continue
+		}
+		row := t.a[i*t.width : (i+1)*t.width]
+		for j := 0; j < t.artBase; j++ {
+			if math.Abs(row[j]) > t.tol*100 {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}
+
+// extract returns the structural solution vector of the current basis.
+func (t *tableau) extract(p *Problem) []float64 {
+	x := make([]float64, p.nVars)
+	for i := 0; i < t.m; i++ {
+		if v := t.basis[i]; v < p.nVars {
+			val := t.b[i]
+			if val < 0 && val > -t.tol*100 {
+				val = 0
+			}
+			x[v] = val
+		}
+	}
+	return x
+}

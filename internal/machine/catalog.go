@@ -1,0 +1,80 @@
+package machine
+
+// GPU is one catalog entry: a server accelerator with its published dense
+// FP32 throughput and board power. Efficiency is derived as Speed/Power.
+type GPU struct {
+	Name  string
+	Year  int
+	Speed float64 // GFLOP/s (dense FP32)
+	Power float64 // W (TDP)
+}
+
+// Machine converts the catalog entry to a schedulable Machine.
+func (g GPU) Machine() Machine { return Machine{Name: g.Name, Speed: g.Speed, Power: g.Power} }
+
+// Efficiency returns the catalog entry's energy efficiency in GFLOPS/W.
+func (g GPU) Efficiency() float64 { return g.Speed / g.Power }
+
+// Catalog lists NVIDIA data-center GPUs with published dense FP32
+// throughput and TDP — the population behind the paper's Figure 1 (after
+// Desislavov et al. 2023). The general trend is that efficiency improves
+// roughly linearly with speed across hardware generations, with low-power
+// inference cards (P4, T4, A2000) as efficient outliers.
+var Catalog = []GPU{
+	{Name: "Tesla K40", Year: 2013, Speed: 4_290, Power: 235},
+	{Name: "Tesla K80", Year: 2014, Speed: 5_590, Power: 300},
+	{Name: "Tesla M40", Year: 2015, Speed: 6_840, Power: 250},
+	{Name: "Tesla M60", Year: 2015, Speed: 9_650, Power: 300},
+	{Name: "Tesla P4", Year: 2016, Speed: 5_500, Power: 75},
+	{Name: "Tesla P40", Year: 2016, Speed: 11_760, Power: 250},
+	{Name: "Tesla P100", Year: 2016, Speed: 9_300, Power: 250},
+	{Name: "Tesla V100", Year: 2017, Speed: 14_130, Power: 250},
+	{Name: "Tesla T4", Year: 2018, Speed: 8_140, Power: 70},
+	{Name: "RTX A2000", Year: 2021, Speed: 8_000, Power: 70},
+	{Name: "A30", Year: 2021, Speed: 10_320, Power: 165},
+	{Name: "A40", Year: 2020, Speed: 37_400, Power: 300},
+	{Name: "A100 SXM", Year: 2020, Speed: 19_500, Power: 400},
+}
+
+// CatalogFleet returns the whole catalog as a Fleet.
+func CatalogFleet() Fleet {
+	out := make(Fleet, len(Catalog))
+	for i, g := range Catalog {
+		out[i] = g.Machine()
+	}
+	return out
+}
+
+// EfficiencyTrend fits efficiency = alpha·speed + beta by ordinary least
+// squares over the catalog, reproducing the linear trend the paper reads
+// off Figure 1. It returns the slope (GFLOPS/W per GFLOP/s), the intercept
+// (GFLOPS/W) and the coefficient of determination R².
+func EfficiencyTrend(gpus []GPU) (alpha, beta, r2 float64) {
+	n := float64(len(gpus))
+	if n == 0 {
+		return 0, 0, 0
+	}
+	var sx, sy float64
+	for _, g := range gpus {
+		sx += g.Speed
+		sy += g.Efficiency()
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for _, g := range gpus {
+		dx, dy := g.Speed-mx, g.Efficiency()-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, my, 0
+	}
+	alpha = sxy / sxx
+	beta = my - alpha*mx
+	if syy == 0 {
+		return alpha, beta, 1
+	}
+	r2 = (sxy * sxy) / (sxx * syy)
+	return alpha, beta, r2
+}

@@ -1,0 +1,158 @@
+// Package machine models the heterogeneous servers of the DSCT-EA problem.
+// A machine r is characterised by its speed s_r (GFLOP/s), its power draw
+// P_r (W) and the derived energy efficiency E_r = s_r / P_r (GFLOPS/W).
+// The package also embeds a catalog of NVIDIA server GPUs with published
+// throughput/TDP figures — the data behind the paper's Figure 1 (after
+// Desislavov et al., "Trends in AI inference energy consumption") — and the
+// uniform fleet generators used by the paper's experiments (speeds 1–20
+// TFLOPS, efficiencies 5–60 GFLOPS/W).
+//
+// Units: speed GFLOP/s, power W, work GFLOPs, time s, energy J. With these
+// units energy per GFLOP equals 1/E_r.
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Machine is one processing unit of the cluster.
+type Machine struct {
+	Name  string  `json:"name,omitempty"`
+	Speed float64 `json:"speed"` // GFLOP/s
+	Power float64 `json:"power"` // W
+}
+
+// Efficiency returns E_r = Speed/Power in GFLOPS/W.
+func (m Machine) Efficiency() float64 { return m.Speed / m.Power }
+
+// EnergyPerGFLOP returns the Joules consumed per GFLOP of work, 1/E_r.
+func (m Machine) EnergyPerGFLOP() float64 { return m.Power / m.Speed }
+
+// Validate checks that the machine has positive speed and power.
+func (m Machine) Validate() error {
+	if m.Speed <= 0 {
+		return fmt.Errorf("machine %q: speed must be positive, got %g", m.Name, m.Speed)
+	}
+	if m.Power <= 0 {
+		return fmt.Errorf("machine %q: power must be positive, got %g", m.Name, m.Power)
+	}
+	return nil
+}
+
+// String renders the machine compactly.
+func (m Machine) String() string {
+	return fmt.Sprintf("%s{%.3g TFLOPS, %.3g W, %.3g GFLOPS/W}", m.Name, m.Speed/1000, m.Power, m.Efficiency())
+}
+
+// New returns a machine from speed (GFLOP/s) and efficiency (GFLOPS/W),
+// deriving the power draw. It panics on non-positive arguments; it is the
+// constructor used by generators and tests where (s, E) is the natural
+// parameterisation, as in the paper.
+func New(name string, speedGFLOPS, efficiencyGFLOPSPerW float64) Machine {
+	if speedGFLOPS <= 0 || efficiencyGFLOPSPerW <= 0 {
+		panic(fmt.Sprintf("machine: non-positive parameters (%g, %g)", speedGFLOPS, efficiencyGFLOPSPerW))
+	}
+	return Machine{Name: name, Speed: speedGFLOPS, Power: speedGFLOPS / efficiencyGFLOPSPerW}
+}
+
+// Fleet is an ordered collection of machines. The scheduling algorithms
+// index machines by position in the fleet.
+type Fleet []Machine
+
+// Validate checks every machine.
+func (f Fleet) Validate() error {
+	if len(f) == 0 {
+		return fmt.Errorf("machine: empty fleet")
+	}
+	for i, m := range f {
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("machine %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// TotalSpeed returns Σ_r s_r in GFLOP/s.
+func (f Fleet) TotalSpeed() float64 {
+	var s float64
+	for _, m := range f {
+		s += m.Speed
+	}
+	return s
+}
+
+// TotalPower returns Σ_r P_r in W.
+func (f Fleet) TotalPower() float64 {
+	var p float64
+	for _, m := range f {
+		p += m.Power
+	}
+	return p
+}
+
+// ByEfficiencyDesc returns the fleet indices sorted by non-increasing
+// energy efficiency (most efficient machine first), breaking ties by
+// higher speed then lower index for determinism.
+func (f Fleet) ByEfficiencyDesc() []int {
+	idx := make([]int, len(f))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		ea, eb := f[ia].Efficiency(), f[ib].Efficiency()
+		if ea != eb {
+			return ea > eb
+		}
+		if f[ia].Speed != f[ib].Speed {
+			return f[ia].Speed > f[ib].Speed
+		}
+		return ia < ib
+	})
+	return idx
+}
+
+// Clone returns a deep copy of the fleet.
+func (f Fleet) Clone() Fleet { return append(Fleet(nil), f...) }
+
+// Generator parameters for the paper's uniform fleets.
+const (
+	// MinSpeed and MaxSpeed bound the uniform speed distribution, in
+	// GFLOP/s (1–20 TFLOPS, paper §6).
+	MinSpeed = 1_000
+	MaxSpeed = 20_000
+	// MinEfficiency and MaxEfficiency bound the uniform efficiency
+	// distribution, in GFLOPS/W (5–60, paper §6, after Desislavov et al.).
+	MinEfficiency = 5
+	MaxEfficiency = 60
+)
+
+// UniformFleet draws m machines with speeds uniform in
+// [MinSpeed, MaxSpeed) and efficiencies uniform in
+// [MinEfficiency, MaxEfficiency), the paper's experimental setting.
+func UniformFleet(src *rng.Source, m int) Fleet {
+	if m <= 0 {
+		panic(fmt.Sprintf("machine: fleet size must be positive, got %d", m))
+	}
+	fleet := make(Fleet, m)
+	for i := range fleet {
+		speed := src.Uniform(MinSpeed, MaxSpeed)
+		eff := src.Uniform(MinEfficiency, MaxEfficiency)
+		fleet[i] = New(fmt.Sprintf("m%d", i), speed, eff)
+	}
+	return fleet
+}
+
+// TwoMachineScenario returns the fixed two-machine fleet of the paper's
+// workload-balancing experiment (Fig 6): machine 1 is slower but more
+// energy efficient (2 TFLOPS, 80 GFLOPS/W) than machine 2 (5 TFLOPS,
+// 70 GFLOPS/W).
+func TwoMachineScenario() Fleet {
+	return Fleet{
+		New("m1-efficient", 2_000, 80),
+		New("m2-fast", 5_000, 70),
+	}
+}

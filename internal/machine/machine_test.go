@@ -1,0 +1,192 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMachineBasics(t *testing.T) {
+	m := New("gpu", 2_000, 80)
+	if m.Speed != 2_000 {
+		t.Errorf("Speed = %g", m.Speed)
+	}
+	if math.Abs(m.Power-25) > 1e-12 {
+		t.Errorf("Power = %g, want 25", m.Power)
+	}
+	if math.Abs(m.Efficiency()-80) > 1e-12 {
+		t.Errorf("Efficiency = %g, want 80", m.Efficiency())
+	}
+	if math.Abs(m.EnergyPerGFLOP()-1.0/80) > 1e-15 {
+		t.Errorf("EnergyPerGFLOP = %g", m.EnergyPerGFLOP())
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+	if m.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	if err := (Machine{Speed: 0, Power: 10}).Validate(); err == nil {
+		t.Error("zero speed should fail")
+	}
+	if err := (Machine{Speed: 10, Power: 0}).Validate(); err == nil {
+		t.Error("zero power should fail")
+	}
+	if err := (Fleet{}).Validate(); err == nil {
+		t.Error("empty fleet should fail")
+	}
+	if err := (Fleet{{Speed: 1, Power: 1}, {Speed: -1, Power: 1}}).Validate(); err == nil {
+		t.Error("fleet with bad machine should fail")
+	}
+}
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with non-positive speed should panic")
+		}
+	}()
+	New("bad", 0, 10)
+}
+
+func TestFleetAggregates(t *testing.T) {
+	f := Fleet{New("a", 1_000, 10), New("b", 3_000, 30)}
+	if f.TotalSpeed() != 4_000 {
+		t.Errorf("TotalSpeed = %g", f.TotalSpeed())
+	}
+	if math.Abs(f.TotalPower()-200) > 1e-9 {
+		t.Errorf("TotalPower = %g, want 200", f.TotalPower())
+	}
+	c := f.Clone()
+	c[0].Speed = 99
+	if f[0].Speed == 99 {
+		t.Error("Clone should be independent")
+	}
+}
+
+func TestByEfficiencyDesc(t *testing.T) {
+	f := Fleet{
+		New("low", 5_000, 10),
+		New("high", 2_000, 80),
+		New("mid", 1_000, 40),
+	}
+	order := f.ByEfficiencyDesc()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	// Ties break by higher speed, then index.
+	tied := Fleet{New("slow", 1_000, 20), New("fast", 2_000, 20)}
+	o := tied.ByEfficiencyDesc()
+	if o[0] != 1 || o[1] != 0 {
+		t.Errorf("tie-break order = %v, want [1 0]", o)
+	}
+}
+
+func TestUniformFleetRanges(t *testing.T) {
+	src := rng.New(1, "fleet")
+	f := UniformFleet(src, 200)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range f {
+		if m.Speed < MinSpeed || m.Speed >= MaxSpeed {
+			t.Fatalf("speed %g out of range", m.Speed)
+		}
+		e := m.Efficiency()
+		if e < MinEfficiency-1e-9 || e >= MaxEfficiency+1e-9 {
+			t.Fatalf("efficiency %g out of range", e)
+		}
+	}
+}
+
+func TestUniformFleetDeterminism(t *testing.T) {
+	a := UniformFleet(rng.New(7, "det"), 5)
+	b := UniformFleet(rng.New(7, "det"), 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fleet generation is not deterministic at %d", i)
+		}
+	}
+}
+
+func TestUniformFleetPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("UniformFleet(_, 0) should panic")
+		}
+	}()
+	UniformFleet(rng.New(1, "x"), 0)
+}
+
+func TestTwoMachineScenario(t *testing.T) {
+	f := TwoMachineScenario()
+	if len(f) != 2 {
+		t.Fatalf("len = %d", len(f))
+	}
+	if f[0].Speed != 2_000 || math.Abs(f[0].Efficiency()-80) > 1e-9 {
+		t.Errorf("machine 1 = %v", f[0])
+	}
+	if f[1].Speed != 5_000 || math.Abs(f[1].Efficiency()-70) > 1e-9 {
+		t.Errorf("machine 2 = %v", f[1])
+	}
+	if f[0].Efficiency() <= f[1].Efficiency() {
+		t.Error("machine 1 must be more efficient than machine 2")
+	}
+	if f[0].Speed >= f[1].Speed {
+		t.Error("machine 1 must be slower than machine 2")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	if len(Catalog) < 10 {
+		t.Fatalf("catalog too small: %d entries", len(Catalog))
+	}
+	fleet := CatalogFleet()
+	if err := fleet.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range Catalog {
+		if g.Year < 2010 || g.Year > 2024 {
+			t.Errorf("%s: implausible year %d", g.Name, g.Year)
+		}
+		if g.Efficiency() <= 0 || g.Efficiency() > 200 {
+			t.Errorf("%s: implausible efficiency %g", g.Name, g.Efficiency())
+		}
+	}
+}
+
+func TestEfficiencyTrendPositive(t *testing.T) {
+	// The paper's Fig 1 observation: efficiency improves with speed.
+	alpha, _, r2 := EfficiencyTrend(Catalog)
+	if alpha <= 0 {
+		t.Errorf("trend slope = %g, want positive", alpha)
+	}
+	if r2 < 0 || r2 > 1 {
+		t.Errorf("R² = %g out of [0,1]", r2)
+	}
+}
+
+func TestEfficiencyTrendEdgeCases(t *testing.T) {
+	if a, b, r2 := EfficiencyTrend(nil); a != 0 || b != 0 || r2 != 0 {
+		t.Error("empty input should return zeros")
+	}
+	// Identical speeds: slope undefined, returns mean as intercept.
+	same := []GPU{{Speed: 10, Power: 1}, {Speed: 10, Power: 2}}
+	a, b, _ := EfficiencyTrend(same)
+	if a != 0 || math.Abs(b-7.5) > 1e-12 {
+		t.Errorf("degenerate trend = %g, %g", a, b)
+	}
+	// Perfectly linear data: R² = 1.
+	lin := []GPU{{Speed: 1000, Power: 100}, {Speed: 2000, Power: 100}, {Speed: 3000, Power: 100}}
+	_, _, r2 := EfficiencyTrend(lin)
+	if math.Abs(r2-1) > 1e-9 {
+		t.Errorf("R² on linear data = %g, want 1", r2)
+	}
+}

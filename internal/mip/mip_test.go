@@ -1,0 +1,322 @@
+package mip
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/rng"
+)
+
+// knapsackProblem builds a 0/1 knapsack max Σ v_i x_i s.t. Σ w_i x_i <= cap,
+// x_i in {0,1} (with explicit x_i <= 1 rows).
+func knapsackProblem(values, weights []float64, capacity float64) *Problem {
+	n := len(values)
+	p := lp.NewProblem(n)
+	var capTerms []lp.Term
+	for i := 0; i < n; i++ {
+		p.SetObjCoef(i, values[i])
+		p.AddConstraint([]lp.Term{{Var: i, Coef: 1}}, lp.LE, 1)
+		capTerms = append(capTerms, lp.Term{Var: i, Coef: weights[i]})
+	}
+	p.AddConstraint(capTerms, lp.LE, capacity)
+	ints := make([]int, n)
+	for i := range ints {
+		ints[i] = i
+	}
+	return &Problem{LP: p, Integers: ints}
+}
+
+// bruteKnapsack solves the knapsack exactly by enumeration.
+func bruteKnapsack(values, weights []float64, capacity float64) float64 {
+	n := len(values)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var v, w float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += values[i]
+				w += weights[i]
+			}
+		}
+		if w <= capacity && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestKnapsackSmall(t *testing.T) {
+	values := []float64{60, 100, 120}
+	weights := []float64{10, 20, 30}
+	res, err := Solve(knapsackProblem(values, weights, 50), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Objective-220) > 1e-6 {
+		t.Errorf("objective = %g, want 220", res.Objective)
+	}
+	// x = (0, 1, 1).
+	if res.X[0] > intTol || res.X[1] < 1-intTol || res.X[2] < 1-intTol {
+		t.Errorf("x = %v, want [0 1 1]", res.X)
+	}
+	if res.Bound < res.Objective-1e-6 {
+		t.Errorf("bound %g below objective %g", res.Bound, res.Objective)
+	}
+}
+
+func TestKnapsackRandomAgainstBruteForce(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		src := rng.NewReplicate(11, "knap", trial)
+		n := 4 + src.Intn(9) // 4..12 items
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		var total float64
+		for i := range values {
+			values[i] = src.Uniform(1, 100)
+			weights[i] = src.Uniform(1, 50)
+			total += weights[i]
+		}
+		capacity := total * src.Uniform(0.2, 0.8)
+		res, err := Solve(knapsackProblem(values, weights, capacity), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, res.Status)
+		}
+		want := bruteKnapsack(values, weights, capacity)
+		if math.Abs(res.Objective-want) > 1e-5 {
+			t.Errorf("trial %d: objective %g, want %g", trial, res.Objective, want)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	src := rng.New(13, "par")
+	n := 14
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	var total float64
+	for i := range values {
+		values[i] = src.Uniform(1, 100)
+		weights[i] = src.Uniform(1, 50)
+		total += weights[i]
+	}
+	capacity := total * 0.45
+	prob := knapsackProblem(values, weights, capacity)
+	serial, err := Solve(prob, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Solve(prob, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Status != Optimal || parallel.Status != Optimal {
+		t.Fatalf("statuses: %v, %v", serial.Status, parallel.Status)
+	}
+	if math.Abs(serial.Objective-parallel.Objective) > 1e-6 {
+		t.Errorf("serial %g != parallel %g", serial.Objective, parallel.Objective)
+	}
+}
+
+func TestInfeasibleMIP(t *testing.T) {
+	p := lp.NewProblem(1)
+	p.SetObjCoef(0, 1)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.GE, 2)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.LE, 1)
+	res, err := Solve(&Problem{LP: p, Integers: []int{0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestIntegerInfeasibleByBranching(t *testing.T) {
+	// LP feasible only at x = 0.5: 2x == 1 with x integral -> infeasible.
+	p := lp.NewProblem(1)
+	p.SetObjCoef(0, 1)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 2}}, lp.EQ, 1)
+	res, err := Solve(&Problem{LP: p, Integers: []int{0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnboundedRoot(t *testing.T) {
+	p := lp.NewProblem(1)
+	p.SetObjCoef(0, 1)
+	if _, err := Solve(&Problem{LP: p, Integers: []int{0}}, Options{}); err == nil {
+		t.Error("unbounded root should error")
+	}
+}
+
+func TestPureLPNoIntegers(t *testing.T) {
+	p := lp.NewProblem(1)
+	p.SetObjCoef(0, 1)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.LE, 2.5)
+	res, err := Solve(&Problem{LP: p}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-2.5) > 1e-7 {
+		t.Errorf("got %v obj %g", res.Status, res.Objective)
+	}
+}
+
+func TestGeneralIntegerBranching(t *testing.T) {
+	// max x + y s.t. 2x + 3y <= 12.5, x,y integer >= 0 -> relaxation is
+	// fractional; integer optimum value 6 (e.g. x=6, y=0 gives 12 <= 12.5).
+	p := lp.NewProblem(2)
+	p.SetObjCoef(0, 1)
+	p.SetObjCoef(1, 1)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 2}, {Var: 1, Coef: 3}}, lp.LE, 12.5)
+	res, err := Solve(&Problem{LP: p, Integers: []int{0, 1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-6) > 1e-6 {
+		t.Errorf("got %v obj %g, want 6", res.Status, res.Objective)
+	}
+	for _, v := range res.X {
+		if math.Abs(v-math.Round(v)) > intTol*10 {
+			t.Errorf("non-integral solution %v", res.X)
+		}
+	}
+}
+
+func TestDeadlineStopsSearch(t *testing.T) {
+	src := rng.New(17, "deadline")
+	n := 22
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	var total float64
+	for i := range values {
+		values[i] = src.Uniform(1, 100)
+		weights[i] = src.Uniform(1, 50)
+		total += weights[i]
+	}
+	prob := knapsackProblem(values, weights, total*0.5)
+	res, err := Solve(prob, Options{Deadline: time.Now().Add(20 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must stop promptly with some status; bound must dominate objective.
+	if res.Status == Optimal {
+		t.Skip("machine fast enough to prove optimality in 20ms")
+	}
+	if res.Status == Feasible && res.Bound < res.Objective-1e-6 {
+		t.Errorf("bound %g < incumbent %g", res.Bound, res.Objective)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	values := []float64{10, 20, 30, 40, 50, 60}
+	weights := []float64{1, 2, 3, 4, 5, 6}
+	prob := knapsackProblem(values, weights, 10.5)
+	res, err := Solve(prob, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes > 1 {
+		t.Errorf("processed %d nodes, limit 1", res.Nodes)
+	}
+	if res.Status == Optimal {
+		// With one node the relaxation must have been already integral.
+		t.Logf("root relaxation integral")
+	}
+}
+
+func TestRoundingHookProvidesIncumbent(t *testing.T) {
+	values := []float64{60, 100, 120}
+	weights := []float64{10, 20, 30}
+	prob := knapsackProblem(values, weights, 50)
+	called := false
+	hook := func(x []float64) ([]float64, bool) {
+		called = true
+		fixed := make([]float64, len(x))
+		for i, v := range x {
+			if v > 0.99 { // conservative rounding keeps the capacity feasible
+				fixed[i] = 1
+			}
+		}
+		return fixed, true
+	}
+	res, err := Solve(prob, Options{Rounding: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("rounding hook never called")
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-220) > 1e-6 {
+		t.Errorf("got %v obj %g", res.Status, res.Objective)
+	}
+}
+
+func TestOnNodeCallback(t *testing.T) {
+	count := 0
+	values := []float64{3, 5, 7, 9}
+	weights := []float64{2, 3, 4, 5}
+	_, err := Solve(knapsackProblem(values, weights, 7.5), Options{OnNode: func(int) { count++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Error("OnNode never invoked")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{Optimal, Feasible, NoIncumbent, Infeasible, Status(42)} {
+		if s.String() == "" {
+			t.Error("empty status string")
+		}
+	}
+}
+
+func TestDepthFirstMatchesBestBound(t *testing.T) {
+	src := rng.New(31, "dfs")
+	n := 12
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	var total float64
+	for i := range values {
+		values[i] = src.Uniform(1, 100)
+		weights[i] = src.Uniform(1, 50)
+		total += weights[i]
+	}
+	prob := knapsackProblem(values, weights, total*0.4)
+	bb, err := Solve(prob, Options{Strategy: BestBound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs, err := Solve(prob, Options{Strategy: DepthFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.Status != Optimal || dfs.Status != Optimal {
+		t.Fatalf("statuses %v %v", bb.Status, dfs.Status)
+	}
+	if math.Abs(bb.Objective-dfs.Objective) > 1e-6 {
+		t.Errorf("best-bound %g != depth-first %g", bb.Objective, dfs.Objective)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for _, s := range []Strategy{BestBound, DepthFirst, Strategy(7)} {
+		if s.String() == "" {
+			t.Error("empty strategy string")
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package mip
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// ErrUnbounded is returned when the root relaxation is unbounded.
+var ErrUnbounded = errors.New("mip: unbounded relaxation")
+
+// Solve runs branch-and-bound on p.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 1 << 20
+	}
+	if opts.Gap == 0 {
+		opts.Gap = 1e-6
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	s := &searcher{
+		prob:      p,
+		opts:      opts,
+		incumbent: math.Inf(-1),
+		inflight:  make(map[*node]struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.queue.strat = opts.Strategy
+	heap.Push(&s.queue, &node{bound: math.Inf(1)})
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.run()
+		}()
+	}
+	wg.Wait()
+
+	if s.err != nil {
+		return nil, s.err
+	}
+	res := &Result{
+		Nodes:   s.nodes,
+		Elapsed: time.Since(start),
+	}
+	hasIncumbent := !math.IsInf(s.incumbent, -1)
+	if hasIncumbent {
+		res.Objective = s.incumbent
+		res.X = s.incumbentX
+	}
+	switch {
+	case !s.stopped && hasIncumbent:
+		res.Status = Optimal
+		res.Bound = s.incumbent
+	case !s.stopped:
+		res.Status = Infeasible
+		res.Bound = math.Inf(-1)
+	case hasIncumbent:
+		res.Status = Feasible
+		res.Bound = s.openBound()
+	default:
+		res.Status = NoIncumbent
+		res.Bound = s.openBound()
+	}
+	return res, nil
+}
+
+type searcher struct {
+	prob *Problem
+	opts Options
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      nodeQueue
+	inflight   map[*node]struct{}
+	incumbent  float64
+	incumbentX []float64
+	nodes      int
+	stopped    bool
+	err        error
+}
+
+// openBound returns the best upper bound over open and in-flight nodes and
+// the incumbent; callers must not hold the mutex.
+func (s *searcher) openBound() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.incumbent
+	for _, nd := range s.queue.items {
+		if nd.bound > b {
+			b = nd.bound
+		}
+	}
+	for nd := range s.inflight {
+		if nd.bound > b {
+			b = nd.bound
+		}
+	}
+	return b
+}
+
+// run is one worker's loop.
+func (s *searcher) run() {
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && len(s.inflight) > 0 && !s.stopped {
+			s.cond.Wait()
+		}
+		if s.stopped || (s.queue.Len() == 0 && len(s.inflight) == 0) {
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		nd := heap.Pop(&s.queue).(*node)
+		if nd.bound <= s.incumbent+s.opts.Gap {
+			// Pruned by bound; nothing in flight changes.
+			s.mu.Unlock()
+			continue
+		}
+		if s.nodes >= s.opts.MaxNodes {
+			heap.Push(&s.queue, nd) // keep for bound reporting
+			s.stopped = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
+			heap.Push(&s.queue, nd)
+			s.stopped = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		s.nodes++
+		nodeNum := s.nodes
+		s.inflight[nd] = struct{}{}
+		if s.opts.OnNode != nil {
+			s.opts.OnNode(s.nodes)
+		}
+		s.mu.Unlock()
+
+		children, fatal := s.process(nd, nodeNum)
+
+		s.mu.Lock()
+		delete(s.inflight, nd)
+		if fatal != nil && s.err == nil {
+			s.err = fatal
+			s.stopped = true
+		}
+		for _, c := range children {
+			heap.Push(&s.queue, c)
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// process solves one node relaxation and returns child nodes.
+func (s *searcher) process(nd *node, nodeNum int) (children []*node, fatal error) {
+	sol, err := s.solveNodeLP(nd.fixes, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return nil, nil
+	case lp.Unbounded:
+		if len(nd.fixes) == 0 {
+			return nil, ErrUnbounded
+		}
+		return nil, nil // cannot happen below a bounded root; drop defensively
+	case lp.TimeLimit, lp.IterLimit:
+		s.mu.Lock()
+		s.stopped = true
+		s.mu.Unlock()
+		return nil, nil
+	}
+
+	s.mu.Lock()
+	pruned := sol.Objective <= s.incumbent+s.opts.Gap
+	s.mu.Unlock()
+	if pruned {
+		return nil, nil
+	}
+
+	branchVar := s.mostFractional(sol.X)
+	if branchVar == -1 {
+		// Integral: candidate incumbent.
+		s.offerIncumbent(sol.Objective, sol.X)
+		return nil, nil
+	}
+
+	// Primal heuristic: at the root and periodically thereafter, round the
+	// fractional solution, fix all integers and re-solve for a quick
+	// incumbent.
+	if s.opts.Rounding != nil && (len(nd.fixes) == 0 || nodeNum%16 == 0) {
+		if fixed, ok := s.opts.Rounding(sol.X); ok && len(fixed) == len(s.prob.Integers) {
+			if hsol, err := s.solveNodeLP(nd.fixes, fixed); err == nil && hsol.Status == lp.Optimal {
+				if s.mostFractional(hsol.X) == -1 {
+					s.offerIncumbent(hsol.Objective, hsol.X)
+				}
+			}
+		}
+	}
+
+	val := sol.X[branchVar]
+	down := &node{
+		fixes: append(append([]fix(nil), nd.fixes...), fix{Var: branchVar, Sense: lp.LE, Val: math.Floor(val)}),
+		bound: sol.Objective,
+	}
+	up := &node{
+		fixes: append(append([]fix(nil), nd.fixes...), fix{Var: branchVar, Sense: lp.GE, Val: math.Ceil(val)}),
+		bound: sol.Objective,
+	}
+	return []*node{down, up}, nil
+}
+
+// solveNodeLP clones the base LP, applies branching fixes (and, when
+// heuristicFix is non-nil, equality fixes for every integer variable) and
+// solves it.
+func (s *searcher) solveNodeLP(fixes []fix, heuristicFix []float64) (*lp.Solution, error) {
+	p := s.prob.LP.Clone()
+	for _, f := range fixes {
+		p.AddConstraint([]lp.Term{{Var: f.Var, Coef: 1}}, f.Sense, f.Val)
+	}
+	if heuristicFix != nil {
+		for i, v := range s.prob.Integers {
+			p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.EQ, heuristicFix[i])
+		}
+	}
+	lpOpts := s.opts.LP
+	lpOpts.Deadline = s.opts.Deadline
+	return lp.Solve(p, lpOpts)
+}
+
+// mostFractional returns the integer variable whose value is farthest from
+// integral (closest to 0.5 fractional part), or -1 if all are integral.
+func (s *searcher) mostFractional(x []float64) int {
+	varIdx := -1
+	best := intTol
+	for _, v := range s.prob.Integers {
+		f := x[v] - math.Floor(x[v])
+		dist := math.Min(f, 1-f)
+		if dist > best {
+			best = dist
+			varIdx = v
+		}
+	}
+	return varIdx
+}
+
+// offerIncumbent installs (obj, x) as the incumbent if it improves.
+func (s *searcher) offerIncumbent(obj float64, x []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obj > s.incumbent {
+		s.incumbent = obj
+		s.incumbentX = append([]float64(nil), x...)
+	}
+}

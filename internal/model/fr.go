@@ -1,0 +1,89 @@
+package model
+
+import (
+	"repro/internal/lp"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// FRModel is the DSCT-EA-FR linear program (fractional relaxation,
+// formulation (3a)–(3f)) for one instance: assignment variables are
+// dropped entirely and a task may run on several machines (in parallel).
+type FRModel struct {
+	Inst *task.Instance
+	Prob *lp.Problem
+	n, m int
+}
+
+// TVar returns the variable index of t_jr.
+func (fm *FRModel) TVar(j, r int) int { return j*fm.m + r }
+
+// ZVar returns the variable index of the epigraph variable z_j.
+func (fm *FRModel) ZVar(j int) int { return fm.n*fm.m + j }
+
+// BuildFR constructs the DSCT-EA-FR LP. Variables: t_jr (n·m), z_j (n).
+// Objective: maximize Σ_j z_j (the paper states min Σ −z_j).
+func BuildFR(in *task.Instance) *FRModel {
+	n, m := in.N(), in.M()
+	fm := &FRModel{Inst: in, n: n, m: m}
+	p := lp.NewProblem(n*m + n)
+
+	for j := 0; j < n; j++ {
+		p.SetObjCoef(fm.ZVar(j), 1)
+	}
+
+	for j, tk := range in.Tasks {
+		// (3b): epigraph rows, one per accuracy segment.
+		for _, seg := range tk.Acc.Segments() {
+			terms := []lp.Term{{Var: fm.ZVar(j), Coef: 1}}
+			for r, mc := range in.Machines {
+				terms = append(terms, lp.Term{Var: fm.TVar(j, r), Coef: -seg.Slope * mc.Speed})
+			}
+			p.AddConstraint(terms, lp.LE, seg.Intercept)
+		}
+		// (3d): Σ_r s_r·t_jr <= f_j^max.
+		aggTerms := make([]lp.Term, 0, m)
+		for r, mc := range in.Machines {
+			aggTerms = append(aggTerms, lp.Term{Var: fm.TVar(j, r), Coef: mc.Speed})
+		}
+		p.AddConstraint(aggTerms, lp.LE, tk.FMax())
+	}
+
+	// (3c): deadline staircases.
+	for r := 0; r < m; r++ {
+		for j, tk := range in.Tasks {
+			terms := make([]lp.Term, 0, j+1)
+			for i := 0; i <= j; i++ {
+				terms = append(terms, lp.Term{Var: fm.TVar(i, r), Coef: 1})
+			}
+			p.AddConstraint(terms, lp.LE, tk.Deadline)
+		}
+	}
+
+	// (3e): energy budget.
+	eTerms := make([]lp.Term, 0, n*m)
+	for j := 0; j < n; j++ {
+		for r, mc := range in.Machines {
+			eTerms = append(eTerms, lp.Term{Var: fm.TVar(j, r), Coef: mc.Power})
+		}
+	}
+	p.AddConstraint(eTerms, lp.LE, in.Budget)
+
+	fm.Prob = p
+	return fm
+}
+
+// Schedule converts a solver vector into a (fractional) Schedule.
+func (fm *FRModel) Schedule(x []float64) *schedule.Schedule {
+	s := schedule.New(fm.n, fm.m)
+	for j := 0; j < fm.n; j++ {
+		for r := 0; r < fm.m; r++ {
+			v := x[fm.TVar(j, r)]
+			if v < 0 {
+				v = 0
+			}
+			s.Times[j][r] = v
+		}
+	}
+	return s
+}

@@ -1,0 +1,166 @@
+// Package model translates DSCT-EA problem instances into the solver
+// representations of packages lp and mip:
+//
+//   - BuildMIP emits the paper's Mixed-Integer Program (formulation
+//     (1a)–(1g) with the piecewise-linear objective linearised through the
+//     epigraph variables z_j of §3.2) — the "DSCT-EA-Opt" exact baseline.
+//   - BuildFR emits the fractional relaxation DSCT-EA-FR as a pure LP
+//     (formulation (3a)–(3f)) — the paper's "DSCT-EA-FR [Mosek]" column in
+//     Table 1.
+//
+// Both builders return models that can map solver vectors back into
+// schedule.Schedule values.
+package model
+
+import (
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/mip"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// MIPModel is the DSCT-EA mixed-integer program for one instance.
+type MIPModel struct {
+	Inst *task.Instance
+	Prob *mip.Problem
+	n, m int
+}
+
+// TVar returns the variable index of t_jr (processing time of task j on
+// machine r, seconds).
+func (mm *MIPModel) TVar(j, r int) int { return j*mm.m + r }
+
+// XVar returns the variable index of the binary x_jr (task j assigned to
+// machine r).
+func (mm *MIPModel) XVar(j, r int) int { return mm.n*mm.m + j*mm.m + r }
+
+// ZVar returns the variable index of the epigraph variable z_j
+// (z_j <= a_j(f_j) at the optimum, z_j = a_j(f_j)).
+func (mm *MIPModel) ZVar(j int) int { return 2*mm.n*mm.m + j }
+
+// BuildMIP constructs the paper's MIP for the instance. Variables:
+// t_jr (n·m), x_jr (n·m, binary), z_j (n). Objective: maximize Σ_j z_j,
+// which equals n minus the paper's minimisation objective (1a).
+func BuildMIP(in *task.Instance) *MIPModel {
+	n, m := in.N(), in.M()
+	mm := &MIPModel{Inst: in, n: n, m: m}
+	p := lp.NewProblem(2*n*m + n)
+
+	for j := 0; j < n; j++ {
+		p.SetObjCoef(mm.ZVar(j), 1)
+	}
+
+	for j, tk := range in.Tasks {
+		// (3b): z_j <= α_jk · Σ_r s_r t_jr + b_jk for every segment k.
+		for _, seg := range tk.Acc.Segments() {
+			terms := []lp.Term{{Var: mm.ZVar(j), Coef: 1}}
+			for r, mc := range in.Machines {
+				terms = append(terms, lp.Term{Var: mm.TVar(j, r), Coef: -seg.Slope * mc.Speed})
+			}
+			p.AddConstraint(terms, lp.LE, seg.Intercept)
+		}
+		// z_j <= a_max (redundant at integral points; keeps the relaxation's
+		// epigraph bounded where fractional x lets f_j exceed f_j^max).
+		p.AddConstraint([]lp.Term{{Var: mm.ZVar(j), Coef: 1}}, lp.LE, tk.Acc.AMax())
+
+		// (1c), per machine as printed: t_jr·s_r <= f_j^max.
+		for r, mc := range in.Machines {
+			p.AddConstraint([]lp.Term{{Var: mm.TVar(j, r), Coef: mc.Speed}}, lp.LE, tk.FMax())
+		}
+		// Aggregate work cap Σ_r s_r·t_jr <= f_j^max — valid for every
+		// integral solution (only one machine is used) and strengthens the
+		// LP relaxation, where (1c) alone would allow up to m·f_j^max.
+		aggTerms := make([]lp.Term, 0, m)
+		for r, mc := range in.Machines {
+			aggTerms = append(aggTerms, lp.Term{Var: mm.TVar(j, r), Coef: mc.Speed})
+		}
+		p.AddConstraint(aggTerms, lp.LE, tk.FMax())
+
+		// (1d): t_jr <= x_jr · d_j.
+		for r := 0; r < m; r++ {
+			p.AddConstraint([]lp.Term{
+				{Var: mm.TVar(j, r), Coef: 1},
+				{Var: mm.XVar(j, r), Coef: -tk.Deadline},
+			}, lp.LE, 0)
+		}
+		// (1e): Σ_r x_jr = 1.
+		xTerms := make([]lp.Term, 0, m)
+		for r := 0; r < m; r++ {
+			xTerms = append(xTerms, lp.Term{Var: mm.XVar(j, r), Coef: 1})
+		}
+		p.AddConstraint(xTerms, lp.EQ, 1)
+	}
+
+	// (1b): deadline staircases Σ_{i<=j} t_ir <= d_j for every (j, r).
+	for r := 0; r < m; r++ {
+		for j, tk := range in.Tasks {
+			terms := make([]lp.Term, 0, j+1)
+			for i := 0; i <= j; i++ {
+				terms = append(terms, lp.Term{Var: mm.TVar(i, r), Coef: 1})
+			}
+			p.AddConstraint(terms, lp.LE, tk.Deadline)
+		}
+	}
+
+	// (1f): energy budget Σ_{j,r} P_r·t_jr <= B.
+	eTerms := make([]lp.Term, 0, n*m)
+	for j := 0; j < n; j++ {
+		for r, mc := range in.Machines {
+			eTerms = append(eTerms, lp.Term{Var: mm.TVar(j, r), Coef: mc.Power})
+		}
+	}
+	p.AddConstraint(eTerms, lp.LE, in.Budget)
+
+	ints := make([]int, 0, n*m)
+	for j := 0; j < n; j++ {
+		for r := 0; r < m; r++ {
+			ints = append(ints, mm.XVar(j, r))
+		}
+	}
+	mm.Prob = &mip.Problem{LP: p, Integers: ints}
+	return mm
+}
+
+// Schedule converts a solver vector into a Schedule (reading the t_jr
+// block). Tiny negative residues are clamped to zero.
+func (mm *MIPModel) Schedule(x []float64) *schedule.Schedule {
+	s := schedule.New(mm.n, mm.m)
+	for j := 0; j < mm.n; j++ {
+		for r := 0; r < mm.m; r++ {
+			v := x[mm.TVar(j, r)]
+			if v < 0 {
+				v = 0
+			}
+			s.Times[j][r] = v
+		}
+	}
+	return s
+}
+
+// RoundingHook returns a primal heuristic for the branch-and-bound solver:
+// it assigns each task to its largest-x̂ machine and lets the node LP
+// re-optimise the processing times under those fixed assignments.
+func (mm *MIPModel) RoundingHook() mip.RoundingHook {
+	return func(x []float64) ([]float64, bool) {
+		fixed := make([]float64, mm.n*mm.m)
+		for j := 0; j < mm.n; j++ {
+			best, bestVal := 0, math.Inf(-1)
+			for r := 0; r < mm.m; r++ {
+				if v := x[mm.XVar(j, r)]; v > bestVal {
+					bestVal = v
+					best = r
+				}
+			}
+			fixed[j*mm.m+best] = 1
+		}
+		return fixed, true
+	}
+}
+
+// Objective converts a total-accuracy value (Σ z_j) to the paper's
+// minimisation objective Σ (1 − a_j).
+func (mm *MIPModel) Objective(totalAccuracy float64) float64 {
+	return float64(mm.n) - totalAccuracy
+}

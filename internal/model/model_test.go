@@ -1,0 +1,262 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/mip"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+func genInstance(t *testing.T, seed int64, n, m int, rho, beta float64) *task.Instance {
+	t.Helper()
+	cfg := task.DefaultConfig(n, rho, beta)
+	cfg.ThetaMax = 1.0
+	in, err := task.GenerateUniformFleet(rng.New(seed, "model"), cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestFRModelShape(t *testing.T) {
+	in := genInstance(t, 1, 8, 3, 0.5, 0.5)
+	fm := BuildFR(in)
+	n, m := in.N(), in.M()
+	segs := 0
+	for _, tk := range in.Tasks {
+		segs += tk.Acc.NumSegments()
+	}
+	wantVars := n*m + n
+	if fm.Prob.NumVars() != wantVars {
+		t.Errorf("vars = %d, want %d", fm.Prob.NumVars(), wantVars)
+	}
+	// Rows: segments + fmax (n) + staircases (n·m) + energy (1).
+	wantRows := segs + n + n*m + 1
+	if fm.Prob.NumConstraints() != wantRows {
+		t.Errorf("rows = %d, want %d", fm.Prob.NumConstraints(), wantRows)
+	}
+	// Index layout is a bijection.
+	seen := map[int]bool{}
+	for j := 0; j < n; j++ {
+		for r := 0; r < m; r++ {
+			v := fm.TVar(j, r)
+			if seen[v] {
+				t.Fatalf("duplicate TVar index %d", v)
+			}
+			seen[v] = true
+		}
+		if seen[fm.ZVar(j)] {
+			t.Fatalf("ZVar collides at %d", fm.ZVar(j))
+		}
+		seen[fm.ZVar(j)] = true
+	}
+}
+
+func TestFRSolutionFeasibleAndConsistent(t *testing.T) {
+	in := genInstance(t, 2, 10, 3, 0.5, 0.4)
+	fm := BuildFR(in)
+	sol, err := lp.Solve(fm.Prob, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	s := fm.Schedule(sol.X)
+	if err := s.Validate(in, schedule.ValidateOptions{}); err != nil {
+		t.Fatalf("FR schedule infeasible: %v", err)
+	}
+	// At optimum z_j equals a_j(f_j): objective equals schedule accuracy.
+	if acc := s.TotalAccuracy(in); math.Abs(acc-sol.Objective) > 1e-5 {
+		t.Errorf("LP objective %g != schedule accuracy %g", sol.Objective, acc)
+	}
+}
+
+func TestFRObjectiveMonotoneInBudget(t *testing.T) {
+	// More budget can never hurt the relaxation.
+	var prev float64
+	for i, beta := range []float64{0.05, 0.2, 0.5, 1.0} {
+		in := genInstance(t, 3, 8, 2, 0.5, beta)
+		sol, err := lp.Solve(BuildFR(in).Prob, lp.Options{})
+		if err != nil || sol.Status != lp.Optimal {
+			t.Fatalf("beta=%g: %v %v", beta, sol.Status, err)
+		}
+		if i > 0 && sol.Objective < prev-1e-6 {
+			t.Errorf("objective decreased with budget: %g -> %g", prev, sol.Objective)
+		}
+		prev = sol.Objective
+	}
+}
+
+func TestMIPModelShapeAndSolve(t *testing.T) {
+	in := genInstance(t, 4, 4, 2, 0.8, 0.6)
+	mm := BuildMIP(in)
+	n, m := in.N(), in.M()
+	if mm.Prob.LP.NumVars() != 2*n*m+n {
+		t.Errorf("vars = %d, want %d", mm.Prob.LP.NumVars(), 2*n*m+n)
+	}
+	if len(mm.Prob.Integers) != n*m {
+		t.Errorf("integers = %d, want %d", len(mm.Prob.Integers), n*m)
+	}
+	res, err := mip.Solve(mm.Prob, mip.Options{
+		Deadline: time.Now().Add(30 * time.Second),
+		Rounding: mm.RoundingHook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != mip.Optimal && res.Status != mip.Feasible {
+		t.Fatalf("status %v", res.Status)
+	}
+	s := mm.Schedule(res.X)
+	if err := s.Validate(in, schedule.ValidateOptions{RequireIntegral: true}); err != nil {
+		t.Fatalf("MIP schedule infeasible: %v", err)
+	}
+	if acc := s.TotalAccuracy(in); math.Abs(acc-res.Objective) > 1e-4 {
+		t.Errorf("MIP objective %g != schedule accuracy %g", res.Objective, acc)
+	}
+	if obj := mm.Objective(res.Objective); math.Abs(obj-(float64(n)-res.Objective)) > 1e-9 {
+		t.Errorf("Objective conversion wrong: %g", obj)
+	}
+}
+
+func TestMIPBoundedByFR(t *testing.T) {
+	// The fractional relaxation upper-bounds the integral optimum, and the
+	// MIP's own LP bound must also dominate its incumbent.
+	in := genInstance(t, 5, 4, 2, 0.6, 0.5)
+	fr, err := lp.Solve(BuildFR(in).Prob, lp.Options{})
+	if err != nil || fr.Status != lp.Optimal {
+		t.Fatalf("FR solve: %v %v", fr.Status, err)
+	}
+	mm := BuildMIP(in)
+	res, err := mip.Solve(mm.Prob, mip.Options{Deadline: time.Now().Add(30 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != mip.Optimal {
+		t.Skipf("MIP not solved to optimality in time: %v", res.Status)
+	}
+	if res.Objective > fr.Objective+1e-5 {
+		t.Errorf("integral optimum %g exceeds fractional relaxation %g", res.Objective, fr.Objective)
+	}
+}
+
+func TestRoundingHookShape(t *testing.T) {
+	in := genInstance(t, 6, 3, 2, 0.8, 0.8)
+	mm := BuildMIP(in)
+	hook := mm.RoundingHook()
+	x := make([]float64, mm.Prob.LP.NumVars())
+	// Fractional assignment: x_{j,0} = 0.4, x_{j,1} = 0.6 -> machine 1.
+	for j := 0; j < in.N(); j++ {
+		x[mm.XVar(j, 0)] = 0.4
+		x[mm.XVar(j, 1)] = 0.6
+	}
+	fixed, ok := hook(x)
+	if !ok || len(fixed) != len(mm.Prob.Integers) {
+		t.Fatalf("hook returned ok=%v len=%d", ok, len(fixed))
+	}
+	for j := 0; j < in.N(); j++ {
+		if fixed[j*in.M()+1] != 1 || fixed[j*in.M()+0] != 0 {
+			t.Errorf("task %d rounded to wrong machine: %v", j, fixed[j*in.M():j*in.M()+2])
+		}
+	}
+}
+
+func TestZeroBudgetForcesAMin(t *testing.T) {
+	in := genInstance(t, 7, 5, 2, 0.5, 0)
+	in.Budget = 0
+	sol, err := lp.Solve(BuildFR(in).Prob, lp.Options{})
+	if err != nil || sol.Status != lp.Optimal {
+		t.Fatalf("%v %v", sol.Status, err)
+	}
+	// No energy -> no work -> every task scores a_min.
+	want := 0.0
+	for _, tk := range in.Tasks {
+		want += tk.Acc.AMin()
+	}
+	if math.Abs(sol.Objective-want) > 1e-6 {
+		t.Errorf("objective %g, want Σ a_min = %g", sol.Objective, want)
+	}
+}
+
+func TestFRDualCertificate(t *testing.T) {
+	// The strongest oracle available: an optimal primal/dual pair for the
+	// FR LP must pass lp.Certify, proving both the model build and the
+	// simplex solve correct from first principles.
+	in := genInstance(t, 8, 12, 3, 0.35, 0.4)
+	fm := BuildFR(in)
+	ds, err := lp.SolveWithDuals(fm.Prob, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Status != lp.Optimal {
+		t.Fatalf("status %v", ds.Status)
+	}
+	if err := lp.Certify(fm.Prob, ds.X, ds.Duals, 1e-5); err != nil {
+		t.Fatalf("certificate rejected: %v", err)
+	}
+	// The energy constraint is the last row; its shadow price is the
+	// accuracy gained per extra Joule of budget and cannot be negative.
+	energyDual := ds.Duals[fm.Prob.NumConstraints()-1]
+	if energyDual < -1e-9 {
+		t.Errorf("energy shadow price %g is negative", energyDual)
+	}
+}
+
+// TestMIPAgainstAssignmentEnumeration is an independent oracle for the
+// whole exact path: for a tiny instance, enumerate every task-to-machine
+// assignment, solve the fixed-assignment LP over processing times, and
+// compare the best against branch-and-bound.
+func TestMIPAgainstAssignmentEnumeration(t *testing.T) {
+	in := genInstance(t, 9, 4, 2, 0.15, 0.25)
+	n, m := in.N(), in.M()
+
+	best := math.Inf(-1)
+	assignment := make([]int, n)
+	var enumerate func(j int)
+	enumerate = func(j int) {
+		if j == n {
+			mm := BuildMIP(in)
+			p := mm.Prob.LP.Clone()
+			for jj, r := range assignment {
+				for rr := 0; rr < m; rr++ {
+					v := 0.0
+					if rr == r {
+						v = 1
+					}
+					p.AddConstraint([]lp.Term{{Var: mm.XVar(jj, rr), Coef: 1}}, lp.EQ, v)
+				}
+			}
+			sol, err := lp.Solve(p, lp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Status == lp.Optimal && sol.Objective > best {
+				best = sol.Objective
+			}
+			return
+		}
+		for r := 0; r < m; r++ {
+			assignment[j] = r
+			enumerate(j + 1)
+		}
+	}
+	enumerate(0)
+
+	mm := BuildMIP(in)
+	res, err := mip.Solve(mm.Prob, mip.Options{Deadline: time.Now().Add(60 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != mip.Optimal {
+		t.Skipf("MIP hit the limit: %v", res.Status)
+	}
+	if math.Abs(res.Objective-best) > 1e-5*math.Max(1, best) {
+		t.Errorf("B&B optimum %.9g != enumeration optimum %.9g", res.Objective, best)
+	}
+}

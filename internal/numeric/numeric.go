@@ -1,0 +1,112 @@
+// Package numeric provides small floating-point utilities shared across the
+// repository: tolerant comparisons, compensated (Kahan) summation, clamping
+// and interval helpers. All schedulers in this module operate on float64
+// quantities spanning several orders of magnitude (GFLOPs, seconds, Joules),
+// so a single, consistent tolerance discipline matters.
+package numeric
+
+import "math"
+
+// Eps is the default absolute/relative tolerance used by the schedulers when
+// comparing times, work amounts and energies.
+const Eps = 1e-9
+
+// Close reports whether a and b are equal within tolerance tol, using a
+// mixed absolute/relative criterion: |a-b| <= tol * max(1, |a|, |b|).
+func Close(a, b, tol float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// CloseEps is Close with the default tolerance Eps.
+func CloseEps(a, b float64) bool { return Close(a, b, Eps) }
+
+// LessEq reports whether a <= b within tolerance tol (a may exceed b by a
+// scaled tol and still be considered <=).
+func LessEq(a, b, tol float64) bool {
+	if a <= b {
+		return true
+	}
+	return Close(a, b, tol)
+}
+
+// LessEqEps is LessEq with the default tolerance Eps.
+func LessEqEps(a, b float64) bool { return LessEq(a, b, Eps) }
+
+// Positive reports whether x is meaningfully greater than zero at tolerance
+// tol (scaled against 1 only, since the comparison target is zero).
+func Positive(x, tol float64) bool { return x > tol }
+
+// Clamp limits x to the interval [lo, hi]. It panics if lo > hi.
+func Clamp(x, lo, hi float64) float64 {
+	if lo > hi {
+		panic("numeric: Clamp with lo > hi")
+	}
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// NonNeg returns x if it is positive and 0 otherwise. It is used to squash
+// tiny negative residues produced by cancellation in slack computations.
+func NonNeg(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// Sum returns the compensated (Kahan-Babuška) sum of xs. It is preferred
+// over a plain loop wherever energies or times of many tasks accumulate.
+func Sum(xs []float64) float64 {
+	var s KahanSum
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s.Value()
+}
+
+// KahanSum is a compensated accumulator. The zero value is ready to use.
+type KahanSum struct {
+	sum float64
+	c   float64 // running compensation for lost low-order bits
+}
+
+// Add accumulates x.
+func (k *KahanSum) Add(x float64) {
+	y := x - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// Value returns the current compensated sum.
+func (k *KahanSum) Value() float64 { return k.sum }
+
+// Reset clears the accumulator.
+func (k *KahanSum) Reset() { k.sum, k.c = 0, 0 }
+
+// Min returns the smaller of a and b.
+func Min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// IsFinite reports whether x is neither NaN nor ±Inf.
+func IsFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}

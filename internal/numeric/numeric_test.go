@@ -1,0 +1,140 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClose(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-9, true},
+		{1, 1 + 1e-10, 1e-9, true},
+		{1, 1 + 1e-6, 1e-9, false},
+		{1e12, 1e12 + 1, 1e-9, true}, // relative scaling kicks in
+		{1e12, 1e12 + 1e5, 1e-9, false},
+		{0, 1e-10, 1e-9, true},
+		{0, 1e-6, 1e-9, false},
+		{-5, -5, 1e-9, true},
+	}
+	for _, c := range cases {
+		if got := Close(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("Close(%g,%g,%g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestLessEq(t *testing.T) {
+	if !LessEqEps(1, 2) {
+		t.Error("1 <= 2 should hold")
+	}
+	if !LessEqEps(2, 2) {
+		t.Error("2 <= 2 should hold")
+	}
+	if !LessEqEps(2+1e-12, 2) {
+		t.Error("2+1e-12 <= 2 should hold within tolerance")
+	}
+	if LessEqEps(2.1, 2) {
+		t.Error("2.1 <= 2 should not hold")
+	}
+	if !LessEq(1e12+10, 1e12, 1e-9) {
+		t.Error("relative tolerance should accept 1e12+10 <= 1e12")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Errorf("Clamp(5,0,3) = %g", got)
+	}
+	if got := Clamp(-1, 0, 3); got != 0 {
+		t.Errorf("Clamp(-1,0,3) = %g", got)
+	}
+	if got := Clamp(2, 0, 3); got != 2 {
+		t.Errorf("Clamp(2,0,3) = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp with lo > hi should panic")
+		}
+	}()
+	Clamp(1, 3, 0)
+}
+
+func TestNonNeg(t *testing.T) {
+	if NonNeg(-1e-15) != 0 {
+		t.Error("tiny negative should squash to 0")
+	}
+	if NonNeg(2) != 2 {
+		t.Error("positive should pass through")
+	}
+}
+
+func TestKahanSumPrecision(t *testing.T) {
+	// Summing 1e8 + many tiny values loses precision with naive addition;
+	// Kahan keeps it.
+	var k KahanSum
+	k.Add(1e8)
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		k.Add(1e-8)
+	}
+	want := 1e8 + n*1e-8
+	if math.Abs(k.Value()-want) > 1e-6 {
+		t.Errorf("Kahan sum = %.12f, want %.12f", k.Value(), want)
+	}
+}
+
+func TestKahanReset(t *testing.T) {
+	var k KahanSum
+	k.Add(42)
+	k.Reset()
+	if k.Value() != 0 {
+		t.Errorf("after Reset, Value = %g", k.Value())
+	}
+}
+
+func TestSumMatchesNaiveOnModestInputs(t *testing.T) {
+	f := func(xs []float64) bool {
+		var naive float64
+		for _, x := range xs {
+			if !IsFinite(x) || math.Abs(x) > 1e6 {
+				return true // skip pathological quick inputs
+			}
+			naive += x
+		}
+		return math.Abs(Sum(xs)-naive) <= 1e-6*math.Max(1, math.Abs(naive))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(1, 2) != 1 || Min(2, 1) != 1 {
+		t.Error("Min broken")
+	}
+	if Max(1, 2) != 2 || Max(2, 1) != 2 {
+		t.Error("Max broken")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !IsFinite(1.5) {
+		t.Error("1.5 is finite")
+	}
+	if IsFinite(math.NaN()) || IsFinite(math.Inf(1)) || IsFinite(math.Inf(-1)) {
+		t.Error("NaN/Inf are not finite")
+	}
+}
+
+func TestPositive(t *testing.T) {
+	if Positive(1e-12, 1e-9) {
+		t.Error("1e-12 should not be Positive at tol 1e-9")
+	}
+	if !Positive(1e-6, 1e-9) {
+		t.Error("1e-6 should be Positive at tol 1e-9")
+	}
+}

@@ -1,0 +1,334 @@
+// Package renewable extends the DSCT-EA model with a time-varying energy
+// budget — the integration of renewable power sources the paper lists as
+// future work (§7). Instead of a single scalar B, the operator provides a
+// cumulative budget envelope B(t): the total energy that may have been
+// consumed by time t (non-decreasing, e.g. the integral of a solar
+// generation forecast).
+//
+// Machines in this model are work-conserving once started: the cluster
+// waits until a common start delay t0 (letting generation accumulate),
+// then every machine executes its queue back-to-back, so machine r's
+// cumulative draw is P_r·min(max(t − t0, 0), load_r) and the cluster's
+// consumption E(t) is piecewise linear and concave. Compliance with the
+// envelope therefore only needs checking at the breakpoints of E and B.
+//
+// Solve searches the start delay over the envelope's checkpoints; for each
+// delay it shifts deadlines by t0 (tasks due before t0 are dropped and
+// score a_min), plans with the standard DSCT-EA-APPROX under a scalar
+// effective budget found by bisection — the largest budget whose schedule
+// stays under the envelope — and keeps the best accuracy. This is a
+// heuristic (an envelope-aware exact algorithm is open, as the paper
+// notes), but every schedule it returns is verified compliant.
+package renewable
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/approx"
+	"repro/internal/numeric"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// Point is one envelope checkpoint: by time T at most Energy Joules may
+// have been consumed.
+type Point struct {
+	T      float64 // seconds
+	Energy float64 // cumulative Joules available by T
+}
+
+// Envelope is a cumulative energy budget B(t): piecewise linear between
+// checkpoints, constant before the first and after the last.
+type Envelope struct {
+	points []Point
+}
+
+// NewEnvelope builds an envelope from checkpoints. Points must have
+// strictly increasing times and non-decreasing energies; at least one
+// point is required.
+func NewEnvelope(points []Point) (*Envelope, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("renewable: empty envelope")
+	}
+	ps := append([]Point(nil), points...)
+	sort.Slice(ps, func(a, b int) bool { return ps[a].T < ps[b].T })
+	for i, p := range ps {
+		if p.T < 0 || p.Energy < 0 {
+			return nil, fmt.Errorf("renewable: negative checkpoint %+v", p)
+		}
+		if i > 0 {
+			if p.T == ps[i-1].T {
+				return nil, fmt.Errorf("renewable: duplicate checkpoint time %g", p.T)
+			}
+			if p.Energy < ps[i-1].Energy {
+				return nil, fmt.Errorf("renewable: envelope decreases at t=%g", p.T)
+			}
+		}
+	}
+	return &Envelope{points: ps}, nil
+}
+
+// Solar builds a day-like envelope: zero energy arrives before sunrise,
+// then generation ramps sinusoidally until sunset, accumulating totalJ.
+// steps controls the discretisation.
+func Solar(sunrise, sunset, totalJ float64, steps int) (*Envelope, error) {
+	if sunset <= sunrise || totalJ < 0 || steps < 2 {
+		return nil, fmt.Errorf("renewable: invalid solar parameters")
+	}
+	pts := make([]Point, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		t := sunrise + (sunset-sunrise)*float64(i)/float64(steps)
+		// Integral of sin over the day fraction x in [0,1] is (1-cos(πx))/2.
+		x := float64(i) / float64(steps)
+		pts = append(pts, Point{T: t, Energy: totalJ * (1 - math.Cos(math.Pi*x)) / 2})
+	}
+	return NewEnvelope(pts)
+}
+
+// At returns B(t): linear interpolation between checkpoints, 0 before the
+// first checkpoint (nothing may be consumed before energy arrives) and
+// held constant after the last.
+func (e *Envelope) At(t float64) float64 {
+	ps := e.points
+	if t < ps[0].T {
+		return 0
+	}
+	for i := 1; i < len(ps); i++ {
+		if t <= ps[i].T {
+			a, b := ps[i-1], ps[i]
+			frac := (t - a.T) / (b.T - a.T)
+			return a.Energy + frac*(b.Energy-a.Energy)
+		}
+	}
+	return ps[len(ps)-1].Energy
+}
+
+// Total returns the final cumulative energy of the envelope.
+func (e *Envelope) Total() float64 { return e.points[len(e.points)-1].Energy }
+
+// Points returns a copy of the checkpoints.
+func (e *Envelope) Points() []Point { return append([]Point(nil), e.points...) }
+
+// Consumption returns the cluster's cumulative energy curve
+// E(t) = Σ_r P_r·min(max(t − startDelay, 0), load_r) for a schedule whose
+// machines all begin executing at startDelay.
+func Consumption(in *task.Instance, s *schedule.Schedule, startDelay float64) func(t float64) float64 {
+	loads := s.Profile()
+	return func(t float64) float64 {
+		var e numeric.KahanSum
+		for r, mc := range in.Machines {
+			e.Add(mc.Power * math.Min(math.Max(t-startDelay, 0), loads[r]))
+		}
+		return e.Value()
+	}
+}
+
+// Complies reports whether the schedule's consumption curve (machines
+// starting at startDelay) stays under the envelope, checking the union of
+// both curves' breakpoints (sufficient because both are piecewise linear).
+// It returns the first violating time when non-compliant.
+func Complies(in *task.Instance, s *schedule.Schedule, env *Envelope, startDelay, tol float64) (bool, float64) {
+	consume := Consumption(in, s, startDelay)
+	times := map[float64]struct{}{0: {}, startDelay: {}}
+	horizon := startDelay
+	for _, l := range s.Profile() {
+		times[startDelay+l] = struct{}{}
+		if startDelay+l > horizon {
+			horizon = startDelay + l
+		}
+	}
+	for _, p := range env.points {
+		times[p.T] = struct{}{}
+		if p.T > horizon {
+			horizon = p.T
+		}
+	}
+	times[horizon] = struct{}{}
+	ordered := make([]float64, 0, len(times))
+	for t := range times {
+		ordered = append(ordered, t)
+	}
+	sort.Float64s(ordered)
+	for _, t := range ordered {
+		if consume(t) > env.At(t)*(1+tol)+tol {
+			return false, t
+		}
+	}
+	return true, 0
+}
+
+// Options tunes Solve.
+type Options struct {
+	// Approx configures the inner DSCT-EA-APPROX solves.
+	Approx approx.Options
+	// Bisections bounds the budget search per start delay (default 16).
+	Bisections int
+	// MaxDelays bounds the number of candidate start delays sampled from
+	// the envelope checkpoints (default 8).
+	MaxDelays int
+}
+
+// Solution is an envelope-compliant plan.
+type Solution struct {
+	// Schedule holds the processing times for the ORIGINAL task indices;
+	// machines begin executing at StartDelay, so task j completes at
+	// StartDelay + Σ_{i<=j} t_ir on its machine. Tasks whose deadline
+	// precedes StartDelay have all-zero rows and score a_min.
+	Schedule *schedule.Schedule
+	// StartDelay is the common machine start time (waiting for energy).
+	StartDelay float64
+	// EffectiveBudget is the scalar budget the bisection settled on.
+	EffectiveBudget float64
+	// TotalAccuracy is Σ_j a_j(f_j) over the original tasks.
+	TotalAccuracy float64
+}
+
+// Solve plans the instance under the envelope (the instance's own Budget
+// field is ignored). It searches common start delays over the envelope
+// checkpoints; for each delay, deadlines shift by the delay (tasks due
+// earlier are dropped at a_min) and a scalar effective budget is bisected
+// to the largest compliant value. The best-accuracy compliant plan wins.
+func Solve(in *task.Instance, env *Envelope, opts Options) (*Solution, error) {
+	if opts.Bisections == 0 {
+		opts.Bisections = 16
+	}
+	if opts.MaxDelays == 0 {
+		opts.MaxDelays = 8
+	}
+
+	best := &Solution{
+		Schedule:      schedule.New(in.N(), in.M()),
+		TotalAccuracy: baseAccuracy(in),
+	}
+	for _, t0 := range candidateDelays(in, env, opts.MaxDelays) {
+		sol, err := solveDelayed(in, env, t0, opts)
+		if err != nil {
+			return nil, err
+		}
+		if sol != nil && sol.TotalAccuracy > best.TotalAccuracy {
+			best = sol
+		}
+	}
+	return best, nil
+}
+
+// baseAccuracy is the accuracy of doing nothing: Σ_j a_min.
+func baseAccuracy(in *task.Instance) float64 {
+	var a float64
+	for _, tk := range in.Tasks {
+		a += tk.Acc.AMin()
+	}
+	return a
+}
+
+// candidateDelays samples start delays: 0 plus up to maxDelays envelope
+// checkpoint times strictly before the last deadline.
+func candidateDelays(in *task.Instance, env *Envelope, maxDelays int) []float64 {
+	dMax := in.MaxDeadline()
+	var cands []float64
+	for _, p := range env.points {
+		if p.T > 0 && p.T < dMax {
+			cands = append(cands, p.T)
+		}
+	}
+	if len(cands) > maxDelays {
+		sampled := make([]float64, 0, maxDelays)
+		for i := 0; i < maxDelays; i++ {
+			sampled = append(sampled, cands[i*len(cands)/maxDelays])
+		}
+		cands = sampled
+	}
+	return append([]float64{0}, cands...)
+}
+
+// solveDelayed plans with machines starting at t0. It returns nil when no
+// task survives the deadline shift.
+func solveDelayed(in *task.Instance, env *Envelope, t0 float64, opts Options) (*Solution, error) {
+	shifted, keep := shiftInstance(in, t0)
+	if shifted == nil {
+		return nil, nil
+	}
+	dropped := baseAccuracy(in) - baseAccuracy(shifted)
+
+	solveAt := func(budget float64) (*approx.Solution, error) {
+		trial := shifted.Clone()
+		trial.Budget = budget
+		return approx.Solve(trial, opts.Approx)
+	}
+	check := func(sol *approx.Solution) bool {
+		ok, _ := Complies(shifted, sol.Schedule, env, t0, schedule.DefaultTol)
+		return ok
+	}
+	adopt := func(sol *approx.Solution, budget float64) *Solution {
+		full := schedule.New(in.N(), in.M())
+		for sj, j := range keep {
+			copy(full.Times[j], sol.Schedule.Times[sj])
+		}
+		return &Solution{
+			Schedule:        full,
+			StartDelay:      t0,
+			EffectiveBudget: budget,
+			TotalAccuracy:   sol.TotalAccuracy + dropped,
+		}
+	}
+
+	hi := env.Total()
+	// Fast path: the full envelope energy may already comply.
+	sol, err := solveAt(hi)
+	if err != nil {
+		return nil, err
+	}
+	if check(sol) {
+		return adopt(sol, hi), nil
+	}
+	lo := 0.0
+	var bestSol *approx.Solution
+	bestBudget := 0.0
+	for i := 0; i < opts.Bisections; i++ {
+		mid := (lo + hi) / 2
+		sol, err := solveAt(mid)
+		if err != nil {
+			return nil, err
+		}
+		if check(sol) {
+			bestSol, bestBudget = sol, mid
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if bestSol == nil {
+		return nil, nil
+	}
+	return adopt(bestSol, bestBudget), nil
+}
+
+// shiftInstance drops tasks due at or before t0 and shifts the remaining
+// deadlines by t0. keep maps shifted indices to original indices. It
+// returns nil when nothing survives.
+func shiftInstance(in *task.Instance, t0 float64) (*task.Instance, []int) {
+	if t0 == 0 {
+		keep := make([]int, in.N())
+		for j := range keep {
+			keep[j] = j
+		}
+		return in.Clone(), keep
+	}
+	var keep []int
+	var tasks []task.Task
+	for j, tk := range in.Tasks {
+		if tk.Deadline <= t0 {
+			continue
+		}
+		shifted := tk
+		shifted.Deadline = tk.Deadline - t0
+		tasks = append(tasks, shifted)
+		keep = append(keep, j)
+	}
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	return &task.Instance{Tasks: tasks, Machines: in.Machines.Clone(), Budget: in.Budget}, keep
+}

@@ -1,0 +1,264 @@
+package renewable
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+func genInstance(t *testing.T, seed int64, n, m int, rho, beta float64) *task.Instance {
+	t.Helper()
+	cfg := task.DefaultConfig(n, rho, beta)
+	cfg.ThetaMax = 1.0
+	in, err := task.GenerateUniformFleet(rng.New(seed, "renewable"), cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestEnvelopeValidation(t *testing.T) {
+	if _, err := NewEnvelope(nil); err == nil {
+		t.Error("empty envelope accepted")
+	}
+	if _, err := NewEnvelope([]Point{{T: -1, Energy: 5}}); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := NewEnvelope([]Point{{T: 0, Energy: 5}, {T: 0, Energy: 6}}); err == nil {
+		t.Error("duplicate times accepted")
+	}
+	if _, err := NewEnvelope([]Point{{T: 0, Energy: 5}, {T: 1, Energy: 4}}); err == nil {
+		t.Error("decreasing envelope accepted")
+	}
+	// Unsorted input is sorted.
+	e, err := NewEnvelope([]Point{{T: 2, Energy: 10}, {T: 1, Energy: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Points()[0].T != 1 {
+		t.Error("points not sorted")
+	}
+}
+
+func TestEnvelopeAt(t *testing.T) {
+	e, err := NewEnvelope([]Point{{T: 1, Energy: 10}, {T: 3, Energy: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {0.5, 0}, {1, 10}, {2, 20}, {3, 30}, {99, 30},
+	}
+	for _, c := range cases {
+		if got := e.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if e.Total() != 30 {
+		t.Errorf("Total = %g", e.Total())
+	}
+}
+
+func TestSolarEnvelope(t *testing.T) {
+	e, err := Solar(6, 18, 1000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.At(5.9) != 0 {
+		t.Error("energy before sunrise")
+	}
+	if math.Abs(e.Total()-1000) > 1e-9 {
+		t.Errorf("Total = %g", e.Total())
+	}
+	// Half the energy by solar noon.
+	if got := e.At(12); math.Abs(got-500) > 1e-9 {
+		t.Errorf("At(noon) = %g, want 500", got)
+	}
+	// Monotone.
+	prev := 0.0
+	for tm := 6.0; tm <= 18; tm += 0.5 {
+		v := e.At(tm)
+		if v < prev-1e-12 {
+			t.Fatalf("envelope decreases at %g", tm)
+		}
+		prev = v
+	}
+	if _, err := Solar(18, 6, 100, 10); err == nil {
+		t.Error("inverted day accepted")
+	}
+}
+
+func TestConsumptionCurve(t *testing.T) {
+	in := genInstance(t, 1, 2, 2, 0.5, 1.0)
+	s := schedule.New(2, 2)
+	s.Times[0][0] = 0.01 // machine 0 busy 10ms
+	s.Times[1][1] = 0.02 // machine 1 busy 20ms
+	c := Consumption(in, s, 0)
+	p0, p1 := in.Machines[0].Power, in.Machines[1].Power
+	if got := c(0); got != 0 {
+		t.Errorf("c(0) = %g", got)
+	}
+	want := 0.005*p0 + 0.005*p1
+	if got := c(0.005); math.Abs(got-want) > 1e-9 {
+		t.Errorf("c(5ms) = %g, want %g", got, want)
+	}
+	full := 0.01*p0 + 0.02*p1
+	if got := c(1); math.Abs(got-full) > 1e-9 {
+		t.Errorf("c(1) = %g, want %g", got, full)
+	}
+	// A start delay shifts the whole curve.
+	cd := Consumption(in, s, 0.5)
+	if got := cd(0.5); got != 0 {
+		t.Errorf("delayed c(0.5) = %g", got)
+	}
+	if got := cd(0.505); math.Abs(got-want) > 1e-9 {
+		t.Errorf("delayed c(0.505) = %g, want %g", got, want)
+	}
+}
+
+func TestCompliesDetectsViolation(t *testing.T) {
+	in := genInstance(t, 2, 2, 1, 0.5, 1.0)
+	s := schedule.New(2, 1)
+	s.Times[0][0] = 0.01
+	power := in.Machines[0].Power
+	// Envelope that allows everything.
+	okEnv, _ := NewEnvelope([]Point{{T: 0, Energy: power}})
+	if ok, _ := Complies(in, s, okEnv, 0, 1e-9); !ok {
+		t.Error("generous envelope rejected")
+	}
+	// Envelope that arrives too late: nothing before 5ms.
+	lateEnv, _ := NewEnvelope([]Point{{T: 0.005, Energy: 0}, {T: 1, Energy: power}})
+	ok, at := Complies(in, s, lateEnv, 0, 1e-9)
+	if ok {
+		t.Error("late envelope accepted")
+	}
+	if at <= 0 || at > 0.006 {
+		t.Errorf("violation reported at %g", at)
+	}
+	// Starting after the energy has arrived fixes it.
+	if ok, at := Complies(in, s, lateEnv, 0.01, 1e-9); !ok {
+		t.Errorf("delayed start still violates at %g", at)
+	}
+}
+
+func TestSolveCompliesAndUsesEnvelope(t *testing.T) {
+	in := genInstance(t, 3, 30, 2, 0.5, 1.0)
+	dMax := in.MaxDeadline()
+	// Energy ramps linearly over the horizon up to half of the scalar budget.
+	env, err := NewEnvelope([]Point{{T: 0, Energy: 0}, {T: dMax, Energy: in.Budget / 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(in, env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, at := Complies(in, sol.Schedule, env, sol.StartDelay, schedule.DefaultTol); !ok {
+		t.Fatalf("returned schedule violates envelope at t=%g", at)
+	}
+	if sol.EffectiveBudget <= 0 {
+		t.Error("bisection found no usable budget on a feasible envelope")
+	}
+	// Better than doing nothing.
+	var amin float64
+	for _, tk := range in.Tasks {
+		amin += tk.Acc.AMin()
+	}
+	if sol.TotalAccuracy <= amin {
+		t.Errorf("no accuracy above the a_min floor: %g", sol.TotalAccuracy)
+	}
+}
+
+func TestSolveFastPathFrontLoadedEnvelope(t *testing.T) {
+	in := genInstance(t, 4, 20, 2, 0.5, 0.5)
+	// All energy available immediately: equivalent to the scalar problem.
+	env, err := NewEnvelope([]Point{{T: 0, Energy: in.Budget}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(in, env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := approx.Solve(in, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.TotalAccuracy-plain.TotalAccuracy) > 1e-9 {
+		t.Errorf("front-loaded envelope %g != scalar solve %g", sol.TotalAccuracy, plain.TotalAccuracy)
+	}
+}
+
+func TestSolveStarvedEnvelope(t *testing.T) {
+	in := genInstance(t, 5, 10, 2, 0.5, 0.5)
+	// Energy only arrives long after every deadline.
+	env, err := NewEnvelope([]Point{{T: in.MaxDeadline() * 100, Energy: in.Budget}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(in, env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := Complies(in, sol.Schedule, env, sol.StartDelay, schedule.DefaultTol); !ok {
+		t.Error("starved solution violates envelope")
+	}
+	// Work-conserving machines cannot wait for the late energy, so nothing
+	// (or almost nothing) can be scheduled.
+	if e := sol.Schedule.Energy(in); e > in.Budget*0.01 {
+		t.Errorf("starved envelope still consumed %g J", e)
+	}
+}
+
+func TestSolarEnvelopeUsesStartDelay(t *testing.T) {
+	// Under a solar ramp nothing can run at t=0, but waiting for generation
+	// lets later-deadline tasks execute: the delay search must beat the
+	// do-nothing floor.
+	in := genInstance(t, 7, 20, 2, 1.0, 1.0)
+	env, err := Solar(0, in.MaxDeadline(), in.Budget, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(in, env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var amin float64
+	for _, tk := range in.Tasks {
+		amin += tk.Acc.AMin()
+	}
+	if sol.TotalAccuracy <= amin+1e-9 {
+		t.Fatalf("solar plan stuck at the a_min floor (%g)", sol.TotalAccuracy)
+	}
+	if sol.StartDelay <= 0 {
+		t.Errorf("expected a positive start delay, got %g", sol.StartDelay)
+	}
+	if ok, at := Complies(in, sol.Schedule, env, sol.StartDelay, schedule.DefaultTol); !ok {
+		t.Errorf("solar plan violates envelope at %g", at)
+	}
+}
+
+func TestTighterEnvelopeNeverGainsAccuracy(t *testing.T) {
+	in := genInstance(t, 6, 25, 2, 0.5, 1.0)
+	dMax := in.MaxDeadline()
+	var prev float64 = math.Inf(1)
+	for _, frac := range []float64{1.0, 0.5, 0.2, 0.05} {
+		env, err := NewEnvelope([]Point{{T: 0, Energy: 0}, {T: dMax, Energy: in.Budget * frac}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := Solve(in, env, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The bisection is a heuristic, so allow a small granularity slack
+		// in the monotonicity check.
+		if sol.TotalAccuracy > prev+0.01 {
+			t.Errorf("frac %g: accuracy %g clearly exceeds looser envelope's %g", frac, sol.TotalAccuracy, prev)
+		}
+		prev = math.Max(prev, sol.TotalAccuracy)
+	}
+}

@@ -1,0 +1,154 @@
+package rng
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, "fig3")
+	b := New(42, "fig3")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with identical (seed,label) diverged at draw %d", i)
+		}
+	}
+}
+
+func TestLabelIndependence(t *testing.T) {
+	a := New(42, "fig3")
+	b := New(42, "fig5")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different labels matched %d/100 draws", same)
+	}
+}
+
+func TestReplicateIndependence(t *testing.T) {
+	a := NewReplicate(7, "x", 0)
+	b := NewReplicate(7, "x", 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("replicate streams matched %d/100 draws", same)
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := New(1, "x")
+	b := New(2, "x")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3, "range")
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(5, 60)
+		if v < 5 || v >= 60 {
+			t.Fatalf("Uniform(5,60) produced %g", v)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	s := New(3, "deg")
+	if v := s.Uniform(2, 2); v != 2 {
+		t.Errorf("Uniform(2,2) = %g, want 2", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(9, "perm")
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformMeanRoughlyCentered(t *testing.T) {
+	s := New(11, "mean")
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += s.Uniform(0, 10)
+	}
+	mean := sum / n
+	if mean < 4.8 || mean > 5.2 {
+		t.Errorf("Uniform(0,10) mean over %d draws = %g, want ~5", n, mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(21, "norm")
+	var sum, sumSq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Errorf("normal mean = %g", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Errorf("normal variance = %g", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(22, "exp")
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v < 0 {
+			t.Fatal("negative exponential variate")
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.95 || mean > 1.05 {
+		t.Errorf("exponential mean = %g", mean)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := New(23, "shuffle")
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatal("shuffle lost elements")
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(24, "intn")
+	for i := 0; i < 1000; i++ {
+		if v := s.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}

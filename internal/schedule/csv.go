@@ -1,0 +1,51 @@
+package schedule
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/task"
+)
+
+// WriteCSV exports the schedule as a per-(task, machine) CSV for
+// downstream analysis: one row per positive assignment with start time,
+// duration, work, achieved accuracy and the task's deadline. Start times
+// follow the per-machine EDF queues (prefix sums).
+func (s *Schedule) WriteCSV(w io.Writer, in *task.Instance) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"task", "name", "machine", "machine_name",
+		"start_s", "time_s", "work_gflops", "accuracy", "deadline_s",
+	}); err != nil {
+		return err
+	}
+	starts := make([]float64, in.M())
+	for j := 0; j < s.N(); j++ {
+		work := s.Work(in, j)
+		acc := in.Tasks[j].Acc.Eval(work)
+		for r := 0; r < s.M(); r++ {
+			t := s.Times[j][r]
+			if t <= 0 {
+				continue
+			}
+			row := []string{
+				fmt.Sprintf("%d", j),
+				in.Tasks[j].Name,
+				fmt.Sprintf("%d", r),
+				in.Machines[r].Name,
+				fmt.Sprintf("%.9g", starts[r]),
+				fmt.Sprintf("%.9g", t),
+				fmt.Sprintf("%.9g", work),
+				fmt.Sprintf("%.6f", acc),
+				fmt.Sprintf("%.9g", in.Tasks[j].Deadline),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+			starts[r] += t
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

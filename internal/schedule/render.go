@@ -1,0 +1,85 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/task"
+)
+
+// Gantt renders the schedule as a fixed-width text chart: one row per
+// machine, time flowing left to right up to the latest deadline, each
+// task's span filled with its index (mod 10) and '·' marking idle time.
+// A legend with per-task placement, work and accuracy follows. width is
+// the number of character cells for the time axis (minimum 20).
+func (s *Schedule) Gantt(in *task.Instance, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	horizon := in.MaxDeadline()
+	if horizon <= 0 {
+		return "(empty horizon)\n"
+	}
+	cell := horizon / float64(width)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 %s %.4gs\n", strings.Repeat("-", width-4), horizon)
+	for r := 0; r < s.M(); r++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		var elapsed float64
+		for j := 0; j < s.N(); j++ {
+			t := s.Times[j][r]
+			if t <= 0 {
+				continue
+			}
+			start := int(elapsed / cell)
+			end := int((elapsed + t) / cell)
+			if end >= width {
+				end = width - 1
+			}
+			glyph := byte('0' + j%10)
+			for i := start; i <= end && i < width; i++ {
+				row[i] = glyph
+			}
+			elapsed += t
+		}
+		name := fmt.Sprintf("m%d", r)
+		if in.Machines[r].Name != "" {
+			name = in.Machines[r].Name
+		}
+		fmt.Fprintf(&b, "%-14s |%s| load %.4gs\n", truncate(name, 14), row, s.MachineLoad(r))
+	}
+	b.WriteString("\ntask  machine      time(s)    work(GF)   accuracy  deadline(s)\n")
+	for j := 0; j < s.N(); j++ {
+		r, err := s.AssignedMachine(j)
+		where := "-"
+		var t float64
+		switch {
+		case err != nil:
+			where = "split"
+			for rr := 0; rr < s.M(); rr++ {
+				t += s.Times[j][rr]
+			}
+		case r >= 0:
+			where = fmt.Sprintf("m%d", r)
+			if in.Machines[r].Name != "" {
+				where = in.Machines[r].Name
+			}
+			t = s.Times[j][r]
+		}
+		w := s.Work(in, j)
+		fmt.Fprintf(&b, "%-5d %-12s %-10.4g %-10.4g %-9.4f %.4g\n",
+			j, where, t, w, in.Tasks[j].Acc.Eval(w), in.Tasks[j].Deadline)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,73 @@
+package schedule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGanttRendersAllMachinesAndTasks(t *testing.T) {
+	in := twoTaskInstance(t)
+	s := New(2, 2)
+	s.Times[0][0] = 0.1
+	s.Times[1][1] = 0.1
+	out := s.Gantt(in, 40)
+	if !strings.Contains(out, "m0") || !strings.Contains(out, "m1") {
+		t.Errorf("missing machine rows:\n%s", out)
+	}
+	for _, col := range []string{"task", "machine", "accuracy", "deadline"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("legend missing %q", col)
+		}
+	}
+	// Two legend rows (one per task).
+	if n := strings.Count(out, "\n"); n < 6 {
+		t.Errorf("suspiciously short output (%d lines):\n%s", n, out)
+	}
+}
+
+func TestGanttMarksSplitTasks(t *testing.T) {
+	in := twoTaskInstance(t)
+	s := New(2, 2)
+	s.Times[0][0] = 0.05
+	s.Times[0][1] = 0.02
+	out := s.Gantt(in, 30)
+	if !strings.Contains(out, "split") {
+		t.Errorf("split task not marked:\n%s", out)
+	}
+}
+
+func TestGanttMinimumWidthAndEmpty(t *testing.T) {
+	in := twoTaskInstance(t)
+	s := New(2, 2)
+	out := s.Gantt(in, 1) // clamped to 20
+	if out == "" {
+		t.Error("empty render")
+	}
+	if !strings.Contains(out, "...") {
+		t.Errorf("idle machines should render dots:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	in := twoTaskInstance(t)
+	s := New(2, 2)
+	s.Times[0][0] = 0.1
+	s.Times[1][0] = 0.05
+	s.Times[1][1] = 0.02
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 assignments
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "task,name,machine") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Task 1 on machine 0 starts after task 0's 0.1 s.
+	if !strings.Contains(lines[2], ",0.1,") {
+		t.Errorf("expected start 0.1 in %q", lines[2])
+	}
+}

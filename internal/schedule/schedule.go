@@ -1,0 +1,150 @@
+// Package schedule defines the common solution representation shared by
+// every algorithm in this module, together with an independent feasibility
+// validator and the accuracy/energy metrics reported by the experiments.
+//
+// A Schedule stores the processing-time matrix t_jr (seconds of task j on
+// machine r). Integral solutions (DSCT-EA) use a single non-zero entry per
+// row; fractional solutions (DSCT-EA-FR) may split a row across machines.
+// On each machine, tasks run back-to-back in deadline (index) order, so
+// task j completes on machine r at Σ_{i<=j} t_ir — the staircase constraint
+// (1b) of the paper.
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+	"repro/internal/task"
+)
+
+// Schedule is the processing-time matrix of a solution.
+type Schedule struct {
+	// Times[j][r] is the time (seconds) task j spends on machine r.
+	Times [][]float64
+}
+
+// New returns an all-zero schedule for n tasks and m machines.
+func New(n, m int) *Schedule {
+	t := make([][]float64, n)
+	cells := make([]float64, n*m)
+	for j := range t {
+		t[j], cells = cells[:m:m], cells[m:]
+	}
+	return &Schedule{Times: t}
+}
+
+// N returns the number of tasks.
+func (s *Schedule) N() int { return len(s.Times) }
+
+// M returns the number of machines (0 for an empty schedule).
+func (s *Schedule) M() int {
+	if len(s.Times) == 0 {
+		return 0
+	}
+	return len(s.Times[0])
+}
+
+// Clone returns a deep copy.
+func (s *Schedule) Clone() *Schedule {
+	c := New(s.N(), s.M())
+	for j := range s.Times {
+		copy(c.Times[j], s.Times[j])
+	}
+	return c
+}
+
+// Work returns the total work f_j = Σ_r s_r·t_jr granted to task j, in
+// GFLOPs.
+func (s *Schedule) Work(in *task.Instance, j int) float64 {
+	var w numeric.KahanSum
+	for r, m := range in.Machines {
+		w.Add(m.Speed * s.Times[j][r])
+	}
+	return w.Value()
+}
+
+// MachineLoad returns the total busy time Σ_j t_jr of machine r, in
+// seconds. This is the machine's realised energy profile entry.
+func (s *Schedule) MachineLoad(r int) float64 {
+	var l numeric.KahanSum
+	for j := range s.Times {
+		l.Add(s.Times[j][r])
+	}
+	return l.Value()
+}
+
+// Profile returns all machine loads (the realised energy profile).
+func (s *Schedule) Profile() []float64 {
+	out := make([]float64, s.M())
+	for r := range out {
+		out[r] = s.MachineLoad(r)
+	}
+	return out
+}
+
+// Energy returns the total energy Σ_{j,r} t_jr·P_r consumed, in Joules.
+func (s *Schedule) Energy(in *task.Instance) float64 {
+	var e numeric.KahanSum
+	for j := range s.Times {
+		for r, m := range in.Machines {
+			e.Add(s.Times[j][r] * m.Power)
+		}
+	}
+	return e.Value()
+}
+
+// TotalAccuracy returns Σ_j a_j(f_j).
+func (s *Schedule) TotalAccuracy(in *task.Instance) float64 {
+	var a numeric.KahanSum
+	for j := range s.Times {
+		a.Add(in.Tasks[j].Acc.Eval(s.Work(in, j)))
+	}
+	return a.Value()
+}
+
+// AverageAccuracy returns TotalAccuracy / n.
+func (s *Schedule) AverageAccuracy(in *task.Instance) float64 {
+	if s.N() == 0 {
+		return 0
+	}
+	return s.TotalAccuracy(in) / float64(s.N())
+}
+
+// Objective returns the paper's minimisation objective Σ_j (1 − a_j(f_j)).
+func (s *Schedule) Objective(in *task.Instance) float64 {
+	return float64(s.N()) - s.TotalAccuracy(in)
+}
+
+// AssignedMachine returns the machine index task j runs on for integral
+// schedules, or -1 if the task has zero time everywhere. It returns an
+// error if the task is split across machines.
+func (s *Schedule) AssignedMachine(j int) (int, error) {
+	assigned := -1
+	for r, t := range s.Times[j] {
+		if t > 0 {
+			if assigned != -1 {
+				return -1, fmt.Errorf("schedule: task %d is split across machines %d and %d", j, assigned, r)
+			}
+			assigned = r
+		}
+	}
+	return assigned, nil
+}
+
+// Metrics bundles the headline quantities of a solution.
+type Metrics struct {
+	TotalAccuracy   float64
+	AverageAccuracy float64
+	Energy          float64   // Joules
+	Profile         []float64 // per-machine busy time, seconds
+}
+
+// MetricsFor computes the Metrics of s on instance in.
+func (s *Schedule) MetricsFor(in *task.Instance) Metrics {
+	return Metrics{
+		TotalAccuracy:   s.TotalAccuracy(in),
+		AverageAccuracy: s.AverageAccuracy(in),
+		Energy:          s.Energy(in),
+		Profile:         s.Profile(),
+	}
+}

@@ -1,0 +1,231 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/machine"
+	"repro/internal/task"
+)
+
+// twoTaskInstance: two tasks with a simple 2-segment accuracy function on
+// two machines with speeds 1000/2000 GFLOP/s and powers 100/200 W.
+func twoTaskInstance(t *testing.T) *task.Instance {
+	t.Helper()
+	acc := accuracy.MustPWL([]float64{0, 100, 300}, []float64{0.1, 0.6, 0.8})
+	in := &task.Instance{
+		Tasks: []task.Task{
+			{Name: "a", Deadline: 1.0, Acc: acc},
+			{Name: "b", Deadline: 2.0, Acc: acc},
+		},
+		Machines: machine.Fleet{
+			{Name: "m0", Speed: 1000, Power: 100},
+			{Name: "m1", Speed: 2000, Power: 200},
+		},
+		Budget: 1000,
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewShape(t *testing.T) {
+	s := New(3, 2)
+	if s.N() != 3 || s.M() != 2 {
+		t.Fatalf("N=%d M=%d", s.N(), s.M())
+	}
+	if (&Schedule{}).M() != 0 {
+		t.Error("empty schedule M should be 0")
+	}
+}
+
+func TestWorkEnergyAccuracy(t *testing.T) {
+	in := twoTaskInstance(t)
+	s := New(2, 2)
+	s.Times[0][0] = 0.1 // 100 GFLOPs on m0 -> a = 0.6
+	s.Times[1][1] = 0.1 // 200 GFLOPs on m1 -> a = 0.6 + 100*0.001 = 0.7
+	if w := s.Work(in, 0); math.Abs(w-100) > 1e-9 {
+		t.Errorf("work 0 = %g", w)
+	}
+	if w := s.Work(in, 1); math.Abs(w-200) > 1e-9 {
+		t.Errorf("work 1 = %g", w)
+	}
+	if e := s.Energy(in); math.Abs(e-(0.1*100+0.1*200)) > 1e-9 {
+		t.Errorf("energy = %g", e)
+	}
+	wantAcc := 0.6 + 0.7
+	if a := s.TotalAccuracy(in); math.Abs(a-wantAcc) > 1e-9 {
+		t.Errorf("accuracy = %g, want %g", a, wantAcc)
+	}
+	if avg := s.AverageAccuracy(in); math.Abs(avg-wantAcc/2) > 1e-9 {
+		t.Errorf("avg accuracy = %g", avg)
+	}
+	if obj := s.Objective(in); math.Abs(obj-(2-wantAcc)) > 1e-9 {
+		t.Errorf("objective = %g", obj)
+	}
+	m := s.MetricsFor(in)
+	if m.TotalAccuracy != s.TotalAccuracy(in) || len(m.Profile) != 2 {
+		t.Error("MetricsFor inconsistent")
+	}
+}
+
+func TestProfileAndLoads(t *testing.T) {
+	in := twoTaskInstance(t)
+	s := New(2, 2)
+	s.Times[0][0] = 0.3
+	s.Times[1][0] = 0.2
+	s.Times[1][1] = 0.4
+	if l := s.MachineLoad(0); math.Abs(l-0.5) > 1e-12 {
+		t.Errorf("load 0 = %g", l)
+	}
+	p := s.Profile()
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[1]-0.4) > 1e-12 {
+		t.Errorf("profile = %v", p)
+	}
+	_ = in
+}
+
+func TestAssignedMachine(t *testing.T) {
+	s := New(2, 2)
+	s.Times[0][1] = 0.5
+	r, err := s.AssignedMachine(0)
+	if err != nil || r != 1 {
+		t.Errorf("AssignedMachine = %d, %v", r, err)
+	}
+	r, err = s.AssignedMachine(1)
+	if err != nil || r != -1 {
+		t.Errorf("empty task AssignedMachine = %d, %v", r, err)
+	}
+	s.Times[0][0] = 0.1
+	if _, err := s.AssignedMachine(0); err == nil {
+		t.Error("split task should error")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(1, 1)
+	c := s.Clone()
+	c.Times[0][0] = 5
+	if s.Times[0][0] != 0 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestValidateAcceptsFeasible(t *testing.T) {
+	in := twoTaskInstance(t)
+	s := New(2, 2)
+	s.Times[0][0] = 0.1
+	s.Times[1][1] = 0.1
+	if err := s.Validate(in, ValidateOptions{RequireIntegral: true}); err != nil {
+		t.Errorf("feasible schedule rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	in := twoTaskInstance(t)
+
+	// Wrong shape.
+	if err := New(1, 2).Validate(in, ValidateOptions{}); err == nil {
+		t.Error("wrong row count accepted")
+	}
+	if err := New(2, 1).Validate(in, ValidateOptions{}); err == nil {
+		t.Error("wrong column count accepted")
+	}
+
+	// Negative time.
+	s := New(2, 2)
+	s.Times[0][0] = -0.5
+	if err := s.Validate(in, ValidateOptions{}); err == nil {
+		t.Error("negative time accepted")
+	}
+
+	// NaN.
+	s = New(2, 2)
+	s.Times[0][0] = math.NaN()
+	if err := s.Validate(in, ValidateOptions{}); err == nil {
+		t.Error("NaN accepted")
+	}
+
+	// Deadline miss: task a (d=1.0) scheduled for 1.5 s.
+	s = New(2, 2)
+	s.Times[0][0] = 1.5
+	if err := s.Validate(in, ValidateOptions{}); err == nil {
+		t.Error("deadline miss accepted")
+	}
+
+	// Staircase miss: a uses [0,0.9], b (d=2.0) needs 1.2 -> completes 2.1.
+	s = New(2, 2)
+	s.Times[0][0] = 0.9
+	s.Times[1][0] = 1.2
+	if err := s.Validate(in, ValidateOptions{}); err == nil {
+		t.Error("staircase violation accepted")
+	}
+
+	// Work beyond fmax: 300 GFLOPs max; 0.2 s on m1 = 400.
+	s = New(2, 2)
+	s.Times[0][1] = 0.2
+	if err := s.Validate(in, ValidateOptions{}); err == nil {
+		t.Error("fmax violation accepted")
+	}
+
+	// Energy budget: shrink budget.
+	tight := in.Clone()
+	tight.Budget = 1
+	s = New(2, 2)
+	s.Times[0][0] = 0.1 // 10 J > 1 J
+	if err := s.Validate(tight, ValidateOptions{}); err == nil {
+		t.Error("energy violation accepted")
+	}
+
+	// Integral requirement.
+	s = New(2, 2)
+	s.Times[0][0] = 0.05
+	s.Times[0][1] = 0.05
+	if err := s.Validate(in, ValidateOptions{RequireIntegral: true}); err == nil {
+		t.Error("split task accepted under RequireIntegral")
+	}
+	if err := s.Validate(in, ValidateOptions{}); err != nil {
+		t.Errorf("fractional split rejected without RequireIntegral: %v", err)
+	}
+}
+
+func TestValidateStaircaseAllowsEarlierIdleGap(t *testing.T) {
+	// Task b alone on a slow machine finishing at 1.9 < d_b=2.0 is fine
+	// even though 1.9 passes a's deadline of 1.0 (a has no time there).
+	acc := accuracy.MustPWL([]float64{0, 100, 300}, []float64{0.1, 0.6, 0.8})
+	in := &task.Instance{
+		Tasks: []task.Task{
+			{Name: "a", Deadline: 1.0, Acc: acc},
+			{Name: "b", Deadline: 2.0, Acc: acc},
+		},
+		Machines: machine.Fleet{{Name: "slow", Speed: 100, Power: 10}},
+		Budget:   1000,
+	}
+	s := New(2, 1)
+	s.Times[1][0] = 1.9 // 190 GFLOPs < fmax, completes at 1.9 < 2.0
+	if err := s.Validate(in, ValidateOptions{}); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestWorkKahanStability(t *testing.T) {
+	// Many tiny contributions should sum stably.
+	acc := accuracy.MustPWL([]float64{0, 1000}, []float64{0, 0.8})
+	in := &task.Instance{
+		Tasks:    []task.Task{{Name: "a", Deadline: 10, Acc: acc}},
+		Machines: make(machine.Fleet, 100),
+		Budget:   1e12,
+	}
+	for r := range in.Machines {
+		in.Machines[r] = machine.Machine{Name: "m", Speed: 1000, Power: 100}
+	}
+	s := New(1, 100)
+	for r := 0; r < 100; r++ {
+		s.Times[0][r] = 1e-6
+	}
+	if w := s.Work(in, 0); math.Abs(w-0.1) > 1e-9 {
+		t.Errorf("work = %.12g, want 0.1", w)
+	}
+}

@@ -1,0 +1,93 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+	"repro/internal/task"
+)
+
+// ValidateOptions tunes the feasibility checks.
+type ValidateOptions struct {
+	// Tol is the numeric tolerance (default numeric.Eps·1e3 when zero —
+	// schedules accumulate rounding across thousands of additions).
+	Tol float64
+	// RequireIntegral additionally demands that no task is split across
+	// machines (the DSCT-EA setting; fractional solutions skip it).
+	RequireIntegral bool
+}
+
+// DefaultTol is the default validation tolerance.
+const DefaultTol = 1e-6
+
+// Validate checks that s is a feasible solution of in:
+//
+//  1. shape matches the instance;
+//  2. all times are finite and non-negative;
+//  3. per-machine deadline staircases hold: Σ_{i<=j} t_ir <= d_j ∀ j, r;
+//  4. no task receives more than f_j^max work;
+//  5. total energy is within the budget;
+//  6. (optional) each task runs on at most one machine.
+//
+// It returns nil when feasible and a descriptive error for the first
+// violated condition.
+func (s *Schedule) Validate(in *task.Instance, opts ValidateOptions) error {
+	tol := opts.Tol
+	if tol == 0 {
+		tol = DefaultTol
+	}
+	n, m := in.N(), in.M()
+	if s.N() != n {
+		return fmt.Errorf("schedule: %d task rows for %d tasks", s.N(), n)
+	}
+	if n > 0 && s.M() != m {
+		return fmt.Errorf("schedule: %d machine columns for %d machines", s.M(), m)
+	}
+
+	for j := range s.Times {
+		for r, t := range s.Times[j] {
+			if !numeric.IsFinite(t) {
+				return fmt.Errorf("schedule: t[%d][%d] is not finite", j, r)
+			}
+			if t < -tol {
+				return fmt.Errorf("schedule: t[%d][%d] = %g is negative", j, r, t)
+			}
+		}
+	}
+
+	// Deadline staircases, one pass per machine.
+	for r := 0; r < m; r++ {
+		var elapsed numeric.KahanSum
+		for j := 0; j < n; j++ {
+			elapsed.Add(s.Times[j][r])
+			if s.Times[j][r] > 0 && !numeric.LessEq(elapsed.Value(), in.Tasks[j].Deadline, tol) {
+				return fmt.Errorf("schedule: task %d misses deadline on machine %d (completes %.9g > d=%.9g)",
+					j, r, elapsed.Value(), in.Tasks[j].Deadline)
+			}
+			// Even with zero own time, later tasks' prefix includes earlier
+			// loads; the check above at the next positive entry covers it.
+		}
+	}
+
+	// Work caps.
+	for j := 0; j < n; j++ {
+		w := s.Work(in, j)
+		if !numeric.LessEq(w, in.Tasks[j].FMax(), tol) {
+			return fmt.Errorf("schedule: task %d gets %g GFLOPs > fmax %g", j, w, in.Tasks[j].FMax())
+		}
+	}
+
+	// Energy budget.
+	if e := s.Energy(in); !numeric.LessEq(e, in.Budget, tol) {
+		return fmt.Errorf("schedule: energy %g J exceeds budget %g J", e, in.Budget)
+	}
+
+	if opts.RequireIntegral {
+		for j := 0; j < n; j++ {
+			if _, err := s.AssignedMachine(j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

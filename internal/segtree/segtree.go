@@ -1,0 +1,147 @@
+// Package segtree implements a lazy segment tree over float64 values
+// supporting range add and range minimum queries in O(log n).
+//
+// The scheduler uses it to maintain deadline slacks in Algorithm 1: when a
+// piecewise-linear segment of task j receives Δ units of work, the slack of
+// every prefix constraint i >= j decreases by Δ (a suffix range-add), and
+// the amount of work that can still be granted to a later segment is the
+// minimum slack over a suffix (a range-min query). This turns the paper's
+// O(n²) inner loop into O(n log n); both variants are kept and compared in
+// BenchmarkAblationSegtreeVsScan.
+package segtree
+
+import "math"
+
+// Tree is a lazy range-add range-min segment tree. Use New to construct it.
+type Tree struct {
+	n    int
+	min  []float64
+	lazy []float64
+}
+
+// New builds a tree over the given initial values. The tree keeps its own
+// copy; subsequent changes to vals do not affect it.
+func New(vals []float64) *Tree {
+	n := len(vals)
+	t := &Tree{
+		n:    n,
+		min:  make([]float64, 4*maxInt(n, 1)),
+		lazy: make([]float64, 4*maxInt(n, 1)),
+	}
+	if n > 0 {
+		t.build(1, 0, n-1, vals)
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Len returns the number of leaves.
+func (t *Tree) Len() int { return t.n }
+
+func (t *Tree) build(node, lo, hi int, vals []float64) {
+	if lo == hi {
+		t.min[node] = vals[lo]
+		return
+	}
+	mid := (lo + hi) / 2
+	t.build(2*node, lo, mid, vals)
+	t.build(2*node+1, mid+1, hi, vals)
+	t.min[node] = math.Min(t.min[2*node], t.min[2*node+1])
+}
+
+func (t *Tree) push(node int) {
+	if t.lazy[node] != 0 {
+		for _, c := range [2]int{2 * node, 2*node + 1} {
+			t.lazy[c] += t.lazy[node]
+			t.min[c] += t.lazy[node]
+		}
+		t.lazy[node] = 0
+	}
+}
+
+// AddRange adds delta to every value with index in [l, r] (inclusive).
+// Out-of-range or empty intervals are ignored.
+func (t *Tree) AddRange(l, r int, delta float64) {
+	if t.n == 0 {
+		return
+	}
+	if l < 0 {
+		l = 0
+	}
+	if r >= t.n {
+		r = t.n - 1
+	}
+	if l > r {
+		return
+	}
+	t.addRange(1, 0, t.n-1, l, r, delta)
+}
+
+func (t *Tree) addRange(node, lo, hi, l, r int, delta float64) {
+	if r < lo || hi < l {
+		return
+	}
+	if l <= lo && hi <= r {
+		t.min[node] += delta
+		t.lazy[node] += delta
+		return
+	}
+	t.push(node)
+	mid := (lo + hi) / 2
+	t.addRange(2*node, lo, mid, l, r, delta)
+	t.addRange(2*node+1, mid+1, hi, l, r, delta)
+	t.min[node] = math.Min(t.min[2*node], t.min[2*node+1])
+}
+
+// MinRange returns the minimum value with index in [l, r] (inclusive),
+// or +Inf when the clipped interval is empty.
+func (t *Tree) MinRange(l, r int) float64 {
+	if t.n == 0 {
+		return math.Inf(1)
+	}
+	if l < 0 {
+		l = 0
+	}
+	if r >= t.n {
+		r = t.n - 1
+	}
+	if l > r {
+		return math.Inf(1)
+	}
+	return t.minRange(1, 0, t.n-1, l, r)
+}
+
+func (t *Tree) minRange(node, lo, hi, l, r int) float64 {
+	if r < lo || hi < l {
+		return math.Inf(1)
+	}
+	if l <= lo && hi <= r {
+		return t.min[node]
+	}
+	t.push(node)
+	mid := (lo + hi) / 2
+	return math.Min(t.minRange(2*node, lo, mid, l, r), t.minRange(2*node+1, mid+1, hi, l, r))
+}
+
+// Get returns the value at index i. It panics for out-of-range i.
+func (t *Tree) Get(i int) float64 {
+	if i < 0 || i >= t.n {
+		panic("segtree: Get index out of range")
+	}
+	return t.minRange(1, 0, t.n-1, i, i)
+}
+
+// Values returns a snapshot of all leaf values.
+func (t *Tree) Values() []float64 {
+	out := make([]float64, t.n)
+	for i := range out {
+		out[i] = t.Get(i)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package segtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naive is a reference implementation with the same interface semantics.
+type naive struct{ vals []float64 }
+
+func (n *naive) addRange(l, r int, d float64) {
+	if l < 0 {
+		l = 0
+	}
+	if r >= len(n.vals) {
+		r = len(n.vals) - 1
+	}
+	for i := l; i <= r; i++ {
+		n.vals[i] += d
+	}
+}
+
+func (n *naive) minRange(l, r int) float64 {
+	if l < 0 {
+		l = 0
+	}
+	if r >= len(n.vals) {
+		r = len(n.vals) - 1
+	}
+	m := math.Inf(1)
+	for i := l; i <= r && i >= 0; i++ {
+		if n.vals[i] < m {
+			m = n.vals[i]
+		}
+	}
+	return m
+}
+
+func TestBasicOperations(t *testing.T) {
+	tr := New([]float64{5, 3, 8, 1, 9})
+	if got := tr.MinRange(0, 4); got != 1 {
+		t.Errorf("min all = %g, want 1", got)
+	}
+	if got := tr.MinRange(0, 2); got != 3 {
+		t.Errorf("min [0,2] = %g, want 3", got)
+	}
+	tr.AddRange(2, 4, -2)
+	if got := tr.MinRange(0, 4); got != -1 {
+		t.Errorf("after add, min = %g, want -1", got)
+	}
+	if got := tr.Get(3); got != -1 {
+		t.Errorf("Get(3) = %g, want -1", got)
+	}
+	if got := tr.Get(0); got != 5 {
+		t.Errorf("Get(0) = %g, want 5", got)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	empty := New(nil)
+	if got := empty.MinRange(0, 10); !math.IsInf(got, 1) {
+		t.Errorf("empty tree min = %g, want +Inf", got)
+	}
+	empty.AddRange(0, 5, 3) // must not panic
+	one := New([]float64{7})
+	if one.MinRange(0, 0) != 7 {
+		t.Error("single-leaf tree broken")
+	}
+	one.AddRange(0, 0, -7)
+	if one.Get(0) != 0 {
+		t.Error("single-leaf add broken")
+	}
+}
+
+func TestClippingAndEmptyIntervals(t *testing.T) {
+	tr := New([]float64{1, 2, 3})
+	if got := tr.MinRange(-5, 100); got != 1 {
+		t.Errorf("clipped full range min = %g", got)
+	}
+	if got := tr.MinRange(2, 1); !math.IsInf(got, 1) {
+		t.Errorf("empty interval min = %g, want +Inf", got)
+	}
+	tr.AddRange(5, 10, 99) // fully out of range: no-op
+	if got := tr.MinRange(0, 2); got != 1 {
+		t.Errorf("out-of-range add changed values: min = %g", got)
+	}
+}
+
+func TestGetPanics(t *testing.T) {
+	tr := New([]float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("Get out of range should panic")
+		}
+	}()
+	tr.Get(1)
+}
+
+func TestValuesSnapshot(t *testing.T) {
+	tr := New([]float64{4, 5, 6})
+	tr.AddRange(1, 2, 10)
+	got := tr.Values()
+	want := []float64{4, 15, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Values = %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestRandomizedAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()*100 - 50
+		}
+		tr := New(vals)
+		ref := &naive{vals: append([]float64(nil), vals...)}
+		for op := 0; op < 300; op++ {
+			l := r.Intn(n)
+			rr := l + r.Intn(n-l)
+			if r.Intn(2) == 0 {
+				d := r.Float64()*20 - 10
+				tr.AddRange(l, rr, d)
+				ref.addRange(l, rr, d)
+			} else {
+				got, want := tr.MinRange(l, rr), ref.minRange(l, rr)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("trial %d op %d: MinRange(%d,%d) = %g, want %g", trial, op, l, rr, got, want)
+				}
+			}
+		}
+		// Final full sweep.
+		for i := 0; i < n; i++ {
+			if math.Abs(tr.Get(i)-ref.vals[i]) > 1e-9 {
+				t.Fatalf("trial %d: Get(%d) = %g, want %g", trial, i, tr.Get(i), ref.vals[i])
+			}
+		}
+	}
+}
+
+func BenchmarkSuffixMinSegtree(b *testing.B) {
+	const n = 2000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	tr := New(vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % n
+		_ = tr.MinRange(j, n-1)
+		tr.AddRange(j, n-1, -0.001)
+	}
+}
+
+func BenchmarkSuffixMinNaive(b *testing.B) {
+	const n = 2000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	ref := &naive{vals: vals}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % n
+		_ = ref.minRange(j, n-1)
+		ref.addRange(j, n-1, -0.001)
+	}
+}

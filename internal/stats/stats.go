@@ -1,0 +1,140 @@
+// Package stats provides the summary statistics used by the experiment
+// harness to report replicate series: mean, min, max, standard deviation,
+// and percentiles, plus a Summary aggregate that renders the rows in the
+// tables of EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/numeric"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary over xs. An empty sample yields a zero
+// Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Min:  math.Inf(1),
+		Max:  math.Inf(-1),
+	}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Std = Std(xs)
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// String renders the summary compactly: "mean ± std [min, max] (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g [%.4g, %.4g] (n=%d)", s.Mean, s.Std, s.Min, s.Max, s.N)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return numeric.Sum(xs) / float64(len(xs))
+}
+
+// Std returns the sample standard deviation of xs (0 for n < 2).
+func Std(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var acc numeric.KahanSum
+	for _, x := range xs {
+		d := x - m
+		acc.Add(d * d)
+	}
+	return math.Sqrt(acc.Value() / float64(n-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for empty input and
+// panics for out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %g out of range [0,100]", p))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MinMax returns the smallest and largest element of xs. It panics on an
+// empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// mean of xs at the given confidence level (e.g. 0.95), using iters
+// resamples drawn with the provided uniform-int source. It returns the
+// sample mean for degenerate inputs (n < 2 or iters < 1).
+func BootstrapCI(xs []float64, confidence float64, iters int, intn func(int) int) (lo, hi float64) {
+	m := Mean(xs)
+	if len(xs) < 2 || iters < 1 || confidence <= 0 || confidence >= 1 {
+		return m, m
+	}
+	means := make([]float64, iters)
+	resample := make([]float64, len(xs))
+	for b := 0; b < iters; b++ {
+		for i := range resample {
+			resample[i] = xs[intn(len(xs))]
+		}
+		means[b] = Mean(resample)
+	}
+	alpha := (1 - confidence) / 2
+	return Percentile(means, 100*alpha), Percentile(means, 100*(1-alpha))
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestStd(t *testing.T) {
+	if Std([]float64{5}) != 0 {
+		t.Error("std of single element should be 0")
+	}
+	// Known sample: {2,4,4,4,5,5,7,9} has sample std sqrt(32/7).
+	got := Std([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Std = %g, want %g", got, want)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{10, 20}, 50); got != 15 {
+		t.Errorf("Percentile 50 of {10,20} = %g, want 15", got)
+	}
+}
+
+func TestPercentilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p > 100")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("Summarize(nil).N should be 0")
+	}
+	if s.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %g,%g", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax of empty should panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestSummaryBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Mean+1e-6 && s.Mean <= s.Max+1e-6 &&
+			s.Min <= s.Median && s.Median <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	src := rand.New(rand.NewSource(7))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + src.NormFloat64()
+	}
+	lo, hi := BootstrapCI(xs, 0.95, 500, src.Intn)
+	m := Mean(xs)
+	if !(lo <= m && m <= hi) {
+		t.Errorf("CI [%g, %g] does not contain the mean %g", lo, hi, m)
+	}
+	// The CI for n=200 unit-variance data should be tight around the mean.
+	if hi-lo > 0.5 {
+		t.Errorf("CI too wide: [%g, %g]", lo, hi)
+	}
+	// Degenerate cases collapse to the mean.
+	if lo, hi := BootstrapCI([]float64{5}, 0.95, 100, src.Intn); lo != 5 || hi != 5 {
+		t.Errorf("degenerate CI = [%g, %g]", lo, hi)
+	}
+	if lo, hi := BootstrapCI(xs, 0, 100, src.Intn); lo != hi {
+		t.Errorf("zero-confidence CI should collapse, got [%g, %g]", lo, hi)
+	}
+}

@@ -1,0 +1,193 @@
+package task
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/accuracy"
+	"repro/internal/machine"
+	"repro/internal/rng"
+)
+
+// Scenario selects how task efficiencies θ relate to deadlines.
+type Scenario int
+
+const (
+	// Uniform draws every θ uniformly from [ThetaMin, ThetaMax] — the
+	// paper's default and its Fig 6a "Uniform Tasks" setting.
+	Uniform Scenario = iota
+	// EarliestHighEfficient gives the earliest EarlyFraction of tasks (by
+	// deadline) a high efficiency in [EarlyThetaMin, EarlyThetaMax] and the
+	// remaining tasks a low efficiency in [ThetaMin, ThetaMax] — the
+	// paper's Fig 6b "Earliest High Efficient Tasks" setting.
+	EarliestHighEfficient
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case Uniform:
+		return "uniform"
+	case EarliestHighEfficient:
+		return "earliest-high-efficient"
+	default:
+		return fmt.Sprintf("scenario(%d)", int(s))
+	}
+}
+
+// GenConfig parameterises workload generation, mirroring §6 of the paper.
+//
+// The deadline tolerance ρ sets the largest deadline as
+//
+//	d_max = ρ · m² · Σ_j f_j^max / Σ_r s_r
+//
+// (larger ρ means more time for the tasks; the paper's printed formula is
+// dimensionally garbled, see DESIGN.md). Deadlines are drawn uniformly from
+// (0, d_max] and sorted. The energy budget ratio β sets
+//
+//	B = β · d_max · Σ_r P_r
+//
+// (β = 1 lets every machine run at full power until d_max; β near 0 is a
+// strict budget).
+type GenConfig struct {
+	N        int     // number of tasks
+	Rho      float64 // deadline tolerance ρ > 0
+	Beta     float64 // energy budget ratio β >= 0
+	ThetaMin float64 // minimum task efficiency (paper: 0.1)
+	ThetaMax float64 // maximum task efficiency (>= ThetaMin)
+	Segments int     // PWL segments per accuracy function (paper: 5)
+	AMin     float64 // accuracy floor (paper: 1/1000)
+	AMax     float64 // accuracy ceiling (paper: 0.82)
+	Scenario Scenario
+
+	// EarliestHighEfficient parameters (ignored for Uniform).
+	EarlyFraction float64 // fraction of earliest tasks that are efficient (paper: 0.30)
+	EarlyThetaMin float64 // paper: 4.0
+	EarlyThetaMax float64 // paper: 4.9
+}
+
+// DefaultConfig returns the paper's base configuration with the given task
+// count, deadline tolerance and budget ratio, and uniform θ = ThetaMin.
+func DefaultConfig(n int, rho, beta float64) GenConfig {
+	return GenConfig{
+		N:        n,
+		Rho:      rho,
+		Beta:     beta,
+		ThetaMin: 0.1,
+		ThetaMax: 0.1,
+		Segments: accuracy.DefaultSegments,
+		AMin:     accuracy.DefaultAMin,
+		AMax:     accuracy.DefaultAMax,
+		Scenario: Uniform,
+	}
+}
+
+// Validate checks the configuration.
+func (c GenConfig) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("task: N must be positive, got %d", c.N)
+	}
+	if c.Rho <= 0 {
+		return fmt.Errorf("task: Rho must be positive, got %g", c.Rho)
+	}
+	if c.Beta < 0 {
+		return fmt.Errorf("task: Beta must be non-negative, got %g", c.Beta)
+	}
+	if c.ThetaMin <= 0 || c.ThetaMax < c.ThetaMin {
+		return fmt.Errorf("task: need 0 < ThetaMin <= ThetaMax, got [%g, %g]", c.ThetaMin, c.ThetaMax)
+	}
+	if c.Segments < 1 {
+		return fmt.Errorf("task: Segments must be >= 1, got %d", c.Segments)
+	}
+	if !(c.AMin >= 0 && c.AMax > c.AMin) {
+		return fmt.Errorf("task: need 0 <= AMin < AMax, got [%g, %g]", c.AMin, c.AMax)
+	}
+	if c.Scenario == EarliestHighEfficient {
+		if c.EarlyFraction <= 0 || c.EarlyFraction > 1 {
+			return fmt.Errorf("task: EarlyFraction must lie in (0,1], got %g", c.EarlyFraction)
+		}
+		if c.EarlyThetaMin <= 0 || c.EarlyThetaMax < c.EarlyThetaMin {
+			return fmt.Errorf("task: need 0 < EarlyThetaMin <= EarlyThetaMax, got [%g, %g]",
+				c.EarlyThetaMin, c.EarlyThetaMax)
+		}
+	}
+	return nil
+}
+
+// Generate draws a complete problem instance for the given fleet. Tasks are
+// returned sorted by non-decreasing deadline.
+func Generate(src *rng.Source, cfg GenConfig, fleet machine.Fleet) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fleet.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Draw task efficiencies. For EarliestHighEfficient, the first
+	// ceil(EarlyFraction·N) tasks in deadline order are the efficient ones.
+	thetas := make([]float64, cfg.N)
+	nEarly := 0
+	if cfg.Scenario == EarliestHighEfficient {
+		nEarly = int(float64(cfg.N)*cfg.EarlyFraction + 0.5)
+		if nEarly > cfg.N {
+			nEarly = cfg.N
+		}
+	}
+	for j := range thetas {
+		if j < nEarly {
+			thetas[j] = src.Uniform(cfg.EarlyThetaMin, cfg.EarlyThetaMax)
+		} else {
+			thetas[j] = src.Uniform(cfg.ThetaMin, cfg.ThetaMax)
+		}
+	}
+
+	// Build accuracy functions; f_j^max is determined by θ_j through the
+	// exponential model so that a_j(f_j^max) = AMax (paper §6).
+	tasks := make([]Task, cfg.N)
+	var totalWork float64
+	for j := range tasks {
+		model := accuracy.Exponential{
+			AMin: cfg.AMin, AMax: cfg.AMax, Theta: thetas[j], Cut: accuracy.DefaultCut,
+		}
+		pwl, err := accuracy.FitChord(model, cfg.Segments)
+		if err != nil {
+			return nil, fmt.Errorf("task %d: %w", j, err)
+		}
+		tasks[j] = Task{Name: fmt.Sprintf("t%d", j), Acc: pwl}
+		totalWork += pwl.FMax()
+	}
+
+	// Deadlines: d_max from ρ, each d_j uniform in (0, d_max], sorted. The
+	// earliest tasks keep the low indices, so in the EarliestHighEfficient
+	// scenario the high-θ tasks end up with the earliest deadlines.
+	m := float64(len(fleet))
+	dMax := cfg.Rho * m * m * totalWork / fleet.TotalSpeed()
+	deadlines := make([]float64, cfg.N)
+	for j := range deadlines {
+		// (0, dMax]: avoid a zero deadline.
+		deadlines[j] = dMax * (1 - src.Float64())
+	}
+	sort.Float64s(deadlines)
+	// Force the recovered d_max to be exact so β is well-defined.
+	deadlines[cfg.N-1] = dMax
+	for j := range tasks {
+		tasks[j].Deadline = deadlines[j]
+	}
+
+	inst := &Instance{
+		Tasks:    tasks,
+		Machines: fleet.Clone(),
+		Budget:   cfg.Beta * dMax * fleet.TotalPower(),
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// GenerateUniformFleet draws both a uniform fleet of m machines and an
+// instance over it.
+func GenerateUniformFleet(src *rng.Source, cfg GenConfig, m int) (*Instance, error) {
+	return Generate(src, cfg, machine.UniformFleet(src, m))
+}

@@ -1,0 +1,71 @@
+package task
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/accuracy"
+	"repro/internal/machine"
+)
+
+// instanceDTO is the on-disk JSON form of an Instance. Accuracy functions
+// are serialised as their breakpoints and values.
+type instanceDTO struct {
+	Tasks    []taskDTO         `json:"tasks"`
+	Machines []machine.Machine `json:"machines"`
+	Budget   float64           `json:"budget_joules"`
+}
+
+type taskDTO struct {
+	Name        string    `json:"name,omitempty"`
+	Deadline    float64   `json:"deadline_s"`
+	Breakpoints []float64 `json:"breakpoints_gflops"`
+	Values      []float64 `json:"accuracy_values"`
+}
+
+// WriteJSON serialises the instance to w as indented JSON.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	dto := instanceDTO{
+		Machines: in.Machines,
+		Budget:   in.Budget,
+	}
+	for _, t := range in.Tasks {
+		dto.Tasks = append(dto.Tasks, taskDTO{
+			Name:        t.Name,
+			Deadline:    t.Deadline,
+			Breakpoints: t.Acc.Breakpoints(),
+			Values:      t.Acc.Values(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dto)
+}
+
+// ReadJSON parses an instance from r, validating it fully (including
+// accuracy-function concavity and deadline ordering).
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var dto instanceDTO
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&dto); err != nil {
+		return nil, fmt.Errorf("task: decoding instance: %w", err)
+	}
+	in := &Instance{
+		Machines: dto.Machines,
+		Budget:   dto.Budget,
+	}
+	for i, td := range dto.Tasks {
+		pwl, err := accuracy.NewPWL(td.Breakpoints, td.Values)
+		if err != nil {
+			return nil, fmt.Errorf("task %d (%s): %w", i, td.Name, err)
+		}
+		in.Tasks = append(in.Tasks, Task{Name: td.Name, Deadline: td.Deadline, Acc: pwl})
+	}
+	in.SortByDeadline()
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

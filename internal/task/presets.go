@@ -1,0 +1,55 @@
+package task
+
+import "fmt"
+
+// Canonical workload configurations of the paper's evaluation (§6). The
+// experiment harness builds its sweeps from these; they are also reachable
+// from cmd/gen via -preset so any instance from the paper's figures can be
+// materialised as JSON.
+
+// PaperFig3 returns the Fig 3 workload: n tasks, ρ=0.35, β=0.5, task
+// efficiencies uniform in [0.1, 0.1·mu] (mu is the heterogeneity ratio;
+// the paper sweeps mu in [5, 20] with n=100, m=5).
+func PaperFig3(n int, mu float64) GenConfig {
+	cfg := DefaultConfig(n, 0.35, 0.5)
+	cfg.ThetaMax = cfg.ThetaMin * mu
+	return cfg
+}
+
+// PaperFig4 returns the runtime-sweep workload used for Fig 4 in this
+// reproduction: tight deadlines (ρ=0.1) and budget (β=0.15) with
+// heterogeneous tasks (μ=10), the regime where the exact solver actually
+// has to branch (see DESIGN.md §3).
+func PaperFig4(n int) GenConfig {
+	cfg := DefaultConfig(n, 0.1, 0.15)
+	cfg.ThetaMax = 1.0
+	return cfg
+}
+
+// PaperFig5 returns the Fig 5 workload: n uniform θ=0.1 tasks, ρ=1.0, at
+// energy budget ratio beta (the paper sweeps beta in [0.1, 1.0] with
+// n=100, m=2).
+func PaperFig5(n int, beta float64) GenConfig {
+	return DefaultConfig(n, 1.0, beta)
+}
+
+// PaperFig6 returns the Fig 6 workload at budget ratio beta: n tasks with
+// very strict deadlines (ρ=0.01) on the fixed two-machine fleet
+// (machine.TwoMachineScenario). scenario selects Fig 6a (Uniform,
+// θ∈[0.1, 4.9]) or Fig 6b (EarliestHighEfficient: earliest 30% with
+// θ∈[4.0, 4.9], rest θ∈[0.1, 1.0]).
+func PaperFig6(n int, scenario Scenario, beta float64) (GenConfig, error) {
+	cfg := DefaultConfig(n, 0.01, beta)
+	switch scenario {
+	case Uniform:
+		cfg.ThetaMin, cfg.ThetaMax = 0.1, 4.9
+	case EarliestHighEfficient:
+		cfg.Scenario = EarliestHighEfficient
+		cfg.ThetaMin, cfg.ThetaMax = 0.1, 1.0
+		cfg.EarlyFraction = 0.30
+		cfg.EarlyThetaMin, cfg.EarlyThetaMax = 4.0, 4.9
+	default:
+		return GenConfig{}, fmt.Errorf("task: unsupported scenario %v for Fig 6", scenario)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,172 @@
+// Package task models compressible inference tasks and problem instances,
+// and generates the synthetic workloads of the paper's evaluation (§6):
+// tasks with exponential-derived 5-segment piecewise-linear accuracy
+// functions, task efficiencies θ drawn per scenario, deadlines controlled
+// by the deadline-tolerance ρ, and an energy budget controlled by the
+// budget ratio β.
+package task
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/accuracy"
+	"repro/internal/machine"
+)
+
+// Task is one compressible inference request: it must finish by Deadline
+// and yields accuracy Acc.Eval(f) when granted f GFLOPs of work, up to
+// FMax = Acc.FMax().
+type Task struct {
+	Name     string
+	Deadline float64 // seconds
+	Acc      *accuracy.PWL
+}
+
+// FMax returns the work required for full, uncompressed processing.
+func (t Task) FMax() float64 { return t.Acc.FMax() }
+
+// Efficiency returns the paper's task efficiency θ: the slope of the first
+// segment of the accuracy function.
+func (t Task) Efficiency() float64 { return t.Acc.FirstSlope() }
+
+// Validate checks the task's fields.
+func (t Task) Validate() error {
+	if t.Deadline <= 0 {
+		return fmt.Errorf("task %q: deadline must be positive, got %g", t.Name, t.Deadline)
+	}
+	if t.Acc == nil {
+		return fmt.Errorf("task %q: missing accuracy function", t.Name)
+	}
+	return t.Acc.Validate()
+}
+
+// Instance is a complete DSCT-EA problem: tasks (sorted by non-decreasing
+// deadline, the order every algorithm in this module assumes), machines,
+// and the energy budget B in Joules.
+type Instance struct {
+	Tasks    []Task
+	Machines machine.Fleet
+	Budget   float64 // Joules
+}
+
+// N returns the number of tasks.
+func (in *Instance) N() int { return len(in.Tasks) }
+
+// M returns the number of machines.
+func (in *Instance) M() int { return len(in.Machines) }
+
+// Validate checks structural invariants: non-empty tasks and machines,
+// valid components, deadline-sorted tasks and a non-negative budget.
+func (in *Instance) Validate() error {
+	if len(in.Tasks) == 0 {
+		return fmt.Errorf("task: instance has no tasks")
+	}
+	if err := in.Machines.Validate(); err != nil {
+		return err
+	}
+	for j, tk := range in.Tasks {
+		if err := tk.Validate(); err != nil {
+			return fmt.Errorf("task %d: %w", j, err)
+		}
+		if j > 0 && tk.Deadline < in.Tasks[j-1].Deadline {
+			return fmt.Errorf("task: tasks not sorted by deadline at index %d (%g < %g)",
+				j, tk.Deadline, in.Tasks[j-1].Deadline)
+		}
+	}
+	if in.Budget < 0 {
+		return fmt.Errorf("task: negative energy budget %g", in.Budget)
+	}
+	return nil
+}
+
+// SortByDeadline sorts the tasks in place by non-decreasing deadline
+// (stable, so equal deadlines keep their relative order).
+func (in *Instance) SortByDeadline() {
+	sort.SliceStable(in.Tasks, func(a, b int) bool {
+		return in.Tasks[a].Deadline < in.Tasks[b].Deadline
+	})
+}
+
+// MaxDeadline returns d_max = max_j d_j. It panics on an empty instance.
+func (in *Instance) MaxDeadline() float64 {
+	if len(in.Tasks) == 0 {
+		panic("task: MaxDeadline of empty instance")
+	}
+	// Tasks are deadline-sorted, but tolerate unsorted input.
+	d := in.Tasks[0].Deadline
+	for _, t := range in.Tasks[1:] {
+		if t.Deadline > d {
+			d = t.Deadline
+		}
+	}
+	return d
+}
+
+// TotalWork returns Σ_j f_j^max in GFLOPs.
+func (in *Instance) TotalWork() float64 {
+	var s float64
+	for _, t := range in.Tasks {
+		s += t.FMax()
+	}
+	return s
+}
+
+// HeterogeneityRatio returns μ = θ_max / θ_min over the tasks' first-segment
+// slopes (the paper's task heterogeneity ratio).
+func (in *Instance) HeterogeneityRatio() float64 {
+	if len(in.Tasks) == 0 {
+		return 1
+	}
+	min, max := in.Tasks[0].Efficiency(), in.Tasks[0].Efficiency()
+	for _, t := range in.Tasks[1:] {
+		e := t.Efficiency()
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return max / min
+}
+
+// DeadlineTolerance returns ρ recovered from the instance:
+// ρ = d_max · Σ_r s_r / (m² · Σ_j f_j^max); see GenConfig for the forward
+// definition.
+func (in *Instance) DeadlineTolerance() float64 {
+	m := float64(in.M())
+	return in.MaxDeadline() * in.Machines.TotalSpeed() / (m * m * in.TotalWork())
+}
+
+// BudgetRatio returns β recovered from the instance:
+// β = B / (d_max · Σ_r P_r).
+func (in *Instance) BudgetRatio() float64 {
+	return in.Budget / (in.MaxDeadline() * in.Machines.TotalPower())
+}
+
+// FullProcessingEnergy returns a lower bound on the energy needed to fully
+// process every task, assuming all work runs on the most efficient machine:
+// Σ_j f_j^max / E_best. It is used by experiments to contextualise β.
+func (in *Instance) FullProcessingEnergy() float64 {
+	best := 0.0
+	for _, m := range in.Machines {
+		if e := m.Efficiency(); e > best {
+			best = e
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	return in.TotalWork() / best
+}
+
+// Clone returns a deep copy of the instance (tasks share their immutable
+// accuracy functions).
+func (in *Instance) Clone() *Instance {
+	return &Instance{
+		Tasks:    append([]Task(nil), in.Tasks...),
+		Machines: in.Machines.Clone(),
+		Budget:   in.Budget,
+	}
+}

@@ -1,0 +1,309 @@
+package task
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/machine"
+	"repro/internal/rng"
+)
+
+func pwl(t *testing.T, theta float64) *accuracy.PWL {
+	t.Helper()
+	p, err := accuracy.FitChord(accuracy.NewExponential(theta), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func smallInstance(t *testing.T) *Instance {
+	t.Helper()
+	in := &Instance{
+		Tasks: []Task{
+			{Name: "a", Deadline: 1, Acc: pwl(t, 0.5)},
+			{Name: "b", Deadline: 2, Acc: pwl(t, 0.2)},
+		},
+		Machines: machine.Fleet{machine.New("m0", 2000, 40), machine.New("m1", 5000, 20)},
+		Budget:   100,
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestTaskAccessors(t *testing.T) {
+	tk := Task{Name: "x", Deadline: 3, Acc: pwl(t, 0.5)}
+	if err := tk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tk.FMax() != tk.Acc.FMax() {
+		t.Error("FMax should delegate")
+	}
+	if tk.Efficiency() != tk.Acc.FirstSlope() {
+		t.Error("Efficiency should be first slope")
+	}
+}
+
+func TestTaskValidateErrors(t *testing.T) {
+	if err := (Task{Deadline: 0, Acc: pwl(t, 1)}).Validate(); err == nil {
+		t.Error("zero deadline should fail")
+	}
+	if err := (Task{Deadline: 1}).Validate(); err == nil {
+		t.Error("missing accuracy function should fail")
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	in := smallInstance(t)
+	if in.N() != 2 || in.M() != 2 {
+		t.Errorf("N=%d M=%d", in.N(), in.M())
+	}
+	// Unsorted deadlines rejected.
+	bad := in.Clone()
+	bad.Tasks[0].Deadline = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("unsorted deadlines should fail validation")
+	}
+	bad2 := in.Clone()
+	bad2.Budget = -1
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative budget should fail")
+	}
+	empty := &Instance{Machines: in.Machines}
+	if err := empty.Validate(); err == nil {
+		t.Error("no tasks should fail")
+	}
+}
+
+func TestInstanceAggregates(t *testing.T) {
+	in := smallInstance(t)
+	if in.MaxDeadline() != 2 {
+		t.Errorf("MaxDeadline = %g", in.MaxDeadline())
+	}
+	wantWork := in.Tasks[0].FMax() + in.Tasks[1].FMax()
+	if math.Abs(in.TotalWork()-wantWork) > 1e-9 {
+		t.Errorf("TotalWork = %g, want %g", in.TotalWork(), wantWork)
+	}
+	mu := in.HeterogeneityRatio()
+	wantMu := in.Tasks[0].Efficiency() / in.Tasks[1].Efficiency()
+	if math.Abs(mu-wantMu) > 1e-9 {
+		t.Errorf("mu = %g, want %g", mu, wantMu)
+	}
+	if in.FullProcessingEnergy() <= 0 {
+		t.Error("FullProcessingEnergy should be positive")
+	}
+}
+
+func TestSortByDeadlineStable(t *testing.T) {
+	in := smallInstance(t)
+	in.Tasks[0].Deadline, in.Tasks[1].Deadline = 2, 1
+	in.SortByDeadline()
+	if in.Tasks[0].Name != "b" || in.Tasks[1].Name != "a" {
+		t.Errorf("sort failed: %s, %s", in.Tasks[0].Name, in.Tasks[1].Name)
+	}
+}
+
+func TestGenConfigValidate(t *testing.T) {
+	good := DefaultConfig(10, 0.5, 0.5)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []GenConfig{
+		func() GenConfig { c := good; c.N = 0; return c }(),
+		func() GenConfig { c := good; c.Rho = 0; return c }(),
+		func() GenConfig { c := good; c.Beta = -1; return c }(),
+		func() GenConfig { c := good; c.ThetaMin = 0; return c }(),
+		func() GenConfig { c := good; c.ThetaMax = 0.05; return c }(),
+		func() GenConfig { c := good; c.Segments = 0; return c }(),
+		func() GenConfig { c := good; c.AMax = 0; return c }(),
+		func() GenConfig {
+			c := good
+			c.Scenario = EarliestHighEfficient
+			return c // missing early params
+		}(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d: expected error", i)
+		}
+	}
+}
+
+func TestGenerateUniform(t *testing.T) {
+	src := rng.New(42, "gen")
+	cfg := DefaultConfig(50, 0.35, 0.5)
+	cfg.ThetaMax = 2.0 // heterogeneous
+	in, err := GenerateUniformFleet(src, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 50 || in.M() != 5 {
+		t.Fatalf("N=%d M=%d", in.N(), in.M())
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deadlines sorted and within (0, d_max].
+	dMax := in.MaxDeadline()
+	for j, tk := range in.Tasks {
+		if tk.Deadline <= 0 || tk.Deadline > dMax {
+			t.Fatalf("deadline %d = %g out of (0, %g]", j, tk.Deadline, dMax)
+		}
+	}
+	// ρ and β round-trip through the instance.
+	if got := in.DeadlineTolerance(); math.Abs(got-0.35) > 1e-9 {
+		t.Errorf("recovered rho = %g, want 0.35", got)
+	}
+	if got := in.BudgetRatio(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("recovered beta = %g, want 0.5", got)
+	}
+	// θ within bounds.
+	for _, tk := range in.Tasks {
+		th := tk.Efficiency()
+		if th <= 0 || th > 2.0 {
+			t.Errorf("theta %g out of range", th)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := DefaultConfig(20, 1, 0.3)
+	a, err := GenerateUniformFleet(rng.New(3, "d"), cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateUniformFleet(rng.New(3, "d"), cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Tasks {
+		if a.Tasks[j].Deadline != b.Tasks[j].Deadline {
+			t.Fatalf("nondeterministic deadlines at %d", j)
+		}
+	}
+	if a.Budget != b.Budget {
+		t.Error("nondeterministic budget")
+	}
+}
+
+func TestGenerateEarliestHighEfficient(t *testing.T) {
+	cfg := DefaultConfig(100, 0.01, 0.4)
+	cfg.Scenario = EarliestHighEfficient
+	cfg.ThetaMin, cfg.ThetaMax = 0.1, 1.0
+	cfg.EarlyFraction = 0.30
+	cfg.EarlyThetaMin, cfg.EarlyThetaMax = 4.0, 4.9
+	in, err := Generate(rng.New(5, "ehe"), cfg, machine.TwoMachineScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 30 tasks (earliest deadlines) are the efficient ones. The first
+	// PWL slope is slightly below θ, so check against a loose floor.
+	for j, tk := range in.Tasks {
+		th := tk.Efficiency()
+		if j < 30 && th < 3.0 {
+			t.Errorf("early task %d has low efficiency %g", j, th)
+		}
+		if j >= 30 && th > 1.1 {
+			t.Errorf("late task %d has high efficiency %g", j, th)
+		}
+	}
+	if s := cfg.Scenario.String(); s != "earliest-high-efficient" {
+		t.Errorf("Scenario.String = %q", s)
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if Uniform.String() != "uniform" {
+		t.Error("Uniform string")
+	}
+	if Scenario(99).String() == "" {
+		t.Error("unknown scenario should still render")
+	}
+}
+
+func TestGenerateRejectsBadInputs(t *testing.T) {
+	if _, err := GenerateUniformFleet(rng.New(1, "x"), GenConfig{}, 2); err == nil {
+		t.Error("invalid config should fail")
+	}
+	cfg := DefaultConfig(5, 1, 1)
+	if _, err := Generate(rng.New(1, "x"), cfg, nil); err == nil {
+		t.Error("empty fleet should fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in, err := GenerateUniformFleet(rng.New(8, "json"), DefaultConfig(10, 0.5, 0.5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != in.N() || back.M() != in.M() || math.Abs(back.Budget-in.Budget) > 1e-9 {
+		t.Fatalf("round trip mismatch: N=%d M=%d B=%g", back.N(), back.M(), back.Budget)
+	}
+	for j := range in.Tasks {
+		if math.Abs(back.Tasks[j].Deadline-in.Tasks[j].Deadline) > 1e-12 {
+			t.Fatalf("deadline %d mismatch", j)
+		}
+		if math.Abs(back.Tasks[j].FMax()-in.Tasks[j].FMax()) > 1e-9 {
+			t.Fatalf("fmax %d mismatch", j)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"unknown_field": 1}`)); err == nil {
+		t.Error("unknown fields should fail")
+	}
+	// Convex accuracy function must be rejected at load time.
+	bad := `{"tasks":[{"deadline_s":1,"breakpoints_gflops":[0,1,2],"accuracy_values":[0,0.1,0.5]}],
+	         "machines":[{"speed":1000,"power":100}],"budget_joules":10}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("non-concave accuracy function should fail")
+	}
+}
+
+func TestPaperPresets(t *testing.T) {
+	if cfg := PaperFig3(100, 10); cfg.Rho != 0.35 || cfg.Beta != 0.5 || math.Abs(cfg.ThetaMax-1.0) > 1e-12 {
+		t.Errorf("PaperFig3 = %+v", cfg)
+	}
+	if cfg := PaperFig4(50); cfg.Rho != 0.1 || cfg.Beta != 0.15 {
+		t.Errorf("PaperFig4 = %+v", cfg)
+	}
+	if cfg := PaperFig5(100, 0.3); cfg.Rho != 1.0 || cfg.Beta != 0.3 || cfg.ThetaMax != 0.1 {
+		t.Errorf("PaperFig5 = %+v", cfg)
+	}
+	a, err := PaperFig6(100, Uniform, 0.4)
+	if err != nil || a.ThetaMax != 4.9 || a.Scenario != Uniform {
+		t.Errorf("PaperFig6 uniform = %+v, %v", a, err)
+	}
+	b, err := PaperFig6(100, EarliestHighEfficient, 0.4)
+	if err != nil || b.Scenario != EarliestHighEfficient || b.EarlyThetaMax != 4.9 {
+		t.Errorf("PaperFig6 skewed = %+v, %v", b, err)
+	}
+	if _, err := PaperFig6(100, Scenario(9), 0.4); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+	// All presets validate and generate.
+	for name, cfg := range map[string]GenConfig{
+		"fig3": PaperFig3(10, 5), "fig4": PaperFig4(10), "fig5": PaperFig5(10, 0.5), "fig6a": a, "fig6b": b,
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
