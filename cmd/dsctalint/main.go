@@ -1,0 +1,110 @@
+// Command dsctalint runs the repo's static-analysis suite (package
+// internal/analysis) over package directories and reports findings.
+//
+// Usage:
+//
+//	dsctalint [-json] [-analyzers floatcmp,detrand,...] [pattern ...]
+//
+// Patterns are package directories; a trailing "/..." walks recursively
+// (skipping vendor and testdata directories unless the pattern root itself
+// names one). With no patterns, ./... is linted. Exit status is 0 when
+// clean, 1 when findings were reported, 2 on usage or load errors.
+//
+// Findings are suppressed at a site with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the offending line or the line directly above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dsctalint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsctalint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := analysis.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsctalint:", err)
+		return 2
+	}
+	diags, err := analysis.Analyze(dirs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsctalint:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "dsctalint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "dsctalint: %d finding(s) in %d package dir(s)\n", len(diags), len(dirs))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonDiag is the machine-readable finding shape (-json).
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

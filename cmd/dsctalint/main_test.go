@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+const fixtureDir = "../../internal/analysis/testdata/src/floatcmp"
+
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean package", []string{"."}, 0},
+		{"fixture corpus trips", []string{fixtureDir}, 1},
+		{"unknown analyzer", []string{"-analyzers", "nope", "."}, 2},
+		{"missing directory", []string{"./no-such-dir"}, 2},
+		{"list", []string{"-list"}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Silence the findings the fixture run prints.
+			old := os.Stdout
+			devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			os.Stdout = devnull
+			code := run(c.args)
+			os.Stdout = old
+			if err := devnull.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if code != c.want {
+				t.Errorf("run(%v) = %d, want %d", c.args, code, c.want)
+			}
+		})
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dirs, err := analysis.ExpandPatterns([]string{fixtureDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Analyze(dirs, []*analysis.Analyzer{analysis.FloatCmp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []jsonDiag
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != len(diags) {
+		t.Fatalf("JSON has %d findings, want %d", len(decoded), len(diags))
+	}
+	for _, d := range decoded {
+		if d.File == "" || d.Line <= 0 || d.Analyzer != "floatcmp" || d.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", d)
+		}
+	}
+}

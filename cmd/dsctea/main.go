@@ -40,7 +40,7 @@ func main() {
 		if err != nil {
 			fatalf("opening instance: %v", err)
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only: close error carries no data loss
 		r = f
 	}
 	in, err := task.ReadJSON(r)
@@ -72,7 +72,9 @@ func main() {
 			if err := s.WriteCSV(f, in); err != nil {
 				fatalf("writing csv: %v", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fatalf("closing %s: %v", *csvOut, err)
+			}
 			fmt.Printf("        schedule written to %s\n", *csvOut)
 		}
 		if *traceOut != "" {
@@ -87,7 +89,9 @@ func main() {
 			if err := res.WriteChromeTrace(f, in); err != nil {
 				fatalf("writing trace: %v", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fatalf("closing %s: %v", *traceOut, err)
+			}
 			fmt.Printf("        trace written to %s (load in chrome://tracing or Perfetto)\n", *traceOut)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	dscted "repro"
+	"repro/internal/numeric"
 )
 
 func testInstance(t *testing.T) *dscted.Instance {
@@ -36,7 +37,7 @@ func TestSolveDispatch(t *testing.T) {
 }
 
 func TestPct(t *testing.T) {
-	if pct(50, 200) != 25 {
+	if !numeric.AlmostEqual(pct(50, 200), 25) {
 		t.Errorf("pct = %g", pct(50, 200))
 	}
 	if pct(1, 0) != 0 {

@@ -77,7 +77,9 @@ func main() {
 			if err := emit(tbl, *format, f); err != nil {
 				fatalf("writing %s: %v", path, err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fatalf("closing %s: %v", path, err)
+			}
 			fmt.Fprintf(os.Stderr, "%s -> %s (%s)\n", id, path, elapsed)
 			continue
 		}

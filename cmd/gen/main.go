@@ -89,11 +89,17 @@ func main() {
 		if err != nil {
 			fatalf("creating %s: %v", *out, err)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := in.WriteJSON(w); err != nil {
 		fatalf("writing instance: %v", err)
+	}
+	if w != os.Stdout {
+		// A deferred, unchecked Close would swallow flush errors on the
+		// freshly written instance file.
+		if err := w.Close(); err != nil {
+			fatalf("closing %s: %v", *out, err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "generated n=%d m=%d d_max=%.4gs budget=%.4gJ (μ=%.3g)\n",
 		in.N(), in.M(), in.MaxDeadline(), in.Budget, in.HeterogeneityRatio())

@@ -3,6 +3,8 @@ package accuracy
 import (
 	"math"
 	"testing"
+
+	"repro/internal/numeric"
 )
 
 func TestExponentialBasics(t *testing.T) {
@@ -10,13 +12,13 @@ func TestExponentialBasics(t *testing.T) {
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if got := m.Eval(0); got != DefaultAMin {
+	if got := m.Eval(0); !numeric.AlmostEqual(got, DefaultAMin) {
 		t.Errorf("Eval(0) = %g, want AMin", got)
 	}
 	if got := m.Eval(m.FMax()); math.Abs(got-DefaultAMax) > 1e-9 {
 		t.Errorf("Eval(FMax) = %g, want AMax %g", got, DefaultAMax)
 	}
-	if got := m.Eval(10 * m.FMax()); got != DefaultAMax {
+	if got := m.Eval(10 * m.FMax()); !numeric.AlmostEqual(got, DefaultAMax) {
 		t.Errorf("Eval beyond FMax = %g, want capped at AMax", got)
 	}
 	// Derivative at 0 equals Theta by construction.
@@ -50,7 +52,7 @@ func TestExponentialInverseRoundTrip(t *testing.T) {
 	if m.InverseEval(0.0005) != 0 {
 		t.Error("below AMin should map to 0")
 	}
-	if m.InverseEval(0.9) != m.FMax() {
+	if !numeric.AlmostEqual(m.InverseEval(0.9), m.FMax()) {
 		t.Error("above AMax should map to FMax")
 	}
 }
@@ -79,7 +81,7 @@ func TestFitChordEndpointsAndConcavity(t *testing.T) {
 		if p.NumSegments() != DefaultSegments {
 			t.Errorf("theta=%g: got %d segments", theta, p.NumSegments())
 		}
-		if p.AMin() != m.AMin || math.Abs(p.AMax()-m.AMax) > 1e-12 {
+		if !numeric.AlmostEqual(p.AMin(), m.AMin) || math.Abs(p.AMax()-m.AMax) > 1e-12 {
 			t.Errorf("theta=%g: endpoints [%g,%g]", theta, p.AMin(), p.AMax())
 		}
 		if math.Abs(p.FMax()-m.FMax()) > 1e-9 {
@@ -201,7 +203,7 @@ func TestPresets(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
-		if pwl.AMax() != p.AMax {
+		if !numeric.AlmostEqual(pwl.AMax(), p.AMax) {
 			t.Errorf("%s: AMax %g != %g", p.Name, pwl.AMax(), p.AMax)
 		}
 		if err := pwl.Validate(); err != nil {

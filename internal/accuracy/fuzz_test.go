@@ -1,0 +1,97 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzPWL derives random breakpoint/value vectors from the fuzz input —
+// usually well-formed (strictly increasing breakpoints, non-decreasing
+// values, non-increasing chord slopes), occasionally perturbed into invalid
+// shapes — and checks that whenever NewPWL accepts an input, the resulting
+// function honours its structural invariants: Validate passes, Eval is
+// monotone non-decreasing and midpoint-concave, and Inverse is a right
+// inverse of Eval on [AMin, AMax].
+func FuzzPWL(f *testing.F) {
+	f.Add(int64(1), uint8(2), false)
+	f.Add(int64(9), uint8(5), false)
+	f.Add(int64(-3), uint8(1), true)
+	f.Add(int64(1234), uint8(7), true)
+
+	f.Fuzz(func(t *testing.T, seed int64, kRaw uint8, perturb bool) {
+		s := rng.New(seed, "fuzz-pwl")
+		segs := 1 + int(kRaw)%6
+
+		breaks := make([]float64, segs+1)
+		vals := make([]float64, segs+1)
+		vals[0] = s.Uniform(0, 0.5)
+		slope := s.Uniform(0, 1)
+		for k := 1; k <= segs; k++ {
+			width := s.Uniform(0.1, 10)
+			breaks[k] = breaks[k-1] + width
+			vals[k] = vals[k-1] + slope*width
+			slope *= s.Float64() // non-increasing: concave by construction
+		}
+		if perturb {
+			// Damage one coordinate; NewPWL must either reject the input or
+			// still hand back a function satisfying every invariant below.
+			i := 1 + s.Intn(segs)
+			if s.Float64() < 0.5 {
+				breaks[i] = breaks[i-1] - s.Uniform(0, 1)
+			} else {
+				vals[i] = vals[i-1] - s.Uniform(0.01, 1)
+			}
+		}
+
+		p, err := NewPWL(breaks, vals)
+		if err != nil {
+			return // rejected inputs are fine; we only audit accepted ones
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted PWL fails Validate: %v", err)
+		}
+		if p.AMin() > p.AMax()+1e-12 {
+			t.Fatalf("AMin %g above AMax %g", p.AMin(), p.AMax())
+		}
+
+		fmax := p.FMax()
+		for i := 0; i < 32; i++ {
+			// Monotonicity holds on the whole clamped domain.
+			f1 := s.Uniform(-1, fmax+1)
+			f2 := s.Uniform(-1, fmax+1)
+			if f1 > f2 {
+				f1, f2 = f2, f1
+			}
+			a1, a2 := p.Eval(f1), p.Eval(f2)
+			if a1 > a2+1e-9 {
+				t.Fatalf("Eval not monotone: Eval(%g)=%g > Eval(%g)=%g", f1, a1, f2, a2)
+			}
+			// Concavity only holds on [0, FMax]: the flat clamp below 0 meets
+			// a positive first slope, so the extended function is not concave.
+			c1 := s.Uniform(0, fmax)
+			c2 := s.Uniform(0, fmax)
+			if c1 > c2 {
+				c1, c2 = c2, c1
+			}
+			mid := p.Eval((c1 + c2) / 2)
+			if mid+1e-9 < (p.Eval(c1)+p.Eval(c2))/2 {
+				t.Fatalf("not midpoint-concave on [%g, %g]: %g < %g", c1, c2, mid, (p.Eval(c1)+p.Eval(c2))/2)
+			}
+		}
+		for i := 0; i < 16; i++ {
+			a := s.Uniform(p.AMin(), p.AMax())
+			fv, err := p.Inverse(a)
+			if err != nil {
+				t.Fatalf("Inverse(%g) in [AMin, AMax] failed: %v", a, err)
+			}
+			if fv < -1e-12 || fv > fmax+1e-9 {
+				t.Fatalf("Inverse(%g) = %g outside [0, FMax=%g]", a, fv, fmax)
+			}
+			if got := p.Eval(fv); math.Abs(got-a) > 1e-6*(1+math.Abs(a)) && got < a {
+				t.Fatalf("Eval(Inverse(%g)) = %g, below requested accuracy", a, got)
+			}
+		}
+	})
+}

@@ -159,6 +159,7 @@ func (p *PWL) MarginalGain(f float64) float64 {
 	i := p.segIndex(f)
 	// If f sits exactly at the end of segment i, the right derivative is the
 	// next segment's slope.
+	//lint:ignore floatcmp the one-sided derivative convention keys on exact breakpoint identity, not proximity
 	if f == p.segs[i].End && i+1 < len(p.segs) {
 		return p.segs[i+1].Slope
 	}
@@ -177,6 +178,7 @@ func (p *PWL) MarginalLoss(f float64) float64 {
 	i := p.segIndex(f)
 	// If f sits exactly at the start of segment i, the left derivative is the
 	// previous segment's slope.
+	//lint:ignore floatcmp the one-sided derivative convention keys on exact breakpoint identity, not proximity
 	if f == p.segs[i].Start && i > 0 {
 		return p.segs[i-1].Slope
 	}
@@ -195,6 +197,7 @@ func (p *PWL) Inverse(a float64) (float64, error) {
 	}
 	for _, s := range p.segs {
 		endVal := s.Slope*s.End + s.Intercept
+		//lint:ignore floatcmp last-segment test compares a stored breakpoint with itself, exact by construction
 		if a <= endVal || s.End == p.FMax() {
 			if s.Slope == 0 {
 				return s.Start, nil
@@ -227,6 +230,7 @@ func (p *PWL) Validate() error {
 		}
 		if k > 0 {
 			prev := p.segs[k-1]
+			//lint:ignore floatcmp contiguity check: NewPWL shares breakpoint values between segments, so identity is exact
 			if s.Start != prev.End {
 				return fmt.Errorf("accuracy: gap between segments %d and %d", k-1, k)
 			}

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/numeric"
 )
 
 // simplePWL: a(0)=0.1, a(10)=0.6, a(30)=0.8 — two segments, slopes 0.05, 0.01.
@@ -50,13 +52,13 @@ func TestEval(t *testing.T) {
 
 func TestMarginalGainLoss(t *testing.T) {
 	p := simplePWL(t)
-	if g := p.MarginalGain(5); g != 0.05 {
+	if g := p.MarginalGain(5); !numeric.AlmostEqual(g, 0.05) {
 		t.Errorf("gain mid-segment 1 = %g", g)
 	}
 	if g := p.MarginalGain(10); math.Abs(g-0.01) > 1e-12 {
 		t.Errorf("gain at breakpoint = %g, want next slope 0.01", g)
 	}
-	if l := p.MarginalLoss(10); l != 0.05 {
+	if l := p.MarginalLoss(10); !numeric.AlmostEqual(l, 0.05) {
 		t.Errorf("loss at breakpoint = %g, want prev slope 0.05", l)
 	}
 	if g := p.MarginalGain(30); g != 0 {
@@ -65,10 +67,10 @@ func TestMarginalGainLoss(t *testing.T) {
 	if l := p.MarginalLoss(30); math.Abs(l-0.01) > 1e-12 {
 		t.Errorf("loss at FMax = %g, want 0.01", l)
 	}
-	if g := p.MarginalGain(0); g != 0.05 {
+	if g := p.MarginalGain(0); !numeric.AlmostEqual(g, 0.05) {
 		t.Errorf("gain at 0 = %g", g)
 	}
-	if l := p.MarginalLoss(0); l != 0.05 {
+	if l := p.MarginalLoss(0); !numeric.AlmostEqual(l, 0.05) {
 		t.Errorf("loss at 0 (convention) = %g", l)
 	}
 }
@@ -109,25 +111,26 @@ func TestInverseEvalRoundTrip(t *testing.T) {
 
 func TestAccessors(t *testing.T) {
 	p := simplePWL(t)
-	if p.AMin() != 0.1 || p.AMax() != 0.8 || p.FMax() != 30 || p.NumSegments() != 2 {
+	if !numeric.AlmostEqual(p.AMin(), 0.1) || !numeric.AlmostEqual(p.AMax(), 0.8) ||
+		!numeric.AlmostEqual(p.FMax(), 30) || p.NumSegments() != 2 {
 		t.Errorf("accessors: AMin=%g AMax=%g FMax=%g K=%d", p.AMin(), p.AMax(), p.FMax(), p.NumSegments())
 	}
-	if p.FirstSlope() != 0.05 || math.Abs(p.LastSlope()-0.01) > 1e-12 {
+	if !numeric.AlmostEqual(p.FirstSlope(), 0.05) || !numeric.AlmostEqual(p.LastSlope(), 0.01) {
 		t.Errorf("slopes: first=%g last=%g", p.FirstSlope(), p.LastSlope())
 	}
 	bp := p.Breakpoints()
-	if len(bp) != 3 || bp[0] != 0 || bp[2] != 30 {
+	if len(bp) != 3 || bp[0] != 0 || !numeric.AlmostEqual(bp[2], 30) {
 		t.Errorf("Breakpoints = %v", bp)
 	}
 	vals := p.Values()
-	if len(vals) != 3 || vals[0] != 0.1 || vals[2] != 0.8 {
+	if len(vals) != 3 || !numeric.AlmostEqual(vals[0], 0.1) || !numeric.AlmostEqual(vals[2], 0.8) {
 		t.Errorf("Values = %v", vals)
 	}
 	if err := p.Validate(); err != nil {
 		t.Errorf("Validate: %v", err)
 	}
 	segs := p.Segments()
-	if segs[0].Width() != 10 || segs[1].Width() != 20 {
+	if !numeric.AlmostEqual(segs[0].Width(), 10) || !numeric.AlmostEqual(segs[1].Width(), 20) {
 		t.Errorf("segment widths: %g %g", segs[0].Width(), segs[1].Width())
 	}
 }
@@ -164,7 +167,7 @@ func TestMustPWLPanics(t *testing.T) {
 
 func TestSingleSegment(t *testing.T) {
 	p := MustPWL([]float64{0, 4}, []float64{0.2, 0.6})
-	if p.Eval(2) != 0.4 {
+	if !numeric.AlmostEqual(p.Eval(2), 0.4) {
 		t.Errorf("Eval(2) = %g", p.Eval(2))
 	}
 	if p.MarginalGain(4) != 0 {

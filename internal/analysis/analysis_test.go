@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches expectation comments in fixture files:  // want "substring"
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// fixtureWants reads the expectation comments of every fixture file in dir,
+// keyed by absolute filename and line.
+func fixtureWants(t *testing.T, dir string) map[string]map[int][]string {
+	t.Helper()
+	wants := map[string]map[int][]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		abs, err := filepath.Abs(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(abs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				if wants[abs] == nil {
+					wants[abs] = map[int][]string{}
+				}
+				wants[abs][i+1] = append(wants[abs][i+1], m[1])
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture applies one analyzer to the fixture dirs and checks the
+// produced diagnostics against the // want comments, both directions.
+func runFixture(t *testing.T, loader *Loader, a *Analyzer, dirs ...string) {
+	t.Helper()
+	var diags []Diagnostic
+	wants := map[string]map[int][]string{}
+	for _, dir := range dirs {
+		units, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		for _, u := range units {
+			diags = append(diags, runUnit(u, []*Analyzer{a})...)
+		}
+		for file, lines := range fixtureWants(t, dir) {
+			wants[file] = lines
+		}
+	}
+	matched := map[string]bool{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Message)
+		found := false
+		for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
+			if strings.Contains(d.Message, w) {
+				matched[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, w)] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+		_ = key
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !matched[fmt.Sprintf("%s:%d:%s", file, line, w)] {
+					t.Errorf("%s:%d: expected a %s diagnostic containing %q, got none", file, line, a.Name, w)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzersOnFixtures(t *testing.T) {
+	loader, err := NewLoaderAt(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		analyzer *Analyzer
+		dirs     []string
+	}{
+		{FloatCmp, []string{"testdata/src/floatcmp"}},
+		{DetRand, []string{"testdata/src/detrand", "testdata/src/detrand/rng"}},
+		{WallClock, []string{"testdata/src/wallclock/lp", "testdata/src/wallclock/renderer"}},
+		{ErrCheckLite, []string{"testdata/src/errchecklite"}},
+		{SyncMisuse, []string{"testdata/src/syncmisuse"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.analyzer.Name, func(t *testing.T) {
+			runFixture(t, loader, c.analyzer, c.dirs...)
+		})
+	}
+}
+
+// TestSelfCheck runs the full suite over the analysis engine and its CLI:
+// the linter must pass on its own source.
+func TestSelfCheck(t *testing.T) {
+	diags, err := Analyze([]string{".", "../../cmd/dsctalint"}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("self-check: %s", d)
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	const src = `package p
+
+//lint:ignore floatcmp
+var x = 1
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := collectSuppressions(fset, []*ast.File{f})
+	if len(sup.malformed) != 1 {
+		t.Fatalf("malformed directives = %d, want 1", len(sup.malformed))
+	}
+	if got := sup.malformed[0]; got.Analyzer != "dsctalint" || !strings.Contains(got.Message, "malformed lint:ignore") {
+		t.Errorf("unexpected malformed diagnostic: %s", got)
+	}
+}
+
+func TestSuppressionCoversSameAndPreviousLine(t *testing.T) {
+	const src = `package p
+
+func f(a, b float64) (bool, bool, bool) {
+	//lint:ignore floatcmp operands are constructed bit-identical
+	above := a == b
+	same := a == b //lint:ignore floatcmp same-line justification
+
+	unrelated := a == b //lint:ignore detrand wrong analyzer name
+	return above, same, unrelated
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := collectSuppressions(fset, []*ast.File{f})
+	mk := func(line int) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: "p.go", Line: line}, Analyzer: "floatcmp"}
+	}
+	if !sup.covers(mk(5)) {
+		t.Error("directive above the line should suppress")
+	}
+	if !sup.covers(mk(6)) {
+		t.Error("same-line directive should suppress")
+	}
+	if sup.covers(mk(8)) {
+		t.Error("directive naming another analyzer must not suppress")
+	}
+}
+
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	dirs, err := ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("recursive pattern must skip testdata, got %s", d)
+		}
+	}
+	fixtures, err := ExpandPatterns([]string{"testdata/src/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) < 6 {
+		t.Errorf("explicit testdata pattern should surface fixture dirs, got %v", fixtures)
+	}
+}
+
+// TestFixtureCorpusTrips guards the acceptance criterion that the fixture
+// corpus as a whole produces findings (the CLI exits non-zero on it).
+func TestFixtureCorpusTrips(t *testing.T) {
+	dirs, err := ExpandPatterns([]string{"testdata/src/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Analyze(dirs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perAnalyzer := map[string]int{}
+	for _, d := range diags {
+		perAnalyzer[d.Analyzer]++
+	}
+	for _, a := range All() {
+		if perAnalyzer[a.Name] < 2 {
+			t.Errorf("fixture corpus yields %d %s findings, want >= 2", perAnalyzer[a.Name], a.Name)
+		}
+	}
+}

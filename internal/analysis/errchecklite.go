@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckLite flags silently discarded error returns: a call whose final
+// result is an error, used as a bare statement (including go/defer). An
+// explicit `_ = f()` assignment is a visible, reviewable discard and is
+// not flagged. Also exempt, because they cannot fail meaningfully:
+//
+//   - methods on *bytes.Buffer and *strings.Builder (documented never to
+//     return a non-nil error);
+//   - fmt.Print/Printf/Println (best-effort stdout diagnostics);
+//   - fmt.Fprint* writing to os.Stdout, os.Stderr, a *bytes.Buffer or a
+//     *strings.Builder.
+var ErrCheckLite = &Analyzer{
+	Name: "errchecklite",
+	Doc:  "flags discarded error returns; handle the error or assign it to _ explicitly",
+	Run:  runErrCheckLite,
+}
+
+func runErrCheckLite(p *Pass) {
+	check := func(call *ast.CallExpr, how string) {
+		tv, ok := p.Info.Types[call.Fun]
+		if !ok {
+			return
+		}
+		sig, ok := tv.Type.(*types.Signature)
+		if !ok {
+			return // conversion or builtin
+		}
+		res := sig.Results()
+		if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+			return
+		}
+		callee := calleeFunc(p.Info, call)
+		if isExemptErrSink(p.Info, callee, call) {
+			return
+		}
+		name := "call"
+		if callee != nil {
+			name = callee.Name()
+		}
+		p.Reportf(call.Pos(), "%serror result of %s is discarded; handle it or assign to _ explicitly", how, name)
+	}
+	p.Inspect(func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+				check(call, "")
+			}
+		case *ast.GoStmt:
+			check(s.Call, "go: ")
+		case *ast.DeferStmt:
+			check(s.Call, "defer: ")
+		}
+		return true
+	})
+}
+
+// isExemptErrSink reports whether the callee is on the can't-meaningfully-
+// fail allowlist.
+func isExemptErrSink(info *types.Info, callee *types.Func, call *ast.CallExpr) bool {
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		return namedIn(recv, "bytes", "Buffer") || namedIn(recv, "strings", "Builder")
+	}
+	if callee.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch callee.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		return len(call.Args) > 0 && isExemptWriter(info, call.Args[0])
+	}
+	return false
+}
+
+// isExemptWriter reports whether the fmt.Fprint* destination is os.Stdout,
+// os.Stderr, a *bytes.Buffer or a *strings.Builder.
+func isExemptWriter(info *types.Info, w ast.Expr) bool {
+	if sel, ok := unparen(w).(*ast.SelectorExpr); ok {
+		if pn := pkgNameOf(info, sel.X); pn != nil && pn.Imported().Path() == "os" {
+			if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+				return true
+			}
+		}
+	}
+	t := info.Types[w].Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return namedIn(t, "bytes", "Buffer") || namedIn(t, "strings", "Builder")
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point expressions. The paper's
+// dual-fitting argument for the 1/2(1−ε) guarantee reasons about accuracies
+// and energies that are accumulated floating-point quantities; exact
+// equality on them is almost always a latent bug. Sanctioned exceptions,
+// which need no directive:
+//
+//   - comparison against an exact zero constant (sentinel / unset checks);
+//   - comparison against math.Inf(±1) (infinity sentinels);
+//   - x != x (the idiomatic NaN check);
+//   - comparisons that are entirely compile-time constant.
+//
+// Everything else should go through the tolerance helpers in
+// internal/numeric (Close, CloseEps, AlmostEqual) or carry a
+// //lint:ignore floatcmp <reason> justification.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags exact ==/!= between floating-point expressions; use internal/numeric tolerance helpers",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	p.Inspect(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		tx, ty := p.Info.Types[be.X].Type, p.Info.Types[be.Y].Type
+		if !isFloat(tx) && !isFloat(ty) {
+			return true
+		}
+		if isZeroConst(p.Info, be.X) || isZeroConst(p.Info, be.Y) {
+			return true
+		}
+		if isInfCall(p.Info, be.X) || isInfCall(p.Info, be.Y) {
+			return true
+		}
+		if isConst(p.Info, be.X) && isConst(p.Info, be.Y) {
+			return true // compile-time constant comparison
+		}
+		if be.Op == token.NEQ && types.ExprString(be.X) == types.ExprString(be.Y) {
+			return true // x != x: NaN check
+		}
+		p.Reportf(be.OpPos, "floating-point %s comparison; use numeric.Close/AlmostEqual (exact zero and math.Inf comparisons are exempt)", be.Op)
+		return true
+	})
+}
+
+// isInfCall reports whether e is a call to math.Inf.
+func isInfCall(info *types.Info, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isPkgFunc(calleeFunc(info, call), "math", "Inf")
+}

@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one type-checked lint target: either a package together with its
+// in-package _test.go files, or an external (package foo_test) test package.
+type Unit struct {
+	Dir   string
+	Path  string // module-relative import path (external test units get a _test suffix)
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks package directories of the enclosing
+// module. Module-local imports are resolved from source recursively;
+// standard-library imports go through go/importer.
+type Loader struct {
+	Fset    *token.FileSet
+	modRoot string // absolute directory containing go.mod
+	modPath string // module path declared in go.mod
+
+	std   types.Importer
+	cache map[string]*types.Package // import path -> checked base package
+	busy  map[string]bool           // import-cycle detection
+}
+
+// NewLoader locates the enclosing module starting from the working
+// directory and prepares a loader for it.
+func NewLoader() (*Loader, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	return NewLoaderAt(wd)
+}
+
+// NewLoaderAt locates the module enclosing dir.
+func NewLoaderAt(dir string) (*Loader, error) {
+	root, path, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		modRoot: root,
+		modPath: path,
+		std:     importer.Default(),
+		cache:   map[string]*types.Package{},
+		busy:    map[string]bool{},
+	}, nil
+}
+
+// findModule walks upward from dir until it finds a go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ModRoot returns the absolute module root directory.
+func (l *Loader) ModRoot() string { return l.modRoot }
+
+// importPath maps an absolute package directory to its import path.
+func (l *Loader) importPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.modRoot)
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor maps a module-local import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.modPath {
+		return l.modRoot
+	}
+	return filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
+}
+
+// Import resolves an import for go/types: module-local packages are
+// type-checked from source (base files only); everything else is delegated
+// to the standard-library importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		return l.checkBase(path)
+	}
+	return l.std.Import(path)
+}
+
+// checkBase type-checks the non-test files of the package at the given
+// module-local import path, with caching and cycle detection.
+func (l *Loader) checkBase(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	files, _, _, err := l.parseDir(l.dirFor(path))
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", l.dirFor(path))
+	}
+	pkg, _, err := l.check(path, files)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every .go file of dir into base, in-package test and
+// external test file groups.
+func (l *Loader) parseDir(dir string) (base, inTest, extTest []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			base = append(base, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			extTest = append(extTest, f)
+		default:
+			inTest = append(inTest, f)
+		}
+	}
+	return base, inTest, extTest, nil
+}
+
+// check runs go/types over one file set and returns the package and info.
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// LoadDir parses and type-checks the package in dir and returns its lint
+// units: the package including its in-package tests, plus (when present)
+// the external test package.
+func (l *Loader) LoadDir(dir string) ([]*Unit, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.importPath(abs)
+	if err != nil {
+		return nil, err
+	}
+	base, inTest, extTest, err := l.parseDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(base)+len(inTest)+len(extTest) == 0 {
+		return nil, nil
+	}
+	var units []*Unit
+	if len(base)+len(inTest) > 0 {
+		files := append(append([]*ast.File{}, base...), inTest...)
+		pkg, info, err := l.check(path, files)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Unit{Dir: abs, Path: path, Fset: l.Fset, Files: files, Pkg: pkg, Info: info})
+	}
+	if len(extTest) > 0 {
+		pkg, info, err := l.check(path+"_test", extTest)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Unit{Dir: abs, Path: path + "_test", Fset: l.Fset, Files: extTest, Pkg: pkg, Info: info})
+	}
+	return units, nil
+}
+
+// ExpandPatterns turns command-line package patterns into package
+// directories. A pattern is either a directory or a directory followed by
+// "/...", which walks recursively. Walks skip hidden, vendor and testdata
+// directories — unless the pattern root itself lies inside one, so the
+// fixture corpus can be linted by naming it explicitly.
+func ExpandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "...")
+		if r2, ok := strings.CutSuffix(root, "/"); ok && recursive {
+			root = r2
+		}
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			if ok, err := hasGoFiles(root); err != nil {
+				return nil, err
+			} else if !ok {
+				return nil, fmt.Errorf("no Go files in %s", root)
+			}
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != filepath.Clean(root) && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if ok, err := hasGoFiles(p); err != nil {
+				return err
+			} else if ok {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

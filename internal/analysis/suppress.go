@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers map[string]bool
+}
+
+// suppressions indexes lint:ignore directives by file and line. A
+// directive suppresses matching findings on its own line and on the line
+// directly below it (the usual placement: a full-line comment above the
+// offending statement, or a trailing comment on the statement itself).
+type suppressions struct {
+	byLine    map[string]map[int][]*ignoreDirective
+	malformed []Diagnostic
+}
+
+const directivePrefix = "//lint:ignore"
+
+// collectSuppressions scans the comments of the unit's files.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: map[string]map[int][]*ignoreDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "dsctalint",
+						Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>...] <reason>",
+					})
+					continue
+				}
+				d := &ignoreDirective{pos: pos, analyzers: map[string]bool{}}
+				for _, name := range strings.Split(fields[0], ",") {
+					d.analyzers[strings.TrimSpace(name)] = true
+				}
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]*ignoreDirective{}
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+			}
+		}
+	}
+	return s
+}
+
+// filter drops findings covered by a directive.
+func (s *suppressions) filter(diags []Diagnostic) []Diagnostic {
+	if len(s.byLine) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !s.covers(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (s *suppressions) covers(d Diagnostic) bool {
+	lines := s.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range lines[line] {
+			if dir.analyzers[d.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncMisuse guards the experiment harness's concurrent fan-out against
+// the two mistakes that have historically produced silent corruption
+// there: copying a lock by value (a copied sync.Mutex/WaitGroup guards
+// nothing) and goroutine closures capturing loop variables by reference.
+// Specifically it flags:
+//
+//   - function parameters, receivers and results whose non-pointer type
+//     contains a sync lock type (Mutex, RWMutex, WaitGroup, Cond, Once,
+//     Pool, Map), directly or embedded in structs/arrays;
+//   - range statements whose key/value variables copy a lock-containing
+//     element;
+//   - `go func() {...}()` literals inside a loop that reference the
+//     loop's iteration variables instead of receiving them as arguments.
+//     (Go 1.22 made per-iteration variables the default, but the explicit
+//     argument form stays correct under every toolchain and is required
+//     here.)
+var SyncMisuse = &Analyzer{
+	Name: "syncmisuse",
+	Doc:  "flags locks copied by value and goroutine closures capturing loop variables",
+	Run:  runSyncMisuse,
+}
+
+// lockTypes are the sync types that must never be copied after first use.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Cond": true, "Once": true, "Pool": true, "Map": true,
+}
+
+func runSyncMisuse(p *Pass) {
+	p.Inspect(func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncDecl:
+			if s.Recv != nil {
+				checkLockFields(p, s.Recv, "receiver")
+			}
+			checkFuncType(p, s.Type)
+		case *ast.FuncLit:
+			checkFuncType(p, s.Type)
+		case *ast.RangeStmt:
+			checkRangeCopies(p, s)
+			checkGoCaptures(p, s.Body, rangeVars(p, s))
+		case *ast.ForStmt:
+			checkGoCaptures(p, s.Body, forVars(p, s))
+		}
+		return true
+	})
+}
+
+func checkFuncType(p *Pass, ft *ast.FuncType) {
+	checkLockFields(p, ft.Params, "parameter")
+	if ft.Results != nil {
+		checkLockFields(p, ft.Results, "result")
+	}
+}
+
+func checkLockFields(p *Pass, fl *ast.FieldList, kind string) {
+	for _, field := range fl.List {
+		t := p.Info.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(t, nil) {
+			p.Reportf(field.Type.Pos(), "%s passes %s by value, copying its lock; use a pointer", kind, types.TypeString(t, types.RelativeTo(p.Pkg)))
+		}
+	}
+}
+
+// checkRangeCopies flags `for k, v := range xs` where k or v copies a
+// lock-containing value out of the container.
+func checkRangeCopies(p *Pass, s *ast.RangeStmt) {
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		t := obj.Type()
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(t, nil) {
+			p.Reportf(id.Pos(), "range variable %s copies a value containing %s; range over indices or pointers", id.Name, types.TypeString(t, types.RelativeTo(p.Pkg)))
+		}
+	}
+}
+
+// containsLock reports whether t (traversing structs and arrays, but not
+// pointers or other references) embeds one of the sync lock types.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// rangeVars collects the := -declared iteration variables of a range loop.
+func rangeVars(p *Pass, s *ast.RangeStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// forVars collects the variables declared in a for statement's init clause.
+func forVars(p *Pass, s *ast.ForStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	if assign, ok := s.Init.(*ast.AssignStmt); ok {
+		for _, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := p.Info.Defs[id]; obj != nil {
+					vars[obj] = true
+				}
+			}
+		}
+	}
+	return vars
+}
+
+// checkGoCaptures reports goroutine function literals in body that
+// reference any of the loop's iteration variables.
+func checkGoCaptures(p *Pass, body *ast.BlockStmt, vars map[types.Object]bool) {
+	if len(vars) == 0 || body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		reported := map[types.Object]bool{}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil || !vars[obj] || reported[obj] {
+				return true
+			}
+			reported[obj] = true
+			p.Reportf(id.Pos(), "goroutine closure captures loop variable %s; pass it as an argument (go func(%s ...) {...}(%s))", id.Name, id.Name, id.Name)
+			return true
+		})
+		return true
+	})
+}

@@ -1,0 +1,30 @@
+// Fixture for the detrand analyzer: global math/rand state and
+// non-deterministic seeding are flagged; constant-seeded sources, type
+// references and methods on seeded generators are not.
+package detrandfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func positives() float64 {
+	v := rand.Float64()                                  // want "global rand.Float64"
+	p := rand.Perm(5)                                    // want "global rand.Perm"
+	r := rand.New(rand.NewSource(time.Now().UnixNano())) // want "non-constant seed"
+	r2 := rand.New(externalSource())                     // want "must wrap an inline constant-seeded source"
+	return v + float64(p[0]) + r.Float64() + r2.Float64()
+}
+
+func negatives() float64 {
+	r := rand.New(rand.NewSource(7)) // constant seed: allowed
+	var keep *rand.Rand              // type reference: allowed
+	keep = r
+	src := rand.NewSource(12345) // constant seed: allowed
+	_ = src
+	return keep.Float64() + keep.NormFloat64() // methods on a seeded generator: allowed
+}
+
+func externalSource() rand.Source {
+	return rand.NewSource(9)
+}

@@ -1,0 +1,10 @@
+// Fixture for the detrand analyzer's exemption: a package named rng is the
+// sanctioned wrapper and may use math/rand freely.
+package rng
+
+import "math/rand"
+
+// FromGlobal would be flagged anywhere else.
+func FromGlobal() float64 {
+	return rand.Float64()
+}

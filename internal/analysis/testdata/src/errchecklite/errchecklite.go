@@ -1,0 +1,42 @@
+// Fixture for the errchecklite analyzer: silently discarded error returns
+// are flagged; explicit discards and can't-fail sinks are not.
+package errchecklite
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func falliblePair() (int, error) { return 0, nil }
+
+func positives(f *os.File, w *os.File) {
+	fallible()          // want "error result of fallible is discarded"
+	falliblePair()      // want "error result of falliblePair is discarded"
+	defer f.Close()     // want "defer: error result of Close is discarded"
+	go fallible()       // want "go: error result of fallible is discarded"
+	fmt.Fprintf(w, "x") // want "error result of Fprintf is discarded"
+	fn := fallible
+	fn() // want "error result of call is discarded"
+}
+
+func negatives(buf *bytes.Buffer, sb *strings.Builder) int {
+	_ = fallible() // explicit, reviewable discard
+	buf.WriteString("a")
+	sb.WriteString("b")
+	fmt.Println("progress")
+	fmt.Fprintf(os.Stderr, "diag")
+	fmt.Fprintln(buf, "c")
+	if err := fallible(); err != nil {
+		return 1
+	}
+	n, err := falliblePair()
+	if err != nil {
+		return n
+	}
+	return buf.Len() + sb.Len()
+}

@@ -1,0 +1,45 @@
+// Fixture for the floatcmp analyzer: exact float comparisons are flagged,
+// the sanctioned exceptions (zero, Inf, NaN-check, constants) are not.
+package floatcmp
+
+import "math"
+
+func positives(a, b float64, xs []float64) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	if a != b { // want "floating-point != comparison"
+		return false
+	}
+	same := xs[0] == xs[1]*2 // want "floating-point == comparison"
+	var f32 float32
+	if f32 == 1.5 { // want "floating-point == comparison"
+		return same
+	}
+	return a != 0.05 // want "floating-point != comparison"
+}
+
+func negatives(a, b float64, n int) bool {
+	if a == 0 { // exact-zero sentinel
+		return true
+	}
+	if b != 0.0 { // exact-zero sentinel, float literal
+		return false
+	}
+	if b == math.Inf(1) { // infinity sentinel
+		return false
+	}
+	if a != a { // idiomatic NaN check
+		return false
+	}
+	if n == 4 { // integer comparison
+		return true
+	}
+	const exact = 1.5 == 1.5 // fully constant comparison
+	return exact
+}
+
+func suppressed(a float64) bool {
+	//lint:ignore floatcmp operands are bit-identical copies by construction
+	return a == 0.25
+}

@@ -1,0 +1,87 @@
+// Fixture for the syncmisuse analyzer: locks copied by value and goroutine
+// closures capturing loop variables are flagged; pointer passing and
+// explicit argument passing are not.
+package syncmisuse
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockByValue(mu sync.Mutex) { // want "parameter passes sync.Mutex by value"
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func (g guarded) byValueReceiver() int { // want "receiver passes guarded by value"
+	return g.n
+}
+
+func leakWaitGroup() sync.WaitGroup { // want "result passes sync.WaitGroup by value"
+	var wg sync.WaitGroup
+	return wg
+}
+
+func rangeCopies(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range variable g copies a value containing guarded"
+		total += g.n
+	}
+	return total
+}
+
+func pointersAreFine(mu *sync.Mutex, g *guarded, gs []*guarded) int {
+	mu.Lock()
+	defer mu.Unlock()
+	total := g.n
+	for _, p := range gs { // pointer elements: no copy
+		total += p.n
+	}
+	for i := range gs { // index ranging: no copy
+		total += gs[i].n
+	}
+	return total
+}
+
+func capturesLoopVar(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(it) // want "goroutine closure captures loop variable it"
+		}()
+	}
+	for i := 0; i < len(items); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(i) // want "goroutine closure captures loop variable i"
+		}()
+	}
+	wg.Wait()
+}
+
+func passesLoopVar(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) { // argument passing: no capture
+			defer wg.Done()
+			process(it)
+		}(it)
+	}
+	for _, it := range items {
+		it := it // pre-1.22 idiom: rebinding shadows the loop variable
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(it)
+		}()
+	}
+	wg.Wait()
+}
+
+func process(int) {}

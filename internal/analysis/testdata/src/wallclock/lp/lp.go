@@ -1,0 +1,23 @@
+// Fixture for the wallclock analyzer: a package named lp is a solver
+// package, so wall-clock reads outside sanctioned sites are flagged.
+package lp
+
+import "time"
+
+func pivot(deadline time.Time) bool {
+	now := time.Now() // want "time.Now() in solver package lp"
+	return now.After(deadline)
+}
+
+func price() int64 {
+	return time.Now().UnixNano() // want "time.Now() in solver package lp"
+}
+
+func sanctionedDeadlineCheck(deadline time.Time) bool {
+	//lint:ignore wallclock sanctioned deadline probe, executed once per 128 pivots
+	return !deadline.IsZero() && time.Now().After(deadline)
+}
+
+func clockFree(elapsed time.Duration) time.Duration {
+	return elapsed * 2 // using time types without reading the clock: allowed
+}

@@ -1,0 +1,10 @@
+// Fixture for the wallclock analyzer's scope: packages outside the solver
+// set (lp, mip, core, approx) may read the wall clock.
+package renderer
+
+import "time"
+
+// Stamp is allowed: renderer is not a solver package.
+func Stamp() time.Time {
+	return time.Now()
+}

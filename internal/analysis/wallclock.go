@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallClock keeps solver hot paths clock-free and benchmarkable: reading
+// the wall clock inside the LP/MIP/approximation cores makes pivot-level
+// behaviour timing-dependent and adds a syscall to inner loops. The
+// analyzer flags time.Now() calls in the solver packages (any package
+// named lp, mip, core or approx); _test.go files are exempt. The sanctioned
+// deadline-check sites — the once-per-solve stamp and the every-128-pivots
+// deadline probe — carry //lint:ignore wallclock directives explaining why
+// they are allowed.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "flags time.Now() in solver packages (lp, mip, core, approx) outside sanctioned deadline checks",
+	Run:  runWallClock,
+}
+
+// solverPkgs are the package names whose non-test code must stay clock-free.
+var solverPkgs = map[string]bool{"lp": true, "mip": true, "core": true, "approx": true}
+
+func runWallClock(p *Pass) {
+	if p.Pkg == nil || !solverPkgs[p.Pkg.Name()] {
+		return
+	}
+	p.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isPkgFunc(calleeFunc(p.Info, call), "time", "Now") {
+			return true
+		}
+		if p.InTestFile(call.Pos()) {
+			return true
+		}
+		p.Reportf(call.Pos(), "time.Now() in solver package %s; keep hot paths clock-free (inject deadlines via Options) or sanction with //lint:ignore wallclock <reason>", p.Pkg.Name())
+		return true
+	})
+}

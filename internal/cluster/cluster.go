@@ -239,6 +239,7 @@ type eventHeap []Event
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	a, b := h[i], h[j]
+	//lint:ignore floatcmp comparator tie-break: tolerant comparison would break the strict weak ordering sort/heap require
 	if a.Time != b.Time {
 		return a.Time < b.Time
 	}

@@ -55,6 +55,7 @@ func flattenSegments(tasks []task.Task) []segRef {
 	}
 	sort.SliceStable(segs, func(a, b int) bool {
 		sa, sb := segs[a], segs[b]
+		//lint:ignore floatcmp comparator tie-break: tolerant comparison would break the strict weak ordering sort requires
 		if sa.slope != sb.slope {
 			return sa.slope > sb.slope
 		}

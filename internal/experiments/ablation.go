@@ -47,8 +47,7 @@ func runAblRefine(cfg Config) (*Table, error) {
 		accs[v] = make([]float64, reps)
 		times[v] = make([]float64, reps)
 	}
-	var firstErr error
-	parMap(cfg.Workers, reps, func(i int) {
+	if err := parMapErr(cfg.Workers, reps, func(i int) error {
 		gcfg := task.DefaultConfig(n, 0.01, 0.3)
 		gcfg.Scenario = task.EarliestHighEfficient
 		gcfg.ThetaMin, gcfg.ThetaMax = 0.1, 1.0
@@ -56,22 +55,20 @@ func runAblRefine(cfg Config) (*Table, error) {
 		gcfg.EarlyThetaMin, gcfg.EarlyThetaMax = 4.0, 4.9
 		in, err := task.Generate(rng.NewReplicate(cfg.Seed, "abl-refine", i), gcfg, machine.TwoMachineScenario())
 		if err != nil {
-			firstErr = err
-			return
+			return err
 		}
 		for v, variant := range variants {
 			start := time.Now()
 			sol, err := core.SolveFR(in, variant.opts)
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			times[v][i] = float64(time.Since(start).Microseconds()) / 1000
 			accs[v][i] = sol.TotalAccuracy / float64(n)
 		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	best := 0.0
 	for v := range variants {

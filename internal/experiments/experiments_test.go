@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/numeric"
 )
 
 // tinyCfg shrinks everything so the full suite smoke-runs in seconds.
@@ -130,7 +133,7 @@ func TestFig6bProfileDeviatesFromNaive(t *testing.T) {
 
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
-	if c.Seed != 1 || c.Scale != 1 || c.Workers < 1 || c.SolverTimeLimit != 60*time.Second {
+	if c.Seed != 1 || !numeric.AlmostEqual(c.Scale, 1) || c.Workers < 1 || c.SolverTimeLimit != 60*time.Second {
 		t.Errorf("defaults wrong: %+v", c)
 	}
 	if got := c.scaled(100, 10); got != 100 {
@@ -161,6 +164,23 @@ func TestParMapCoversAllIndices(t *testing.T) {
 		}
 	}
 	parMap(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestParMapErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := parMapErr(workers, 20, func(i int) error {
+			if i == 7 || i == 13 {
+				return fmt.Errorf("rep %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "rep 7 failed" {
+			t.Errorf("workers=%d: err = %v, want lowest-index failure", workers, err)
+		}
+	}
+	if err := parMapErr(4, 20, func(int) error { return nil }); err != nil {
+		t.Errorf("all-nil run returned %v", err)
+	}
 }
 
 func TestTableAddRowPanicsOnWidth(t *testing.T) {

@@ -43,14 +43,12 @@ func runExtRenewable(cfg Config) (*Table, error) {
 	for k := range out {
 		out[k] = make([]row, reps)
 	}
-	var firstErr error
-	parMap(cfg.Workers, reps, func(i int) {
+	if err := parMapErr(cfg.Workers, reps, func(i int) error {
 		gcfg := task.DefaultConfig(n, 1.0, 0.3)
 		gcfg.ThetaMax = 1.0
 		in, err := task.GenerateUniformFleet(rng.NewReplicate(cfg.Seed, "ext-renewable", i), gcfg, 2)
 		if err != nil {
-			firstErr = err
-			return
+			return err
 		}
 		dMax := in.MaxDeadline()
 		fn := float64(n)
@@ -72,13 +70,11 @@ func runExtRenewable(cfg Config) (*Table, error) {
 		for k, mk := range envs {
 			env, err := mk()
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			sol, err := renewable.Solve(in, env, renewable.Options{})
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			out[k][i] = row{
 				acc:    sol.TotalAccuracy / fn,
@@ -86,9 +82,9 @@ func runExtRenewable(cfg Config) (*Table, error) {
 				budget: sol.EffectiveBudget / in.Budget,
 			}
 		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for k, kind := range kinds {
 		accs := make([]float64, reps)
@@ -117,22 +113,19 @@ func runExtComm(cfg Config) (*Table, error) {
 	for k := range out {
 		out[k] = make([]row, reps)
 	}
-	var firstErr error
-	parMap(cfg.Workers, reps, func(i int) {
+	if err := parMapErr(cfg.Workers, reps, func(i int) error {
 		gcfg := task.DefaultConfig(n, 0.5, 0.2)
 		gcfg.ThetaMax = 1.0
 		in, err := task.GenerateUniformFleet(rng.NewReplicate(cfg.Seed, "ext-comm", i), gcfg, 3)
 		if err != nil {
-			firstErr = err
-			return
+			return err
 		}
 		fn := float64(n)
 		perTaskShare := in.Budget / fn
 		for k, frac := range fracs {
 			sol, err := comm.Solve(in, frac*perTaskShare, comm.Options{})
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			out[k][i] = row{
 				acc:   sol.TotalAccuracy / fn,
@@ -140,9 +133,9 @@ func runExtComm(cfg Config) (*Table, error) {
 				commE: sol.CommEnergy / in.Budget,
 			}
 		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for k, frac := range fracs {
 		accs := make([]float64, reps)

@@ -39,27 +39,24 @@ func runFig3(cfg Config) (*Table, error) {
 		ubs := make([]float64, reps)
 		sols := make([]float64, reps)
 		guars := make([]float64, reps)
-		var firstErr error
-		parMap(cfg.Workers, reps, func(i int) {
+		if err := parMapErr(cfg.Workers, reps, func(i int) error {
 			label := fmt.Sprintf("fig3/mu=%g", mu)
 			in, err := task.GenerateUniformFleet(rng.NewReplicate(cfg.Seed, label, i), task.PaperFig3(n, mu), m)
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			sol, err := approx.Solve(in, approx.Options{})
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			fn := float64(n)
 			ubs[i] = sol.FR.TotalAccuracy / fn
 			sols[i] = sol.TotalAccuracy / fn
 			gaps[i] = ubs[i] - sols[i]
 			guars[i] = sol.Guarantee / fn
-		})
-		if firstErr != nil {
-			return nil, firstErr
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		gs := stats.Summarize(gaps)
 		ciSrc := rng.NewReplicate(cfg.Seed, "fig3/bootstrap", int(mu*10))

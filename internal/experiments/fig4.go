@@ -56,9 +56,8 @@ func runFig4(cfg Config, id, dim string, points []int, size func(int) (int, int)
 		mipTimes := make([]float64, reps)
 		timeouts := make([]int, reps)
 		optimal := make([]int, reps)
-		var firstErr error
 		runMIP := !mipDead
-		parMap(cfg.Workers, reps, func(i int) {
+		if err := parMapErr(cfg.Workers, reps, func(i int) error {
 			label := fmt.Sprintf("%s/%s=%d", id, dim, pt)
 			// Tight deadlines and budget with heterogeneous tasks: the
 			// regime where the integral assignment actually matters and the
@@ -66,18 +65,16 @@ func runFig4(cfg Config, id, dim string, points []int, size func(int) (int, int)
 			// relaxations and would hide the paper's 60 s wall).
 			in, err := task.GenerateUniformFleet(rng.NewReplicate(cfg.Seed, label, i), task.PaperFig4(n), m)
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			start := time.Now()
 			if _, err := approx.Solve(in, approx.Options{}); err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			approxTimes[i] = time.Since(start).Seconds()
 
 			if !runMIP {
-				return
+				return nil
 			}
 			mm := model.BuildMIP(in)
 			start = time.Now()
@@ -86,8 +83,7 @@ func runFig4(cfg Config, id, dim string, points []int, size func(int) (int, int)
 				Rounding: mm.RoundingHook(),
 			})
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			mipTimes[i] = time.Since(start).Seconds()
 			if res.Status == mip.Optimal {
@@ -95,9 +91,9 @@ func runFig4(cfg Config, id, dim string, points []int, size func(int) (int, int)
 			} else {
 				timeouts[i] = 1
 			}
-		})
-		if firstErr != nil {
-			return nil, firstErr
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		nTimeouts, nOptimal := 0, 0
 		for i := range timeouts {

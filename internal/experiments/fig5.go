@@ -85,12 +85,10 @@ func computeFig5Uncached(cfg Config) (*fig5Series, error) {
 	// budget varies), so the per-replicate curves — and their means — are
 	// monotone in β as in the paper's figure.
 	results := make([][]fig5Point, reps)
-	var firstErr error
-	parMap(cfg.Workers, reps, func(i int) {
+	if err := parMapErr(cfg.Workers, reps, func(i int) error {
 		base, err := task.GenerateUniformFleet(rng.NewReplicate(cfg.Seed, "fig5", i), task.PaperFig5(n, 1.0), m)
 		if err != nil {
-			firstErr = err
-			return
+			return err
 		}
 		fullBudget := base.Budget // β = 1 by construction
 		results[i] = make([]fig5Point, len(betas))
@@ -99,14 +97,12 @@ func computeFig5Uncached(cfg Config) (*fig5Series, error) {
 			in.Budget = beta * fullBudget
 			sol, err := approx.Solve(in, approx.Options{})
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			fn := float64(n)
 			s3, err := baselines.EDF3CompressionLevels(in, nil)
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			nc := baselines.EDFNoCompression(in)
 			results[i][b] = fig5Point{
@@ -118,9 +114,9 @@ func computeFig5Uncached(cfg Config) (*fig5Series, error) {
 				ncE: nc.Energy(in),
 			}
 		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	s := &fig5Series{betas: betas, perRep: results}
 	for b := range betas {

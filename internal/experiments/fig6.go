@@ -45,31 +45,27 @@ func runFig6(cfg Config, id string, scenario task.Scenario) (*Table, error) {
 		p1 := make([]float64, reps)
 		p2 := make([]float64, reps)
 		dmx := make([]float64, reps)
-		var firstErr error
-		parMap(cfg.Workers, reps, func(i int) {
+		if err := parMapErr(cfg.Workers, reps, func(i int) error {
 			label := fmt.Sprintf("%s/beta=%g", id, beta)
 			gcfg, err := task.PaperFig6(n, scenario, beta)
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			in, err := task.Generate(rng.NewReplicate(cfg.Seed, label, i), gcfg, fleet)
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			naive := core.NaiveProfile(in)
 			sol, err := core.SolveFR(in, core.FROptions{})
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			p1n[i], p2n[i] = naive[0], naive[1]
 			p1[i], p2[i] = sol.Profile[0], sol.Profile[1]
 			dmx[i] = in.MaxDeadline()
-		})
-		if firstErr != nil {
-			return nil, firstErr
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		t.AddRow(f3(beta),
 			f4(stats.Mean(p1n)), f4(stats.Mean(p2n)),

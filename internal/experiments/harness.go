@@ -146,3 +146,18 @@ func parMap(workers, n int, fn func(i int)) {
 	close(next)
 	wg.Wait()
 }
+
+// parMapErr runs fn(0..n-1) on a pool of workers and returns the
+// lowest-index error, so a failing run reports the same error at any
+// parallelism. Like parMap, fn must write only to its own index of any
+// shared slice.
+func parMapErr(workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	parMap(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

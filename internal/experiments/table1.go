@@ -40,34 +40,30 @@ func runTable1(cfg Config) (*Table, error) {
 		lpTimes := make([]float64, reps)
 		timeouts := make([]int, reps)
 		diffs := make([]float64, reps)
-		var firstErr error
 		runLP := !lpDead
-		parMap(cfg.Workers, reps, func(i int) {
+		if err := parMapErr(cfg.Workers, reps, func(i int) error {
 			label := fmt.Sprintf("table1/n=%d", nPaper)
 			gcfg := task.DefaultConfig(n, 0.35, 0.5)
 			gcfg.ThetaMax = 0.5 // moderately heterogeneous, as in fig3
 			in, err := task.GenerateUniformFleet(rng.NewReplicate(cfg.Seed, label, i), gcfg, m)
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			start := time.Now()
 			fr, err := core.SolveFR(in, core.FROptions{})
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			froptTimes[i] = time.Since(start).Seconds()
 
 			if !runLP {
-				return
+				return nil
 			}
 			fm := model.BuildFR(in)
 			start = time.Now()
 			sol, err := lp.Solve(fm.Prob, lp.Options{Deadline: time.Now().Add(limit)})
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			lpTimes[i] = time.Since(start).Seconds()
 			if sol.Status == lp.Optimal {
@@ -77,9 +73,9 @@ func runTable1(cfg Config) (*Table, error) {
 			} else {
 				timeouts[i] = 1
 			}
-		})
-		if firstErr != nil {
-			return nil, firstErr
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		nTimeouts := 0
 		for _, v := range timeouts {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/numeric"
 	"repro/internal/rng"
 )
 
@@ -172,7 +173,7 @@ func TestProblemAPI(t *testing.T) {
 		t.Error("fresh problem dimensions wrong")
 	}
 	p.SetObjCoef(1, 2.5)
-	if p.ObjCoef(1) != 2.5 {
+	if !numeric.AlmostEqual(p.ObjCoef(1), 2.5) {
 		t.Error("ObjCoef roundtrip failed")
 	}
 	idx := p.AddConstraint([]Term{{0, 1}, {0, 1}}, LE, 2) // accumulating terms
@@ -187,7 +188,7 @@ func TestProblemAPI(t *testing.T) {
 	}
 	c := p.Clone()
 	c.SetObjCoef(0, 99)
-	if p.ObjCoef(0) == 99 {
+	if numeric.AlmostEqual(p.ObjCoef(0), 99) {
 		t.Error("Clone shares objective")
 	}
 

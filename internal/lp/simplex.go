@@ -233,6 +233,7 @@ func (t *tableau) iterate(phase1 bool) Status {
 		if t.iters >= t.iterLimit {
 			return IterLimit
 		}
+		//lint:ignore wallclock sanctioned deadline probe, amortised to once per 128 pivots
 		if t.iters%128 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
 			return TimeLimit
 		}

@@ -104,9 +104,11 @@ func (f Fleet) ByEfficiencyDesc() []int {
 	sort.SliceStable(idx, func(a, b int) bool {
 		ia, ib := idx[a], idx[b]
 		ea, eb := f[ia].Efficiency(), f[ib].Efficiency()
+		//lint:ignore floatcmp comparator tie-break: tolerant comparison would break the strict weak ordering sort requires
 		if ea != eb {
 			return ea > eb
 		}
+		//lint:ignore floatcmp comparator tie-break on the next sort key
 		if f[ia].Speed != f[ib].Speed {
 			return f[ia].Speed > f[ib].Speed
 		}

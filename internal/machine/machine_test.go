@@ -4,12 +4,13 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/numeric"
 	"repro/internal/rng"
 )
 
 func TestMachineBasics(t *testing.T) {
 	m := New("gpu", 2_000, 80)
-	if m.Speed != 2_000 {
+	if !numeric.AlmostEqual(m.Speed, 2_000) {
 		t.Errorf("Speed = %g", m.Speed)
 	}
 	if math.Abs(m.Power-25) > 1e-12 {
@@ -55,7 +56,7 @@ func TestNewPanicsOnBadArgs(t *testing.T) {
 
 func TestFleetAggregates(t *testing.T) {
 	f := Fleet{New("a", 1_000, 10), New("b", 3_000, 30)}
-	if f.TotalSpeed() != 4_000 {
+	if !numeric.AlmostEqual(f.TotalSpeed(), 4_000) {
 		t.Errorf("TotalSpeed = %g", f.TotalSpeed())
 	}
 	if math.Abs(f.TotalPower()-200) > 1e-9 {
@@ -63,7 +64,7 @@ func TestFleetAggregates(t *testing.T) {
 	}
 	c := f.Clone()
 	c[0].Speed = 99
-	if f[0].Speed == 99 {
+	if numeric.AlmostEqual(f[0].Speed, 99) {
 		t.Error("Clone should be independent")
 	}
 }
@@ -130,10 +131,10 @@ func TestTwoMachineScenario(t *testing.T) {
 	if len(f) != 2 {
 		t.Fatalf("len = %d", len(f))
 	}
-	if f[0].Speed != 2_000 || math.Abs(f[0].Efficiency()-80) > 1e-9 {
+	if !numeric.AlmostEqual(f[0].Speed, 2_000) || math.Abs(f[0].Efficiency()-80) > 1e-9 {
 		t.Errorf("machine 1 = %v", f[0])
 	}
-	if f[1].Speed != 5_000 || math.Abs(f[1].Efficiency()-70) > 1e-9 {
+	if !numeric.AlmostEqual(f[1].Speed, 5_000) || math.Abs(f[1].Efficiency()-70) > 1e-9 {
 		t.Errorf("machine 2 = %v", f[1])
 	}
 	if f[0].Efficiency() <= f[1].Efficiency() {

@@ -15,7 +15,7 @@ var ErrUnbounded = errors.New("mip: unbounded relaxation")
 
 // Solve runs branch-and-bound on p.
 func Solve(p *Problem, opts Options) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //lint:ignore wallclock sanctioned once-per-solve stamp for Result wall-time reporting
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 1 << 20
 	}
@@ -135,6 +135,7 @@ func (s *searcher) run() {
 			s.mu.Unlock()
 			return
 		}
+		//lint:ignore wallclock sanctioned deadline probe, once per dequeued branch-and-bound node
 		if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
 			heap.Push(&s.queue, nd)
 			s.stopped = true

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/lp"
 	"repro/internal/mip"
+	"repro/internal/numeric"
 	"repro/internal/rng"
 	"repro/internal/schedule"
 	"repro/internal/task"
@@ -161,7 +162,7 @@ func TestRoundingHookShape(t *testing.T) {
 		t.Fatalf("hook returned ok=%v len=%d", ok, len(fixed))
 	}
 	for j := 0; j < in.N(); j++ {
-		if fixed[j*in.M()+1] != 1 || fixed[j*in.M()+0] != 0 {
+		if !numeric.AlmostEqual(fixed[j*in.M()+1], 1) || fixed[j*in.M()+0] != 0 {
 			t.Errorf("task %d rounded to wrong machine: %v", j, fixed[j*in.M():j*in.M()+2])
 		}
 	}

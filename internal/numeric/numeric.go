@@ -21,6 +21,17 @@ func Close(a, b, tol float64) bool {
 // CloseEps is Close with the default tolerance Eps.
 func CloseEps(a, b float64) bool { return Close(a, b, Eps) }
 
+// TestTol is the tolerance used by test assertions across the module. It is
+// much tighter than Eps: test expectations are exactly representable or
+// derived by a handful of arithmetic operations, so they should agree to
+// within a few ulps — but never be compared with ==.
+const TestTol = 1e-12
+
+// AlmostEqual reports whether a and b agree within TestTol. It is the
+// assertion helper tests should use instead of exact float equality (the
+// floatcmp analyzer enforces this repo-wide).
+func AlmostEqual(a, b float64) bool { return Close(a, b, TestTol) }
+
 // LessEq reports whether a <= b within tolerance tol (a may exceed b by a
 // scaled tol and still be considered <=).
 func LessEq(a, b, tol float64) bool {

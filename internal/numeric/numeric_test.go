@@ -46,13 +46,13 @@ func TestLessEq(t *testing.T) {
 }
 
 func TestClamp(t *testing.T) {
-	if got := Clamp(5, 0, 3); got != 3 {
+	if got := Clamp(5, 0, 3); !AlmostEqual(got, 3) {
 		t.Errorf("Clamp(5,0,3) = %g", got)
 	}
 	if got := Clamp(-1, 0, 3); got != 0 {
 		t.Errorf("Clamp(-1,0,3) = %g", got)
 	}
-	if got := Clamp(2, 0, 3); got != 2 {
+	if got := Clamp(2, 0, 3); !AlmostEqual(got, 2) {
 		t.Errorf("Clamp(2,0,3) = %g", got)
 	}
 	defer func() {
@@ -67,7 +67,7 @@ func TestNonNeg(t *testing.T) {
 	if NonNeg(-1e-15) != 0 {
 		t.Error("tiny negative should squash to 0")
 	}
-	if NonNeg(2) != 2 {
+	if !AlmostEqual(NonNeg(2), 2) {
 		t.Error("positive should pass through")
 	}
 }
@@ -113,10 +113,10 @@ func TestSumMatchesNaiveOnModestInputs(t *testing.T) {
 }
 
 func TestMinMax(t *testing.T) {
-	if Min(1, 2) != 1 || Min(2, 1) != 1 {
+	if !AlmostEqual(Min(1, 2), 1) || !AlmostEqual(Min(2, 1), 1) {
 		t.Error("Min broken")
 	}
-	if Max(1, 2) != 2 || Max(2, 1) != 2 {
+	if !AlmostEqual(Max(1, 2), 2) || !AlmostEqual(Max(2, 1), 2) {
 		t.Error("Max broken")
 	}
 }

@@ -59,6 +59,7 @@ func NewEnvelope(points []Point) (*Envelope, error) {
 			return nil, fmt.Errorf("renewable: negative checkpoint %+v", p)
 		}
 		if i > 0 {
+			//lint:ignore floatcmp duplicate-checkpoint detection wants exact input equality, not tolerance
 			if p.T == ps[i-1].T {
 				return nil, fmt.Errorf("renewable: duplicate checkpoint time %g", p.T)
 			}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/approx"
+	"repro/internal/numeric"
 	"repro/internal/rng"
 	"repro/internal/schedule"
 	"repro/internal/task"
@@ -39,7 +40,7 @@ func TestEnvelopeValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.Points()[0].T != 1 {
+	if !numeric.AlmostEqual(e.Points()[0].T, 1) {
 		t.Error("points not sorted")
 	}
 }
@@ -57,7 +58,7 @@ func TestEnvelopeAt(t *testing.T) {
 			t.Errorf("At(%g) = %g, want %g", c.t, got, c.want)
 		}
 	}
-	if e.Total() != 30 {
+	if !numeric.AlmostEqual(e.Total(), 30) {
 		t.Errorf("Total = %g", e.Total())
 	}
 }

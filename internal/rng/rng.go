@@ -32,10 +32,10 @@ func mix(seed int64, label string, replicate int) int64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	putInt64(&buf, seed)
-	h.Write(buf[:])
-	h.Write([]byte(label))
+	_, _ = h.Write(buf[:]) // hash.Hash.Write is documented to never fail
+	_, _ = h.Write([]byte(label))
 	putInt64(&buf, int64(replicate))
-	h.Write(buf[:])
+	_, _ = h.Write(buf[:])
 	v := int64(h.Sum64() & (1<<63 - 1))
 	if v == 0 {
 		v = 1 // rand.NewSource(0) is valid, but keep streams distinct from zero seeds

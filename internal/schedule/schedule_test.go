@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/accuracy"
 	"repro/internal/machine"
+	"repro/internal/numeric"
 	"repro/internal/task"
 )
 
@@ -66,7 +67,7 @@ func TestWorkEnergyAccuracy(t *testing.T) {
 		t.Errorf("objective = %g", obj)
 	}
 	m := s.MetricsFor(in)
-	if m.TotalAccuracy != s.TotalAccuracy(in) || len(m.Profile) != 2 {
+	if !numeric.AlmostEqual(m.TotalAccuracy, s.TotalAccuracy(in)) || len(m.Profile) != 2 {
 		t.Error("MetricsFor inconsistent")
 	}
 }

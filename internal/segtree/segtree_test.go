@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/numeric"
 )
 
 // naive is a reference implementation with the same interface semantics.
@@ -39,20 +41,20 @@ func (n *naive) minRange(l, r int) float64 {
 
 func TestBasicOperations(t *testing.T) {
 	tr := New([]float64{5, 3, 8, 1, 9})
-	if got := tr.MinRange(0, 4); got != 1 {
+	if got := tr.MinRange(0, 4); !numeric.AlmostEqual(got, 1) {
 		t.Errorf("min all = %g, want 1", got)
 	}
-	if got := tr.MinRange(0, 2); got != 3 {
+	if got := tr.MinRange(0, 2); !numeric.AlmostEqual(got, 3) {
 		t.Errorf("min [0,2] = %g, want 3", got)
 	}
 	tr.AddRange(2, 4, -2)
-	if got := tr.MinRange(0, 4); got != -1 {
+	if got := tr.MinRange(0, 4); !numeric.AlmostEqual(got, -1) {
 		t.Errorf("after add, min = %g, want -1", got)
 	}
-	if got := tr.Get(3); got != -1 {
+	if got := tr.Get(3); !numeric.AlmostEqual(got, -1) {
 		t.Errorf("Get(3) = %g, want -1", got)
 	}
-	if got := tr.Get(0); got != 5 {
+	if got := tr.Get(0); !numeric.AlmostEqual(got, 5) {
 		t.Errorf("Get(0) = %g, want 5", got)
 	}
 }
@@ -64,7 +66,7 @@ func TestEmptyAndSingle(t *testing.T) {
 	}
 	empty.AddRange(0, 5, 3) // must not panic
 	one := New([]float64{7})
-	if one.MinRange(0, 0) != 7 {
+	if !numeric.AlmostEqual(one.MinRange(0, 0), 7) {
 		t.Error("single-leaf tree broken")
 	}
 	one.AddRange(0, 0, -7)
@@ -75,14 +77,14 @@ func TestEmptyAndSingle(t *testing.T) {
 
 func TestClippingAndEmptyIntervals(t *testing.T) {
 	tr := New([]float64{1, 2, 3})
-	if got := tr.MinRange(-5, 100); got != 1 {
+	if got := tr.MinRange(-5, 100); !numeric.AlmostEqual(got, 1) {
 		t.Errorf("clipped full range min = %g", got)
 	}
 	if got := tr.MinRange(2, 1); !math.IsInf(got, 1) {
 		t.Errorf("empty interval min = %g, want +Inf", got)
 	}
 	tr.AddRange(5, 10, 99) // fully out of range: no-op
-	if got := tr.MinRange(0, 2); got != 1 {
+	if got := tr.MinRange(0, 2); !numeric.AlmostEqual(got, 1) {
 		t.Errorf("out-of-range add changed values: min = %g", got)
 	}
 }
@@ -103,7 +105,7 @@ func TestValuesSnapshot(t *testing.T) {
 	got := tr.Values()
 	want := []float64{4, 15, 16}
 	for i := range want {
-		if got[i] != want[i] {
+		if !numeric.AlmostEqual(got[i], want[i]) {
 			t.Errorf("Values = %v, want %v", got, want)
 			break
 		}

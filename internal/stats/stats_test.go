@@ -5,13 +5,15 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/numeric"
 )
 
 func TestMean(t *testing.T) {
 	if Mean(nil) != 0 {
 		t.Error("mean of empty should be 0")
 	}
-	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+	if got := Mean([]float64{1, 2, 3, 4}); !numeric.AlmostEqual(got, 2.5) {
 		t.Errorf("Mean = %g, want 2.5", got)
 	}
 }
@@ -39,7 +41,7 @@ func TestPercentile(t *testing.T) {
 		}
 	}
 	// Interpolation between ranks.
-	if got := Percentile([]float64{10, 20}, 50); got != 15 {
+	if got := Percentile([]float64{10, 20}, 50); !numeric.AlmostEqual(got, 15) {
 		t.Errorf("Percentile 50 of {10,20} = %g, want 15", got)
 	}
 }
@@ -56,14 +58,15 @@ func TestPercentilePanicsOutOfRange(t *testing.T) {
 func TestPercentileDoesNotMutateInput(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Percentile(xs, 50)
-	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+	if !numeric.AlmostEqual(xs[0], 3) || !numeric.AlmostEqual(xs[1], 1) || !numeric.AlmostEqual(xs[2], 2) {
 		t.Errorf("Percentile mutated its input: %v", xs)
 	}
 }
 
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3})
-	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+	if s.N != 3 || !numeric.AlmostEqual(s.Mean, 2) || !numeric.AlmostEqual(s.Min, 1) ||
+		!numeric.AlmostEqual(s.Max, 3) || !numeric.AlmostEqual(s.Median, 2) {
 		t.Errorf("Summarize = %+v", s)
 	}
 	if Summarize(nil).N != 0 {
@@ -76,7 +79,7 @@ func TestSummarize(t *testing.T) {
 
 func TestMinMax(t *testing.T) {
 	min, max := MinMax([]float64{3, -1, 7, 2})
-	if min != -1 || max != 7 {
+	if !numeric.AlmostEqual(min, -1) || !numeric.AlmostEqual(max, 7) {
 		t.Errorf("MinMax = %g,%g", min, max)
 	}
 	defer func() {
@@ -123,10 +126,10 @@ func TestBootstrapCI(t *testing.T) {
 		t.Errorf("CI too wide: [%g, %g]", lo, hi)
 	}
 	// Degenerate cases collapse to the mean.
-	if lo, hi := BootstrapCI([]float64{5}, 0.95, 100, src.Intn); lo != 5 || hi != 5 {
+	if lo, hi := BootstrapCI([]float64{5}, 0.95, 100, src.Intn); !numeric.AlmostEqual(lo, 5) || !numeric.AlmostEqual(hi, 5) {
 		t.Errorf("degenerate CI = [%g, %g]", lo, hi)
 	}
-	if lo, hi := BootstrapCI(xs, 0, 100, src.Intn); lo != hi {
+	if lo, hi := BootstrapCI(xs, 0, 100, src.Intn); !numeric.AlmostEqual(lo, hi) {
 		t.Errorf("zero-confidence CI should collapse, got [%g, %g]", lo, hi)
 	}
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# verify.sh — the repository's full verification gate.
+#
+# Runs, in order: build, go vet, the project's own static analyzers
+# (cmd/dsctalint) and the race-enabled test suite. Idempotent: safe to run
+# repeatedly from any working directory. Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> dsctalint ./..."
+go run ./cmd/dsctalint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: all checks passed"
