@@ -160,6 +160,44 @@ func BenchmarkAblationParallelMIP(b *testing.B) {
 	}
 }
 
+// BenchmarkMIPColdVsWarm measures the warm-start speedup in branch-and-
+// bound: every node relaxation warm-started from its parent's basis via
+// the dual simplex (warm) against from-scratch two-phase solves at every
+// node (cold, Options.DisableWarmStart). The warm-started node fraction
+// and the node count are reported alongside the time; scripts/verify.sh
+// -bench records the pairing in BENCH_PR2.json.
+func BenchmarkMIPColdVsWarm(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		in := benchInstance(b, n, 2, 2)
+		mm := model.BuildMIP(in)
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{
+			{"cold", true},
+			{"warm", false},
+		} {
+			b.Run(mode.name+"/n="+strconv.Itoa(n), func(b *testing.B) {
+				var last *mip.Result
+				for i := 0; i < b.N; i++ {
+					res, err := mip.Solve(mm.Prob, mip.Options{DisableWarmStart: mode.disable})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Status != mip.Optimal {
+						b.Fatalf("status %v", res.Status)
+					}
+					last = res
+				}
+				if total := last.WarmSolves + last.ColdSolves; total > 0 {
+					b.ReportMetric(float64(last.WarmSolves)/float64(total), "warm-fraction")
+				}
+				b.ReportMetric(float64(last.Nodes), "nodes")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationApproxVariants compares the flop-preserving rounding
 // (default, the intended Algorithm 5) against the literal time-preserving
 // rule of the pseudocode.

@@ -1,0 +1,224 @@
+// Command benchjson converts `go test -bench` output into a JSON record.
+//
+// Usage:
+//
+//	go test -bench=... ./... | benchjson [-o file.json] [-label text]
+//
+// Every benchmark result line is captured with its iteration count, ns/op
+// and any custom metrics reported via b.ReportMetric. Benchmarks whose
+// sub-test path contains a "cold" and a matching "warm" segment (e.g.
+// BenchmarkMIPColdVsWarm/cold/n=16 and .../warm/n=16) are additionally
+// paired, and the cold/warm speedup is recorded, which is how
+// scripts/verify.sh -bench produces BENCH_PR2.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark output line.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// coldWarmPair joins a cold benchmark with its warm counterpart.
+type coldWarmPair struct {
+	Name     string  `json:"name"`
+	ColdNsOp float64 `json:"cold_ns_per_op"`
+	WarmNsOp float64 `json:"warm_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// report is the top-level JSON document.
+type report struct {
+	Label      string         `json:"label,omitempty"`
+	Goos       string         `json:"goos,omitempty"`
+	Goarch     string         `json:"goarch,omitempty"`
+	CPU        string         `json:"cpu,omitempty"`
+	Benchmarks []benchResult  `json:"benchmarks"`
+	Pairs      []coldWarmPair `json:"cold_vs_warm,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	outPath := fs.String("o", "", "write JSON to this file instead of stdout")
+	label := fs.String("label", "", "free-form label recorded in the document")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (input is read from stdin)", fs.Arg(0))
+	}
+
+	rep, err := parse(stdin)
+	if err != nil {
+		return err
+	}
+	rep.Label = *label
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	rep.Benchmarks = mergeRepeats(rep.Benchmarks)
+	rep.Pairs = pairColdWarm(rep.Benchmarks)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*outPath, data, 0o644)
+}
+
+// parse scans go test -bench output, collecting result lines and the
+// goos/goarch/cpu header lines.
+func parse(r io.Reader) (*report, error) {
+	rep := &report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseResultLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, res)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseResultLine parses one line of the form
+//
+//	BenchmarkName/sub-8   5   930224881 ns/op   913.0 nodes   0.99 warm-fraction
+//
+// The -8 GOMAXPROCS suffix is stripped from the name. Lines that do not
+// carry an ns/op column (e.g. "BenchmarkFoo--- FAIL") are rejected.
+func parseResultLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchResult{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	res := benchResult{Name: name, Iterations: iters}
+	sawNsOp := false
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = v
+			sawNsOp = true
+			continue
+		}
+		if res.Metrics == nil {
+			res.Metrics = map[string]float64{}
+		}
+		res.Metrics[unit] = v
+	}
+	return res, sawNsOp
+}
+
+// mergeRepeats collapses repeated runs of the same benchmark (go test
+// -count=N emits one line per run) into the fastest one, the conventional
+// noise-robust statistic for wall-clock comparisons. Order of first
+// appearance is preserved.
+func mergeRepeats(results []benchResult) []benchResult {
+	idx := make(map[string]int, len(results))
+	var merged []benchResult
+	for _, r := range results {
+		i, seen := idx[r.Name]
+		if !seen {
+			idx[r.Name] = len(merged)
+			merged = append(merged, r)
+			continue
+		}
+		if r.NsPerOp < merged[i].NsPerOp {
+			merged[i] = r
+		}
+	}
+	return merged
+}
+
+// pairColdWarm matches benchmarks that differ only by a "cold" vs "warm"
+// path segment and computes the cold/warm speedup for each pair.
+func pairColdWarm(results []benchResult) []coldWarmPair {
+	byName := make(map[string]benchResult, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	var pairs []coldWarmPair
+	for _, r := range results {
+		key, ok := replaceSegment(r.Name, "cold", "warm")
+		if !ok {
+			continue
+		}
+		warm, ok := byName[key]
+		if !ok || warm.NsPerOp <= 0 {
+			continue
+		}
+		generic, _ := replaceSegment(r.Name, "cold", "*")
+		pairs = append(pairs, coldWarmPair{
+			Name:     generic,
+			ColdNsOp: r.NsPerOp,
+			WarmNsOp: warm.NsPerOp,
+			Speedup:  r.NsPerOp / warm.NsPerOp,
+		})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
+	return pairs
+}
+
+// replaceSegment replaces the first "/"-delimited path segment equal to old
+// with repl, reporting whether such a segment existed.
+func replaceSegment(name, old, repl string) (string, bool) {
+	segs := strings.Split(name, "/")
+	for i, s := range segs {
+		if s == old {
+			segs[i] = repl
+			return strings.Join(segs, "/"), true
+		}
+	}
+	return name, false
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMIPColdVsWarm/cold/n=16-16         	       5	 930224881 ns/op	       913.0 nodes	         0 warm-fraction
+BenchmarkMIPColdVsWarm/warm/n=16-16         	       5	 687563467 ns/op	       999.0 nodes	         0.9990 warm-fraction
+BenchmarkWarmVsColdLP/cold/n=20,m=40-16     	      20	    290456 ns/op	        22.00 pivots
+BenchmarkWarmVsColdLP/warm/n=20,m=40-16     	      20	     43548 ns/op	         4.000 pivots
+BenchmarkApproxEndToEnd-16                  	     100	  11111111 ns/op
+PASS
+ok  	repro	42.0s
+`
+
+func runTool(t *testing.T, input string, args ...string) (*report, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, strings.NewReader(input), &stdout, &stderr)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, stdout.String())
+	}
+	return &rep, nil
+}
+
+func TestBenchjsonParsesAndPairs(t *testing.T) {
+	rep, err := runTool(t, sampleBench, "-label", "pr2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Label != "pr2" || rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("header = %q/%q/%q, want pr2/linux/amd64", rep.Label, rep.Goos, rep.Goarch)
+	}
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("got %d benchmarks, want 5", len(rep.Benchmarks))
+	}
+	first := rep.Benchmarks[0]
+	if first.Name != "BenchmarkMIPColdVsWarm/cold/n=16" || first.Iterations != 5 {
+		t.Errorf("first benchmark = %+v", first)
+	}
+	if math.Abs(first.Metrics["nodes"]-913.0) > 0 {
+		t.Errorf("nodes metric = %v, want 913", first.Metrics["nodes"])
+	}
+	if len(rep.Pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2:\n%+v", len(rep.Pairs), rep.Pairs)
+	}
+	mip := rep.Pairs[0]
+	if mip.Name != "BenchmarkMIPColdVsWarm/*/n=16" {
+		t.Errorf("pair name = %q", mip.Name)
+	}
+	if math.Abs(mip.Speedup-930224881.0/687563467.0) > 1e-12 {
+		t.Errorf("speedup = %v", mip.Speedup)
+	}
+}
+
+func TestBenchjsonErrors(t *testing.T) {
+	if _, err := runTool(t, "no benchmarks here\n"); err == nil ||
+		!strings.Contains(err.Error(), "no benchmark result lines") {
+		t.Errorf("empty input error = %v", err)
+	}
+	if _, err := runTool(t, sampleBench, "positional"); err == nil ||
+		!strings.Contains(err.Error(), "unexpected argument") {
+		t.Errorf("positional arg error = %v", err)
+	}
+	if _, err := runTool(t, sampleBench, "-no-such-flag"); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestBenchjsonMergesRepeatedRuns(t *testing.T) {
+	input := "BenchmarkX/cold/a-8 3 100 ns/op\n" +
+		"BenchmarkX/warm/a-8 3 80 ns/op\n" +
+		"BenchmarkX/cold/a-8 3 90 ns/op\n" +
+		"BenchmarkX/warm/a-8 3 95 ns/op\n"
+	rep, err := runTool(t, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 after merging: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	if len(rep.Pairs) != 1 {
+		t.Fatalf("got %d pairs, want 1", len(rep.Pairs))
+	}
+	p := rep.Pairs[0]
+	if math.Abs(p.ColdNsOp-90) > 0 || math.Abs(p.WarmNsOp-80) > 0 {
+		t.Errorf("pair kept %v/%v, want min runs 90/80", p.ColdNsOp, p.WarmNsOp)
+	}
+}
+
+func TestBenchjsonSkipsMalformedLines(t *testing.T) {
+	input := "BenchmarkBroken-8 not-a-number 12 ns/op\n" +
+		"BenchmarkOK-8 10 42.5 ns/op\n"
+	rep, err := runTool(t, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+	if math.Abs(rep.Benchmarks[0].NsPerOp-42.5) > 0 {
+		t.Errorf("ns/op = %v", rep.Benchmarks[0].NsPerOp)
+	}
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -21,27 +22,44 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and renders the selected experiments to stdout (or
+// -out files), progress notes to stderr. Factored out of main so the
+// flag surface and output formats are testable without spawning a
+// process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		runID   = flag.String("run", "", "experiment id (fig1..fig6b, table1, gain) or 'all'")
-		list    = flag.Bool("list", false, "list available experiments")
-		seed    = flag.Int64("seed", 1, "root random seed")
-		scale   = flag.Float64("scale", 1.0, "size/replicate scale in (0,1]")
-		reps    = flag.Int("reps", 0, "override replicate count (0: paper value × scale)")
-		workers = flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-solver time limit (fig4, table1)")
-		format  = flag.String("format", "md", "output format: md | csv")
-		outDir  = flag.String("out", "", "write each table to <out>/<id>.<format> instead of stdout")
+		runID   = fs.String("run", "", "experiment id (fig1..fig6b, table1, gain) or 'all'")
+		list    = fs.Bool("list", false, "list available experiments")
+		seed    = fs.Int64("seed", 1, "root random seed")
+		scale   = fs.Float64("scale", 1.0, "size/replicate scale in (0,1]")
+		reps    = fs.Int("reps", 0, "override replicate count (0: paper value × scale)")
+		workers = fs.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
+		timeout = fs.Duration("timeout", 60*time.Second, "per-solver time limit (fig4, table1)")
+		format  = fs.String("format", "md", "output format: md | csv")
+		outDir  = fs.String("out", "", "write each table to <out>/<id>.<format> instead of stdout")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, s := range experiments.All() {
-			fmt.Printf("%-8s %s\n         %s\n", s.ID, s.Title, s.Description)
+			if _, err := fmt.Fprintf(stdout, "%-8s %s\n         %s\n", s.ID, s.Title, s.Description); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	if *runID == "" {
-		fatalf("missing -run (or use -list)")
+		return fmt.Errorf("missing -run (or use -list)")
 	}
 	cfg := experiments.Config{
 		Seed:            *seed,
@@ -62,35 +80,37 @@ func main() {
 		start := time.Now()
 		tbl, err := experiments.Run(id, cfg)
 		if err != nil {
-			fatalf("%s: %v", id, err)
+			return fmt.Errorf("%s: %w", id, err)
 		}
 		elapsed := time.Since(start).Round(10 * time.Millisecond)
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fatalf("creating %s: %v", *outDir, err)
+				return fmt.Errorf("creating %s: %w", *outDir, err)
 			}
 			path := filepath.Join(*outDir, id+"."+*format)
 			f, err := os.Create(path)
 			if err != nil {
-				fatalf("creating %s: %v", path, err)
+				return fmt.Errorf("creating %s: %w", path, err)
 			}
 			if err := emit(tbl, *format, f); err != nil {
-				fatalf("writing %s: %v", path, err)
+				_ = f.Close() // surfacing the write error; close error is secondary
+				return fmt.Errorf("writing %s: %w", path, err)
 			}
 			if err := f.Close(); err != nil {
-				fatalf("closing %s: %v", path, err)
+				return fmt.Errorf("closing %s: %w", path, err)
 			}
-			fmt.Fprintf(os.Stderr, "%s -> %s (%s)\n", id, path, elapsed)
+			_, _ = fmt.Fprintf(stderr, "%s -> %s (%s)\n", id, path, elapsed) // progress note; best-effort
 			continue
 		}
-		if err := emit(tbl, *format, os.Stdout); err != nil {
-			fatalf("writing %s: %v", id, err)
+		if err := emit(tbl, *format, stdout); err != nil {
+			return fmt.Errorf("writing %s: %w", id, err)
 		}
-		fmt.Fprintf(os.Stderr, "%s done in %s\n", id, elapsed)
+		_, _ = fmt.Fprintf(stderr, "%s done in %s\n", id, elapsed) // progress note; best-effort
 	}
+	return nil
 }
 
-func emit(tbl *experiments.Table, format string, w *os.File) error {
+func emit(tbl *experiments.Table, format string, w io.Writer) error {
 	switch format {
 	case "md":
 		_, err := fmt.Fprintln(w, tbl.Markdown())
@@ -100,9 +120,4 @@ func emit(tbl *experiments.Table, format string, w *os.File) error {
 	default:
 		return fmt.Errorf("unknown format %q", format)
 	}
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
-	os.Exit(1)
 }

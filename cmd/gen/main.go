@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/machine"
@@ -20,21 +21,35 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "gen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and writes the generated instance to stdout (or -out),
+// progress notes to stderr. Factored out of main so the flag surface and
+// output format are testable without spawning a process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n          = flag.Int("n", 100, "number of tasks")
-		m          = flag.Int("m", 5, "number of machines (uniform random fleet)")
-		rho        = flag.Float64("rho", 0.35, "deadline tolerance ρ")
-		beta       = flag.Float64("beta", 0.5, "energy budget ratio β")
-		thetaMin   = flag.Float64("theta-min", 0.1, "minimum task efficiency θ")
-		thetaMax   = flag.Float64("theta-max", 0.1, "maximum task efficiency θ")
-		scenario   = flag.String("scenario", "uniform", "workload scenario: uniform | earliest-high-efficient")
-		seed       = flag.Int64("seed", 1, "random seed")
-		out        = flag.String("out", "", "output file (default stdout)")
-		twoMachine = flag.Bool("two-machine", false, "use the paper's fixed Fig 6 two-machine fleet instead of a random one")
-		preset     = flag.String("preset", "", "paper workload preset: fig3 | fig4 | fig5 | fig6a | fig6b (overrides rho/beta/theta/scenario; fig6* implies -two-machine)")
-		mu         = flag.Float64("mu", 10, "task heterogeneity ratio for -preset fig3")
+		n          = fs.Int("n", 100, "number of tasks")
+		m          = fs.Int("m", 5, "number of machines (uniform random fleet)")
+		rho        = fs.Float64("rho", 0.35, "deadline tolerance ρ")
+		beta       = fs.Float64("beta", 0.5, "energy budget ratio β")
+		thetaMin   = fs.Float64("theta-min", 0.1, "minimum task efficiency θ")
+		thetaMax   = fs.Float64("theta-max", 0.1, "maximum task efficiency θ")
+		scenario   = fs.String("scenario", "uniform", "workload scenario: uniform | earliest-high-efficient")
+		seed       = fs.Int64("seed", 1, "random seed")
+		out        = fs.String("out", "", "output file (default stdout)")
+		twoMachine = fs.Bool("two-machine", false, "use the paper's fixed Fig 6 two-machine fleet instead of a random one")
+		preset     = fs.String("preset", "", "paper workload preset: fig3 | fig4 | fig5 | fig6a | fig6b (overrides rho/beta/theta/scenario; fig6* implies -two-machine)")
+		mu         = fs.Float64("mu", 10, "task heterogeneity ratio for -preset fig3")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var cfg task.GenConfig
 	switch *preset {
@@ -48,7 +63,7 @@ func main() {
 			cfg.EarlyFraction = 0.30
 			cfg.EarlyThetaMin, cfg.EarlyThetaMax = 4.0, 4.9
 		default:
-			fatalf("unknown scenario %q", *scenario)
+			return fmt.Errorf("unknown scenario %q", *scenario)
 		}
 	case "fig3":
 		cfg = task.PaperFig3(*n, *mu)
@@ -64,11 +79,11 @@ func main() {
 		var err error
 		cfg, err = task.PaperFig6(*n, sc, *beta)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		*twoMachine = true
 	default:
-		fatalf("unknown preset %q", *preset)
+		return fmt.Errorf("unknown preset %q", *preset)
 	}
 
 	src := rng.New(*seed, "cmd/gen")
@@ -80,32 +95,29 @@ func main() {
 	}
 	in, err := task.Generate(src, cfg, fleet)
 	if err != nil {
-		fatalf("generating instance: %v", err)
+		return fmt.Errorf("generating instance: %w", err)
 	}
 
-	w := os.Stdout
+	w := stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
-			fatalf("creating %s: %v", *out, err)
+			return fmt.Errorf("creating %s: %w", *out, err)
 		}
 		w = f
 	}
 	if err := in.WriteJSON(w); err != nil {
-		fatalf("writing instance: %v", err)
+		return fmt.Errorf("writing instance: %w", err)
 	}
-	if w != os.Stdout {
+	if f != nil {
 		// A deferred, unchecked Close would swallow flush errors on the
 		// freshly written instance file.
-		if err := w.Close(); err != nil {
-			fatalf("closing %s: %v", *out, err)
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", *out, err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "generated n=%d m=%d d_max=%.4gs budget=%.4gJ (μ=%.3g)\n",
-		in.N(), in.M(), in.MaxDeadline(), in.Budget, in.HeterogeneityRatio())
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "gen: "+format+"\n", args...)
-	os.Exit(1)
+	_, _ = fmt.Fprintf(stderr, "generated n=%d m=%d d_max=%.4gs budget=%.4gJ (μ=%.3g)\n",
+		in.N(), in.M(), in.MaxDeadline(), in.Budget, in.HeterogeneityRatio()) // progress note; best-effort
+	return nil
 }

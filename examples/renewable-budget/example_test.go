@@ -1,0 +1,17 @@
+package main
+
+// The example's output is fully deterministic (seeded generator, exact
+// solvers), so it doubles as a regression test: a solver change that
+// shifts any of these accuracies shows up as an Example failure.
+
+func Example() {
+	main()
+	// Output:
+	// scalar budget 27 J:        accuracy 0.8130
+	// solar envelope (same J):    accuracy 0.7454  (start delay 0.014s, effective budget 27 J, compliant=true)
+	// battery envelope (same J):  accuracy 0.8130
+	//
+	// dispatch cost  0.00 J/task: accuracy 0.8130  (80 dispatched, comm 0 J, total 11/27 J)
+	// dispatch cost  0.02 J/task: accuracy 0.8095  (79 dispatched, comm 1 J, total 12/27 J)
+	// dispatch cost  0.07 J/task: accuracy 0.4102  (40 dispatched, comm 3 J, total 5/27 J)
+}

@@ -1,0 +1,102 @@
+package experiments
+
+// Golden regression tests: pin the Fig 3 and Table 1 summary numbers at a
+// small deterministic configuration (Seed 1, 2 replicates, Scale 0.1).
+// Every random stream derives from (seed, experiment label, replicate),
+// so these cells are bit-reproducible; a solver or generator change that
+// silently alters results fails here with a cell-level diff before it can
+// drift into results/*.md.
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// goldenConfig is the pinned configuration: small enough for CI, large
+// enough to exercise every code path (incl. the LP baseline in table1).
+var goldenConfig = Config{Seed: 1, Replicates: 2, Scale: 0.1}
+
+func runGolden(t *testing.T, id string) *Table {
+	t.Helper()
+	tb, err := Run(id, goldenConfig)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return tb
+}
+
+func TestGoldenFig3(t *testing.T) {
+	want := [][]string{
+		{"5", "0.0000", "0.0000", "0.0000", "0.0000", "0.0000", "0.8200", "0.8200", "2.0074"},
+		{"7.5", "0.0089", "0.0000", "0.0177", "0.0000", "0.0177", "0.8200", "0.8111", "1.8032"},
+		{"10", "0.0253", "0.0076", "0.0430", "0.0076", "0.0430", "0.8200", "0.7947", "2.0077"},
+		{"12.5", "0.0409", "0.0000", "0.0819", "0.0000", "0.0819", "0.8200", "0.7791", "2.0353"},
+		{"15", "0.0876", "0.0267", "0.1484", "0.0267", "0.1484", "0.8153", "0.7277", "2.0189"},
+		{"17.5", "0.0052", "0.0000", "0.0103", "0.0000", "0.0103", "0.8200", "0.8148", "2.4127"},
+		{"20", "0.0152", "0.0000", "0.0305", "0.0000", "0.0305", "0.8200", "0.8048", "1.9467"},
+	}
+	tb := runGolden(t, "fig3")
+	if len(tb.Rows) != len(want) {
+		t.Fatalf("fig3: %d rows, want %d", len(tb.Rows), len(want))
+	}
+	for r, wantRow := range want {
+		for c, wantCell := range wantRow {
+			if got := tb.Rows[r][c]; got != wantCell {
+				t.Errorf("fig3 row %d (%s=%s) col %s: got %q, want %q",
+					r, tb.Columns[0], tb.Rows[r][0], tb.Columns[c], got, wantCell)
+			}
+		}
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	tb := runGolden(t, "table1")
+	wantN := []string{"10", "20", "30", "40", "50"}
+	if len(tb.Rows) != len(wantN) {
+		t.Fatalf("table1: %d rows, want %d", len(tb.Rows), len(wantN))
+	}
+	for r, row := range tb.Rows {
+		if row[0] != wantN[r] {
+			t.Errorf("table1 row %d: n = %q, want %q", r, row[0], wantN[r])
+		}
+		// At this scale the LP must always finish within the limit.
+		if row[3] != "0" {
+			t.Errorf("table1 n=%s: lp_timeouts = %q, want 0", row[0], row[3])
+		}
+		// FR-OPT and the LP solve the same relaxation: the relative value
+		// difference is zero up to floating-point noise. The timing columns
+		// (1, 2) are wall-clock and intentionally not pinned.
+		diff, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("table1 n=%s: bad value_rel_diff %q: %v", row[0], row[4], err)
+		}
+		if math.Abs(diff) > 1e-12 {
+			t.Errorf("table1 n=%s: value_rel_diff = %g, want ~0", row[0], diff)
+		}
+	}
+}
+
+// TestGoldenReproducible re-runs fig3 and checks cell-for-cell equality
+// with the first run: the harness contract is bit-reproducibility at any
+// worker count.
+func TestGoldenReproducible(t *testing.T) {
+	a := runGolden(t, "fig3")
+	cfg := goldenConfig
+	cfg.Workers = 1
+	b, err := Run("fig3", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for r := range a.Rows {
+		for c := range a.Rows[r] {
+			if a.Rows[r][c] != b.Rows[r][c] {
+				t.Errorf("row %d col %s differs across worker counts: %q vs %q",
+					r, a.Columns[c], a.Rows[r][c], b.Rows[r][c])
+			}
+		}
+	}
+}

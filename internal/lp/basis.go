@@ -1,0 +1,99 @@
+package lp
+
+import "fmt"
+
+// Column kinds of a basis entry, in the revised solver's canonical layout.
+// Every row of a problem owns one logical column (the slack of a <= row,
+// the negated-slack of a >= row, or the fixed-at-zero logical of an == row)
+// and one phase-1 artificial column. Structural variables keep their
+// problem indices.
+const (
+	basisStructural uint8 = iota
+	basisLogical
+	basisArtificial
+)
+
+// basisEntry identifies one basic column: a structural variable by index,
+// or a row's logical/artificial column by row index. Row-indexed entries
+// stay valid when further rows are appended to the problem, which is what
+// makes a Basis transferable from a branch-and-bound parent to its
+// children.
+type basisEntry struct {
+	kind uint8
+	idx  int
+}
+
+// Basis is the basic column set of a solved linear program, one entry per
+// constraint row, as produced by SolveBasis and SolveFrom. It is an opaque
+// warm-start token: pass it to SolveFrom on a problem whose leading rows
+// are identical to the rows of the problem that produced it (typically the
+// same problem with extra bound rows appended, as in branch-and-bound).
+// A Basis is immutable once returned and safe to share across goroutines.
+//
+// Besides the column set, a Basis snapshots the basis inverse B⁻¹ at
+// optimality. Because a child's basis matrix is block lower-triangular
+// over its parent's (appended rows keep their logicals basic), SolveFrom
+// extends the snapshot to the child inverse in O(m²) per appended row
+// instead of refactorising in O(m³) — the difference between a warm start
+// that beats a cold solve and one that loses to it. The snapshot costs
+// m² floats per Basis; branch-and-bound children share their parent's
+// Basis pointer, so live memory scales with the open frontier, not the
+// tree. age counts the product-form updates the snapshot has absorbed
+// since its last from-scratch factorisation; SolveFrom refuses snapshots
+// whose accumulated age exceeds the refactorisation interval and rebuilds
+// instead, bounding inherited roundoff across generations.
+type Basis struct {
+	nVars   int
+	entries []basisEntry
+	binv    []float64 // NumRows()² snapshot of B⁻¹, row-major (nil: none)
+	age     int       // updates absorbed since the last true factorisation
+}
+
+// NumVars returns the structural variable count of the producing problem.
+func (b *Basis) NumVars() int { return b.nVars }
+
+// NumRows returns the constraint row count of the producing problem.
+func (b *Basis) NumRows() int { return len(b.entries) }
+
+// String summarises the basis composition for diagnostics.
+func (b *Basis) String() string {
+	var nStruct, nLogical, nArt int
+	for _, e := range b.entries {
+		switch e.kind {
+		case basisStructural:
+			nStruct++
+		case basisLogical:
+			nLogical++
+		case basisArtificial:
+			nArt++
+		}
+	}
+	return fmt.Sprintf("lp.Basis{rows: %d, structural: %d, logical: %d, artificial: %d}",
+		len(b.entries), nStruct, nLogical, nArt)
+}
+
+// column maps an entry to its column index in a problem with n structural
+// variables and m rows (canonical layout: structural, then m logicals,
+// then m artificials).
+func (e basisEntry) column(n, m int) int {
+	switch e.kind {
+	case basisLogical:
+		return n + e.idx
+	case basisArtificial:
+		return n + m + e.idx
+	default:
+		return e.idx
+	}
+}
+
+// entryForColumn is the inverse of column.
+func entryForColumn(col, n, m int) basisEntry {
+	switch {
+	case col < n:
+		return basisEntry{kind: basisStructural, idx: col}
+	case col < n+m:
+		return basisEntry{kind: basisLogical, idx: col - n}
+	default:
+		return basisEntry{kind: basisArtificial, idx: col - n - m}
+	}
+}

@@ -1,0 +1,144 @@
+package lp
+
+// Differential test corpus for the revised simplex: on a seeded corpus of
+// random LPs the cold tableau solver (Solve), the cold revised solver
+// (SolveBasis) and the warm-started revised solver (SolveFrom) must agree
+// on status and objective — including after bound rows are appended, the
+// exact shape of branch-and-bound child problems. A disagreement here is
+// how a warm-start bug would surface as a silently wrong MIP optimum, so
+// this suite is the safety net under internal/mip's node rewiring.
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// corpusSize is the number of seeded instances; the acceptance bar for the
+// warm-start work is at least 200.
+const corpusSize = 240
+
+// diffObjEqual is the agreement criterion on objectives: AlmostEqual's
+// TestTol scaled criterion, the repo-wide assertion tolerance.
+func diffObjEqual(a, b float64) bool { return numeric.AlmostEqual(a, b) }
+
+// corpusInstance derives the deterministic instance for one corpus index.
+func corpusInstance(i int) *genLP {
+	s := rng.NewReplicate(1, "lp-differential", i)
+	n := 1 + s.Intn(7) // 1..7 variables
+	m := s.Intn(10)    // 0..9 random rows (plus n box rows)
+	return generateFeasibleLP(s, n, m)
+}
+
+// assertAgree fails unless the two solutions agree on status and, when
+// both are optimal, on objective.
+func assertAgree(t *testing.T, label string, a, b *Solution) {
+	t.Helper()
+	if a.Status != b.Status {
+		t.Fatalf("%s: status %v != %v", label, a.Status, b.Status)
+	}
+	if a.Status == Optimal && !diffObjEqual(a.Objective, b.Objective) {
+		t.Fatalf("%s: objective %.17g != %.17g (diff %g)",
+			label, a.Objective, b.Objective, a.Objective-b.Objective)
+	}
+}
+
+// TestDifferentialColdRevisedVsTableau: the revised core's cold path must
+// reproduce the tableau solver across the whole corpus.
+func TestDifferentialColdRevisedVsTableau(t *testing.T) {
+	for i := 0; i < corpusSize; i++ {
+		i := i
+		t.Run(strconv.Itoa(i), func(t *testing.T) {
+			t.Parallel()
+			g := corpusInstance(i)
+			cold, err := Solve(g.p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rev, bs, err := SolveBasis(g.p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertAgree(t, "cold", cold, rev)
+			if cold.Status != Optimal {
+				t.Fatalf("corpus instance not optimal (%v); generator broken", cold.Status)
+			}
+			if bs == nil {
+				t.Fatal("no basis from optimal cold solve")
+			}
+			// Both must beat the known feasible point.
+			want := g.feasibleValue()
+			tol := 1e-6 * (1 + math.Abs(want))
+			if rev.Objective < want-tol {
+				t.Errorf("revised objective %g below feasible value %g", rev.Objective, want)
+			}
+		})
+	}
+}
+
+// TestDifferentialWarmVsColdAfterBoundRows: for every corpus instance,
+// derive branch-and-bound style children by appending bound rows and
+// check the warm-started solve against a cold solve of the same child —
+// then chain a second bound row from the warm basis.
+func TestDifferentialWarmVsColdAfterBoundRows(t *testing.T) {
+	for i := 0; i < corpusSize; i++ {
+		i := i
+		t.Run(strconv.Itoa(i), func(t *testing.T) {
+			t.Parallel()
+			g := corpusInstance(i)
+			parent, bs, err := SolveBasis(g.p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parent.Status != Optimal {
+				t.Fatalf("parent status %v", parent.Status)
+			}
+
+			s := rng.NewReplicate(2, "lp-differential-branch", i)
+			v := s.Intn(g.p.NumVars())
+			val := parent.X[v]
+
+			branches := []struct {
+				name  string
+				sense Sense
+				rhs   float64
+			}{
+				{"down", LE, math.Floor(val)},
+				{"up", GE, math.Ceil(val) + float64(s.Intn(2))}, // sometimes beyond the box: infeasible child
+			}
+			for _, br := range branches {
+				child := g.p.Clone()
+				child.AddConstraint([]Term{{Var: v, Coef: 1}}, br.sense, br.rhs)
+				warm, wbs, err := SolveFrom(child, bs, Options{})
+				if err != nil {
+					t.Fatalf("%s: SolveFrom: %v", br.name, err)
+				}
+				cold, err := Solve(child, Options{})
+				if err != nil {
+					t.Fatalf("%s: Solve: %v", br.name, err)
+				}
+				assertAgree(t, br.name, cold, warm)
+
+				if warm.Status != Optimal {
+					continue
+				}
+				// Chain: tighten a second variable from the warm basis.
+				v2 := s.Intn(g.p.NumVars())
+				grandchild := child.Clone()
+				grandchild.AddConstraint([]Term{{Var: v2, Coef: 1}}, LE, math.Floor(warm.X[v2]))
+				warm2, _, err := SolveFrom(grandchild, wbs, Options{})
+				if err != nil {
+					t.Fatalf("%s/chain: SolveFrom: %v", br.name, err)
+				}
+				cold2, err := Solve(grandchild, Options{})
+				if err != nil {
+					t.Fatalf("%s/chain: Solve: %v", br.name, err)
+				}
+				assertAgree(t, br.name+"/chain", cold2, warm2)
+			}
+		})
+	}
+}

@@ -6,10 +6,9 @@ import (
 	"repro/internal/rng"
 )
 
-// FuzzSimplex builds random LPs that are feasible by construction — a known
-// point x* >= 0 satisfies every row because each RHS is A_i·x* plus a
-// non-negative slack — and bounded by construction thanks to per-variable box
-// constraints. The solver must therefore report Optimal, return a primal
+// FuzzSimplex drives the dense tableau solver over the shared random-LP
+// generator (see gen_test.go): instances are feasible and bounded by
+// construction, so the solver must report Optimal, return a primal
 // feasible point, and achieve an objective no worse than c·x*.
 func FuzzSimplex(f *testing.F) {
 	f.Add(int64(1), uint8(3), uint8(4))
@@ -21,57 +20,9 @@ func FuzzSimplex(f *testing.F) {
 		s := rng.New(seed, "fuzz-simplex")
 		n := 1 + int(nvRaw)%6
 		m := int(ncRaw) % 9
+		g := generateFeasibleLP(s, n, m)
 
-		// Known feasible point.
-		xstar := make([]float64, n)
-		for v := range xstar {
-			xstar[v] = s.Uniform(0, 5)
-		}
-
-		p := NewProblem(n)
-		obj := make([]float64, n)
-		for v := range obj {
-			obj[v] = s.Uniform(-1, 2)
-			p.SetObjCoef(v, obj[v])
-		}
-
-		type rowData struct {
-			coefs []float64
-			rhs   float64
-		}
-		var rows []rowData
-		addRow := func(coefs []float64, rhs float64) {
-			terms := make([]Term, 0, len(coefs))
-			for v, c := range coefs {
-				if c != 0 {
-					terms = append(terms, Term{Var: v, Coef: c})
-				}
-			}
-			p.AddConstraint(terms, LE, rhs)
-			rows = append(rows, rowData{coefs: coefs, rhs: rhs})
-		}
-
-		// Random LE rows, feasible at x* with non-negative slack.
-		for i := 0; i < m; i++ {
-			coefs := make([]float64, n)
-			dot := 0.0
-			for v := range coefs {
-				if s.Float64() < 0.3 {
-					continue // keep some sparsity
-				}
-				coefs[v] = s.Uniform(-2, 3)
-				dot += coefs[v] * xstar[v]
-			}
-			addRow(coefs, dot+s.Uniform(0, 2))
-		}
-		// Box constraints keep the maximisation bounded; each box contains x*.
-		for v := 0; v < n; v++ {
-			coefs := make([]float64, n)
-			coefs[v] = 1
-			addRow(coefs, xstar[v]+s.Uniform(0.1, 5))
-		}
-
-		sol, err := Solve(p, Options{})
+		sol, err := Solve(g.p, Options{})
 		if err != nil {
 			t.Fatalf("Solve: %v", err)
 		}
@@ -86,7 +37,7 @@ func FuzzSimplex(f *testing.F) {
 				t.Errorf("x[%d] = %g violates non-negativity", v, x)
 			}
 		}
-		for i, r := range rows {
+		for i, r := range g.rows {
 			lhs := 0.0
 			scale := 1.0
 			for v, c := range r.coefs {
@@ -102,10 +53,7 @@ func FuzzSimplex(f *testing.F) {
 			}
 		}
 		// x* is feasible, so the optimum must score at least c·x*.
-		want := 0.0
-		for v := range obj {
-			want += obj[v] * xstar[v]
-		}
+		want := g.feasibleValue()
 		tol := 1e-6 * (1 + abs(want))
 		if sol.Objective < want-tol {
 			t.Errorf("objective %g below feasible point's value %g", sol.Objective, want)

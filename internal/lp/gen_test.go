@@ -1,0 +1,80 @@
+package lp
+
+// Shared random-LP generator for the fuzz and differential test suites.
+// Instances are feasible by construction — a known point x* >= 0 satisfies
+// every row because each RHS is A_i·x* plus a non-negative slack — and
+// bounded by construction thanks to per-variable box constraints, so a
+// correct solver must report Optimal with objective >= c·x*.
+
+import "repro/internal/rng"
+
+// genRow is one generated constraint, kept in dense form so tests can
+// re-check feasibility of solver output against the original data.
+type genRow struct {
+	coefs []float64
+	rhs   float64
+}
+
+// genLP is a generated instance with its certificates.
+type genLP struct {
+	p     *Problem
+	rows  []genRow
+	xstar []float64 // known feasible point
+	obj   []float64
+}
+
+// generateFeasibleLP builds a random feasible, bounded LP over n variables
+// with m random LE rows plus n box rows, all satisfied at a random x*.
+func generateFeasibleLP(s *rng.Source, n, m int) *genLP {
+	g := &genLP{xstar: make([]float64, n), obj: make([]float64, n)}
+	for v := range g.xstar {
+		g.xstar[v] = s.Uniform(0, 5)
+	}
+
+	g.p = NewProblem(n)
+	for v := range g.obj {
+		g.obj[v] = s.Uniform(-1, 2)
+		g.p.SetObjCoef(v, g.obj[v])
+	}
+
+	addRow := func(coefs []float64, rhs float64) {
+		terms := make([]Term, 0, len(coefs))
+		for v, c := range coefs {
+			if c != 0 {
+				terms = append(terms, Term{Var: v, Coef: c})
+			}
+		}
+		g.p.AddConstraint(terms, LE, rhs)
+		g.rows = append(g.rows, genRow{coefs: coefs, rhs: rhs})
+	}
+
+	// Random LE rows, feasible at x* with non-negative slack.
+	for i := 0; i < m; i++ {
+		coefs := make([]float64, n)
+		dot := 0.0
+		for v := range coefs {
+			if s.Float64() < 0.3 {
+				continue // keep some sparsity
+			}
+			coefs[v] = s.Uniform(-2, 3)
+			dot += coefs[v] * g.xstar[v]
+		}
+		addRow(coefs, dot+s.Uniform(0, 2))
+	}
+	// Box constraints keep the maximisation bounded; each box contains x*.
+	for v := 0; v < n; v++ {
+		coefs := make([]float64, n)
+		coefs[v] = 1
+		addRow(coefs, g.xstar[v]+s.Uniform(0.1, 5))
+	}
+	return g
+}
+
+// feasibleValue returns c·x*, a lower bound on the optimum.
+func (g *genLP) feasibleValue() float64 {
+	var want float64
+	for v := range g.obj {
+		want += g.obj[v] * g.xstar[v]
+	}
+	return want
+}

@@ -1,0 +1,903 @@
+package lp
+
+// Revised simplex with an explicit basis inverse. Unlike the dense tableau
+// in simplex.go — which rewrites the whole constraint matrix on every pivot
+// and must re-solve from scratch for every problem — this core keeps the
+// original matrix immutable and maintains B⁻¹ explicitly, refactorising it
+// from scratch every refactorEvery pivots for numerical hygiene. That makes
+// two things possible that the tableau cannot offer:
+//
+//   - an exportable Basis: the basic column set is plain data that survives
+//     the solve and can seed another one;
+//   - warm starts (SolveFrom): branch-and-bound children differ from their
+//     parent only by appended bound rows, so the parent's optimal basis —
+//     extended with the new rows' slacks — is dual feasible for the child,
+//     and a short dual-simplex phase restores primal feasibility in a
+//     handful of pivots instead of a full two-phase solve.
+//
+// Canonical column layout for a problem with n structural variables and m
+// rows: columns [0, n) are structural, column n+i is the logical of row i
+// (slack after orienting >= rows to <=; fixed at zero for == rows) and
+// column n+m+i is the phase-1 artificial of row i. Rows are equilibrated
+// (scaled by their largest structural coefficient) exactly like the
+// tableau, so tolerances behave identically across the two cores.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+const (
+	// refactorEvery bounds the number of product-form updates applied to
+	// B⁻¹ before it is recomputed from scratch; explicit-inverse updates
+	// accumulate roundoff linearly, so a periodic rebuild keeps basic
+	// values trustworthy over long pivot sequences.
+	refactorEvery = 64
+	// singularTol is the partial-pivoting threshold below which a basis
+	// matrix is declared singular during refactorisation.
+	singularTol = 1e-11
+	// minPivot rejects pivot elements too small to divide by safely.
+	minPivot = 1e-11
+)
+
+var (
+	errSingular  = errors.New("lp: singular basis")
+	errNumerical = errors.New("lp: numerical failure (pivot element vanished)")
+)
+
+// rev is the revised simplex working state.
+type rev struct {
+	m, n  int // rows, structural variables
+	width int // n + 2m: structural + logical + artificial column index space
+	rw    int // n + m: stored row width of a (artificials are implicit)
+
+	// a stores the structural and logical columns only; the artificial of
+	// row i is ±e_i and is reconstructed by colAt, halving the memory the
+	// dense pricing and pivot-row passes must walk.
+	a        []float64 // m*rw immutable constraint matrix, row-major
+	artSign  []float64 // m; artificial column signs (±1)
+	b        []float64 // m oriented+scaled right-hand sides
+	canEnter []bool    // width; column may be chosen as entering
+	mustZero []bool    // width; column value must remain zero (EQ logicals, phase-2 artificials)
+
+	basis   []int  // basis[i] = column basic in row i
+	inBasis []bool // width
+	binv    []float64
+	xb      []float64 // current basic values, binv·b
+
+	tol           float64
+	iters         int
+	iterLimit     int
+	deadline      time.Time
+	blandMode     bool
+	degenRun      int
+	sinceRefactor int
+	numRetries    int  // consecutive vanished-pivot rebuilds; bounded to stay terminating
+	dFresh        bool // t.d currently holds valid reduced costs (dual incremental updates)
+
+	// scratch buffers, allocated once
+	y     []float64 // m dual prices of the working cost vector
+	d     []float64 // width reduced costs
+	alpha []float64 // width pivot-row coefficients (dual simplex)
+	w     []float64 // m entering-column direction (ftran)
+	colv  []float64 // m gathered matrix column
+}
+
+// newRev builds the canonical-form matrix for p: >= rows negated to <=,
+// rows equilibrated, one logical and one artificial column per row.
+func newRev(p *Problem, opts Options) *rev {
+	m := len(p.rows)
+	n := p.nVars
+	width := n + 2*m
+	t := &rev{
+		m: m, n: n, width: width, rw: n + m,
+		a:        make([]float64, m*(n+m)),
+		artSign:  make([]float64, m),
+		b:        make([]float64, m),
+		canEnter: make([]bool, width),
+		mustZero: make([]bool, width),
+		basis:    make([]int, m),
+		inBasis:  make([]bool, width),
+		binv:     make([]float64, m*m),
+		xb:       make([]float64, m),
+		tol:      opts.Tol,
+		y:        make([]float64, m),
+		d:        make([]float64, width),
+		alpha:    make([]float64, width),
+		w:        make([]float64, m),
+		colv:     make([]float64, m),
+	}
+	if t.tol == 0 {
+		t.tol = defaultTol
+	}
+	t.iterLimit = opts.MaxIters
+	if t.iterLimit == 0 {
+		t.iterLimit = 100*(m+n) + 1000
+	}
+	t.deadline = opts.Deadline
+
+	for v := 0; v < n; v++ {
+		t.canEnter[v] = true
+	}
+	for i, r := range p.rows {
+		row := t.a[i*t.rw : (i+1)*t.rw]
+		for _, tm := range r.terms {
+			row[tm.Var] += tm.Coef
+		}
+		rhs := r.rhs
+		if r.sense == GE {
+			for v := 0; v < n; v++ {
+				row[v] = -row[v]
+			}
+			rhs = -rhs
+		}
+		// Equilibrate against the largest structural coefficient, as in
+		// newTableau, so the two cores share one tolerance discipline.
+		scale := 0.0
+		for v := 0; v < n; v++ {
+			if a := math.Abs(row[v]); a > scale {
+				scale = a
+			}
+		}
+		if scale > 0 {
+			inv := 1 / scale
+			for v := 0; v < n; v++ {
+				row[v] *= inv
+			}
+			rhs *= inv
+		}
+		t.b[i] = rhs
+
+		row[n+i] = 1 // logical
+		if r.sense == EQ {
+			t.mustZero[n+i] = true
+		} else {
+			t.canEnter[n+i] = true
+		}
+		// Artificial, signed so that when basic it starts at |rhs| >= 0.
+		if rhs >= 0 {
+			t.artSign[i] = 1
+		} else {
+			t.artSign[i] = -1
+		}
+		// Artificials start basic where needed and never (re-)enter.
+	}
+	return t
+}
+
+// colAt returns the matrix entry of column col in row r, reconstructing
+// implicit artificial columns (±e_i) on demand.
+func (t *rev) colAt(r, col int) float64 {
+	if col < t.rw {
+		return t.a[r*t.rw+col]
+	}
+	if col-t.rw == r {
+		return t.artSign[r]
+	}
+	return 0
+}
+
+// refactorize recomputes B⁻¹ from the basis columns by Gauss–Jordan
+// elimination with partial pivoting and refreshes xb = B⁻¹b.
+func (t *rev) refactorize() error {
+	m := t.m
+	if m == 0 {
+		t.sinceRefactor = 0
+		return nil
+	}
+	// Augmented [B | I], row-major, width 2m.
+	aug := make([]float64, m*2*m)
+	for r := 0; r < m; r++ {
+		for i := 0; i < m; i++ {
+			aug[r*2*m+i] = t.colAt(r, t.basis[i])
+		}
+		aug[r*2*m+m+r] = 1
+	}
+	for k := 0; k < m; k++ {
+		// Partial pivoting.
+		pr, best := -1, singularTol
+		for r := k; r < m; r++ {
+			if a := math.Abs(aug[r*2*m+k]); a > best {
+				best = a
+				pr = r
+			}
+		}
+		if pr == -1 {
+			return errSingular
+		}
+		if pr != k {
+			rk := aug[k*2*m : (k+1)*2*m]
+			rp := aug[pr*2*m : (pr+1)*2*m]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+		}
+		piv := aug[k*2*m+k]
+		inv := 1 / piv
+		rowK := aug[k*2*m : (k+1)*2*m]
+		for j := range rowK {
+			rowK[j] *= inv
+		}
+		rowK[k] = 1
+		for r := 0; r < m; r++ {
+			if r == k {
+				continue
+			}
+			f := aug[r*2*m+k]
+			if f == 0 {
+				continue
+			}
+			row := aug[r*2*m : (r+1)*2*m]
+			for j := range row {
+				row[j] -= f * rowK[j]
+			}
+			row[k] = 0
+		}
+	}
+	// [B|I] has been reduced to [I|B⁻¹]; row swaps were applied to both
+	// blocks, so the right block's rows are aligned to basis positions.
+	for r := 0; r < m; r++ {
+		copy(t.binv[r*m:(r+1)*m], aug[r*2*m+m:(r+1)*2*m])
+	}
+	t.computeXB()
+	t.sinceRefactor = 0
+	return nil
+}
+
+// inheritInverse builds B⁻¹ from a parent basis snapshot instead of
+// refactorising: with the appended rows' logicals basic, the child basis
+// matrix is block lower-triangular over the parent's,
+//
+//	B = | Bp 0 |        B⁻¹ = |     Bp⁻¹     0 |
+//	    | C  I |               | −C·Bp⁻¹     I |
+//
+// so the child inverse costs O(m²) per appended row. It reports false —
+// leaving the caller to refactorise — when the snapshot is missing, has
+// absorbed too many product-form updates already, or fails the residual
+// check B·xb ≈ b that guards against inherited drift.
+func (t *rev) inheritInverse(from *Basis) bool {
+	mp := len(from.entries)
+	if from.binv == nil || len(from.binv) != mp*mp || from.age >= refactorEvery {
+		return false
+	}
+	m := t.m
+	for i := 0; i < mp; i++ {
+		row := t.binv[i*m : (i+1)*m]
+		copy(row[:mp], from.binv[i*mp:(i+1)*mp])
+		for j := mp; j < m; j++ {
+			row[j] = 0
+		}
+	}
+	for r := mp; r < m; r++ {
+		row := t.binv[r*m : (r+1)*m]
+		for j := range row {
+			row[j] = 0
+		}
+		for tp := 0; tp < mp; tp++ {
+			c := t.colAt(r, t.basis[tp])
+			if c == 0 {
+				continue
+			}
+			prow := from.binv[tp*mp : (tp+1)*mp]
+			for j := 0; j < mp; j++ {
+				row[j] -= c * prow[j]
+			}
+		}
+		row[r] = 1
+	}
+	t.computeXB()
+	t.sinceRefactor = from.age + (m - mp)
+	return t.inverseResidualOK()
+}
+
+// inverseResidualOK spot-checks the inherited inverse: the basic values it
+// produces must satisfy B·xb = b to working accuracy. O(m²), i.e. free
+// relative to the O(m³) refactorisation it may save.
+func (t *rev) inverseResidualOK() bool {
+	for r := 0; r < t.m; r++ {
+		var sum float64
+		scale := 1.0
+		for i := 0; i < t.m; i++ {
+			v := t.colAt(r, t.basis[i]) * t.xb[i]
+			sum += v
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if math.Abs(sum-t.b[r]) > 1e-7*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// computeXB refreshes xb = B⁻¹ b.
+func (t *rev) computeXB() {
+	for i := 0; i < t.m; i++ {
+		var s float64
+		row := t.binv[i*t.m : (i+1)*t.m]
+		for k, bk := range t.b {
+			s += row[k] * bk
+		}
+		if s < 0 && s > -t.tol {
+			s = 0
+		}
+		t.xb[i] = s
+	}
+}
+
+// setBasis installs cols as the basis and rebuilds membership flags.
+func (t *rev) setBasis(cols []int) {
+	copy(t.basis, cols)
+	for j := range t.inBasis {
+		t.inBasis[j] = false
+	}
+	for _, c := range cols {
+		t.inBasis[c] = true
+	}
+}
+
+// prices computes the dual prices y = c_B B⁻¹ and reduced costs
+// d = c − yᵀA for the working cost vector c.
+func (t *rev) prices(c []float64) {
+	m := t.m
+	for k := range t.y {
+		t.y[k] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := c[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t.binv[i*m : (i+1)*m]
+		for k := 0; k < m; k++ {
+			t.y[k] += cb * row[k]
+		}
+	}
+	// Artificial reduced costs (columns >= rw) are never read — artificials
+	// cannot enter — so only the structural+logical block is priced.
+	copy(t.d[:t.rw], c[:t.rw])
+	for i := 0; i < m; i++ {
+		yi := t.y[i]
+		if yi == 0 {
+			continue
+		}
+		row := t.a[i*t.rw : (i+1)*t.rw]
+		for j := 0; j < t.rw; j++ {
+			t.d[j] -= yi * row[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		t.d[t.basis[i]] = 0 // exact by definition; zap rounding residue
+	}
+}
+
+// ftran computes w = B⁻¹ A_col into t.w.
+func (t *rev) ftran(col int) {
+	m := t.m
+	for i := 0; i < m; i++ {
+		t.colv[i] = t.colAt(i, col)
+	}
+	for i := 0; i < m; i++ {
+		var s float64
+		row := t.binv[i*m : (i+1)*m]
+		for k := 0; k < m; k++ {
+			s += row[k] * t.colv[k]
+		}
+		t.w[i] = s
+	}
+}
+
+// pivotRow computes alpha = (row pr of B⁻¹)·A into t.alpha. Artificial
+// entries (columns >= rw) are never read by the callers and stay zero.
+func (t *rev) pivotRow(pr int) {
+	for j := 0; j < t.rw; j++ {
+		t.alpha[j] = 0
+	}
+	row := t.binv[pr*t.m : (pr+1)*t.m]
+	for k := 0; k < t.m; k++ {
+		bk := row[k]
+		if bk == 0 {
+			continue
+		}
+		arow := t.a[k*t.rw : (k+1)*t.rw]
+		for j := 0; j < t.rw; j++ {
+			t.alpha[j] += bk * arow[j]
+		}
+	}
+}
+
+// pivot brings column pc into the basis at row pr, updating B⁻¹ and xb via
+// a product-form update on the precomputed direction w = B⁻¹A_pc. It
+// refactorises periodically.
+func (t *rev) pivot(pr, pc int) error {
+	piv := t.w[pr]
+	if math.Abs(piv) < minPivot {
+		// The update direction disagrees with the selection (stale B⁻¹):
+		// rebuild and report so the caller can re-price.
+		if err := t.refactorize(); err != nil {
+			return err
+		}
+		return errNumerical
+	}
+	m := t.m
+	theta := t.xb[pr] / piv
+	for i := 0; i < m; i++ {
+		if i == pr {
+			continue
+		}
+		if wi := t.w[i]; wi != 0 {
+			t.xb[i] -= wi * theta
+			if t.xb[i] < 0 && t.xb[i] > -t.tol {
+				t.xb[i] = 0
+			}
+		}
+	}
+	t.xb[pr] = theta
+
+	inv := 1 / piv
+	prow := t.binv[pr*m : (pr+1)*m]
+	for k := range prow {
+		prow[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == pr {
+			continue
+		}
+		wi := t.w[i]
+		if wi == 0 {
+			continue
+		}
+		row := t.binv[i*m : (i+1)*m]
+		for k := 0; k < m; k++ {
+			row[k] -= wi * prow[k]
+		}
+	}
+
+	t.inBasis[t.basis[pr]] = false
+	t.basis[pr] = pc
+	t.inBasis[pc] = true
+
+	t.sinceRefactor++
+	if t.sinceRefactor >= refactorEvery {
+		return t.refactorize()
+	}
+	return nil
+}
+
+// limits enforces the shared pivot budget and deadline; it returns a
+// non-Optimal status when a limit is hit, Optimal otherwise.
+func (t *rev) limits() Status {
+	if t.iters >= t.iterLimit {
+		return IterLimit
+	}
+	//lint:ignore wallclock sanctioned deadline probe, amortised to once per 128 pivots
+	if t.iters%128 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		return TimeLimit
+	}
+	return Optimal
+}
+
+// trackDegenerate switches to Bland's rule after a run of degenerate
+// pivots, mirroring the tableau's anti-cycling policy.
+func (t *rev) trackDegenerate(ratio float64) {
+	if ratio <= t.tol {
+		t.degenRun++
+		if t.degenRun >= degenerateRunLimit {
+			t.blandMode = true
+		}
+	} else {
+		t.degenRun = 0
+	}
+}
+
+// primal runs primal simplex pivots under cost vector c until optimality
+// (no entering column) or a limit. The caller must ensure the current
+// basis is primal feasible.
+func (t *rev) primal(c []float64) (Status, error) {
+	for {
+		if st := t.limits(); st != Optimal {
+			return st, nil
+		}
+		t.prices(c)
+
+		pc := -1
+		if t.blandMode {
+			for j := 0; j < t.width; j++ {
+				if t.canEnter[j] && !t.inBasis[j] && t.d[j] > t.tol {
+					pc = j
+					break
+				}
+			}
+		} else {
+			best := t.tol
+			for j := 0; j < t.width; j++ {
+				if t.canEnter[j] && !t.inBasis[j] && t.d[j] > best {
+					best = t.d[j]
+					pc = j
+				}
+			}
+		}
+		if pc == -1 {
+			return Optimal, nil
+		}
+
+		t.ftran(pc)
+		pr := -1
+		minRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			wi := t.w[i]
+			var ratio float64
+			if t.mustZero[t.basis[i]] {
+				// A basic fixed-at-zero column (EQ logical or phase-2
+				// artificial in a redundant row) must not move off zero:
+				// any significant direction component pivots it out now.
+				if wi > t.tol || wi < -t.tol {
+					ratio = 0
+				} else {
+					continue
+				}
+			} else {
+				if wi <= t.tol {
+					continue
+				}
+				ratio = t.xb[i] / wi
+				if ratio < 0 {
+					ratio = 0
+				}
+			}
+			if ratio < minRatio-t.tol || (math.Abs(ratio-minRatio) <= t.tol && (pr == -1 || t.basis[i] < t.basis[pr])) {
+				minRatio = ratio
+				pr = i
+			}
+		}
+		if pr == -1 {
+			return Unbounded, nil
+		}
+		t.trackDegenerate(minRatio)
+
+		if err := t.pivot(pr, pc); err != nil {
+			if errors.Is(err, errNumerical) && t.numRetries < 3 {
+				t.numRetries++
+				continue // B⁻¹ was rebuilt; re-price and retry
+			}
+			return Optimal, err
+		}
+		t.numRetries = 0
+		t.iters++
+	}
+}
+
+// dual runs dual simplex pivots under cost vector c until the basis is
+// primal feasible (returning Optimal, meaning "proceed to primal"), the
+// problem is detected infeasible, or a limit is hit. It assumes the
+// starting reduced costs are (near-)dual feasible — the warm-start
+// invariant — and restores primal feasibility after appended rows have
+// invalidated the parent solution.
+//
+// Reduced costs are maintained incrementally across pivots (the basis-
+// change update d'_j = d_j − (d_pc/α_pc)·α_j reuses the pivot row already
+// computed for the ratio test) rather than re-priced from scratch each
+// iteration; t.dFresh records whether t.d is valid on exit, letting the
+// caller skip the primal phase when the final basis is already dual
+// feasible.
+func (t *rev) dual(c []float64) (Status, error) {
+	t.dFresh = false
+	for {
+		if st := t.limits(); st != Optimal {
+			return st, nil
+		}
+
+		// Leaving row: the most primal-infeasible basic value. A basic
+		// fixed-at-zero column sitting above zero is just as infeasible as
+		// a negative basic; its row is handled by mirroring signs below.
+		pr := -1
+		mirror := false
+		if t.blandMode {
+			for i := 0; i < t.m; i++ {
+				if t.xb[i] < -t.tol {
+					pr, mirror = i, false
+					break
+				}
+				if t.mustZero[t.basis[i]] && t.xb[i] > t.tol {
+					pr, mirror = i, true
+					break
+				}
+			}
+		} else {
+			worst := t.tol
+			for i := 0; i < t.m; i++ {
+				if v := -t.xb[i]; v > worst {
+					worst = v
+					pr, mirror = i, false
+				}
+				if t.mustZero[t.basis[i]] && t.xb[i] > worst {
+					worst = t.xb[i]
+					pr, mirror = i, true
+				}
+			}
+		}
+		if pr == -1 {
+			return Optimal, nil // primal feasible: hand over to primal clean-up
+		}
+
+		if !t.dFresh {
+			t.prices(c)
+			t.dFresh = true
+		}
+		t.pivotRow(pr)
+
+		// Entering column: the standard dual ratio test on the (possibly
+		// mirrored) pivot row. Minimising d_j/alpha_j over alpha_j < 0
+		// keeps the reduced costs dual feasible after the pivot.
+		pc := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < t.width; j++ {
+			if !t.canEnter[j] || t.inBasis[j] {
+				continue
+			}
+			aj := t.alpha[j]
+			if mirror {
+				aj = -aj
+			}
+			if aj >= -t.tol {
+				continue
+			}
+			ratio := t.d[j] / aj
+			if ratio < bestRatio-t.tol || (math.Abs(ratio-bestRatio) <= t.tol && (pc == -1 || j < pc)) {
+				bestRatio = ratio
+				pc = j
+			}
+		}
+		if pc == -1 {
+			// Row pr certifies primal infeasibility: every eligible
+			// column moves the violated basic value the wrong way.
+			return Infeasible, nil
+		}
+
+		t.ftran(pc)
+		t.trackDegenerate(math.Abs(t.xb[pr]))
+		f := t.d[pc] / t.alpha[pc] // basis-change step for the d update below
+		if err := t.pivot(pr, pc); err != nil {
+			if errors.Is(err, errNumerical) && t.numRetries < 3 {
+				t.numRetries++
+				t.dFresh = false // B⁻¹ was rebuilt; re-price next round
+				continue
+			}
+			return Optimal, err
+		}
+		if t.sinceRefactor == 0 {
+			// pivot refactorised; incremental d would no longer match B⁻¹.
+			t.dFresh = false
+		} else {
+			for j := 0; j < t.rw; j++ {
+				t.d[j] -= f * t.alpha[j]
+			}
+			t.d[pc] = 0 // entering column: exactly zero by construction
+		}
+		t.numRetries = 0
+		t.iters++
+	}
+}
+
+// dualFeasible reports whether the current (fresh) reduced costs admit no
+// entering column, i.e. the basis is already optimal for the caller.
+func (t *rev) dualFeasible() bool {
+	for j := 0; j < t.width; j++ {
+		if t.canEnter[j] && !t.inBasis[j] && t.d[j] > t.tol {
+			return false
+		}
+	}
+	return true
+}
+
+// artificialValue sums |value| over basic artificial columns.
+func (t *rev) artificialValue() float64 {
+	var s float64
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] >= t.n+t.m {
+			s += math.Abs(t.xb[i])
+		}
+	}
+	return s
+}
+
+// driveOutArtificials pivots basic artificials (at value zero after a
+// feasible phase 1) out of the basis wherever a usable pivot exists; rows
+// with none are redundant and keep their artificial basic, protected at
+// zero by mustZero from here on.
+func (t *rev) driveOutArtificials() error {
+	artBase := t.n + t.m
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < artBase {
+			continue
+		}
+		t.pivotRow(i)
+		for j := 0; j < artBase; j++ {
+			if t.inBasis[j] || t.mustZero[j] {
+				continue
+			}
+			if math.Abs(t.alpha[j]) > t.tol*100 {
+				t.ftran(j)
+				if err := t.pivot(i, j); err != nil && !errors.Is(err, errNumerical) {
+					return err
+				}
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// finish assembles the public Solution (and, at optimality, the Basis
+// snapshot) from the final state.
+func (t *rev) finish(p *Problem, status Status) (*Solution, *Basis) {
+	sol := &Solution{Status: status, Iterations: t.iters}
+	if status != Optimal && status != IterLimit && status != TimeLimit {
+		return sol, nil
+	}
+	x := make([]float64, p.nVars)
+	for i := 0; i < t.m; i++ {
+		if v := t.basis[i]; v < p.nVars {
+			val := t.xb[i]
+			// Snap roundoff residue to an exact zero, both the slightly
+			// infeasible negatives and the tiny positives a warm-started
+			// B⁻¹ leaves behind where a from-scratch solve lands on 0:
+			// downstream integrality checks treat any nonzero as "used".
+			if math.Abs(val) < t.tol*100 {
+				val = 0
+			}
+			x[v] = val
+		}
+	}
+	sol.X = x
+	for v, c := range p.obj {
+		sol.Objective += c * x[v]
+	}
+	if status != Optimal {
+		return sol, nil
+	}
+	// Hand the inverse over without copying: finish is terminal, the rev
+	// and its buffers are dead after this call, and a Basis is immutable.
+	bs := &Basis{
+		nVars:   t.n,
+		entries: make([]basisEntry, t.m),
+		binv:    t.binv,
+		age:     t.sinceRefactor,
+	}
+	t.binv = nil
+	for i := 0; i < t.m; i++ {
+		bs.entries[i] = entryForColumn(t.basis[i], t.n, t.m)
+	}
+	return sol, bs
+}
+
+// SolveBasis solves p from scratch with the revised simplex (two-phase,
+// like Solve) and additionally returns the optimal basis for use as a
+// warm start by SolveFrom. The Basis is nil unless the status is Optimal.
+func SolveBasis(p *Problem, opts Options) (*Solution, *Basis, error) {
+	t := newRev(p, opts)
+
+	cols := make([]int, t.m)
+	needPhase1 := false
+	for i := range cols {
+		if t.mustZero[t.n+i] || t.b[i] < 0 {
+			cols[i] = t.n + t.m + i // EQ row, or slack would start negative
+			needPhase1 = true
+		} else {
+			cols[i] = t.n + i
+		}
+	}
+	t.setBasis(cols)
+	if err := t.refactorize(); err != nil {
+		return nil, nil, err
+	}
+
+	if needPhase1 {
+		phase1 := make([]float64, t.width)
+		for j := t.n + t.m; j < t.width; j++ {
+			phase1[j] = -1
+		}
+		status, err := t.primal(phase1)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch status {
+		case IterLimit, TimeLimit:
+			return &Solution{Status: status, Iterations: t.iters}, nil, nil
+		case Unbounded:
+			// Phase 1 is bounded by construction; treat as numerical failure.
+			return &Solution{Status: Infeasible, Iterations: t.iters}, nil, nil
+		}
+		if t.artificialValue() > feasTol {
+			return &Solution{Status: Infeasible, Iterations: t.iters}, nil, nil
+		}
+		if err := t.driveOutArtificials(); err != nil {
+			return nil, nil, err
+		}
+	}
+	for j := t.n + t.m; j < t.width; j++ {
+		t.mustZero[j] = true // artificials must stay at zero in phase 2
+	}
+
+	phase2 := make([]float64, t.width)
+	copy(phase2, p.obj)
+	status, err := t.primal(phase2)
+	if err != nil {
+		return nil, nil, err
+	}
+	sol, bs := t.finish(p, status)
+	return sol, bs, nil
+}
+
+// SolveFrom solves p warm-started from a basis produced by a previous
+// SolveBasis/SolveFrom on a "prefix problem": p must have the same
+// variables, its first from.NumRows() rows must be identical to the rows
+// of the producing problem, and any further rows are treated as newly
+// appended (their logical columns complete the starting basis). A dual
+// simplex phase repairs the primal infeasibility the new rows introduce,
+// then primal simplex finishes to optimality.
+//
+// It returns an error when the basis does not fit p or has become
+// numerically singular; callers should fall back to a cold solve then.
+func SolveFrom(p *Problem, from *Basis, opts Options) (*Solution, *Basis, error) {
+	if from == nil {
+		return nil, nil, errors.New("lp: SolveFrom with nil basis")
+	}
+	m := len(p.rows)
+	if from.nVars != p.nVars {
+		return nil, nil, fmt.Errorf("lp: basis is over %d variables, problem has %d", from.nVars, p.nVars)
+	}
+	if len(from.entries) > m {
+		return nil, nil, fmt.Errorf("lp: basis has %d rows, problem only %d", len(from.entries), m)
+	}
+
+	t := newRev(p, opts)
+	for j := t.n + t.m; j < t.width; j++ {
+		t.mustZero[j] = true // artificials may persist basic at zero, never grow
+	}
+
+	cols := make([]int, m)
+	seen := make(map[int]bool, m)
+	for i, e := range from.entries {
+		if e.idx < 0 || (e.kind == basisStructural && e.idx >= t.n) || (e.kind != basisStructural && e.idx >= m) {
+			return nil, nil, fmt.Errorf("lp: basis entry %d out of range", i)
+		}
+		col := e.column(t.n, m)
+		if seen[col] {
+			return nil, nil, fmt.Errorf("lp: duplicate basic column %d", col)
+		}
+		seen[col] = true
+		cols[i] = col
+	}
+	for i := len(from.entries); i < m; i++ {
+		cols[i] = t.n + i // appended rows start with their logical basic
+	}
+	t.setBasis(cols)
+	if !t.inheritInverse(from) {
+		if err := t.refactorize(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	cost := make([]float64, t.width)
+	copy(cost, p.obj)
+
+	status, err := t.dual(cost)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The dual phase preserves dual feasibility, so when it ends primal
+	// feasible with up-to-date reduced costs the basis is already optimal
+	// and the primal clean-up (one full pricing pass) can be skipped.
+	if status == Optimal && !(t.dFresh && t.dualFeasible()) {
+		status, err = t.primal(cost)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	sol, bs := t.finish(p, status)
+	return sol, bs, nil
+}

@@ -1,0 +1,138 @@
+package mip
+
+// Determinism tests for parallel branch-and-bound: the solver must return
+// bit-identical incumbents at any Workers setting. These tests are meant
+// to run under the race detector (scripts/verify.sh runs
+// `go test -race ./internal/mip`), where goroutine schedules are
+// perturbed enough to expose order-dependent incumbent selection.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// detKnapsack builds the trial-th seeded knapsack instance.
+func detKnapsack(trial int) *Problem {
+	src := rng.NewReplicate(23, "det-workers", trial)
+	n := 13 + src.Intn(5) // 13..17 items: a few hundred nodes each
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	var total float64
+	for i := range values {
+		values[i] = src.Uniform(1, 100)
+		weights[i] = src.Uniform(1, 50)
+		total += weights[i]
+	}
+	return knapsackProblem(values, weights, total*src.Uniform(0.3, 0.6))
+}
+
+// sameSolution reports whether two results carry bit-identical objectives
+// and solution vectors.
+func sameSolution(a, b *Result) bool {
+	if a.Status != b.Status || len(a.X) != len(b.X) {
+		return false
+	}
+	if math.Float64bits(a.Objective) != math.Float64bits(b.Objective) {
+		return false
+	}
+	for i := range a.X {
+		if math.Float64bits(a.X[i]) != math.Float64bits(b.X[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeterministicAcrossWorkers: identical Status, Objective and X at
+// Workers = 1, 4 and 8 on a batch of seeded knapsacks, for both search
+// strategies.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		prob := detKnapsack(trial)
+		for _, strat := range []Strategy{BestBound, DepthFirst} {
+			var base *Result
+			for _, workers := range []int{1, 4, 8} {
+				res, err := Solve(prob, Options{Workers: workers, Strategy: strat})
+				if err != nil {
+					t.Fatalf("trial %d %v workers=%d: %v", trial, strat, workers, err)
+				}
+				if res.Status != Optimal {
+					t.Fatalf("trial %d %v workers=%d: status %v", trial, strat, workers, res.Status)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				if !sameSolution(base, res) {
+					t.Errorf("trial %d %v: workers=%d solution differs from workers=1:\nobj %.17g vs %.17g\nX    %v\nvs   %v",
+						trial, strat, workers, base.Objective, res.Objective, base.X, res.X)
+				}
+			}
+		}
+	}
+}
+
+// TestDeterministicWithRoundingHook: the depth-based heuristic trigger
+// must keep incumbent selection deterministic under parallelism too.
+func TestDeterministicWithRoundingHook(t *testing.T) {
+	prob := detKnapsack(100)
+	hook := func(x []float64) ([]float64, bool) {
+		fixed := make([]float64, len(x))
+		for i, v := range x {
+			if v > 0.99 { // conservative rounding keeps the capacity row feasible
+				fixed[i] = 1
+			}
+		}
+		return fixed, true
+	}
+	var base *Result
+	for _, workers := range []int{1, 4, 8} {
+		res, err := Solve(prob, Options{Workers: workers, Rounding: hook})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("workers=%d: status %v", workers, res.Status)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !sameSolution(base, res) {
+			t.Errorf("workers=%d solution differs:\nobj %.17g vs %.17g", workers, base.Objective, res.Objective)
+		}
+	}
+}
+
+// TestWarmStartAccounting: warm starts dominate once the tree has depth,
+// the counters add up to the node count, and disabling warm starts leaves
+// the answer unchanged.
+func TestWarmStartAccounting(t *testing.T) {
+	prob := detKnapsack(200)
+	warm, err := Solve(prob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != Optimal {
+		t.Fatalf("status %v", warm.Status)
+	}
+	if warm.WarmSolves+warm.ColdSolves != warm.Nodes {
+		t.Errorf("warm %d + cold %d != nodes %d", warm.WarmSolves, warm.ColdSolves, warm.Nodes)
+	}
+	if warm.Nodes > 3 && warm.WarmSolves == 0 {
+		t.Errorf("no warm-started solves across %d nodes", warm.Nodes)
+	}
+
+	cold, err := Solve(prob, Options{DisableWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmSolves != 0 {
+		t.Errorf("DisableWarmStart still warm-started %d solves", cold.WarmSolves)
+	}
+	if cold.Status != warm.Status || math.Abs(cold.Objective-warm.Objective) > 1e-6 {
+		t.Errorf("cold obj %g != warm obj %g", cold.Objective, warm.Objective)
+	}
+}

@@ -9,6 +9,19 @@
 // rows (x <= floor, x >= ceil) to node problems; for the DSCT-EA model all
 // integer variables are binaries already bounded by the assignment
 // constraints, so branching fixes them to 0 or 1.
+//
+// Node relaxations are warm-started: each node carries its parent's
+// optimal basis, and because a child differs from its parent only by one
+// appended bound row, that basis stays dual feasible and lp.SolveFrom
+// re-optimises it with a handful of dual simplex pivots instead of a full
+// two-phase solve. If the warm start fails (e.g. the parent basis turns
+// out singular under the child's data) the node falls back to a cold
+// Phase-1 solve. Set Options.DisableWarmStart to benchmark the cold path.
+//
+// Incumbent selection is deterministic at any Options.Workers setting:
+// candidates with equal objectives (within an internal tolerance) are
+// tie-broken by their position in the search tree, so the reported X does
+// not depend on worker scheduling.
 package mip
 
 import (
@@ -96,6 +109,12 @@ type Options struct {
 	LP       lp.Options   // per-node LP options (deadline is overridden)
 	Rounding RoundingHook // optional primal heuristic, see RoundingHook
 	OnNode   func(n int)  // optional progress callback (nodes processed)
+
+	// DisableWarmStart forces every node relaxation to be solved from
+	// scratch with the tableau solver instead of warm-starting the dual
+	// simplex from the parent's basis. Intended for benchmarking the
+	// warm-start speedup; leave false in normal use.
+	DisableWarmStart bool
 }
 
 // RoundingHook is an optional primal heuristic: given the fractional LP
@@ -113,6 +132,9 @@ type Result struct {
 	Bound     float64 // best proven upper bound on the optimum
 	Nodes     int     // LP relaxations solved
 	Elapsed   time.Duration
+
+	WarmSolves int // relaxations warm-started from a parent basis
+	ColdSolves int // relaxations solved from scratch
 }
 
 // fix is one branching decision: variable Var constrained to <= or >= Val.
@@ -123,9 +145,19 @@ type fix struct {
 }
 
 // node is a subproblem in the search tree. Its depth is len(fixes).
+//
+// path is the node's position in the tree as a bit string ("0" = down
+// branch, "1" = up branch, "" = root). It is a scheduling-independent
+// identity: unlike a dequeue counter it does not depend on which worker
+// popped the node first, so it can deterministically tie-break incumbents
+// with equal objectives. basis is the parent's optimal basis (nil at the
+// root and after cold fallbacks) used to warm-start this node's
+// relaxation.
 type node struct {
 	fixes []fix
 	bound float64 // parent relaxation objective (upper bound)
+	path  string
+	basis *lp.Basis
 }
 
 // nodeQueue is a heap of open nodes ordered by the search strategy.
@@ -142,7 +174,15 @@ func (q *nodeQueue) Less(i, j int) bool {
 			return len(a.fixes) > len(b.fixes)
 		}
 	}
-	return a.bound > b.bound
+	if a.bound > b.bound {
+		return true
+	}
+	if a.bound < b.bound {
+		return false
+	}
+	// Equal bounds: order by tree path so serial exploration order does
+	// not depend on heap insertion order.
+	return a.path < b.path
 }
 func (q *nodeQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
 func (q *nodeQueue) Push(x interface{}) { q.items = append(q.items, x.(*node)) }

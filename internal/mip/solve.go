@@ -51,8 +51,10 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		return nil, s.err
 	}
 	res := &Result{
-		Nodes:   s.nodes,
-		Elapsed: time.Since(start),
+		Nodes:      s.nodes,
+		Elapsed:    time.Since(start),
+		WarmSolves: s.warmSolves,
+		ColdSolves: s.coldSolves,
 	}
 	hasIncumbent := !math.IsInf(s.incumbent, -1)
 	if hasIncumbent {
@@ -80,15 +82,18 @@ type searcher struct {
 	prob *Problem
 	opts Options
 
-	mu         sync.Mutex
-	cond       *sync.Cond
-	queue      nodeQueue
-	inflight   map[*node]struct{}
-	incumbent  float64
-	incumbentX []float64
-	nodes      int
-	stopped    bool
-	err        error
+	mu            sync.Mutex
+	cond          *sync.Cond
+	queue         nodeQueue
+	inflight      map[*node]struct{}
+	incumbent     float64
+	incumbentX    []float64
+	incumbentPath string
+	nodes         int
+	warmSolves    int
+	coldSolves    int
+	stopped       bool
+	err           error
 }
 
 // openBound returns the best upper bound over open and in-flight nodes and
@@ -144,14 +149,13 @@ func (s *searcher) run() {
 			return
 		}
 		s.nodes++
-		nodeNum := s.nodes
 		s.inflight[nd] = struct{}{}
 		if s.opts.OnNode != nil {
 			s.opts.OnNode(s.nodes)
 		}
 		s.mu.Unlock()
 
-		children, fatal := s.process(nd, nodeNum)
+		children, fatal := s.process(nd)
 
 		s.mu.Lock()
 		delete(s.inflight, nd)
@@ -168,8 +172,8 @@ func (s *searcher) run() {
 }
 
 // process solves one node relaxation and returns child nodes.
-func (s *searcher) process(nd *node, nodeNum int) (children []*node, fatal error) {
-	sol, err := s.solveNodeLP(nd.fixes, nil)
+func (s *searcher) process(nd *node) (children []*node, fatal error) {
+	sol, basis, err := s.solveNodeLP(nd.fixes, nd.basis, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -198,18 +202,21 @@ func (s *searcher) process(nd *node, nodeNum int) (children []*node, fatal error
 	branchVar := s.mostFractional(sol.X)
 	if branchVar == -1 {
 		// Integral: candidate incumbent.
-		s.offerIncumbent(sol.Objective, sol.X)
+		s.offerIncumbent(sol.Objective, sol.X, nd.path)
 		return nil, nil
 	}
 
 	// Primal heuristic: at the root and periodically thereafter, round the
 	// fractional solution, fix all integers and re-solve for a quick
-	// incumbent.
-	if s.opts.Rounding != nil && (len(nd.fixes) == 0 || nodeNum%16 == 0) {
+	// incumbent. The trigger depends only on the node's depth — never on a
+	// dequeue counter — so the set of heuristic solves (and hence every
+	// incumbent candidate) is identical at any worker count.
+	d := len(nd.fixes)
+	if s.opts.Rounding != nil && (d == 0 || d%4 == 0) {
 		if fixed, ok := s.opts.Rounding(sol.X); ok && len(fixed) == len(s.prob.Integers) {
-			if hsol, err := s.solveNodeLP(nd.fixes, fixed); err == nil && hsol.Status == lp.Optimal {
+			if hsol, _, err := s.solveNodeLP(nd.fixes, basis, fixed); err == nil && hsol.Status == lp.Optimal {
 				if s.mostFractional(hsol.X) == -1 {
-					s.offerIncumbent(hsol.Objective, hsol.X)
+					s.offerIncumbent(hsol.Objective, hsol.X, nd.path+"h")
 				}
 			}
 		}
@@ -219,10 +226,14 @@ func (s *searcher) process(nd *node, nodeNum int) (children []*node, fatal error
 	down := &node{
 		fixes: append(append([]fix(nil), nd.fixes...), fix{Var: branchVar, Sense: lp.LE, Val: math.Floor(val)}),
 		bound: sol.Objective,
+		path:  nd.path + "0",
+		basis: basis,
 	}
 	up := &node{
 		fixes: append(append([]fix(nil), nd.fixes...), fix{Var: branchVar, Sense: lp.GE, Val: math.Ceil(val)}),
 		bound: sol.Objective,
+		path:  nd.path + "1",
+		basis: basis,
 	}
 	return []*node{down, up}, nil
 }
@@ -230,7 +241,13 @@ func (s *searcher) process(nd *node, nodeNum int) (children []*node, fatal error
 // solveNodeLP clones the base LP, applies branching fixes (and, when
 // heuristicFix is non-nil, equality fixes for every integer variable) and
 // solves it.
-func (s *searcher) solveNodeLP(fixes []fix, heuristicFix []float64) (*lp.Solution, error) {
+//
+// When warm starts are enabled and a parent basis is available, the node
+// is re-optimised with the dual simplex via lp.SolveFrom; a failed warm
+// start (invalid or singular basis) falls back to a cold Phase-1 solve.
+// The returned basis warm-starts this node's children (nil when only the
+// tableau solver ran or the relaxation was not solved to optimality).
+func (s *searcher) solveNodeLP(fixes []fix, from *lp.Basis, heuristicFix []float64) (*lp.Solution, *lp.Basis, error) {
 	p := s.prob.LP.Clone()
 	for _, f := range fixes {
 		p.AddConstraint([]lp.Term{{Var: f.Var, Coef: 1}}, f.Sense, f.Val)
@@ -242,7 +259,51 @@ func (s *searcher) solveNodeLP(fixes []fix, heuristicFix []float64) (*lp.Solutio
 	}
 	lpOpts := s.opts.LP
 	lpOpts.Deadline = s.opts.Deadline
-	return lp.Solve(p, lpOpts)
+
+	if s.opts.DisableWarmStart {
+		sol, err := lp.Solve(p, lpOpts)
+		s.countSolve(false)
+		return sol, nil, err
+	}
+	if heuristicFix != nil {
+		// With every integer pinned by an equality row the relaxation is
+		// close to a pure feasibility check; the parent basis is a poor
+		// starting point for that many simultaneous new rows (the dual
+		// repair walks farther than a fresh solve), so go straight to the
+		// tableau solver. Children never inherit from heuristic solves.
+		sol, err := lp.Solve(p, lpOpts)
+		s.countSolve(false)
+		return sol, nil, err
+	}
+	if from != nil {
+		if sol, basis, err := lp.SolveFrom(p, from, lpOpts); err == nil {
+			s.countSolve(true)
+			return sol, basis, nil
+		}
+		// Warm start failed; fall through to a cold solve.
+	}
+	sol, basis, err := lp.SolveBasis(p, lpOpts)
+	if err != nil {
+		// Last-resort fallback: the independent tableau implementation.
+		sol, err = lp.Solve(p, lpOpts)
+		basis = nil
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	s.countSolve(false)
+	return sol, basis, nil
+}
+
+// countSolve tallies warm vs cold relaxation solves for Result reporting.
+func (s *searcher) countSolve(warm bool) {
+	s.mu.Lock()
+	if warm {
+		s.warmSolves++
+	} else {
+		s.coldSolves++
+	}
+	s.mu.Unlock()
 }
 
 // mostFractional returns the integer variable whose value is farthest from
@@ -261,12 +322,31 @@ func (s *searcher) mostFractional(x []float64) int {
 	return varIdx
 }
 
-// offerIncumbent installs (obj, x) as the incumbent if it improves.
-func (s *searcher) offerIncumbent(obj float64, x []float64) {
+// incumbentTieTol bounds the objective difference under which two
+// incumbent candidates are considered tied and the tree-path tie-break
+// applies. It is far below the default pruning Gap, so tie-breaking never
+// degrades the reported objective beyond the solver's own tolerance.
+const incumbentTieTol = 1e-9
+
+// offerIncumbent installs (obj, x) as the incumbent if it improves, or if
+// it ties the current incumbent (within incumbentTieTol) and comes from a
+// lexicographically earlier tree path. The path tie-break makes the
+// winning solution a function of the search tree alone, not of which
+// worker reported first, so Solve returns identical X at any Workers
+// setting (up to exact-objective ties between distinct optima, which the
+// path ordering then resolves deterministically as well).
+func (s *searcher) offerIncumbent(obj float64, x []float64, path string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	better := obj > s.incumbent+incumbentTieTol
+	tied := !better && obj > s.incumbent-incumbentTieTol &&
+		s.incumbentX != nil && path < s.incumbentPath
+	if !better && !tied {
+		return
+	}
 	if obj > s.incumbent {
 		s.incumbent = obj
-		s.incumbentX = append([]float64(nil), x...)
 	}
+	s.incumbentX = append([]float64(nil), x...)
+	s.incumbentPath = path
 }

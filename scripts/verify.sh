@@ -4,9 +4,22 @@
 # Runs, in order: build, go vet, the project's own static analyzers
 # (cmd/dsctalint) and the race-enabled test suite. Idempotent: safe to run
 # repeatedly from any working directory. Exits non-zero on the first failure.
+#
+# With -bench, additionally runs the cold-vs-warm simplex benchmarks
+# (BenchmarkMIPColdVsWarm at the repo root and BenchmarkWarmVsColdLP in
+# internal/lp) and records the parsed results, including per-pair speedups,
+# in BENCH_PR2.json via cmd/benchjson.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+run_bench=0
+for arg in "$@"; do
+  case "$arg" in
+    -bench) run_bench=1 ;;
+    *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> go build ./..."
 go build ./...
@@ -19,5 +32,13 @@ go run ./cmd/dsctalint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+if [ "$run_bench" = 1 ]; then
+  echo "==> cold-vs-warm benchmarks -> BENCH_PR2.json"
+  {
+    go test -run='^$' -bench='^BenchmarkMIPColdVsWarm$' -benchtime=3x -count=4 .
+    go test -run='^$' -bench='^BenchmarkWarmVsColdLP$' -benchtime=50x -count=4 ./internal/lp/
+  } | tee /dev/stderr | go run ./cmd/benchjson -label "warm-started revised simplex, PR 2" -o BENCH_PR2.json
+fi
 
 echo "verify: all checks passed"
