@@ -1,15 +1,26 @@
-// Command benchjson converts `go test -bench` output into a JSON record.
+// Command benchjson converts `go test -bench` output into a JSON record
+// and diffs two such records for regressions.
 //
 // Usage:
 //
 //	go test -bench=... ./... | benchjson [-o file.json] [-label text]
+//	benchjson -diff old.json new.json [-threshold 2.0]
 //
 // Every benchmark result line is captured with its iteration count, ns/op
 // and any custom metrics reported via b.ReportMetric. Benchmarks whose
 // sub-test path contains a "cold" and a matching "warm" segment (e.g.
 // BenchmarkMIPColdVsWarm/cold/n=16 and .../warm/n=16) are additionally
-// paired, and the cold/warm speedup is recorded, which is how
-// scripts/verify.sh -bench produces BENCH_PR2.json.
+// paired with the cold/warm speedup recorded, and likewise "dense" vs
+// "sparse" segments (BenchmarkSparseVsDenseLP/dense/... vs .../sparse/...)
+// with the dense/sparse speedup — which is how scripts/verify.sh -bench
+// produces the committed BENCH_*.json records.
+//
+// In -diff mode the two JSON records are matched by benchmark name and the
+// new/old ns-per-op ratio is printed per benchmark; any common benchmark
+// slower than the threshold factor makes the exit status non-zero, which
+// is how scripts/verify.sh -bench gates new results against the committed
+// baseline. Benchmarks present in only one record are listed but never
+// fail the diff.
 package main
 
 import (
@@ -40,14 +51,23 @@ type coldWarmPair struct {
 	Speedup  float64 `json:"speedup"`
 }
 
+// denseSparsePair joins a dense-matrix benchmark with its sparse twin.
+type denseSparsePair struct {
+	Name       string  `json:"name"`
+	DenseNsOp  float64 `json:"dense_ns_per_op"`
+	SparseNsOp float64 `json:"sparse_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
 // report is the top-level JSON document.
 type report struct {
-	Label      string         `json:"label,omitempty"`
-	Goos       string         `json:"goos,omitempty"`
-	Goarch     string         `json:"goarch,omitempty"`
-	CPU        string         `json:"cpu,omitempty"`
-	Benchmarks []benchResult  `json:"benchmarks"`
-	Pairs      []coldWarmPair `json:"cold_vs_warm,omitempty"`
+	Label      string            `json:"label,omitempty"`
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks []benchResult     `json:"benchmarks"`
+	Pairs      []coldWarmPair    `json:"cold_vs_warm,omitempty"`
+	DensePairs []denseSparsePair `json:"dense_vs_sparse,omitempty"`
 }
 
 func main() {
@@ -62,8 +82,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	outPath := fs.String("o", "", "write JSON to this file instead of stdout")
 	label := fs.String("label", "", "free-form label recorded in the document")
+	diffMode := fs.Bool("diff", false, "diff two JSON records (args: old.json new.json) instead of parsing stdin")
+	threshold := fs.Float64("threshold", 2.0, "with -diff, fail when any common benchmark is slower than this factor")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *diffMode {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-diff needs exactly two arguments: old.json new.json")
+		}
+		return diff(fs.Arg(0), fs.Arg(1), *threshold, stdout)
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q (input is read from stdin)", fs.Arg(0))
@@ -79,6 +107,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	rep.Benchmarks = mergeRepeats(rep.Benchmarks)
 	rep.Pairs = pairColdWarm(rep.Benchmarks)
+	rep.DensePairs = pairDenseSparse(rep.Benchmarks)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -181,33 +210,126 @@ func mergeRepeats(results []benchResult) []benchResult {
 	return merged
 }
 
-// pairColdWarm matches benchmarks that differ only by a "cold" vs "warm"
-// path segment and computes the cold/warm speedup for each pair.
-func pairColdWarm(results []benchResult) []coldWarmPair {
+// segmentPair is one (slow, fast) benchmark pairing found by pairSegments.
+type segmentPair struct {
+	name       string
+	slow, fast float64
+}
+
+// pairSegments matches benchmarks that differ only by a slowSeg vs fastSeg
+// path segment (e.g. "cold"/"warm" or "dense"/"sparse") and computes the
+// slow/fast timing for each pair, sorted by name.
+func pairSegments(results []benchResult, slowSeg, fastSeg string) []segmentPair {
 	byName := make(map[string]benchResult, len(results))
 	for _, r := range results {
 		byName[r.Name] = r
 	}
-	var pairs []coldWarmPair
+	var pairs []segmentPair
 	for _, r := range results {
-		key, ok := replaceSegment(r.Name, "cold", "warm")
+		key, ok := replaceSegment(r.Name, slowSeg, fastSeg)
 		if !ok {
 			continue
 		}
-		warm, ok := byName[key]
-		if !ok || warm.NsPerOp <= 0 {
+		fast, ok := byName[key]
+		if !ok || fast.NsPerOp <= 0 {
 			continue
 		}
-		generic, _ := replaceSegment(r.Name, "cold", "*")
+		generic, _ := replaceSegment(r.Name, slowSeg, "*")
+		pairs = append(pairs, segmentPair{name: generic, slow: r.NsPerOp, fast: fast.NsPerOp})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].name < pairs[j].name })
+	return pairs
+}
+
+// pairColdWarm records the cold/warm warm-start speedups.
+func pairColdWarm(results []benchResult) []coldWarmPair {
+	var pairs []coldWarmPair
+	for _, p := range pairSegments(results, "cold", "warm") {
 		pairs = append(pairs, coldWarmPair{
-			Name:     generic,
-			ColdNsOp: r.NsPerOp,
-			WarmNsOp: warm.NsPerOp,
-			Speedup:  r.NsPerOp / warm.NsPerOp,
+			Name: p.name, ColdNsOp: p.slow, WarmNsOp: p.fast, Speedup: p.slow / p.fast,
 		})
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
 	return pairs
+}
+
+// pairDenseSparse records the dense/sparse matrix-representation speedups.
+func pairDenseSparse(results []benchResult) []denseSparsePair {
+	var pairs []denseSparsePair
+	for _, p := range pairSegments(results, "dense", "sparse") {
+		pairs = append(pairs, denseSparsePair{
+			Name: p.name, DenseNsOp: p.slow, SparseNsOp: p.fast, Speedup: p.slow / p.fast,
+		})
+	}
+	return pairs
+}
+
+// diff loads two reports and compares every benchmark they share by name.
+// Ratios above threshold (new slower than old by more than that factor)
+// are regressions; one or more makes the returned error non-nil.
+// Benchmarks present in only one record are listed but never fail the
+// diff, so adding or retiring benchmarks between baselines stays cheap.
+func diff(oldPath, newPath string, threshold float64, stdout io.Writer) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]benchResult, len(oldRep.Benchmarks))
+	for _, r := range oldRep.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	newBy := make(map[string]benchResult, len(newRep.Benchmarks))
+	var regressions int
+	for _, r := range newRep.Benchmarks {
+		newBy[r.Name] = r
+		old, ok := oldBy[r.Name]
+		if !ok {
+			if _, err := fmt.Fprintf(stdout, "added  %-60s %12.0f ns/op\n", r.Name, r.NsPerOp); err != nil {
+				return err
+			}
+			continue
+		}
+		if old.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / old.NsPerOp
+		verdict := "ok    "
+		if ratio > threshold {
+			verdict = "SLOWER"
+			regressions++
+		}
+		if _, err := fmt.Fprintf(stdout, "%s %-60s %12.0f -> %12.0f ns/op  (x%.2f)\n",
+			verdict, r.Name, old.NsPerOp, r.NsPerOp, ratio); err != nil {
+			return err
+		}
+	}
+	for _, r := range oldRep.Benchmarks {
+		if _, ok := newBy[r.Name]; !ok {
+			if _, err := fmt.Fprintf(stdout, "gone   %-60s\n", r.Name); err != nil {
+				return err
+			}
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond x%.2f", regressions, threshold)
+	}
+	return nil
+}
+
+// loadReport reads one JSON document produced by benchjson.
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return rep, nil
 }
 
 // replaceSegment replaces the first "/"-delimited path segment equal to old

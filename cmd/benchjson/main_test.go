@@ -100,6 +100,83 @@ func TestBenchjsonMergesRepeatedRuns(t *testing.T) {
 	}
 }
 
+func TestBenchjsonPairsDenseSparse(t *testing.T) {
+	input := "BenchmarkSparseVsDenseLP/dense/tasks=100,mach=5-8 5 100000 ns/op 167.0 pivots\n" +
+		"BenchmarkSparseVsDenseLP/sparse/tasks=100,mach=5-8 12 40000 ns/op 167.0 pivots\n" +
+		"BenchmarkSparseVsDenseLP/dense/tasks=200,mach=10-8 1 900000 ns/op\n" +
+		"BenchmarkMIPDenseVsSparse/dense/n=16-8 2 700 ns/op\n" +
+		"BenchmarkMIPDenseVsSparse/sparse/n=16-8 6 200 ns/op\n"
+	rep, err := runTool(t, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pairs) != 0 {
+		t.Errorf("unexpected cold/warm pairs: %+v", rep.Pairs)
+	}
+	if len(rep.DensePairs) != 2 {
+		t.Fatalf("got %d dense/sparse pairs, want 2 (unpaired dense dropped):\n%+v",
+			len(rep.DensePairs), rep.DensePairs)
+	}
+	lp := rep.DensePairs[1]
+	if lp.Name != "BenchmarkSparseVsDenseLP/*/tasks=100,mach=5" {
+		t.Errorf("pair name = %q", lp.Name)
+	}
+	if math.Abs(lp.Speedup-2.5) > 1e-12 {
+		t.Errorf("speedup = %v, want 2.5", lp.Speedup)
+	}
+	mipPair := rep.DensePairs[0]
+	if mipPair.Name != "BenchmarkMIPDenseVsSparse/*/n=16" || math.Abs(mipPair.Speedup-3.5) > 1e-12 {
+		t.Errorf("mip pair = %+v", mipPair)
+	}
+}
+
+// writeReport runs the tool on raw bench output and writes the JSON to a
+// temp file, returning its path — the setup for the -diff tests.
+func writeReport(t *testing.T, input string) string {
+	t.Helper()
+	path := t.TempDir() + "/bench.json"
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-o", path}, strings.NewReader(input), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchjsonDiff(t *testing.T) {
+	oldPath := writeReport(t, "BenchmarkA-8 10 100 ns/op\nBenchmarkB-8 10 100 ns/op\nBenchmarkGone-8 1 5 ns/op\n")
+	newPath := writeReport(t, "BenchmarkA-8 10 150 ns/op\nBenchmarkB-8 10 100 ns/op\nBenchmarkNew-8 1 7 ns/op\n")
+
+	// Within threshold: 1.5x slowdown passes at the default 2.0.
+	var stdout bytes.Buffer
+	if err := run([]string{"-diff", oldPath, newPath}, strings.NewReader(""), &stdout, &stdout); err != nil {
+		t.Fatalf("diff within threshold failed: %v\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"BenchmarkA", "x1.50", "added  BenchmarkNew", "gone   BenchmarkGone"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Tight threshold: the same 1.5x slowdown is now a regression.
+	stdout.Reset()
+	err := run([]string{"-diff", "-threshold", "1.2", oldPath, newPath}, strings.NewReader(""), &stdout, &stdout)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("diff beyond threshold: err = %v", err)
+	}
+	if !strings.Contains(stdout.String(), "SLOWER BenchmarkA") {
+		t.Errorf("diff output missing SLOWER verdict:\n%s", stdout.String())
+	}
+
+	// Argument validation.
+	if err := run([]string{"-diff", oldPath}, strings.NewReader(""), &stdout, &stdout); err == nil {
+		t.Error("diff with one argument accepted")
+	}
+	if err := run([]string{"-diff", oldPath, "/no/such/file.json"}, strings.NewReader(""), &stdout, &stdout); err == nil {
+		t.Error("diff with missing file accepted")
+	}
+}
+
 func TestBenchjsonSkipsMalformedLines(t *testing.T) {
 	input := "BenchmarkBroken-8 not-a-number 12 ns/op\n" +
 		"BenchmarkOK-8 10 42.5 ns/op\n"

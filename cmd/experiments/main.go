@@ -8,6 +8,11 @@
 //
 // Every experiment is deterministic given -seed; -scale shrinks the
 // paper's instance sizes and replicate counts for quick runs.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiment runs (the flag surface `go test` uses), so solver hot spots
+// can be inspected at paper scale: experiments -run fig4a -cpuprofile
+// cpu.out, then `go tool pprof cpu.out`.
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -45,9 +52,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timeout = fs.Duration("timeout", 60*time.Second, "per-solver time limit (fig4, table1)")
 		format  = fs.String("format", "md", "output format: md | csv")
 		outDir  = fs.String("out", "", "write each table to <out>/<id>.<format> instead of stdout")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile taken after the runs to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("starting cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				_, _ = fmt.Fprintf(stderr, "experiments: creating mem profile: %v\n", err) // best-effort diagnostics on the way out
+				return
+			}
+			defer func() { _ = f.Close() }() // profile write error is reported below; close error is secondary
+			runtime.GC()                     // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				_, _ = fmt.Fprintf(stderr, "experiments: writing mem profile: %v\n", err) // best-effort diagnostics on the way out
+			}
+		}()
 	}
 
 	if *list {

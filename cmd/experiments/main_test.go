@@ -92,6 +92,29 @@ func TestExperimentsOutDir(t *testing.T) {
 	}
 }
 
+func TestExperimentsProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	args := append([]string{"-run", "fig3", "-cpuprofile", cpu, "-memprofile", mem}, quick...)
+	if _, _, err := runCLI(t, args...); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	// A bogus profile path must fail up front, not after the runs.
+	if _, _, err := runCLI(t, append([]string{"-run", "fig3", "-cpuprofile", dir + "/no/such/dir/cpu.out"}, quick...)...); err == nil {
+		t.Error("unwritable -cpuprofile accepted")
+	}
+}
+
 func TestExperimentsDeterministicAcrossRuns(t *testing.T) {
 	args := append([]string{"-run", "fig3", "-format", "csv", "-seed", "3"}, quick...)
 	a, _, err := runCLI(t, args...)

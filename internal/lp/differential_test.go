@@ -4,9 +4,11 @@ package lp
 // random LPs the cold tableau solver (Solve), the cold revised solver
 // (SolveBasis) and the warm-started revised solver (SolveFrom) must agree
 // on status and objective — including after bound rows are appended, the
-// exact shape of branch-and-bound child problems. A disagreement here is
-// how a warm-start bug would surface as a silently wrong MIP optimum, so
-// this suite is the safety net under internal/mip's node rewiring.
+// exact shape of branch-and-bound child problems. The dense and CSC-backed
+// sparse revised cores must additionally agree on the full solution vector
+// on every instance. A disagreement here is how a warm-start or sparse-
+// indexing bug would surface as a silently wrong MIP optimum, so this suite
+// is the safety net under internal/mip's node rewiring.
 
 import (
 	"math"
@@ -43,6 +45,22 @@ func assertAgree(t *testing.T, label string, a, b *Solution) {
 	if a.Status == Optimal && !diffObjEqual(a.Objective, b.Objective) {
 		t.Fatalf("%s: objective %.17g != %.17g (diff %g)",
 			label, a.Objective, b.Objective, a.Objective-b.Objective)
+	}
+}
+
+// assertAgreeX is assertAgree plus full solution-vector agreement, the
+// criterion for the dense-vs-sparse pinning (the two representations pivot
+// through identical matrices, so they must land on the same vertex).
+func assertAgreeX(t *testing.T, label string, a, b *Solution) {
+	t.Helper()
+	assertAgree(t, label, a, b)
+	if a.Status != Optimal {
+		return
+	}
+	for v := range a.X {
+		if !numeric.AlmostEqual(a.X[v], b.X[v]) {
+			t.Fatalf("%s: x[%d] %.17g != %.17g", label, v, a.X[v], b.X[v])
+		}
 	}
 }
 
@@ -139,6 +157,104 @@ func TestDifferentialWarmVsColdAfterBoundRows(t *testing.T) {
 				}
 				assertAgree(t, br.name+"/chain", cold2, warm2)
 			}
+		})
+	}
+}
+
+// TestDifferentialSparseVsDense: the CSC-backed revised core must reproduce
+// the dense revised core across the whole corpus — status, objective AND the
+// full solution vector — both cold and warm-started after a bound row, the
+// exact code path branch-and-bound nodes take with the sparse matrix on.
+func TestDifferentialSparseVsDense(t *testing.T) {
+	for i := 0; i < corpusSize; i++ {
+		i := i
+		t.Run(strconv.Itoa(i), func(t *testing.T) {
+			t.Parallel()
+			g := corpusInstance(i)
+			dense, dbs, err := SolveBasis(g.p, Options{Sparse: SparseOff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse, sbs, err := SolveBasis(g.p, Options{Sparse: SparseOn})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertAgreeX(t, "cold", dense, sparse)
+			if dense.Status != Optimal {
+				return
+			}
+
+			// Warm-started bound-row child under both representations.
+			s := rng.NewReplicate(3, "lp-differential-sparse", i)
+			v := s.Intn(g.p.NumVars())
+			child := g.p.Clone()
+			child.AddConstraint([]Term{{Var: v, Coef: 1}}, LE, math.Floor(dense.X[v]))
+			wd, _, err := SolveFrom(child, dbs, Options{Sparse: SparseOff})
+			if err != nil {
+				t.Fatalf("warm dense: %v", err)
+			}
+			ws, _, err := SolveFrom(child, sbs, Options{Sparse: SparseOn})
+			if err != nil {
+				t.Fatalf("warm sparse: %v", err)
+			}
+			assertAgreeX(t, "warm", wd, ws)
+		})
+	}
+}
+
+// TestDifferentialStaircase: a smaller corpus of DSCT-EA-FR-shaped staircase
+// instances big enough to cross the density auto-switch, so the sparse code
+// paths (including periodic refactorisation) are exercised at realistic
+// scale by the race-enabled gate. Tableau, dense revised and auto (=sparse
+// here) revised must agree, cold and after a warm-started bound row.
+func TestDifferentialStaircase(t *testing.T) {
+	const staircaseCorpusSize = 24
+	for i := 0; i < staircaseCorpusSize; i++ {
+		i := i
+		t.Run(strconv.Itoa(i), func(t *testing.T) {
+			t.Parallel()
+			s := rng.NewReplicate(4, "lp-differential-staircase", i)
+			nTasks := 20 + s.Intn(41) // 20..60 tasks
+			mMach := 2 + s.Intn(3)    // 2..4 machines
+			g := generateStaircaseLP(s, nTasks, mMach)
+
+			m := g.p.NumConstraints()
+			n := g.p.NumVars()
+			if !autoSparse(m, n, dedupRows(g.p).nnz()) {
+				t.Fatalf("staircase %dx%d not auto-sparse; corpus misconfigured", nTasks, mMach)
+			}
+
+			cold, err := Solve(g.p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dense, dbs, err := SolveBasis(g.p, Options{Sparse: SparseOff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			auto, autoBS, err := SolveBasis(g.p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertAgree(t, "tableau-vs-dense", cold, dense)
+			assertAgreeX(t, "dense-vs-auto", dense, auto)
+			if cold.Status != Optimal {
+				t.Fatalf("staircase instance not optimal (%v); generator broken", cold.Status)
+			}
+
+			// Warm-started bound-row child, dense basis vs sparse basis.
+			v := s.Intn(n)
+			child := g.p.Clone()
+			child.AddConstraint([]Term{{Var: v, Coef: 1}}, LE, math.Floor(auto.X[v]))
+			wd, _, err := SolveFrom(child, dbs, Options{Sparse: SparseOff})
+			if err != nil {
+				t.Fatalf("warm dense: %v", err)
+			}
+			ws, _, err := SolveFrom(child, autoBS, Options{})
+			if err != nil {
+				t.Fatalf("warm auto: %v", err)
+			}
+			assertAgreeX(t, "warm", wd, ws)
 		})
 	}
 }

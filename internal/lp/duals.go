@@ -67,10 +67,10 @@ func SolveWithDuals(p *Problem, opts Options) (*DualSolution, error) {
 	// assigned one slack (LE, +1) or surplus (GE, −1) column per row in
 	// row order, after RHS normalisation (which flips senses for negative
 	// RHS and scales rows); undo both effects here.
-	ds.Duals = make([]float64, len(p.rows))
+	ds.Duals = make([]float64, p.NumConstraints())
 	ds.ReducedCosts = make([]float64, p.nVars)
 	logical := t.n
-	for i := range p.rows {
+	for i := 0; i < p.NumConstraints(); i++ {
 		scale := t.rowScale[i]
 		flipped := t.rowFlipped[i]
 		var y float64
@@ -103,7 +103,7 @@ func SolveWithDuals(p *Problem, opts Options) (*DualSolution, error) {
 	// its reduced cost is 0 − y_i (artificials have zero cost in phase 2).
 	art := t.artBase
 	logical = t.n
-	for i := range p.rows {
+	for i := 0; i < p.NumConstraints(); i++ {
 		switch t.rowSense[i] {
 		case LE, GE:
 			logical++
@@ -133,7 +133,7 @@ func SolveWithDuals(p *Problem, opts Options) (*DualSolution, error) {
 // and b·y == c·x within tol. It returns nil when the certificate proves
 // optimality.
 func Certify(p *Problem, x, y []float64, tol float64) error {
-	if len(x) != p.nVars || len(y) != len(p.rows) {
+	if len(x) != p.nVars || len(y) != p.NumConstraints() {
 		return fmt.Errorf("lp: certificate dimensions mismatch")
 	}
 	// Primal feasibility.
@@ -142,7 +142,8 @@ func Certify(p *Problem, x, y []float64, tol float64) error {
 			return fmt.Errorf("lp: x[%d] = %g negative", v, xv)
 		}
 	}
-	for i, r := range p.rows {
+	for i := 0; i < p.NumConstraints(); i++ {
+		r := p.rowAt(i)
 		var lhs float64
 		for _, tm := range r.terms {
 			lhs += tm.Coef * x[tm.Var]
@@ -163,7 +164,8 @@ func Certify(p *Problem, x, y []float64, tol float64) error {
 		}
 	}
 	// Dual sign feasibility.
-	for i, r := range p.rows {
+	for i := 0; i < p.NumConstraints(); i++ {
+		r := p.rowAt(i)
 		switch r.sense {
 		case LE:
 			if y[i] < -tol {
@@ -178,7 +180,8 @@ func Certify(p *Problem, x, y []float64, tol float64) error {
 	// Reduced costs: c_v − yᵀA_v <= 0 for all v (maximisation).
 	colSum := make([]float64, p.nVars)
 	colScale := make([]float64, p.nVars)
-	for i, r := range p.rows {
+	for i := 0; i < p.NumConstraints(); i++ {
+		r := p.rowAt(i)
 		for _, tm := range r.terms {
 			colSum[tm.Var] += y[i] * tm.Coef
 			colScale[tm.Var] += math.Abs(y[i] * tm.Coef)
@@ -195,8 +198,8 @@ func Certify(p *Problem, x, y []float64, tol float64) error {
 	for v, c := range p.obj {
 		primal += c * x[v]
 	}
-	for i, r := range p.rows {
-		dual += y[i] * r.rhs
+	for i := 0; i < p.NumConstraints(); i++ {
+		dual += y[i] * p.rowAt(i).rhs
 	}
 	if math.Abs(primal-dual) > tol*math.Max(1, math.Abs(primal)) {
 		return fmt.Errorf("lp: duality gap %g (primal %g, dual %g)", primal-dual, primal, dual)

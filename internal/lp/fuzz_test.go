@@ -58,6 +58,21 @@ func FuzzSimplex(f *testing.F) {
 		if sol.Objective < want-tol {
 			t.Errorf("objective %g below feasible point's value %g", sol.Objective, want)
 		}
+
+		// The revised core with the sparse matrix forced on must reproduce
+		// the tableau result — this keeps the fuzzer exercising the CSC/CSR
+		// hot loops, not just the dense paths.
+		sparse, _, err := SolveBasis(g.p, Options{Sparse: SparseOn})
+		if err != nil {
+			t.Fatalf("SolveBasis(SparseOn): %v", err)
+		}
+		if sparse.Status != Optimal {
+			t.Fatalf("sparse status = %v, want Optimal", sparse.Status)
+		}
+		if d := sparse.Objective - sol.Objective; abs(d) > 1e-6*(1+abs(sol.Objective)) {
+			t.Errorf("sparse objective %g != tableau objective %g (diff %g)",
+				sparse.Objective, sol.Objective, d)
+		}
 	})
 }
 

@@ -78,3 +78,65 @@ func (g *genLP) feasibleValue() float64 {
 	}
 	return want
 }
+
+// generateStaircaseLP builds a DSCT-EA-FR-shaped instance: nTasks·mMach
+// processing-time variables t_jr with positive accuracy-slope objectives,
+// per-machine EDF deadline staircases Σ_{i<=j} t_ir <= d_j, per-task work
+// caps Σ_r s_r·t_jr <= fmax_j, and one global energy row — the structure
+// whose ~1/m nonzero density motivates the sparse representation. The
+// origin is feasible (every RHS is positive) and the staircases bound
+// every variable, so a correct solver must report Optimal with a
+// non-negative objective.
+func generateStaircaseLP(s *rng.Source, nTasks, mMach int) *genLP {
+	nv := nTasks * mMach
+	g := &genLP{xstar: make([]float64, nv), obj: make([]float64, nv)}
+	g.p = NewProblem(nv)
+
+	speed := make([]float64, mMach)
+	power := make([]float64, mMach)
+	for r := range speed {
+		speed[r] = s.Uniform(0.5, 2)
+		power[r] = s.Uniform(0.2, 1)
+	}
+	deadline := make([]float64, nTasks)
+	d := 0.0
+	for j := range deadline {
+		d += s.Uniform(0.1, 1)
+		deadline[j] = d
+	}
+
+	// Objective: accuracy slope per unit time on machine r.
+	for j := 0; j < nTasks; j++ {
+		for r := 0; r < mMach; r++ {
+			g.obj[j*mMach+r] = s.Uniform(0.1, 1) * speed[r]
+			g.p.SetObjCoef(j*mMach+r, g.obj[j*mMach+r])
+		}
+	}
+	// Deadline staircases, one per (machine, task-prefix).
+	for r := 0; r < mMach; r++ {
+		for j := 0; j < nTasks; j++ {
+			terms := make([]Term, 0, j+1)
+			for i := 0; i <= j; i++ {
+				terms = append(terms, Term{Var: i*mMach + r, Coef: 1})
+			}
+			g.p.AddConstraint(terms, LE, deadline[j])
+		}
+	}
+	// Per-task work caps.
+	for j := 0; j < nTasks; j++ {
+		terms := make([]Term, mMach)
+		for r := 0; r < mMach; r++ {
+			terms[r] = Term{Var: j*mMach + r, Coef: speed[r]}
+		}
+		g.p.AddConstraint(terms, LE, s.Uniform(0.5, 3))
+	}
+	// Global energy budget.
+	eterms := make([]Term, nv)
+	for j := 0; j < nTasks; j++ {
+		for r := 0; r < mMach; r++ {
+			eterms[j*mMach+r] = Term{Var: j*mMach + r, Coef: power[r]}
+		}
+	}
+	g.p.AddConstraint(eterms, LE, 0.3*deadline[nTasks-1]*float64(mMach))
+	return g
+}

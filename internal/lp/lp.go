@@ -61,10 +61,23 @@ type row struct {
 // Problem is a linear program under construction. Create it with
 // NewProblem, then set the objective and add constraints. Variables are
 // indexed 0..NumVars-1 and implicitly bounded below by zero.
+//
+// A Problem built by Overlay shares its objective and leading constraint
+// rows with the problem it was derived from; see Overlay for the aliasing
+// rules.
 type Problem struct {
 	nVars int
 	obj   []float64
-	rows  []row
+	// objShared marks obj as aliasing another problem's objective slice
+	// (set by Overlay); SetObjCoef copies before the first write so the
+	// base problem is never mutated through an overlay.
+	objShared bool
+	// base is an immutable row prefix shared with the problem this one
+	// was derived from by Overlay (nil for ordinary problems). rows holds
+	// the rows owned by this problem; the effective constraint list is
+	// base followed by rows.
+	base []row
+	rows []row
 }
 
 // NewProblem returns an empty maximization problem over nVars non-negative
@@ -80,11 +93,24 @@ func NewProblem(nVars int) *Problem {
 func (p *Problem) NumVars() int { return p.nVars }
 
 // NumConstraints returns the number of constraint rows.
-func (p *Problem) NumConstraints() int { return len(p.rows) }
+func (p *Problem) NumConstraints() int { return len(p.base) + len(p.rows) }
+
+// rowAt returns constraint row i (shared base prefix first, then owned
+// rows). The returned row must be treated as read-only.
+func (p *Problem) rowAt(i int) row {
+	if i < len(p.base) {
+		return p.base[i]
+	}
+	return p.rows[i-len(p.base)]
+}
 
 // SetObjCoef sets the objective coefficient of variable v.
 func (p *Problem) SetObjCoef(v int, c float64) {
 	p.checkVar(v)
+	if p.objShared {
+		p.obj = append([]float64(nil), p.obj...)
+		p.objShared = false
+	}
 	p.obj[v] = c
 }
 
@@ -101,7 +127,7 @@ func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) int {
 		p.checkVar(t.Var)
 	}
 	p.rows = append(p.rows, row{terms: append([]Term(nil), terms...), sense: sense, rhs: rhs})
-	return len(p.rows) - 1
+	return p.NumConstraints() - 1
 }
 
 func (p *Problem) checkVar(v int) {
@@ -110,18 +136,44 @@ func (p *Problem) checkVar(v int) {
 	}
 }
 
-// Clone returns an independent copy of the problem (used by branch-and-
-// bound to derive node problems).
+// Clone returns an independent deep copy of the problem: the result shares
+// no storage with p (overlay sharing is flattened away).
 func (p *Problem) Clone() *Problem {
+	nr := p.NumConstraints()
 	c := &Problem{
 		nVars: p.nVars,
 		obj:   append([]float64(nil), p.obj...),
-		rows:  make([]row, len(p.rows)),
+		rows:  make([]row, nr),
 	}
-	for i, r := range p.rows {
+	for i := 0; i < nr; i++ {
+		r := p.rowAt(i)
 		c.rows[i] = row{terms: append([]Term(nil), r.terms...), sense: r.sense, rhs: r.rhs}
 	}
 	return c
+}
+
+// Overlay returns a lightweight extension of p: a problem that sees p's
+// objective and constraint rows and accepts further AddConstraint calls
+// without copying p. Creating an overlay is O(1) (O(rows) only when p is
+// itself an overlay), and appending k rows costs O(k) — compare Clone,
+// which deep-copies every coefficient. Branch-and-bound uses this to
+// derive node problems from the immutable root LP in O(depth).
+//
+// The overlay aliases p's data: p must not be modified while any overlay
+// derived from it is alive. Overlays themselves are freely mutable —
+// appended rows are owned, and SetObjCoef copies the objective before the
+// first write. Concurrent overlays of the same base are safe as long as
+// the base stays untouched.
+func (p *Problem) Overlay() *Problem {
+	base := p.rows
+	if p.base != nil {
+		// p is itself an overlay; flatten the two-level prefix into one
+		// shared slice of row headers (terms stay shared).
+		base = make([]row, 0, p.NumConstraints())
+		base = append(base, p.base...)
+		base = append(base, p.rows...)
+	}
+	return &Problem{nVars: p.nVars, obj: p.obj, objShared: true, base: base}
 }
 
 // Status reports how a solve terminated.
@@ -159,15 +211,50 @@ func (s Status) String() string {
 	}
 }
 
+// SparseMode selects the constraint-matrix representation used by the
+// revised simplex core (SolveBasis / SolveFrom). The tableau core (Solve)
+// is unaffected: it rewrites its matrix on every pivot, which a shared
+// sparse index cannot survive.
+type SparseMode int
+
+// Sparse modes.
+const (
+	// SparseAuto picks the representation from the problem: sparse when
+	// the structural block is large and sparse enough for indexed passes
+	// to win (see sparseAutoRows / sparseAutoMaxDensity), dense otherwise.
+	SparseAuto SparseMode = iota
+	// SparseOn forces the CSC/CSR representation.
+	SparseOn
+	// SparseOff forces the dense row-major matrix.
+	SparseOff
+)
+
+// String names the mode.
+func (s SparseMode) String() string {
+	switch s {
+	case SparseAuto:
+		return "auto"
+	case SparseOn:
+		return "sparse"
+	case SparseOff:
+		return "dense"
+	default:
+		return fmt.Sprintf("sparsemode(%d)", int(s))
+	}
+}
+
 // Options tunes a solve. The zero value uses defaults.
 type Options struct {
 	// MaxIters caps simplex pivots across both phases
-	// (default 50·(rows+cols)).
+	// (default 100·(rows+cols)+1000, shared by all cores).
 	MaxIters int
 	// Deadline aborts the solve when passed (zero means none).
 	Deadline time.Time
 	// Tol is the pivot/feasibility tolerance (default 1e-9).
 	Tol float64
+	// Sparse selects the revised core's matrix representation
+	// (default SparseAuto).
+	Sparse SparseMode
 }
 
 // Solution is the result of a solve. X is populated for Optimal and, on a

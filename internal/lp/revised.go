@@ -53,10 +53,12 @@ type rev struct {
 	width int // n + 2m: structural + logical + artificial column index space
 	rw    int // n + m: stored row width of a (artificials are implicit)
 
-	// a stores the structural and logical columns only; the artificial of
-	// row i is ±e_i and is reconstructed by colAt, halving the memory the
-	// dense pricing and pivot-row passes must walk.
-	a        []float64 // m*rw immutable constraint matrix, row-major
+	// Exactly one of a and sp is set, per the resolved SparseMode. Both
+	// store the structural and logical columns only; the artificial of
+	// row i is ±e_i and is reconstructed on demand, halving the memory
+	// the dense pricing and pivot-row passes must walk.
+	a        []float64 // m*rw immutable constraint matrix, row-major (dense mode)
+	sp       *csMatrix // CSR+CSC structural block (sparse mode; logicals implicit)
 	artSign  []float64 // m; artificial column signs (±1)
 	b        []float64 // m oriented+scaled right-hand sides
 	canEnter []bool    // width; column may be chosen as entering
@@ -86,14 +88,17 @@ type rev struct {
 }
 
 // newRev builds the canonical-form matrix for p: >= rows negated to <=,
-// rows equilibrated, one logical and one artificial column per row.
+// rows equilibrated, one logical and one artificial column per row. The
+// rows are flattened once through the shared sparse builder (deduplicating
+// repeated Terms) and stored densely or as a CSR+CSC pair per the resolved
+// SparseMode; both representations hold identical values, so the two paths
+// pivot identically.
 func newRev(p *Problem, opts Options) *rev {
-	m := len(p.rows)
+	m := p.NumConstraints()
 	n := p.nVars
 	width := n + 2*m
 	t := &rev{
 		m: m, n: n, width: width, rw: n + m,
-		a:        make([]float64, m*(n+m)),
 		artSign:  make([]float64, m),
 		b:        make([]float64, m),
 		canEnter: make([]bool, width),
@@ -121,37 +126,51 @@ func newRev(p *Problem, opts Options) *rev {
 	for v := 0; v < n; v++ {
 		t.canEnter[v] = true
 	}
-	for i, r := range p.rows {
-		row := t.a[i*t.rw : (i+1)*t.rw]
-		for _, tm := range r.terms {
-			row[tm.Var] += tm.Coef
-		}
-		rhs := r.rhs
-		if r.sense == GE {
-			for v := 0; v < n; v++ {
-				row[v] = -row[v]
+
+	sr := dedupRows(p)
+	sparse := opts.Sparse == SparseOn ||
+		(opts.Sparse == SparseAuto && autoSparse(m, n, sr.nnz()))
+	if !sparse {
+		t.a = make([]float64, m*t.rw)
+	}
+	// Orient and equilibrate each row in place over its nonzeros only,
+	// then scatter into the selected representation.
+	vals := append([]float64(nil), sr.val...)
+	for i := 0; i < m; i++ {
+		cols := sr.idx[sr.ptr[i]:sr.ptr[i+1]]
+		seg := vals[sr.ptr[i]:sr.ptr[i+1]]
+		rhs := sr.rhs[i]
+		if sr.sense[i] == GE {
+			for k := range seg {
+				seg[k] = -seg[k]
 			}
 			rhs = -rhs
 		}
 		// Equilibrate against the largest structural coefficient, as in
-		// newTableau, so the two cores share one tolerance discipline.
+		// newTableau, so the cores share one tolerance discipline.
 		scale := 0.0
-		for v := 0; v < n; v++ {
-			if a := math.Abs(row[v]); a > scale {
+		for _, v := range seg {
+			if a := math.Abs(v); a > scale {
 				scale = a
 			}
 		}
 		if scale > 0 {
 			inv := 1 / scale
-			for v := 0; v < n; v++ {
-				row[v] *= inv
+			for k := range seg {
+				seg[k] *= inv
 			}
 			rhs *= inv
 		}
 		t.b[i] = rhs
 
-		row[n+i] = 1 // logical
-		if r.sense == EQ {
+		if !sparse {
+			row := t.a[i*t.rw : (i+1)*t.rw]
+			for k, v := range cols {
+				row[v] = seg[k]
+			}
+			row[n+i] = 1 // logical
+		}
+		if sr.sense[i] == EQ {
 			t.mustZero[n+i] = true
 		} else {
 			t.canEnter[n+i] = true
@@ -164,19 +183,33 @@ func newRev(p *Problem, opts Options) *rev {
 		}
 		// Artificials start basic where needed and never (re-)enter.
 	}
+	if sparse {
+		t.sp = newCSMatrix(m, n, sr.ptr, sr.idx, vals)
+	}
 	return t
 }
 
 // colAt returns the matrix entry of column col in row r, reconstructing
-// implicit artificial columns (±e_i) on demand.
+// implicit artificial columns (±e_i) — and, in sparse mode, implicit
+// logical columns (e_i) — on demand. Cold-path accessor: the hot passes
+// walk whole rows or columns of the selected representation instead.
 func (t *rev) colAt(r, col int) float64 {
-	if col < t.rw {
+	if col >= t.rw {
+		if col-t.rw == r {
+			return t.artSign[r]
+		}
+		return 0
+	}
+	if t.sp == nil {
 		return t.a[r*t.rw+col]
 	}
-	if col-t.rw == r {
-		return t.artSign[r]
+	if col >= t.n {
+		if col-t.n == r {
+			return 1
+		}
+		return 0
 	}
-	return 0
+	return t.sp.at(r, col)
 }
 
 // refactorize recomputes B⁻¹ from the basis columns by Gauss–Jordan
@@ -187,13 +220,47 @@ func (t *rev) refactorize() error {
 		t.sinceRefactor = 0
 		return nil
 	}
-	// Augmented [B | I], row-major, width 2m.
+	// Augmented [B | I], row-major, width 2m. In sparse mode the basis
+	// columns are scattered from the CSC index (O(nnz of the basis)
+	// instead of m² element probes).
 	aug := make([]float64, m*2*m)
-	for r := 0; r < m; r++ {
+	if t.sp != nil {
 		for i := 0; i < m; i++ {
-			aug[r*2*m+i] = t.colAt(r, t.basis[i])
+			col := t.basis[i]
+			switch {
+			case col >= t.rw:
+				aug[(col-t.rw)*2*m+i] = t.artSign[col-t.rw]
+			case col >= t.n:
+				aug[(col-t.n)*2*m+i] = 1
+			default:
+				for k := t.sp.colPtr[col]; k < t.sp.colPtr[col+1]; k++ {
+					aug[t.sp.rowIdx[k]*2*m+i] = t.sp.colVal[k]
+				}
+			}
 		}
-		aug[r*2*m+m+r] = 1
+		for r := 0; r < m; r++ {
+			aug[r*2*m+m+r] = 1
+		}
+	} else {
+		for r := 0; r < m; r++ {
+			for i := 0; i < m; i++ {
+				aug[r*2*m+i] = t.colAt(r, t.basis[i])
+			}
+			aug[r*2*m+m+r] = 1
+		}
+	}
+	// Right-block support intervals: row r of the identity block starts
+	// with its single nonzero at column r and only ever gains fill from
+	// pivot rows it absorbs, so [lo[r], hi[r]] bounds its nonzeros.
+	// Restricting the inner loops to that interval (and to left-block
+	// columns >= k, which are the only ones not yet eliminated) skips
+	// exact-zero products only — the surviving arithmetic is identical,
+	// so dense and sparse modes still agree bit-for-bit — while cutting
+	// the Gauss–Jordan constant by ~2x on slack-heavy bases.
+	lo := make([]int, m)
+	hi := make([]int, m)
+	for r := range lo {
+		lo[r], hi[r] = r, r
 	}
 	for k := 0; k < m; k++ {
 		// Partial pivoting.
@@ -210,14 +277,22 @@ func (t *rev) refactorize() error {
 		if pr != k {
 			rk := aug[k*2*m : (k+1)*2*m]
 			rp := aug[pr*2*m : (pr+1)*2*m]
-			for j := range rk {
+			for j := k; j < m; j++ {
 				rk[j], rp[j] = rp[j], rk[j]
 			}
+			for j := m + min(lo[k], lo[pr]); j <= m+max(hi[k], hi[pr]); j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			lo[k], lo[pr] = lo[pr], lo[k]
+			hi[k], hi[pr] = hi[pr], hi[k]
 		}
 		piv := aug[k*2*m+k]
 		inv := 1 / piv
 		rowK := aug[k*2*m : (k+1)*2*m]
-		for j := range rowK {
+		for j := k + 1; j < m; j++ {
+			rowK[j] *= inv
+		}
+		for j := m + lo[k]; j <= m+hi[k]; j++ {
 			rowK[j] *= inv
 		}
 		rowK[k] = 1
@@ -230,10 +305,19 @@ func (t *rev) refactorize() error {
 				continue
 			}
 			row := aug[r*2*m : (r+1)*2*m]
-			for j := range row {
+			for j := k + 1; j < m; j++ {
+				row[j] -= f * rowK[j]
+			}
+			for j := m + lo[k]; j <= m+hi[k]; j++ {
 				row[j] -= f * rowK[j]
 			}
 			row[k] = 0
+			if lo[k] < lo[r] {
+				lo[r] = lo[k]
+			}
+			if hi[k] > hi[r] {
+				hi[r] = hi[k]
+			}
 		}
 	}
 	// [B|I] has been reduced to [I|B⁻¹]; row swaps were applied to both
@@ -293,9 +377,43 @@ func (t *rev) inheritInverse(from *Basis) bool {
 }
 
 // inverseResidualOK spot-checks the inherited inverse: the basic values it
-// produces must satisfy B·xb = b to working accuracy. O(m²), i.e. free
-// relative to the O(m³) refactorisation it may save.
+// produces must satisfy B·xb = b to working accuracy. O(m²) dense — free
+// relative to the O(m³) refactorisation it may save — and O(nnz of the
+// basis) in sparse mode, accumulated column-by-column (same per-row
+// contribution order as the dense pass, so the two modes agree).
 func (t *rev) inverseResidualOK() bool {
+	if t.sp != nil {
+		sum := make([]float64, t.m)
+		scale := make([]float64, t.m)
+		for r := range scale {
+			scale[r] = 1
+		}
+		add := func(r int, v float64) {
+			sum[r] += v
+			if a := math.Abs(v); a > scale[r] {
+				scale[r] = a
+			}
+		}
+		for i := 0; i < t.m; i++ {
+			col := t.basis[i]
+			switch {
+			case col >= t.rw:
+				add(col-t.rw, t.artSign[col-t.rw]*t.xb[i])
+			case col >= t.n:
+				add(col-t.n, t.xb[i])
+			default:
+				for k := t.sp.colPtr[col]; k < t.sp.colPtr[col+1]; k++ {
+					add(t.sp.rowIdx[k], t.sp.colVal[k]*t.xb[i])
+				}
+			}
+		}
+		for r := 0; r < t.m; r++ {
+			if math.Abs(sum[r]-t.b[r]) > 1e-7*scale[r] {
+				return false
+			}
+		}
+		return true
+	}
 	for r := 0; r < t.m; r++ {
 		var sum float64
 		scale := 1.0
@@ -357,16 +475,32 @@ func (t *rev) prices(c []float64) {
 		}
 	}
 	// Artificial reduced costs (columns >= rw) are never read — artificials
-	// cannot enter — so only the structural+logical block is priced.
+	// cannot enter — so only the structural+logical block is priced. The
+	// sparse pass subtracts y_i over row i's nonzeros plus the implicit
+	// logical (coefficient 1 in row i): O(nnz + m) against the dense
+	// O(m·(n+m)), with identical per-column accumulation order.
 	copy(t.d[:t.rw], c[:t.rw])
-	for i := 0; i < m; i++ {
-		yi := t.y[i]
-		if yi == 0 {
-			continue
+	if t.sp != nil {
+		for i := 0; i < m; i++ {
+			yi := t.y[i]
+			if yi == 0 {
+				continue
+			}
+			for k := t.sp.rowPtr[i]; k < t.sp.rowPtr[i+1]; k++ {
+				t.d[t.sp.colIdx[k]] -= yi * t.sp.rowVal[k]
+			}
+			t.d[t.n+i] -= yi
 		}
-		row := t.a[i*t.rw : (i+1)*t.rw]
-		for j := 0; j < t.rw; j++ {
-			t.d[j] -= yi * row[j]
+	} else {
+		for i := 0; i < m; i++ {
+			yi := t.y[i]
+			if yi == 0 {
+				continue
+			}
+			row := t.a[i*t.rw : (i+1)*t.rw]
+			for j := 0; j < t.rw; j++ {
+				t.d[j] -= yi * row[j]
+			}
 		}
 	}
 	for i := 0; i < m; i++ {
@@ -374,9 +508,38 @@ func (t *rev) prices(c []float64) {
 	}
 }
 
-// ftran computes w = B⁻¹ A_col into t.w.
+// ftran computes w = B⁻¹ A_col into t.w. The sparse pass dots each B⁻¹
+// row against only the column's nonzeros — O(nnz_col·m) instead of O(m²)
+// — and implicit logical/artificial columns (±e_k) reduce to copying the
+// k-th column of B⁻¹.
 func (t *rev) ftran(col int) {
 	m := t.m
+	if t.sp != nil {
+		if col >= t.n { // logical e_k or artificial ±e_k: w = ±B⁻¹ e_k
+			k := col - t.n
+			sign := 1.0
+			if col >= t.rw {
+				k = col - t.rw
+				sign = t.artSign[k]
+			}
+			for i := 0; i < m; i++ {
+				t.w[i] = sign * t.binv[i*m+k]
+			}
+			return
+		}
+		lo, hi := t.sp.colPtr[col], t.sp.colPtr[col+1]
+		rows := t.sp.rowIdx[lo:hi]
+		vals := t.sp.colVal[lo:hi]
+		for i := 0; i < m; i++ {
+			var s float64
+			row := t.binv[i*m : (i+1)*m]
+			for z, k := range rows {
+				s += row[k] * vals[z]
+			}
+			t.w[i] = s
+		}
+		return
+	}
 	for i := 0; i < m; i++ {
 		t.colv[i] = t.colAt(i, col)
 	}
@@ -392,11 +555,28 @@ func (t *rev) ftran(col int) {
 
 // pivotRow computes alpha = (row pr of B⁻¹)·A into t.alpha. Artificial
 // entries (columns >= rw) are never read by the callers and stay zero.
+// The sparse pass accumulates each contributing constraint row over its
+// nonzeros plus its implicit logical column — O(Σ nnz of contributing
+// rows) against the dense O(m·(n+m)) — in the same k order as the dense
+// pass, so the two modes price identically.
 func (t *rev) pivotRow(pr int) {
 	for j := 0; j < t.rw; j++ {
 		t.alpha[j] = 0
 	}
 	row := t.binv[pr*t.m : (pr+1)*t.m]
+	if t.sp != nil {
+		for k := 0; k < t.m; k++ {
+			bk := row[k]
+			if bk == 0 {
+				continue
+			}
+			for z := t.sp.rowPtr[k]; z < t.sp.rowPtr[k+1]; z++ {
+				t.alpha[t.sp.colIdx[z]] += bk * t.sp.rowVal[z]
+			}
+			t.alpha[t.n+k] += bk
+		}
+		return
+	}
 	for k := 0; k < t.m; k++ {
 		bk := row[k]
 		if bk == 0 {
@@ -846,7 +1026,7 @@ func SolveFrom(p *Problem, from *Basis, opts Options) (*Solution, *Basis, error)
 	if from == nil {
 		return nil, nil, errors.New("lp: SolveFrom with nil basis")
 	}
-	m := len(p.rows)
+	m := p.NumConstraints()
 	if from.nVars != p.nVars {
 		return nil, nil, fmt.Errorf("lp: basis is over %d variables, problem has %d", from.nVars, p.nVars)
 	}

@@ -83,32 +83,29 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 }
 
 // newTableau builds the standard-form tableau with slacks and artificials,
-// after row equilibration.
+// after row equilibration. Rows are flattened once through the shared
+// sparse builder (deduplicating repeated Terms, see sparse.go) and
+// normalised over their nonzeros only, so construction is O(nnz) plus the
+// unavoidable dense tableau allocation.
 func newTableau(p *Problem, opts Options) *tableau {
-	m := len(p.rows)
+	m := p.NumConstraints()
 	n := p.nVars
 
-	// Count auxiliary columns. Rows are first normalised to rhs >= 0.
-	type normRow struct {
-		coefs []float64
-		sense Sense
-		rhs   float64
-	}
-	rows := make([]normRow, m)
+	// Normalise rows to rhs >= 0 and count auxiliary columns.
+	sr := dedupRows(p)
+	vals := append([]float64(nil), sr.val...)
 	rowScale := make([]float64, m)
 	rowFlipped := make([]bool, m)
 	rowSense := make([]Sense, m)
+	rowRHS := make([]float64, m)
 	nSlack, nArt := 0, 0
-	for i, r := range p.rows {
-		coefs := make([]float64, n)
-		for _, t := range r.terms {
-			coefs[t.Var] += t.Coef
-		}
-		sense, rhs := r.sense, r.rhs
+	for i := 0; i < m; i++ {
+		seg := vals[sr.ptr[i]:sr.ptr[i+1]]
+		sense, rhs := sr.sense[i], sr.rhs[i]
 		if rhs < 0 {
 			rowFlipped[i] = true
-			for v := range coefs {
-				coefs[v] = -coefs[v]
+			for k := range seg {
+				seg[k] = -seg[k]
 			}
 			rhs = -rhs
 			switch sense {
@@ -122,15 +119,15 @@ func newTableau(p *Problem, opts Options) *tableau {
 		// has magnitude 1 (keeps pivot tolerances meaningful across rows
 		// mixing GFLOP/s-scale and accuracy-slope-scale data).
 		scale := 0.0
-		for _, c := range coefs {
+		for _, c := range seg {
 			if a := math.Abs(c); a > scale {
 				scale = a
 			}
 		}
 		if scale > 0 {
 			inv := 1 / scale
-			for v := range coefs {
-				coefs[v] *= inv
+			for k := range seg {
+				seg[k] *= inv
 			}
 			rhs *= inv
 		} else {
@@ -138,7 +135,7 @@ func newTableau(p *Problem, opts Options) *tableau {
 		}
 		rowScale[i] = scale
 		rowSense[i] = sense
-		rows[i] = normRow{coefs: coefs, sense: sense, rhs: rhs}
+		rowRHS[i] = rhs
 		switch sense {
 		case LE:
 			nSlack++
@@ -175,11 +172,15 @@ func newTableau(p *Problem, opts Options) *tableau {
 
 	slack := n
 	art := t.artBase
-	for i, r := range rows {
+	for i := 0; i < m; i++ {
 		row := t.a[i*width : (i+1)*width]
-		copy(row, r.coefs)
-		t.b[i] = r.rhs
-		switch r.sense {
+		cols := sr.idx[sr.ptr[i]:sr.ptr[i+1]]
+		seg := vals[sr.ptr[i]:sr.ptr[i+1]]
+		for k, v := range cols {
+			row[v] = seg[k]
+		}
+		t.b[i] = rowRHS[i]
+		switch rowSense[i] {
 		case LE:
 			row[slack] = 1
 			t.basis[i] = slack

@@ -1,0 +1,174 @@
+package lp
+
+// Sparse constraint-matrix representation. The DSCT-EA formulations are
+// structurally sparse — a variable t_jr appears only in machine r's
+// deadline-staircase rows and a handful of per-task rows, so nonzero
+// density falls roughly as 1/m — while the revised core's dense matrix
+// walks every (row, column) pair on each pricing and pivot-row pass. This
+// file provides the shared ingredients both cores build from:
+//
+//   - dedupRows flattens a Problem into sorted, deduplicated index/value
+//     rows (repeated Terms accumulate, as AddConstraint documents), the
+//     single construction path for the tableau, the dense revised matrix
+//     and the sparse index pair;
+//   - csMatrix holds the oriented, equilibrated structural block in both
+//     CSR (row-major: pricing and pivot-row passes walk row nonzeros) and
+//     CSC (column-major: FTRAN and basis gathers walk column nonzeros).
+//
+// Logical columns (one per row, always coefficient +1 after orientation)
+// and artificial columns (±e_i) are implicit everywhere and reconstructed
+// on demand, so only structural nonzeros are stored.
+
+import "sort"
+
+// Auto-mode thresholds: the indexed passes win once the structural block
+// is big enough that dense scans dominate a solve, and sparse enough that
+// walking index lists beats streaming contiguous rows.
+const (
+	// sparseAutoRows is the minimum row count for SparseAuto to pick the
+	// sparse representation.
+	sparseAutoRows = 64
+	// sparseAutoMaxDensity is the maximum structural density
+	// nnz/(rows·cols) at which SparseAuto picks the sparse representation.
+	sparseAutoMaxDensity = 0.25
+)
+
+// autoSparse decides the SparseAuto representation for a problem with m
+// rows, n structural variables and nnz structural nonzeros.
+func autoSparse(m, n, nnz int) bool {
+	return m >= sparseAutoRows && float64(nnz) <= sparseAutoMaxDensity*float64(m)*float64(n)
+}
+
+// sparseRows is a Problem's constraint list in compressed row form, before
+// any orientation or scaling: row i's structural nonzeros are
+// (idx[k], val[k]) for k in [ptr[i], ptr[i+1]), with idx ascending within
+// each row and repeated Terms accumulated. Terms that cancel to exactly
+// zero are dropped.
+type sparseRows struct {
+	ptr   []int // m+1 offsets into idx/val
+	idx   []int
+	val   []float64
+	sense []Sense
+	rhs   []float64
+}
+
+// nnz returns the stored structural nonzero count.
+func (sr *sparseRows) nnz() int { return len(sr.idx) }
+
+// row returns the index and value slices of row i (read-only views).
+func (sr *sparseRows) row(i int) ([]int, []float64) {
+	return sr.idx[sr.ptr[i]:sr.ptr[i+1]], sr.val[sr.ptr[i]:sr.ptr[i+1]]
+}
+
+// dedupRows flattens p into sparseRows. O(total terms + nnz log nnz-per-row)
+// using a scatter buffer, so overlay problems (shared base rows plus a few
+// appended bound rows) flatten without touching the base's Term storage.
+func dedupRows(p *Problem) *sparseRows {
+	m, n := p.NumConstraints(), p.nVars
+	sr := &sparseRows{
+		ptr:   make([]int, m+1),
+		sense: make([]Sense, m),
+		rhs:   make([]float64, m),
+	}
+	total := 0
+	for i := 0; i < m; i++ {
+		total += len(p.rowAt(i).terms)
+	}
+	sr.idx = make([]int, 0, total)
+	sr.val = make([]float64, 0, total)
+
+	acc := make([]float64, n)
+	inRow := make([]bool, n)
+	touched := make([]int, 0, 32)
+	for i := 0; i < m; i++ {
+		r := p.rowAt(i)
+		for _, tm := range r.terms {
+			if !inRow[tm.Var] {
+				inRow[tm.Var] = true
+				touched = append(touched, tm.Var)
+			}
+			acc[tm.Var] += tm.Coef
+		}
+		sort.Ints(touched)
+		for _, v := range touched {
+			if c := acc[v]; c != 0 {
+				sr.idx = append(sr.idx, v)
+				sr.val = append(sr.val, c)
+			}
+			acc[v] = 0
+			inRow[v] = false
+		}
+		touched = touched[:0]
+		sr.sense[i] = r.sense
+		sr.rhs[i] = r.rhs
+		sr.ptr[i+1] = len(sr.idx)
+	}
+	return sr
+}
+
+// csMatrix is the revised core's oriented (>= rows negated to <=) and
+// row-equilibrated structural block, indexed both ways. The two views hold
+// identical values; passes pick whichever walks only the nonzeros they
+// need.
+type csMatrix struct {
+	m, n int
+	// CSR: row i's nonzeros are (colIdx[k], rowVal[k]) for
+	// k in [rowPtr[i], rowPtr[i+1]), colIdx ascending.
+	rowPtr []int
+	colIdx []int
+	rowVal []float64
+	// CSC: column j's nonzeros are (rowIdx[k], colVal[k]) for
+	// k in [colPtr[j], colPtr[j+1]), rowIdx ascending.
+	colPtr []int
+	rowIdx []int
+	colVal []float64
+}
+
+// newCSMatrix builds the index pair from already-oriented, already-scaled
+// rows: cols/vals views per row as produced by the caller. The CSC side is
+// a counting transpose of the CSR side, O(nnz + n + m).
+func newCSMatrix(m, n int, rowPtr []int, colIdx []int, rowVal []float64) *csMatrix {
+	sp := &csMatrix{
+		m: m, n: n,
+		rowPtr: rowPtr, colIdx: colIdx, rowVal: rowVal,
+		colPtr: make([]int, n+1),
+		rowIdx: make([]int, len(colIdx)),
+		colVal: make([]float64, len(colIdx)),
+	}
+	for _, j := range colIdx {
+		sp.colPtr[j+1]++
+	}
+	for j := 0; j < n; j++ {
+		sp.colPtr[j+1] += sp.colPtr[j]
+	}
+	next := append([]int(nil), sp.colPtr[:n]...)
+	for i := 0; i < m; i++ {
+		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+			j := colIdx[k]
+			sp.rowIdx[next[j]] = i
+			sp.colVal[next[j]] = rowVal[k]
+			next[j]++
+		}
+	}
+	return sp
+}
+
+// at returns entry (r, col) of the structural block by binary search in
+// column col (row indices are ascending). Used only by the cold paths
+// (inverse inheritance of appended rows); hot passes walk whole rows or
+// columns instead.
+func (sp *csMatrix) at(r, col int) float64 {
+	lo, hi := sp.colPtr[col], sp.colPtr[col+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sp.rowIdx[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < sp.colPtr[col+1] && sp.rowIdx[lo] == r {
+		return sp.colVal[lo]
+	}
+	return 0
+}

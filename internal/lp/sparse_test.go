@@ -1,0 +1,306 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// TestDedupRows: the shared flattener must accumulate repeated Terms, sort
+// columns within a row, and drop exact cancellations.
+func TestDedupRows(t *testing.T) {
+	p := NewProblem(4)
+	p.AddConstraint([]Term{{Var: 3, Coef: 2}, {Var: 1, Coef: 1}, {Var: 3, Coef: 0.5}}, LE, 7)
+	p.AddConstraint([]Term{{Var: 2, Coef: 1}, {Var: 2, Coef: -1}, {Var: 0, Coef: 4}}, GE, -1)
+	p.AddConstraint(nil, EQ, 0)
+
+	sr := dedupRows(p)
+	if got := sr.nnz(); got != 3 {
+		t.Fatalf("nnz = %d, want 3 (duplicates merged, cancellation dropped)", got)
+	}
+	cols, vals := sr.row(0)
+	//lint:ignore floatcmp dedup sums exact binary fractions (1, 2+0.5); bit-exactness is the contract
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 3 || vals[0] != 1 || vals[1] != 2.5 {
+		t.Errorf("row 0 = %v %v, want [1 3] [1 2.5]", cols, vals)
+	}
+	cols, vals = sr.row(1)
+	//lint:ignore floatcmp value copied verbatim from the input Term; identity is exact
+	if len(cols) != 1 || cols[0] != 0 || vals[0] != 4 {
+		t.Errorf("row 1 = %v %v, want [0] [4]", cols, vals)
+	}
+	if cols, _ := sr.row(2); len(cols) != 0 {
+		t.Errorf("row 2 nonzeros = %v, want empty", cols)
+	}
+	//lint:ignore floatcmp rhs copied verbatim from AddConstraint; identity is exact
+	if sr.sense[1] != GE || sr.rhs[1] != -1 {
+		t.Errorf("row 1 sense/rhs = %v/%g, want >=/-1", sr.sense[1], sr.rhs[1])
+	}
+}
+
+// TestCSMatrixViewsAgree: the CSR and CSC views must index identical
+// values, and the binary-search accessor must match both.
+func TestCSMatrixViewsAgree(t *testing.T) {
+	s := rng.New(11, "lp-csmatrix")
+	g := generateFeasibleLP(s, 6, 9)
+	sr := dedupRows(g.p)
+	sp := newCSMatrix(g.p.NumConstraints(), g.p.NumVars(), sr.ptr, sr.idx, sr.val)
+
+	dense := make([]float64, sp.m*sp.n)
+	for i := 0; i < sp.m; i++ {
+		cols, vals := sr.row(i)
+		for k, v := range cols {
+			dense[i*sp.n+v] = vals[k]
+		}
+	}
+	for j := 0; j < sp.n; j++ {
+		for k := sp.colPtr[j]; k < sp.colPtr[j+1]; k++ {
+			//lint:ignore floatcmp the transpose copies values bit-for-bit; identity is exact
+			if got, want := sp.colVal[k], dense[sp.rowIdx[k]*sp.n+j]; got != want {
+				t.Fatalf("CSC (%d,%d) = %g, dense %g", sp.rowIdx[k], j, got, want)
+			}
+		}
+	}
+	for i := 0; i < sp.m; i++ {
+		for j := 0; j < sp.n; j++ {
+			//lint:ignore floatcmp at() returns a stored value or exact zero; identity is exact
+			if got, want := sp.at(i, j), dense[i*sp.n+j]; got != want {
+				t.Fatalf("at(%d,%d) = %g, dense %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestAutoSparseSelection pins the SparseAuto decision rule and checks the
+// resolved representation inside newRev for all three modes.
+func TestAutoSparseSelection(t *testing.T) {
+	if autoSparse(sparseAutoRows-1, 1000, 10) {
+		t.Error("autoSparse accepted a problem below the row threshold")
+	}
+	if !autoSparse(sparseAutoRows, 1000, 10) {
+		t.Error("autoSparse rejected a large sparse problem")
+	}
+	if autoSparse(1000, 10, 10*1000/2) {
+		t.Error("autoSparse accepted a half-dense problem")
+	}
+
+	small := NewProblem(2)
+	small.AddConstraint([]Term{{Var: 0, Coef: 1}}, LE, 1)
+	if tr := newRev(small, Options{}); tr.sp != nil || tr.a == nil {
+		t.Error("auto mode picked sparse for a tiny problem")
+	}
+	if tr := newRev(small, Options{Sparse: SparseOn}); tr.sp == nil || tr.a != nil {
+		t.Error("SparseOn did not force the sparse representation")
+	}
+
+	// A big diagonal problem is far below the density threshold.
+	big := NewProblem(sparseAutoRows)
+	for v := 0; v < sparseAutoRows; v++ {
+		big.AddConstraint([]Term{{Var: v, Coef: 1}}, LE, 1)
+	}
+	if tr := newRev(big, Options{}); tr.sp == nil {
+		t.Error("auto mode picked dense for a large diagonal problem")
+	}
+	if tr := newRev(big, Options{Sparse: SparseOff}); tr.sp != nil {
+		t.Error("SparseOff did not force the dense representation")
+	}
+}
+
+// solveForced is a test helper running SolveBasis under a forced
+// representation.
+func solveForced(t *testing.T, p *Problem, mode SparseMode) (*Solution, *Basis) {
+	t.Helper()
+	sol, bs, err := SolveBasis(p, Options{Sparse: mode})
+	if err != nil {
+		t.Fatalf("SolveBasis(%v): %v", mode, err)
+	}
+	return sol, bs
+}
+
+// assertSameSolution checks status, objective and the full solution vector
+// within the repo-wide assertion tolerance.
+func assertSameSolution(t *testing.T, label string, a, b *Solution) {
+	t.Helper()
+	if a.Status != b.Status {
+		t.Fatalf("%s: status %v != %v", label, a.Status, b.Status)
+	}
+	if a.Status != Optimal {
+		return
+	}
+	if !numeric.AlmostEqual(a.Objective, b.Objective) {
+		t.Fatalf("%s: objective %.17g != %.17g", label, a.Objective, b.Objective)
+	}
+	for v := range a.X {
+		if !numeric.AlmostEqual(a.X[v], b.X[v]) {
+			t.Fatalf("%s: x[%d] %.17g != %.17g", label, v, a.X[v], b.X[v])
+		}
+	}
+}
+
+// TestSparseMatchesDenseBasics: forced sparse and forced dense must agree
+// on small problems covering every sense, negative RHS, infeasibility and
+// unboundedness.
+func TestSparseMatchesDenseBasics(t *testing.T) {
+	build := func() []*Problem {
+		textbook := NewProblem(2)
+		textbook.SetObjCoef(0, 3)
+		textbook.SetObjCoef(1, 5)
+		textbook.AddConstraint([]Term{{0, 1}}, LE, 4)
+		textbook.AddConstraint([]Term{{1, 2}}, LE, 12)
+		textbook.AddConstraint([]Term{{0, 3}, {1, 2}}, LE, 18)
+
+		mixed := NewProblem(3)
+		mixed.SetObjCoef(0, 2)
+		mixed.SetObjCoef(1, -1)
+		mixed.SetObjCoef(2, 3)
+		mixed.AddConstraint([]Term{{0, 1}, {1, 1}, {2, 1}}, LE, 10)
+		mixed.AddConstraint([]Term{{0, 1}, {2, -1}}, GE, 1)
+		mixed.AddConstraint([]Term{{1, 1}, {2, 2}}, EQ, 4)
+
+		negRHS := NewProblem(1)
+		negRHS.SetObjCoef(0, 1)
+		negRHS.AddConstraint([]Term{{0, -1}}, LE, -3)
+		negRHS.AddConstraint([]Term{{0, 1}}, LE, 7)
+
+		infeasible := NewProblem(1)
+		infeasible.SetObjCoef(0, 1)
+		infeasible.AddConstraint([]Term{{0, 1}}, GE, 5)
+		infeasible.AddConstraint([]Term{{0, 1}}, LE, 2)
+
+		unbounded := NewProblem(2)
+		unbounded.SetObjCoef(0, 1)
+		unbounded.AddConstraint([]Term{{1, 1}}, LE, 3)
+
+		return []*Problem{textbook, mixed, negRHS, infeasible, unbounded}
+	}
+	names := []string{"textbook", "mixed-senses", "negative-rhs", "infeasible", "unbounded"}
+	for i, p := range build() {
+		dense, _ := solveForced(t, p, SparseOff)
+		sparse, _ := solveForced(t, p, SparseOn)
+		assertSameSolution(t, names[i], dense, sparse)
+	}
+}
+
+// TestSparseWarmStart: the warm-start pipeline (basis export, O(m²)
+// inverse inheritance, dual repair) must work identically under the sparse
+// representation, including chained bound rows.
+func TestSparseWarmStart(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjCoef(0, 3)
+	p.SetObjCoef(1, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 4)
+	p.AddConstraint([]Term{{1, 2}}, LE, 12)
+	p.AddConstraint([]Term{{0, 3}, {1, 2}}, LE, 18)
+	_, bs := solveForced(t, p, SparseOn)
+
+	child := p.Clone()
+	child.AddConstraint([]Term{{1, 1}}, LE, 5)
+	warm, wbs, err := SolveFrom(child, bs, Options{Sparse: SparseOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != Optimal || math.Abs(warm.Objective-33) > 1e-7 {
+		t.Fatalf("warm = %v/%g, want optimal/33", warm.Status, warm.Objective)
+	}
+
+	deeper := child.Clone()
+	deeper.AddConstraint([]Term{{0, 1}}, GE, 3)
+	warm2, _, err := SolveFrom(deeper, wbs, Options{Sparse: SparseOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold2, _ := solveForced(t, deeper, SparseOff)
+	assertSameSolution(t, "chained", cold2, warm2)
+}
+
+// TestSparseLargeStaircase: a DSCT-shaped instance (deadline staircase per
+// machine plus a coupling energy row) big enough for SparseAuto to pick
+// the sparse path; the three cores must agree.
+func TestSparseLargeStaircase(t *testing.T) {
+	g := generateStaircaseLP(rng.New(5, "lp-staircase-test"), 40, 3)
+	tab, err := Solve(g.p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto := newRev(g.p, Options{})
+	if auto.sp == nil {
+		t.Fatalf("staircase instance (m=%d n=%d) not auto-detected as sparse", auto.m, auto.n)
+	}
+	dense, _ := solveForced(t, g.p, SparseOff)
+	sparse, _ := solveForced(t, g.p, SparseOn)
+	if tab.Status != Optimal {
+		t.Fatalf("tableau status %v", tab.Status)
+	}
+	assertSameSolution(t, "tableau-vs-sparse", tab, sparse)
+	assertSameSolution(t, "dense-vs-sparse", dense, sparse)
+	want := g.feasibleValue()
+	if sparse.Objective < want-1e-6*(1+math.Abs(want)) {
+		t.Errorf("sparse objective %g below feasible value %g", sparse.Objective, want)
+	}
+}
+
+// TestAddConstraintAccumulatesDuplicates: AddConstraint documents that
+// repeated variables accumulate. Assert the promise holds identically
+// under the tableau, the dense revised and the sparse revised cores by
+// comparing a duplicated-Term problem against its hand-merged twin.
+func TestAddConstraintAccumulatesDuplicates(t *testing.T) {
+	dup := NewProblem(3)
+	merged := NewProblem(3)
+	for v, c := range []float64{1, 2, 0.5} {
+		dup.SetObjCoef(v, c)
+		merged.SetObjCoef(v, c)
+	}
+	// 3x0 + 2x1 <= 12, written with x0 split into three pieces and a
+	// cancelling x2 pair.
+	dup.AddConstraint([]Term{
+		{Var: 0, Coef: 1}, {Var: 1, Coef: 2}, {Var: 0, Coef: 1.5},
+		{Var: 2, Coef: 4}, {Var: 0, Coef: 0.5}, {Var: 2, Coef: -4},
+	}, LE, 12)
+	merged.AddConstraint([]Term{{Var: 0, Coef: 3}, {Var: 1, Coef: 2}}, LE, 12)
+	// x1 + x2 >= 2 with duplicated x2.
+	dup.AddConstraint([]Term{{Var: 1, Coef: 0.25}, {Var: 2, Coef: 1}, {Var: 1, Coef: 0.75}}, GE, 2)
+	merged.AddConstraint([]Term{{Var: 1, Coef: 1}, {Var: 2, Coef: 1}}, GE, 2)
+	// Boxes to keep the maximisation bounded.
+	for v := 0; v < 3; v++ {
+		dup.AddConstraint([]Term{{Var: v, Coef: 0.5}, {Var: v, Coef: 0.5}}, LE, 5)
+		merged.AddConstraint([]Term{{Var: v, Coef: 1}}, LE, 5)
+	}
+
+	tabDup, err := Solve(dup, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabMerged, err := Solve(merged, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSolution(t, "tableau", tabMerged, tabDup)
+
+	for _, mode := range []SparseMode{SparseOff, SparseOn} {
+		gotDup, _ := solveForced(t, dup, mode)
+		gotMerged, _ := solveForced(t, merged, mode)
+		assertSameSolution(t, "revised/"+mode.String()+"/dup-vs-merged", gotMerged, gotDup)
+		assertSameSolution(t, "revised/"+mode.String()+"/vs-tableau", tabDup, gotDup)
+	}
+}
+
+// TestDefaultMaxIters pins the documented pivot-budget default,
+// 100·(rows+cols)+1000, for both cores (the Options doc used to claim a
+// different formula).
+func TestDefaultMaxIters(t *testing.T) {
+	p := NewProblem(7)
+	for i := 0; i < 5; i++ {
+		p.AddConstraint([]Term{{Var: i, Coef: 1}}, LE, 1)
+	}
+	want := 100*(5+7) + 1000
+	if got := newTableau(p, Options{}).iterLimit; got != want {
+		t.Errorf("tableau default MaxIters = %d, want %d", got, want)
+	}
+	if got := newRev(p, Options{}).iterLimit; got != want {
+		t.Errorf("revised default MaxIters = %d, want %d", got, want)
+	}
+	if got := newRev(p, Options{MaxIters: 17}).iterLimit; got != 17 {
+		t.Errorf("explicit MaxIters = %d, want 17", got)
+	}
+}

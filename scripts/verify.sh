@@ -5,18 +5,26 @@
 # (cmd/dsctalint) and the race-enabled test suite. Idempotent: safe to run
 # repeatedly from any working directory. Exits non-zero on the first failure.
 #
-# With -bench, additionally runs the cold-vs-warm simplex benchmarks
-# (BenchmarkMIPColdVsWarm at the repo root and BenchmarkWarmVsColdLP in
-# internal/lp) and records the parsed results, including per-pair speedups,
-# in BENCH_PR2.json via cmd/benchjson.
+# With -bench, additionally runs the simplex benchmark suite — cold-vs-warm
+# (BenchmarkMIPColdVsWarm, BenchmarkWarmVsColdLP) and dense-vs-sparse
+# (BenchmarkSparseVsDenseLP, BenchmarkSparseVsDenseWarmLP,
+# BenchmarkMIPDenseVsSparse) — records the parsed results, including
+# per-pair speedups, in BENCH_PR3.json via cmd/benchjson, and diffs them
+# against the committed BENCH_PR2.json baseline (shared benchmarks only;
+# threshold x2.5 to ride out machine noise).
+#
+# With -profile, runs a paper-scale experiment under cmd/experiments'
+# -cpuprofile/-memprofile flags and leaves the pprof files in profiles/.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_bench=0
+run_profile=0
 for arg in "$@"; do
   case "$arg" in
     -bench) run_bench=1 ;;
+    -profile) run_profile=1 ;;
     *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -34,11 +42,25 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 if [ "$run_bench" = 1 ]; then
-  echo "==> cold-vs-warm benchmarks -> BENCH_PR2.json"
+  echo "==> simplex benchmarks -> BENCH_PR3.json"
   {
     go test -run='^$' -bench='^BenchmarkMIPColdVsWarm$' -benchtime=3x -count=4 .
+    go test -run='^$' -bench='^BenchmarkMIPDenseVsSparse$' -benchtime=2x -count=3 .
     go test -run='^$' -bench='^BenchmarkWarmVsColdLP$' -benchtime=50x -count=4 ./internal/lp/
-  } | tee /dev/stderr | go run ./cmd/benchjson -label "warm-started revised simplex, PR 2" -o BENCH_PR2.json
+    go test -run='^$' -bench='^BenchmarkSparseVsDenseLP$' -benchtime=1x -count=3 ./internal/lp/
+    go test -run='^$' -bench='^BenchmarkSparseVsDenseWarmLP$' -benchtime=10x -count=3 ./internal/lp/
+  } | tee /dev/stderr | go run ./cmd/benchjson -label "sparse revised simplex, PR 3" -o BENCH_PR3.json
+
+  echo "==> benchjson -diff BENCH_PR2.json BENCH_PR3.json"
+  go run ./cmd/benchjson -diff -threshold 2.5 BENCH_PR2.json BENCH_PR3.json
+fi
+
+if [ "$run_profile" = 1 ]; then
+  echo "==> profiled experiment run -> profiles/"
+  mkdir -p profiles
+  go run ./cmd/experiments -run fig4a -scale 0.2 -reps 1 \
+    -cpuprofile profiles/cpu.out -memprofile profiles/mem.out >/dev/null
+  echo "profiles: inspect with 'go tool pprof profiles/cpu.out'"
 fi
 
 echo "verify: all checks passed"
