@@ -19,6 +19,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mip"
 	"repro/internal/model"
+	"repro/internal/numeric"
 	"repro/internal/rng"
 	"repro/internal/task"
 )
@@ -229,6 +230,52 @@ func BenchmarkMIPDenseVsSparse(b *testing.B) {
 				}
 				b.ReportMetric(float64(last.Nodes), "nodes")
 			})
+		}
+	}
+}
+
+// BenchmarkMIPBoundsVsRows: end-to-end warm-started branch-and-bound with
+// branching decisions applied as tightened variable bounds on the root LP
+// (bounds, the default: every node keeps the root's basis dimension)
+// versus appended explicit bound rows (rows, Options.BranchRows: the basis
+// grows with tree depth). The rows variant also expands the model's
+// variable boxes into rows so its root matches what the one-sided solver
+// used to receive. Both must reach the identical optimum; the node-rows
+// metric records the per-node LP row-count high-water mark that the
+// row-free encoding holds flat.
+func BenchmarkMIPBoundsVsRows(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		in := benchInstance(b, n, 2, 2)
+		mm := model.BuildMIP(in)
+		rowsProb := &mip.Problem{LP: lp.ExpandBounds(mm.Prob.LP), Integers: mm.Prob.Integers}
+		objs := make(map[string]float64)
+		for _, mode := range []struct {
+			name string
+			prob *mip.Problem
+			opts mip.Options
+		}{
+			{"bounds", mm.Prob, mip.Options{}},
+			{"rows", rowsProb, mip.Options{BranchRows: true}},
+		} {
+			b.Run(mode.name+"/n="+strconv.Itoa(n), func(b *testing.B) {
+				var last *mip.Result
+				for i := 0; i < b.N; i++ {
+					res, err := mip.Solve(mode.prob, mode.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Status != mip.Optimal {
+						b.Fatalf("status %v", res.Status)
+					}
+					last = res
+				}
+				objs[mode.name] = last.Objective
+				b.ReportMetric(float64(last.Nodes), "nodes")
+				b.ReportMetric(float64(last.MaxNodeRows), "node-rows")
+			})
+		}
+		if bo, ro := objs["bounds"], objs["rows"]; len(objs) == 2 && !numeric.AlmostEqual(bo, ro) {
+			b.Fatalf("n=%d: bounds objective %.17g != rows objective %.17g", n, bo, ro)
 		}
 	}
 }

@@ -10,9 +10,11 @@
 // and any custom metrics reported via b.ReportMetric. Benchmarks whose
 // sub-test path contains a "cold" and a matching "warm" segment (e.g.
 // BenchmarkMIPColdVsWarm/cold/n=16 and .../warm/n=16) are additionally
-// paired with the cold/warm speedup recorded, and likewise "dense" vs
+// paired with the cold/warm speedup recorded, likewise "dense" vs
 // "sparse" segments (BenchmarkSparseVsDenseLP/dense/... vs .../sparse/...)
-// with the dense/sparse speedup — which is how scripts/verify.sh -bench
+// with the dense/sparse speedup, and "rows" vs "bounds" segments
+// (BenchmarkMIPBoundsVsRows/rows/... vs .../bounds/...) with the row-
+// encoding/bound-encoding speedup — which is how scripts/verify.sh -bench
 // produces the committed BENCH_*.json records.
 //
 // In -diff mode the two JSON records are matched by benchmark name and the
@@ -59,6 +61,14 @@ type denseSparsePair struct {
 	Speedup    float64 `json:"speedup"`
 }
 
+// rowsBoundsPair joins a row-encoded benchmark with its bound-encoded twin.
+type rowsBoundsPair struct {
+	Name       string  `json:"name"`
+	RowsNsOp   float64 `json:"rows_ns_per_op"`
+	BoundsNsOp float64 `json:"bounds_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
 // report is the top-level JSON document.
 type report struct {
 	Label      string            `json:"label,omitempty"`
@@ -68,6 +78,7 @@ type report struct {
 	Benchmarks []benchResult     `json:"benchmarks"`
 	Pairs      []coldWarmPair    `json:"cold_vs_warm,omitempty"`
 	DensePairs []denseSparsePair `json:"dense_vs_sparse,omitempty"`
+	RowsPairs  []rowsBoundsPair  `json:"rows_vs_bounds,omitempty"`
 }
 
 func main() {
@@ -108,6 +119,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	rep.Benchmarks = mergeRepeats(rep.Benchmarks)
 	rep.Pairs = pairColdWarm(rep.Benchmarks)
 	rep.DensePairs = pairDenseSparse(rep.Benchmarks)
+	rep.RowsPairs = pairRowsBounds(rep.Benchmarks)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -258,6 +270,18 @@ func pairDenseSparse(results []benchResult) []denseSparsePair {
 	for _, p := range pairSegments(results, "dense", "sparse") {
 		pairs = append(pairs, denseSparsePair{
 			Name: p.name, DenseNsOp: p.slow, SparseNsOp: p.fast, Speedup: p.slow / p.fast,
+		})
+	}
+	return pairs
+}
+
+// pairRowsBounds records the explicit-rows/implicit-bounds encoding
+// speedups.
+func pairRowsBounds(results []benchResult) []rowsBoundsPair {
+	var pairs []rowsBoundsPair
+	for _, p := range pairSegments(results, "rows", "bounds") {
+		pairs = append(pairs, rowsBoundsPair{
+			Name: p.name, RowsNsOp: p.slow, BoundsNsOp: p.fast, Speedup: p.slow / p.fast,
 		})
 	}
 	return pairs

@@ -130,6 +130,33 @@ func TestBenchjsonPairsDenseSparse(t *testing.T) {
 	}
 }
 
+func TestBenchjsonPairsRowsBounds(t *testing.T) {
+	input := "BenchmarkMIPBoundsVsRows/bounds/n=16-8 2 200000 ns/op 177.0 node-rows 937.0 nodes\n" +
+		"BenchmarkMIPBoundsVsRows/rows/n=16-8 1 500000 ns/op 241.0 node-rows 997.0 nodes\n" +
+		"BenchmarkBoundsVsRowsLP/bounds/tasks=100,mach=5-8 3 45000 ns/op 601.0 basis-rows\n" +
+		"BenchmarkBoundsVsRowsLP/rows/tasks=100,mach=5-8 1 90000 ns/op 1101 basis-rows\n" +
+		"BenchmarkBoundsVsRowsLP/rows/tasks=50,mach=3-8 1 7000 ns/op\n"
+	rep, err := runTool(t, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pairs) != 0 || len(rep.DensePairs) != 0 {
+		t.Errorf("unexpected cold/warm or dense/sparse pairs: %+v / %+v", rep.Pairs, rep.DensePairs)
+	}
+	if len(rep.RowsPairs) != 2 {
+		t.Fatalf("got %d rows/bounds pairs, want 2 (unpaired rows dropped):\n%+v",
+			len(rep.RowsPairs), rep.RowsPairs)
+	}
+	lpPair := rep.RowsPairs[0]
+	if lpPair.Name != "BenchmarkBoundsVsRowsLP/*/tasks=100,mach=5" || math.Abs(lpPair.Speedup-2) > 1e-12 {
+		t.Errorf("lp pair = %+v", lpPair)
+	}
+	mipPair := rep.RowsPairs[1]
+	if mipPair.Name != "BenchmarkMIPBoundsVsRows/*/n=16" || math.Abs(mipPair.Speedup-2.5) > 1e-12 {
+		t.Errorf("mip pair = %+v", mipPair)
+	}
+}
+
 // writeReport runs the tool on raw bench output and writes the JSON to a
 // temp file, returning its path — the setup for the -diff tests.
 func writeReport(t *testing.T, input string) string {

@@ -43,3 +43,29 @@ func suppressed(a float64) bool {
 	//lint:ignore floatcmp operands are bit-identical copies by construction
 	return a == 0.25
 }
+
+// boxed mimics the lp.Problem bound slices: fixed-variable detection must
+// use ordered comparisons (hi <= lo), not equality on the endpoints.
+type boxed struct {
+	lo, hi []float64
+}
+
+func bounds(p *boxed, v int) bool {
+	if p.lo[v] == p.hi[v] { // want "floating-point == comparison"
+		return true
+	}
+	if p.hi[v] != p.lo[v] { // want "floating-point != comparison"
+		return false
+	}
+	return p.hi[v] <= p.lo[v] // ordered fixed-box test: sanctioned
+}
+
+func boundSentinels(p *boxed, v int) bool {
+	if p.lo[v] == 0 { // exact-zero sentinel on a bound field
+		return true
+	}
+	if p.hi[v] == math.Inf(1) { // default-box infinity sentinel
+		return false
+	}
+	return math.IsInf(p.hi[v], 1) // the preferred spelling
+}

@@ -24,11 +24,15 @@ type basisEntry struct {
 }
 
 // Basis is the basic column set of a solved linear program, one entry per
-// constraint row, as produced by SolveBasis and SolveFrom. It is an opaque
-// warm-start token: pass it to SolveFrom on a problem whose leading rows
-// are identical to the rows of the problem that produced it (typically the
-// same problem with extra bound rows appended, as in branch-and-bound).
-// A Basis is immutable once returned and safe to share across goroutines.
+// constraint row, as produced by SolveBasis and SolveFrom — plus, for the
+// bounded-variable method, the nonbasic-at-upper markers that complete the
+// solution's description (a nonbasic structural column rests at its lower
+// bound unless marked). It is an opaque warm-start token: pass it to
+// SolveFrom on a problem whose leading rows are identical to the rows of
+// the problem that produced it — typically the same problem with one
+// variable's bounds tightened (row-free branch-and-bound children) and/or
+// extra rows appended. A Basis is immutable once returned and safe to
+// share across goroutines.
 //
 // Besides the column set, a Basis snapshots the basis inverse B⁻¹ at
 // optimality. Because a child's basis matrix is block lower-triangular
@@ -45,6 +49,11 @@ type basisEntry struct {
 type Basis struct {
 	nVars   int
 	entries []basisEntry
+	// atUpper[v] marks nonbasic structural variable v as resting at its
+	// upper bound (false: lower bound; always false for basic columns).
+	// Only structural columns need the marker: logicals and artificials
+	// rest at zero whenever nonbasic.
+	atUpper []bool
 	binv    []float64 // NumRows()² snapshot of B⁻¹, row-major (nil: none)
 	age     int       // updates absorbed since the last true factorisation
 }

@@ -102,6 +102,47 @@ func BenchmarkSparseVsDenseLP(b *testing.B) {
 	}
 }
 
+// BenchmarkBoundsVsRowsLP: the identical boxed staircase instance with
+// per-variable caps declared as implicit bounds (the bounded-variable
+// method) versus expanded into explicit LE rows (the only encoding the
+// one-sided method had). The box encoding keeps the basis at the staircase
+// row count while the row encoding adds one row — and hence one basis
+// dimension, one logical column and one more O(m) FTRAN lane — per capped
+// variable; the basis-rows metric records that gap, pivots the path length.
+func BenchmarkBoundsVsRowsLP(b *testing.B) {
+	for _, sz := range []struct{ tasks, mach int }{{50, 3}, {100, 5}} {
+		s := rng.New(17, "lp-bounds-bench")
+		g := generateStaircaseLP(s, sz.tasks, sz.mach)
+		for v := 0; v < g.p.NumVars(); v++ {
+			g.p.SetBounds(v, 0, s.Uniform(0.3, 1))
+		}
+		rows := ExpandBounds(g.p)
+		for _, mode := range []struct {
+			name string
+			p    *Problem
+		}{
+			{"bounds", g.p},
+			{"rows", rows},
+		} {
+			b.Run(fmt.Sprintf("%s/tasks=%d,mach=%d", mode.name, sz.tasks, sz.mach), func(b *testing.B) {
+				var iters int
+				for i := 0; i < b.N; i++ {
+					sol, _, err := SolveBasis(mode.p, Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if sol.Status != Optimal {
+						b.Fatalf("status %v", sol.Status)
+					}
+					iters = sol.Iterations
+				}
+				b.ReportMetric(float64(mode.p.NumConstraints()), "basis-rows")
+				b.ReportMetric(float64(iters), "pivots")
+			})
+		}
+	}
+}
+
 // BenchmarkSparseVsDenseWarmLP: the branch-and-bound node shape — append
 // one binding bound row and re-optimise from the parent basis — under both
 // matrix representations, checking the sparse layout keeps (and extends)

@@ -1,0 +1,98 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// SetBounds restricts variable v to the box [lo, hi]. hi may be +Inf for
+// an unbounded-above variable; lo must be finite. lo == hi fixes the
+// variable. It panics on NaN endpoints, non-finite lo, or hi < lo.
+//
+// Bounds are handled natively by all simplex cores (nonbasic variables
+// rest at either bound; no rows are added), so a box constraint declared
+// here keeps the basis dimension equal to the true row count. The default
+// box for every variable is [0, +Inf).
+func (p *Problem) SetBounds(v int, lo, hi float64) {
+	p.checkVar(v)
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		panic(fmt.Sprintf("lp: SetBounds(%d): NaN bound [%v, %v]", v, lo, hi))
+	}
+	if math.IsInf(lo, 0) {
+		panic(fmt.Sprintf("lp: SetBounds(%d): lower bound must be finite, got %v", v, lo))
+	}
+	if hi < lo {
+		panic(fmt.Sprintf("lp: SetBounds(%d): empty box [%v, %v]", v, lo, hi))
+	}
+	p.materializeBounds()
+	p.lo[v] = lo
+	p.hi[v] = hi
+}
+
+// Bounds returns the box [lo, hi] of variable v ([0, +Inf) by default).
+func (p *Problem) Bounds(v int) (lo, hi float64) {
+	p.checkVar(v)
+	return p.boundsAt(v)
+}
+
+// boundsAt is Bounds without the range check, for solver hot paths.
+func (p *Problem) boundsAt(v int) (lo, hi float64) {
+	if p.lo == nil {
+		return 0, math.Inf(1)
+	}
+	return p.lo[v], p.hi[v]
+}
+
+// materializeBounds gives p owned, writable bound slices: it allocates the
+// default box when none exists and copies shared slices before the first
+// write (the objShared copy-on-write pattern).
+func (p *Problem) materializeBounds() {
+	switch {
+	case p.lo == nil:
+		p.lo = make([]float64, p.nVars)
+		p.hi = make([]float64, p.nVars)
+		inf := math.Inf(1)
+		for v := range p.hi {
+			p.hi[v] = inf
+		}
+		p.boundsShared = false
+	case p.boundsShared:
+		p.lo = append([]float64(nil), p.lo...)
+		p.hi = append([]float64(nil), p.hi...)
+		p.boundsShared = false
+	}
+}
+
+// ExpandBounds returns a deep copy of p with every non-default variable
+// bound rewritten as explicit constraint rows and the bounds reset to the
+// default [0, +Inf) box: lo == hi becomes one EQ row, otherwise lo > 0
+// becomes a GE row and finite hi an LE row. The result describes the same
+// feasible set, so it is the row-encoded mirror used by differential tests
+// and the rows-vs-bounds benchmarks.
+//
+// It panics when some lo < 0: the implicit x >= 0 of the row encoding
+// cannot express a negative lower bound.
+func ExpandBounds(p *Problem) *Problem {
+	c := p.Clone()
+	if c.lo == nil {
+		return c
+	}
+	lo, hi := c.lo, c.hi
+	c.lo, c.hi = nil, nil
+	for v := 0; v < c.nVars; v++ {
+		if lo[v] < 0 {
+			panic(fmt.Sprintf("lp: ExpandBounds: variable %d has negative lower bound %v, inexpressible as rows over x >= 0", v, lo[v]))
+		}
+		if hi[v] <= lo[v] {
+			c.AddConstraint([]Term{{Var: v, Coef: 1}}, EQ, lo[v])
+			continue
+		}
+		if lo[v] > 0 {
+			c.AddConstraint([]Term{{Var: v, Coef: 1}}, GE, lo[v])
+		}
+		if !math.IsInf(hi[v], 1) {
+			c.AddConstraint([]Term{{Var: v, Coef: 1}}, LE, hi[v])
+		}
+	}
+	return c
+}

@@ -202,6 +202,82 @@ func TestDifferentialSparseVsDense(t *testing.T) {
 	}
 }
 
+// TestDifferentialBoundsVsRows: on a corpus of randomly boxed LPs, the
+// bounded-variable method (all three cores: tableau, dense revised, sparse
+// revised) must agree with the same problem after ExpandBounds rewrote
+// every box as explicit constraint rows — status, objective AND the full
+// solution vector. It then tightens one variable's upper bound, the exact
+// move of a row-free branch-and-bound child, and checks the warm-started
+// bounded solves against a cold solve of the rows-expanded child. This is
+// the equivalence proof that implicit boxes change the arithmetic, not the
+// answer.
+func TestDifferentialBoundsVsRows(t *testing.T) {
+	for i := 0; i < corpusSize; i++ {
+		i := i
+		t.Run(strconv.Itoa(i), func(t *testing.T) {
+			t.Parallel()
+			s := rng.NewReplicate(5, "lp-differential-bounds", i)
+			n := 1 + s.Intn(7) // 1..7 variables
+			m := s.Intn(10)    // 0..9 random rows (boxes come as bounds)
+			g := generateBoundedLP(s, n, m)
+			rows := ExpandBounds(g.p)
+
+			ref, err := Solve(rows, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Status != Optimal {
+				t.Fatalf("rows-expanded instance not optimal (%v); generator broken", ref.Status)
+			}
+			tab, err := Solve(g.p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dense, dbs, err := SolveBasis(g.p, Options{Sparse: SparseOff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse, sbs, err := SolveBasis(g.p, Options{Sparse: SparseOn})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertAgreeX(t, "tableau", ref, tab)
+			assertAgreeX(t, "dense", ref, dense)
+			assertAgreeX(t, "sparse", ref, sparse)
+
+			want := g.feasibleValue()
+			tol := 1e-6 * (1 + math.Abs(want))
+			if dense.Objective < want-tol {
+				t.Errorf("objective %g below feasible value %g", dense.Objective, want)
+			}
+
+			// Bound-tightened child: clamp one variable's upper bound to
+			// floor(x*_v) (at least lo, possibly a zero-width box) and
+			// re-optimise warm from the parent basis — same basis dimension,
+			// no appended rows — against a cold solve of the rows-expanded
+			// child.
+			v := s.Intn(n)
+			child := g.p.Clone()
+			lo, _ := child.Bounds(v)
+			child.SetBounds(v, lo, math.Max(lo, math.Floor(dense.X[v])))
+			refChild, err := Solve(ExpandBounds(child), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wd, _, err := SolveFrom(child, dbs, Options{Sparse: SparseOff})
+			if err != nil {
+				t.Fatalf("warm dense: %v", err)
+			}
+			ws, _, err := SolveFrom(child, sbs, Options{Sparse: SparseOn})
+			if err != nil {
+				t.Fatalf("warm sparse: %v", err)
+			}
+			assertAgreeX(t, "child-dense", refChild, wd)
+			assertAgreeX(t, "child-sparse", refChild, ws)
+		})
+	}
+}
+
 // TestDifferentialStaircase: a smaller corpus of DSCT-EA-FR-shaped staircase
 // instances big enough to cross the density auto-switch, so the sparse code
 // paths (including periodic refactorisation) are exercised at realistic

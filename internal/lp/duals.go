@@ -1,13 +1,14 @@
 package lp
 
 // Dual values and optimality certificates. The simplex tableau carries the
-// dual solution implicitly: for an optimal basis, the reduced cost of the
-// i-th logical (slack/surplus) column equals ± the dual multiplier of
-// constraint i, and complementary slackness links primal activities to
-// dual prices. SolveWithDuals exposes them, and Certify re-verifies a
-// claimed optimum from first principles (feasibility + dual feasibility +
-// matching objectives), which the test suite uses as an independent
-// correctness oracle for the solver.
+// dual solution implicitly: in the canonical layout every row owns an
+// artificial column whose stored coefficient is exactly +e_i, so at an
+// optimal basis the artificial's reduced cost is 0 − y_i and the dual of
+// constraint i falls straight out of the objective row (after undoing the
+// row's equilibration scale and orientation sign). SolveWithDuals exposes
+// the duals, and Certify re-verifies a claimed optimum from first
+// principles (feasibility + dual feasibility + matching objectives), which
+// the test suite uses as an independent correctness oracle for the solver.
 
 import (
 	"fmt"
@@ -22,8 +23,11 @@ type DualSolution struct {
 	// the optimal objective per unit of slack added to the RHS. For a
 	// maximisation with a·x <= b rows, duals are >= 0; for >= rows, <= 0.
 	Duals []float64
-	// ReducedCosts[v] is c_v − yᵀA_v for structural variable v; at an
-	// optimum it is <= 0, and 0 for basic (positive) variables.
+	// ReducedCosts[v] is c_v − yᵀA_v for structural variable v. At an
+	// optimum of this maximisation it is <= 0 for a variable resting at
+	// its lower bound, >= 0 for one at its (finite) upper bound —
+	// complementary slackness against the bound's own multiplier — and 0
+	// for basic variables strictly inside their box.
 	ReducedCosts []float64
 }
 
@@ -37,7 +41,7 @@ func SolveWithDuals(p *Problem, opts Options) (*DualSolution, error) {
 			phase1[c] = -1
 		}
 		t.setObjective(phase1)
-		status := t.iterate(true)
+		status := t.iterate()
 		if status != Optimal {
 			return &DualSolution{Solution: Solution{Status: status, Iterations: t.iters}}, nil
 		}
@@ -46,10 +50,11 @@ func SolveWithDuals(p *Problem, opts Options) (*DualSolution, error) {
 		}
 		t.driveOutArtificials()
 	}
+	t.freezeArtificials()
 	phase2 := make([]float64, t.width)
 	copy(phase2, p.obj)
 	t.setObjective(phase2)
-	status := t.iterate(false)
+	status := t.iterate()
 
 	ds := &DualSolution{Solution: Solution{Status: status, Iterations: t.iters}}
 	if status != Optimal && status != IterLimit && status != TimeLimit {
@@ -63,85 +68,48 @@ func SolveWithDuals(p *Problem, opts Options) (*DualSolution, error) {
 		return ds, nil
 	}
 
-	// Duals from the logical columns' reduced costs. Building the tableau
-	// assigned one slack (LE, +1) or surplus (GE, −1) column per row in
-	// row order, after RHS normalisation (which flips senses for negative
-	// RHS and scales rows); undo both effects here.
+	// Duals from the artificial columns' reduced costs: the artificial of
+	// row i is the identity column +e_i in the stored (oriented, scaled)
+	// frame and has zero phase-2 cost, so d_art = 0 − y_i there. Mapping
+	// back to the original row undoes the stored frame: the stored row is
+	// rowNeg/rowScale times the original, so the original dual picks up
+	// the same factor.
 	ds.Duals = make([]float64, p.NumConstraints())
 	ds.ReducedCosts = make([]float64, p.nVars)
-	logical := t.n
 	for i := 0; i < p.NumConstraints(); i++ {
-		scale := t.rowScale[i]
-		flipped := t.rowFlipped[i]
-		var y float64
-		switch t.rowSense[i] { // sense after normalisation
-		case LE:
-			y = -t.objRow[logical] // slack column: d_slack = −y_i
-			logical++
-		case GE:
-			y = t.objRow[logical] // surplus column (−1 coef): d = +y_i
-			logical++
-		case EQ:
-			// Equality rows have no logical column; recover the dual from
-			// any basic row... handled below via reduced-cost identity.
-			y = math.NaN()
-		}
-		if flipped {
-			y = -y
-		}
-		// The tableau rows were divided by `scale`, which multiplies the
-		// dual by 1/scale relative to the original row; undo it.
-		if scale != 0 {
-			y /= scale
-		}
-		ds.Duals[i] = y
+		ds.Duals[i] = -t.objRow[t.artBase+i] * t.rowNeg[i] / t.rowScale[i]
 	}
-	// Recover equality duals (and double-check the rest) by solving
-	// yᵀA_B = c_B is unnecessary: instead use the identity
-	// reduced(v) = c_v − Σ_i y_i·A[i][v] and the fact that the artificial
-	// column of an EQ row is an identity column in the original matrix:
-	// its reduced cost is 0 − y_i (artificials have zero cost in phase 2).
-	art := t.artBase
-	logical = t.n
-	for i := 0; i < p.NumConstraints(); i++ {
-		switch t.rowSense[i] {
-		case LE, GE:
-			logical++
-		case EQ:
-			y := -t.objRow[art]
-			if t.rowFlipped[i] {
-				y = -y
-			}
-			if s := t.rowScale[i]; s != 0 {
-				y /= s
-			}
-			ds.Duals[i] = y
-		}
-		if t.rowSense[i] == GE || t.rowSense[i] == EQ {
-			art++
-		}
-	}
-	// Structural reduced costs straight from the objective row.
+	// Structural reduced costs straight from the objective row (columns
+	// are never rescaled, only rows, so no undo is needed).
 	copy(ds.ReducedCosts, t.objRow[:p.nVars])
 	return ds, nil
 }
 
 // Certify checks an optimality certificate for an all-finite (x, y) pair:
-// primal feasibility of x, sign-correct dual feasibility of y with
-// non-positive structural reduced costs wherever x_v = 0 (complementary
-// slackness in the other direction is implied by the matching objectives),
-// and b·y == c·x within tol. It returns nil when the certificate proves
-// optimality.
+// primal feasibility of x (rows and variable boxes), sign-correct dual
+// feasibility of y, sign-correct structural reduced costs against each
+// variable's resting bound, and strong duality within tol. The dual
+// objective of the boxed program is yᵀb plus the bound multipliers'
+// contribution Σ_v [red_v]⁺·hi_v + [red_v]⁻·lo_v (a positive reduced cost
+// must be priced by the upper bound's multiplier, a negative one by the
+// lower bound's); with the default [0, +inf) boxes this reduces to the
+// classic yᵀb and a positive reduced cost is outright infeasible. It
+// returns nil when the certificate proves optimality.
 func Certify(p *Problem, x, y []float64, tol float64) error {
 	if len(x) != p.nVars || len(y) != p.NumConstraints() {
 		return fmt.Errorf("lp: certificate dimensions mismatch")
 	}
-	// Primal feasibility.
+	// Primal feasibility: variable boxes...
 	for v, xv := range x {
-		if xv < -tol {
-			return fmt.Errorf("lp: x[%d] = %g negative", v, xv)
+		lo, hi := p.boundsAt(v)
+		if xv < lo-tol*scaleOf(lo) {
+			return fmt.Errorf("lp: x[%d] = %g below lower bound %g", v, xv, lo)
+		}
+		if xv > hi+tol*scaleOf(hi) {
+			return fmt.Errorf("lp: x[%d] = %g above upper bound %g", v, xv, hi)
 		}
 	}
+	// ...and constraint rows.
 	for i := 0; i < p.NumConstraints(); i++ {
 		r := p.rowAt(i)
 		var lhs float64
@@ -177,7 +145,12 @@ func Certify(p *Problem, x, y []float64, tol float64) error {
 			}
 		}
 	}
-	// Reduced costs: c_v − yᵀA_v <= 0 for all v (maximisation).
+	// Reduced costs c_v − yᵀA_v: a positive residue is only admissible
+	// when the upper bound is finite (its multiplier absorbs it); a
+	// negative residue is always absorbable by the (finite) lower bound's
+	// multiplier. Significant residues contribute to the dual objective
+	// through the bound they are priced against.
+	var boundDual float64
 	colSum := make([]float64, p.nVars)
 	colScale := make([]float64, p.nVars)
 	for i := 0; i < p.NumConstraints(); i++ {
@@ -189,8 +162,15 @@ func Certify(p *Problem, x, y []float64, tol float64) error {
 	}
 	for v := range colSum {
 		red := p.obj[v] - colSum[v]
-		if red > tol*math.Max(1, colScale[v]) {
-			return fmt.Errorf("lp: reduced cost of x[%d] = %g positive", v, red)
+		lo, hi := p.boundsAt(v)
+		switch {
+		case red > tol*math.Max(1, colScale[v]):
+			if math.IsInf(hi, 1) {
+				return fmt.Errorf("lp: reduced cost of x[%d] = %g positive with no upper bound", v, red)
+			}
+			boundDual += red * hi
+		case red < -tol*math.Max(1, colScale[v]):
+			boundDual += red * lo
 		}
 	}
 	// Strong duality.
@@ -201,10 +181,16 @@ func Certify(p *Problem, x, y []float64, tol float64) error {
 	for i := 0; i < p.NumConstraints(); i++ {
 		dual += y[i] * p.rowAt(i).rhs
 	}
+	dual += boundDual
 	if math.Abs(primal-dual) > tol*math.Max(1, math.Abs(primal)) {
 		return fmt.Errorf("lp: duality gap %g (primal %g, dual %g)", primal-dual, primal, dual)
 	}
 	return nil
 }
 
-func scaleOf(x float64) float64 { return math.Max(1, math.Abs(x)) }
+func scaleOf(x float64) float64 {
+	if math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Max(1, math.Abs(x))
+}

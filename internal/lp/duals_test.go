@@ -65,6 +65,43 @@ func TestDualsWithEqualityAndGE(t *testing.T) {
 	}
 }
 
+func TestDualsUpperBoundComplementarity(t *testing.T) {
+	// max 2x + y s.t. x + y <= 10 with x boxed to [0, 3]. Optimum x = 3,
+	// y = 7, objective 13; the row dual is 1 and the reduced cost of x is
+	// 2 − 1 = +1: positive, as complementary slackness demands of a
+	// variable resting at its upper bound (the residue is priced by the
+	// upper bound's own multiplier). Certify must accept the certificate —
+	// under the default [0, +inf) boxes a positive reduced cost would be
+	// outright dual-infeasible, so this pins the boxed dual theory.
+	p := NewProblem(2)
+	p.SetObjCoef(0, 2)
+	p.SetObjCoef(1, 1)
+	p.SetBounds(0, 0, 3)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 10)
+	ds, err := SolveWithDuals(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Status != Optimal || math.Abs(ds.Objective-13) > 1e-7 {
+		t.Fatalf("status %v obj %g, want Optimal 13", ds.Status, ds.Objective)
+	}
+	if math.Abs(ds.X[0]-3) > 1e-7 || math.Abs(ds.X[1]-7) > 1e-7 {
+		t.Fatalf("x = %v, want (3, 7)", ds.X)
+	}
+	if math.Abs(ds.Duals[0]-1) > 1e-7 {
+		t.Errorf("row dual = %g, want 1", ds.Duals[0])
+	}
+	if rc := ds.ReducedCosts[0]; math.Abs(rc-1) > 1e-7 {
+		t.Errorf("reduced cost at upper bound = %g, want +1", rc)
+	}
+	if rc := ds.ReducedCosts[1]; math.Abs(rc) > 1e-7 {
+		t.Errorf("basic variable reduced cost = %g, want 0", rc)
+	}
+	if err := Certify(p, ds.X, ds.Duals, 1e-6); err != nil {
+		t.Errorf("certificate rejected: %v", err)
+	}
+}
+
 func TestDualsNegativeRHS(t *testing.T) {
 	// max -x s.t. -x <= -3 (x >= 3). Optimum x=3, obj -3; the flipped row's
 	// dual in original orientation is y <= 0 with value -1... specifically

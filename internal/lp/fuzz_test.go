@@ -9,7 +9,11 @@ import (
 // FuzzSimplex drives the dense tableau solver over the shared random-LP
 // generator (see gen_test.go): instances are feasible and bounded by
 // construction, so the solver must report Optimal, return a primal
-// feasible point, and achieve an objective no worse than c·x*.
+// feasible point, and achieve an objective no worse than c·x*. Each input
+// additionally derives a randomly boxed instance (finite bounds, positive
+// lower bounds, fixed variables) and cross-checks the bounded-variable
+// method against the same problem with its bounds expanded to explicit
+// rows via ExpandBounds.
 func FuzzSimplex(f *testing.F) {
 	f.Add(int64(1), uint8(3), uint8(4))
 	f.Add(int64(42), uint8(1), uint8(1))
@@ -72,6 +76,45 @@ func FuzzSimplex(f *testing.F) {
 		if d := sparse.Objective - sol.Objective; abs(d) > 1e-6*(1+abs(sol.Objective)) {
 			t.Errorf("sparse objective %g != tableau objective %g (diff %g)",
 				sparse.Objective, sol.Objective, d)
+		}
+
+		// Boxed variant from the same stream: the bounded-variable method
+		// must match the bounds-expanded-to-rows rewrite of the identical
+		// instance, and its solution must respect the original boxes.
+		gb := generateBoundedLP(s, n, m)
+		bounded, err := Solve(gb.p, Options{})
+		if err != nil {
+			t.Fatalf("Solve(bounded): %v", err)
+		}
+		if bounded.Status != Optimal {
+			t.Fatalf("bounded status = %v, want Optimal (boxed LP is feasible and bounded by construction)", bounded.Status)
+		}
+		for v, x := range bounded.X {
+			if x < gb.lo[v]-1e-7 || x > gb.hi[v]+1e-7 {
+				t.Errorf("x[%d] = %g outside box [%g, %g]", v, x, gb.lo[v], gb.hi[v])
+			}
+		}
+		expanded, err := Solve(ExpandBounds(gb.p), Options{})
+		if err != nil {
+			t.Fatalf("Solve(ExpandBounds): %v", err)
+		}
+		if expanded.Status != Optimal {
+			t.Fatalf("expanded status = %v, want Optimal", expanded.Status)
+		}
+		if d := bounded.Objective - expanded.Objective; abs(d) > 1e-6*(1+abs(expanded.Objective)) {
+			t.Errorf("bounded objective %g != rows-expanded objective %g (diff %g)",
+				bounded.Objective, expanded.Objective, d)
+		}
+		boundedSparse, _, err := SolveBasis(gb.p, Options{Sparse: SparseOn})
+		if err != nil {
+			t.Fatalf("SolveBasis(bounded, SparseOn): %v", err)
+		}
+		if boundedSparse.Status != Optimal {
+			t.Fatalf("bounded sparse status = %v, want Optimal", boundedSparse.Status)
+		}
+		if d := boundedSparse.Objective - bounded.Objective; abs(d) > 1e-6*(1+abs(bounded.Objective)) {
+			t.Errorf("bounded sparse objective %g != bounded tableau objective %g (diff %g)",
+				boundedSparse.Objective, bounded.Objective, d)
 		}
 	})
 }

@@ -21,6 +21,11 @@ type genLP struct {
 	rows  []genRow
 	xstar []float64 // known feasible point
 	obj   []float64
+	// lo/hi mirror the instance's variable boxes when the generator
+	// declared them through SetBounds (nil: default [0, +inf) boxes
+	// emitted as explicit rows). Tests use them to re-check box
+	// feasibility of solver output against the original data.
+	lo, hi []float64
 }
 
 // generateFeasibleLP builds a random feasible, bounded LP over n variables
@@ -66,6 +71,66 @@ func generateFeasibleLP(s *rng.Source, n, m int) *genLP {
 		coefs := make([]float64, n)
 		coefs[v] = 1
 		addRow(coefs, g.xstar[v]+s.Uniform(0.1, 5))
+	}
+	return g
+}
+
+// generateBoundedLP builds a random feasible, bounded LP over n variables
+// with m random LE rows and a finite box lo <= x <= hi on every variable
+// declared through SetBounds instead of rows. About half the lower bounds
+// are strictly positive, every upper bound is finite (which keeps the
+// maximisation bounded with no box rows at all), and roughly 15% of the
+// variables are fixed (lo == hi) — the degenerate box branch-and-bound
+// produces when it pins a binary. The known point x* lies inside every box
+// and satisfies every row with slack, so a correct solver must report
+// Optimal with objective >= c·x*, and ExpandBounds can rewrite the
+// instance into the equivalent all-rows form (all lower bounds are >= 0).
+func generateBoundedLP(s *rng.Source, n, m int) *genLP {
+	g := &genLP{
+		xstar: make([]float64, n),
+		obj:   make([]float64, n),
+		lo:    make([]float64, n),
+		hi:    make([]float64, n),
+	}
+	g.p = NewProblem(n)
+	for v := 0; v < n; v++ {
+		g.obj[v] = s.Uniform(-1, 2)
+		g.p.SetObjCoef(v, g.obj[v])
+		if s.Float64() < 0.15 {
+			// Fixed variable: a zero-width box.
+			g.xstar[v] = s.Uniform(0, 3)
+			g.lo[v] = g.xstar[v]
+			g.hi[v] = g.xstar[v]
+		} else {
+			g.xstar[v] = s.Uniform(0, 5)
+			if s.Float64() < 0.5 {
+				g.lo[v] = s.Uniform(0, g.xstar[v])
+			}
+			g.hi[v] = g.xstar[v] + s.Uniform(0.1, 5)
+		}
+		g.p.SetBounds(v, g.lo[v], g.hi[v])
+	}
+
+	// Random LE rows, feasible at x* with non-negative slack.
+	for i := 0; i < m; i++ {
+		coefs := make([]float64, n)
+		dot := 0.0
+		for v := range coefs {
+			if s.Float64() < 0.3 {
+				continue // keep some sparsity
+			}
+			coefs[v] = s.Uniform(-2, 3)
+			dot += coefs[v] * g.xstar[v]
+		}
+		rhs := dot + s.Uniform(0, 2)
+		terms := make([]Term, 0, n)
+		for v, c := range coefs {
+			if c != 0 {
+				terms = append(terms, Term{Var: v, Coef: c})
+			}
+		}
+		g.p.AddConstraint(terms, LE, rhs)
+		g.rows = append(g.rows, genRow{coefs: coefs, rhs: rhs})
 	}
 	return g
 }

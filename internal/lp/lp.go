@@ -3,7 +3,7 @@
 //
 //	maximize    c·x
 //	subject to  a_i·x {<=, =, >=} b_i    for each constraint i
-//	            x >= 0
+//	            lo <= x <= hi            (default lo = 0, hi = +inf)
 //
 // It is the module's substitute for the commercial LP/MIP toolchain the
 // paper uses (cvx + MOSEK): the DSCT-EA-FR relaxation (paper §3.2) is
@@ -60,11 +60,12 @@ type row struct {
 
 // Problem is a linear program under construction. Create it with
 // NewProblem, then set the objective and add constraints. Variables are
-// indexed 0..NumVars-1 and implicitly bounded below by zero.
+// indexed 0..NumVars-1 and bounded to [0, +inf) unless SetBounds installs
+// another box.
 //
-// A Problem built by Overlay shares its objective and leading constraint
-// rows with the problem it was derived from; see Overlay for the aliasing
-// rules.
+// A Problem built by Overlay shares its objective, bounds and leading
+// constraint rows with the problem it was derived from; see Overlay for
+// the aliasing rules.
 type Problem struct {
 	nVars int
 	obj   []float64
@@ -72,6 +73,12 @@ type Problem struct {
 	// (set by Overlay); SetObjCoef copies before the first write so the
 	// base problem is never mutated through an overlay.
 	objShared bool
+	// lo and hi are per-variable bounds; both nil means every variable is
+	// at the default [0, +inf) box. boundsShared marks them as aliasing
+	// another problem's slices (set by Overlay); SetBounds copies before
+	// the first write, mirroring objShared.
+	lo, hi       []float64
+	boundsShared bool
 	// base is an immutable row prefix shared with the problem this one
 	// was derived from by Overlay (nil for ordinary problems). rows holds
 	// the rows owned by this problem; the effective constraint list is
@@ -145,6 +152,10 @@ func (p *Problem) Clone() *Problem {
 		obj:   append([]float64(nil), p.obj...),
 		rows:  make([]row, nr),
 	}
+	if p.lo != nil {
+		c.lo = append([]float64(nil), p.lo...)
+		c.hi = append([]float64(nil), p.hi...)
+	}
 	for i := 0; i < nr; i++ {
 		r := p.rowAt(i)
 		c.rows[i] = row{terms: append([]Term(nil), r.terms...), sense: r.sense, rhs: r.rhs}
@@ -153,17 +164,20 @@ func (p *Problem) Clone() *Problem {
 }
 
 // Overlay returns a lightweight extension of p: a problem that sees p's
-// objective and constraint rows and accepts further AddConstraint calls
-// without copying p. Creating an overlay is O(1) (O(rows) only when p is
-// itself an overlay), and appending k rows costs O(k) — compare Clone,
-// which deep-copies every coefficient. Branch-and-bound uses this to
-// derive node problems from the immutable root LP in O(depth).
+// objective, bounds and constraint rows and accepts further AddConstraint
+// and SetBounds calls without copying p. Creating an overlay is O(1)
+// (O(rows) only when p is itself an overlay), and appending k rows costs
+// O(k) — compare Clone, which deep-copies every coefficient. Branch-and-
+// bound uses this to derive node problems from the immutable root LP in
+// O(depth): bound tightenings go through SetBounds (which copies the two
+// bound slices once per overlay, on first write) and any remaining cuts
+// through AddConstraint.
 //
 // The overlay aliases p's data: p must not be modified while any overlay
 // derived from it is alive. Overlays themselves are freely mutable —
-// appended rows are owned, and SetObjCoef copies the objective before the
-// first write. Concurrent overlays of the same base are safe as long as
-// the base stays untouched.
+// appended rows are owned, and SetObjCoef/SetBounds copy the aliased
+// slices before the first write. Concurrent overlays of the same base are
+// safe as long as the base stays untouched.
 func (p *Problem) Overlay() *Problem {
 	base := p.rows
 	if p.base != nil {
@@ -173,7 +187,12 @@ func (p *Problem) Overlay() *Problem {
 		base = append(base, p.base...)
 		base = append(base, p.rows...)
 	}
-	return &Problem{nVars: p.nVars, obj: p.obj, objShared: true, base: base}
+	return &Problem{
+		nVars: p.nVars,
+		obj:   p.obj, objShared: true,
+		lo: p.lo, hi: p.hi, boundsShared: p.lo != nil,
+		base: base,
+	}
 }
 
 // Status reports how a solve terminated.

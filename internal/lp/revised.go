@@ -7,20 +7,33 @@ package lp
 // from scratch every refactorEvery pivots for numerical hygiene. That makes
 // two things possible that the tableau cannot offer:
 //
-//   - an exportable Basis: the basic column set is plain data that survives
-//     the solve and can seed another one;
+//   - an exportable Basis: the basic column set (plus the nonbasic-at-bound
+//     markers) is plain data that survives the solve and can seed another;
 //   - warm starts (SolveFrom): branch-and-bound children differ from their
-//     parent only by appended bound rows, so the parent's optimal basis —
-//     extended with the new rows' slacks — is dual feasible for the child,
-//     and a short dual-simplex phase restores primal feasibility in a
-//     handful of pivots instead of a full two-phase solve.
+//     parent only by tightened variable bounds (or, optionally, appended
+//     rows), so the parent's optimal basis stays dual feasible for the
+//     child and a short dual-simplex phase restores primal feasibility in
+//     a handful of pivots instead of a full two-phase solve.
+//
+// All three cores implement the bounded-variable simplex method: every
+// column j carries a box [lo_j, hi_j] and a nonbasic column rests at either
+// bound (atUpper selects which). Basic values are xb = B⁻¹q where
+// q = b − Σ_{nonbasic j} A_j·x_j folds the nonbasic bound values into the
+// right-hand side; q is maintained incrementally as columns change bounds.
+// Pricing is sign-aware (a column at its upper bound enters when its
+// reduced cost is negative, moving down), the ratio test includes the
+// bound-flip case (the entering column hits its opposite bound before any
+// basic column hits one of its own — no pivot, just a q update), and
+// fixed columns (lo == hi: equality logicals, frozen artificials, branch-
+// fixed variables) are never eligible to enter.
 //
 // Canonical column layout for a problem with n structural variables and m
-// rows: columns [0, n) are structural, column n+i is the logical of row i
-// (slack after orienting >= rows to <=; fixed at zero for == rows) and
-// column n+m+i is the phase-1 artificial of row i. Rows are equilibrated
-// (scaled by their largest structural coefficient) exactly like the
-// tableau, so tolerances behave identically across the two cores.
+// rows: columns [0, n) are structural with the Problem's boxes, column n+i
+// is the logical of row i ([0, +inf) slack after orienting >= rows to <=;
+// fixed at [0, 0] for == rows) and column n+m+i is the phase-1 artificial
+// of row i ([0, +inf) during phase 1, frozen to [0, 0] afterwards). Rows
+// are equilibrated (scaled by their largest structural coefficient)
+// exactly like the tableau, so tolerances behave identically across cores.
 
 import (
 	"errors"
@@ -57,17 +70,19 @@ type rev struct {
 	// store the structural and logical columns only; the artificial of
 	// row i is ±e_i and is reconstructed on demand, halving the memory
 	// the dense pricing and pivot-row passes must walk.
-	a        []float64 // m*rw immutable constraint matrix, row-major (dense mode)
-	sp       *csMatrix // CSR+CSC structural block (sparse mode; logicals implicit)
-	artSign  []float64 // m; artificial column signs (±1)
-	b        []float64 // m oriented+scaled right-hand sides
-	canEnter []bool    // width; column may be chosen as entering
-	mustZero []bool    // width; column value must remain zero (EQ logicals, phase-2 artificials)
+	a       []float64 // m*rw immutable constraint matrix, row-major (dense mode)
+	sp      *csMatrix // CSR+CSC structural block (sparse mode; logicals implicit)
+	artSign []float64 // m; artificial column signs (±1)
+	b       []float64 // m oriented+scaled right-hand sides
+	q       []float64 // m; b minus the nonbasic columns' bound contributions
+
+	lo, hi  []float64 // width; column boxes (see package layout comment)
+	atUpper []bool    // width; nonbasic column rests at hi instead of lo
 
 	basis   []int  // basis[i] = column basic in row i
 	inBasis []bool // width
 	binv    []float64
-	xb      []float64 // current basic values, binv·b
+	xb      []float64 // current basic values, binv·q
 
 	tol           float64
 	iters         int
@@ -92,27 +107,31 @@ type rev struct {
 // rows are flattened once through the shared sparse builder (deduplicating
 // repeated Terms) and stored densely or as a CSR+CSC pair per the resolved
 // SparseMode; both representations hold identical values, so the two paths
-// pivot identically.
+// pivot identically. Column boxes come from the Problem's bounds; the
+// initial nonbasic point is every structural column at its lower bound,
+// which fixes q and the artificial signs.
 func newRev(p *Problem, opts Options) *rev {
 	m := p.NumConstraints()
 	n := p.nVars
 	width := n + 2*m
 	t := &rev{
 		m: m, n: n, width: width, rw: n + m,
-		artSign:  make([]float64, m),
-		b:        make([]float64, m),
-		canEnter: make([]bool, width),
-		mustZero: make([]bool, width),
-		basis:    make([]int, m),
-		inBasis:  make([]bool, width),
-		binv:     make([]float64, m*m),
-		xb:       make([]float64, m),
-		tol:      opts.Tol,
-		y:        make([]float64, m),
-		d:        make([]float64, width),
-		alpha:    make([]float64, width),
-		w:        make([]float64, m),
-		colv:     make([]float64, m),
+		artSign: make([]float64, m),
+		b:       make([]float64, m),
+		q:       make([]float64, m),
+		lo:      make([]float64, width),
+		hi:      make([]float64, width),
+		atUpper: make([]bool, width),
+		basis:   make([]int, m),
+		inBasis: make([]bool, width),
+		binv:    make([]float64, m*m),
+		xb:      make([]float64, m),
+		tol:     opts.Tol,
+		y:       make([]float64, m),
+		d:       make([]float64, width),
+		alpha:   make([]float64, width),
+		w:       make([]float64, m),
+		colv:    make([]float64, m),
 	}
 	if t.tol == 0 {
 		t.tol = defaultTol
@@ -123,8 +142,12 @@ func newRev(p *Problem, opts Options) *rev {
 	}
 	t.deadline = opts.Deadline
 
+	inf := math.Inf(1)
 	for v := 0; v < n; v++ {
-		t.canEnter[v] = true
+		t.lo[v], t.hi[v] = p.boundsAt(v)
+	}
+	for i := 0; i < m; i++ {
+		t.hi[t.rw+i] = inf // artificials: [0, +inf) until frozen after phase 1
 	}
 
 	sr := dedupRows(p)
@@ -171,22 +194,86 @@ func newRev(p *Problem, opts Options) *rev {
 			row[n+i] = 1 // logical
 		}
 		if sr.sense[i] == EQ {
-			t.mustZero[n+i] = true
+			// Equality logical: fixed at zero ([0, 0]); never enters.
+			t.hi[n+i] = 0
 		} else {
-			t.canEnter[n+i] = true
+			t.hi[n+i] = inf
 		}
-		// Artificial, signed so that when basic it starts at |rhs| >= 0.
-		if rhs >= 0 {
-			t.artSign[i] = 1
-		} else {
-			t.artSign[i] = -1
-		}
-		// Artificials start basic where needed and never (re-)enter.
 	}
 	if sparse {
 		t.sp = newCSMatrix(m, n, sr.ptr, sr.idx, vals)
 	}
+	// With every structural column nonbasic at its lower bound (the state
+	// setBasis/SolveBasis start from), q = b − A·lo determines which rows
+	// need a negatively-signed artificial to start basic at |q| >= 0.
+	t.recomputeQ()
+	for i := 0; i < m; i++ {
+		if t.q[i] >= 0 {
+			t.artSign[i] = 1
+		} else {
+			t.artSign[i] = -1
+		}
+	}
 	return t
+}
+
+// nbVal returns the current value of nonbasic column j: the bound it
+// rests at.
+func (t *rev) nbVal(j int) float64 {
+	if t.atUpper[j] {
+		return t.hi[j]
+	}
+	return t.lo[j]
+}
+
+// eligible reports whether column j may be chosen as entering: structural
+// or logical (artificials never re-enter), currently nonbasic, and not
+// fixed (lo == hi columns — equality logicals, frozen artificials and
+// branch-fixed variables — have no room to move).
+func (t *rev) eligible(j int) bool {
+	return !t.inBasis[j] && t.hi[j] > t.lo[j]
+}
+
+// recomputeQ rebuilds q = b − Σ_{nonbasic j} A_j·x_j from scratch. Only
+// structural columns can contribute: logicals and artificials rest at zero
+// whenever nonbasic (their lower bound, and their upper bound is either
+// +inf — never selected — or also zero).
+func (t *rev) recomputeQ() {
+	copy(t.q, t.b)
+	for v := 0; v < t.n; v++ {
+		if t.inBasis[v] {
+			continue
+		}
+		if val := t.nbVal(v); val != 0 {
+			t.addColTimes(v, -val)
+		}
+	}
+}
+
+// addColTimes adds factor·A_col to q.
+func (t *rev) addColTimes(col int, factor float64) {
+	if factor == 0 {
+		return
+	}
+	if col >= t.rw {
+		t.q[col-t.rw] += factor * t.artSign[col-t.rw]
+		return
+	}
+	if t.sp != nil {
+		if col >= t.n {
+			t.q[col-t.n] += factor
+			return
+		}
+		for k := t.sp.colPtr[col]; k < t.sp.colPtr[col+1]; k++ {
+			t.q[t.sp.rowIdx[k]] += factor * t.sp.colVal[k]
+		}
+		return
+	}
+	for i := 0; i < t.m; i++ {
+		if v := t.a[i*t.rw+col]; v != 0 {
+			t.q[i] += factor * v
+		}
+	}
 }
 
 // colAt returns the matrix entry of column col in row r, reconstructing
@@ -213,7 +300,7 @@ func (t *rev) colAt(r, col int) float64 {
 }
 
 // refactorize recomputes B⁻¹ from the basis columns by Gauss–Jordan
-// elimination with partial pivoting and refreshes xb = B⁻¹b.
+// elimination with partial pivoting and refreshes xb = B⁻¹q.
 func (t *rev) refactorize() error {
 	m := t.m
 	if m == 0 {
@@ -340,7 +427,9 @@ func (t *rev) refactorize() error {
 // so the child inverse costs O(m²) per appended row. It reports false —
 // leaving the caller to refactorise — when the snapshot is missing, has
 // absorbed too many product-form updates already, or fails the residual
-// check B·xb ≈ b that guards against inherited drift.
+// check B·xb ≈ q that guards against inherited drift (q, not b: a child
+// that tightened a bound moved the nonbasic contribution folded into q,
+// and a flipped artificial sign surfaces here too).
 func (t *rev) inheritInverse(from *Basis) bool {
 	mp := len(from.entries)
 	if from.binv == nil || len(from.binv) != mp*mp || from.age >= refactorEvery {
@@ -377,7 +466,7 @@ func (t *rev) inheritInverse(from *Basis) bool {
 }
 
 // inverseResidualOK spot-checks the inherited inverse: the basic values it
-// produces must satisfy B·xb = b to working accuracy. O(m²) dense — free
+// produces must satisfy B·xb = q to working accuracy. O(m²) dense — free
 // relative to the O(m³) refactorisation it may save — and O(nnz of the
 // basis) in sparse mode, accumulated column-by-column (same per-row
 // contribution order as the dense pass, so the two modes agree).
@@ -408,7 +497,7 @@ func (t *rev) inverseResidualOK() bool {
 			}
 		}
 		for r := 0; r < t.m; r++ {
-			if math.Abs(sum[r]-t.b[r]) > 1e-7*scale[r] {
+			if math.Abs(sum[r]-t.q[r]) > 1e-7*scale[r] {
 				return false
 			}
 		}
@@ -424,25 +513,41 @@ func (t *rev) inverseResidualOK() bool {
 				scale = a
 			}
 		}
-		if math.Abs(sum-t.b[r]) > 1e-7*scale {
+		if math.Abs(sum-t.q[r]) > 1e-7*scale {
 			return false
 		}
 	}
 	return true
 }
 
-// computeXB refreshes xb = B⁻¹ b.
+// computeXB refreshes xb = B⁻¹ q, snapping roundoff residue just outside a
+// basic column's box back onto the bound (the bounded generalisation of
+// the old negative-residue-to-zero snap).
 func (t *rev) computeXB() {
 	for i := 0; i < t.m; i++ {
 		var s float64
 		row := t.binv[i*t.m : (i+1)*t.m]
-		for k, bk := range t.b {
-			s += row[k] * bk
+		for k, qk := range t.q {
+			s += row[k] * qk
 		}
-		if s < 0 && s > -t.tol {
-			s = 0
+		bl, bh := t.lo[t.basis[i]], t.hi[t.basis[i]]
+		if s < bl && s > bl-t.tol {
+			s = bl
+		} else if s > bh && s < bh+t.tol {
+			s = bh
 		}
 		t.xb[i] = s
+	}
+}
+
+// snapXB applies computeXB's bound snap to a single incrementally updated
+// basic value.
+func (t *rev) snapXB(i int) {
+	bl, bh := t.lo[t.basis[i]], t.hi[t.basis[i]]
+	if t.xb[i] < bl && t.xb[i] > bl-t.tol {
+		t.xb[i] = bl
+	} else if t.xb[i] > bh && t.xb[i] < bh+t.tol {
+		t.xb[i] = bh
 	}
 }
 
@@ -589,10 +694,30 @@ func (t *rev) pivotRow(pr int) {
 	}
 }
 
-// pivot brings column pc into the basis at row pr, updating B⁻¹ and xb via
-// a product-form update on the precomputed direction w = B⁻¹A_pc. It
-// refactorises periodically.
-func (t *rev) pivot(pr, pc int) error {
+// flipCol moves nonbasic column pc from its current bound to the opposite
+// one: a simplex step that hits the entering column's own far bound before
+// any basic column hits one of its own, so the basis does not change. q
+// absorbs the value change, the basic values shift along the precomputed
+// direction w = B⁻¹A_pc, and that is the whole iteration.
+func (t *rev) flipCol(pc int, sigma float64) {
+	span := t.hi[pc] - t.lo[pc]
+	t.addColTimes(pc, -sigma*span)
+	for i := 0; i < t.m; i++ {
+		if wi := t.w[i]; wi != 0 {
+			t.xb[i] -= sigma * span * wi
+			t.snapXB(i)
+		}
+	}
+	t.atUpper[pc] = !t.atUpper[pc]
+}
+
+// pivotBounded brings column pc into the basis at row pr, sending the
+// leaving column to the bound selected by the ratio test (leaveToUpper).
+// B⁻¹ is updated via a product-form update on the precomputed direction
+// w = B⁻¹A_pc, the basic values shift by the exact step that lands the
+// leaving column on its bound, and q absorbs both columns' nonbasic value
+// changes. It refactorises periodically.
+func (t *rev) pivotBounded(pr, pc int, leaveToUpper bool) error {
 	piv := t.w[pr]
 	if math.Abs(piv) < minPivot {
 		// The update direction disagrees with the selection (stale B⁻¹):
@@ -603,19 +728,29 @@ func (t *rev) pivot(pr, pc int) error {
 		return errNumerical
 	}
 	m := t.m
-	theta := t.xb[pr] / piv
+	leave := t.basis[pr]
+	leaveVal := t.lo[leave]
+	if leaveToUpper {
+		leaveVal = t.hi[leave]
+	}
+	// The entering column leaves the nonbasic set (q regains its old bound
+	// contribution) and the leaving column joins it at leaveVal.
+	t.addColTimes(pc, t.nbVal(pc))
+	t.addColTimes(leave, -leaveVal)
+
+	// Entering step: exactly the displacement that lands the leaving
+	// column on leaveVal.
+	delta := (t.xb[pr] - leaveVal) / piv
 	for i := 0; i < m; i++ {
 		if i == pr {
 			continue
 		}
 		if wi := t.w[i]; wi != 0 {
-			t.xb[i] -= wi * theta
-			if t.xb[i] < 0 && t.xb[i] > -t.tol {
-				t.xb[i] = 0
-			}
+			t.xb[i] -= delta * wi
+			t.snapXB(i)
 		}
 	}
-	t.xb[pr] = theta
+	t.xb[pr] = t.nbVal(pc) + delta
 
 	inv := 1 / piv
 	prow := t.binv[pr*m : (pr+1)*m]
@@ -636,9 +771,12 @@ func (t *rev) pivot(pr, pc int) error {
 		}
 	}
 
-	t.inBasis[t.basis[pr]] = false
+	t.inBasis[leave] = false
+	t.atUpper[leave] = leaveToUpper
+	t.atUpper[pc] = false
 	t.basis[pr] = pc
 	t.inBasis[pc] = true
+	t.snapXB(pr)
 
 	t.sinceRefactor++
 	if t.sinceRefactor >= refactorEvery {
@@ -673,9 +811,9 @@ func (t *rev) trackDegenerate(ratio float64) {
 	}
 }
 
-// primal runs primal simplex pivots under cost vector c until optimality
-// (no entering column) or a limit. The caller must ensure the current
-// basis is primal feasible.
+// primal runs bounded-variable primal simplex pivots under cost vector c
+// until optimality (no entering column) or a limit. The caller must ensure
+// the current basis is primal feasible (every xb within its column's box).
 func (t *rev) primal(c []float64) (Status, error) {
 	for {
 		if st := t.limits(); st != Optimal {
@@ -683,21 +821,44 @@ func (t *rev) primal(c []float64) (Status, error) {
 		}
 		t.prices(c)
 
+		// Entering column, sign-aware: a column at its lower bound improves
+		// by increasing (d > 0, sigma +1), one at its upper bound by
+		// decreasing (d < 0, sigma −1). Dantzig scores |d|; Bland takes the
+		// first eligible column.
 		pc := -1
+		sigma := 1.0
 		if t.blandMode {
-			for j := 0; j < t.width; j++ {
-				if t.canEnter[j] && !t.inBasis[j] && t.d[j] > t.tol {
-					pc = j
+			for j := 0; j < t.rw; j++ {
+				if !t.eligible(j) {
+					continue
+				}
+				if t.atUpper[j] {
+					if t.d[j] < -t.tol {
+						pc, sigma = j, -1
+						break
+					}
+				} else if t.d[j] > t.tol {
+					pc, sigma = j, 1
 					break
 				}
 			}
 		} else {
 			best := t.tol
-			for j := 0; j < t.width; j++ {
-				if t.canEnter[j] && !t.inBasis[j] && t.d[j] > best {
-					best = t.d[j]
+			for j := 0; j < t.rw; j++ {
+				if !t.eligible(j) {
+					continue
+				}
+				score := t.d[j]
+				if t.atUpper[j] {
+					score = -score
+				}
+				if score > best {
+					best = score
 					pc = j
 				}
+			}
+			if pc != -1 && t.atUpper[pc] {
+				sigma = -1
 			}
 		}
 		if pc == -1 {
@@ -705,40 +866,53 @@ func (t *rev) primal(c []float64) (Status, error) {
 		}
 
 		t.ftran(pc)
+
+		// Bounded ratio test: the entering column moves by sigma·step; each
+		// basic value i changes by −step·(sigma·w_i), so a positive
+		// effective direction drives it toward its lower bound and a
+		// negative one toward its (finite) upper bound. The entering
+		// column's own span seeds the minimum — if nothing binds earlier
+		// the iteration is a bound flip, no pivot. Ties prefer a row pivot
+		// (pr == -1 initially) and then the lowest basic column index, the
+		// Bland-compatible deterministic order.
 		pr := -1
-		minRatio := math.Inf(1)
+		leaveToUpper := false
+		minRatio := t.hi[pc] - t.lo[pc] // +inf when hi is
 		for i := 0; i < t.m; i++ {
-			wi := t.w[i]
+			wi := sigma * t.w[i]
+			bl, bh := t.lo[t.basis[i]], t.hi[t.basis[i]]
 			var ratio float64
-			if t.mustZero[t.basis[i]] {
-				// A basic fixed-at-zero column (EQ logical or phase-2
-				// artificial in a redundant row) must not move off zero:
-				// any significant direction component pivots it out now.
-				if wi > t.tol || wi < -t.tol {
-					ratio = 0
-				} else {
-					continue
-				}
+			var toUpper bool
+			if wi > t.tol {
+				ratio = (t.xb[i] - bl) / wi
+			} else if wi < -t.tol && !math.IsInf(bh, 1) {
+				ratio = (bh - t.xb[i]) / -wi
+				toUpper = true
 			} else {
-				if wi <= t.tol {
-					continue
-				}
-				ratio = t.xb[i] / wi
-				if ratio < 0 {
-					ratio = 0
-				}
+				continue
+			}
+			if ratio < 0 {
+				ratio = 0 // roundoff residue just outside the box
 			}
 			if ratio < minRatio-t.tol || (math.Abs(ratio-minRatio) <= t.tol && (pr == -1 || t.basis[i] < t.basis[pr])) {
 				minRatio = ratio
 				pr = i
+				leaveToUpper = toUpper
 			}
 		}
 		if pr == -1 {
-			return Unbounded, nil
+			if math.IsInf(minRatio, 1) {
+				return Unbounded, nil
+			}
+			// Bound flip: the entering column jumps to its opposite bound.
+			t.trackDegenerate(minRatio)
+			t.flipCol(pc, sigma)
+			t.iters++
+			continue
 		}
 		t.trackDegenerate(minRatio)
 
-		if err := t.pivot(pr, pc); err != nil {
+		if err := t.pivotBounded(pr, pc, leaveToUpper); err != nil {
 			if errors.Is(err, errNumerical) && t.numRetries < 3 {
 				t.numRetries++
 				continue // B⁻¹ was rebuilt; re-price and retry
@@ -750,12 +924,13 @@ func (t *rev) primal(c []float64) (Status, error) {
 	}
 }
 
-// dual runs dual simplex pivots under cost vector c until the basis is
-// primal feasible (returning Optimal, meaning "proceed to primal"), the
-// problem is detected infeasible, or a limit is hit. It assumes the
-// starting reduced costs are (near-)dual feasible — the warm-start
-// invariant — and restores primal feasibility after appended rows have
-// invalidated the parent solution.
+// dual runs bounded-variable dual simplex pivots under cost vector c until
+// the basis is primal feasible (returning Optimal, meaning "proceed to
+// primal"), the problem is detected infeasible, or a limit is hit. It
+// assumes the starting reduced costs are (near-)dual feasible — the
+// warm-start invariant: d <= 0 at lower bounds, d >= 0 at upper bounds —
+// and restores primal feasibility after tightened bounds or appended rows
+// have invalidated the parent solution.
 //
 // Reduced costs are maintained incrementally across pivots (the basis-
 // change update d'_j = d_j − (d_pc/α_pc)·α_j reuses the pivot row already
@@ -770,32 +945,34 @@ func (t *rev) dual(c []float64) (Status, error) {
 			return st, nil
 		}
 
-		// Leaving row: the most primal-infeasible basic value. A basic
-		// fixed-at-zero column sitting above zero is just as infeasible as
-		// a negative basic; its row is handled by mirroring signs below.
+		// Leaving row: the basic value furthest outside its column's box.
+		// Below its lower bound it leaves to the lower bound; above its
+		// (finite) upper bound it leaves to the upper bound.
 		pr := -1
-		mirror := false
+		toUpper := false
+		viol := t.tol
 		if t.blandMode {
 			for i := 0; i < t.m; i++ {
-				if t.xb[i] < -t.tol {
-					pr, mirror = i, false
+				bl, bh := t.lo[t.basis[i]], t.hi[t.basis[i]]
+				if t.xb[i] < bl-t.tol {
+					pr, toUpper, viol = i, false, bl-t.xb[i]
 					break
 				}
-				if t.mustZero[t.basis[i]] && t.xb[i] > t.tol {
-					pr, mirror = i, true
+				if t.xb[i] > bh+t.tol {
+					pr, toUpper, viol = i, true, t.xb[i]-bh
 					break
 				}
 			}
 		} else {
-			worst := t.tol
 			for i := 0; i < t.m; i++ {
-				if v := -t.xb[i]; v > worst {
-					worst = v
-					pr, mirror = i, false
+				bl, bh := t.lo[t.basis[i]], t.hi[t.basis[i]]
+				if v := bl - t.xb[i]; v > viol {
+					viol = v
+					pr, toUpper = i, false
 				}
-				if t.mustZero[t.basis[i]] && t.xb[i] > worst {
-					worst = t.xb[i]
-					pr, mirror = i, true
+				if v := t.xb[i] - bh; v > viol {
+					viol = v
+					pr, toUpper = i, true
 				}
 			}
 		}
@@ -809,23 +986,30 @@ func (t *rev) dual(c []float64) (Status, error) {
 		}
 		t.pivotRow(pr)
 
-		// Entering column: the standard dual ratio test on the (possibly
-		// mirrored) pivot row. Minimising d_j/alpha_j over alpha_j < 0
-		// keeps the reduced costs dual feasible after the pivot.
+		// Entering column: the bounded dual ratio test. Mapping each
+		// candidate into the "at lower bound, leaving below lower" frame
+		// (negate alpha when the row leaves to its upper bound; negate both
+		// alpha and d when the candidate rests at its upper bound) reduces
+		// every case to the classic test: candidates need effective
+		// alpha < 0, and the minimum effective ratio d/alpha keeps every
+		// reduced cost on its dual-feasible side after the update.
 		pc := -1
 		bestRatio := math.Inf(1)
-		for j := 0; j < t.width; j++ {
-			if !t.canEnter[j] || t.inBasis[j] {
+		for j := 0; j < t.rw; j++ {
+			if !t.eligible(j) {
 				continue
 			}
-			aj := t.alpha[j]
-			if mirror {
-				aj = -aj
+			aeff, deff := t.alpha[j], t.d[j]
+			if toUpper {
+				aeff = -aeff
 			}
-			if aj >= -t.tol {
+			if t.atUpper[j] {
+				aeff, deff = -aeff, -deff
+			}
+			if aeff >= -t.tol {
 				continue
 			}
-			ratio := t.d[j] / aj
+			ratio := deff / aeff
 			if ratio < bestRatio-t.tol || (math.Abs(ratio-bestRatio) <= t.tol && (pc == -1 || j < pc)) {
 				bestRatio = ratio
 				pc = j
@@ -838,9 +1022,9 @@ func (t *rev) dual(c []float64) (Status, error) {
 		}
 
 		t.ftran(pc)
-		t.trackDegenerate(math.Abs(t.xb[pr]))
+		t.trackDegenerate(viol)
 		f := t.d[pc] / t.alpha[pc] // basis-change step for the d update below
-		if err := t.pivot(pr, pc); err != nil {
+		if err := t.pivotBounded(pr, pc, toUpper); err != nil {
 			if errors.Is(err, errNumerical) && t.numRetries < 3 {
 				t.numRetries++
 				t.dFresh = false // B⁻¹ was rebuilt; re-price next round
@@ -863,10 +1047,18 @@ func (t *rev) dual(c []float64) (Status, error) {
 }
 
 // dualFeasible reports whether the current (fresh) reduced costs admit no
-// entering column, i.e. the basis is already optimal for the caller.
+// entering column — d <= tol at lower bounds and d >= −tol at upper bounds
+// — i.e. the basis is already optimal for the caller.
 func (t *rev) dualFeasible() bool {
-	for j := 0; j < t.width; j++ {
-		if t.canEnter[j] && !t.inBasis[j] && t.d[j] > t.tol {
+	for j := 0; j < t.rw; j++ {
+		if !t.eligible(j) {
+			continue
+		}
+		if t.atUpper[j] {
+			if t.d[j] < -t.tol {
+				return false
+			}
+		} else if t.d[j] > t.tol {
 			return false
 		}
 	}
@@ -884,10 +1076,19 @@ func (t *rev) artificialValue() float64 {
 	return s
 }
 
+// freezeArtificials clamps every artificial column to [0, 0] — after a
+// feasible phase 1 (or for a warm start, which never runs one) they may
+// persist basic at zero in redundant rows but can never carry value again.
+func (t *rev) freezeArtificials() {
+	for j := t.rw; j < t.width; j++ {
+		t.hi[j] = 0
+	}
+}
+
 // driveOutArtificials pivots basic artificials (at value zero after a
 // feasible phase 1) out of the basis wherever a usable pivot exists; rows
 // with none are redundant and keep their artificial basic, protected at
-// zero by mustZero from here on.
+// zero once freezeArtificials clamps their box.
 func (t *rev) driveOutArtificials() error {
 	artBase := t.n + t.m
 	for i := 0; i < t.m; i++ {
@@ -896,12 +1097,12 @@ func (t *rev) driveOutArtificials() error {
 		}
 		t.pivotRow(i)
 		for j := 0; j < artBase; j++ {
-			if t.inBasis[j] || t.mustZero[j] {
+			if !t.eligible(j) {
 				continue
 			}
 			if math.Abs(t.alpha[j]) > t.tol*100 {
 				t.ftran(j)
-				if err := t.pivot(i, j); err != nil && !errors.Is(err, errNumerical) {
+				if err := t.pivotBounded(i, j, false); err != nil && !errors.Is(err, errNumerical) {
 					return err
 				}
 				break
@@ -912,22 +1113,26 @@ func (t *rev) driveOutArtificials() error {
 }
 
 // finish assembles the public Solution (and, at optimality, the Basis
-// snapshot) from the final state.
+// snapshot) from the final state. Nonbasic structural variables sit at
+// their recorded bound; basic values get roundoff residue near a bound
+// snapped onto it (the bounded generalisation of the old snap-to-zero:
+// downstream integrality checks treat any off-bound value as fractional).
 func (t *rev) finish(p *Problem, status Status) (*Solution, *Basis) {
 	sol := &Solution{Status: status, Iterations: t.iters}
 	if status != Optimal && status != IterLimit && status != TimeLimit {
 		return sol, nil
 	}
 	x := make([]float64, p.nVars)
+	for v := 0; v < p.nVars; v++ {
+		x[v] = t.nbVal(v)
+	}
 	for i := 0; i < t.m; i++ {
 		if v := t.basis[i]; v < p.nVars {
 			val := t.xb[i]
-			// Snap roundoff residue to an exact zero, both the slightly
-			// infeasible negatives and the tiny positives a warm-started
-			// B⁻¹ leaves behind where a from-scratch solve lands on 0:
-			// downstream integrality checks treat any nonzero as "used".
-			if math.Abs(val) < t.tol*100 {
-				val = 0
+			if bl := t.lo[v]; math.Abs(val-bl) < t.tol*100 {
+				val = bl
+			} else if bh := t.hi[v]; !math.IsInf(bh, 1) && math.Abs(val-bh) < t.tol*100 {
+				val = bh
 			}
 			x[v] = val
 		}
@@ -944,6 +1149,7 @@ func (t *rev) finish(p *Problem, status Status) (*Solution, *Basis) {
 	bs := &Basis{
 		nVars:   t.n,
 		entries: make([]basisEntry, t.m),
+		atUpper: append([]bool(nil), t.atUpper[:t.n]...),
 		binv:    t.binv,
 		age:     t.sinceRefactor,
 	}
@@ -960,11 +1166,14 @@ func (t *rev) finish(p *Problem, status Status) (*Solution, *Basis) {
 func SolveBasis(p *Problem, opts Options) (*Solution, *Basis, error) {
 	t := newRev(p, opts)
 
+	// Initial point: every structural column at its lower bound. Rows whose
+	// residual q is negative (or that are equalities) start with their
+	// signed artificial basic at |q| >= 0; the rest use their logical.
 	cols := make([]int, t.m)
 	needPhase1 := false
 	for i := range cols {
-		if t.mustZero[t.n+i] || t.b[i] < 0 {
-			cols[i] = t.n + t.m + i // EQ row, or slack would start negative
+		if t.hi[t.n+i] <= t.lo[t.n+i] || t.q[i] < 0 {
+			cols[i] = t.n + t.m + i // EQ row, or logical would start negative
 			needPhase1 = true
 		} else {
 			cols[i] = t.n + i
@@ -998,9 +1207,7 @@ func SolveBasis(p *Problem, opts Options) (*Solution, *Basis, error) {
 			return nil, nil, err
 		}
 	}
-	for j := t.n + t.m; j < t.width; j++ {
-		t.mustZero[j] = true // artificials must stay at zero in phase 2
-	}
+	t.freezeArtificials()
 
 	phase2 := make([]float64, t.width)
 	copy(phase2, p.obj)
@@ -1013,12 +1220,17 @@ func SolveBasis(p *Problem, opts Options) (*Solution, *Basis, error) {
 }
 
 // SolveFrom solves p warm-started from a basis produced by a previous
-// SolveBasis/SolveFrom on a "prefix problem": p must have the same
+// SolveBasis/SolveFrom on a related problem: p must have the same
 // variables, its first from.NumRows() rows must be identical to the rows
 // of the producing problem, and any further rows are treated as newly
-// appended (their logical columns complete the starting basis). A dual
-// simplex phase repairs the primal infeasibility the new rows introduce,
-// then primal simplex finishes to optimality.
+// appended (their logical columns complete the starting basis). Variable
+// bounds may differ from the producing problem's — the usual warm-start
+// delta is a branch-and-bound child that only tightened one box — since a
+// bound change never disturbs dual feasibility of the inherited basis: the
+// nonbasic-at-bound state is restored from the snapshot and each nonbasic
+// column simply rests on the child's (moved) bound. A dual simplex phase
+// repairs the primal infeasibility the new bounds or rows introduce, then
+// primal simplex finishes to optimality.
 //
 // It returns an error when the basis does not fit p or has become
 // numerically singular; callers should fall back to a cold solve then.
@@ -1035,9 +1247,7 @@ func SolveFrom(p *Problem, from *Basis, opts Options) (*Solution, *Basis, error)
 	}
 
 	t := newRev(p, opts)
-	for j := t.n + t.m; j < t.width; j++ {
-		t.mustZero[j] = true // artificials may persist basic at zero, never grow
-	}
+	t.freezeArtificials() // artificials may persist basic at zero, never grow
 
 	cols := make([]int, m)
 	seen := make(map[int]bool, m)
@@ -1056,6 +1266,17 @@ func SolveFrom(p *Problem, from *Basis, opts Options) (*Solution, *Basis, error)
 		cols[i] = t.n + i // appended rows start with their logical basic
 	}
 	t.setBasis(cols)
+	// Restore nonbasic-at-bound state for structural columns, guarded by
+	// the child's boxes: at-upper needs a finite upper bound here (a child
+	// may have relaxed a bound the parent rested on).
+	if from.atUpper != nil {
+		for v := 0; v < t.n; v++ {
+			if from.atUpper[v] && !t.inBasis[v] && !math.IsInf(t.hi[v], 1) {
+				t.atUpper[v] = true
+			}
+		}
+	}
+	t.recomputeQ() // fold the restored nonbasic values into q
 	if !t.inheritInverse(from) {
 		if err := t.refactorize(); err != nil {
 			return nil, nil, err

@@ -15,31 +15,39 @@ const (
 	degenerateRunLimit = 64
 )
 
-// tableau is the dense simplex working state.
+// tableau is the dense bounded-variable simplex working state. It shares
+// the revised core's canonical column layout — n structural columns with
+// the Problem's boxes, one logical per row (slack of a <= row after
+// orienting >= rows; fixed at [0, 0] for == rows) and one artificial per
+// row ([0, +inf) in phase 1, frozen to [0, 0] afterwards) — but maintains
+// the whole matrix as B⁻¹A via full elimination pivots. b holds the
+// current basic values; because nonbasic columns rest at bounds rather
+// than zero, b is updated by explicit value displacement in pivotAt and
+// flipCol instead of being eliminated along with the matrix.
 type tableau struct {
 	m, n      int // constraint rows, structural variables
-	nSlack    int
-	nArt      int
-	width     int       // n + nSlack + nArt
+	width     int // n + 2m
+	artBase   int // n + m: first artificial column index
 	a         []float64 // m * width, row-major
-	b         []float64 // m
+	b         []float64 // m; current basic values
 	basis     []int     // basis[i] = column basic in row i
 	objRow    []float64 // reduced costs, length width
-	artBase   int       // first artificial column index
+	lo, hi    []float64 // width; column boxes
+	atUpper   []bool    // width; nonbasic column rests at hi instead of lo
 	tol       float64
 	iterLimit int
 	deadline  time.Time
 	iters     int
 	blandMode bool
 	degenRun  int
+	nArt      int // rows whose artificial starts basic (phase 1 needed iff > 0)
 
 	// Normalisation metadata per original row, for dual recovery.
-	rowScale   []float64 // equilibration divisor applied to the row
-	rowFlipped []bool    // whether the row was negated (RHS < 0)
-	rowSense   []Sense   // sense after normalisation
+	rowScale []float64 // equilibration divisor applied to the row
+	rowNeg   []float64 // ±1: total negation factor applied to the stored row
 }
 
-// Solve runs two-phase primal simplex on p.
+// Solve runs two-phase bounded-variable primal simplex on p.
 func Solve(p *Problem, opts Options) (*Solution, error) {
 	t := newTableau(p, opts)
 
@@ -50,7 +58,7 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 			phase1[c] = -1
 		}
 		t.setObjective(phase1)
-		status := t.iterate(true)
+		status := t.iterate()
 		switch status {
 		case IterLimit, TimeLimit:
 			return &Solution{Status: status, Iterations: t.iters}, nil
@@ -63,12 +71,13 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 		}
 		t.driveOutArtificials()
 	}
+	t.freezeArtificials()
 
 	// Phase 2: original objective over structural variables.
 	phase2 := make([]float64, t.width)
 	copy(phase2, p.obj)
 	t.setObjective(phase2)
-	status := t.iterate(false)
+	status := t.iterate()
 
 	sol := &Solution{Status: status, Iterations: t.iters}
 	if status == Optimal || status == IterLimit || status == TimeLimit {
@@ -82,38 +91,67 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	return sol, nil
 }
 
-// newTableau builds the standard-form tableau with slacks and artificials,
-// after row equilibration. Rows are flattened once through the shared
-// sparse builder (deduplicating repeated Terms, see sparse.go) and
-// normalised over their nonzeros only, so construction is O(nnz) plus the
+// newTableau builds the canonical-form tableau: >= rows negated to <=,
+// rows equilibrated, one logical and one artificial column per row. Rows
+// are flattened once through the shared sparse builder (deduplicating
+// repeated Terms, see sparse.go), so construction is O(nnz) plus the
 // unavoidable dense tableau allocation.
+//
+// The initial nonbasic point is every structural column at its lower
+// bound, leaving residual q = rhs − A·lo for the basic column of each row.
+// Rows with q >= 0 and a free logical start with the logical basic at q;
+// the rest (equalities, or q < 0) are physically negated so that q >= 0
+// and start with a +1 artificial basic — which makes the initial basis an
+// identity over the chosen columns and the initial tableau equal to A.
 func newTableau(p *Problem, opts Options) *tableau {
 	m := p.NumConstraints()
 	n := p.nVars
+	width := n + 2*m
+	t := &tableau{
+		m: m, n: n,
+		width:    width,
+		artBase:  n + m,
+		a:        make([]float64, m*width),
+		b:        make([]float64, m),
+		basis:    make([]int, m),
+		lo:       make([]float64, width),
+		hi:       make([]float64, width),
+		atUpper:  make([]bool, width),
+		tol:      opts.Tol,
+		rowScale: make([]float64, m),
+		rowNeg:   make([]float64, m),
+	}
+	if t.tol == 0 {
+		t.tol = defaultTol
+	}
+	t.iterLimit = opts.MaxIters
+	if t.iterLimit == 0 {
+		t.iterLimit = 100*(m+n) + 1000
+	}
+	t.deadline = opts.Deadline
 
-	// Normalise rows to rhs >= 0 and count auxiliary columns.
+	inf := math.Inf(1)
+	for v := 0; v < n; v++ {
+		t.lo[v], t.hi[v] = p.boundsAt(v)
+	}
+	for i := 0; i < m; i++ {
+		t.hi[t.artBase+i] = inf // artificials: [0, +inf) until frozen
+	}
+
 	sr := dedupRows(p)
 	vals := append([]float64(nil), sr.val...)
-	rowScale := make([]float64, m)
-	rowFlipped := make([]bool, m)
-	rowSense := make([]Sense, m)
-	rowRHS := make([]float64, m)
-	nSlack, nArt := 0, 0
 	for i := 0; i < m; i++ {
+		cols := sr.idx[sr.ptr[i]:sr.ptr[i+1]]
 		seg := vals[sr.ptr[i]:sr.ptr[i+1]]
 		sense, rhs := sr.sense[i], sr.rhs[i]
-		if rhs < 0 {
-			rowFlipped[i] = true
+		neg := 1.0
+		if sense == GE {
+			neg = -1
 			for k := range seg {
 				seg[k] = -seg[k]
 			}
 			rhs = -rhs
-			switch sense {
-			case LE:
-				sense = GE
-			case GE:
-				sense = LE
-			}
+			sense = LE
 		}
 		// Equilibrate: scale the row so its largest structural coefficient
 		// has magnitude 1 (keeps pivot tolerances meaningful across rows
@@ -133,71 +171,72 @@ func newTableau(p *Problem, opts Options) *tableau {
 		} else {
 			scale = 1
 		}
-		rowScale[i] = scale
-		rowSense[i] = sense
-		rowRHS[i] = rhs
-		switch sense {
-		case LE:
-			nSlack++
-		case GE:
-			nSlack++ // surplus
-			nArt++
-		case EQ:
-			nArt++
+		if sense == EQ {
+			t.hi[n+i] = 0 // equality logical: fixed at [0, 0]
+		} else {
+			t.hi[n+i] = inf
 		}
-	}
-
-	width := n + nSlack + nArt
-	t := &tableau{
-		m: m, n: n,
-		nSlack: nSlack, nArt: nArt,
-		width:      width,
-		a:          make([]float64, m*width),
-		b:          make([]float64, m),
-		basis:      make([]int, m),
-		artBase:    n + nSlack,
-		tol:        opts.Tol,
-		rowScale:   rowScale,
-		rowFlipped: rowFlipped,
-		rowSense:   rowSense,
-	}
-	if t.tol == 0 {
-		t.tol = defaultTol
-	}
-	t.iterLimit = opts.MaxIters
-	if t.iterLimit == 0 {
-		t.iterLimit = 100*(m+n) + 1000
-	}
-	t.deadline = opts.Deadline
-
-	slack := n
-	art := t.artBase
-	for i := 0; i < m; i++ {
+		// Residual of the row at the initial nonbasic point (structural at
+		// lower bounds, logicals/artificials at zero).
+		q := rhs
+		for k, v := range cols {
+			q -= seg[k] * t.lo[v]
+		}
+		logCoef := 1.0
+		if q < 0 {
+			// Physically negate the stored row so the starting basic value
+			// is |q| >= 0; the logical keeps its box but flips coefficient.
+			neg = -neg
+			for k := range seg {
+				seg[k] = -seg[k]
+			}
+			q = -q
+			logCoef = -1
+		}
 		row := t.a[i*width : (i+1)*width]
-		cols := sr.idx[sr.ptr[i]:sr.ptr[i+1]]
-		seg := vals[sr.ptr[i]:sr.ptr[i+1]]
 		for k, v := range cols {
 			row[v] = seg[k]
 		}
-		t.b[i] = rowRHS[i]
-		switch rowSense[i] {
-		case LE:
-			row[slack] = 1
-			t.basis[i] = slack
-			slack++
-		case GE:
-			row[slack] = -1
-			slack++
-			row[art] = 1
-			t.basis[i] = art
-			art++
-		case EQ:
-			row[art] = 1
-			t.basis[i] = art
-			art++
+		row[n+i] = logCoef
+		row[t.artBase+i] = 1
+		t.b[i] = q
+		t.rowScale[i] = scale
+		t.rowNeg[i] = neg
+		if sense == EQ || logCoef < 0 {
+			t.basis[i] = t.artBase + i
+			t.nArt++
+		} else {
+			t.basis[i] = n + i
 		}
 	}
 	return t
+}
+
+// nbVal returns the current value of nonbasic column j: the bound it
+// rests at.
+func (t *tableau) nbVal(j int) float64 {
+	if t.atUpper[j] {
+		return t.hi[j]
+	}
+	return t.lo[j]
+}
+
+// snapB snaps roundoff residue just outside the basic column's box in row
+// i back onto the bound.
+func (t *tableau) snapB(i int) {
+	bl, bh := t.lo[t.basis[i]], t.hi[t.basis[i]]
+	if t.b[i] < bl && t.b[i] > bl-t.tol {
+		t.b[i] = bl
+	} else if t.b[i] > bh && t.b[i] < bh+t.tol {
+		t.b[i] = bh
+	}
+}
+
+// freezeArtificials clamps every artificial column to [0, 0] after phase 1.
+func (t *tableau) freezeArtificials() {
+	for c := t.artBase; c < t.width; c++ {
+		t.hi[c] = 0
+	}
 }
 
 // setObjective installs cost vector c (length width) as the current reduced
@@ -223,13 +262,13 @@ func (t *tableau) setObjective(c []float64) {
 	t.degenRun = 0
 }
 
-// iterate runs simplex pivots until optimality or a limit. phase1 allows
-// artificial columns to stay basic but never lets them enter.
-func (t *tableau) iterate(phase1 bool) Status {
-	enterLimit := t.width
-	if !phase1 {
-		enterLimit = t.artBase // artificials may never re-enter in phase 2
-	}
+// iterate runs bounded-variable simplex pivots until optimality or a
+// limit. Artificial columns never enter in either phase; fixed columns
+// (lo == hi: equality logicals, frozen artificials, branch-fixed
+// variables) are never eligible either. Pricing is sign-aware: a column
+// at its lower bound enters on a positive reduced cost (moving up), one
+// at its upper bound on a negative reduced cost (moving down).
+func (t *tableau) iterate() Status {
 	for {
 		if t.iters >= t.iterLimit {
 			return IterLimit
@@ -241,68 +280,155 @@ func (t *tableau) iterate(phase1 bool) Status {
 
 		// Entering column.
 		pc := -1
+		sigma := 1.0
 		if t.blandMode {
-			for j := 0; j < enterLimit; j++ {
-				if t.objRow[j] > t.tol {
-					pc = j
+			for j := 0; j < t.artBase; j++ {
+				if t.hi[j] <= t.lo[j] {
+					continue
+				}
+				if t.atUpper[j] {
+					if t.objRow[j] < -t.tol {
+						pc, sigma = j, -1
+						break
+					}
+				} else if t.objRow[j] > t.tol {
+					pc, sigma = j, 1
 					break
 				}
 			}
 		} else {
 			best := t.tol
-			for j := 0; j < enterLimit; j++ {
-				if t.objRow[j] > best {
-					best = t.objRow[j]
+			for j := 0; j < t.artBase; j++ {
+				if t.hi[j] <= t.lo[j] {
+					continue
+				}
+				score := t.objRow[j]
+				if t.atUpper[j] {
+					score = -score
+				}
+				if score > best {
+					best = score
 					pc = j
 				}
+			}
+			if pc != -1 && t.atUpper[pc] {
+				sigma = -1
 			}
 		}
 		if pc == -1 {
 			return Optimal
 		}
 
-		// Ratio test.
+		// Bounded ratio test: the entering column moves by sigma·step; each
+		// basic value i changes by −step·(sigma·a[i][pc]), so a positive
+		// effective direction drives it toward its lower bound and a
+		// negative one toward its (finite) upper bound. The entering
+		// column's own span seeds the minimum — if nothing binds earlier
+		// the iteration is a bound flip, no pivot. Ties prefer a row pivot
+		// and then the lowest basic column index.
 		pr := -1
-		minRatio := math.Inf(1)
+		leaveToUpper := false
+		minRatio := t.hi[pc] - t.lo[pc] // +inf when hi is
 		for i := 0; i < t.m; i++ {
-			aij := t.a[i*t.width+pc]
-			if aij <= t.tol {
+			wi := sigma * t.a[i*t.width+pc]
+			bl, bh := t.lo[t.basis[i]], t.hi[t.basis[i]]
+			var ratio float64
+			var toUpper bool
+			if wi > t.tol {
+				ratio = (t.b[i] - bl) / wi
+			} else if wi < -t.tol && !math.IsInf(bh, 1) {
+				ratio = (bh - t.b[i]) / -wi
+				toUpper = true
+			} else {
 				continue
 			}
-			ratio := t.b[i] / aij
+			if ratio < 0 {
+				ratio = 0 // roundoff residue just outside the box
+			}
 			if ratio < minRatio-t.tol || (math.Abs(ratio-minRatio) <= t.tol && (pr == -1 || t.basis[i] < t.basis[pr])) {
 				minRatio = ratio
 				pr = i
+				leaveToUpper = toUpper
 			}
 		}
 		if pr == -1 {
-			return Unbounded
-		}
-		if minRatio <= t.tol {
-			t.degenRun++
-			if t.degenRun >= degenerateRunLimit {
-				t.blandMode = true
+			if math.IsInf(minRatio, 1) {
+				return Unbounded
 			}
-		} else {
-			t.degenRun = 0
+			t.trackDegenerate(minRatio)
+			t.flipCol(pc, sigma)
+			t.iters++
+			continue
 		}
+		t.trackDegenerate(minRatio)
 
-		t.pivot(pr, pc)
+		t.pivotAt(pr, pc, leaveToUpper)
 		t.iters++
 	}
 }
 
-// pivot performs a full tableau pivot on (pr, pc).
-func (t *tableau) pivot(pr, pc int) {
+// trackDegenerate switches to Bland's rule after a run of degenerate
+// steps.
+func (t *tableau) trackDegenerate(ratio float64) {
+	if ratio <= t.tol {
+		t.degenRun++
+		if t.degenRun >= degenerateRunLimit {
+			t.blandMode = true
+		}
+	} else {
+		t.degenRun = 0
+	}
+}
+
+// flipCol moves nonbasic column pc from its current bound to the opposite
+// one; the basis (and therefore the tableau matrix) is unchanged, only the
+// basic values shift along the column.
+func (t *tableau) flipCol(pc int, sigma float64) {
+	span := t.hi[pc] - t.lo[pc]
+	for i := 0; i < t.m; i++ {
+		if aij := t.a[i*t.width+pc]; aij != 0 {
+			t.b[i] -= sigma * span * aij
+			t.snapB(i)
+		}
+	}
+	t.atUpper[pc] = !t.atUpper[pc]
+}
+
+// pivotAt performs a full tableau pivot on (pr, pc): basic values are
+// displaced by the exact step that lands the leaving column on the bound
+// the ratio test selected, then the matrix and objective row are
+// eliminated on the pivot column. b is never eliminated — with nonbasic
+// columns resting at bounds it holds values, not B⁻¹rhs.
+func (t *tableau) pivotAt(pr, pc int, leaveToUpper bool) {
 	w := t.width
 	prow := t.a[pr*w : (pr+1)*w]
 	piv := prow[pc]
+
+	leave := t.basis[pr]
+	leaveVal := t.lo[leave]
+	if leaveToUpper {
+		leaveVal = t.hi[leave]
+	}
+	// Entering displacement that lands the leaving column on leaveVal.
+	delta := (t.b[pr] - leaveVal) / piv
+	for i := 0; i < t.m; i++ {
+		if i == pr {
+			continue
+		}
+		if aij := t.a[i*w+pc]; aij != 0 {
+			t.b[i] -= delta * aij
+			t.snapB(i)
+		}
+	}
+	enterVal := t.nbVal(pc) + delta
+	t.atUpper[leave] = leaveToUpper
+	t.atUpper[pc] = false
+
 	inv := 1 / piv
 	for j := range prow {
 		prow[j] *= inv
 	}
 	prow[pc] = 1 // exact
-	t.b[pr] *= inv
 
 	for i := 0; i < t.m; i++ {
 		if i == pr {
@@ -317,10 +443,6 @@ func (t *tableau) pivot(pr, pc int) {
 			row[j] -= f * prow[j]
 		}
 		row[pc] = 0 // exact
-		t.b[i] -= f * t.b[pr]
-		if t.b[i] < 0 && t.b[i] > -t.tol {
-			t.b[i] = 0
-		}
 	}
 	if f := t.objRow[pc]; f != 0 {
 		for j := range t.objRow {
@@ -329,6 +451,8 @@ func (t *tableau) pivot(pr, pc int) {
 		t.objRow[pc] = 0
 	}
 	t.basis[pr] = pc
+	t.b[pr] = enterVal
+	t.snapB(pr)
 }
 
 // artificialResidual returns the total value of basic artificial variables.
@@ -336,7 +460,7 @@ func (t *tableau) artificialResidual() float64 {
 	var s float64
 	for i := 0; i < t.m; i++ {
 		if t.basis[i] >= t.artBase {
-			s += t.b[i]
+			s += math.Abs(t.b[i])
 		}
 	}
 	return s
@@ -344,9 +468,9 @@ func (t *tableau) artificialResidual() float64 {
 
 // driveOutArtificials pivots basic artificials (at value zero after a
 // feasible phase 1) out of the basis wherever a usable pivot exists. Rows
-// with no usable pivot are redundant and stay inert: their artificial never
-// re-enters pricing, and every other entry of the row is (numerically)
-// zero, so later pivots leave them untouched.
+// with no usable pivot are redundant and stay inert: their artificial is
+// frozen to [0, 0] after phase 1, and every other entry of the row is
+// (numerically) zero, so later pivots leave them untouched.
 func (t *tableau) driveOutArtificials() {
 	for i := 0; i < t.m; i++ {
 		if t.basis[i] < t.artBase {
@@ -354,22 +478,32 @@ func (t *tableau) driveOutArtificials() {
 		}
 		row := t.a[i*t.width : (i+1)*t.width]
 		for j := 0; j < t.artBase; j++ {
+			if t.hi[j] <= t.lo[j] {
+				continue // fixed column cannot replace the artificial
+			}
 			if math.Abs(row[j]) > t.tol*100 {
-				t.pivot(i, j)
+				t.pivotAt(i, j, false)
 				break
 			}
 		}
 	}
 }
 
-// extract returns the structural solution vector of the current basis.
+// extract returns the structural solution vector of the current basis:
+// nonbasic variables at their recorded bound, basic values with
+// just-outside-the-box roundoff snapped onto the violated bound.
 func (t *tableau) extract(p *Problem) []float64 {
 	x := make([]float64, p.nVars)
+	for v := 0; v < p.nVars; v++ {
+		x[v] = t.nbVal(v)
+	}
 	for i := 0; i < t.m; i++ {
 		if v := t.basis[i]; v < p.nVars {
 			val := t.b[i]
-			if val < 0 && val > -t.tol*100 {
-				val = 0
+			if bl := t.lo[v]; val < bl && val > bl-t.tol*100 {
+				val = bl
+			} else if bh := t.hi[v]; val > bh && val < bh+t.tol*100 {
+				val = bh
 			}
 			x[v] = val
 		}

@@ -5,18 +5,23 @@
 // (Fig 4): LP relaxations at every node, most-fractional branching,
 // best-bound node selection, and optional parallel node processing.
 //
-// The solver maximises. Integer variables are branched by appending bound
-// rows (x <= floor, x >= ceil) to node problems; for the DSCT-EA model all
-// integer variables are binaries already bounded by the assignment
-// constraints, so branching fixes them to 0 or 1.
+// The solver maximises. Integer variables are branched by tightening their
+// bounds (x <= floor(v) becomes hi = floor(v), x >= ceil(v) becomes
+// lo = ceil(v)) on a bounds overlay of the immutable root LP — no rows are
+// ever appended, so every node relaxation has exactly the root's basis
+// dimension regardless of tree depth. For the DSCT-EA model all integer
+// variables are binaries, so branching fixes them to 0 or 1. The legacy
+// row-append encoding survives behind Options.BranchRows for A/B
+// benchmarking.
 //
 // Node relaxations are warm-started: each node carries its parent's
 // optimal basis, and because a child differs from its parent only by one
-// appended bound row, that basis stays dual feasible and lp.SolveFrom
-// re-optimises it with a handful of dual simplex pivots instead of a full
-// two-phase solve. If the warm start fails (e.g. the parent basis turns
-// out singular under the child's data) the node falls back to a cold
-// Phase-1 solve. Set Options.DisableWarmStart to benchmark the cold path.
+// tightened variable bound, that basis stays dual feasible (the nonbasic-
+// at-bound state travels with the lp.Basis) and lp.SolveFrom re-optimises
+// it with a handful of dual simplex pivots instead of a full two-phase
+// solve. If the warm start fails (e.g. the parent basis turns out singular
+// under the child's data) the node falls back to a cold Phase-1 solve. Set
+// Options.DisableWarmStart to benchmark the cold path.
 //
 // Incumbent selection is deterministic at any Options.Workers setting:
 // candidates with equal objectives (within an internal tolerance) are
@@ -115,6 +120,13 @@ type Options struct {
 	// simplex from the parent's basis. Intended for benchmarking the
 	// warm-start speedup; leave false in normal use.
 	DisableWarmStart bool
+
+	// BranchRows applies branching decisions as appended explicit bound
+	// rows (x <= floor, x >= ceil) instead of tightened variable bounds,
+	// growing each node's basis dimension with its tree depth. Intended
+	// for A/B benchmarking the row-free branching win; leave false in
+	// normal use.
+	BranchRows bool
 }
 
 // RoundingHook is an optional primal heuristic: given the fractional LP
@@ -135,6 +147,12 @@ type Result struct {
 
 	WarmSolves int // relaxations warm-started from a parent basis
 	ColdSolves int // relaxations solved from scratch
+
+	// MaxNodeRows is the largest constraint-row count of any node
+	// relaxation solved during the search. With bound branching (the
+	// default) it equals the root LP's row count at any tree depth; with
+	// Options.BranchRows it grows by one per branching level.
+	MaxNodeRows int
 }
 
 // fix is one branching decision: variable Var constrained to <= or >= Val.
@@ -144,7 +162,17 @@ type fix struct {
 	Val   float64
 }
 
-// node is a subproblem in the search tree. Its depth is len(fixes).
+// fixChain is an immutable singly-linked list of branching decisions,
+// newest first. A child shares its parent's chain and prepends one
+// element, so deriving a node costs O(1) and replaying its decisions
+// costs O(depth) — the branching mirror of what lp.Problem.Overlay does
+// for constraint rows (and of what the bounds overlay does for boxes).
+type fixChain struct {
+	f    fix
+	prev *fixChain
+}
+
+// node is a subproblem in the search tree.
 //
 // path is the node's position in the tree as a bit string ("0" = down
 // branch, "1" = up branch, "" = root). It is a scheduling-independent
@@ -154,8 +182,9 @@ type fix struct {
 // root and after cold fallbacks) used to warm-start this node's
 // relaxation.
 type node struct {
-	fixes []fix
-	bound float64 // parent relaxation objective (upper bound)
+	fixes *fixChain // branching decisions, newest first (nil at the root)
+	depth int       // branching decisions applied; the chain's length
+	bound float64   // parent relaxation objective (upper bound)
 	path  string
 	basis *lp.Basis
 }
@@ -170,8 +199,8 @@ func (q *nodeQueue) Len() int { return len(q.items) }
 func (q *nodeQueue) Less(i, j int) bool {
 	a, b := q.items[i], q.items[j]
 	if q.strat == DepthFirst {
-		if len(a.fixes) != len(b.fixes) {
-			return len(a.fixes) > len(b.fixes)
+		if a.depth != b.depth {
+			return a.depth > b.depth
 		}
 	}
 	if a.bound > b.bound {

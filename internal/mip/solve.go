@@ -51,10 +51,11 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		return nil, s.err
 	}
 	res := &Result{
-		Nodes:      s.nodes,
-		Elapsed:    time.Since(start),
-		WarmSolves: s.warmSolves,
-		ColdSolves: s.coldSolves,
+		Nodes:       s.nodes,
+		Elapsed:     time.Since(start),
+		WarmSolves:  s.warmSolves,
+		ColdSolves:  s.coldSolves,
+		MaxNodeRows: s.maxNodeRows,
 	}
 	hasIncumbent := !math.IsInf(s.incumbent, -1)
 	if hasIncumbent {
@@ -92,6 +93,7 @@ type searcher struct {
 	nodes         int
 	warmSolves    int
 	coldSolves    int
+	maxNodeRows   int
 	stopped       bool
 	err           error
 }
@@ -173,7 +175,7 @@ func (s *searcher) run() {
 
 // process solves one node relaxation and returns child nodes.
 func (s *searcher) process(nd *node) (children []*node, fatal error) {
-	sol, basis, err := s.solveNodeLP(nd.fixes, nd.basis, nil)
+	sol, basis, err := s.solveNodeLP(nd.fixes, nd.depth, nd.basis, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +183,7 @@ func (s *searcher) process(nd *node) (children []*node, fatal error) {
 	case lp.Infeasible:
 		return nil, nil
 	case lp.Unbounded:
-		if len(nd.fixes) == 0 {
+		if nd.depth == 0 {
 			return nil, ErrUnbounded
 		}
 		return nil, nil // cannot happen below a bounded root; drop defensively
@@ -211,10 +213,10 @@ func (s *searcher) process(nd *node) (children []*node, fatal error) {
 	// incumbent. The trigger depends only on the node's depth — never on a
 	// dequeue counter — so the set of heuristic solves (and hence every
 	// incumbent candidate) is identical at any worker count.
-	d := len(nd.fixes)
+	d := nd.depth
 	if s.opts.Rounding != nil && (d == 0 || d%4 == 0) {
 		if fixed, ok := s.opts.Rounding(sol.X); ok && len(fixed) == len(s.prob.Integers) {
-			if hsol, _, err := s.solveNodeLP(nd.fixes, basis, fixed); err == nil && hsol.Status == lp.Optimal {
+			if hsol, _, err := s.solveNodeLP(nd.fixes, nd.depth, basis, fixed); err == nil && hsol.Status == lp.Optimal {
 				if s.mostFractional(hsol.X) == -1 {
 					s.offerIncumbent(hsol.Objective, hsol.X, nd.path+"h")
 				}
@@ -222,15 +224,20 @@ func (s *searcher) process(nd *node) (children []*node, fatal error) {
 		}
 	}
 
+	// Children share the parent's immutable fix chain and prepend their one
+	// new decision: O(1) per child instead of the O(depth) copy (O(depth²)
+	// per root-to-leaf path) the slice encoding used to pay.
 	val := sol.X[branchVar]
 	down := &node{
-		fixes: append(append([]fix(nil), nd.fixes...), fix{Var: branchVar, Sense: lp.LE, Val: math.Floor(val)}),
+		fixes: &fixChain{f: fix{Var: branchVar, Sense: lp.LE, Val: math.Floor(val)}, prev: nd.fixes},
+		depth: nd.depth + 1,
 		bound: sol.Objective,
 		path:  nd.path + "0",
 		basis: basis,
 	}
 	up := &node{
-		fixes: append(append([]fix(nil), nd.fixes...), fix{Var: branchVar, Sense: lp.GE, Val: math.Ceil(val)}),
+		fixes: &fixChain{f: fix{Var: branchVar, Sense: lp.GE, Val: math.Ceil(val)}, prev: nd.fixes},
+		depth: nd.depth + 1,
 		bound: sol.Objective,
 		path:  nd.path + "1",
 		basis: basis,
@@ -239,49 +246,85 @@ func (s *searcher) process(nd *node) (children []*node, fatal error) {
 }
 
 // solveNodeLP derives the node problem as a copy-free overlay of the
-// immutable base LP — shared rows plus appended bound rows, O(depth) per
-// node instead of the O(nnz) deep clone it replaces — applies branching
-// fixes (and, when heuristicFix is non-nil, equality fixes for every
-// integer variable) and solves it. The base LP is never mutated during
-// the search, which is what makes concurrent overlays by parallel workers
-// safe.
+// immutable base LP and solves it. By default branching decisions become
+// tightened variable bounds on the overlay (LE fix: hi = min(hi, val); GE
+// fix: lo = max(lo, val)) — the node keeps exactly the root's constraint
+// rows and basis dimension at any depth, and an empty box (hi < lo) proves
+// infeasibility without invoking the solver at all. With Options.BranchRows
+// the legacy encoding appends one explicit bound row per fix instead. A
+// non-nil heuristicFix additionally pins every integer variable to the
+// given value (fixed box by default, EQ row under BranchRows). The base LP
+// is never mutated during the search, which is what makes concurrent
+// overlays by parallel workers safe.
 //
 // When warm starts are enabled and a parent basis is available, the node
 // is re-optimised with the dual simplex via lp.SolveFrom; a failed warm
 // start (invalid or singular basis) falls back to a cold Phase-1 solve.
 // The returned basis warm-starts this node's children (nil when only the
 // tableau solver ran or the relaxation was not solved to optimality).
-func (s *searcher) solveNodeLP(fixes []fix, from *lp.Basis, heuristicFix []float64) (*lp.Solution, *lp.Basis, error) {
+func (s *searcher) solveNodeLP(fixes *fixChain, depth int, from *lp.Basis, heuristicFix []float64) (*lp.Solution, *lp.Basis, error) {
 	p := s.prob.LP.Overlay()
-	for _, f := range fixes {
-		p.AddConstraint([]lp.Term{{Var: f.Var, Coef: 1}}, f.Sense, f.Val)
-	}
-	if heuristicFix != nil {
-		for i, v := range s.prob.Integers {
-			p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.EQ, heuristicFix[i])
+	if s.opts.BranchRows {
+		// Replay the chain oldest-first so row order (and hence the basis
+		// row layout a parent basis describes) matches insertion order.
+		fs := make([]fix, depth)
+		for c, i := fixes, depth-1; c != nil; c, i = c.prev, i-1 {
+			fs[i] = c.f
+		}
+		for _, f := range fs {
+			p.AddConstraint([]lp.Term{{Var: f.Var, Coef: 1}}, f.Sense, f.Val)
+		}
+		if heuristicFix != nil {
+			for i, v := range s.prob.Integers {
+				p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.EQ, heuristicFix[i])
+			}
+		}
+	} else {
+		for c := fixes; c != nil; c = c.prev {
+			lo, hi := p.Bounds(c.f.Var)
+			if c.f.Sense == lp.LE {
+				hi = math.Min(hi, c.f.Val)
+			} else {
+				lo = math.Max(lo, c.f.Val)
+			}
+			if hi < lo {
+				return &lp.Solution{Status: lp.Infeasible}, nil, nil
+			}
+			p.SetBounds(c.f.Var, lo, hi)
+		}
+		if heuristicFix != nil {
+			for i, v := range s.prob.Integers {
+				val := heuristicFix[i]
+				lo, hi := p.Bounds(v)
+				if val < lo-intTol || val > hi+intTol {
+					return &lp.Solution{Status: lp.Infeasible}, nil, nil
+				}
+				p.SetBounds(v, val, val)
+			}
 		}
 	}
 	lpOpts := s.opts.LP
 	lpOpts.Deadline = s.opts.Deadline
+	rows := p.NumConstraints()
 
 	if s.opts.DisableWarmStart {
 		sol, err := lp.Solve(p, lpOpts)
-		s.countSolve(false)
+		s.countSolve(false, rows)
 		return sol, nil, err
 	}
 	if heuristicFix != nil {
-		// With every integer pinned by an equality row the relaxation is
-		// close to a pure feasibility check; the parent basis is a poor
-		// starting point for that many simultaneous new rows (the dual
-		// repair walks farther than a fresh solve), so go straight to the
-		// tableau solver. Children never inherit from heuristic solves.
+		// With every integer pinned the relaxation is close to a pure
+		// feasibility check; the parent basis is a poor starting point for
+		// that many simultaneous changes (the dual repair walks farther
+		// than a fresh solve), so go straight to the tableau solver.
+		// Children never inherit from heuristic solves.
 		sol, err := lp.Solve(p, lpOpts)
-		s.countSolve(false)
+		s.countSolve(false, rows)
 		return sol, nil, err
 	}
 	if from != nil {
 		if sol, basis, err := lp.SolveFrom(p, from, lpOpts); err == nil {
-			s.countSolve(true)
+			s.countSolve(true, rows)
 			return sol, basis, nil
 		}
 		// Warm start failed; fall through to a cold solve.
@@ -295,17 +338,21 @@ func (s *searcher) solveNodeLP(fixes []fix, from *lp.Basis, heuristicFix []float
 			return nil, nil, err
 		}
 	}
-	s.countSolve(false)
+	s.countSolve(false, rows)
 	return sol, basis, nil
 }
 
-// countSolve tallies warm vs cold relaxation solves for Result reporting.
-func (s *searcher) countSolve(warm bool) {
+// countSolve tallies warm vs cold relaxation solves and the node row-count
+// high-water mark for Result reporting.
+func (s *searcher) countSolve(warm bool, rows int) {
 	s.mu.Lock()
 	if warm {
 		s.warmSolves++
 	} else {
 		s.coldSolves++
+	}
+	if rows > s.maxNodeRows {
+		s.maxNodeRows = rows
 	}
 	s.mu.Unlock()
 }

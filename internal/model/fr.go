@@ -41,6 +41,10 @@ func BuildFR(in *task.Instance) *FRModel {
 			}
 			p.AddConstraint(terms, lp.LE, seg.Intercept)
 		}
+		// z_j <= a_max as a box bound: redundant given the epigraph rows
+		// (the flat last segment already caps z_j) but it keeps the column
+		// boxed, which shortens Phase 1.
+		p.SetBounds(fm.ZVar(j), 0, tk.Acc.AMax())
 		// (3d): Σ_r s_r·t_jr <= f_j^max.
 		aggTerms := make([]lp.Term, 0, m)
 		for r, mc := range in.Machines {

@@ -63,11 +63,13 @@ func BuildMIP(in *task.Instance) *MIPModel {
 		}
 		// z_j <= a_max (redundant at integral points; keeps the relaxation's
 		// epigraph bounded where fractional x lets f_j exceed f_j^max).
-		p.AddConstraint([]lp.Term{{Var: mm.ZVar(j), Coef: 1}}, lp.LE, tk.Acc.AMax())
+		// Single-variable cap: a box bound, not a constraint row.
+		p.SetBounds(mm.ZVar(j), 0, tk.Acc.AMax())
 
-		// (1c), per machine as printed: t_jr·s_r <= f_j^max.
+		// (1c), per machine as printed: t_jr·s_r <= f_j^max. One variable
+		// per row, so it is the box 0 <= t_jr <= f_j^max/s_r.
 		for r, mc := range in.Machines {
-			p.AddConstraint([]lp.Term{{Var: mm.TVar(j, r), Coef: mc.Speed}}, lp.LE, tk.FMax())
+			p.SetBounds(mm.TVar(j, r), 0, tk.FMax()/mc.Speed)
 		}
 		// Aggregate work cap Σ_r s_r·t_jr <= f_j^max — valid for every
 		// integral solution (only one machine is used) and strengthens the

@@ -6,11 +6,12 @@
 # repeatedly from any working directory. Exits non-zero on the first failure.
 #
 # With -bench, additionally runs the simplex benchmark suite — cold-vs-warm
-# (BenchmarkMIPColdVsWarm, BenchmarkWarmVsColdLP) and dense-vs-sparse
+# (BenchmarkMIPColdVsWarm, BenchmarkWarmVsColdLP), dense-vs-sparse
 # (BenchmarkSparseVsDenseLP, BenchmarkSparseVsDenseWarmLP,
-# BenchmarkMIPDenseVsSparse) — records the parsed results, including
-# per-pair speedups, in BENCH_PR3.json via cmd/benchjson, and diffs them
-# against the committed BENCH_PR2.json baseline (shared benchmarks only;
+# BenchmarkMIPDenseVsSparse) and rows-vs-bounds (BenchmarkBoundsVsRowsLP,
+# BenchmarkMIPBoundsVsRows) — records the parsed results, including
+# per-pair speedups, in BENCH_PR4.json via cmd/benchjson, and diffs them
+# against the committed BENCH_PR3.json baseline (shared benchmarks only;
 # threshold x2.5 to ride out machine noise).
 #
 # With -profile, runs a paper-scale experiment under cmd/experiments'
@@ -42,17 +43,19 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 if [ "$run_bench" = 1 ]; then
-  echo "==> simplex benchmarks -> BENCH_PR3.json"
+  echo "==> simplex benchmarks -> BENCH_PR4.json"
   {
     go test -run='^$' -bench='^BenchmarkMIPColdVsWarm$' -benchtime=3x -count=4 .
     go test -run='^$' -bench='^BenchmarkMIPDenseVsSparse$' -benchtime=2x -count=3 .
+    go test -run='^$' -bench='^BenchmarkMIPBoundsVsRows$' -benchtime=2x -count=3 .
     go test -run='^$' -bench='^BenchmarkWarmVsColdLP$' -benchtime=50x -count=4 ./internal/lp/
     go test -run='^$' -bench='^BenchmarkSparseVsDenseLP$' -benchtime=1x -count=3 ./internal/lp/
     go test -run='^$' -bench='^BenchmarkSparseVsDenseWarmLP$' -benchtime=10x -count=3 ./internal/lp/
-  } | tee /dev/stderr | go run ./cmd/benchjson -label "sparse revised simplex, PR 3" -o BENCH_PR3.json
+    go test -run='^$' -bench='^BenchmarkBoundsVsRowsLP$' -benchtime=2x -count=3 ./internal/lp/
+  } | tee /dev/stderr | go run ./cmd/benchjson -label "bounded-variable simplex, PR 4" -o BENCH_PR4.json
 
-  echo "==> benchjson -diff BENCH_PR2.json BENCH_PR3.json"
-  go run ./cmd/benchjson -diff -threshold 2.5 BENCH_PR2.json BENCH_PR3.json
+  echo "==> benchjson -diff BENCH_PR3.json BENCH_PR4.json"
+  go run ./cmd/benchjson -diff -threshold 2.5 BENCH_PR3.json BENCH_PR4.json
 fi
 
 if [ "$run_profile" = 1 ]; then
