@@ -12,9 +12,11 @@
 // BenchmarkMIPColdVsWarm/cold/n=16 and .../warm/n=16) are additionally
 // paired with the cold/warm speedup recorded, likewise "dense" vs
 // "sparse" segments (BenchmarkSparseVsDenseLP/dense/... vs .../sparse/...)
-// with the dense/sparse speedup, and "rows" vs "bounds" segments
+// with the dense/sparse speedup, "rows" vs "bounds" segments
 // (BenchmarkMIPBoundsVsRows/rows/... vs .../bounds/...) with the row-
-// encoding/bound-encoding speedup — which is how scripts/verify.sh -bench
+// encoding/bound-encoding speedup, and "binv" vs "lu" segments
+// (BenchmarkFactorLUVsBinvLP/binv/... vs .../lu/...) with the dense-
+// inverse/LU basis-kernel speedup — which is how scripts/verify.sh -bench
 // produces the committed BENCH_*.json records.
 //
 // In -diff mode the two JSON records are matched by benchmark name and the
@@ -69,6 +71,14 @@ type rowsBoundsPair struct {
 	Speedup    float64 `json:"speedup"`
 }
 
+// binvLuPair joins a dense-inverse-kernel benchmark with its LU-kernel twin.
+type binvLuPair struct {
+	Name     string  `json:"name"`
+	BinvNsOp float64 `json:"binv_ns_per_op"`
+	LuNsOp   float64 `json:"lu_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+}
+
 // report is the top-level JSON document.
 type report struct {
 	Label      string            `json:"label,omitempty"`
@@ -79,6 +89,7 @@ type report struct {
 	Pairs      []coldWarmPair    `json:"cold_vs_warm,omitempty"`
 	DensePairs []denseSparsePair `json:"dense_vs_sparse,omitempty"`
 	RowsPairs  []rowsBoundsPair  `json:"rows_vs_bounds,omitempty"`
+	BinvPairs  []binvLuPair      `json:"binv_vs_lu,omitempty"`
 }
 
 func main() {
@@ -120,6 +131,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	rep.Pairs = pairColdWarm(rep.Benchmarks)
 	rep.DensePairs = pairDenseSparse(rep.Benchmarks)
 	rep.RowsPairs = pairRowsBounds(rep.Benchmarks)
+	rep.BinvPairs = pairBinvLu(rep.Benchmarks)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -282,6 +294,17 @@ func pairRowsBounds(results []benchResult) []rowsBoundsPair {
 	for _, p := range pairSegments(results, "rows", "bounds") {
 		pairs = append(pairs, rowsBoundsPair{
 			Name: p.name, RowsNsOp: p.slow, BoundsNsOp: p.fast, Speedup: p.slow / p.fast,
+		})
+	}
+	return pairs
+}
+
+// pairBinvLu records the dense-inverse/LU basis-kernel speedups.
+func pairBinvLu(results []benchResult) []binvLuPair {
+	var pairs []binvLuPair
+	for _, p := range pairSegments(results, "binv", "lu") {
+		pairs = append(pairs, binvLuPair{
+			Name: p.name, BinvNsOp: p.slow, LuNsOp: p.fast, Speedup: p.slow / p.fast,
 		})
 	}
 	return pairs

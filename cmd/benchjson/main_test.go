@@ -218,3 +218,31 @@ func TestBenchjsonSkipsMalformedLines(t *testing.T) {
 		t.Errorf("ns/op = %v", rep.Benchmarks[0].NsPerOp)
 	}
 }
+
+func TestBenchjsonPairsBinvLu(t *testing.T) {
+	input := "BenchmarkFactorLUVsBinvLP/binv/tasks=200,mach=10-8 1 800000 ns/op 314.0 pivots\n" +
+		"BenchmarkFactorLUVsBinvLP/lu/tasks=200,mach=10-8 40 40000 ns/op 314.0 pivots\n" +
+		"BenchmarkMIPFactorLUVsBinv/binv/n=16-8 1 130000 ns/op\n" +
+		"BenchmarkMIPFactorLUVsBinv/lu/n=16-8 2 65000 ns/op\n" +
+		"BenchmarkFactorLUVsBinvLP/binv/tasks=50,mach=3-8 1 7000 ns/op\n"
+	rep, err := runTool(t, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pairs) != 0 || len(rep.DensePairs) != 0 || len(rep.RowsPairs) != 0 {
+		t.Errorf("unexpected pairs from other families: %+v / %+v / %+v",
+			rep.Pairs, rep.DensePairs, rep.RowsPairs)
+	}
+	if len(rep.BinvPairs) != 2 {
+		t.Fatalf("got %d binv/lu pairs, want 2 (unpaired binv dropped):\n%+v",
+			len(rep.BinvPairs), rep.BinvPairs)
+	}
+	lpPair := rep.BinvPairs[0]
+	if lpPair.Name != "BenchmarkFactorLUVsBinvLP/*/tasks=200,mach=10" || math.Abs(lpPair.Speedup-20) > 1e-12 {
+		t.Errorf("lp pair = %+v", lpPair)
+	}
+	mipPair := rep.BinvPairs[1]
+	if mipPair.Name != "BenchmarkMIPFactorLUVsBinv/*/n=16" || math.Abs(mipPair.Speedup-2) > 1e-12 {
+		t.Errorf("mip pair = %+v", mipPair)
+	}
+}

@@ -34,18 +34,24 @@ type basisEntry struct {
 // extra rows appended. A Basis is immutable once returned and safe to
 // share across goroutines.
 //
-// Besides the column set, a Basis snapshots the basis inverse B⁻¹ at
-// optimality. Because a child's basis matrix is block lower-triangular
-// over its parent's (appended rows keep their logicals basic), SolveFrom
-// extends the snapshot to the child inverse in O(m²) per appended row
-// instead of refactorising in O(m³) — the difference between a warm start
-// that beats a cold solve and one that loses to it. The snapshot costs
-// m² floats per Basis; branch-and-bound children share their parent's
-// Basis pointer, so live memory scales with the open frontier, not the
-// tree. age counts the product-form updates the snapshot has absorbed
-// since its last from-scratch factorisation; SolveFrom refuses snapshots
-// whose accumulated age exceeds the refactorisation interval and rebuilds
-// instead, bounding inherited roundoff across generations.
+// Besides the column set, a Basis snapshots the basis representation at
+// optimality, in whichever form the producing kernel maintained it
+// (Options.Factor). The default LU kernel stores its frozen sparse L·U
+// factors plus eta file (fac): a child warm start adopts them by a O(1)
+// struct copy — the triangular factors are immutable and shared, and the
+// first eta the child appends copies the clipped eta file out of the
+// shared backing (copy-on-write), so sibling children never race. The
+// legacy dense kernel stores the explicit inverse (binv, m² floats);
+// because a child's basis matrix is block lower-triangular over its
+// parent's (appended rows keep their logicals basic), SolveFrom extends
+// that snapshot in O(m²) per appended row instead of refactorising in
+// O(m³). Branch-and-bound children share their parent's Basis pointer, so
+// live memory scales with the open frontier, not the tree. age counts the
+// product-form updates the snapshot has absorbed since its last
+// from-scratch factorisation; SolveFrom refuses dense snapshots whose age
+// exceeds the refactorisation interval (and LU snapshots whose eta file
+// has gone fill-heavy) and rebuilds instead, bounding inherited roundoff
+// across generations.
 type Basis struct {
 	nVars   int
 	entries []basisEntry
@@ -55,6 +61,7 @@ type Basis struct {
 	// rest at zero whenever nonbasic.
 	atUpper []bool
 	binv    []float64 // NumRows()² snapshot of B⁻¹, row-major (nil: none)
+	fac     *luFactor // frozen LU factors + eta file (nil: none)
 	age     int       // updates absorbed since the last true factorisation
 }
 

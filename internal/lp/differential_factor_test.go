@@ -1,0 +1,210 @@
+package lp
+
+// Differential pinning of the two basis kernels against each other: the
+// sparse LU kernel (the default) and the legacy explicit dense B⁻¹ run the
+// same pivot rule over the same matrices, so on every corpus instance they
+// must land on the same vertex — status, objective AND the full solution
+// vector — cold, warm-started from a bounds-tightened child (the row-free
+// branch-and-bound move, where the LU child adopts the parent's frozen
+// factors) and warm-started after an appended row (where the LU kernel
+// must detect the dimension change and refactorise). A disagreement here is
+// how an FTRAN/BTRAN or eta-file bug would surface as a silently wrong
+// optimum with the factorisation layer enabled.
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// solveBothKernels solves p cold under both kernels and returns the pair.
+func solveBothKernels(t *testing.T, p *Problem) (lu, binv *Solution, luBS, binvBS *Basis) {
+	t.Helper()
+	var err error
+	lu, luBS, err = SolveBasis(p, Options{Factor: FactorLU})
+	if err != nil {
+		t.Fatalf("lu: %v", err)
+	}
+	binv, binvBS, err = SolveBasis(p, Options{Factor: FactorBinv})
+	if err != nil {
+		t.Fatalf("binv: %v", err)
+	}
+	return lu, binv, luBS, binvBS
+}
+
+// TestDifferentialLUVsBinv: kernel agreement over the whole corpus, cold
+// and across a warm-started bounds-tightened child plus a grandchild
+// chained from the warm basis (the child appends etas onto inherited
+// factors, the exact state a deep branch-and-bound dive produces).
+func TestDifferentialLUVsBinv(t *testing.T) {
+	for i := 0; i < corpusSize; i++ {
+		i := i
+		t.Run(strconv.Itoa(i), func(t *testing.T) {
+			t.Parallel()
+			g := corpusInstance(i)
+			lu, binv, luBS, binvBS := solveBothKernels(t, g.p)
+			assertAgreeX(t, "cold", binv, lu)
+			if lu.Status != Optimal {
+				return
+			}
+
+			s := rng.NewReplicate(6, "lp-differential-factor", i)
+			v := s.Intn(g.p.NumVars())
+			child := g.p.Clone()
+			lo, _ := child.Bounds(v)
+			child.SetBounds(v, lo, math.Max(lo, math.Floor(lu.X[v])))
+			warmLU, wluBS, err := SolveFrom(child, luBS, Options{Factor: FactorLU})
+			if err != nil {
+				t.Fatalf("warm lu: %v", err)
+			}
+			warmBinv, wbinvBS, err := SolveFrom(child, binvBS, Options{Factor: FactorBinv})
+			if err != nil {
+				t.Fatalf("warm binv: %v", err)
+			}
+			assertAgreeX(t, "warm", warmBinv, warmLU)
+			if warmLU.Status != Optimal {
+				return
+			}
+
+			// Grandchild from the warm basis: the LU snapshot being adopted
+			// now carries a frozen eta file from the child's own pivots.
+			v2 := s.Intn(g.p.NumVars())
+			grand := child.Clone()
+			lo2, _ := grand.Bounds(v2)
+			grand.SetBounds(v2, lo2, math.Max(lo2, math.Floor(warmLU.X[v2])))
+			grandLU, _, err := SolveFrom(grand, wluBS, Options{Factor: FactorLU})
+			if err != nil {
+				t.Fatalf("grand lu: %v", err)
+			}
+			grandBinv, _, err := SolveFrom(grand, wbinvBS, Options{Factor: FactorBinv})
+			if err != nil {
+				t.Fatalf("grand binv: %v", err)
+			}
+			assertAgreeX(t, "grandchild", grandBinv, grandLU)
+		})
+	}
+}
+
+// TestDifferentialLUVsBinvAppendedRows: kernel agreement when the child
+// appends a bound row instead of tightening a box. The dense kernel extends
+// its inverse block-triangularly; the LU kernel cannot adopt a factor of
+// the wrong dimension and must flag the rebuild on the Solution.
+func TestDifferentialLUVsBinvAppendedRows(t *testing.T) {
+	for i := 0; i < corpusSize; i++ {
+		i := i
+		t.Run(strconv.Itoa(i), func(t *testing.T) {
+			t.Parallel()
+			g := corpusInstance(i)
+			lu, _, luBS, binvBS := solveBothKernels(t, g.p)
+			if lu.Status != Optimal {
+				return
+			}
+			s := rng.NewReplicate(7, "lp-differential-factor-rows", i)
+			v := s.Intn(g.p.NumVars())
+			child := g.p.Clone()
+			child.AddConstraint([]Term{{Var: v, Coef: 1}}, LE, math.Floor(lu.X[v]))
+			warmLU, _, err := SolveFrom(child, luBS, Options{Factor: FactorLU})
+			if err != nil {
+				t.Fatalf("warm lu: %v", err)
+			}
+			warmBinv, _, err := SolveFrom(child, binvBS, Options{Factor: FactorBinv})
+			if err != nil {
+				t.Fatalf("warm binv: %v", err)
+			}
+			assertAgreeX(t, "row-child", warmBinv, warmLU)
+			if !warmLU.FactorRebuilt {
+				t.Error("LU warm start after an appended row did not report FactorRebuilt")
+			}
+		})
+	}
+}
+
+// TestDifferentialLUVsBinvStaircase: kernel agreement at realistic
+// DSCT-EA-FR scale, where the staircase bases make the sparse factors pay
+// off and refactorisation actually triggers.
+func TestDifferentialLUVsBinvStaircase(t *testing.T) {
+	const staircaseFactorCorpus = 12
+	for i := 0; i < staircaseFactorCorpus; i++ {
+		i := i
+		t.Run(strconv.Itoa(i), func(t *testing.T) {
+			t.Parallel()
+			s := rng.NewReplicate(8, "lp-differential-factor-staircase", i)
+			nTasks := 20 + s.Intn(41) // 20..60 tasks
+			mMach := 2 + s.Intn(3)    // 2..4 machines
+			g := generateStaircaseLP(s, nTasks, mMach)
+
+			lu, binv, luBS, _ := solveBothKernels(t, g.p)
+			assertAgreeX(t, "cold", binv, lu)
+			if lu.Status != Optimal {
+				t.Fatalf("staircase instance not optimal (%v); generator broken", lu.Status)
+			}
+
+			v := s.Intn(g.p.NumVars())
+			child := g.p.Clone()
+			lo, _ := child.Bounds(v)
+			child.SetBounds(v, lo, math.Max(lo, math.Floor(lu.X[v])))
+			warmLU, _, err := SolveFrom(child, luBS, Options{Factor: FactorLU})
+			if err != nil {
+				t.Fatalf("warm lu: %v", err)
+			}
+			coldChild, _, err := SolveBasis(child, Options{Factor: FactorBinv})
+			if err != nil {
+				t.Fatalf("cold binv child: %v", err)
+			}
+			assertAgree(t, "warm-vs-cold-child", coldChild, warmLU)
+		})
+	}
+}
+
+// TestFactorRebuiltSemantics pins the FactorRebuilt flag on a fixed
+// instance: false cold and for an adopted same-shape LU inherit, true when
+// the basis came from the other kernel (no adoptable snapshot) and when a
+// row append changed the basis dimension.
+func TestFactorRebuiltSemantics(t *testing.T) {
+	p := degenerateStaircaseLP(12, 2)
+	lu, _, luBS, binvBS := solveBothKernels(t, p)
+	if lu.Status != Optimal {
+		t.Fatalf("status %v", lu.Status)
+	}
+	if lu.FactorRebuilt {
+		t.Error("cold solve reported FactorRebuilt")
+	}
+
+	child := p.Overlay()
+	child.SetBounds(0, 0, 0.5)
+
+	adopt, _, err := SolveFrom(child, luBS, Options{Factor: FactorLU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adopt.FactorRebuilt {
+		t.Error("same-shape LU inherit reported FactorRebuilt")
+	}
+
+	cross, _, err := SolveFrom(child, binvBS, Options{Factor: FactorLU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cross.FactorRebuilt {
+		t.Error("LU warm start from a dense-kernel basis did not report FactorRebuilt")
+	}
+	crossBack, _, err := SolveFrom(child, luBS, Options{Factor: FactorBinv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crossBack.FactorRebuilt {
+		t.Error("dense warm start from an LU basis did not report FactorRebuilt")
+	}
+
+	rowChild := p.Overlay()
+	rowChild.AddConstraint([]Term{{Var: 0, Coef: 1}}, LE, 0.5)
+	rowWarm, _, err := SolveFrom(rowChild, luBS, Options{Factor: FactorLU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowWarm.FactorRebuilt {
+		t.Error("LU warm start after a row append did not report FactorRebuilt")
+	}
+}

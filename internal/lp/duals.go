@@ -9,6 +9,9 @@ package lp
 // the duals, and Certify re-verifies a claimed optimum from first
 // principles (feasibility + dual feasibility + matching objectives), which
 // the test suite uses as an independent correctness oracle for the solver.
+// SolveBasisWithDuals extracts the same certificate from the revised
+// core's basis kernel instead: one BTRAN against the LU factors (or the
+// legacy dense inverse) prices the duals without a tableau.
 
 import (
 	"fmt"
@@ -83,6 +86,35 @@ func SolveWithDuals(p *Problem, opts Options) (*DualSolution, error) {
 	// are never rescaled, only rows, so no undo is needed).
 	copy(ds.ReducedCosts, t.objRow[:p.nVars])
 	return ds, nil
+}
+
+// SolveBasisWithDuals solves p with the revised simplex core — i.e. over
+// the basis kernel Options.Factor selects, the sparse LU by default — and
+// extracts the dual values of the optimal basis directly from the
+// factorisation: one BTRAN of the phase-2 basic costs yields y = cᵦᵀB⁻¹
+// in the stored (oriented, equilibrated) row frame, and undoing each
+// row's scale and orientation sign maps it back to the caller's rows.
+// Reduced costs come from the same pricing pass (columns are never
+// rescaled, so no undo is needed). Like SolveBasis it also returns the
+// optimal basis as a warm-start token. Only Optimal results carry duals.
+func SolveBasisWithDuals(p *Problem, opts Options) (*DualSolution, *Basis, error) {
+	t, sol, bs, err := solveBasisRev(p, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds := &DualSolution{Solution: *sol}
+	if sol.Status != Optimal {
+		return ds, bs, nil
+	}
+	cost := make([]float64, t.width)
+	copy(cost, p.obj)
+	t.prices(cost)
+	ds.Duals = make([]float64, t.m)
+	for i := 0; i < t.m; i++ {
+		ds.Duals[i] = t.y[i] * t.rowNeg[i] / t.rowScale[i]
+	}
+	ds.ReducedCosts = append([]float64(nil), t.d[:t.n]...)
+	return ds, bs, nil
 }
 
 // Certify checks an optimality certificate for an all-finite (x, y) pair:

@@ -184,3 +184,120 @@ func TestSolveWithDualsInfeasible(t *testing.T) {
 		t.Error("infeasible problems should not carry duals")
 	}
 }
+
+// TestSolveBasisWithDualsTextbook pins the kernel-extracted duals on the
+// same instance TestDualsTextbook uses for the tableau extraction.
+func TestSolveBasisWithDualsTextbook(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjCoef(0, 3)
+	p.SetObjCoef(1, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 4)
+	p.AddConstraint([]Term{{1, 2}}, LE, 12)
+	p.AddConstraint([]Term{{0, 3}, {1, 2}}, LE, 18)
+	for _, fm := range []FactorMode{FactorLU, FactorBinv} {
+		ds, bs, err := SolveBasisWithDuals(p, Options{Factor: fm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Status != Optimal {
+			t.Fatalf("factor=%v: status %v", fm, ds.Status)
+		}
+		if bs == nil {
+			t.Fatalf("factor=%v: no basis returned", fm)
+		}
+		if math.Abs(ds.Objective-36) > 1e-9 {
+			t.Errorf("factor=%v: objective %g, want 36", fm, ds.Objective)
+		}
+		want := []float64{0, 1.5, 1}
+		for i, w := range want {
+			if math.Abs(ds.Duals[i]-w) > 1e-9 {
+				t.Errorf("factor=%v: dual[%d] = %g, want %g", fm, i, ds.Duals[i], w)
+			}
+		}
+	}
+}
+
+// TestSolveBasisWithDualsCertify runs the kernel dual extraction over
+// random LPs under both basis kernels and checks every certificate with
+// Certify, then cross-checks duals and reduced costs against the tableau
+// extraction on the same instance.
+func TestSolveBasisWithDualsCertify(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		src := rng.NewReplicate(321, "certify-kernel", trial)
+		p := randomLP(src, 3+src.Intn(12), 3+src.Intn(20))
+		ref, err := SolveWithDuals(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, ref.Status)
+		}
+		for _, fm := range []FactorMode{FactorLU, FactorBinv} {
+			ds, _, err := SolveBasisWithDuals(p, Options{Factor: fm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ds.Status != Optimal {
+				t.Fatalf("trial %d factor=%v: status %v", trial, fm, ds.Status)
+			}
+			if err := Certify(p, ds.X, ds.Duals, 1e-5); err != nil {
+				t.Errorf("trial %d factor=%v: certificate rejected: %v", trial, fm, err)
+			}
+			if math.Abs(ds.Objective-ref.Objective) > 1e-6*(1+math.Abs(ref.Objective)) {
+				t.Errorf("trial %d factor=%v: objective %g vs tableau %g",
+					trial, fm, ds.Objective, ref.Objective)
+			}
+			for i := range ds.Duals {
+				if math.Abs(ds.Duals[i]-ref.Duals[i]) > 1e-6*(1+math.Abs(ref.Duals[i])) {
+					t.Errorf("trial %d factor=%v: dual[%d] = %g vs tableau %g",
+						trial, fm, i, ds.Duals[i], ref.Duals[i])
+				}
+			}
+			for v := range ds.ReducedCosts {
+				if math.Abs(ds.ReducedCosts[v]-ref.ReducedCosts[v]) > 1e-6*(1+math.Abs(ref.ReducedCosts[v])) {
+					t.Errorf("trial %d factor=%v: redcost[%d] = %g vs tableau %g",
+						trial, fm, v, ds.ReducedCosts[v], ref.ReducedCosts[v])
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBasisWithDualsStaircase certifies the kernel duals on
+// DSCT-EA-FR-shaped staircase instances, the sparse workload the LU kernel
+// is built for.
+func TestSolveBasisWithDualsStaircase(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		src := rng.NewReplicate(322, "certify-kernel-staircase", trial)
+		g := generateStaircaseLP(src, 20+src.Intn(21), 2+src.Intn(3))
+		ds, _, err := SolveBasisWithDuals(g.p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, ds.Status)
+		}
+		if err := Certify(g.p, ds.X, ds.Duals, 1e-5); err != nil {
+			t.Errorf("trial %d: certificate rejected: %v", trial, err)
+		}
+	}
+}
+
+// TestSolveBasisWithDualsInfeasible mirrors TestSolveWithDualsInfeasible:
+// non-optimal statuses must carry no duals.
+func TestSolveBasisWithDualsInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjCoef(0, 1)
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 2)
+	ds, bs, err := SolveBasisWithDuals(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", ds.Status)
+	}
+	if ds.Duals != nil || bs != nil {
+		t.Fatal("infeasible solve returned duals or a basis")
+	}
+}

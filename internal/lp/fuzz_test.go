@@ -78,6 +78,23 @@ func FuzzSimplex(f *testing.F) {
 				sparse.Objective, sol.Objective, d)
 		}
 
+		// Kernel cross-check: the revised core above ran the default sparse
+		// LU basis kernel; the legacy dense-B⁻¹ kernel must land on the same
+		// vertex (identical pivot rule over identical matrices), so the full
+		// solution vector must agree, not just the objective.
+		binv, _, err := SolveBasis(g.p, Options{Sparse: SparseOn, Factor: FactorBinv})
+		if err != nil {
+			t.Fatalf("SolveBasis(FactorBinv): %v", err)
+		}
+		if binv.Status != sparse.Status {
+			t.Fatalf("binv status = %v, lu status = %v", binv.Status, sparse.Status)
+		}
+		for v := range binv.X {
+			if d := binv.X[v] - sparse.X[v]; abs(d) > 1e-9 {
+				t.Errorf("kernels disagree at x[%d]: binv %g != lu %g", v, binv.X[v], sparse.X[v])
+			}
+		}
+
 		// Boxed variant from the same stream: the bounded-variable method
 		// must match the bounds-expanded-to-rows rewrite of the identical
 		// instance, and its solution must respect the original boxes.

@@ -262,6 +262,39 @@ func (s SparseMode) String() string {
 	}
 }
 
+// FactorMode selects the basis kernel used by the revised simplex core
+// (SolveBasis / SolveFrom): how B⁻¹ is represented, updated per pivot and
+// rebuilt. The tableau core (Solve) is unaffected.
+type FactorMode int
+
+// Factor modes.
+const (
+	// FactorAuto uses the sparse LU kernel (equivalent to FactorLU): L·U
+	// triangular factors with Markowitz ordering, eta-file pivot updates
+	// and adaptive refactorisation.
+	FactorAuto FactorMode = iota
+	// FactorLU forces the sparse LU kernel.
+	FactorLU
+	// FactorBinv forces the legacy explicit dense B⁻¹: O(m²) product-form
+	// updates and O(m³) Gauss–Jordan refactorisation every RefactorEvery
+	// pivots. Kept selectable for A/B benchmarking against the LU kernel.
+	FactorBinv
+)
+
+// String names the mode.
+func (f FactorMode) String() string {
+	switch f {
+	case FactorAuto:
+		return "auto"
+	case FactorLU:
+		return "lu"
+	case FactorBinv:
+		return "binv"
+	default:
+		return fmt.Sprintf("factormode(%d)", int(f))
+	}
+}
+
 // Options tunes a solve. The zero value uses defaults.
 type Options struct {
 	// MaxIters caps simplex pivots across both phases
@@ -274,6 +307,14 @@ type Options struct {
 	// Sparse selects the revised core's matrix representation
 	// (default SparseAuto).
 	Sparse SparseMode
+	// Factor selects the revised core's basis kernel
+	// (default FactorAuto, the sparse LU).
+	Factor FactorMode
+	// RefactorEvery caps the product-form updates the legacy dense B⁻¹
+	// kernel (FactorBinv) absorbs before a from-scratch rebuild
+	// (default 64). The LU kernel ignores it: its refactorisation is
+	// adaptive, triggered by eta-file fill and a numerical-drift check.
+	RefactorEvery int
 }
 
 // Solution is the result of a solve. X is populated for Optimal and, on a
@@ -284,4 +325,12 @@ type Solution struct {
 	Objective  float64
 	X          []float64
 	Iterations int
+
+	// FactorRebuilt reports that a warm start (SolveFrom) could not adopt
+	// the supplied basis snapshot's factorisation — missing, produced by
+	// the other kernel, dimension-mismatched after appended rows, stale or
+	// fill-heavy, or failing the B·xb ≈ q residual check — and the solve
+	// refactorised the inherited column set from scratch instead. Always
+	// false for cold solves.
+	FactorRebuilt bool
 }

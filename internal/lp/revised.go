@@ -1,11 +1,14 @@
 package lp
 
-// Revised simplex with an explicit basis inverse. Unlike the dense tableau
-// in simplex.go — which rewrites the whole constraint matrix on every pivot
-// and must re-solve from scratch for every problem — this core keeps the
-// original matrix immutable and maintains B⁻¹ explicitly, refactorising it
-// from scratch every refactorEvery pivots for numerical hygiene. That makes
-// two things possible that the tableau cannot offer:
+// Revised simplex over an exchangeable basis kernel. Unlike the dense
+// tableau in simplex.go — which rewrites the whole constraint matrix on
+// every pivot and must re-solve from scratch for every problem — this core
+// keeps the original matrix immutable and maintains a representation of
+// B⁻¹ beside it: by default the sparse LU factorisation with eta-file
+// updates in factor.go, or (Options.Factor = FactorBinv) the legacy
+// explicit dense inverse, refactorised every refactorEvery pivots for
+// numerical hygiene. That makes two things possible that the tableau
+// cannot offer:
 //
 //   - an exportable Basis: the basic column set (plus the nonbasic-at-bound
 //     markers) is plain data that survives the solve and can seed another;
@@ -43,10 +46,12 @@ import (
 )
 
 const (
-	// refactorEvery bounds the number of product-form updates applied to
-	// B⁻¹ before it is recomputed from scratch; explicit-inverse updates
+	// refactorEvery is the default Options.RefactorEvery: it bounds the
+	// number of product-form updates applied to the legacy explicit B⁻¹
+	// before it is recomputed from scratch; explicit-inverse updates
 	// accumulate roundoff linearly, so a periodic rebuild keeps basic
-	// values trustworthy over long pivot sequences.
+	// values trustworthy over long pivot sequences. The LU kernel ignores
+	// it (see the adaptive trigger constants in factor.go).
 	refactorEvery = 64
 	// singularTol is the partial-pivoting threshold below which a basis
 	// matrix is declared singular during refactorisation.
@@ -79,10 +84,23 @@ type rev struct {
 	lo, hi  []float64 // width; column boxes (see package layout comment)
 	atUpper []bool    // width; nonbasic column rests at hi instead of lo
 
+	// rowScale and rowNeg record the equilibration scale and orientation
+	// sign applied to each stored row, so duals priced in the stored frame
+	// can be mapped back to the caller's rows (SolveBasisWithDuals).
+	rowScale []float64 // m; largest structural coefficient (1 for all-zero rows)
+	rowNeg   []float64 // m; −1 for >= rows negated to <=, else +1
+
 	basis   []int  // basis[i] = column basic in row i
 	inBasis []bool // width
-	binv    []float64
-	xb      []float64 // current basic values, binv·q
+
+	// Basis kernel: exactly one representation is maintained, per the
+	// resolved Options.Factor. factorLU selects the sparse LU factors with
+	// eta-file updates (lu); otherwise the legacy explicit dense inverse
+	// (binv) is kept.
+	factorLU bool
+	lu       *luFactor
+	binv     []float64
+	xb       []float64 // current basic values, B⁻¹·q
 
 	tol           float64
 	iters         int
@@ -91,6 +109,7 @@ type rev struct {
 	blandMode     bool
 	degenRun      int
 	sinceRefactor int
+	refactorEvery int  // legacy rebuild cadence (resolved Options.RefactorEvery)
 	numRetries    int  // consecutive vanished-pivot rebuilds; bounded to stay terminating
 	dFresh        bool // t.d currently holds valid reduced costs (dual incremental updates)
 
@@ -100,6 +119,11 @@ type rev struct {
 	alpha []float64 // width pivot-row coefficients (dual simplex)
 	w     []float64 // m entering-column direction (ftran)
 	colv  []float64 // m gathered matrix column
+	// LU-kernel scratch (nil in legacy mode)
+	cb  []float64 // m btran input: basic costs, or a unit vector
+	rho []float64 // m btran output: one row of B⁻¹ (row space)
+	luW []float64 // m triangular-solve workspace
+	luC []float64 // m btran eta-transform workspace
 }
 
 // newRev builds the canonical-form matrix for p: >= rows negated to <=,
@@ -116,22 +140,32 @@ func newRev(p *Problem, opts Options) *rev {
 	width := n + 2*m
 	t := &rev{
 		m: m, n: n, width: width, rw: n + m,
-		artSign: make([]float64, m),
-		b:       make([]float64, m),
-		q:       make([]float64, m),
-		lo:      make([]float64, width),
-		hi:      make([]float64, width),
-		atUpper: make([]bool, width),
-		basis:   make([]int, m),
-		inBasis: make([]bool, width),
-		binv:    make([]float64, m*m),
-		xb:      make([]float64, m),
-		tol:     opts.Tol,
-		y:       make([]float64, m),
-		d:       make([]float64, width),
-		alpha:   make([]float64, width),
-		w:       make([]float64, m),
-		colv:    make([]float64, m),
+		artSign:  make([]float64, m),
+		b:        make([]float64, m),
+		q:        make([]float64, m),
+		rowScale: make([]float64, m),
+		rowNeg:   make([]float64, m),
+		lo:       make([]float64, width),
+		hi:       make([]float64, width),
+		atUpper:  make([]bool, width),
+		basis:    make([]int, m),
+		inBasis:  make([]bool, width),
+		xb:       make([]float64, m),
+		tol:      opts.Tol,
+		y:        make([]float64, m),
+		d:        make([]float64, width),
+		alpha:    make([]float64, width),
+		w:        make([]float64, m),
+		colv:     make([]float64, m),
+	}
+	t.factorLU = opts.Factor != FactorBinv
+	if t.factorLU {
+		t.cb = make([]float64, m)
+		t.rho = make([]float64, m)
+		t.luW = make([]float64, m)
+		t.luC = make([]float64, m)
+	} else {
+		t.binv = make([]float64, m*m)
 	}
 	if t.tol == 0 {
 		t.tol = defaultTol
@@ -139,6 +173,10 @@ func newRev(p *Problem, opts Options) *rev {
 	t.iterLimit = opts.MaxIters
 	if t.iterLimit == 0 {
 		t.iterLimit = 100*(m+n) + 1000
+	}
+	t.refactorEvery = opts.RefactorEvery
+	if t.refactorEvery <= 0 {
+		t.refactorEvery = refactorEvery
 	}
 	t.deadline = opts.Deadline
 
@@ -183,6 +221,14 @@ func newRev(p *Problem, opts Options) *rev {
 				seg[k] *= inv
 			}
 			rhs *= inv
+			t.rowScale[i] = scale
+		} else {
+			t.rowScale[i] = 1
+		}
+		if sr.sense[i] == GE {
+			t.rowNeg[i] = -1
+		} else {
+			t.rowNeg[i] = 1
 		}
 		t.b[i] = rhs
 
@@ -299,9 +345,88 @@ func (t *rev) colAt(r, col int) float64 {
 	return t.sp.at(r, col)
 }
 
-// refactorize recomputes B⁻¹ from the basis columns by Gauss–Jordan
-// elimination with partial pivoting and refreshes xb = B⁻¹q.
+// gatherCol scatters matrix column col (structural, logical or implicit
+// artificial) into t.colv as a dense row-space vector.
+func (t *rev) gatherCol(col int) {
+	for i := range t.colv {
+		t.colv[i] = 0
+	}
+	switch {
+	case col >= t.rw:
+		t.colv[col-t.rw] = t.artSign[col-t.rw]
+	case t.sp != nil:
+		if col >= t.n {
+			t.colv[col-t.n] = 1
+			return
+		}
+		for k := t.sp.colPtr[col]; k < t.sp.colPtr[col+1]; k++ {
+			t.colv[t.sp.rowIdx[k]] = t.sp.colVal[k]
+		}
+	default:
+		for i := 0; i < t.m; i++ {
+			t.colv[i] = t.a[i*t.rw+col]
+		}
+	}
+}
+
+// refactorize rebuilds the basis representation of the selected kernel
+// from the basis columns and refreshes xb = B⁻¹q.
 func (t *rev) refactorize() error {
+	if t.factorLU {
+		return t.refactorizeLU()
+	}
+	return t.refactorizeBinv()
+}
+
+// refactorizeLU gathers the basis columns into CSC form and computes a
+// fresh sparse LU (factor.go), emptying the eta file. O(nnz of the basis)
+// gather plus the near-O(nnz) elimination on the staircase bases the
+// paper's instances produce — against the dense kernel's O(m³).
+func (t *rev) refactorizeLU() error {
+	m := t.m
+	colPtr := make([]int, m+1)
+	rowIdx := make([]int, 0, 4*m)
+	vals := make([]float64, 0, 4*m)
+	for i := 0; i < m; i++ {
+		col := t.basis[i]
+		switch {
+		case col >= t.rw:
+			rowIdx = append(rowIdx, col-t.rw)
+			vals = append(vals, t.artSign[col-t.rw])
+		case t.sp != nil && col >= t.n:
+			rowIdx = append(rowIdx, col-t.n)
+			vals = append(vals, 1)
+		case t.sp != nil:
+			for k := t.sp.colPtr[col]; k < t.sp.colPtr[col+1]; k++ {
+				if v := t.sp.colVal[k]; v != 0 {
+					rowIdx = append(rowIdx, t.sp.rowIdx[k])
+					vals = append(vals, v)
+				}
+			}
+		default:
+			for r := 0; r < m; r++ {
+				if v := t.a[r*t.rw+col]; v != 0 {
+					rowIdx = append(rowIdx, r)
+					vals = append(vals, v)
+				}
+			}
+		}
+		colPtr[i+1] = len(rowIdx)
+	}
+	f, err := factorizeBasis(m, colPtr, rowIdx, vals)
+	if err != nil {
+		return err
+	}
+	t.lu = f
+	t.sinceRefactor = 0
+	t.computeXB()
+	return nil
+}
+
+// refactorizeBinv recomputes the legacy explicit B⁻¹ from the basis
+// columns by Gauss–Jordan elimination with partial pivoting and refreshes
+// xb = B⁻¹q.
+func (t *rev) refactorizeBinv() error {
 	m := t.m
 	if m == 0 {
 		t.sinceRefactor = 0
@@ -432,7 +557,7 @@ func (t *rev) refactorize() error {
 // and a flipped artificial sign surfaces here too).
 func (t *rev) inheritInverse(from *Basis) bool {
 	mp := len(from.entries)
-	if from.binv == nil || len(from.binv) != mp*mp || from.age >= refactorEvery {
+	if from.binv == nil || len(from.binv) != mp*mp || from.age >= t.refactorEvery {
 		return false
 	}
 	m := t.m
@@ -462,6 +587,27 @@ func (t *rev) inheritInverse(from *Basis) bool {
 	}
 	t.computeXB()
 	t.sinceRefactor = from.age + (m - mp)
+	return t.inverseResidualOK()
+}
+
+// inheritFactor adopts a parent snapshot's frozen LU factors: a struct
+// copy sharing the immutable L/U and the clipped eta file (appends
+// copy-on-write, so sibling children adopting the same snapshot never
+// race). It reports false — leaving the caller to refactorise — when the
+// snapshot is missing or produced by the dense kernel, when the child's
+// basis dimension differs (appended rows under BranchRows), when the eta
+// file is already fill-heavy, or when the residual check B·xb ≈ q fails
+// (a child's bound changes can flip an artificial's sign, invalidating
+// the parent's factor of it).
+func (t *rev) inheritFactor(from *Basis) bool {
+	f := from.fac
+	if f == nil || f.m != t.m || f.fillHeavy() {
+		return false
+	}
+	cp := *f
+	t.lu = &cp
+	t.sinceRefactor = from.age
+	t.computeXB()
 	return t.inverseResidualOK()
 }
 
@@ -524,6 +670,13 @@ func (t *rev) inverseResidualOK() bool {
 // basic column's box back onto the bound (the bounded generalisation of
 // the old negative-residue-to-zero snap).
 func (t *rev) computeXB() {
+	if t.factorLU {
+		t.lu.ftran(t.q, t.xb, t.luW)
+		for i := 0; i < t.m; i++ {
+			t.snapXB(i)
+		}
+		return
+	}
 	for i := 0; i < t.m; i++ {
 		var s float64
 		row := t.binv[i*t.m : (i+1)*t.m]
@@ -566,17 +719,25 @@ func (t *rev) setBasis(cols []int) {
 // d = c − yᵀA for the working cost vector c.
 func (t *rev) prices(c []float64) {
 	m := t.m
-	for k := range t.y {
-		t.y[k] = 0
-	}
-	for i := 0; i < m; i++ {
-		cb := c[t.basis[i]]
-		if cb == 0 {
-			continue
+	if t.factorLU {
+		// One BTRAN of the basic costs against the factors + eta file.
+		for i := 0; i < m; i++ {
+			t.cb[i] = c[t.basis[i]]
 		}
-		row := t.binv[i*m : (i+1)*m]
-		for k := 0; k < m; k++ {
-			t.y[k] += cb * row[k]
+		t.lu.btran(t.cb, t.y, t.luW, t.luC)
+	} else {
+		for k := range t.y {
+			t.y[k] = 0
+		}
+		for i := 0; i < m; i++ {
+			cb := c[t.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := t.binv[i*m : (i+1)*m]
+			for k := 0; k < m; k++ {
+				t.y[k] += cb * row[k]
+			}
 		}
 	}
 	// Artificial reduced costs (columns >= rw) are never read — artificials
@@ -619,6 +780,11 @@ func (t *rev) prices(c []float64) {
 // k-th column of B⁻¹.
 func (t *rev) ftran(col int) {
 	m := t.m
+	if t.factorLU {
+		t.gatherCol(col)
+		t.lu.ftran(t.colv, t.w, t.luW)
+		return
+	}
 	if t.sp != nil {
 		if col >= t.n { // logical e_k or artificial ±e_k: w = ±B⁻¹ e_k
 			k := col - t.n
@@ -668,7 +834,18 @@ func (t *rev) pivotRow(pr int) {
 	for j := 0; j < t.rw; j++ {
 		t.alpha[j] = 0
 	}
-	row := t.binv[pr*t.m : (pr+1)*t.m]
+	var row []float64
+	if t.factorLU {
+		// Row pr of B⁻¹ is e_prᵀ·B⁻¹: one BTRAN of a unit vector.
+		for k := range t.cb {
+			t.cb[k] = 0
+		}
+		t.cb[pr] = 1
+		t.lu.btran(t.cb, t.rho, t.luW, t.luC)
+		row = t.rho
+	} else {
+		row = t.binv[pr*t.m : (pr+1)*t.m]
+	}
 	if t.sp != nil {
 		for k := 0; k < t.m; k++ {
 			bk := row[k]
@@ -752,22 +929,28 @@ func (t *rev) pivotBounded(pr, pc int, leaveToUpper bool) error {
 	}
 	t.xb[pr] = t.nbVal(pc) + delta
 
-	inv := 1 / piv
-	prow := t.binv[pr*m : (pr+1)*m]
-	for k := range prow {
-		prow[k] *= inv
-	}
-	for i := 0; i < m; i++ {
-		if i == pr {
-			continue
+	if t.factorLU {
+		// Product-form update: one eta vector from the direction already
+		// in hand, O(nnz(w)) instead of the dense kernel's O(m²) sweep.
+		t.lu.appendEta(pr, t.w)
+	} else {
+		inv := 1 / piv
+		prow := t.binv[pr*m : (pr+1)*m]
+		for k := range prow {
+			prow[k] *= inv
 		}
-		wi := t.w[i]
-		if wi == 0 {
-			continue
-		}
-		row := t.binv[i*m : (i+1)*m]
-		for k := 0; k < m; k++ {
-			row[k] -= wi * prow[k]
+		for i := 0; i < m; i++ {
+			if i == pr {
+				continue
+			}
+			wi := t.w[i]
+			if wi == 0 {
+				continue
+			}
+			row := t.binv[i*m : (i+1)*m]
+			for k := 0; k < m; k++ {
+				row[k] -= wi * prow[k]
+			}
 		}
 	}
 
@@ -779,7 +962,17 @@ func (t *rev) pivotBounded(pr, pc int, leaveToUpper bool) error {
 	t.snapXB(pr)
 
 	t.sinceRefactor++
-	if t.sinceRefactor >= refactorEvery {
+	if t.factorLU {
+		// Adaptive trigger: rebuild when the eta file outgrows the factors,
+		// or when the amortised drift check finds the represented inverse
+		// has wandered from the basis it claims to invert.
+		if t.lu.fillHeavy() ||
+			(t.sinceRefactor%driftCheckEvery == 0 && !t.inverseResidualOK()) {
+			return t.refactorize()
+		}
+		return nil
+	}
+	if t.sinceRefactor >= t.refactorEvery {
 		return t.refactorize()
 	}
 	return nil
@@ -1144,8 +1337,11 @@ func (t *rev) finish(p *Problem, status Status) (*Solution, *Basis) {
 	if status != Optimal {
 		return sol, nil
 	}
-	// Hand the inverse over without copying: finish is terminal, the rev
-	// and its buffers are dead after this call, and a Basis is immutable.
+	// Hand the kernel's representation over without copying: a Basis is
+	// immutable, and the rev never pivots after finish (it may still price
+	// read-only, which is how SolveBasisWithDuals extracts duals). The LU
+	// factors are frozen (eta slices clipped) so every solver that adopts
+	// them appends copy-on-write.
 	bs := &Basis{
 		nVars:   t.n,
 		entries: make([]basisEntry, t.m),
@@ -1153,7 +1349,9 @@ func (t *rev) finish(p *Problem, status Status) (*Solution, *Basis) {
 		binv:    t.binv,
 		age:     t.sinceRefactor,
 	}
-	t.binv = nil
+	if t.factorLU {
+		bs.fac = t.lu.freeze()
+	}
 	for i := 0; i < t.m; i++ {
 		bs.entries[i] = entryForColumn(t.basis[i], t.n, t.m)
 	}
@@ -1164,6 +1362,14 @@ func (t *rev) finish(p *Problem, status Status) (*Solution, *Basis) {
 // like Solve) and additionally returns the optimal basis for use as a
 // warm start by SolveFrom. The Basis is nil unless the status is Optimal.
 func SolveBasis(p *Problem, opts Options) (*Solution, *Basis, error) {
+	_, sol, bs, err := solveBasisRev(p, opts)
+	return sol, bs, err
+}
+
+// solveBasisRev is SolveBasis returning the final solver state as well,
+// for callers that extract more than the Solution (SolveBasisWithDuals).
+// The returned rev is nil when the solve errored out early.
+func solveBasisRev(p *Problem, opts Options) (*rev, *Solution, *Basis, error) {
 	t := newRev(p, opts)
 
 	// Initial point: every structural column at its lower bound. Rows whose
@@ -1181,7 +1387,7 @@ func SolveBasis(p *Problem, opts Options) (*Solution, *Basis, error) {
 	}
 	t.setBasis(cols)
 	if err := t.refactorize(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	if needPhase1 {
@@ -1191,20 +1397,20 @@ func SolveBasis(p *Problem, opts Options) (*Solution, *Basis, error) {
 		}
 		status, err := t.primal(phase1)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		switch status {
 		case IterLimit, TimeLimit:
-			return &Solution{Status: status, Iterations: t.iters}, nil, nil
+			return t, &Solution{Status: status, Iterations: t.iters}, nil, nil
 		case Unbounded:
 			// Phase 1 is bounded by construction; treat as numerical failure.
-			return &Solution{Status: Infeasible, Iterations: t.iters}, nil, nil
+			return t, &Solution{Status: Infeasible, Iterations: t.iters}, nil, nil
 		}
 		if t.artificialValue() > feasTol {
-			return &Solution{Status: Infeasible, Iterations: t.iters}, nil, nil
+			return t, &Solution{Status: Infeasible, Iterations: t.iters}, nil, nil
 		}
 		if err := t.driveOutArtificials(); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	t.freezeArtificials()
@@ -1213,10 +1419,10 @@ func SolveBasis(p *Problem, opts Options) (*Solution, *Basis, error) {
 	copy(phase2, p.obj)
 	status, err := t.primal(phase2)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	sol, bs := t.finish(p, status)
-	return sol, bs, nil
+	return t, sol, bs, nil
 }
 
 // SolveFrom solves p warm-started from a basis produced by a previous
@@ -1277,7 +1483,13 @@ func SolveFrom(p *Problem, from *Basis, opts Options) (*Solution, *Basis, error)
 		}
 	}
 	t.recomputeQ() // fold the restored nonbasic values into q
-	if !t.inheritInverse(from) {
+	inherited := false
+	if t.factorLU {
+		inherited = t.inheritFactor(from)
+	} else {
+		inherited = t.inheritInverse(from)
+	}
+	if !inherited {
 		if err := t.refactorize(); err != nil {
 			return nil, nil, err
 		}
@@ -1300,5 +1512,6 @@ func SolveFrom(p *Problem, from *Basis, opts Options) (*Solution, *Basis, error)
 		}
 	}
 	sol, bs := t.finish(p, status)
+	sol.FactorRebuilt = !inherited
 	return sol, bs, nil
 }

@@ -148,6 +148,15 @@ type Result struct {
 	WarmSolves int // relaxations warm-started from a parent basis
 	ColdSolves int // relaxations solved from scratch
 
+	// InheritFallbacks counts warm-started relaxations that reused the
+	// parent's basic column set but could not adopt its factorisation
+	// snapshot — missing, stale, fill-heavy, failing the residual check,
+	// or dimension-mismatched (under Options.BranchRows every child grows
+	// a row, so the LU kernel refactorises at every node) — and rebuilt
+	// the factors from scratch instead. A subset of WarmSolves; it used
+	// to happen silently inside lp.SolveFrom.
+	InheritFallbacks int
+
 	// MaxNodeRows is the largest constraint-row count of any node
 	// relaxation solved during the search. With bound branching (the
 	// default) it equals the root LP's row count at any tree depth; with

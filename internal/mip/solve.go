@@ -51,11 +51,12 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		return nil, s.err
 	}
 	res := &Result{
-		Nodes:       s.nodes,
-		Elapsed:     time.Since(start),
-		WarmSolves:  s.warmSolves,
-		ColdSolves:  s.coldSolves,
-		MaxNodeRows: s.maxNodeRows,
+		Nodes:            s.nodes,
+		Elapsed:          time.Since(start),
+		WarmSolves:       s.warmSolves,
+		ColdSolves:       s.coldSolves,
+		InheritFallbacks: s.inheritFallbacks,
+		MaxNodeRows:      s.maxNodeRows,
 	}
 	hasIncumbent := !math.IsInf(s.incumbent, -1)
 	if hasIncumbent {
@@ -90,10 +91,11 @@ type searcher struct {
 	incumbent     float64
 	incumbentX    []float64
 	incumbentPath string
-	nodes         int
-	warmSolves    int
-	coldSolves    int
-	maxNodeRows   int
+	nodes            int
+	warmSolves       int
+	coldSolves       int
+	inheritFallbacks int
+	maxNodeRows      int
 	stopped       bool
 	err           error
 }
@@ -309,7 +311,7 @@ func (s *searcher) solveNodeLP(fixes *fixChain, depth int, from *lp.Basis, heuri
 
 	if s.opts.DisableWarmStart {
 		sol, err := lp.Solve(p, lpOpts)
-		s.countSolve(false, rows)
+		s.countSolve(false, false, rows)
 		return sol, nil, err
 	}
 	if heuristicFix != nil {
@@ -319,12 +321,12 @@ func (s *searcher) solveNodeLP(fixes *fixChain, depth int, from *lp.Basis, heuri
 		// than a fresh solve), so go straight to the tableau solver.
 		// Children never inherit from heuristic solves.
 		sol, err := lp.Solve(p, lpOpts)
-		s.countSolve(false, rows)
+		s.countSolve(false, false, rows)
 		return sol, nil, err
 	}
 	if from != nil {
 		if sol, basis, err := lp.SolveFrom(p, from, lpOpts); err == nil {
-			s.countSolve(true, rows)
+			s.countSolve(true, sol.FactorRebuilt, rows)
 			return sol, basis, nil
 		}
 		// Warm start failed; fall through to a cold solve.
@@ -338,16 +340,21 @@ func (s *searcher) solveNodeLP(fixes *fixChain, depth int, from *lp.Basis, heuri
 			return nil, nil, err
 		}
 	}
-	s.countSolve(false, rows)
+	s.countSolve(false, false, rows)
 	return sol, basis, nil
 }
 
-// countSolve tallies warm vs cold relaxation solves and the node row-count
-// high-water mark for Result reporting.
-func (s *searcher) countSolve(warm bool, rows int) {
+// countSolve tallies warm vs cold relaxation solves, inherit fallbacks
+// (warm starts that had to refactorise because the parent snapshot could
+// not be adopted) and the node row-count high-water mark for Result
+// reporting.
+func (s *searcher) countSolve(warm, inheritFallback bool, rows int) {
 	s.mu.Lock()
 	if warm {
 		s.warmSolves++
+		if inheritFallback {
+			s.inheritFallbacks++
+		}
 	} else {
 		s.coldSolves++
 	}

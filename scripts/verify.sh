@@ -8,10 +8,12 @@
 # With -bench, additionally runs the simplex benchmark suite — cold-vs-warm
 # (BenchmarkMIPColdVsWarm, BenchmarkWarmVsColdLP), dense-vs-sparse
 # (BenchmarkSparseVsDenseLP, BenchmarkSparseVsDenseWarmLP,
-# BenchmarkMIPDenseVsSparse) and rows-vs-bounds (BenchmarkBoundsVsRowsLP,
-# BenchmarkMIPBoundsVsRows) — records the parsed results, including
-# per-pair speedups, in BENCH_PR4.json via cmd/benchjson, and diffs them
-# against the committed BENCH_PR3.json baseline (shared benchmarks only;
+# BenchmarkMIPDenseVsSparse), rows-vs-bounds (BenchmarkBoundsVsRowsLP,
+# BenchmarkMIPBoundsVsRows) and basis-kernel binv-vs-lu
+# (BenchmarkFactorLUVsBinvLP, BenchmarkFactorLUVsBinvWarmLP,
+# BenchmarkMIPFactorLUVsBinv) — records the parsed results, including
+# per-pair speedups, in BENCH_PR5.json via cmd/benchjson, and diffs them
+# against the committed BENCH_PR4.json baseline (shared benchmarks only;
 # threshold x2.5 to ride out machine noise).
 #
 # With -profile, runs a paper-scale experiment under cmd/experiments'
@@ -43,19 +45,22 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 if [ "$run_bench" = 1 ]; then
-  echo "==> simplex benchmarks -> BENCH_PR4.json"
+  echo "==> simplex benchmarks -> BENCH_PR5.json"
   {
     go test -run='^$' -bench='^BenchmarkMIPColdVsWarm$' -benchtime=3x -count=4 .
     go test -run='^$' -bench='^BenchmarkMIPDenseVsSparse$' -benchtime=2x -count=3 .
     go test -run='^$' -bench='^BenchmarkMIPBoundsVsRows$' -benchtime=2x -count=3 .
+    go test -run='^$' -bench='^BenchmarkMIPFactorLUVsBinv$' -benchtime=2x -count=3 .
     go test -run='^$' -bench='^BenchmarkWarmVsColdLP$' -benchtime=50x -count=4 ./internal/lp/
     go test -run='^$' -bench='^BenchmarkSparseVsDenseLP$' -benchtime=1x -count=3 ./internal/lp/
     go test -run='^$' -bench='^BenchmarkSparseVsDenseWarmLP$' -benchtime=10x -count=3 ./internal/lp/
     go test -run='^$' -bench='^BenchmarkBoundsVsRowsLP$' -benchtime=2x -count=3 ./internal/lp/
-  } | tee /dev/stderr | go run ./cmd/benchjson -label "bounded-variable simplex, PR 4" -o BENCH_PR4.json
+    go test -run='^$' -bench='^BenchmarkFactorLUVsBinvLP$' -benchtime=1x -count=3 ./internal/lp/
+    go test -run='^$' -bench='^BenchmarkFactorLUVsBinvWarmLP$' -benchtime=10x -count=3 ./internal/lp/
+  } | tee /dev/stderr | go run ./cmd/benchjson -label "basis factorisation, PR 5" -o BENCH_PR5.json
 
-  echo "==> benchjson -diff BENCH_PR3.json BENCH_PR4.json"
-  go run ./cmd/benchjson -diff -threshold 2.5 BENCH_PR3.json BENCH_PR4.json
+  echo "==> benchjson -diff BENCH_PR4.json BENCH_PR5.json"
+  go run ./cmd/benchjson -diff -threshold 2.5 BENCH_PR4.json BENCH_PR5.json
 fi
 
 if [ "$run_profile" = 1 ]; then
