@@ -3,12 +3,25 @@
 //
 // Usage:
 //
-//	dsctalint [-json] [-analyzers floatcmp,detrand,...] [pattern ...]
+//	dsctalint [-json] [-analyzers floatcmp,detrand,...] [-baseline file] [pattern ...]
+//	dsctalint -escape [-baseline LINT_ESCAPE.json] [-write] [pattern ...]
 //
 // Patterns are package directories; a trailing "/..." walks recursively
 // (skipping vendor and testdata directories unless the pattern root itself
 // names one). With no patterns, ./... is linted. Exit status is 0 when
 // clean, 1 when findings were reported, 2 on usage or load errors.
+//
+// -json emits a header object {"analyzers": [...], "targets": N,
+// "findings": [...]} on stdout; findings is always an array, [] when
+// clean. -baseline suppresses findings recorded in a previous -json run
+// (matched by file, analyzer and message — line numbers may drift), so a
+// new analyzer can land incrementally.
+//
+// -escape switches to the hot-path escape gate: the module is rebuilt
+// with `go build -gcflags=-m` and compiler-reported heap escapes inside
+// //lint:hotpath functions are compared against the committed
+// LINT_ESCAPE.json baseline (-baseline; -write regenerates it). New
+// escapes fail the gate; stale baseline entries only warn.
 //
 // Findings are suppressed at a site with
 //
@@ -23,6 +36,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
 )
@@ -34,9 +49,12 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("dsctalint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (header object with a findings array) on stdout")
 	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
+	baseline := fs.String("baseline", "", "baseline file: recorded findings (or, with -escape, accepted escapes) are not reported again")
+	escape := fs.Bool("escape", false, "run the hot-path escape gate (go build -gcflags=-m over //lint:hotpath functions) instead of the analyzers")
+	write := fs.Bool("write", false, "with -escape -baseline: write the current escapes as the new baseline")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -46,9 +64,8 @@ func run(args []string) int {
 		}
 		return 0
 	}
-	analyzers, err := analysis.ByName(*names)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dsctalint:", err)
+	if *write && (!*escape || *baseline == "") {
+		fmt.Fprintln(os.Stderr, "dsctalint: -write requires -escape and -baseline")
 		return 2
 	}
 	patterns := fs.Args()
@@ -60,13 +77,28 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "dsctalint:", err)
 		return 2
 	}
+	if *escape {
+		return runEscape(dirs, *baseline, *write)
+	}
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsctalint:", err)
+		return 2
+	}
 	diags, err := analysis.Analyze(dirs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsctalint:", err)
 		return 2
 	}
+	if *baseline != "" {
+		diags, err = filterBaseline(diags, *baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsctalint:", err)
+			return 2
+		}
+	}
 	if *jsonOut {
-		if err := writeJSON(os.Stdout, diags); err != nil {
+		if err := writeJSON(os.Stdout, analyzers, len(dirs), diags); err != nil {
 			fmt.Fprintln(os.Stderr, "dsctalint:", err)
 			return 2
 		}
@@ -84,6 +116,52 @@ func run(args []string) int {
 	return 0
 }
 
+// runEscape runs the -escape mode: attribute `go build -gcflags=-m` heap
+// escapes to //lint:hotpath functions and gate them on the baseline.
+func runEscape(dirs []string, baselinePath string, write bool) int {
+	findings, sites, err := analysis.EscapeFindings(dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsctalint:", err)
+		return 2
+	}
+	if write {
+		if err := analysis.WriteEscapeBaseline(baselinePath, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "dsctalint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "dsctalint: recorded %d escape(s) across %d hotpath function(s) in %s\n",
+			len(findings), sites, baselinePath)
+		return 0
+	}
+	if baselinePath == "" {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "dsctalint: %d heap escape(s) in %d hotpath function(s)\n", len(findings), sites)
+			return 1
+		}
+		return 0
+	}
+	base, err := analysis.LoadEscapeBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsctalint:", err)
+		return 2
+	}
+	news, stale := analysis.DiffEscapes(findings, base)
+	for _, f := range news {
+		fmt.Println(f)
+	}
+	for _, f := range stale {
+		fmt.Fprintf(os.Stderr, "dsctalint: stale baseline entry (escape no longer reported): %s: %s\n", f.Func, f.Message)
+	}
+	if len(news) > 0 {
+		fmt.Fprintf(os.Stderr, "dsctalint: %d new heap escape(s) not in %s\n", len(news), baselinePath)
+		return 1
+	}
+	return 0
+}
+
 // jsonDiag is the machine-readable finding shape (-json).
 type jsonDiag struct {
 	File     string `json:"file"`
@@ -93,11 +171,26 @@ type jsonDiag struct {
 	Message  string `json:"message"`
 }
 
-func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
-	out := make([]jsonDiag, 0, len(diags))
+// jsonReport is the -json document: a header describing the run plus the
+// findings array (always present, [] when clean).
+type jsonReport struct {
+	Analyzers []string   `json:"analyzers"`
+	Targets   int        `json:"targets"` // package directories linted
+	Findings  []jsonDiag `json:"findings"`
+}
+
+func writeJSON(w io.Writer, analyzers []*analysis.Analyzer, targets int, diags []analysis.Diagnostic) error {
+	report := jsonReport{
+		Analyzers: make([]string, 0, len(analyzers)),
+		Targets:   targets,
+		Findings:  make([]jsonDiag, 0, len(diags)),
+	}
+	for _, a := range analyzers {
+		report.Analyzers = append(report.Analyzers, a.Name)
+	}
 	for _, d := range diags {
-		out = append(out, jsonDiag{
-			File:     d.Pos.Filename,
+		report.Findings = append(report.Findings, jsonDiag{
+			File:     relPath(d.Pos.Filename),
 			Line:     d.Pos.Line,
 			Col:      d.Pos.Column,
 			Analyzer: d.Analyzer,
@@ -106,5 +199,48 @@ func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(report)
+}
+
+// filterBaseline drops findings recorded in a previous -json report.
+// Matching ignores line and column: surrounding edits move findings
+// around, and a moved finding is not a new finding.
+func filterBaseline(diags []analysis.Diagnostic, path string) ([]analysis.Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report jsonReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		// Tolerate the pre-header array shape.
+		var legacy []jsonDiag
+		if err2 := json.Unmarshal(data, &legacy); err2 != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		report.Findings = legacy
+	}
+	known := map[string]bool{}
+	for _, f := range report.Findings {
+		known[relPath(f.File)+"\x00"+f.Analyzer+"\x00"+f.Message] = true
+	}
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		if !known[relPath(d.Pos.Filename)+"\x00"+d.Analyzer+"\x00"+d.Message] {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// relPath renders p relative to the working directory when it lies under
+// it, so recorded baselines survive checkout moves.
+func relPath(p string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return p
+	}
+	if r, err := filepath.Rel(wd, p); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return p
 }

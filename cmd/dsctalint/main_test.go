@@ -3,7 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"go/token"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -57,19 +60,80 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatal("fixture produced no diagnostics")
 	}
 	var buf bytes.Buffer
-	if err := writeJSON(&buf, diags); err != nil {
+	if err := writeJSON(&buf, []*analysis.Analyzer{analysis.FloatCmp}, len(dirs), diags); err != nil {
 		t.Fatal(err)
 	}
-	var decoded []jsonDiag
+	var decoded jsonReport
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
 	}
-	if len(decoded) != len(diags) {
-		t.Fatalf("JSON has %d findings, want %d", len(decoded), len(diags))
+	if len(decoded.Analyzers) != 1 || decoded.Analyzers[0] != "floatcmp" {
+		t.Errorf("JSON analyzers = %v, want [floatcmp]", decoded.Analyzers)
 	}
-	for _, d := range decoded {
+	if decoded.Targets != len(dirs) {
+		t.Errorf("JSON targets = %d, want %d", decoded.Targets, len(dirs))
+	}
+	if len(decoded.Findings) != len(diags) {
+		t.Fatalf("JSON has %d findings, want %d", len(decoded.Findings), len(diags))
+	}
+	for _, d := range decoded.Findings {
 		if d.File == "" || d.Line <= 0 || d.Analyzer != "floatcmp" || d.Message == "" {
 			t.Errorf("incomplete JSON finding: %+v", d)
 		}
+	}
+}
+
+// TestJSONCleanEmitsEmptyArray pins the satellite contract: a clean run
+// must serialise findings as [], never null.
+func TestJSONCleanEmitsEmptyArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, analysis.All(), 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Errorf("clean JSON output must contain \"findings\": [], got:\n%s", buf.String())
+	}
+	var decoded jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Findings == nil || len(decoded.Findings) != 0 {
+		t.Errorf("findings = %#v, want empty non-nil slice", decoded.Findings)
+	}
+	if len(decoded.Analyzers) != len(analysis.All()) {
+		t.Errorf("analyzers = %v, want all %d", decoded.Analyzers, len(analysis.All()))
+	}
+}
+
+// TestBaselineFiltering pins the -baseline satellite: findings recorded
+// in a previous -json report are suppressed, new ones survive, and line
+// drift does not resurrect recorded findings.
+func TestBaselineFiltering(t *testing.T) {
+	mk := func(file string, line int, analyzer, msg string) analysis.Diagnostic {
+		return analysis.Diagnostic{
+			Pos:      token.Position{Filename: file, Line: line, Column: 1},
+			Analyzer: analyzer,
+			Message:  msg,
+		}
+	}
+	recorded := []analysis.Diagnostic{mk("pkg/a.go", 10, "floatcmp", "float equality")}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, analysis.All(), 1, recorded); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	current := []analysis.Diagnostic{
+		mk("pkg/a.go", 42, "floatcmp", "float equality"), // recorded, moved lines
+		mk("pkg/a.go", 10, "detrand", "seeded rng"),      // new analyzer finding
+	}
+	got, err := filterBaseline(current, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Analyzer != "detrand" {
+		t.Fatalf("filterBaseline = %+v, want only the detrand finding", got)
 	}
 }

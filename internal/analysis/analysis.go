@@ -2,13 +2,23 @@
 // enforcing the solver invariants this reproduction depends on but the Go
 // compiler cannot see: tolerance-based float comparison in the LP/PWL
 // numerics, deterministic RNG for reproducible tables and figures,
-// clock-free solver hot paths, handled errors, and race-free fan-out.
+// determinism-safe map iteration and goroutine fan-in, clock-free solver
+// hot paths, handled errors, race-free fan-out, copy-on-write discipline
+// over //lint:frozen shared state, and allocation-free //lint:hotpath
+// kernels.
 //
 // The engine is deliberately small: a Loader parses and type-checks
 // packages with go/parser + go/types (stdlib importer only), an Analyzer is
 // a named Run function over a type-checked Pass, and diagnostics carry
-// precise token.Position information. Findings can be suppressed at a site
-// with a justification comment:
+// precise token.Position information. The dataflow analyzers (cowsafety,
+// hotalloc) share a per-unit substrate: an intraprocedural taint
+// propagation over local aliases (dataflow.go) and a bottom-up callgraph
+// fixpoint of mutates-parameter / may-allocate summaries (callgraph.go),
+// driven by the annotation registry in annot.go. The escape gate
+// (escape.go) replays `go build -gcflags=-m` and attributes heap escapes
+// to //lint:hotpath functions against a committed baseline.
+//
+// Findings can be suppressed at a site with a justification comment:
 //
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
@@ -49,7 +59,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, DetRand, WallClock, ErrCheckLite, SyncMisuse}
+	return []*Analyzer{FloatCmp, DetRand, DetFlow, WallClock, ErrCheckLite, SyncMisuse, CowSafety, HotAlloc}
 }
 
 // ByName returns the analyzers whose names appear in the comma-separated
@@ -83,6 +93,7 @@ type Pass struct {
 	Info     *types.Info
 	PkgPath  string // module-relative import path of the unit
 
+	annot *annotIndex // loader-global //lint:frozen|freezer|hotpath registry
 	diags *[]Diagnostic
 }
 
@@ -141,6 +152,7 @@ func runUnit(u *Unit, analyzers []*Analyzer) []Diagnostic {
 			Pkg:      u.Pkg,
 			Info:     u.Info,
 			PkgPath:  u.Path,
+			annot:    u.annot,
 			diags:    &diags,
 		}
 		a.Run(pass)
@@ -148,6 +160,9 @@ func runUnit(u *Unit, analyzers []*Analyzer) []Diagnostic {
 	sup := collectSuppressions(u.Fset, u.Files)
 	diags = sup.filter(diags)
 	diags = append(diags, sup.malformed...)
+	if u.annot != nil {
+		diags = append(diags, u.annot.malformedFor(u.Files, u.Fset)...)
+	}
 	return diags
 }
 

@@ -104,9 +104,12 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	}{
 		{FloatCmp, []string{"testdata/src/floatcmp"}},
 		{DetRand, []string{"testdata/src/detrand", "testdata/src/detrand/rng"}},
+		{DetFlow, []string{"testdata/src/detflow"}},
 		{WallClock, []string{"testdata/src/wallclock/lp", "testdata/src/wallclock/renderer"}},
 		{ErrCheckLite, []string{"testdata/src/errchecklite"}},
 		{SyncMisuse, []string{"testdata/src/syncmisuse"}},
+		{CowSafety, []string{"testdata/src/cowsafety"}},
+		{HotAlloc, []string{"testdata/src/hotalloc"}},
 	}
 	for _, c := range cases {
 		c := c

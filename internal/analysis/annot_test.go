@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+func parseAnnotText(text string) (annotComment, bool) {
+	return parseAnnot(&ast.Comment{Text: text})
+}
+
+func TestParseAnnotDirectives(t *testing.T) {
+	cases := []struct {
+		text   string
+		ok     bool
+		kind   string
+		hot    hotKind
+		reason string
+		bad    string // substring of the malformed message, "" = well-formed
+	}{
+		{"//lint:frozen shared with every child", true, "frozen", hotStrict, "shared with every child", ""},
+		{"//lint:freezer constructor initialises before publication", true, "freezer", hotStrict, "constructor initialises before publication", ""},
+		{"//lint:hotpath one solve per pivot", true, "hotpath", hotStrict, "one solve per pivot", ""},
+		{"//lint:hotpath=bounded setup allocation is pinned", true, "hotpath", hotBounded, "setup allocation is pinned", ""},
+		{"//lint:hotpath\tone solve per pivot", true, "hotpath", hotStrict, "one solve per pivot", ""},
+		// Missing reasons are malformed, not silently accepted.
+		{"//lint:frozen", true, "frozen", hotStrict, "", "needs a reason"},
+		{"//lint:freezer   ", true, "freezer", hotStrict, "", "needs a reason"},
+		{"//lint:hotpath=bounded", true, "hotpath", hotBounded, "", "needs a reason"},
+		// Unknown hotpath modes are malformed.
+		{"//lint:hotpath=turbo goes faster", true, "hotpath", hotStrict, "", "unknown hotpath mode"},
+		// Longer words sharing a directive prefix are not directives.
+		{"//lint:frozenset is something else", false, "", hotStrict, "", ""},
+		{"//lint:hotpathology unrelated", false, "", hotStrict, "", ""},
+		// Other lint comments are not annotations.
+		{"//lint:ignore floatcmp reason", false, "", hotStrict, "", ""},
+		{"// ordinary comment", false, "", hotStrict, "", ""},
+	}
+	for _, c := range cases {
+		a, ok := parseAnnotText(c.text)
+		if ok != c.ok {
+			t.Errorf("%q: ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if a.kind != c.kind || a.hot != c.hot {
+			t.Errorf("%q: parsed (%s, %v), want (%s, %v)", c.text, a.kind, a.hot, c.kind, c.hot)
+		}
+		if c.bad == "" {
+			if a.bad != "" {
+				t.Errorf("%q: unexpectedly malformed: %s", c.text, a.bad)
+			}
+			if a.reason != c.reason {
+				t.Errorf("%q: reason %q, want %q", c.text, a.reason, c.reason)
+			}
+		} else if !strings.Contains(a.bad, c.bad) {
+			t.Errorf("%q: malformed message %q, want substring %q", c.text, a.bad, c.bad)
+		}
+	}
+}
+
+func TestHotKindString(t *testing.T) {
+	if got := hotStrict.String(); got != "hotpath" {
+		t.Errorf("hotStrict = %q", got)
+	}
+	if got := hotBounded.String(); got != "hotpath=bounded" {
+		t.Errorf("hotBounded = %q", got)
+	}
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// funcInfo is the per-function summary the callgraph layer computes for
+// one lint unit: which parameters (receiver first) the function mutates
+// through a reference step, and whether its body can allocate.
+type funcInfo struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	params  []types.Object // receiver first when present; nil for unnamed/_
+	hasRecv bool
+	mutates []bool // aligned with params
+
+	allocPos  token.Pos // first allocation site (direct or via a callee)
+	allocWhat string    // description of that site; "" when none
+	mayAlloc  bool
+}
+
+// unitSummary indexes the summaries of every function declared in the
+// unit. list preserves declaration order so analyzer output stays
+// deterministic; byFn serves callsite lookups.
+type unitSummary struct {
+	list []*funcInfo
+	byFn map[*types.Func]*funcInfo
+}
+
+// summarize computes the function summaries of the unit with two
+// fixpoints: parameter-mutation (a function mutates a parameter if it
+// writes through it or passes it to a callee that does) and transitive
+// may-allocate (a function allocates if its body holds an allocation site
+// or it calls an in-unit non-hotpath function that does). Cross-package
+// callees are out of scope: the `dsctalint -escape` gate owns those.
+func summarize(p *Pass) *unitSummary {
+	s := &unitSummary{byFn: map[*types.Func]*funcInfo{}}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{fn: fn, decl: fd, hasRecv: fd.Recv != nil}
+			for _, list := range []*ast.FieldList{fd.Recv, fd.Type.Params} {
+				if list == nil {
+					continue
+				}
+				for _, field := range list.List {
+					if len(field.Names) == 0 {
+						fi.params = append(fi.params, nil) // unnamed: keep alignment
+						continue
+					}
+					for _, name := range field.Names {
+						fi.params = append(fi.params, p.Info.Defs[name])
+					}
+				}
+			}
+			fi.mutates = make([]bool, len(fi.params))
+			fi.allocPos, fi.allocWhat = firstAllocSite(p.Info, fd.Body)
+			fi.mayAlloc = fi.allocWhat != ""
+			s.list = append(s.list, fi)
+			s.byFn[fn] = fi
+		}
+	}
+	s.mutationFixpoint(p)
+	s.allocFixpoint(p)
+	return s
+}
+
+// mutationFixpoint marks mutated parameters until stable, so mutation
+// through a chain of in-unit calls (f passes its receiver to g, g writes
+// through it) is attributed back to f's receiver.
+func (s *unitSummary) mutationFixpoint(p *Pass) {
+	for {
+		changed := false
+		for _, fi := range s.list {
+			fs := newFlowScope(p.Info, p.annot, s, false)
+			for i, obj := range fi.params {
+				if obj != nil {
+					fs.taint[obj] = paramOrigin(i)
+				}
+			}
+			fs.propagate(fi.decl.Body)
+			fs.scanWrites(fi.decl.Body, func(_ token.Pos, _, origin string) {
+				if i, ok := paramIndexOf(origin); ok && i < len(fi.mutates) && !fi.mutates[i] {
+					fi.mutates[i] = true
+					changed = true
+				}
+			})
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// allocFixpoint propagates may-allocate through in-unit calls. Callees
+// annotated //lint:hotpath are treated as allocation-free here: their own
+// bodies are checked directly by the hotalloc analyzer, and charging the
+// caller too would double-report. Calls inside nested function literals
+// are not charged to the enclosing function — creating the literal is
+// already an allocation site of its own.
+func (s *unitSummary) allocFixpoint(p *Pass) {
+	for {
+		changed := false
+		for _, fi := range s.list {
+			if fi.mayAlloc {
+				continue
+			}
+			inspectSkippingFuncLits(fi.decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(p.Info, call)
+				if callee == nil {
+					return true
+				}
+				cal := s.byFn[callee]
+				if cal != nil && cal.mayAlloc && p.annot.hotOf(callee) == nil {
+					fi.mayAlloc = true
+					fi.allocPos = call.Pos()
+					fi.allocWhat = fmt.Sprintf("calls %s (%s)", callee.Name(), cal.allocWhat)
+					changed = true
+					return false
+				}
+				return true
+			})
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// inspectSkippingFuncLits walks n like ast.Inspect but does not descend
+// into nested function literals (their bodies run on a different path).
+func inspectSkippingFuncLits(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// firstAllocSite finds the first unconditional-kind allocation site in
+// body for the transitive may-allocate summary: make/new, function
+// literals, goroutine launches, and calls into the allocating fmt/errors/
+// strconv/strings/sort stdlib entry points. Plain append is deliberately
+// not a site — amortised growth into pre-sized arenas is the repo's pinned
+// idiom (AllocsPerRun owns it). Composite literals, string concatenation
+// and defer are judged only inside //lint:hotpath bodies (see hotalloc):
+// in ordinary helpers they are routinely stack-allocated and would make
+// the transitive summary uselessly noisy.
+func firstAllocSite(info *types.Info, body *ast.BlockStmt) (token.Pos, string) {
+	var pos token.Pos
+	var what string
+	inspectSkippingFuncLitBodies := func(n ast.Node, fn func(ast.Node) bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if what != "" {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				pos, what = n.Pos(), "function literal (closure allocation)"
+				return false
+			}
+			return fn(n)
+		})
+	}
+	inspectSkippingFuncLitBodies(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			pos, what = x.Pos(), "go statement (new goroutine)"
+			return false
+		case *ast.CallExpr:
+			switch builtinName(info, x) {
+			case "make", "new":
+				pos, what = x.Pos(), builtinName(info, x)+" allocation"
+				return false
+			}
+			if fn := calleeFunc(info, x); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "fmt", "errors", "strconv", "strings", "sort":
+					pos, what = x.Pos(), fmt.Sprintf("call to %s.%s", fn.Pkg().Name(), fn.Name())
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return pos, what
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CowSafety enforces the copy-on-write/freeze discipline the solver's
+// warm-start machinery depends on: state marked //lint:frozen (the shared
+// base rows and COW objective of lp.Problem overlays, the published
+// lp.Basis snapshot, the frozen LU eta arenas) must never be written
+// through outside a //lint:freezer function. The dataflow core tracks
+// aliases of frozen memory through local assignments, field selections,
+// indexing/slicing, range variables and append, and reports direct field
+// writes, writes through a reference step, append/copy/delete into frozen
+// backing, and calls passing frozen-reachable values to in-unit functions
+// whose summary mutates them.
+var CowSafety = &Analyzer{
+	Name: "cowsafety",
+	Doc:  "reports mutations of //lint:frozen state outside //lint:freezer functions (copy-on-write and snapshot invariants)",
+	Run:  runCowSafety,
+}
+
+func runCowSafety(p *Pass) {
+	if p.annot == nil || (len(p.annot.frozen) == 0) {
+		return
+	}
+	sums := summarize(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok && p.annot.isFreezer(fn) {
+				continue
+			}
+			fs := newFlowScope(p.Info, p.annot, sums, true)
+			fs.propagate(fd.Body)
+			fs.scanWrites(fd.Body, func(pos token.Pos, action, origin string) {
+				p.Reportf(pos, "%s %s: frozen state may only be mutated inside a //lint:freezer function", action, origin)
+			})
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// flowScope is the shared intraprocedural dataflow core. Inside one
+// function body it tracks which local identifiers alias "tainted" memory —
+// //lint:frozen fields and types for the cowsafety analyzer, parameters
+// for the callgraph mutation summaries — and finds operations that write
+// to tainted memory through a reference step (pointer deref, slice or map
+// element, field of a pointed-to struct, append/copy/delete, or a call
+// into a function whose summary says it mutates the argument).
+//
+// The precision compromise is deliberate: a plain value copy of a tainted
+// struct is itself tainted (its slice/pointer fields still alias the
+// shared backing), but a scalar write to the copy stays local and is not
+// reported — only writes that pass through a reference step reach shared
+// state. This keeps the copy-on-write idioms of internal/lp (struct-copy
+// adoption of a frozen luFactor, value rows read out of a shared base)
+// clean while catching writes that pierce them.
+type flowScope struct {
+	info      *types.Info
+	annot     *annotIndex
+	sums      *unitSummary // callee mutation summaries; may be nil
+	useFrozen bool         // treat frozen fields/types as taint origins
+	taint     map[types.Object]string
+}
+
+func newFlowScope(info *types.Info, annot *annotIndex, sums *unitSummary, useFrozen bool) *flowScope {
+	return &flowScope{
+		info:      info,
+		annot:     annot,
+		sums:      sums,
+		useFrozen: useFrozen,
+		taint:     map[types.Object]string{},
+	}
+}
+
+// paramOriginPrefix marks taint seeded from a function parameter during
+// summary construction; the suffix is the parameter index.
+const paramOriginPrefix = "param#"
+
+func paramOrigin(i int) string { return paramOriginPrefix + strconv.Itoa(i) }
+
+func paramIndexOf(origin string) (int, bool) {
+	rest, ok := strings.CutPrefix(origin, paramOriginPrefix)
+	if !ok {
+		return 0, false
+	}
+	i, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+// propagate runs the taint fixpoint over body: locals assigned from a
+// tainted expression (including range variables over tainted containers)
+// become tainted with the same origin description.
+func (fs *flowScope) propagate(body ast.Node) {
+	for {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i, lhs := range s.Lhs {
+					if fs.taintIdent(lhs, s.Rhs[i]) {
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				if len(s.Names) != len(s.Values) {
+					return true
+				}
+				for i, name := range s.Names {
+					if fs.taintIdent(name, s.Values[i]) {
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				org, ok := fs.origin(s.X)
+				if !ok {
+					return true
+				}
+				// Key and value vars may alias elements of the tainted
+				// container; taint both — the write rules only fire on
+				// reference steps, so scalar keys are harmless.
+				for _, e := range []ast.Expr{s.Key, s.Value} {
+					if e == nil {
+						continue
+					}
+					if id, isIdent := e.(*ast.Ident); isIdent && id.Name != "_" {
+						obj := objOf(fs.info, id)
+						if obj != nil {
+							if _, done := fs.taint[obj]; !done {
+								fs.taint[obj] = org
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// taintIdent taints the identifier lhs when rhs has a tainted origin.
+func (fs *flowScope) taintIdent(lhs, rhs ast.Expr) bool {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := objOf(fs.info, id)
+	if obj == nil {
+		return false
+	}
+	if _, done := fs.taint[obj]; done {
+		return false
+	}
+	org, ok := fs.origin(rhs)
+	if !ok {
+		return false
+	}
+	fs.taint[obj] = org
+	return true
+}
+
+// origin traces e to a taint source and returns its description. It
+// follows the aliasing steps — indexing, slicing, deref, address-of,
+// append, conversions — and, with useFrozen, treats selections of
+// //lint:frozen fields and values of //lint:frozen named types as sources.
+func (fs *flowScope) origin(e ast.Expr) (string, bool) {
+	if e == nil {
+		return "", false
+	}
+	e = unparen(e)
+	if fs.useFrozen {
+		if tv, ok := fs.info.Types[e]; ok {
+			if m, ok := fs.annot.frozenNamed(tv.Type); ok {
+				return m.desc, true
+			}
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := objOf(fs.info, x); obj != nil {
+			if org, ok := fs.taint[obj]; ok {
+				return org, true
+			}
+		}
+	case *ast.SelectorExpr:
+		if fs.useFrozen {
+			if v := fieldOf(fs.info, x); v != nil {
+				if m, ok := fs.annot.frozenObj(v); ok {
+					return m.desc, true
+				}
+			}
+		}
+		if pkgNameOf(fs.info, x.X) == nil {
+			return fs.origin(x.X)
+		}
+	case *ast.IndexExpr:
+		return fs.origin(x.X)
+	case *ast.SliceExpr:
+		return fs.origin(x.X)
+	case *ast.StarExpr:
+		return fs.origin(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return fs.origin(x.X)
+		}
+	case *ast.CallExpr:
+		if builtinName(fs.info, x) == "append" && len(x.Args) > 0 {
+			return fs.origin(x.Args[0])
+		}
+		if tv, ok := fs.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return fs.origin(x.Args[0]) // conversion keeps the backing store
+		}
+	}
+	return "", false
+}
+
+// refLoc reports whether writing to the location e mutates memory reached
+// through a reference step from tainted state, and names the origin.
+func (fs *flowScope) refLoc(e ast.Expr) (string, bool) {
+	switch x := unparen(e).(type) {
+	case *ast.IndexExpr:
+		switch fs.exprType(x.X).(type) {
+		case *types.Slice, *types.Map, *types.Pointer:
+			return fs.origin(x.X)
+		case *types.Array:
+			return fs.refLoc(x.X) // value array element is part of the value
+		default:
+			return fs.origin(x.X)
+		}
+	case *ast.StarExpr:
+		return fs.origin(x.X)
+	case *ast.SelectorExpr:
+		if sel, ok := fs.info.Selections[x]; ok && sel.Indirect() {
+			return fs.origin(x.X)
+		}
+		return fs.refLoc(x.X)
+	}
+	return "", false
+}
+
+// exprType returns the underlying type of e, or nil.
+func (fs *flowScope) exprType(e ast.Expr) types.Type {
+	tv, ok := fs.info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return tv.Type.Underlying()
+}
+
+// writeFn receives one mutation event: the position, what kind of write
+// it is ("write to", "append to slice aliasing", ...) and the origin
+// description of the tainted memory it reaches.
+type writeFn func(pos token.Pos, action, origin string)
+
+// scanWrites walks body (after propagate) and reports every operation
+// that mutates tainted memory.
+func (fs *flowScope) scanWrites(body ast.Node, report writeFn) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				fs.checkWrite(lhs, report)
+			}
+		case *ast.IncDecStmt:
+			fs.checkWrite(s.X, report)
+		case *ast.CallExpr:
+			fs.checkCall(s, report)
+		}
+		return true
+	})
+}
+
+// checkWrite reports when assigning to lhs mutates tainted memory.
+func (fs *flowScope) checkWrite(lhs ast.Expr, report writeFn) {
+	lhs = unparen(lhs)
+	if _, ok := lhs.(*ast.Ident); ok {
+		return // rebinding a local never mutates shared state
+	}
+	if sel, ok := lhs.(*ast.SelectorExpr); ok && fs.useFrozen {
+		if v := fieldOf(fs.info, sel); v != nil {
+			if m, ok := fs.annot.frozenObj(v); ok {
+				report(lhs.Pos(), "write to", m.desc)
+				return
+			}
+		}
+	}
+	if org, ok := fs.refLoc(lhs); ok {
+		report(lhs.Pos(), "write through", org)
+	}
+}
+
+// checkCall reports mutations performed by builtins (append, copy,
+// delete, clear), by known in-place stdlib mutators (sort.Slice et al,
+// container/heap) and by in-unit callees whose summary marks a parameter
+// or receiver as mutated.
+func (fs *flowScope) checkCall(call *ast.CallExpr, report writeFn) {
+	switch builtinName(fs.info, call) {
+	case "append":
+		if len(call.Args) > 0 {
+			if org, ok := fs.origin(call.Args[0]); ok {
+				report(call.Pos(), "append to slice aliasing", org)
+			}
+		}
+		return
+	case "copy":
+		if len(call.Args) == 2 {
+			if org, ok := fs.origin(call.Args[0]); ok {
+				report(call.Pos(), "copy into", org)
+			}
+		}
+		return
+	case "delete", "clear":
+		if len(call.Args) >= 1 {
+			if org, ok := fs.origin(call.Args[0]); ok {
+				report(call.Pos(), "clear/delete of", org)
+			}
+		}
+		return
+	}
+	fn := calleeFunc(fs.info, call)
+	if fn == nil {
+		return
+	}
+	if idx, ok := externalMutatorArg(fn); ok {
+		if idx < len(call.Args) {
+			if org, ok := fs.origin(call.Args[idx]); ok {
+				report(call.Pos(), "in-place "+fn.Pkg().Name()+"."+fn.Name()+" mutation of", org)
+			}
+		}
+		return
+	}
+	if fs.sums == nil {
+		return
+	}
+	fi := fs.sums.byFn[fn]
+	if fi == nil {
+		return
+	}
+	recv, args := receiverAndArgs(fs.info, call, fi.hasRecv)
+	for i, mutated := range fi.mutates {
+		if !mutated {
+			continue
+		}
+		arg := argForParam(recv, args, fi.hasRecv, i)
+		if arg == nil {
+			continue
+		}
+		if org, ok := fs.origin(arg); ok {
+			report(call.Pos(), "call to "+fn.Name()+" mutates", org)
+		}
+	}
+}
+
+// externalMutatorArg returns the argument index a well-known stdlib
+// function mutates in place.
+func externalMutatorArg(fn *types.Func) (int, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return 0, false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Slice", "SliceStable", "Sort", "Stable", "Ints", "Float64s", "Strings":
+			return 0, true
+		}
+	case "container/heap":
+		switch fn.Name() {
+		case "Init", "Push", "Pop", "Fix", "Remove":
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// receiverAndArgs splits a call into receiver and positional arguments,
+// handling both method values (x.m(a)) and method expressions (T.m(x, a)).
+func receiverAndArgs(info *types.Info, call *ast.CallExpr, hasRecv bool) (recv ast.Expr, args []ast.Expr) {
+	if !hasRecv {
+		return nil, call.Args
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok {
+			switch s.Kind() {
+			case types.MethodVal:
+				return sel.X, call.Args
+			case types.MethodExpr:
+				if len(call.Args) > 0 {
+					return call.Args[0], call.Args[1:]
+				}
+			}
+		}
+	}
+	return nil, call.Args
+}
+
+// argForParam maps a parameter index (receiver first when present) to the
+// call expression bound to it, or nil when it cannot be determined.
+func argForParam(recv ast.Expr, args []ast.Expr, hasRecv bool, i int) ast.Expr {
+	if hasRecv {
+		if i == 0 {
+			return recv
+		}
+		i--
+	}
+	if i < len(args) {
+		return args[i]
+	}
+	return nil
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// fieldOf returns the struct field a selector selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetFlow extends detrand from nondeterministic *sources* to
+// nondeterministic *flows*: Go map iteration order is randomised per run,
+// so any order-sensitive sink fed from a map range poisons reproducibility
+// — the paper's tables and figures, the differential corpus, and the
+// deterministic-incumbent guarantee of the parallel B&B search all depend
+// on byte-identical reruns. Reported flows:
+//
+//   - append to a variable declared outside a map range, unless the slice
+//     is passed to sort.* / sort.Slice afterwards in the same function
+//     (the collect-keys-then-sort idiom stays clean);
+//   - channel sends and fmt output inside a map range;
+//   - string accumulation (s += ...) across map-range iterations;
+//   - goroutine fan-in that appends to a captured slice (completion order
+//     is scheduling-dependent; index writes and channels are clean).
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc:  "reports order-sensitive data flows out of map iteration and goroutine fan-in without a deterministic merge",
+	Run:  runDetFlow,
+}
+
+func runDetFlow(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDetFlows(p, fd.Body)
+		}
+	}
+}
+
+// checkDetFlows scans one function body. Nested function literals are
+// visited as part of the enclosing body: their map ranges are just as
+// order-sensitive, and the sort-exemption search spans the whole body.
+func checkDetFlows(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if isMapRange(p.Info, s) {
+				checkMapRangeBody(p, body, s)
+			}
+		case *ast.GoStmt:
+			if lit, ok := unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				checkGoFanIn(p, lit)
+			}
+		}
+		return true
+	})
+}
+
+func isMapRange(info *types.Info, s *ast.RangeStmt) bool {
+	tv, ok := info.Types[s.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRangeBody flags order-sensitive sinks inside one map range.
+func checkMapRangeBody(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if s != rng && isMapRange(p.Info, s) {
+				return false // the nested map range reports its own body
+			}
+		case *ast.SendStmt:
+			p.Reportf(s.Pos(), "channel send inside a range over a map: delivery order follows the randomised map iteration; collect and sort keys first")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, fnBody, rng, s)
+		case *ast.CallExpr:
+			if fn := calleeFunc(p.Info, s); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+				p.Reportf(s.Pos(), "fmt output inside a range over a map: line order follows the randomised map iteration; collect and sort keys first")
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags appends and string accumulation into
+// variables that outlive the map range.
+func checkMapRangeAssign(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, s *ast.AssignStmt) {
+	if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
+		if obj := rootObj(p.Info, s.Lhs[0]); obj != nil && declaredOutside(obj, rng) && isStringType(p.Info, s.Lhs[0]) {
+			p.Reportf(s.Pos(), "string accumulation across a range over a map: element order follows the randomised map iteration; collect and sort keys first")
+		}
+		return
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, rhs := range s.Rhs {
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if !ok || builtinName(p.Info, call) != "append" || len(call.Args) == 0 {
+			continue
+		}
+		obj := rootObj(p.Info, s.Lhs[i])
+		if obj == nil || !declaredOutside(obj, rng) {
+			continue
+		}
+		if sortedAfter(p.Info, fnBody, rng.End(), obj) {
+			continue // collect-then-sort idiom
+		}
+		p.Reportf(call.Pos(), "append inside a range over a map collects elements in randomised iteration order and %s is never sorted afterwards: sort it (or range over sorted keys)", obj.Name())
+	}
+}
+
+// checkGoFanIn flags appends to captured slices from inside a go-launched
+// function literal: goroutine completion order is scheduling-dependent, so
+// the merged order is not reproducible. Writing out[i] by index or
+// funnelling results through a channel with a deterministic merge is clean.
+func checkGoFanIn(p *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || len(s.Lhs) != len(s.Rhs) {
+			return true
+		}
+		for i, rhs := range s.Rhs {
+			call, ok := unparen(rhs).(*ast.CallExpr)
+			if !ok || builtinName(p.Info, call) != "append" || len(call.Args) == 0 {
+				continue
+			}
+			obj := rootObj(p.Info, s.Lhs[i])
+			if obj == nil {
+				continue
+			}
+			if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+				p.Reportf(call.Pos(), "goroutine appends to captured slice %s: the merged order depends on scheduling; write results by index or merge with a deterministic tie-break", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// rootObj returns the object of the base identifier of an lvalue chain
+// (x, x.f, x[i] all root at x), or nil.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return objOf(info, x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside the
+// range statement (so writes to it survive the loop).
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedAfter reports whether obj is passed to a sort entry point after
+// pos inside body — sort.Slice/SliceStable/Sort/Stable/Ints/Float64s/
+// Strings(obj, ...) or slices.Sort*(obj).
+func sortedAfter(info *types.Info, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		isSort := false
+		switch fn.Pkg().Path() {
+		case "sort":
+			switch fn.Name() {
+			case "Slice", "SliceStable", "Sort", "Stable", "Ints", "Float64s", "Strings":
+				isSort = true
+			}
+		case "slices":
+			isSort = strings.HasPrefix(fn.Name(), "Sort")
+		}
+		if isSort && rootObj(info, call.Args[0]) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc is the static half of the hot-path allocation gate. Functions
+// marked //lint:hotpath (the ftran/btran/appendEta LU kernels, the sparse
+// pricing and pivot walks) must not contain allocation sites: make/new,
+// composite literals, function literals, defer/go statements, string
+// concatenation, string<->[]byte conversions, calls into fmt/errors/
+// strconv/strings/sort, or calls to in-unit helpers whose summary says
+// they allocate. Plain append is exempt — amortised growth into pre-sized
+// arenas is pinned by the AllocsPerRun tests. //lint:hotpath=bounded
+// (warm SolveFrom, node relaxations) relaxes the static check to closures
+// and goroutine launches; the dynamic side — `dsctalint -escape` diffing
+// `go build -gcflags=-m` output against LINT_ESCAPE.json — covers both
+// kinds.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "reports allocation sites inside //lint:hotpath functions (zero-alloc kernels; =bounded flags only closures and goroutine launches)",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	if p.annot == nil || len(p.annot.hot) == 0 {
+		return
+	}
+	sums := summarize(p)
+	for _, fi := range sums.list {
+		site := p.annot.hotOf(fi.fn)
+		if site == nil {
+			continue
+		}
+		if site.kind == hotBounded {
+			checkBoundedHot(p, fi)
+		} else {
+			checkStrictHot(p, sums, fi)
+		}
+	}
+}
+
+// checkStrictHot reports every allocation site in a //lint:hotpath body.
+func checkStrictHot(p *Pass, sums *unitSummary, fi *funcInfo) {
+	name := fi.fn.Name()
+	report := func(pos token.Pos, what string) {
+		p.Reportf(pos, "%s in //lint:hotpath function %s: hot kernels must not allocate (hoist into the caller or a pre-sized arena)", what, name)
+	}
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			report(x.Pos(), "function literal")
+			return false
+		case *ast.GoStmt:
+			report(x.Pos(), "go statement")
+			return false
+		case *ast.DeferStmt:
+			report(x.Pos(), "defer statement")
+			return false
+		case *ast.CompositeLit:
+			report(x.Pos(), "composite literal")
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(p.Info, x) {
+				report(x.Pos(), "string concatenation")
+			}
+		case *ast.CallExpr:
+			switch builtinName(p.Info, x) {
+			case "make", "new":
+				report(x.Pos(), builtinName(p.Info, x)+" call")
+				return true
+			}
+			if isStringSliceConv(p.Info, x) {
+				report(x.Pos(), "string/slice conversion")
+				return true
+			}
+			fn := calleeFunc(p.Info, x)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "fmt", "errors", "strconv", "strings", "sort":
+				report(x.Pos(), "call to "+fn.Pkg().Name()+"."+fn.Name())
+				return true
+			}
+			if cal := sums.byFn[fn]; cal != nil && cal.mayAlloc && p.annot.hotOf(fn) == nil {
+				report(x.Pos(), "call to "+fn.Name()+", which allocates ("+cal.allocWhat+")")
+			}
+		}
+		return true
+	})
+}
+
+// checkBoundedHot reports only the statically-unambiguous allocations a
+// bounded hot path must still avoid: closures and goroutine launches.
+// The escape gate and the AllocsPerRun pins own the allocation budget.
+func checkBoundedHot(p *Pass, fi *funcInfo) {
+	name := fi.fn.Name()
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(x.Pos(), "function literal in //lint:hotpath=bounded function %s: closures defeat the bounded-allocation budget", name)
+			return false
+		case *ast.GoStmt:
+			p.Reportf(x.Pos(), "go statement in //lint:hotpath=bounded function %s: goroutine launches defeat the bounded-allocation budget", name)
+			return false
+		}
+		return true
+	})
+}
+
+// isStringType reports whether e's type is a string.
+func isStringType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringSliceConv reports whether call is a conversion between string
+// and a slice type ([]byte, []rune) — both directions copy.
+func isStringSliceConv(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	dst := tv.Type.Underlying()
+	src := info.Types[call.Args[0]].Type
+	if src == nil {
+		return false
+	}
+	srcU := src.Underlying()
+	_, dstSlice := dst.(*types.Slice)
+	_, srcSlice := srcU.(*types.Slice)
+	dstStr, _ := dst.(*types.Basic)
+	srcStr, _ := srcU.(*types.Basic)
+	return (dstSlice && srcStr != nil && srcStr.Info()&types.IsString != 0) ||
+		(srcSlice && dstStr != nil && dstStr.Info()&types.IsString != 0)
+}

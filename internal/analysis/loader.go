@@ -22,6 +22,8 @@ type Unit struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	annot *annotIndex // loader-global annotation registry
 }
 
 // Loader parses and type-checks package directories of the enclosing
@@ -32,9 +34,10 @@ type Loader struct {
 	modRoot string // absolute directory containing go.mod
 	modPath string // module path declared in go.mod
 
-	std   types.Importer
-	cache map[string]*types.Package // import path -> checked base package
-	busy  map[string]bool           // import-cycle detection
+	std    types.Importer
+	cache  map[string]*types.Package // import path -> checked base package
+	busy   map[string]bool           // import-cycle detection
+	annots *annotIndex               // //lint:frozen|freezer|hotpath registry
 }
 
 // NewLoader locates the enclosing module starting from the working
@@ -61,6 +64,7 @@ func NewLoaderAt(dir string) (*Loader, error) {
 		std:     importer.Default(),
 		cache:   map[string]*types.Package{},
 		busy:    map[string]bool{},
+		annots:  newAnnotIndex(),
 	}, nil
 }
 
@@ -199,6 +203,13 @@ func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.I
 	if err != nil {
 		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
+	// Register annotations here so imported module-local packages (checked
+	// from source through this same loader) contribute their //lint:frozen
+	// marks before any importing unit is analyzed: a mip unit's selections
+	// of lp.Basis fields then share object identity with the registry.
+	for _, f := range files {
+		l.annots.collectAnnots(l.Fset, f, info, l.modPath)
+	}
 	return pkg, info, nil
 }
 
@@ -228,14 +239,14 @@ func (l *Loader) LoadDir(dir string) ([]*Unit, error) {
 		if err != nil {
 			return nil, err
 		}
-		units = append(units, &Unit{Dir: abs, Path: path, Fset: l.Fset, Files: files, Pkg: pkg, Info: info})
+		units = append(units, &Unit{Dir: abs, Path: path, Fset: l.Fset, Files: files, Pkg: pkg, Info: info, annot: l.annots})
 	}
 	if len(extTest) > 0 {
 		pkg, info, err := l.check(path+"_test", extTest)
 		if err != nil {
 			return nil, err
 		}
-		units = append(units, &Unit{Dir: abs, Path: path + "_test", Fset: l.Fset, Files: extTest, Pkg: pkg, Info: info})
+		units = append(units, &Unit{Dir: abs, Path: path + "_test", Fset: l.Fset, Files: extTest, Pkg: pkg, Info: info, annot: l.annots})
 	}
 	return units, nil
 }

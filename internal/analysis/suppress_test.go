@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseForSuppressions(t *testing.T, src string) (*token.FileSet, *suppressions) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, collectSuppressions(fset, []*ast.File{f})
+}
+
+func TestSuppressionMultiAnalyzer(t *testing.T) {
+	const src = `package p
+
+func f(a, b float64) bool {
+	//lint:ignore floatcmp,detrand both analyzers are quiet here
+	return a == b
+}
+`
+	_, sup := parseForSuppressions(t, src)
+	mk := func(analyzer string) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: "p.go", Line: 5}, Analyzer: analyzer}
+	}
+	if !sup.covers(mk("floatcmp")) || !sup.covers(mk("detrand")) {
+		t.Error("comma-separated directive must suppress every named analyzer")
+	}
+	if sup.covers(mk("wallclock")) {
+		t.Error("comma-separated directive must not suppress unnamed analyzers")
+	}
+}
+
+func TestSuppressionDoesNotLeakBeyondNextLine(t *testing.T) {
+	const src = `package p
+
+//lint:ignore floatcmp only the next line is covered
+var a = 1
+var b = 2
+`
+	_, sup := parseForSuppressions(t, src)
+	mk := func(line int) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: "p.go", Line: line}, Analyzer: "floatcmp"}
+	}
+	if sup.covers(mk(2)) {
+		t.Error("directive must not reach the line above it")
+	}
+	if !sup.covers(mk(3)) || !sup.covers(mk(4)) {
+		t.Error("directive must cover its own line and the next")
+	}
+	if sup.covers(mk(5)) {
+		t.Error("directive must not reach two lines below")
+	}
+}
+
+func TestSuppressionWrongFile(t *testing.T) {
+	const src = `package p
+
+//lint:ignore floatcmp justification
+var a = 1
+`
+	_, sup := parseForSuppressions(t, src)
+	d := Diagnostic{Pos: token.Position{Filename: "q.go", Line: 4}, Analyzer: "floatcmp"}
+	if sup.covers(d) {
+		t.Error("directive must only cover findings in its own file")
+	}
+}
+
+// TestSuppressionBareDirective covers the two under-specified spellings: no
+// analyzer list at all, and an analyzer list without a reason. Both are
+// reported as malformed and suppress nothing.
+func TestSuppressionBareDirective(t *testing.T) {
+	const src = `package p
+
+//lint:ignore
+var a = 1
+
+//lint:ignore floatcmp
+var b = 2
+`
+	_, sup := parseForSuppressions(t, src)
+	if len(sup.malformed) != 2 {
+		t.Fatalf("malformed directives = %d, want 2", len(sup.malformed))
+	}
+	for _, d := range sup.malformed {
+		if d.Analyzer != "dsctalint" || !strings.Contains(d.Message, "malformed lint:ignore") {
+			t.Errorf("unexpected malformed diagnostic: %s", d)
+		}
+	}
+	for _, line := range []int{4, 7} {
+		d := Diagnostic{Pos: token.Position{Filename: "p.go", Line: line}, Analyzer: "floatcmp"}
+		if sup.covers(d) {
+			t.Errorf("line %d: malformed directive must not suppress", line)
+		}
+	}
+}
+
+func TestSuppressionStackedDirectives(t *testing.T) {
+	const src = `package p
+
+func f(a, b float64) bool {
+	//lint:ignore floatcmp first analyzer
+	//lint:ignore detrand second analyzer, own directive line
+	return a == b
+}
+`
+	_, sup := parseForSuppressions(t, src)
+	// The detrand directive sits directly above line 6; the floatcmp one is
+	// two lines up and covers only lines 4-5.
+	if !sup.covers(Diagnostic{Pos: token.Position{Filename: "p.go", Line: 6}, Analyzer: "detrand"}) {
+		t.Error("adjacent directive must suppress")
+	}
+	if sup.covers(Diagnostic{Pos: token.Position{Filename: "p.go", Line: 6}, Analyzer: "floatcmp"}) {
+		t.Error("a directive two lines above the finding must not suppress")
+	}
+}

@@ -1,0 +1,12 @@
+package cowsafety
+
+// Annotation-hygiene cases: directives that do not attach to a field,
+// type or function declaration are reported, as are mode typos.
+
+//lint:frozen floating directives attach to nothing // want "misplaced annotation"
+
+var sink float64
+
+func use(o *overlay) {
+	sink = okRead(o)
+}

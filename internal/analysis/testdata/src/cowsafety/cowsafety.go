@@ -1,0 +1,117 @@
+package cowsafety
+
+import "sort"
+
+// overlay mimics lp.Problem's copy-on-write overlay: base rows and the
+// objective are shared with every child until the first write.
+type overlay struct {
+	//lint:frozen base rows are shared with every child overlay
+	base []row
+	//lint:frozen objective is COW-shared until materialised
+	obj []float64
+	own []row // mutable: owned by this overlay
+}
+
+type row struct {
+	terms []term
+	rhs   float64
+}
+
+type term struct {
+	v int
+	c float64
+}
+
+// chain mimics mip.fixChain: immutable after construction, tails shared
+// across the search tree.
+//
+//lint:frozen nodes share tails across the search tree
+type chain struct {
+	val  int
+	prev *chain
+}
+
+// newOverlay owns the arrays until it returns them.
+//
+//lint:freezer constructor initialises frozen state before publication
+func newOverlay(n int) *overlay {
+	o := &overlay{}
+	o.base = make([]row, n) // ok: freezer
+	o.obj = make([]float64, n)
+	return o
+}
+
+func mutateDirect(o *overlay) {
+	o.obj = nil // want "write to frozen field"
+}
+
+func mutateElem(o *overlay, v float64) {
+	o.obj[0] = v // want "frozen field"
+}
+
+func mutateAlias(o *overlay, v float64) {
+	obj := o.obj
+	obj[1] = v // want "frozen field"
+}
+
+func mutateRowThroughAlias(o *overlay, t term) {
+	r := o.base[0] // a value copy of a shared row...
+	r.rhs = 1      // ok: scalar write lands in the local copy
+	r.terms[0] = t // want "frozen field"
+}
+
+func appendShared(o *overlay, r row) []row {
+	return append(o.base[:2], r) // want "append to slice aliasing"
+}
+
+func copyInto(o *overlay, src []float64) {
+	copy(o.obj, src) // want "copy into"
+}
+
+func sortShared(o *overlay) {
+	sort.Float64s(o.obj) // want "sort.Float64s mutation"
+}
+
+func mutateViaCallee(o *overlay) {
+	scale(o.obj, 2) // want "call to scale mutates"
+}
+
+// scale writes through its parameter; the summary carries that to callers.
+func scale(xs []float64, f float64) {
+	for i := range xs {
+		xs[i] *= f
+	}
+}
+
+func mutateFrozenType(c *chain) {
+	c.val = 3 // want "frozen type"
+}
+
+func rangeWrite(o *overlay, v float64) {
+	for _, r := range o.base {
+		r.terms[0].c = v // want "frozen field"
+	}
+}
+
+// okOwnRows mutates state the overlay owns — never reported.
+func okOwnRows(o *overlay, r row) {
+	o.own = append(o.own, r)
+	o.own[0].rhs = 2
+}
+
+// okLocalCopy deep-copies before writing: the copy-on-write discipline.
+func okLocalCopy(o *overlay) []float64 {
+	obj := make([]float64, len(o.obj))
+	copy(obj, o.obj)
+	obj[0] = 1
+	return obj
+}
+
+// okRead only reads frozen state.
+func okRead(o *overlay) float64 {
+	s := 0.0
+	for _, r := range o.base {
+		s += r.rhs
+	}
+	return s
+}

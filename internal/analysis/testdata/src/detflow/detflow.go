@@ -1,0 +1,98 @@
+package detflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "never sorted"
+	}
+	return keys
+}
+
+// keysSorted is the clean collect-then-sort idiom.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sendFromRange(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want "channel send inside a range over a map"
+	}
+}
+
+func printFromRange(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt output inside a range over a map"
+	}
+}
+
+func concatFromRange(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "string accumulation"
+	}
+	return s
+}
+
+func nested(m map[string]map[string]int) []string {
+	var out []string
+	for _, inner := range m {
+		for k := range inner {
+			out = append(out, k) // want "never sorted"
+		}
+	}
+	return out
+}
+
+// maxOverMap is order-independent: folding with max needs no sort.
+func maxOverMap(m map[int]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func fanIn(jobs []int) [][]int {
+	var results [][]int
+	done := make(chan bool)
+	for i := range jobs {
+		go func(i int) {
+			results = append(results, work(i)) // want "goroutine appends to captured slice"
+			done <- true
+		}(i)
+	}
+	for range jobs {
+		<-done
+	}
+	return results
+}
+
+// fanInByIndex is the clean pattern: each goroutine owns one slot.
+func fanInByIndex(jobs []int) [][]int {
+	results := make([][]int, len(jobs))
+	done := make(chan bool)
+	for i := range jobs {
+		go func(i int) {
+			results[i] = work(i) // ok: index write is order-independent
+			done <- true
+		}(i)
+	}
+	for range jobs {
+		<-done
+	}
+	return results
+}
+
+func work(i int) []int { return []int{i} }

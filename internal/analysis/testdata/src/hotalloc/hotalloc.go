@@ -1,0 +1,83 @@
+package hotalloc
+
+import "fmt"
+
+// ftran mimics a zero-alloc solve kernel.
+//
+//lint:hotpath solved once per pivot; pinned to zero allocations
+func ftran(out, rhs []float64) {
+	buf := make([]float64, len(rhs)) // want "make call"
+	_ = buf
+	for i := range rhs {
+		out[i] = rhs[i]
+	}
+	helper(out) // want "which allocates"
+	clean(out)
+}
+
+// helper allocates; hot callers are reported at the call site.
+func helper(xs []float64) []float64 {
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	return tmp
+}
+
+// clean is allocation-free, so hot callers stay clean.
+func clean(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// price mimics a sparse pricing walk.
+//
+//lint:hotpath pricing runs every iteration of the simplex loop
+func price(xs []float64) float64 {
+	s := 0.0
+	f := func() { s++ } // want "function literal"
+	f()
+	defer clean(xs)               // want "defer statement"
+	msg := fmt.Sprintf("%d", ign) // want "call to fmt.Sprintf"
+	_ = msg
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+var ign = 0
+
+// label shows the string-allocation sites.
+//
+//lint:hotpath formatting must stay out of kernels
+func label(a, b string, n []byte) string {
+	s := a + b     // want "string concatenation"
+	t := string(n) // want "string/slice conversion"
+	_ = t
+	return s
+}
+
+// appendOK rides a pre-sized arena: append is exempt, the AllocsPerRun
+// pins own amortised growth.
+//
+//lint:hotpath eta append into a pre-sized arena
+func appendOK(dst []int, v int) []int {
+	return append(dst, v)
+}
+
+// warm mimics lp.SolveFrom: setup allocation is fine, closures and
+// goroutine launches are not.
+//
+//lint:hotpath=bounded warm start performs bounded setup allocation
+func warm(n int) []float64 {
+	out := make([]float64, n)  // ok: bounded budget covers setup
+	go clean(out)              // want "go statement"
+	f := func() { clean(out) } // want "function literal"
+	f()
+	return out
+}
+
+// badMode has a typo in the directive mode.
+//
+//lint:hotpath=turbo mode does not exist // want "unknown hotpath mode"
+func badMode() {}

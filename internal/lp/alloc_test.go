@@ -69,6 +69,7 @@ func TestAllocsFtranBtran(t *testing.T) {
 	}
 }
 
+//lint:freezer rewinds the test-local factor's eta file between measured appends
 func TestAllocsEtaAppend(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not stable under -race")

@@ -53,16 +53,23 @@ type basisEntry struct {
 // has gone fill-heavy) and rebuilds instead, bounding inherited roundoff
 // across generations.
 type Basis struct {
-	nVars   int
+	//lint:frozen a Basis is immutable once returned
+	nVars int
+	//lint:frozen the column set is shared by every child warm start
 	entries []basisEntry
 	// atUpper[v] marks nonbasic structural variable v as resting at its
 	// upper bound (false: lower bound; always false for basic columns).
 	// Only structural columns need the marker: logicals and artificials
 	// rest at zero whenever nonbasic.
+	//
+	//lint:frozen the bound markers are shared by every child warm start
 	atUpper []bool
-	binv    []float64 // NumRows()² snapshot of B⁻¹, row-major (nil: none)
-	fac     *luFactor // frozen LU factors + eta file (nil: none)
-	age     int       // updates absorbed since the last true factorisation
+	//lint:frozen the inverse snapshot is read-only; children copy before extending
+	binv []float64 // NumRows()² snapshot of B⁻¹, row-major (nil: none)
+	//lint:frozen frozen factors are adopted by struct copy; etas append copy-on-write
+	fac *luFactor // frozen LU factors + eta file (nil: none)
+	//lint:frozen a Basis is immutable once returned
+	age int // updates absorbed since the last true factorisation
 }
 
 // NumVars returns the structural variable count of the producing problem.

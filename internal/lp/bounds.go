@@ -13,6 +13,8 @@ import (
 // rest at either bound; no rows are added), so a box constraint declared
 // here keeps the basis dimension equal to the true row count. The default
 // box for every variable is [0, +Inf).
+//
+//lint:freezer copies shared bound slices before the first write (copy-on-write)
 func (p *Problem) SetBounds(v int, lo, hi float64) {
 	p.checkVar(v)
 	if math.IsNaN(lo) || math.IsNaN(hi) {
@@ -46,6 +48,8 @@ func (p *Problem) boundsAt(v int) (lo, hi float64) {
 // materializeBounds gives p owned, writable bound slices: it allocates the
 // default box when none exists and copies shared slices before the first
 // write (the objShared copy-on-write pattern).
+//
+//lint:freezer the copy-on-write transition itself: replaces aliased slices with owned ones
 func (p *Problem) materializeBounds() {
 	switch {
 	case p.lo == nil:
@@ -72,6 +76,8 @@ func (p *Problem) materializeBounds() {
 //
 // It panics when some lo < 0: the implicit x >= 0 of the row encoding
 // cannot express a negative lower bound.
+//
+//lint:freezer rewrites the deep copy's boxes as rows before publication; p itself is untouched
 func ExpandBounds(p *Problem) *Problem {
 	c := p.Clone()
 	if c.lo == nil {

@@ -85,10 +85,10 @@ func TestOverlayBoundsCopyOnWrite(t *testing.T) {
 
 func TestExpandBounds(t *testing.T) {
 	p := NewProblem(4)
-	p.SetBounds(0, 0, 5)    // finite upper: one LE row
-	p.SetBounds(1, 2, 7)    // positive lower + finite upper: GE + LE rows
-	p.SetBounds(2, 3, 3)    // fixed: one EQ row
-	_ = p                   // variable 3 keeps the default box: no rows
+	p.SetBounds(0, 0, 5) // finite upper: one LE row
+	p.SetBounds(1, 2, 7) // positive lower + finite upper: GE + LE rows
+	p.SetBounds(2, 3, 3) // fixed: one EQ row
+	_ = p                // variable 3 keeps the default box: no rows
 	p.AddConstraint([]Term{{0, 1}, {3, 1}}, LE, 9)
 
 	e := ExpandBounds(p)

@@ -55,36 +55,57 @@ const (
 // freeze) is immutable and safe to share across goroutines; appendEta may
 // only be called by the single solver that owns the factor.
 type luFactor struct {
+	//lint:frozen dimension is fixed at factorisation
 	m int
 
-	rowOf    []int // elimination step -> constraint row
+	//lint:frozen permutation backing is shared by every frozen snapshot
+	rowOf []int // elimination step -> constraint row
+	//lint:frozen permutation backing is shared by every frozen snapshot
 	posOfRow []int // constraint row -> elimination step
-	colOf    []int // elimination step -> basis position
+	//lint:frozen permutation backing is shared by every frozen snapshot
+	colOf []int // elimination step -> basis position
+	//lint:frozen permutation backing is shared by every frozen snapshot
 	posOfCol []int // basis position -> elimination step
 
 	// L: unit lower triangular, column-wise, elimination coordinates;
 	// column k holds the step-k multipliers (row indices > k).
+	//
+	//lint:frozen L is never mutated after factorisation and shared as-is
 	lPtr []int
+	//lint:frozen L is never mutated after factorisation and shared as-is
 	lIdx []int
+	//lint:frozen L is never mutated after factorisation and shared as-is
 	lVal []float64
 	// U: upper triangular, column-wise; column k holds entries above the
 	// diagonal (row indices < k), the diagonal lives in uDiag.
-	uPtr  []int
-	uIdx  []int
-	uVal  []float64
+	//
+	//lint:frozen U is never mutated after factorisation and shared as-is
+	uPtr []int
+	//lint:frozen U is never mutated after factorisation and shared as-is
+	uIdx []int
+	//lint:frozen U is never mutated after factorisation and shared as-is
+	uVal []float64
+	//lint:frozen U is never mutated after factorisation and shared as-is
 	uDiag []float64
 
+	//lint:frozen fixed at factorisation
 	nnzLU int // total stored nonzeros of L and U including the diagonal
 
 	// Eta file: update e appended at basis position etaPos[e] transforms
 	// B into B·E with E = I except column etaPos[e] = w (the entering
 	// direction). etaDiag[e] = w[etaPos[e]]; the off-diagonal nonzeros of
 	// w live in etaIdx/etaVal[etaPtr[e]:etaPtr[e+1]].
-	etaPos  []int
+	//
+	//lint:frozen eta backing may be shared with frozen siblings; only appendEta may grow it
+	etaPos []int
+	//lint:frozen eta backing may be shared with frozen siblings; only appendEta may grow it
 	etaDiag []float64
-	etaPtr  []int // len(etaPos)+1 offsets into etaIdx/etaVal
-	etaIdx  []int
-	etaVal  []float64
+	//lint:frozen eta backing may be shared with frozen siblings; only appendEta may grow it
+	etaPtr []int // len(etaPos)+1 offsets into etaIdx/etaVal
+	//lint:frozen eta backing may be shared with frozen siblings; only appendEta may grow it
+	etaIdx []int
+	//lint:frozen eta backing may be shared with frozen siblings; only appendEta may grow it
+	etaVal []float64
 }
 
 // nEtas returns the number of product-form updates absorbed.
@@ -101,6 +122,9 @@ func (f *luFactor) fillHeavy() bool {
 
 // appendEta records the product-form update of a pivot at basis position r
 // with entering direction w = B⁻¹A_pc (position space, length m).
+//
+//lint:freezer the owning solver's eta append is the copy-on-write growth point
+//lint:hotpath one append per pivot; arena growth is amortised and pinned to zero steady-state allocations
 func (f *luFactor) appendEta(r int, w []float64) {
 	f.etaPos = append(f.etaPos, r)
 	f.etaDiag = append(f.etaDiag, w[r])
@@ -118,6 +142,8 @@ func (f *luFactor) appendEta(r int, w []float64) {
 // and appends an eta forces a copy-on-write reallocation instead of
 // scribbling over a backing array shared with sibling solvers. L and U are
 // never mutated after factorisation, so they are shared as-is.
+//
+//lint:freezer clips the slice headers of a local copy; the shared backing is untouched
 func (f *luFactor) freeze() *luFactor {
 	c := *f
 	c.etaPos = c.etaPos[:len(c.etaPos):len(c.etaPos)]
@@ -132,6 +158,8 @@ func (f *luFactor) freeze() *luFactor {
 // in basis-position space. work is an m-length scratch slice owned by the
 // caller — the factor itself is stateless so frozen snapshots can serve
 // many solvers at once. Structural zeros are skipped throughout.
+//
+//lint:hotpath one triangular solve per pivot per node; pinned to zero allocations
 func (f *luFactor) ftran(rhs, out, work []float64) {
 	m := f.m
 	for k := 0; k < m; k++ {
@@ -181,6 +209,8 @@ func (f *luFactor) ftran(rhs, out, work []float64) {
 // btran solves yᵀ·B = cᵀ: c is in basis-position space, the result
 // (written to out) in row space. work and cw are m-length scratch slices
 // owned by the caller; c is not modified.
+//
+//lint:hotpath one transposed solve per pricing pass; pinned to zero allocations
 func (f *luFactor) btran(c, out, work, cw []float64) {
 	m := f.m
 	copy(cw, c)
@@ -324,6 +354,8 @@ func (s *facState) selectPivot() (bp, bq int, bpv float64, ok bool) {
 // column-wise (CSC-style: colPtr offsets basis positions into
 // rowIdx/vals). It returns errSingular when no admissible pivot exists for
 // some elimination step — a structurally or numerically singular basis.
+//
+//lint:freezer builds the factor's frozen arrays before publication
 func factorizeBasis(m int, colPtr, rowIdx []int, vals []float64) (*luFactor, error) {
 	f := &luFactor{
 		m:      m,

@@ -68,7 +68,8 @@ type row struct {
 // the aliasing rules.
 type Problem struct {
 	nVars int
-	obj   []float64
+	//lint:frozen may alias the base problem's objective until SetObjCoef copies it
+	obj []float64
 	// objShared marks obj as aliasing another problem's objective slice
 	// (set by Overlay); SetObjCoef copies before the first write so the
 	// base problem is never mutated through an overlay.
@@ -77,12 +78,16 @@ type Problem struct {
 	// at the default [0, +inf) box. boundsShared marks them as aliasing
 	// another problem's slices (set by Overlay); SetBounds copies before
 	// the first write, mirroring objShared.
+	//
+	//lint:frozen may alias the base problem's boxes until SetBounds copies them
 	lo, hi       []float64
 	boundsShared bool
 	// base is an immutable row prefix shared with the problem this one
 	// was derived from by Overlay (nil for ordinary problems). rows holds
 	// the rows owned by this problem; the effective constraint list is
 	// base followed by rows.
+	//
+	//lint:frozen row prefix is shared with every overlay of the same base
 	base []row
 	rows []row
 }
@@ -112,6 +117,8 @@ func (p *Problem) rowAt(i int) row {
 }
 
 // SetObjCoef sets the objective coefficient of variable v.
+//
+//lint:freezer copies the shared objective before the first write (copy-on-write)
 func (p *Problem) SetObjCoef(v int, c float64) {
 	p.checkVar(v)
 	if p.objShared {
@@ -145,6 +152,8 @@ func (p *Problem) checkVar(v int) {
 
 // Clone returns an independent deep copy of the problem: the result shares
 // no storage with p (overlay sharing is flattened away).
+//
+//lint:freezer initialises the copy's owned arrays before publication
 func (p *Problem) Clone() *Problem {
 	nr := p.NumConstraints()
 	c := &Problem{

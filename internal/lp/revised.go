@@ -297,6 +297,8 @@ func (t *rev) recomputeQ() {
 }
 
 // addColTimes adds factor·A_col to q.
+//
+//lint:hotpath runs per bound flip and per pivot; pinned to zero allocations
 func (t *rev) addColTimes(col int, factor float64) {
 	if factor == 0 {
 		return
@@ -347,6 +349,8 @@ func (t *rev) colAt(r, col int) float64 {
 
 // gatherCol scatters matrix column col (structural, logical or implicit
 // artificial) into t.colv as a dense row-space vector.
+//
+//lint:hotpath feeds every LU-mode FTRAN; pinned to zero allocations
 func (t *rev) gatherCol(col int) {
 	for i := range t.colv {
 		t.colv[i] = 0
@@ -695,6 +699,8 @@ func (t *rev) computeXB() {
 
 // snapXB applies computeXB's bound snap to a single incrementally updated
 // basic value.
+//
+//lint:hotpath runs once per basic row per pivot; pinned to zero allocations
 func (t *rev) snapXB(i int) {
 	bl, bh := t.lo[t.basis[i]], t.hi[t.basis[i]]
 	if t.xb[i] < bl && t.xb[i] > bl-t.tol {
@@ -717,6 +723,8 @@ func (t *rev) setBasis(cols []int) {
 
 // prices computes the dual prices y = c_B B⁻¹ and reduced costs
 // d = c − yᵀA for the working cost vector c.
+//
+//lint:hotpath full pricing pass per iteration; pinned to zero allocations
 func (t *rev) prices(c []float64) {
 	m := t.m
 	if t.factorLU {
@@ -778,6 +786,8 @@ func (t *rev) prices(c []float64) {
 // row against only the column's nonzeros — O(nnz_col·m) instead of O(m²)
 // — and implicit logical/artificial columns (±e_k) reduce to copying the
 // k-th column of B⁻¹.
+//
+//lint:hotpath one entering-direction solve per pivot; pinned to zero allocations
 func (t *rev) ftran(col int) {
 	m := t.m
 	if t.factorLU {
@@ -830,6 +840,8 @@ func (t *rev) ftran(col int) {
 // nonzeros plus its implicit logical column — O(Σ nnz of contributing
 // rows) against the dense O(m·(n+m)) — in the same k order as the dense
 // pass, so the two modes price identically.
+//
+//lint:hotpath one ratio-test row per dual iteration; pinned to zero allocations
 func (t *rev) pivotRow(pr int) {
 	for j := 0; j < t.rw; j++ {
 		t.alpha[j] = 0
@@ -876,6 +888,8 @@ func (t *rev) pivotRow(pr int) {
 // any basic column hits one of its own, so the basis does not change. q
 // absorbs the value change, the basic values shift along the precomputed
 // direction w = B⁻¹A_pc, and that is the whole iteration.
+//
+//lint:hotpath whole iteration for bound-flip steps; pinned to zero allocations
 func (t *rev) flipCol(pc int, sigma float64) {
 	span := t.hi[pc] - t.lo[pc]
 	t.addColTimes(pc, -sigma*span)
@@ -894,6 +908,8 @@ func (t *rev) flipCol(pc int, sigma float64) {
 // w = B⁻¹A_pc, the basic values shift by the exact step that lands the
 // leaving column on its bound, and q absorbs both columns' nonbasic value
 // changes. It refactorises periodically.
+//
+//lint:hotpath=bounded the refactorisation fallback and copy-on-write eta growth allocate; the pivot body itself is allocation-free
 func (t *rev) pivotBounded(pr, pc int, leaveToUpper bool) error {
 	piv := t.w[pr]
 	if math.Abs(piv) < minPivot {
@@ -1310,6 +1326,8 @@ func (t *rev) driveOutArtificials() error {
 // their recorded bound; basic values get roundoff residue near a bound
 // snapped onto it (the bounded generalisation of the old snap-to-zero:
 // downstream integrality checks treat any off-bound value as fractional).
+//
+//lint:freezer assembles the published Basis snapshot before returning it
 func (t *rev) finish(p *Problem, status Status) (*Solution, *Basis) {
 	sol := &Solution{Status: status, Iterations: t.iters}
 	if status != Optimal && status != IterLimit && status != TimeLimit {
@@ -1440,6 +1458,8 @@ func solveBasisRev(p *Problem, opts Options) (*rev, *Solution, *Basis, error) {
 //
 // It returns an error when the basis does not fit p or has become
 // numerically singular; callers should fall back to a cold solve then.
+//
+//lint:hotpath=bounded one warm re-solve allocates only the solver workspace; the AllocsPerRun ceiling pins it
 func SolveFrom(p *Problem, from *Basis, opts Options) (*Solution, *Basis, error) {
 	if from == nil {
 		return nil, nil, errors.New("lp: SolveFrom with nil basis")

@@ -25,9 +25,9 @@ const (
 // than zero, b is updated by explicit value displacement in pivotAt and
 // flipCol instead of being eliminated along with the matrix.
 type tableau struct {
-	m, n      int // constraint rows, structural variables
-	width     int // n + 2m
-	artBase   int // n + m: first artificial column index
+	m, n      int       // constraint rows, structural variables
+	width     int       // n + 2m
+	artBase   int       // n + m: first artificial column index
 	a         []float64 // m * width, row-major
 	b         []float64 // m; current basic values
 	basis     []int     // basis[i] = column basic in row i

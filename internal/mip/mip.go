@@ -176,6 +176,8 @@ type fix struct {
 // element, so deriving a node costs O(1) and replaying its decisions
 // costs O(depth) — the branching mirror of what lp.Problem.Overlay does
 // for constraint rows (and of what the bounds overlay does for boxes).
+//
+//lint:frozen nodes share chain tails across the whole search tree
 type fixChain struct {
 	f    fix
 	prev *fixChain

@@ -84,20 +84,20 @@ type searcher struct {
 	prob *Problem
 	opts Options
 
-	mu            sync.Mutex
-	cond          *sync.Cond
-	queue         nodeQueue
-	inflight      map[*node]struct{}
-	incumbent     float64
-	incumbentX    []float64
-	incumbentPath string
+	mu               sync.Mutex
+	cond             *sync.Cond
+	queue            nodeQueue
+	inflight         map[*node]struct{}
+	incumbent        float64
+	incumbentX       []float64
+	incumbentPath    string
 	nodes            int
 	warmSolves       int
 	coldSolves       int
 	inheritFallbacks int
 	maxNodeRows      int
-	stopped       bool
-	err           error
+	stopped          bool
+	err              error
 }
 
 // openBound returns the best upper bound over open and in-flight nodes and
@@ -264,6 +264,8 @@ func (s *searcher) process(nd *node) (children []*node, fatal error) {
 // start (invalid or singular basis) falls back to a cold Phase-1 solve.
 // The returned basis warm-starts this node's children (nil when only the
 // tableau solver ran or the relaxation was not solved to optimality).
+//
+//lint:hotpath=bounded one node relaxation allocates an overlay plus solver workspace; no closures or goroutine launches
 func (s *searcher) solveNodeLP(fixes *fixChain, depth int, from *lp.Basis, heuristicFix []float64) (*lp.Solution, *lp.Basis, error) {
 	p := s.prob.LP.Overlay()
 	if s.opts.BranchRows {

@@ -16,9 +16,13 @@ type FRModel struct {
 }
 
 // TVar returns the variable index of t_jr.
+//
+//lint:hotpath index arithmetic called inside every row-builder loop
 func (fm *FRModel) TVar(j, r int) int { return j*fm.m + r }
 
 // ZVar returns the variable index of the epigraph variable z_j.
+//
+//lint:hotpath index arithmetic called inside every row-builder loop
 func (fm *FRModel) ZVar(j int) int { return fm.n*fm.m + j }
 
 // BuildFR constructs the DSCT-EA-FR LP. Variables: t_jr (n·m), z_j (n).

@@ -30,14 +30,20 @@ type MIPModel struct {
 
 // TVar returns the variable index of t_jr (processing time of task j on
 // machine r, seconds).
+//
+//lint:hotpath index arithmetic called inside every row-builder loop
 func (mm *MIPModel) TVar(j, r int) int { return j*mm.m + r }
 
 // XVar returns the variable index of the binary x_jr (task j assigned to
 // machine r).
+//
+//lint:hotpath index arithmetic called inside every row-builder loop
 func (mm *MIPModel) XVar(j, r int) int { return mm.n*mm.m + j*mm.m + r }
 
 // ZVar returns the variable index of the epigraph variable z_j
 // (z_j <= a_j(f_j) at the optimum, z_j = a_j(f_j)).
+//
+//lint:hotpath index arithmetic called inside every row-builder loop
 func (mm *MIPModel) ZVar(j int) int { return 2*mm.n*mm.m + j }
 
 // BuildMIP constructs the paper's MIP for the instance. Variables:

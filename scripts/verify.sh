@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # verify.sh — the repository's full verification gate.
 #
-# Runs, in order: build, go vet, the project's own static analyzers
-# (cmd/dsctalint) and the race-enabled test suite. Idempotent: safe to run
-# repeatedly from any working directory. Exits non-zero on the first failure.
+# Runs, in order: gofmt (no unformatted files), build, go vet, the
+# project's own static analyzers (cmd/dsctalint), the hot-path escape gate
+# (dsctalint -escape against the committed LINT_ESCAPE.json baseline) and
+# the race-enabled test suite. Idempotent: safe to run repeatedly from any
+# working directory. Exits non-zero on the first failure.
 #
 # With -bench, additionally runs the simplex benchmark suite — cold-vs-warm
 # (BenchmarkMIPColdVsWarm, BenchmarkWarmVsColdLP), dense-vs-sparse
@@ -12,9 +14,12 @@
 # BenchmarkMIPBoundsVsRows) and basis-kernel binv-vs-lu
 # (BenchmarkFactorLUVsBinvLP, BenchmarkFactorLUVsBinvWarmLP,
 # BenchmarkMIPFactorLUVsBinv) — records the parsed results, including
-# per-pair speedups, in BENCH_PR5.json via cmd/benchjson, and diffs them
-# against the committed BENCH_PR4.json baseline (shared benchmarks only;
-# threshold x2.5 to ride out machine noise).
+# per-pair speedups, in BENCH_PR<cur>.json via cmd/benchjson, and diffs
+# them against the committed BENCH_PR<prev>.json baseline (shared
+# benchmarks only; threshold x2.5 to ride out machine noise). <prev> is
+# the highest-numbered committed BENCH_PR*.json and <cur> is <prev>+1;
+# override with -pr N to write BENCH_PR<N>.json and diff against the
+# highest committed baseline below N.
 #
 # With -profile, runs a paper-scale experiment under cmd/experiments'
 # -cpuprofile/-memprofile flags and leaves the pprof files in profiles/.
@@ -24,13 +29,45 @@ cd "$(dirname "$0")/.."
 
 run_bench=0
 run_profile=0
-for arg in "$@"; do
-  case "$arg" in
+pr_cur=""
+while [ $# -gt 0 ]; do
+  case "$1" in
     -bench) run_bench=1 ;;
     -profile) run_profile=1 ;;
-    *) echo "verify.sh: unknown argument: $arg" >&2; exit 2 ;;
+    -pr)
+      shift
+      [ $# -gt 0 ] || { echo "verify.sh: -pr needs a number" >&2; exit 2; }
+      pr_cur="$1"
+      case "$pr_cur" in
+        ''|*[!0-9]*) echo "verify.sh: -pr needs a number, got '$pr_cur'" >&2; exit 2 ;;
+      esac
+      ;;
+    *) echo "verify.sh: unknown argument: $1" >&2; exit 2 ;;
   esac
+  shift
 done
+
+# bench_prev <cur> — highest committed BENCH_PR<N>.json with N < cur.
+bench_prev() {
+  local cur="$1" best="" n
+  for f in BENCH_PR*.json; do
+    [ -e "$f" ] || continue
+    n="${f#BENCH_PR}"; n="${n%.json}"
+    case "$n" in ''|*[!0-9]*) continue ;; esac
+    if [ "$n" -lt "$cur" ] && { [ -z "$best" ] || [ "$n" -gt "$best" ]; }; then
+      best="$n"
+    fi
+  done
+  echo "$best"
+}
+
+echo "==> gofmt -l"
+unformatted="$(gofmt -l cmd internal scripts 2>/dev/null || true)"
+if [ -n "$unformatted" ]; then
+  echo "verify.sh: unformatted files (run gofmt -w):" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
 
 echo "==> go build ./..."
 go build ./...
@@ -41,11 +78,25 @@ go vet ./...
 echo "==> dsctalint ./..."
 go run ./cmd/dsctalint ./...
 
+echo "==> dsctalint -escape (LINT_ESCAPE.json baseline)"
+go run ./cmd/dsctalint -escape -baseline LINT_ESCAPE.json ./...
+
 echo "==> go test -race ./..."
 go test -race ./...
 
 if [ "$run_bench" = 1 ]; then
-  echo "==> simplex benchmarks -> BENCH_PR5.json"
+  if [ -z "$pr_cur" ]; then
+    prev="$(bench_prev 1000000)"
+    if [ -z "$prev" ]; then
+      echo "verify.sh: no committed BENCH_PR*.json baseline; pass -pr N" >&2
+      exit 2
+    fi
+    pr_cur=$((prev + 1))
+  else
+    prev="$(bench_prev "$pr_cur")"
+  fi
+
+  echo "==> simplex benchmarks -> BENCH_PR${pr_cur}.json"
   {
     go test -run='^$' -bench='^BenchmarkMIPColdVsWarm$' -benchtime=3x -count=4 .
     go test -run='^$' -bench='^BenchmarkMIPDenseVsSparse$' -benchtime=2x -count=3 .
@@ -57,10 +108,14 @@ if [ "$run_bench" = 1 ]; then
     go test -run='^$' -bench='^BenchmarkBoundsVsRowsLP$' -benchtime=2x -count=3 ./internal/lp/
     go test -run='^$' -bench='^BenchmarkFactorLUVsBinvLP$' -benchtime=1x -count=3 ./internal/lp/
     go test -run='^$' -bench='^BenchmarkFactorLUVsBinvWarmLP$' -benchtime=10x -count=3 ./internal/lp/
-  } | tee /dev/stderr | go run ./cmd/benchjson -label "basis factorisation, PR 5" -o BENCH_PR5.json
+  } | tee /dev/stderr | go run ./cmd/benchjson -label "PR ${pr_cur}" -o "BENCH_PR${pr_cur}.json"
 
-  echo "==> benchjson -diff BENCH_PR4.json BENCH_PR5.json"
-  go run ./cmd/benchjson -diff -threshold 2.5 BENCH_PR4.json BENCH_PR5.json
+  if [ -n "$prev" ]; then
+    echo "==> benchjson -diff BENCH_PR${prev}.json BENCH_PR${pr_cur}.json"
+    go run ./cmd/benchjson -diff -threshold 2.5 "BENCH_PR${prev}.json" "BENCH_PR${pr_cur}.json"
+  else
+    echo "==> no committed baseline below PR ${pr_cur}; skipping diff"
+  fi
 fi
 
 if [ "$run_profile" = 1 ]; then
