@@ -16,8 +16,12 @@
 // (BenchmarkMIPBoundsVsRows/rows/... vs .../bounds/...) with the row-
 // encoding/bound-encoding speedup, and "binv" vs "lu" segments
 // (BenchmarkFactorLUVsBinvLP/binv/... vs .../lu/...) with the dense-
-// inverse/LU basis-kernel speedup — which is how scripts/verify.sh -bench
-// produces the committed BENCH_*.json records.
+// inverse/LU basis-kernel speedup, "dantzig" vs "devex"/"partial" segments
+// (BenchmarkPricingXLLP/dantzig/... vs .../devex/... and .../partial/...)
+// with the pricing-rule speedups, and "nopresolve" vs "presolve" segments
+// (BenchmarkPresolveXLLP/nopresolve/... vs .../presolve/...) with the
+// presolve-layer speedup — which is how scripts/verify.sh -bench produces
+// the committed BENCH_*.json records.
 //
 // In -diff mode the two JSON records are matched by benchmark name and the
 // new/old ns-per-op ratio is printed per benchmark; any common benchmark
@@ -79,17 +83,37 @@ type binvLuPair struct {
 	Speedup  float64 `json:"speedup"`
 }
 
+// pricingPair joins a dantzig-priced benchmark with the same benchmark
+// under a smarter pricing rule (devex or partial); Rule names which.
+type pricingPair struct {
+	Name        string  `json:"name"`
+	Rule        string  `json:"rule"`
+	DantzigNsOp float64 `json:"dantzig_ns_per_op"`
+	RuleNsOp    float64 `json:"rule_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// presolvePair joins a raw solve with its presolved twin.
+type presolvePair struct {
+	Name           string  `json:"name"`
+	NoPresolveNsOp float64 `json:"nopresolve_ns_per_op"`
+	PresolveNsOp   float64 `json:"presolve_ns_per_op"`
+	Speedup        float64 `json:"speedup"`
+}
+
 // report is the top-level JSON document.
 type report struct {
-	Label      string            `json:"label,omitempty"`
-	Goos       string            `json:"goos,omitempty"`
-	Goarch     string            `json:"goarch,omitempty"`
-	CPU        string            `json:"cpu,omitempty"`
-	Benchmarks []benchResult     `json:"benchmarks"`
-	Pairs      []coldWarmPair    `json:"cold_vs_warm,omitempty"`
-	DensePairs []denseSparsePair `json:"dense_vs_sparse,omitempty"`
-	RowsPairs  []rowsBoundsPair  `json:"rows_vs_bounds,omitempty"`
-	BinvPairs  []binvLuPair      `json:"binv_vs_lu,omitempty"`
+	Label         string            `json:"label,omitempty"`
+	Goos          string            `json:"goos,omitempty"`
+	Goarch        string            `json:"goarch,omitempty"`
+	CPU           string            `json:"cpu,omitempty"`
+	Benchmarks    []benchResult     `json:"benchmarks"`
+	Pairs         []coldWarmPair    `json:"cold_vs_warm,omitempty"`
+	DensePairs    []denseSparsePair `json:"dense_vs_sparse,omitempty"`
+	RowsPairs     []rowsBoundsPair  `json:"rows_vs_bounds,omitempty"`
+	BinvPairs     []binvLuPair      `json:"binv_vs_lu,omitempty"`
+	PricingPairs  []pricingPair     `json:"dantzig_vs_rule,omitempty"`
+	PresolvePairs []presolvePair    `json:"nopresolve_vs_presolve,omitempty"`
 }
 
 func main() {
@@ -132,6 +156,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	rep.DensePairs = pairDenseSparse(rep.Benchmarks)
 	rep.RowsPairs = pairRowsBounds(rep.Benchmarks)
 	rep.BinvPairs = pairBinvLu(rep.Benchmarks)
+	rep.PricingPairs = pairPricing(rep.Benchmarks)
+	rep.PresolvePairs = pairPresolve(rep.Benchmarks)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -305,6 +331,38 @@ func pairBinvLu(results []benchResult) []binvLuPair {
 	for _, p := range pairSegments(results, "binv", "lu") {
 		pairs = append(pairs, binvLuPair{
 			Name: p.name, BinvNsOp: p.slow, LuNsOp: p.fast, Speedup: p.slow / p.fast,
+		})
+	}
+	return pairs
+}
+
+// pairPricing records the dantzig-baseline/pricing-rule speedups, one pair
+// per rule segment (devex, partial) that shares a dantzig twin.
+func pairPricing(results []benchResult) []pricingPair {
+	var pairs []pricingPair
+	for _, rule := range []string{"devex", "partial"} {
+		for _, p := range pairSegments(results, "dantzig", rule) {
+			pairs = append(pairs, pricingPair{
+				Name: p.name, Rule: rule,
+				DantzigNsOp: p.slow, RuleNsOp: p.fast, Speedup: p.slow / p.fast,
+			})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Name != pairs[j].Name {
+			return pairs[i].Name < pairs[j].Name
+		}
+		return pairs[i].Rule < pairs[j].Rule
+	})
+	return pairs
+}
+
+// pairPresolve records the raw-solve/presolved-solve speedups.
+func pairPresolve(results []benchResult) []presolvePair {
+	var pairs []presolvePair
+	for _, p := range pairSegments(results, "nopresolve", "presolve") {
+		pairs = append(pairs, presolvePair{
+			Name: p.name, NoPresolveNsOp: p.slow, PresolveNsOp: p.fast, Speedup: p.slow / p.fast,
 		})
 	}
 	return pairs

@@ -219,6 +219,52 @@ func TestBenchjsonSkipsMalformedLines(t *testing.T) {
 	}
 }
 
+func TestBenchjsonPairsPricingPresolve(t *testing.T) {
+	input := "BenchmarkPricingXLLP/dantzig/tasks=10000,mach=100-8 1 5000000 ns/op 10459 pivots\n" +
+		"BenchmarkPricingXLLP/devex/tasks=10000,mach=100-8 1 4000000 ns/op 6619 pivots\n" +
+		"BenchmarkPricingXLLP/partial/tasks=10000,mach=100-8 1 2500000 ns/op 14528 pivots\n" +
+		"BenchmarkPricingXLLP/dantzig/tasks=2000,mach=20-8 1 200000 ns/op\n" +
+		"BenchmarkPricingXLLP/partial/tasks=2000,mach=20-8 1 100000 ns/op\n" +
+		"BenchmarkPresolveXLLP/nopresolve/tasks=10000,mach=100-8 1 4400000 ns/op\n" +
+		"BenchmarkPresolveXLLP/presolve/tasks=10000,mach=100-8 1 2200000 ns/op\n" +
+		"BenchmarkPresolveXLLP/nopresolve/tasks=2000,mach=20-8 1 7000 ns/op\n"
+	rep, err := runTool(t, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pairs) != 0 || len(rep.DensePairs) != 0 || len(rep.RowsPairs) != 0 || len(rep.BinvPairs) != 0 {
+		t.Errorf("unexpected pairs from other families: %+v / %+v / %+v / %+v",
+			rep.Pairs, rep.DensePairs, rep.RowsPairs, rep.BinvPairs)
+	}
+	// dantzig at 10k pairs with devex AND partial; dantzig at 2000 pairs
+	// with partial only (no devex twin).
+	if len(rep.PricingPairs) != 3 {
+		t.Fatalf("got %d pricing pairs, want 3:\n%+v", len(rep.PricingPairs), rep.PricingPairs)
+	}
+	// Sorted by name then rule: "tasks=10000" < "tasks=2000" lexically.
+	devex := rep.PricingPairs[0]
+	if devex.Name != "BenchmarkPricingXLLP/*/tasks=10000,mach=100" || devex.Rule != "devex" ||
+		math.Abs(devex.Speedup-1.25) > 1e-12 {
+		t.Errorf("devex pair = %+v", devex)
+	}
+	partial := rep.PricingPairs[1]
+	if partial.Rule != "partial" || math.Abs(partial.Speedup-2) > 1e-12 {
+		t.Errorf("partial pair = %+v", partial)
+	}
+	small := rep.PricingPairs[2]
+	if small.Name != "BenchmarkPricingXLLP/*/tasks=2000,mach=20" || small.Rule != "partial" {
+		t.Errorf("small pair = %+v", small)
+	}
+	if len(rep.PresolvePairs) != 1 {
+		t.Fatalf("got %d presolve pairs, want 1 (unpaired nopresolve dropped):\n%+v",
+			len(rep.PresolvePairs), rep.PresolvePairs)
+	}
+	ps := rep.PresolvePairs[0]
+	if ps.Name != "BenchmarkPresolveXLLP/*/tasks=10000,mach=100" || math.Abs(ps.Speedup-2) > 1e-12 {
+		t.Errorf("presolve pair = %+v", ps)
+	}
+}
+
 func TestBenchjsonPairsBinvLu(t *testing.T) {
 	input := "BenchmarkFactorLUVsBinvLP/binv/tasks=200,mach=10-8 1 800000 ns/op 314.0 pivots\n" +
 		"BenchmarkFactorLUVsBinvLP/lu/tasks=200,mach=10-8 40 40000 ns/op 314.0 pivots\n" +

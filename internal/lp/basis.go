@@ -70,6 +70,15 @@ type Basis struct {
 	fac *luFactor // frozen LU factors + eta file (nil: none)
 	//lint:frozen a Basis is immutable once returned
 	age int // updates absorbed since the last true factorisation
+	// devex snapshots the devex reference weights at optimality — [0, n)
+	// structural, then one weight per row's logical — when the producing
+	// solve priced with them (nil otherwise). A warm-started child that
+	// also prices with devex adopts the shared segments so its first
+	// pivots rank columns by the parent's geometry; the weights reset to
+	// unit on any refactorisation, the warm-start fallback included.
+	//
+	//lint:frozen the weight snapshot is shared by every child warm start
+	devex []float64
 }
 
 // NumVars returns the structural variable count of the producing problem.

@@ -73,7 +73,10 @@ var sparseBenchSizes = []struct{ tasks, mach int }{
 // instances with the constraint matrix stored dense (SparseOff) versus CSC
 // (SparseOn). The staircases are ~1/m dense, so the sparse FTRAN/pricing
 // walks touch a fraction of the entries the dense dot products do; the
-// pivot metric confirms both modes take the identical path.
+// pivot metric confirms both modes take the identical path. Pricing and
+// presolve are pinned to dantzig/off so the benchmark isolates the matrix
+// representation along the historical path (the xl pairings measure those
+// knobs); the largest member would otherwise cross both auto thresholds.
 func BenchmarkSparseVsDenseLP(b *testing.B) {
 	for _, sz := range sparseBenchSizes {
 		g := generateStaircaseLP(rng.New(11, "lp-sparse-bench"), sz.tasks, sz.mach)
@@ -87,7 +90,7 @@ func BenchmarkSparseVsDenseLP(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/tasks=%d,mach=%d", mode.name, sz.tasks, sz.mach), func(b *testing.B) {
 				var iters int
 				for i := 0; i < b.N; i++ {
-					sol, _, err := SolveBasis(g.p, Options{Sparse: mode.sparse})
+					sol, _, err := SolveBasis(g.p, Options{Sparse: mode.sparse, Pricing: PricingDantzig, Presolve: PresolveOff})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -146,7 +149,10 @@ func BenchmarkBoundsVsRowsLP(b *testing.B) {
 // BenchmarkSparseVsDenseWarmLP: the branch-and-bound node shape — append
 // one binding bound row and re-optimise from the parent basis — under both
 // matrix representations, checking the sparse layout keeps (and extends)
-// the warm-start win rather than trading it away.
+// the warm-start win rather than trading it away. Pricing and presolve
+// are pinned to dantzig/off: a presolved parent basis is restored through
+// postsolve and costs repair pivots on re-entry, which would drown the
+// representation comparison this benchmark isolates.
 func BenchmarkSparseVsDenseWarmLP(b *testing.B) {
 	for _, sz := range sparseBenchSizes {
 		g := generateStaircaseLP(rng.New(13, "lp-sparse-warm-bench"), sz.tasks, sz.mach)
@@ -157,7 +163,7 @@ func BenchmarkSparseVsDenseWarmLP(b *testing.B) {
 			{"dense", SparseOff},
 			{"sparse", SparseOn},
 		} {
-			opts := Options{Sparse: mode.sparse}
+			opts := Options{Sparse: mode.sparse, Pricing: PricingDantzig, Presolve: PresolveOff}
 			parent, bs, err := SolveBasis(g.p, opts)
 			if err != nil || parent.Status != Optimal {
 				b.Fatalf("parent solve: %v / %v", err, parent.Status)
@@ -195,7 +201,9 @@ func BenchmarkSparseVsDenseWarmLP(b *testing.B) {
 // matter how sparse the basis is; the LU kernel's triangular solves and
 // eta appends touch only structural nonzeros, which on ~1/m-dense
 // staircase bases is where the asymptotic win lives. The pivot metric
-// confirms both kernels walk the identical path.
+// confirms both kernels walk the identical path; pricing and presolve
+// are pinned to dantzig/off so the path stays the historical one and the
+// benchmark isolates the kernel (the xl pairings measure those knobs).
 func BenchmarkFactorLUVsBinvLP(b *testing.B) {
 	for _, sz := range sparseBenchSizes {
 		g := generateStaircaseLP(rng.New(19, "lp-factor-bench"), sz.tasks, sz.mach)
@@ -209,7 +217,7 @@ func BenchmarkFactorLUVsBinvLP(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/tasks=%d,mach=%d", mode.name, sz.tasks, sz.mach), func(b *testing.B) {
 				var iters int
 				for i := 0; i < b.N; i++ {
-					sol, _, err := SolveBasis(g.p, Options{Sparse: SparseOn, Factor: mode.factor})
+					sol, _, err := SolveBasis(g.p, Options{Sparse: SparseOn, Factor: mode.factor, Pricing: PricingDantzig, Presolve: PresolveOff})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -229,7 +237,10 @@ func BenchmarkFactorLUVsBinvLP(b *testing.B) {
 // both kernels. The legacy kernel copies the parent's m² inverse into every
 // child; the LU kernel adopts the parent's frozen factors by a struct copy
 // and appends child pivots copy-on-write, so the per-node cost tracks the
-// dual repair work instead of the basis dimension.
+// dual repair work instead of the basis dimension. Pricing and presolve
+// are pinned to dantzig/off: a presolved parent basis is restored through
+// postsolve and costs a handful of repair pivots on re-entry, which would
+// drown the kernel comparison this benchmark isolates.
 func BenchmarkFactorLUVsBinvWarmLP(b *testing.B) {
 	for _, sz := range sparseBenchSizes {
 		g := generateStaircaseLP(rng.New(23, "lp-factor-warm-bench"), sz.tasks, sz.mach)
@@ -240,7 +251,7 @@ func BenchmarkFactorLUVsBinvWarmLP(b *testing.B) {
 			{"binv", FactorBinv},
 			{"lu", FactorLU},
 		} {
-			opts := Options{Sparse: SparseOn, Factor: mode.factor}
+			opts := Options{Sparse: SparseOn, Factor: mode.factor, Pricing: PricingDantzig, Presolve: PresolveOff}
 			parent, bs, err := SolveBasis(g.p, opts)
 			if err != nil || parent.Status != Optimal {
 				b.Fatalf("parent solve: %v / %v", err, parent.Status)

@@ -13,14 +13,17 @@ import (
 // additionally derives a randomly boxed instance (finite bounds, positive
 // lower bounds, fixed variables) and cross-checks the bounded-variable
 // method against the same problem with its bounds expanded to explicit
-// rows via ExpandBounds.
+// rows via ExpandBounds. Two extra fuzzed bytes pick an Options.Pricing
+// rule and an Options.Presolve mode; the variant solve is cross-checked
+// against the baseline dantzig/no-presolve path, and the presolved dual
+// path must certify against the original problem.
 func FuzzSimplex(f *testing.F) {
-	f.Add(int64(1), uint8(3), uint8(4))
-	f.Add(int64(42), uint8(1), uint8(1))
-	f.Add(int64(-7), uint8(6), uint8(8))
-	f.Add(int64(1<<40), uint8(2), uint8(0))
+	f.Add(int64(1), uint8(3), uint8(4), uint8(0), uint8(0))
+	f.Add(int64(42), uint8(1), uint8(1), uint8(2), uint8(1))
+	f.Add(int64(-7), uint8(6), uint8(8), uint8(3), uint8(1))
+	f.Add(int64(1<<40), uint8(2), uint8(0), uint8(1), uint8(2))
 
-	f.Fuzz(func(t *testing.T, seed int64, nvRaw, ncRaw uint8) {
+	f.Fuzz(func(t *testing.T, seed int64, nvRaw, ncRaw, prRaw, psRaw uint8) {
 		s := rng.New(seed, "fuzz-simplex")
 		n := 1 + int(nvRaw)%6
 		m := int(ncRaw) % 9
@@ -95,6 +98,46 @@ func FuzzSimplex(f *testing.F) {
 			}
 		}
 
+		// Fuzzed pricing rule and presolve mode: whatever the bytes pick,
+		// the variant must land on the baseline optimum, on the tableau
+		// core and the revised core alike.
+		pricing := []PricingMode{PricingAuto, PricingDantzig, PricingDevex, PricingPartial}[int(prRaw)%4]
+		presolve := []PresolveMode{PresolveAuto, PresolveOn, PresolveOff}[int(psRaw)%3]
+		vopts := Options{Pricing: pricing, Presolve: presolve}
+		vsol, err := Solve(g.p, vopts)
+		if err != nil {
+			t.Fatalf("Solve(%v, %v): %v", pricing, presolve, err)
+		}
+		if vsol.Status != Optimal {
+			t.Fatalf("variant status = %v (pricing %v, presolve %v), want Optimal", vsol.Status, pricing, presolve)
+		}
+		if d := vsol.Objective - sol.Objective; abs(d) > 1e-6*(1+abs(sol.Objective)) {
+			t.Errorf("variant objective %g != baseline %g (pricing %v, presolve %v)",
+				vsol.Objective, sol.Objective, pricing, presolve)
+		}
+		vrev, _, err := SolveBasis(g.p, vopts)
+		if err != nil {
+			t.Fatalf("SolveBasis(%v, %v): %v", pricing, presolve, err)
+		}
+		if vrev.Status != Optimal {
+			t.Fatalf("variant revised status = %v, want Optimal", vrev.Status)
+		}
+		if d := vrev.Objective - sol.Objective; abs(d) > 1e-6*(1+abs(sol.Objective)) {
+			t.Errorf("variant revised objective %g != baseline %g (pricing %v, presolve %v)",
+				vrev.Objective, sol.Objective, pricing, presolve)
+		}
+		// The presolved dual path must still produce a certificate of the
+		// ORIGINAL problem.
+		ds, err := SolveWithDuals(g.p, Options{Presolve: PresolveOn})
+		if err != nil {
+			t.Fatalf("SolveWithDuals(PresolveOn): %v", err)
+		}
+		if ds.Status == Optimal {
+			if err := Certify(g.p, ds.X, ds.Duals, 1e-6); err != nil {
+				t.Errorf("presolved certificate: %v", err)
+			}
+		}
+
 		// Boxed variant from the same stream: the bounded-variable method
 		// must match the bounds-expanded-to-rows rewrite of the identical
 		// instance, and its solution must respect the original boxes.
@@ -132,6 +175,19 @@ func FuzzSimplex(f *testing.F) {
 		if d := boundedSparse.Objective - bounded.Objective; abs(d) > 1e-6*(1+abs(bounded.Objective)) {
 			t.Errorf("bounded sparse objective %g != bounded tableau objective %g (diff %g)",
 				boundedSparse.Objective, bounded.Objective, d)
+		}
+		// The boxed family's fixed variables are presolve's fixed-column
+		// food: the fuzzed variant options must agree here too.
+		vbounded, _, err := SolveBasis(gb.p, vopts)
+		if err != nil {
+			t.Fatalf("SolveBasis(bounded, %v, %v): %v", pricing, presolve, err)
+		}
+		if vbounded.Status != Optimal {
+			t.Fatalf("bounded variant status = %v, want Optimal", vbounded.Status)
+		}
+		if d := vbounded.Objective - bounded.Objective; abs(d) > 1e-6*(1+abs(bounded.Objective)) {
+			t.Errorf("bounded variant objective %g != baseline %g (pricing %v, presolve %v)",
+				vbounded.Objective, bounded.Objective, pricing, presolve)
 		}
 	})
 }

@@ -304,6 +304,86 @@ func (f FactorMode) String() string {
 	}
 }
 
+// PricingMode selects the entering-column pricing rule shared by all
+// three simplex cores (the dense tableau and the dense/sparse revised
+// core). Pricing only chooses the pivot order: every mode reaches the
+// same optimum (the differential suite pins objective and X agreement),
+// and every mode yields to Bland's rule after a degenerate run, so the
+// anti-cycling guarantee is mode-independent.
+type PricingMode int
+
+// Pricing modes.
+const (
+	// PricingAuto picks the rule from the problem: partial pricing with
+	// candidate lists once the priced column space reaches
+	// pricingAutoCols (where the O(n) per-pivot scan dominates), Dantzig
+	// below it. Small problems therefore pivot exactly as before.
+	PricingAuto PricingMode = iota
+	// PricingDantzig scans every column and enters the one with the
+	// largest sign-aware reduced cost |d_j| — the classic textbook rule,
+	// O(n) per pivot.
+	PricingDantzig
+	// PricingDevex scans every column but scores d_j²/w_j with devex
+	// reference-framework weights (Forrest–Goldfarb): an approximation of
+	// steepest-edge pricing that needs no extra solves beyond one pivot
+	// row per pivot. Same O(n) scan, typically far fewer pivots on long
+	// thin problems.
+	PricingDevex
+	// PricingPartial prices a bounded candidate list with devex scores
+	// and refills it by scanning rotating sections of the column space —
+	// per-pivot work proportional to the candidate list and section, not
+	// to n. Optimality is still certified by a full wrap of the column
+	// space finding no candidate.
+	PricingPartial
+)
+
+// String names the mode.
+func (p PricingMode) String() string {
+	switch p {
+	case PricingAuto:
+		return "auto"
+	case PricingDantzig:
+		return "dantzig"
+	case PricingDevex:
+		return "devex"
+	case PricingPartial:
+		return "partial"
+	default:
+		return fmt.Sprintf("pricingmode(%d)", int(p))
+	}
+}
+
+// PresolveMode selects whether solves run through the presolve/postsolve
+// layer in presolve.go before the simplex cores see the problem.
+type PresolveMode int
+
+// Presolve modes.
+const (
+	// PresolveAuto presolves once the problem reaches presolveAutoRows
+	// constraint rows — the scale where shrinking the basis pays for the
+	// reduction pass — and leaves smaller problems untouched, so default
+	// solves of small problems are bit-identical to PresolveOff.
+	PresolveAuto PresolveMode = iota
+	// PresolveOn forces the presolve/postsolve layer.
+	PresolveOn
+	// PresolveOff bypasses it.
+	PresolveOff
+)
+
+// String names the mode.
+func (p PresolveMode) String() string {
+	switch p {
+	case PresolveAuto:
+		return "auto"
+	case PresolveOn:
+		return "presolve"
+	case PresolveOff:
+		return "nopresolve"
+	default:
+		return fmt.Sprintf("presolvemode(%d)", int(p))
+	}
+}
+
 // Options tunes a solve. The zero value uses defaults.
 type Options struct {
 	// MaxIters caps simplex pivots across both phases
@@ -324,6 +404,16 @@ type Options struct {
 	// (default 64). The LU kernel ignores it: its refactorisation is
 	// adaptive, triggered by eta-file fill and a numerical-drift check.
 	RefactorEvery int
+	// Pricing selects the entering-column rule (default PricingAuto:
+	// partial pricing on wide problems, Dantzig otherwise). All rules
+	// reach the same optimum; only the pivot order differs.
+	Pricing PricingMode
+	// Presolve selects whether the solve runs through the
+	// presolve/postsolve layer first (default PresolveAuto: on for large
+	// problems only). SolveFrom ignores it: a warm-start basis snapshot
+	// indexes the original problem, so warm solves always see the
+	// unreduced rows.
+	Presolve PresolveMode
 }
 
 // Solution is the result of a solve. X is populated for Optimal and, on a

@@ -102,6 +102,12 @@ type rev struct {
 	binv     []float64
 	xb       []float64 // current basic values, B⁻¹·q
 
+	// pricing is the resolved entering rule (never PricingAuto); pp holds
+	// its state: devex reference weights and, for partial pricing, the
+	// candidate list with its rotating refill cursor.
+	pricing PricingMode
+	pp      pricer
+
 	tol           float64
 	iters         int
 	iterLimit     int
@@ -158,6 +164,8 @@ func newRev(p *Problem, opts Options) *rev {
 		w:        make([]float64, m),
 		colv:     make([]float64, m),
 	}
+	t.pricing = resolvePricing(opts.Pricing, t.rw)
+	t.pp.init(t.pricing, t.rw)
 	t.factorLU = opts.Factor != FactorBinv
 	if t.factorLU {
 		t.cb = make([]float64, m)
@@ -374,8 +382,12 @@ func (t *rev) gatherCol(col int) {
 }
 
 // refactorize rebuilds the basis representation of the selected kernel
-// from the basis columns and refreshes xb = B⁻¹q.
+// from the basis columns and refreshes xb = B⁻¹q. The rebuilt
+// representation also restarts the devex reference framework: weights
+// measured against the old factors would no longer approximate the new
+// geometry, and the fresh basis is the natural new reference.
 func (t *rev) refactorize() error {
+	t.pp.resetWeights()
 	if t.factorLU {
 		return t.refactorizeLU()
 	}
@@ -721,11 +733,13 @@ func (t *rev) setBasis(cols []int) {
 	}
 }
 
-// prices computes the dual prices y = c_B B⁻¹ and reduced costs
-// d = c − yᵀA for the working cost vector c.
+// computeY computes the dual prices y = c_B B⁻¹ of the working cost
+// vector: the BTRAN half of prices, which partial pricing runs alone —
+// its per-candidate pricing needs y but never the full reduced-cost
+// vector.
 //
-//lint:hotpath full pricing pass per iteration; pinned to zero allocations
-func (t *rev) prices(c []float64) {
+//lint:hotpath one BTRAN per pricing pass; pinned to zero allocations
+func (t *rev) computeY(c []float64) {
 	m := t.m
 	if t.factorLU {
 		// One BTRAN of the basic costs against the factors + eta file.
@@ -733,21 +747,55 @@ func (t *rev) prices(c []float64) {
 			t.cb[i] = c[t.basis[i]]
 		}
 		t.lu.btran(t.cb, t.y, t.luW, t.luC)
-	} else {
-		for k := range t.y {
-			t.y[k] = 0
+		return
+	}
+	for k := range t.y {
+		t.y[k] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := c[t.basis[i]]
+		if cb == 0 {
+			continue
 		}
-		for i := 0; i < m; i++ {
-			cb := c[t.basis[i]]
-			if cb == 0 {
-				continue
-			}
-			row := t.binv[i*m : (i+1)*m]
-			for k := 0; k < m; k++ {
-				t.y[k] += cb * row[k]
-			}
+		row := t.binv[i*m : (i+1)*m]
+		for k := 0; k < m; k++ {
+			t.y[k] += cb * row[k]
 		}
 	}
+}
+
+// priceCol prices a single column against the current duals in t.y:
+// d_j = c_j − y·A_j. Partial pricing calls it per candidate — an O(nnz
+// of the column) walk — instead of materialising all rw reduced costs.
+// Never called for artificial columns (they cannot enter).
+//
+//lint:hotpath per-candidate pricing kernel; pinned to zero allocations
+func (t *rev) priceCol(c []float64, j int) float64 {
+	d := c[j]
+	if j >= t.n { // logical of row j−n: implicit +e_i column
+		return d - t.y[j-t.n]
+	}
+	if t.sp != nil {
+		for k := t.sp.colPtr[j]; k < t.sp.colPtr[j+1]; k++ {
+			d -= t.y[t.sp.rowIdx[k]] * t.sp.colVal[k]
+		}
+		return d
+	}
+	for i := 0; i < t.m; i++ {
+		if v := t.a[i*t.rw+j]; v != 0 {
+			d -= t.y[i] * v
+		}
+	}
+	return d
+}
+
+// prices computes the dual prices y = c_B B⁻¹ and reduced costs
+// d = c − yᵀA for the working cost vector c.
+//
+//lint:hotpath full pricing pass per iteration; pinned to zero allocations
+func (t *rev) prices(c []float64) {
+	m := t.m
+	t.computeY(c)
 	// Artificial reduced costs (columns >= rw) are never read — artificials
 	// cannot enter — so only the structural+logical block is priced. The
 	// sparse pass subtracts y_i over row i's nonzeros plus the implicit
@@ -846,18 +894,7 @@ func (t *rev) pivotRow(pr int) {
 	for j := 0; j < t.rw; j++ {
 		t.alpha[j] = 0
 	}
-	var row []float64
-	if t.factorLU {
-		// Row pr of B⁻¹ is e_prᵀ·B⁻¹: one BTRAN of a unit vector.
-		for k := range t.cb {
-			t.cb[k] = 0
-		}
-		t.cb[pr] = 1
-		t.lu.btran(t.cb, t.rho, t.luW, t.luC)
-		row = t.rho
-	} else {
-		row = t.binv[pr*t.m : (pr+1)*t.m]
-	}
+	row := t.computeRho(pr)
 	if t.sp != nil {
 		for k := 0; k < t.m; k++ {
 			bk := row[k]
@@ -881,6 +918,154 @@ func (t *rev) pivotRow(pr int) {
 			t.alpha[j] += bk * arow[j]
 		}
 	}
+}
+
+// computeRho materialises row pr of B⁻¹: one BTRAN of a unit vector in
+// LU mode, a direct row view of the explicit inverse otherwise. Shared by
+// pivotRow (which expands it into the full pivot row) and the partial
+// devex update (which dots it against candidate columns only).
+//
+//lint:hotpath one unit-vector BTRAN per pivot row; pinned to zero allocations
+func (t *rev) computeRho(pr int) []float64 {
+	if !t.factorLU {
+		return t.binv[pr*t.m : (pr+1)*t.m]
+	}
+	for k := range t.cb {
+		t.cb[k] = 0
+	}
+	t.cb[pr] = 1
+	t.lu.btran(t.cb, t.rho, t.luW, t.luC)
+	return t.rho
+}
+
+// rhoDotCol dots one row of B⁻¹ against matrix column j — the single
+// pivot-row coefficient α_j = ρ·A_j that the candidate-restricted devex
+// update needs, at O(nnz of the column) instead of the full pivot row.
+//
+//lint:hotpath per-candidate pivot-row coefficient; pinned to zero allocations
+func (t *rev) rhoDotCol(rho []float64, j int) float64 {
+	if j >= t.n { // logical of row j−n: implicit +e_i column
+		return rho[j-t.n]
+	}
+	if t.sp != nil {
+		var s float64
+		for k := t.sp.colPtr[j]; k < t.sp.colPtr[j+1]; k++ {
+			s += rho[t.sp.rowIdx[k]] * t.sp.colVal[k]
+		}
+		return s
+	}
+	var s float64
+	for i := 0; i < t.m; i++ {
+		if v := t.a[i*t.rw+j]; v != 0 {
+			s += rho[i] * v
+		}
+	}
+	return s
+}
+
+// updateDevex applies the reference-framework weight update for the pivot
+// about to happen at (pr, pc): the full pivot row for devex pricing, the
+// candidate-restricted variant (plus the leaving column) for partial
+// pricing. It must run before pivotBounded mutates the factorisation —
+// the pivot-row coefficients are priced against the pre-pivot B⁻¹ — and
+// reuses the entering direction already in t.w for the pivot element.
+func (t *rev) updateDevex(pr, pc int) {
+	apiv := t.w[pr]
+	if apiv == 0 {
+		return
+	}
+	leave := t.basis[pr]
+	if leave >= t.rw {
+		leave = -1 // artificial: carries no weight
+	}
+	if t.pricing == PricingDevex {
+		t.pivotRow(pr) // full α over [0, rw)
+		t.pp.devexUpdateFull(t.alpha, apiv, pc, leave)
+		return
+	}
+	ref := t.pp.devex[pc] / (apiv * apiv)
+	rho := t.computeRho(pr)
+	for _, j := range t.pp.cand {
+		if j == pc || t.inBasis[j] {
+			continue
+		}
+		t.pp.bumpWeight(j, t.rhoDotCol(rho, j), ref)
+	}
+	t.pp.sealUpdate(ref, pc, leave)
+}
+
+// partialPrice chooses the entering column by partial pricing: one BTRAN
+// refreshes the duals, the surviving candidates are re-priced
+// individually (unattractive ones drop out in place), and an empty list
+// refills by pricing rotating sections of the column space from the
+// cursor. It returns −1 — optimality — only after a full wrap of the
+// column space finds no attractive column: no pivot happened since the
+// BTRAN, so the duals certifying that wrap are exact.
+//
+//lint:hotpath the whole per-iteration pricing pass of partial mode; pinned to zero allocations
+func (t *rev) partialPrice(c []float64) int {
+	t.computeY(c)
+	best := 0.0
+	pc := -1
+	keep := t.pp.cand[:0]
+	for _, j := range t.pp.cand {
+		if !t.eligible(j) {
+			continue
+		}
+		deff := t.priceCol(c, j)
+		if t.atUpper[j] {
+			deff = -deff
+		}
+		if deff <= t.tol {
+			continue
+		}
+		keep = append(keep, j)
+		if score := deff * deff / t.pp.devex[j]; score > best {
+			best, pc = score, j
+		}
+	}
+	t.pp.cand = keep
+	if pc != -1 {
+		return pc
+	}
+	start := t.pp.cursor
+	scanned := 0
+	for scanned < t.rw {
+		secEnd := scanned + partialSection
+		if secEnd > t.rw {
+			secEnd = t.rw
+		}
+		for ; scanned < secEnd; scanned++ {
+			col := start + scanned
+			if col >= t.rw {
+				col -= t.rw
+			}
+			if !t.eligible(col) {
+				continue
+			}
+			deff := t.priceCol(c, col)
+			if t.atUpper[col] {
+				deff = -deff
+			}
+			if deff <= t.tol {
+				continue
+			}
+			if len(t.pp.cand) < partialListCap {
+				t.pp.cand = append(t.pp.cand, col)
+			}
+			if score := deff * deff / t.pp.devex[col]; score > best {
+				best, pc = score, col
+			}
+		}
+		if pc != -1 && len(t.pp.cand) >= partialMinFill {
+			break
+		}
+	}
+	t.pp.cursor = start + scanned
+	if t.pp.cursor >= t.rw {
+		t.pp.cursor -= t.rw
+	}
+	return pc
 }
 
 // flipCol moves nonbasic column pc from its current bound to the opposite
@@ -1008,12 +1193,16 @@ func (t *rev) limits() Status {
 }
 
 // trackDegenerate switches to Bland's rule after a run of degenerate
-// pivots, mirroring the tableau's anti-cycling policy.
+// pivots, mirroring the tableau's anti-cycling policy. Entering Bland
+// mode abandons the devex reference framework — Bland's first-index scan
+// never consults weights, and any later return to weighted pricing
+// deserves a fresh reference.
 func (t *rev) trackDegenerate(ratio float64) {
 	if ratio <= t.tol {
 		t.degenRun++
-		if t.degenRun >= degenerateRunLimit {
+		if t.degenRun >= degenerateRunLimit && !t.blandMode {
 			t.blandMode = true
+			t.pp.resetWeights()
 		}
 	} else {
 		t.degenRun = 0
@@ -1028,30 +1217,54 @@ func (t *rev) primal(c []float64) (Status, error) {
 		if st := t.limits(); st != Optimal {
 			return st, nil
 		}
-		t.prices(c)
-
 		// Entering column, sign-aware: a column at its lower bound improves
 		// by increasing (d > 0, sigma +1), one at its upper bound by
-		// decreasing (d < 0, sigma −1). Dantzig scores |d|; Bland takes the
-		// first eligible column.
+		// decreasing (d < 0, sigma −1). Bland takes the first eligible
+		// column (always over full prices — its anti-cycling guarantee
+		// needs the complete index order); Dantzig scores |d|; devex scores
+		// d²/w over the same full scan; partial prices a candidate list.
 		pc := -1
 		sigma := 1.0
-		if t.blandMode {
+		switch {
+		case t.blandMode:
+			t.prices(c)
 			for j := 0; j < t.rw; j++ {
 				if !t.eligible(j) {
 					continue
 				}
 				if t.atUpper[j] {
 					if t.d[j] < -t.tol {
-						pc, sigma = j, -1
+						pc = j
 						break
 					}
 				} else if t.d[j] > t.tol {
-					pc, sigma = j, 1
+					pc = j
 					break
 				}
 			}
-		} else {
+		case t.pricing == PricingPartial:
+			pc = t.partialPrice(c)
+		case t.pricing == PricingDevex:
+			t.prices(c)
+			best := 0.0
+			for j := 0; j < t.rw; j++ {
+				if !t.eligible(j) {
+					continue
+				}
+				deff := t.d[j]
+				if t.atUpper[j] {
+					deff = -deff
+				}
+				if deff <= t.tol {
+					continue
+				}
+				if score := deff * deff / t.pp.devex[j]; score > best {
+					best = score
+					pc = j
+				}
+			}
+		default: // Dantzig
+			t.prices(c)
 			best := t.tol
 			for j := 0; j < t.rw; j++ {
 				if !t.eligible(j) {
@@ -1066,12 +1279,12 @@ func (t *rev) primal(c []float64) (Status, error) {
 					pc = j
 				}
 			}
-			if pc != -1 && t.atUpper[pc] {
-				sigma = -1
-			}
 		}
 		if pc == -1 {
 			return Optimal, nil
+		}
+		if t.atUpper[pc] {
+			sigma = -1
 		}
 
 		t.ftran(pc)
@@ -1120,6 +1333,9 @@ func (t *rev) primal(c []float64) (Status, error) {
 			continue
 		}
 		t.trackDegenerate(minRatio)
+		if t.pp.devex != nil && !t.blandMode {
+			t.updateDevex(pr, pc)
+		}
 
 		if err := t.pivotBounded(pr, pc, leaveToUpper); err != nil {
 			if errors.Is(err, errNumerical) && t.numRetries < 3 {
@@ -1366,6 +1582,7 @@ func (t *rev) finish(p *Problem, status Status) (*Solution, *Basis) {
 		atUpper: append([]bool(nil), t.atUpper[:t.n]...),
 		binv:    t.binv,
 		age:     t.sinceRefactor,
+		devex:   t.pp.snapshotWeights(),
 	}
 	if t.factorLU {
 		bs.fac = t.lu.freeze()
@@ -1379,7 +1596,25 @@ func (t *rev) finish(p *Problem, status Status) (*Solution, *Basis) {
 // SolveBasis solves p from scratch with the revised simplex (two-phase,
 // like Solve) and additionally returns the optimal basis for use as a
 // warm start by SolveFrom. The Basis is nil unless the status is Optimal.
+// When Options.Presolve selects the presolve layer, the reduced problem
+// is solved and the returned Basis is restored to index the original
+// problem's rows and columns (eliminated rows seat their logicals), so
+// it remains a valid SolveFrom token for the original problem.
 func SolveBasis(p *Problem, opts Options) (*Solution, *Basis, error) {
+	if ps := presolveFor(p, opts, false); ps != nil {
+		if ps.status == Infeasible {
+			return &Solution{Status: Infeasible}, nil, nil
+		}
+		if ps.reduced == nil {
+			return ps.directSolution(), ps.restoreBasis(nil), nil
+		}
+		opts.Presolve = PresolveOff
+		_, sol, bs, err := solveBasisRev(ps.reduced, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ps.mapSolution(sol), ps.restoreBasis(bs), nil
+	}
 	_, sol, bs, err := solveBasisRev(p, opts)
 	return sol, bs, err
 }
@@ -1503,6 +1738,11 @@ func SolveFrom(p *Problem, from *Basis, opts Options) (*Solution, *Basis, error)
 		}
 	}
 	t.recomputeQ() // fold the restored nonbasic values into q
+	// Adopt the parent's devex reference weights (when both sides price
+	// with them) before the kernel decides how to build B⁻¹: a successful
+	// inherit keeps them, while the refactorisation fallback below resets
+	// them to unit like any other refactorisation.
+	t.pp.inheritWeights(from.devex, t.n)
 	inherited := false
 	if t.factorLU {
 		inherited = t.inheritFactor(from)

@@ -42,13 +42,41 @@ type tableau struct {
 	degenRun  int
 	nArt      int // rows whose artificial starts basic (phase 1 needed iff > 0)
 
+	// pricing is the resolved entering rule (never PricingAuto); pp holds
+	// its state. The tableau maintains every reduced cost each pivot
+	// anyway, so devex here buys fewer pivots and partial pricing only a
+	// cheaper scan — but both run so the three cores stay A/B-comparable
+	// under one Options.Pricing switch.
+	pricing PricingMode
+	pp      pricer
+
 	// Normalisation metadata per original row, for dual recovery.
 	rowScale []float64 // equilibration divisor applied to the row
 	rowNeg   []float64 // ±1: total negation factor applied to the stored row
 }
 
-// Solve runs two-phase bounded-variable primal simplex on p.
+// Solve runs two-phase bounded-variable primal simplex on p, through the
+// presolve/postsolve layer when Options.Presolve selects it.
 func Solve(p *Problem, opts Options) (*Solution, error) {
+	if ps := presolveFor(p, opts, false); ps != nil {
+		if ps.status == Infeasible {
+			return &Solution{Status: Infeasible}, nil
+		}
+		if ps.reduced == nil {
+			return ps.directSolution(), nil
+		}
+		opts.Presolve = PresolveOff
+		sol, err := solveTableau(ps.reduced, opts)
+		if err != nil {
+			return nil, err
+		}
+		return ps.mapSolution(sol), nil
+	}
+	return solveTableau(p, opts)
+}
+
+// solveTableau is the presolve-free tableau solve.
+func solveTableau(p *Problem, opts Options) (*Solution, error) {
 	t := newTableau(p, opts)
 
 	// Phase 1: drive artificials to zero.
@@ -129,6 +157,8 @@ func newTableau(p *Problem, opts Options) *tableau {
 		t.iterLimit = 100*(m+n) + 1000
 	}
 	t.deadline = opts.Deadline
+	t.pricing = resolvePricing(opts.Pricing, t.artBase)
+	t.pp.init(t.pricing, t.artBase)
 
 	inf := math.Inf(1)
 	for v := 0; v < n; v++ {
@@ -278,25 +308,30 @@ func (t *tableau) iterate() Status {
 			return TimeLimit
 		}
 
-		// Entering column.
+		// Entering column. Bland takes the first eligible column; Dantzig
+		// the largest sign-aware reduced cost; devex/partial score d²/w
+		// against the reference weights (see priceWeighted).
 		pc := -1
 		sigma := 1.0
-		if t.blandMode {
+		switch {
+		case t.blandMode:
 			for j := 0; j < t.artBase; j++ {
 				if t.hi[j] <= t.lo[j] {
 					continue
 				}
 				if t.atUpper[j] {
 					if t.objRow[j] < -t.tol {
-						pc, sigma = j, -1
+						pc = j
 						break
 					}
 				} else if t.objRow[j] > t.tol {
-					pc, sigma = j, 1
+					pc = j
 					break
 				}
 			}
-		} else {
+		case t.pricing == PricingDevex || t.pricing == PricingPartial:
+			pc = t.priceWeighted()
+		default: // Dantzig
 			best := t.tol
 			for j := 0; j < t.artBase; j++ {
 				if t.hi[j] <= t.lo[j] {
@@ -311,12 +346,12 @@ func (t *tableau) iterate() Status {
 					pc = j
 				}
 			}
-			if pc != -1 && t.atUpper[pc] {
-				sigma = -1
-			}
 		}
 		if pc == -1 {
 			return Optimal
+		}
+		if t.atUpper[pc] {
+			sigma = -1
 		}
 
 		// Bounded ratio test: the entering column moves by sigma·step; each
@@ -368,16 +403,117 @@ func (t *tableau) iterate() Status {
 }
 
 // trackDegenerate switches to Bland's rule after a run of degenerate
-// steps.
+// steps. Entering Bland mode abandons the devex reference framework —
+// Bland's first-index scan never consults weights.
 func (t *tableau) trackDegenerate(ratio float64) {
 	if ratio <= t.tol {
 		t.degenRun++
-		if t.degenRun >= degenerateRunLimit {
+		if t.degenRun >= degenerateRunLimit && !t.blandMode {
 			t.blandMode = true
+			t.pp.resetWeights()
 		}
 	} else {
 		t.degenRun = 0
 	}
+}
+
+// priceWeighted chooses the entering column with devex scores d²/w over
+// the maintained reduced-cost row: a full scan for PricingDevex, the
+// candidate list plus rotating refill sections for PricingPartial. Unlike
+// the revised core — where partial pricing skips computing most reduced
+// costs entirely — the tableau's objRow is already up to date every
+// pivot, so partial here only shortens the scan; it exists so all three
+// cores answer to one Options.Pricing switch and the differential suite
+// can pin their agreement.
+//
+//lint:hotpath per-iteration pricing scan; pinned to zero allocations
+func (t *tableau) priceWeighted() int {
+	best := 0.0
+	pc := -1
+	if t.pricing == PricingDevex {
+		for j := 0; j < t.artBase; j++ {
+			if t.hi[j] <= t.lo[j] {
+				continue
+			}
+			deff := t.objRow[j]
+			if t.atUpper[j] {
+				deff = -deff
+			}
+			if deff <= t.tol {
+				continue
+			}
+			if score := deff * deff / t.pp.devex[j]; score > best {
+				best = score
+				pc = j
+			}
+		}
+		return pc
+	}
+	// Partial: re-score the surviving candidates, dropping unattractive
+	// ones in place.
+	keep := t.pp.cand[:0]
+	for _, j := range t.pp.cand {
+		if t.hi[j] <= t.lo[j] {
+			continue
+		}
+		deff := t.objRow[j]
+		if t.atUpper[j] {
+			deff = -deff
+		}
+		if deff <= t.tol {
+			continue
+		}
+		keep = append(keep, j)
+		if score := deff * deff / t.pp.devex[j]; score > best {
+			best = score
+			pc = j
+		}
+	}
+	t.pp.cand = keep
+	if pc != -1 {
+		return pc
+	}
+	// Refill from the rotating cursor; a full wrap finding nothing is the
+	// optimality certificate (objRow is exact, no pivot intervened).
+	start := t.pp.cursor
+	scanned := 0
+	for scanned < t.artBase {
+		secEnd := scanned + partialSection
+		if secEnd > t.artBase {
+			secEnd = t.artBase
+		}
+		for ; scanned < secEnd; scanned++ {
+			col := start + scanned
+			if col >= t.artBase {
+				col -= t.artBase
+			}
+			if t.hi[col] <= t.lo[col] {
+				continue
+			}
+			deff := t.objRow[col]
+			if t.atUpper[col] {
+				deff = -deff
+			}
+			if deff <= t.tol {
+				continue
+			}
+			if len(t.pp.cand) < partialListCap {
+				t.pp.cand = append(t.pp.cand, col)
+			}
+			if score := deff * deff / t.pp.devex[col]; score > best {
+				best = score
+				pc = col
+			}
+		}
+		if pc != -1 {
+			break
+		}
+	}
+	t.pp.cursor = start + scanned
+	if t.pp.cursor >= t.artBase {
+		t.pp.cursor -= t.artBase
+	}
+	return pc
 }
 
 // flipCol moves nonbasic column pc from its current bound to the opposite
@@ -403,6 +539,18 @@ func (t *tableau) pivotAt(pr, pc int, leaveToUpper bool) {
 	w := t.width
 	prow := t.a[pr*w : (pr+1)*w]
 	piv := prow[pc]
+
+	// Devex weight update, against the pre-elimination pivot row (which
+	// in the tableau frame is exactly α = e_prᵀB⁻¹A). The tableau pays a
+	// full elimination pass per pivot anyway, so the full-row update is
+	// used for partial pricing too.
+	if t.pp.devex != nil && !t.blandMode {
+		wleave := t.basis[pr]
+		if wleave >= t.artBase {
+			wleave = -1 // artificial: carries no weight
+		}
+		t.pp.devexUpdateFull(prow, piv, pc, wleave)
+	}
 
 	leave := t.basis[pr]
 	leaveVal := t.lo[leave]

@@ -33,6 +33,49 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		incumbent: math.Inf(-1),
 		inflight:  make(map[*node]struct{}),
 	}
+	// Root presolve (when opts.LP.Presolve selects it): reduce the LP once
+	// with the integer columns kept, search entirely in the reduced space —
+	// warm-start chains and bound branching work unchanged because integer
+	// indices and values map one-to-one — and postsolve the incumbent at
+	// the end. Node solves must not re-presolve: their basis snapshots have
+	// to stay coherent across the warm-start chain.
+	if ps := lp.RootPresolve(p.LP, p.Integers, opts.LP); ps != nil {
+		if ps.Status() == lp.Infeasible {
+			return &Result{Status: Infeasible, Bound: math.Inf(-1), Elapsed: time.Since(start)}, nil
+		}
+		if red := ps.Reduced(); red != nil {
+			ints := make([]int, len(p.Integers))
+			for i, v := range p.Integers {
+				ints[i] = ps.Col(v)
+			}
+			s.prob = &Problem{LP: red, Integers: ints}
+			s.ps = ps
+			s.opts.LP.Presolve = lp.PresolveOff
+			if orig := opts.Rounding; orig != nil {
+				// The caller's heuristic sees original-space solutions; the
+				// fixed values it returns are unscaled keep columns, so they
+				// are valid in both spaces.
+				s.opts.Rounding = func(xr []float64) ([]float64, bool) {
+					return orig(ps.PostsolveX(xr))
+				}
+			}
+		} else {
+			// Presolve decided every column (possible only with no integer
+			// variables, which are always kept): the box solution is the
+			// optimum if integral, else search the original problem.
+			x := ps.PostsolveX(nil)
+			if integralOn(p.Integers, x) {
+				var obj float64
+				for v := 0; v < p.LP.NumVars(); v++ {
+					obj += p.LP.ObjCoef(v) * x[v]
+				}
+				return &Result{
+					Status: Optimal, Objective: obj, X: x, Bound: obj,
+					Nodes: 0, Elapsed: time.Since(start),
+				}, nil
+			}
+		}
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.queue.strat = opts.Strategy
 	heap.Push(&s.queue, &node{bound: math.Inf(1)})
@@ -77,12 +120,29 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		res.Status = NoIncumbent
 		res.Bound = s.openBound()
 	}
+	if s.ps != nil {
+		// Lift the reduced-space result back to the original problem: X
+		// through the undo stack, objective and bound by the eliminated
+		// columns' offset (reduced objective + offset = original exactly;
+		// infinite bounds stay infinite).
+		if res.X != nil {
+			res.X = s.ps.PostsolveX(res.X)
+		}
+		if hasIncumbent {
+			res.Objective += s.ps.ObjOffset()
+		}
+		res.Bound += s.ps.ObjOffset()
+	}
 	return res, nil
 }
 
 type searcher struct {
 	prob *Problem
 	opts Options
+	// ps is non-nil when the search runs in root-presolved reduced space:
+	// prob then holds the reduced LP with remapped integer indices, and
+	// the final result is postsolved back (see Solve).
+	ps *lp.Presolved
 
 	mu               sync.Mutex
 	cond             *sync.Cond
@@ -364,6 +424,18 @@ func (s *searcher) countSolve(warm, inheritFallback bool, rows int) {
 		s.maxNodeRows = rows
 	}
 	s.mu.Unlock()
+}
+
+// integralOn reports whether every listed variable of x is integral
+// within intTol.
+func integralOn(integers []int, x []float64) bool {
+	for _, v := range integers {
+		f := x[v] - math.Floor(x[v])
+		if math.Min(f, 1-f) > intTol {
+			return false
+		}
+	}
+	return true
 }
 
 // mostFractional returns the integer variable whose value is farthest from

@@ -13,7 +13,11 @@
 # BenchmarkMIPDenseVsSparse), rows-vs-bounds (BenchmarkBoundsVsRowsLP,
 # BenchmarkMIPBoundsVsRows) and basis-kernel binv-vs-lu
 # (BenchmarkFactorLUVsBinvLP, BenchmarkFactorLUVsBinvWarmLP,
-# BenchmarkMIPFactorLUVsBinv) — records the parsed results, including
+# BenchmarkMIPFactorLUVsBinv), plus the xl-family pricing and presolve
+# pairings (BenchmarkPricingXLLP dantzig-vs-devex/partial,
+# BenchmarkPresolveXLLP nopresolve-vs-presolve; the tier-1-sized xl smoke
+# member runs as TestXLAutoSmoke in the ordinary race suite above) —
+# records the parsed results, including
 # per-pair speedups, in BENCH_PR<cur>.json via cmd/benchjson, and diffs
 # them against the committed BENCH_PR<prev>.json baseline (shared
 # benchmarks only; threshold x2.5 to ride out machine noise). <prev> is
@@ -108,6 +112,8 @@ if [ "$run_bench" = 1 ]; then
     go test -run='^$' -bench='^BenchmarkBoundsVsRowsLP$' -benchtime=2x -count=3 ./internal/lp/
     go test -run='^$' -bench='^BenchmarkFactorLUVsBinvLP$' -benchtime=1x -count=3 ./internal/lp/
     go test -run='^$' -bench='^BenchmarkFactorLUVsBinvWarmLP$' -benchtime=10x -count=3 ./internal/lp/
+    go test -run='^$' -bench='^BenchmarkPricingXLLP$' -benchtime=1x -count=2 -timeout 30m ./internal/lp/
+    go test -run='^$' -bench='^BenchmarkPresolveXLLP$' -benchtime=1x -count=2 -timeout 30m ./internal/lp/
   } | tee /dev/stderr | go run ./cmd/benchjson -label "PR ${pr_cur}" -o "BENCH_PR${pr_cur}.json"
 
   if [ -n "$prev" ]; then
