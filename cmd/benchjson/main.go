@@ -29,6 +29,14 @@
 // is how scripts/verify.sh -bench gates new results against the committed
 // baseline. Benchmarks present in only one record are listed but never
 // fail the diff.
+//
+// The diff additionally gates a fixed set of custom metrics when both
+// records carry them, direction-aware under the same threshold factor:
+// allocs/op and nodes regress when the new value grows past threshold×old
+// (allocs/op is stricter still: any growth from an old value of 0 fails,
+// so a zero-allocation pin cannot silently rot), instances/sec regresses
+// when the new value drops below old/threshold. Metrics outside this set
+// (pivots, warm-fraction, ...) are recorded but never gated.
 package main
 
 import (
@@ -368,11 +376,49 @@ func pairPresolve(results []benchResult) []presolvePair {
 	return pairs
 }
 
+// gatedMetric is one custom metric the diff compares besides ns/op.
+type gatedMetric struct {
+	unit         string
+	higherBetter bool // regress when the value shrinks instead of grows
+	// zeroStrict fails ANY growth from an old value of exactly 0 — the
+	// regression shape of a zero-allocation pin, where "0 -> 2" matters
+	// however small the ratio bound would make it look.
+	zeroStrict bool
+}
+
+// gatedMetrics are the metrics diff gates, direction-aware. Anything else
+// reported via b.ReportMetric is informational only.
+var gatedMetrics = []gatedMetric{
+	{unit: "allocs/op", zeroStrict: true},
+	{unit: "nodes"},
+	{unit: "instances/sec", higherBetter: true},
+}
+
+// diffMetric compares one gated metric, returning the printed ratio (new
+// vs old in the regression direction) and whether it regressed beyond
+// threshold.
+func (g gatedMetric) regressed(oldV, newV, threshold float64) (ratio float64, bad bool) {
+	if g.higherBetter {
+		if newV <= 0 {
+			return 0, oldV > 0
+		}
+		ratio = oldV / newV
+		return ratio, ratio > threshold
+	}
+	if oldV == 0 {
+		return 0, g.zeroStrict && newV > 0
+	}
+	ratio = newV / oldV
+	return ratio, ratio > threshold
+}
+
 // diff loads two reports and compares every benchmark they share by name.
 // Ratios above threshold (new slower than old by more than that factor)
-// are regressions; one or more makes the returned error non-nil.
-// Benchmarks present in only one record are listed but never fail the
-// diff, so adding or retiring benchmarks between baselines stays cheap.
+// are regressions; one or more makes the returned error non-nil. The
+// gated custom metrics are compared the same way when both records carry
+// them. Benchmarks present in only one record are listed but never fail
+// the diff, so adding or retiring benchmarks between baselines stays
+// cheap.
 func diff(oldPath, newPath string, threshold float64, stdout io.Writer) error {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
@@ -409,6 +455,23 @@ func diff(oldPath, newPath string, threshold float64, stdout io.Writer) error {
 		if _, err := fmt.Fprintf(stdout, "%s %-60s %12.0f -> %12.0f ns/op  (x%.2f)\n",
 			verdict, r.Name, old.NsPerOp, r.NsPerOp, ratio); err != nil {
 			return err
+		}
+		for _, g := range gatedMetrics {
+			newV, okNew := r.Metrics[g.unit]
+			oldV, okOld := old.Metrics[g.unit]
+			if !okNew || !okOld {
+				continue
+			}
+			mRatio, bad := g.regressed(oldV, newV, threshold)
+			mVerdict := "ok    "
+			if bad {
+				mVerdict = "WORSE "
+				regressions++
+			}
+			if _, err := fmt.Fprintf(stdout, "%s %-60s %12.2f -> %12.2f %s  (x%.2f)\n",
+				mVerdict, r.Name, oldV, newV, g.unit, mRatio); err != nil {
+				return err
+			}
 		}
 	}
 	for _, r := range oldRep.Benchmarks {

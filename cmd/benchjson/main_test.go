@@ -204,6 +204,65 @@ func TestBenchjsonDiff(t *testing.T) {
 	}
 }
 
+func TestBenchjsonDiffGatesMetrics(t *testing.T) {
+	oldPath := writeReport(t,
+		"BenchmarkBatch-8 10 100 ns/op 0 allocs/op 5000 instances/sec\n"+
+			"BenchmarkTree-8 10 100 ns/op 40.0 nodes\n"+
+			"BenchmarkFree-8 10 100 ns/op 9.0 pivots\n")
+
+	// allocs/op 0 -> 2 fails regardless of threshold (zero-strict), even
+	// with ns/op and everything else flat.
+	leaky := writeReport(t,
+		"BenchmarkBatch-8 10 100 ns/op 2 allocs/op 5000 instances/sec\n"+
+			"BenchmarkTree-8 10 100 ns/op 40.0 nodes\n"+
+			"BenchmarkFree-8 10 100 ns/op 9.0 pivots\n")
+	var stdout bytes.Buffer
+	err := run([]string{"-diff", oldPath, leaky}, strings.NewReader(""), &stdout, &stdout)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("allocs/op 0->2 passed the diff: err = %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "WORSE") || !strings.Contains(stdout.String(), "allocs/op") {
+		t.Errorf("diff output missing WORSE allocs/op verdict:\n%s", stdout.String())
+	}
+
+	// instances/sec is higher-better: dropping 5000 -> 2000 fails at the
+	// default threshold 2.0; nodes growing 40 -> 90 fails too; pivots
+	// (ungated) may grow freely.
+	slow := writeReport(t,
+		"BenchmarkBatch-8 10 100 ns/op 0 allocs/op 2000 instances/sec\n"+
+			"BenchmarkTree-8 10 100 ns/op 90.0 nodes\n"+
+			"BenchmarkFree-8 10 100 ns/op 900.0 pivots\n")
+	stdout.Reset()
+	err = run([]string{"-diff", oldPath, slow}, strings.NewReader(""), &stdout, &stdout)
+	if err == nil || !strings.Contains(err.Error(), "2 benchmark(s) regressed") {
+		t.Fatalf("throughput+nodes regression: err = %v\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "instances/sec") || !strings.Contains(out, "nodes") {
+		t.Errorf("diff output missing gated metric lines:\n%s", out)
+	}
+
+	// Within-threshold drift on every gated metric passes.
+	drift := writeReport(t,
+		"BenchmarkBatch-8 10 100 ns/op 0 allocs/op 4000 instances/sec\n"+
+			"BenchmarkTree-8 10 100 ns/op 60.0 nodes\n"+
+			"BenchmarkFree-8 10 100 ns/op 900.0 pivots\n")
+	stdout.Reset()
+	if err := run([]string{"-diff", oldPath, drift}, strings.NewReader(""), &stdout, &stdout); err != nil {
+		t.Fatalf("within-threshold metric drift failed: %v\n%s", err, stdout.String())
+	}
+
+	// A metric present on only one side is never gated.
+	missing := writeReport(t,
+		"BenchmarkBatch-8 10 100 ns/op\n"+
+			"BenchmarkTree-8 10 100 ns/op\n"+
+			"BenchmarkFree-8 10 100 ns/op\n")
+	stdout.Reset()
+	if err := run([]string{"-diff", oldPath, missing}, strings.NewReader(""), &stdout, &stdout); err != nil {
+		t.Fatalf("one-sided metrics failed the diff: %v\n%s", err, stdout.String())
+	}
+}
+
 func TestBenchjsonSkipsMalformedLines(t *testing.T) {
 	input := "BenchmarkBroken-8 not-a-number 12 ns/op\n" +
 		"BenchmarkOK-8 10 42.5 ns/op\n"

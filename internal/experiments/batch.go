@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+func init() {
+	register(Spec{
+		ID:    "batch",
+		Title: "Batch LP throughput: per-solve allocation vs pooled workspaces",
+		Description: "Solves a corpus of DSCT-EA LP relaxations three ways — a fresh " +
+			"lp.SolveBasis per instance, one reused lp.Workspace for the whole corpus, " +
+			"and lp.BatchSolve sharding the corpus across -workers cores — and reports " +
+			"instances/sec for each. Objectives are verified bit-identical across modes, " +
+			"so the speedup column isolates allocation, GC and parallelism, never a path change.",
+		Run: runBatch,
+	})
+}
+
+// runBatch builds the corpus once, then times each solving mode over the
+// identical instances. Instance sizes follow the paper's Fig 4a sweep at
+// its m=5 fleet; -scale shrinks both the corpus and the per-instance task
+// count.
+func runBatch(cfg Config) (*Table, error) {
+	nInst := cfg.scaled(240, 24)
+	nTasks := cfg.scaled(50, 5)
+	const mMach = 5
+	probs := make([]*lp.Problem, nInst)
+	if err := parMapErr(cfg.Workers, nInst, func(i int) error {
+		in, err := task.GenerateUniformFleet(rng.NewReplicate(cfg.Seed, "batch", i), task.PaperFig4(nTasks), mMach)
+		if err != nil {
+			return err
+		}
+		probs[i] = model.BuildMIP(in).Prob.LP
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Reference pass: fresh allocations per solve, the pre-workspace
+	// baseline every other mode is verified against and measured from.
+	ref := make([]float64, nInst)
+	start := time.Now()
+	for i, p := range probs {
+		sol, _, err := lp.SolveBasis(p, lp.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("fresh instance %d: %w", i, err)
+		}
+		ref[i] = sol.Objective
+	}
+	freshSec := time.Since(start).Seconds()
+
+	t := &Table{
+		ID: "batch",
+		Title: fmt.Sprintf("Batch LP throughput — %d instances (n=%d, m=%d), %d workers",
+			nInst, nTasks, mMach, cfg.Workers),
+		Columns: []string{"mode", "workers", "total_s", "instances_per_sec", "speedup_vs_fresh"},
+	}
+	t.AddRow("fresh", "1", f3(freshSec), f3(float64(nInst)/freshSec), f3(1))
+
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{
+		{"pooled", 1},
+		{"batch", cfg.Workers},
+	} {
+		start = time.Now()
+		sols, err := lp.BatchSolve(probs, lp.Options{}, mode.workers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", mode.name, err)
+		}
+		sec := time.Since(start).Seconds()
+		for i, sol := range sols {
+			//lint:ignore floatcmp bit-identical objectives across modes are the experiment's invariant
+			if sol.Objective != ref[i] {
+				return nil, fmt.Errorf("%s instance %d: objective %.17g != fresh %.17g",
+					mode.name, i, sol.Objective, ref[i])
+			}
+		}
+		t.AddRow(mode.name, fmt.Sprintf("%d", mode.workers),
+			f3(sec), f3(float64(nInst)/sec), f3(freshSec/sec))
+	}
+	t.Note("pooled reuses one workspace serially (the allocation win alone); batch adds per-core sharding on top")
+	return t, nil
+}

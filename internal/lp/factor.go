@@ -254,6 +254,9 @@ type facEntry struct {
 }
 
 // facState is the right-looking elimination workspace of factorizeBasis.
+// It is reusable: factorizeInto resets every slice in place, so a solver
+// that owns a facState (a Workspace) refactorises without allocating once
+// the buffers have grown to the largest basis seen.
 type facState struct {
 	m    int
 	cols [][]facEntry // live nonzeros per basis-position column
@@ -293,6 +296,59 @@ type facState struct {
 	uRowIdx []int
 	uRowVal []float64
 	uDiag   []float64
+
+	counts []int // m+1 scratch for the final counting transpose of U
+}
+
+// reset prepares the workspace for an m×m elimination, reusing every
+// backing array with sufficient capacity. Inner column/row lists keep
+// their arenas: pivoted columns and rows are reslied to length zero
+// during elimination instead of dropped, so repeat factorisations of
+// same-shaped bases settle into zero allocations.
+func (s *facState) reset(m int) {
+	s.m = m
+	if cap(s.cols) < m {
+		s.cols = make([][]facEntry, m)
+	} else {
+		s.cols = s.cols[:m]
+	}
+	if cap(s.rowCols) < m {
+		s.rowCols = make([][]int, m)
+	} else {
+		s.rowCols = s.rowCols[:m]
+		for i := range s.rowCols {
+			s.rowCols[i] = s.rowCols[i][:0]
+		}
+	}
+	if cap(s.buckets) < m+1 {
+		s.buckets = make([][]int, m+1)
+	} else {
+		s.buckets = s.buckets[:m+1]
+		for c := range s.buckets {
+			s.buckets[c] = s.buckets[c][:0]
+		}
+	}
+	s.rowCnt = grown(s.rowCnt, m)
+	s.colCnt = grown(s.colCnt, m)
+	s.heads = grown(s.heads, m+1)
+	s.examined = s.examined[:0]
+	s.mark = grown(s.mark, m)
+	s.mval = grown(s.mval, m)
+	s.gen = 0
+	s.seen = grown(s.seen, m)
+	s.seenGen = 0
+	s.rowOf = grown(s.rowOf, m)
+	s.posOfRow = grown(s.posOfRow, m)
+	s.colOf = grown(s.colOf, m)
+	s.posOfCol = grown(s.posOfCol, m)
+	s.lPtr = append(s.lPtr[:0], 0)
+	s.lIdx = s.lIdx[:0]
+	s.lVal = s.lVal[:0]
+	s.uRowPtr = append(s.uRowPtr[:0], 0)
+	s.uRowIdx = s.uRowIdx[:0]
+	s.uRowVal = s.uRowVal[:0]
+	s.uDiag = grown(s.uDiag, m)
+	s.counts = grown(s.counts, m+1)
 }
 
 func (s *facState) pushCol(j int) {
@@ -357,39 +413,42 @@ func (s *facState) selectPivot() (bp, bq int, bpv float64, ok bool) {
 //
 //lint:freezer builds the factor's frozen arrays before publication
 func factorizeBasis(m int, colPtr, rowIdx []int, vals []float64) (*luFactor, error) {
-	f := &luFactor{
-		m:      m,
-		lPtr:   make([]int, 1, m+1),
-		uPtr:   make([]int, m+1),
-		etaPtr: make([]int, 1),
+	var s facState
+	f := &luFactor{}
+	if err := s.factorizeInto(f, m, colPtr, rowIdx, vals); err != nil {
+		return nil, err
 	}
+	return f, nil
+}
+
+// factorizeInto is factorizeBasis with explicit storage: the elimination
+// runs entirely in s (reset in place), and the finished factor is written
+// into f, reusing f's array capacity. f must not be aliased by any frozen
+// snapshot (the Workspace's private factor store qualifies; a factor that
+// has been through freeze does not). On error f is left untouched. The
+// input CSC arrays are only read.
+//
+//lint:freezer builds the factor's arrays before publication; on reuse the caller owns f exclusively
+func (s *facState) factorizeInto(f *luFactor, m int, colPtr, rowIdx []int, vals []float64) error {
+	s.reset(m)
 	if m == 0 {
-		return f, nil
-	}
-	s := &facState{
-		m:        m,
-		cols:     make([][]facEntry, m),
-		rowCols:  make([][]int, m),
-		rowCnt:   make([]int, m),
-		colCnt:   make([]int, m),
-		buckets:  make([][]int, m+1),
-		heads:    make([]int, m+1),
-		mark:     make([]int, m),
-		mval:     make([]float64, m),
-		seen:     make([]int, m),
-		rowOf:    make([]int, m),
-		posOfRow: make([]int, m),
-		colOf:    make([]int, m),
-		posOfCol: make([]int, m),
-		lPtr:     f.lPtr,
-		uRowPtr:  make([]int, 1, m+1),
-		uDiag:    make([]float64, m),
+		f.m = 0
+		f.lPtr = append(f.lPtr[:0], 0)
+		f.uPtr = grown(f.uPtr, 1)
+		f.lIdx, f.lVal = f.lIdx[:0], f.lVal[:0]
+		f.uIdx, f.uVal = f.uIdx[:0], f.uVal[:0]
+		f.uDiag = f.uDiag[:0]
+		f.rowOf, f.posOfRow = f.rowOf[:0], f.posOfRow[:0]
+		f.colOf, f.posOfCol = f.colOf[:0], f.posOfCol[:0]
+		f.nnzLU = 0
+		f.resetEtas()
+		return nil
 	}
 	for j := 0; j < m; j++ {
 		s.posOfCol[j] = -1
 		s.posOfRow[j] = -1
 		lo, hi := colPtr[j], colPtr[j+1]
-		col := make([]facEntry, 0, hi-lo)
+		col := s.cols[j][:0]
 		for k := lo; k < hi; k++ {
 			i, v := rowIdx[k], vals[k]
 			if v == 0 {
@@ -407,7 +466,7 @@ func factorizeBasis(m int, colPtr, rowIdx []int, vals []float64) (*luFactor, err
 	for k := 0; k < m; k++ {
 		p, q, pv, ok := s.selectPivot()
 		if !ok {
-			return nil, errSingular
+			return errSingular
 		}
 		s.rowOf[k], s.posOfRow[p] = p, k
 		s.colOf[k], s.posOfCol[q] = q, k
@@ -425,7 +484,7 @@ func factorizeBasis(m int, colPtr, rowIdx []int, vals []float64) (*luFactor, err
 		}
 		s.lPtr = append(s.lPtr, len(s.lIdx))
 		s.uDiag[k] = pv
-		s.cols[q] = nil
+		s.cols[q] = s.cols[q][:0] // keep the arena for the next reset
 
 		// Scatter the multipliers for the rank-1 update of every column
 		// the pivot row touches.
@@ -493,7 +552,7 @@ func factorizeBasis(m int, colPtr, rowIdx []int, vals []float64) (*luFactor, err
 			s.pushCol(j)
 		}
 		s.uRowPtr = append(s.uRowPtr, len(s.uRowIdx))
-		s.rowCols[p] = nil
+		s.rowCols[p] = s.rowCols[p][:0] // keep the arena for the next reset
 
 		// Columns examined but not chosen stay live; requeue them.
 		for _, j := range s.examined {
@@ -508,24 +567,29 @@ func factorizeBasis(m int, colPtr, rowIdx []int, vals []float64) (*luFactor, err
 	for t := range s.lIdx {
 		s.lIdx[t] = s.posOfRow[s.lIdx[t]]
 	}
-	f.lPtr, f.lIdx, f.lVal = s.lPtr, s.lIdx, s.lVal
-	f.uDiag = s.uDiag
-	f.rowOf, f.posOfRow = s.rowOf, s.posOfRow
-	f.colOf, f.posOfCol = s.colOf, s.posOfCol
+	f.m = m
+	f.lPtr = taken(f.lPtr, s.lPtr)
+	f.lIdx = taken(f.lIdx, s.lIdx)
+	f.lVal = taken(f.lVal, s.lVal)
+	f.uDiag = taken(f.uDiag, s.uDiag)
+	f.rowOf = taken(f.rowOf, s.rowOf)
+	f.posOfRow = taken(f.posOfRow, s.posOfRow)
+	f.colOf = taken(f.colOf, s.colOf)
+	f.posOfCol = taken(f.posOfCol, s.posOfCol)
 
 	// Counting transpose of U from rows to columns, remapping column
 	// indices into elimination coordinates; scattering in step order keeps
 	// each column's row indices ascending.
-	counts := make([]int, m+1)
+	counts := s.counts
 	for _, j := range s.uRowIdx {
 		counts[s.posOfCol[j]+1]++
 	}
 	for k := 0; k < m; k++ {
 		counts[k+1] += counts[k]
 	}
-	copy(f.uPtr, counts)
-	f.uIdx = make([]int, len(s.uRowIdx))
-	f.uVal = make([]float64, len(s.uRowIdx))
+	f.uPtr = taken(f.uPtr, counts)
+	f.uIdx = grown(f.uIdx, len(s.uRowIdx))
+	f.uVal = grown(f.uVal, len(s.uRowIdx))
 	next := counts
 	for k := 0; k < m; k++ {
 		for t := s.uRowPtr[k]; t < s.uRowPtr[k+1]; t++ {
@@ -536,5 +600,46 @@ func factorizeBasis(m int, colPtr, rowIdx []int, vals []float64) (*luFactor, err
 		}
 	}
 	f.nnzLU = len(f.lIdx) + len(f.uIdx) + m
-	return f, nil
+	f.resetEtas()
+	return nil
+}
+
+// resetEtas empties f's eta file in place, keeping the arenas. The caller
+// must own f exclusively (never call this on a frozen snapshot).
+//
+//lint:freezer reslices an unpublished factor's own eta arenas
+func (f *luFactor) resetEtas() {
+	f.etaPos = f.etaPos[:0]
+	f.etaDiag = f.etaDiag[:0]
+	f.etaPtr = append(f.etaPtr[:0], 0)
+	f.etaIdx = f.etaIdx[:0]
+	f.etaVal = f.etaVal[:0]
+}
+
+// copyFrom deep-copies src into f, reusing f's array capacity, with the
+// eta slices given append slack — the adopting solver appends
+// copy-on-write-free because the arenas are its own. Used by the
+// Workspace's no-escape warm start to adopt a parent's frozen factor
+// without inheriting its shared (clipped) backing.
+//
+//lint:freezer deep-copies into an unpublished caller-owned factor; src is only read
+func (f *luFactor) copyFrom(src *luFactor) {
+	f.m = src.m
+	f.lPtr = taken(f.lPtr, src.lPtr)
+	f.lIdx = taken(f.lIdx, src.lIdx)
+	f.lVal = taken(f.lVal, src.lVal)
+	f.uPtr = taken(f.uPtr, src.uPtr)
+	f.uIdx = taken(f.uIdx, src.uIdx)
+	f.uVal = taken(f.uVal, src.uVal)
+	f.uDiag = taken(f.uDiag, src.uDiag)
+	f.rowOf = taken(f.rowOf, src.rowOf)
+	f.posOfRow = taken(f.posOfRow, src.posOfRow)
+	f.colOf = taken(f.colOf, src.colOf)
+	f.posOfCol = taken(f.posOfCol, src.posOfCol)
+	f.nnzLU = src.nnzLU
+	f.etaPos = taken(f.etaPos, src.etaPos)
+	f.etaDiag = taken(f.etaDiag, src.etaDiag)
+	f.etaPtr = taken(f.etaPtr, src.etaPtr)
+	f.etaIdx = taken(f.etaIdx, src.etaIdx)
+	f.etaVal = taken(f.etaVal, src.etaVal)
 }

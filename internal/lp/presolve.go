@@ -153,13 +153,33 @@ type reducer struct {
 	undo       []presolveRec
 	objOff     float64
 	infeasible bool
+
+	// Persistent backing for reuse across init calls on the same reducer
+	// (a Workspace keeps one): the compressed-row storage sr points into,
+	// the flattener scratch and the transpose cursor.
+	srStore sparseRows
+	ds      dedupScratch
+	colNext []int
 }
 
-// presolveProblem runs the reductions on p. keepCols lists columns that
-// must survive untouched by eliminations and scaling (branch-and-bound
-// integers). needDuals gates the bound-tightening installs as described
-// in the file comment.
+// presolveProblem runs the reductions on p with a fresh reducer. keepCols
+// lists columns that must survive untouched by eliminations and scaling
+// (branch-and-bound integers). needDuals gates the bound-tightening
+// installs as described in the file comment.
+//
+// The fresh reducer matters: the returned presolved aliases the reducer's
+// undo stack, and this path's callers (RootPresolve in particular) may
+// hold it indefinitely. Reducer-reusing callers go through presolveInto
+// and own the consume-before-next-solve discipline.
 func presolveProblem(p *Problem, keepCols []int, needDuals bool) *presolved {
+	var rd reducer
+	return presolveInto(&rd, p, keepCols, needDuals)
+}
+
+// presolveInto runs the reductions on p using rd's storage. The returned
+// presolved aliases rd's undo stack and must be consumed before rd is
+// reused.
+func presolveInto(rd *reducer, p *Problem, keepCols []int, needDuals bool) *presolved {
 	n, m := p.nVars, p.NumConstraints()
 	ps := &presolved{orig: p, status: Optimal, n: n, m: m}
 	if m == 0 {
@@ -167,7 +187,7 @@ func presolveProblem(p *Problem, keepCols []int, needDuals bool) *presolved {
 		return ps
 	}
 
-	rd := newReducer(p, keepCols, needDuals)
+	rd.init(p, keepCols, needDuals)
 	rd.run()
 	if rd.infeasible {
 		ps.status = Infeasible
@@ -211,22 +231,28 @@ func presolveProblem(p *Problem, keepCols []int, needDuals bool) *presolved {
 	return ps
 }
 
-func newReducer(p *Problem, keepCols []int, needDuals bool) *reducer {
+// init (re)builds the reducer's working state for p, reusing its storage
+// (grown/taken everywhere), so a recycled reducer reaches zero
+// steady-state allocations. The undo stack is truncated, not freed — the
+// previous solve's presolved must already have been consumed.
+func (rd *reducer) init(p *Problem, keepCols []int, needDuals bool) {
 	n, m := p.nVars, p.NumConstraints()
-	rd := &reducer{
-		p: p, n: n, m: m, needDuals: needDuals,
-		sr:       dedupRows(p),
-		obj:      p.obj,
-		rhs:      make([]float64, m),
-		lo:       make([]float64, n),
-		hi:       make([]float64, n),
-		rowAlive: make([]bool, m),
-		colAlive: make([]bool, n),
-		rowNnz:   make([]int, m),
-		colNnz:   make([]int, n),
-		keep:     make([]bool, n),
-	}
-	copy(rd.rhs, rd.sr.rhs)
+	rd.p = p
+	rd.n, rd.m = n, m
+	rd.needDuals = needDuals
+	rd.sr = rd.ds.flatten(p, &rd.srStore)
+	rd.obj = p.obj
+	rd.rhs = taken(rd.rhs, rd.sr.rhs)
+	rd.lo = grown(rd.lo, n)
+	rd.hi = grown(rd.hi, n)
+	rd.rowAlive = grown(rd.rowAlive, m)
+	rd.colAlive = grown(rd.colAlive, n)
+	rd.rowNnz = grown(rd.rowNnz, m)
+	rd.colNnz = grown(rd.colNnz, n)
+	rd.keep = grown(rd.keep, n)
+	rd.undo = rd.undo[:0]
+	rd.objOff = 0
+	rd.infeasible = false
 	for v := 0; v < n; v++ {
 		rd.lo[v], rd.hi[v] = p.boundsAt(v)
 		rd.colAlive[v] = true
@@ -237,7 +263,7 @@ func newReducer(p *Problem, keepCols []int, needDuals bool) *reducer {
 	}
 	// Counting transpose of the deduped rows: the column view fixed-column
 	// elimination walks.
-	rd.colPtr = make([]int, n+1)
+	rd.colPtr = grown(rd.colPtr, n+1)
 	for _, j := range rd.sr.idx {
 		rd.colPtr[j+1]++
 	}
@@ -245,9 +271,11 @@ func newReducer(p *Problem, keepCols []int, needDuals bool) *reducer {
 		rd.colPtr[j+1] += rd.colPtr[j]
 		rd.colNnz[j] = rd.colPtr[j+1] - rd.colPtr[j]
 	}
-	rd.colRow = make([]int, len(rd.sr.idx))
-	rd.colVal = make([]float64, len(rd.sr.idx))
-	next := append([]int(nil), rd.colPtr[:n]...)
+	rd.colRow = grown(rd.colRow, len(rd.sr.idx))
+	rd.colVal = grown(rd.colVal, len(rd.sr.idx))
+	rd.colNext = grown(rd.colNext, n)
+	next := rd.colNext
+	copy(next, rd.colPtr[:n])
 	for i := 0; i < m; i++ {
 		for k := rd.sr.ptr[i]; k < rd.sr.ptr[i+1]; k++ {
 			j := rd.sr.idx[k]
@@ -259,7 +287,6 @@ func newReducer(p *Problem, keepCols []int, needDuals bool) *reducer {
 	for _, v := range keepCols {
 		rd.keep[v] = true
 	}
-	return rd
 }
 
 // run rotates the reduction passes to a fixpoint (or the pass cap).

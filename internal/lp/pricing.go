@@ -84,20 +84,37 @@ type pricer struct {
 
 	cand   []int // partial-pricing candidate columns
 	cursor int   // next column a refill section scan starts from
+
+	// devexBuf/candBuf are the persistent backing arrays devex/cand are
+	// resliced from: init reuses their capacity across solves (a reused
+	// pricer reaches zero steady-state allocations), while devex/cand keep
+	// their nil-means-rule-keeps-none semantics.
+	devexBuf []float64
+	candBuf  []int
 }
 
 // init resolves nothing (the caller passes a resolved mode) and sizes the
 // rule's state: unit weights for devex/partial, an empty candidate list
-// at full capacity for partial.
+// at full capacity for partial. Re-initialising a pricer reuses its
+// backing arrays.
 func (pp *pricer) init(mode PricingMode, rw int) {
 	pp.mode = mode
 	pp.rw = rw
+	pp.cursor = 0
+	pp.devex = nil
+	pp.cand = nil
 	if mode == PricingDevex || mode == PricingPartial {
-		pp.devex = make([]float64, rw)
+		if cap(pp.devexBuf) < rw {
+			pp.devexBuf = make([]float64, rw)
+		}
+		pp.devex = pp.devexBuf[:rw]
 		pp.resetWeights()
 	}
 	if mode == PricingPartial {
-		pp.cand = make([]int, 0, partialListCap)
+		if cap(pp.candBuf) < partialListCap {
+			pp.candBuf = make([]int, 0, partialListCap)
+		}
+		pp.cand = pp.candBuf[:0]
 	}
 }
 

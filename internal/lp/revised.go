@@ -130,9 +130,59 @@ type rev struct {
 	rho []float64 // m btran output: one row of B⁻¹ (row space)
 	luW []float64 // m triangular-solve workspace
 	luC []float64 // m btran eta-transform workspace
+
+	// Reuse-mode flags. A Workspace-owned rev (owned) persists across
+	// solves, so buffers that today's one-shot path may share into a
+	// published Basis (binv, the factor) must be copied out instead.
+	// noEscape additionally promises that the solve publishes no Basis at
+	// all, unlocking factor-arena reuse and an output Solution that aliases
+	// the solver. The zero value (package-level entry points) is a fresh
+	// rev per solve with today's sharing semantics.
+	owned    bool
+	noEscape bool
+
+	// Construction scratch, reused by init across solves.
+	ds      dedupScratch
+	srStore sparseRows
+	valsBuf []float64 // oriented+equilibrated copy of srStore.val
+	spStore csMatrix  // sparse-mode storage behind t.sp (nil in dense mode)
+	csNext  []int     // csMatrix.build transpose cursor
+
+	// Factor-path scratch.
+	fColPtr []int // refactorizeLU CSC gather of the basis columns
+	fRowIdx []int
+	fVals   []float64
+	fac     facState // right-looking elimination workspace
+	luStore luFactor // owned factor arena (owned && noEscape)
+	luHold  luFactor // persistent holder for adopted frozen snapshots
+
+	// Legacy-kernel and residual-check scratch.
+	augBuf       []float64 // refactorizeBinv augmented [B | I]
+	supLo, supHi []int     // refactorizeBinv right-block support intervals
+	resSum       []float64 // inverseResidualOK sparse accumulators
+	resScale     []float64
+
+	// Solve-driver scratch.
+	colsBuf  []int     // starting-basis column list
+	seenCols []bool    // solveFrom duplicate-column check
+	costBuf  []float64 // phase-1/phase-2/warm cost vectors
+
+	// noEscape output buffers: the returned Solution and its X alias these.
+	xOut   []float64
+	solOut *Solution
 }
 
-// newRev builds the canonical-form matrix for p: >= rows negated to <=,
+// newRev builds a fresh solver for one solve; see init for the body. The
+// package-level entry points use it, so their allocation behaviour (and
+// Basis sharing) is unchanged; a Workspace calls init on its persistent
+// rev instead.
+func newRev(p *Problem, opts Options) *rev {
+	t := &rev{}
+	t.init(p, opts)
+	return t
+}
+
+// init (re)builds the canonical-form matrix for p: >= rows negated to <=,
 // rows equilibrated, one logical and one artificial column per row. The
 // rows are flattened once through the shared sparse builder (deduplicating
 // repeated Terms) and stored densely or as a CSR+CSC pair per the resolved
@@ -140,41 +190,56 @@ type rev struct {
 // pivot identically. Column boxes come from the Problem's bounds; the
 // initial nonbasic point is every structural column at its lower bound,
 // which fixes q and the artificial signs.
-func newRev(p *Problem, opts Options) *rev {
+//
+// Every buffer is sized with grown/taken, so re-initialising a rev whose
+// buffers have already grown to this shape allocates nothing; unused-mode
+// storage (t.a in sparse mode, t.binv in LU mode) may stay allocated but
+// is never read — every access is guarded by t.sp / t.factorLU, not by
+// nil-ness. All per-solve state fields are reset here; owned/noEscape are
+// the caller's and preserved.
+//
+//lint:hotpath=bounded rebuilding the canonical form allocates only on warm-up growth; the Workspace AllocsPerRun pins hold the steady state at zero
+func (t *rev) init(p *Problem, opts Options) {
 	m := p.NumConstraints()
 	n := p.nVars
-	width := n + 2*m
-	t := &rev{
-		m: m, n: n, width: width, rw: n + m,
-		artSign:  make([]float64, m),
-		b:        make([]float64, m),
-		q:        make([]float64, m),
-		rowScale: make([]float64, m),
-		rowNeg:   make([]float64, m),
-		lo:       make([]float64, width),
-		hi:       make([]float64, width),
-		atUpper:  make([]bool, width),
-		basis:    make([]int, m),
-		inBasis:  make([]bool, width),
-		xb:       make([]float64, m),
-		tol:      opts.Tol,
-		y:        make([]float64, m),
-		d:        make([]float64, width),
-		alpha:    make([]float64, width),
-		w:        make([]float64, m),
-		colv:     make([]float64, m),
-	}
+	t.m, t.n = m, n
+	t.width = n + 2*m
+	t.rw = n + m
+	t.artSign = grown(t.artSign, m)
+	t.b = grown(t.b, m)
+	t.q = grown(t.q, m)
+	t.rowScale = grown(t.rowScale, m)
+	t.rowNeg = grown(t.rowNeg, m)
+	t.lo = grown(t.lo, t.width)
+	t.hi = grown(t.hi, t.width)
+	t.atUpper = grown(t.atUpper, t.width)
+	t.basis = grown(t.basis, m)
+	t.inBasis = grown(t.inBasis, t.width)
+	t.xb = grown(t.xb, m)
+	t.y = grown(t.y, m)
+	t.d = grown(t.d, t.width)
+	t.alpha = grown(t.alpha, t.width)
+	t.w = grown(t.w, m)
+	t.colv = grown(t.colv, m)
+	t.iters = 0
+	t.blandMode = false
+	t.degenRun = 0
+	t.sinceRefactor = 0
+	t.numRetries = 0
+	t.dFresh = false
+	t.lu = nil
 	t.pricing = resolvePricing(opts.Pricing, t.rw)
 	t.pp.init(t.pricing, t.rw)
 	t.factorLU = opts.Factor != FactorBinv
 	if t.factorLU {
-		t.cb = make([]float64, m)
-		t.rho = make([]float64, m)
-		t.luW = make([]float64, m)
-		t.luC = make([]float64, m)
+		t.cb = grown(t.cb, m)
+		t.rho = grown(t.rho, m)
+		t.luW = grown(t.luW, m)
+		t.luC = grown(t.luC, m)
 	} else {
-		t.binv = make([]float64, m*m)
+		t.binv = grown(t.binv, m*m)
 	}
+	t.tol = opts.Tol
 	if t.tol == 0 {
 		t.tol = defaultTol
 	}
@@ -196,15 +261,16 @@ func newRev(p *Problem, opts Options) *rev {
 		t.hi[t.rw+i] = inf // artificials: [0, +inf) until frozen after phase 1
 	}
 
-	sr := dedupRows(p)
+	sr := t.ds.flatten(p, &t.srStore)
 	sparse := opts.Sparse == SparseOn ||
 		(opts.Sparse == SparseAuto && autoSparse(m, n, sr.nnz()))
 	if !sparse {
-		t.a = make([]float64, m*t.rw)
+		t.a = grown(t.a, m*t.rw)
 	}
 	// Orient and equilibrate each row in place over its nonzeros only,
 	// then scatter into the selected representation.
-	vals := append([]float64(nil), sr.val...)
+	t.valsBuf = taken(t.valsBuf, sr.val)
+	vals := t.valsBuf
 	for i := 0; i < m; i++ {
 		cols := sr.idx[sr.ptr[i]:sr.ptr[i+1]]
 		seg := vals[sr.ptr[i]:sr.ptr[i+1]]
@@ -255,7 +321,11 @@ func newRev(p *Problem, opts Options) *rev {
 		}
 	}
 	if sparse {
-		t.sp = newCSMatrix(m, n, sr.ptr, sr.idx, vals)
+		t.csNext = grown(t.csNext, n)
+		t.spStore.build(m, n, sr.ptr, sr.idx, vals, t.csNext)
+		t.sp = &t.spStore
+	} else {
+		t.sp = nil
 	}
 	// With every structural column nonbasic at its lower bound (the state
 	// setBasis/SolveBasis start from), q = b − A·lo determines which rows
@@ -268,7 +338,6 @@ func newRev(p *Problem, opts Options) *rev {
 			t.artSign[i] = -1
 		}
 	}
-	return t
 }
 
 // nbVal returns the current value of nonbasic column j: the bound it
@@ -400,9 +469,10 @@ func (t *rev) refactorize() error {
 // paper's instances produce — against the dense kernel's O(m³).
 func (t *rev) refactorizeLU() error {
 	m := t.m
-	colPtr := make([]int, m+1)
-	rowIdx := make([]int, 0, 4*m)
-	vals := make([]float64, 0, 4*m)
+	t.fColPtr = grown(t.fColPtr, m+1)
+	colPtr := t.fColPtr
+	rowIdx := t.fRowIdx[:0]
+	vals := t.fVals[:0]
 	for i := 0; i < m; i++ {
 		col := t.basis[i]
 		switch {
@@ -429,15 +499,34 @@ func (t *rev) refactorizeLU() error {
 		}
 		colPtr[i+1] = len(rowIdx)
 	}
-	f, err := factorizeBasis(m, colPtr, rowIdx, vals)
-	if err != nil {
-		return err
+	t.fRowIdx, t.fVals = rowIdx, vals
+	if t.reuseFactor() {
+		// No Basis will be published, so the factor arenas (and the eta
+		// file appendEta grows in them) are private to this solver and
+		// reused across solves.
+		if err := t.fac.factorizeInto(&t.luStore, m, colPtr, rowIdx, vals); err != nil {
+			return err
+		}
+		t.lu = &t.luStore
+	} else {
+		// A frozen snapshot of this factor may be published into a Basis,
+		// so it must own fresh storage.
+		f := &luFactor{}
+		if err := t.fac.factorizeInto(f, m, colPtr, rowIdx, vals); err != nil {
+			return err
+		}
+		t.lu = f
 	}
-	t.lu = f
 	t.sinceRefactor = 0
 	t.computeXB()
 	return nil
 }
+
+// reuseFactor reports whether LU factors may live in the solver-owned
+// arenas: only when the solver is Workspace-owned AND no Basis escapes the
+// call — a published frozen factor must never share storage that a later
+// solve will overwrite.
+func (t *rev) reuseFactor() bool { return t.owned && t.noEscape }
 
 // refactorizeBinv recomputes the legacy explicit B⁻¹ from the basis
 // columns by Gauss–Jordan elimination with partial pivoting and refreshes
@@ -451,7 +540,8 @@ func (t *rev) refactorizeBinv() error {
 	// Augmented [B | I], row-major, width 2m. In sparse mode the basis
 	// columns are scattered from the CSC index (O(nnz of the basis)
 	// instead of m² element probes).
-	aug := make([]float64, m*2*m)
+	aug := grown(t.augBuf, m*2*m)
+	t.augBuf = aug
 	if t.sp != nil {
 		for i := 0; i < m; i++ {
 			col := t.basis[i]
@@ -485,8 +575,9 @@ func (t *rev) refactorizeBinv() error {
 	// exact-zero products only — the surviving arithmetic is identical,
 	// so dense and sparse modes still agree bit-for-bit — while cutting
 	// the Gauss–Jordan constant by ~2x on slack-heavy bases.
-	lo := make([]int, m)
-	hi := make([]int, m)
+	lo := grown(t.supLo, m)
+	hi := grown(t.supHi, m)
+	t.supLo, t.supHi = lo, hi
 	for r := range lo {
 		lo[r], hi[r] = r, r
 	}
@@ -620,8 +711,20 @@ func (t *rev) inheritFactor(from *Basis) bool {
 	if f == nil || f.m != t.m || f.fillHeavy() {
 		return false
 	}
-	cp := *f
-	t.lu = &cp
+	if t.noEscape {
+		// No frozen snapshot of this factor will be published, so deep-copy
+		// the parent's factors into the solver-owned arenas: later eta
+		// appends extend private storage instead of triggering per-append
+		// copy-on-write growth, and the copy itself reuses grown capacity.
+		t.luStore.copyFrom(f)
+		t.lu = &t.luStore
+	} else {
+		// A struct copy sharing the immutable L/U and the clipped eta file
+		// (appends copy-on-write, see appendEta); held by value in the
+		// solver so adoption allocates nothing beyond what appends force.
+		t.luHold = *f
+		t.lu = &t.luHold
+	}
 	t.sinceRefactor = from.age
 	t.computeXB()
 	return t.inverseResidualOK()
@@ -634,27 +737,38 @@ func (t *rev) inheritFactor(from *Basis) bool {
 // contribution order as the dense pass, so the two modes agree).
 func (t *rev) inverseResidualOK() bool {
 	if t.sp != nil {
-		sum := make([]float64, t.m)
-		scale := make([]float64, t.m)
+		sum := grown(t.resSum, t.m)
+		scale := grown(t.resScale, t.m)
+		t.resSum, t.resScale = sum, scale
 		for r := range scale {
 			scale[r] = 1
 		}
-		add := func(r int, v float64) {
-			sum[r] += v
-			if a := math.Abs(v); a > scale[r] {
-				scale[r] = a
-			}
-		}
+		// The per-case accumulation below is the inlined form of
+		// add(r, v) = { sum[r] += v; scale[r] = max(scale[r], |v|) } —
+		// inlined so this path stays closure-free (hotalloc gate), with the
+		// accumulation order unchanged.
 		for i := 0; i < t.m; i++ {
 			col := t.basis[i]
 			switch {
 			case col >= t.rw:
-				add(col-t.rw, t.artSign[col-t.rw]*t.xb[i])
+				r, v := col-t.rw, t.artSign[col-t.rw]*t.xb[i]
+				sum[r] += v
+				if a := math.Abs(v); a > scale[r] {
+					scale[r] = a
+				}
 			case col >= t.n:
-				add(col-t.n, t.xb[i])
+				r, v := col-t.n, t.xb[i]
+				sum[r] += v
+				if a := math.Abs(v); a > scale[r] {
+					scale[r] = a
+				}
 			default:
 				for k := t.sp.colPtr[col]; k < t.sp.colPtr[col+1]; k++ {
-					add(t.sp.rowIdx[k], t.sp.colVal[k]*t.xb[i])
+					r, v := t.sp.rowIdx[k], t.sp.colVal[k]*t.xb[i]
+					sum[r] += v
+					if a := math.Abs(v); a > scale[r] {
+						scale[r] = a
+					}
 				}
 			}
 		}
@@ -1545,11 +1659,17 @@ func (t *rev) driveOutArtificials() error {
 //
 //lint:freezer assembles the published Basis snapshot before returning it
 func (t *rev) finish(p *Problem, status Status) (*Solution, *Basis) {
-	sol := &Solution{Status: status, Iterations: t.iters}
+	sol := t.bareSolution(status)
 	if status != Optimal && status != IterLimit && status != TimeLimit {
 		return sol, nil
 	}
-	x := make([]float64, p.nVars)
+	var x []float64
+	if t.noEscape {
+		t.xOut = grown(t.xOut, p.nVars)
+		x = t.xOut
+	} else {
+		x = make([]float64, p.nVars)
+	}
 	for v := 0; v < p.nVars; v++ {
 		x[v] = t.nbVal(v)
 	}
@@ -1568,29 +1688,48 @@ func (t *rev) finish(p *Problem, status Status) (*Solution, *Basis) {
 	for v, c := range p.obj {
 		sol.Objective += c * x[v]
 	}
-	if status != Optimal {
+	if status != Optimal || t.noEscape {
 		return sol, nil
 	}
 	// Hand the kernel's representation over without copying: a Basis is
 	// immutable, and the rev never pivots after finish (it may still price
 	// read-only, which is how SolveBasisWithDuals extracts duals). The LU
 	// factors are frozen (eta slices clipped) so every solver that adopts
-	// them appends copy-on-write.
+	// them appends copy-on-write. The one exception is a Workspace-owned
+	// solver's dense B⁻¹: the next solve on the Workspace would overwrite a
+	// shared slice, so that one is deep-copied into the snapshot.
 	bs := &Basis{
 		nVars:   t.n,
 		entries: make([]basisEntry, t.m),
 		atUpper: append([]bool(nil), t.atUpper[:t.n]...),
-		binv:    t.binv,
 		age:     t.sinceRefactor,
 		devex:   t.pp.snapshotWeights(),
 	}
 	if t.factorLU {
 		bs.fac = t.lu.freeze()
+	} else if t.owned {
+		bs.binv = append([]float64(nil), t.binv...)
+	} else {
+		bs.binv = t.binv
 	}
 	for i := 0; i < t.m; i++ {
 		bs.entries[i] = entryForColumn(t.basis[i], t.n, t.m)
 	}
 	return sol, bs
+}
+
+// bareSolution returns the Solution shell for this solve: the solver-owned
+// output struct in noEscape mode (aliased per the Workspace contract,
+// lazily allocated so Reset can relinquish it), a fresh one otherwise.
+func (t *rev) bareSolution(status Status) *Solution {
+	if t.noEscape {
+		if t.solOut == nil {
+			t.solOut = new(Solution)
+		}
+		*t.solOut = Solution{Status: status, Iterations: t.iters}
+		return t.solOut
+	}
+	return &Solution{Status: status, Iterations: t.iters}
 }
 
 // SolveBasis solves p from scratch with the revised simplex (two-phase,
@@ -1624,11 +1763,24 @@ func SolveBasis(p *Problem, opts Options) (*Solution, *Basis, error) {
 // The returned rev is nil when the solve errored out early.
 func solveBasisRev(p *Problem, opts Options) (*rev, *Solution, *Basis, error) {
 	t := newRev(p, opts)
+	sol, bs, err := t.solveCold(p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return t, sol, bs, nil
+}
 
+// solveCold runs the two-phase cold solve on an initialised solver. The
+// package-level paths call it through solveBasisRev on a fresh rev; a
+// Workspace calls it directly on its persistent one.
+//
+//lint:hotpath=bounded one cold solve on a warmed workspace allocates only in finish's escape paths; the AllocsPerRun pins hold the noEscape steady state at zero
+func (t *rev) solveCold(p *Problem) (*Solution, *Basis, error) {
 	// Initial point: every structural column at its lower bound. Rows whose
 	// residual q is negative (or that are equalities) start with their
 	// signed artificial basic at |q| >= 0; the rest use their logical.
-	cols := make([]int, t.m)
+	t.colsBuf = grown(t.colsBuf, t.m)
+	cols := t.colsBuf
 	needPhase1 := false
 	for i := range cols {
 		if t.hi[t.n+i] <= t.lo[t.n+i] || t.q[i] < 0 {
@@ -1640,42 +1792,44 @@ func solveBasisRev(p *Problem, opts Options) (*rev, *Solution, *Basis, error) {
 	}
 	t.setBasis(cols)
 	if err := t.refactorize(); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 
 	if needPhase1 {
-		phase1 := make([]float64, t.width)
+		t.costBuf = grown(t.costBuf, t.width)
+		phase1 := t.costBuf
 		for j := t.n + t.m; j < t.width; j++ {
 			phase1[j] = -1
 		}
 		status, err := t.primal(phase1)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 		switch status {
 		case IterLimit, TimeLimit:
-			return t, &Solution{Status: status, Iterations: t.iters}, nil, nil
+			return t.bareSolution(status), nil, nil
 		case Unbounded:
 			// Phase 1 is bounded by construction; treat as numerical failure.
-			return t, &Solution{Status: Infeasible, Iterations: t.iters}, nil, nil
+			return t.bareSolution(Infeasible), nil, nil
 		}
 		if t.artificialValue() > feasTol {
-			return t, &Solution{Status: Infeasible, Iterations: t.iters}, nil, nil
+			return t.bareSolution(Infeasible), nil, nil
 		}
 		if err := t.driveOutArtificials(); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 	}
 	t.freezeArtificials()
 
-	phase2 := make([]float64, t.width)
+	t.costBuf = grown(t.costBuf, t.width)
+	phase2 := t.costBuf
 	copy(phase2, p.obj)
 	status, err := t.primal(phase2)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	sol, bs := t.finish(p, status)
-	return t, sol, bs, nil
+	return sol, bs, nil
 }
 
 // SolveFrom solves p warm-started from a basis produced by a previous
@@ -1696,22 +1850,41 @@ func solveBasisRev(p *Problem, opts Options) (*rev, *Solution, *Basis, error) {
 //
 //lint:hotpath=bounded one warm re-solve allocates only the solver workspace; the AllocsPerRun ceiling pins it
 func SolveFrom(p *Problem, from *Basis, opts Options) (*Solution, *Basis, error) {
-	if from == nil {
-		return nil, nil, errors.New("lp: SolveFrom with nil basis")
+	if err := checkBasisFit(p, from); err != nil {
+		return nil, nil, err
 	}
-	m := p.NumConstraints()
-	if from.nVars != p.nVars {
-		return nil, nil, fmt.Errorf("lp: basis is over %d variables, problem has %d", from.nVars, p.nVars)
-	}
-	if len(from.entries) > m {
-		return nil, nil, fmt.Errorf("lp: basis has %d rows, problem only %d", len(from.entries), m)
-	}
-
 	t := newRev(p, opts)
+	return t.solveFrom(p, from)
+}
+
+// checkBasisFit validates that from can warm-start p: same variable count,
+// no more basis rows than p has constraints. Shared by the package-level
+// and Workspace warm-start entry points.
+func checkBasisFit(p *Problem, from *Basis) error {
+	if from == nil {
+		return errors.New("lp: SolveFrom with nil basis")
+	}
+	if from.nVars != p.nVars {
+		return fmt.Errorf("lp: basis is over %d variables, problem has %d", from.nVars, p.nVars)
+	}
+	if len(from.entries) > p.NumConstraints() {
+		return fmt.Errorf("lp: basis has %d rows, problem only %d", len(from.entries), p.NumConstraints())
+	}
+	return nil
+}
+
+// solveFrom runs the warm-started solve on an initialised solver; see
+// SolveFrom for the semantics. The caller has already run checkBasisFit.
+//
+//lint:hotpath=bounded one warm re-solve on a warmed workspace allocates only in finish's escape paths; the AllocsPerRun pins hold the noEscape steady state at zero
+func (t *rev) solveFrom(p *Problem, from *Basis) (*Solution, *Basis, error) {
+	m := t.m
 	t.freezeArtificials() // artificials may persist basic at zero, never grow
 
-	cols := make([]int, m)
-	seen := make(map[int]bool, m)
+	t.colsBuf = grown(t.colsBuf, m)
+	cols := t.colsBuf
+	t.seenCols = grown(t.seenCols, t.width)
+	seen := t.seenCols
 	for i, e := range from.entries {
 		if e.idx < 0 || (e.kind == basisStructural && e.idx >= t.n) || (e.kind != basisStructural && e.idx >= m) {
 			return nil, nil, fmt.Errorf("lp: basis entry %d out of range", i)
@@ -1755,7 +1928,8 @@ func SolveFrom(p *Problem, from *Basis, opts Options) (*Solution, *Basis, error)
 		}
 	}
 
-	cost := make([]float64, t.width)
+	t.costBuf = grown(t.costBuf, t.width)
+	cost := t.costBuf
 	copy(cost, p.obj)
 
 	status, err := t.dual(cost)

@@ -53,6 +53,23 @@ type tableau struct {
 	// Normalisation metadata per original row, for dual recovery.
 	rowScale []float64 // equilibration divisor applied to the row
 	rowNeg   []float64 // ±1: total negation factor applied to the stored row
+
+	// noEscape marks a Workspace solve whose Solution may alias
+	// tableau-owned output buffers (xOut, solOut; see workspace.go's
+	// aliasing contract). The package-level paths leave it false and
+	// allocate fresh output per solve.
+	noEscape bool
+
+	// Construction and phase-cost scratch, reused across init calls on the
+	// same tableau (Workspace mode); see the rev struct for the pattern.
+	ds      dedupScratch
+	srStore sparseRows
+	valsBuf []float64
+	costBuf []float64
+
+	// Output buffers for noEscape solves; Reset relinquishes them.
+	xOut   []float64
+	solOut *Solution
 }
 
 // Solve runs two-phase bounded-variable primal simplex on p, through the
@@ -78,10 +95,18 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 // solveTableau is the presolve-free tableau solve.
 func solveTableau(p *Problem, opts Options) (*Solution, error) {
 	t := newTableau(p, opts)
+	return t.solve(p)
+}
 
+// solve runs the two phases on an initialised tableau. The package-level
+// path calls it on a fresh tableau; a Workspace calls it on its persistent
+// one (noEscape), where the phase cost vectors and the output Solution come
+// from reused buffers.
+func (t *tableau) solve(p *Problem) (*Solution, error) {
 	// Phase 1: drive artificials to zero.
 	if t.nArt > 0 {
-		phase1 := make([]float64, t.width)
+		t.costBuf = grown(t.costBuf, t.width)
+		phase1 := t.costBuf
 		for c := t.artBase; c < t.width; c++ {
 			phase1[c] = -1
 		}
@@ -89,25 +114,26 @@ func solveTableau(p *Problem, opts Options) (*Solution, error) {
 		status := t.iterate()
 		switch status {
 		case IterLimit, TimeLimit:
-			return &Solution{Status: status, Iterations: t.iters}, nil
+			return t.bareSolution(status), nil
 		case Unbounded:
 			// Phase 1 is bounded by construction; treat as numerical failure.
-			return &Solution{Status: Infeasible, Iterations: t.iters}, nil
+			return t.bareSolution(Infeasible), nil
 		}
 		if t.artificialResidual() > feasTol {
-			return &Solution{Status: Infeasible, Iterations: t.iters}, nil
+			return t.bareSolution(Infeasible), nil
 		}
 		t.driveOutArtificials()
 	}
 	t.freezeArtificials()
 
 	// Phase 2: original objective over structural variables.
-	phase2 := make([]float64, t.width)
+	t.costBuf = grown(t.costBuf, t.width)
+	phase2 := t.costBuf
 	copy(phase2, p.obj)
 	t.setObjective(phase2)
 	status := t.iterate()
 
-	sol := &Solution{Status: status, Iterations: t.iters}
+	sol := t.bareSolution(status)
 	if status == Optimal || status == IterLimit || status == TimeLimit {
 		sol.X = t.extract(p)
 		var obj float64
@@ -117,6 +143,21 @@ func solveTableau(p *Problem, opts Options) (*Solution, error) {
 		sol.Objective = obj
 	}
 	return sol, nil
+}
+
+// bareSolution returns the Solution shell for this solve: the
+// tableau-owned output struct in noEscape mode (aliased per the Workspace
+// contract, lazily allocated so Reset can relinquish it), a fresh one
+// otherwise.
+func (t *tableau) bareSolution(status Status) *Solution {
+	if t.noEscape {
+		if t.solOut == nil {
+			t.solOut = new(Solution)
+		}
+		*t.solOut = Solution{Status: status, Iterations: t.iters}
+		return t.solOut
+	}
+	return &Solution{Status: status, Iterations: t.iters}
 }
 
 // newTableau builds the canonical-form tableau: >= rows negated to <=,
@@ -132,23 +173,36 @@ func solveTableau(p *Problem, opts Options) (*Solution, error) {
 // and start with a +1 artificial basic — which makes the initial basis an
 // identity over the chosen columns and the initial tableau equal to A.
 func newTableau(p *Problem, opts Options) *tableau {
+	t := &tableau{}
+	t.init(p, opts)
+	return t
+}
+
+// init (re)builds the tableau for p; see newTableau for the construction
+// semantics. Every buffer is sized with grown/taken, so re-initialising a
+// tableau whose buffers have already grown to this shape allocates nothing
+// (the Workspace zero-allocation path); all per-solve state is reset here,
+// noEscape is the caller's and preserved.
+func (t *tableau) init(p *Problem, opts Options) {
 	m := p.NumConstraints()
 	n := p.nVars
 	width := n + 2*m
-	t := &tableau{
-		m: m, n: n,
-		width:    width,
-		artBase:  n + m,
-		a:        make([]float64, m*width),
-		b:        make([]float64, m),
-		basis:    make([]int, m),
-		lo:       make([]float64, width),
-		hi:       make([]float64, width),
-		atUpper:  make([]bool, width),
-		tol:      opts.Tol,
-		rowScale: make([]float64, m),
-		rowNeg:   make([]float64, m),
-	}
+	t.m, t.n = m, n
+	t.width = width
+	t.artBase = n + m
+	t.a = grown(t.a, m*width)
+	t.b = grown(t.b, m)
+	t.basis = grown(t.basis, m)
+	t.lo = grown(t.lo, width)
+	t.hi = grown(t.hi, width)
+	t.atUpper = grown(t.atUpper, width)
+	t.rowScale = grown(t.rowScale, m)
+	t.rowNeg = grown(t.rowNeg, m)
+	t.iters = 0
+	t.blandMode = false
+	t.degenRun = 0
+	t.nArt = 0
+	t.tol = opts.Tol
 	if t.tol == 0 {
 		t.tol = defaultTol
 	}
@@ -168,8 +222,9 @@ func newTableau(p *Problem, opts Options) *tableau {
 		t.hi[t.artBase+i] = inf // artificials: [0, +inf) until frozen
 	}
 
-	sr := dedupRows(p)
-	vals := append([]float64(nil), sr.val...)
+	sr := t.ds.flatten(p, &t.srStore)
+	t.valsBuf = taken(t.valsBuf, sr.val)
+	vals := t.valsBuf
 	for i := 0; i < m; i++ {
 		cols := sr.idx[sr.ptr[i]:sr.ptr[i+1]]
 		seg := vals[sr.ptr[i]:sr.ptr[i+1]]
@@ -239,7 +294,6 @@ func newTableau(p *Problem, opts Options) *tableau {
 			t.basis[i] = n + i
 		}
 	}
-	return t
 }
 
 // nbVal returns the current value of nonbasic column j: the bound it
@@ -641,7 +695,13 @@ func (t *tableau) driveOutArtificials() {
 // nonbasic variables at their recorded bound, basic values with
 // just-outside-the-box roundoff snapped onto the violated bound.
 func (t *tableau) extract(p *Problem) []float64 {
-	x := make([]float64, p.nVars)
+	var x []float64
+	if t.noEscape {
+		t.xOut = grown(t.xOut, p.nVars)
+		x = t.xOut
+	} else {
+		x = make([]float64, p.nVars)
+	}
 	for v := 0; v < p.nVars; v++ {
 		x[v] = t.nbVal(v)
 	}

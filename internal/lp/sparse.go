@@ -60,26 +60,49 @@ func (sr *sparseRows) row(i int) ([]int, []float64) {
 	return sr.idx[sr.ptr[i]:sr.ptr[i+1]], sr.val[sr.ptr[i]:sr.ptr[i+1]]
 }
 
-// dedupRows flattens p into sparseRows. O(total terms + nnz log nnz-per-row)
-// using a scatter buffer, so overlay problems (shared base rows plus a few
-// appended bound rows) flatten without touching the base's Term storage.
+// dedupRows flattens p into fresh sparseRows storage; see
+// dedupScratch.flatten for the reusable-form worker.
 func dedupRows(p *Problem) *sparseRows {
+	var ds dedupScratch
+	return ds.flatten(p, &sparseRows{})
+}
+
+// dedupScratch is the scatter buffer of the row flattener, reusable across
+// solves (a Workspace keeps one per core).
+type dedupScratch struct {
+	acc     []float64
+	inRow   []bool
+	touched []int
+}
+
+// flatten flattens p into sr, reusing sr's storage and the scratch.
+// O(total terms + nnz log nnz-per-row) using a scatter buffer, so overlay
+// problems (shared base rows plus a few appended bound rows) flatten
+// without touching the base's Term storage.
+func (ds *dedupScratch) flatten(p *Problem, sr *sparseRows) *sparseRows {
 	m, n := p.NumConstraints(), p.nVars
-	sr := &sparseRows{
-		ptr:   make([]int, m+1),
-		sense: make([]Sense, m),
-		rhs:   make([]float64, m),
-	}
+	sr.ptr = grown(sr.ptr, m+1)
+	sr.sense = grown(sr.sense, m)
+	sr.rhs = grown(sr.rhs, m)
 	total := 0
 	for i := 0; i < m; i++ {
 		total += len(p.rowAt(i).terms)
 	}
-	sr.idx = make([]int, 0, total)
-	sr.val = make([]float64, 0, total)
+	if cap(sr.idx) < total {
+		sr.idx = make([]int, 0, total)
+	} else {
+		sr.idx = sr.idx[:0]
+	}
+	if cap(sr.val) < total {
+		sr.val = make([]float64, 0, total)
+	} else {
+		sr.val = sr.val[:0]
+	}
 
-	acc := make([]float64, n)
-	inRow := make([]bool, n)
-	touched := make([]int, 0, 32)
+	ds.acc = grown(ds.acc, n)
+	ds.inRow = grown(ds.inRow, n)
+	acc, inRow := ds.acc, ds.inRow
+	touched := ds.touched[:0]
 	for i := 0; i < m; i++ {
 		r := p.rowAt(i)
 		for _, tm := range r.terms {
@@ -103,6 +126,7 @@ func dedupRows(p *Problem) *sparseRows {
 		sr.rhs[i] = r.rhs
 		sr.ptr[i+1] = len(sr.idx)
 	}
+	ds.touched = touched[:0] // keep any growth for the next flatten
 	return sr
 }
 
@@ -128,20 +152,27 @@ type csMatrix struct {
 // rows: cols/vals views per row as produced by the caller. The CSC side is
 // a counting transpose of the CSR side, O(nnz + n + m).
 func newCSMatrix(m, n int, rowPtr []int, colIdx []int, rowVal []float64) *csMatrix {
-	sp := &csMatrix{
-		m: m, n: n,
-		rowPtr: rowPtr, colIdx: colIdx, rowVal: rowVal,
-		colPtr: make([]int, n+1),
-		rowIdx: make([]int, len(colIdx)),
-		colVal: make([]float64, len(colIdx)),
-	}
+	sp := &csMatrix{}
+	sp.build(m, n, rowPtr, colIdx, rowVal, make([]int, n))
+	return sp
+}
+
+// build fills sp from already-oriented, already-scaled rows, reusing sp's
+// CSC storage (the CSR side aliases the caller's slices). next is an
+// n-length scratch slice owned by the caller; its contents are destroyed.
+func (sp *csMatrix) build(m, n int, rowPtr []int, colIdx []int, rowVal []float64, next []int) {
+	sp.m, sp.n = m, n
+	sp.rowPtr, sp.colIdx, sp.rowVal = rowPtr, colIdx, rowVal
+	sp.colPtr = grown(sp.colPtr, n+1)
+	sp.rowIdx = grown(sp.rowIdx, len(colIdx))
+	sp.colVal = grown(sp.colVal, len(colIdx))
 	for _, j := range colIdx {
 		sp.colPtr[j+1]++
 	}
 	for j := 0; j < n; j++ {
 		sp.colPtr[j+1] += sp.colPtr[j]
 	}
-	next := append([]int(nil), sp.colPtr[:n]...)
+	copy(next, sp.colPtr[:n])
 	for i := 0; i < m; i++ {
 		for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
 			j := colIdx[k]
@@ -150,7 +181,6 @@ func newCSMatrix(m, n int, rowPtr []int, colIdx []int, rowVal []float64) *csMatr
 			next[j]++
 		}
 	}
-	return sp
 }
 
 // at returns entry (r, col) of the structural block by binary search in

@@ -106,6 +106,61 @@ func TestDeterministicWithRoundingHook(t *testing.T) {
 	}
 }
 
+// TestWorkspaceReuseAcrossWorkers: every worker goroutine reuses one
+// private lp.Workspace across all its node solves, so this test — meant to
+// run under the race detector like the rest of this file — exercises the
+// aliasing-heavy workspace paths at Workers = 1, 4 and 8: the default
+// basis-publishing chain, the tableau path under DisableWarmStart (whose
+// Solutions alias workspace buffers) and the heuristic re-solve on top of
+// it, which overwrites those buffers mid-node. Solutions must be
+// bit-identical to serial at every worker count. (Node counts are not
+// compared: a parallel worker may legitimately dequeue a node that an
+// in-flight incumbent would have pruned, so Nodes is scheduling-dependent
+// even though the incumbent is not.)
+func TestWorkspaceReuseAcrossWorkers(t *testing.T) {
+	hook := func(x []float64) ([]float64, bool) {
+		fixed := make([]float64, len(x))
+		for i, v := range x {
+			if v > 0.99 {
+				fixed[i] = 1
+			}
+		}
+		return fixed, true
+	}
+	for trial := 0; trial < 3; trial++ {
+		prob := detKnapsack(300 + trial)
+		for _, mode := range []struct {
+			name string
+			opts Options
+		}{
+			{"warm", Options{}},
+			{"tableau", Options{DisableWarmStart: true}},
+			{"tableau+hook", Options{DisableWarmStart: true, Rounding: hook}},
+		} {
+			var base *Result
+			for _, workers := range []int{1, 4, 8} {
+				opts := mode.opts
+				opts.Workers = workers
+				res, err := Solve(prob, opts)
+				if err != nil {
+					t.Fatalf("trial %d %s workers=%d: %v", trial, mode.name, workers, err)
+				}
+				if res.Status != Optimal {
+					t.Fatalf("trial %d %s workers=%d: status %v", trial, mode.name, workers, res.Status)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				if !sameSolution(base, res) {
+					t.Errorf("trial %d %s: workers=%d solution differs from workers=1:\nobj %.17g vs %.17g",
+						trial, mode.name, workers, base.Objective, res.Objective)
+				}
+			}
+		}
+	}
+}
+
 // TestWarmStartAccounting: warm starts dominate once the tree has depth,
 // the counters add up to the node count, and disabling warm starts leaves
 // the answer unchanged.

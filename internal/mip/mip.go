@@ -106,10 +106,22 @@ func (s Strategy) String() string {
 // Options tunes the search. The zero value uses defaults: serial
 // best-bound search, no deadline, gap 1e-6, node limit 1<<20.
 type Options struct {
-	Deadline time.Time    // wall-clock limit (zero: none)
-	MaxNodes int          // node budget (0: default 1<<20)
-	Gap      float64      // absolute optimality gap for termination (0: 1e-6)
-	Workers  int          // parallel node processors (<=1: serial)
+	Deadline time.Time // wall-clock limit (zero: none)
+	MaxNodes int       // node budget (0: default 1<<20)
+	Gap      float64   // absolute optimality gap for termination (0: 1e-6)
+
+	// Workers is the number of parallel node processors (<=1: serial).
+	// Each worker goroutine owns a private lp.Workspace for the lifetime
+	// of the search and reuses it across every node it dequeues, so node
+	// relaxations run with zero steady-state solver allocations. A
+	// workspace is never shared across goroutines — workers communicate
+	// only through the (mutex-guarded) node queue and incumbent, and the
+	// Basis snapshots nodes carry are independent copy-outs, safe to adopt
+	// by whichever worker dequeues the child. Results are bit-identical at
+	// any Workers setting (see the package comment on deterministic
+	// incumbent selection).
+	Workers int
+
 	Strategy Strategy     // node exploration order (default BestBound)
 	LP       lp.Options   // per-node LP options (deadline is overridden)
 	Rounding RoundingHook // optional primal heuristic, see RoundingHook
@@ -134,6 +146,9 @@ type Options struct {
 // for the integer variables (aligned with Problem.Integers). The solver
 // fixes those values, re-solves the LP over the continuous variables and,
 // if feasible, uses the result as an incumbent. Return ok=false to skip.
+//
+// x may alias the calling worker's solver workspace: it is valid for the
+// duration of the call only and must be copied if retained.
 type RoundingHook func(x []float64) (fixed []float64, ok bool)
 
 // Result is the outcome of a solve.

@@ -85,7 +85,11 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s.run()
+			// Each worker owns a private lp.Workspace, reused across every
+			// node it dequeues: node solves hit zero steady-state solver
+			// allocations, and workspaces are never shared across
+			// goroutines (see Options.Workers).
+			s.run(lp.NewWorkspace())
 		}()
 	}
 	wg.Wait()
@@ -179,8 +183,9 @@ func (s *searcher) openBound() float64 {
 	return b
 }
 
-// run is one worker's loop.
-func (s *searcher) run() {
+// run is one worker's loop. ws is the worker's private solver workspace;
+// it must not be shared with any other goroutine.
+func (s *searcher) run(ws *lp.Workspace) {
 	for {
 		s.mu.Lock()
 		for s.queue.Len() == 0 && len(s.inflight) > 0 && !s.stopped {
@@ -219,7 +224,7 @@ func (s *searcher) run() {
 		}
 		s.mu.Unlock()
 
-		children, fatal := s.process(nd)
+		children, fatal := s.process(nd, ws)
 
 		s.mu.Lock()
 		delete(s.inflight, nd)
@@ -235,9 +240,10 @@ func (s *searcher) run() {
 	}
 }
 
-// process solves one node relaxation and returns child nodes.
-func (s *searcher) process(nd *node) (children []*node, fatal error) {
-	sol, basis, err := s.solveNodeLP(nd.fixes, nd.depth, nd.basis, nil)
+// process solves one node relaxation (on the worker's workspace) and
+// returns child nodes.
+func (s *searcher) process(nd *node, ws *lp.Workspace) (children []*node, fatal error) {
+	sol, basis, err := s.solveNodeLP(nd.fixes, nd.depth, nd.basis, nil, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -270,6 +276,13 @@ func (s *searcher) process(nd *node) (children []*node, fatal error) {
 		return nil, nil
 	}
 
+	// Capture the branching value and bound before any further solve on the
+	// worker's workspace: the tableau-routed solves below (heuristic, or
+	// everything under DisableWarmStart) return Solutions that alias
+	// workspace buffers, so the heuristic re-solve would overwrite sol.
+	val := sol.X[branchVar]
+	bound := sol.Objective
+
 	// Primal heuristic: at the root and periodically thereafter, round the
 	// fractional solution, fix all integers and re-solve for a quick
 	// incumbent. The trigger depends only on the node's depth — never on a
@@ -278,7 +291,7 @@ func (s *searcher) process(nd *node) (children []*node, fatal error) {
 	d := nd.depth
 	if s.opts.Rounding != nil && (d == 0 || d%4 == 0) {
 		if fixed, ok := s.opts.Rounding(sol.X); ok && len(fixed) == len(s.prob.Integers) {
-			if hsol, _, err := s.solveNodeLP(nd.fixes, nd.depth, basis, fixed); err == nil && hsol.Status == lp.Optimal {
+			if hsol, _, err := s.solveNodeLP(nd.fixes, nd.depth, basis, fixed, ws); err == nil && hsol.Status == lp.Optimal {
 				if s.mostFractional(hsol.X) == -1 {
 					s.offerIncumbent(hsol.Objective, hsol.X, nd.path+"h")
 				}
@@ -289,18 +302,17 @@ func (s *searcher) process(nd *node) (children []*node, fatal error) {
 	// Children share the parent's immutable fix chain and prepend their one
 	// new decision: O(1) per child instead of the O(depth) copy (O(depth²)
 	// per root-to-leaf path) the slice encoding used to pay.
-	val := sol.X[branchVar]
 	down := &node{
 		fixes: &fixChain{f: fix{Var: branchVar, Sense: lp.LE, Val: math.Floor(val)}, prev: nd.fixes},
 		depth: nd.depth + 1,
-		bound: sol.Objective,
+		bound: bound,
 		path:  nd.path + "0",
 		basis: basis,
 	}
 	up := &node{
 		fixes: &fixChain{f: fix{Var: branchVar, Sense: lp.GE, Val: math.Ceil(val)}, prev: nd.fixes},
 		depth: nd.depth + 1,
-		bound: sol.Objective,
+		bound: bound,
 		path:  nd.path + "1",
 		basis: basis,
 	}
@@ -320,13 +332,20 @@ func (s *searcher) process(nd *node) (children []*node, fatal error) {
 // overlays by parallel workers safe.
 //
 // When warm starts are enabled and a parent basis is available, the node
-// is re-optimised with the dual simplex via lp.SolveFrom; a failed warm
-// start (invalid or singular basis) falls back to a cold Phase-1 solve.
-// The returned basis warm-starts this node's children (nil when only the
-// tableau solver ran or the relaxation was not solved to optimality).
+// is re-optimised with the dual simplex via ws.SolveBasisFrom; a failed
+// warm start (invalid or singular basis) falls back to a cold Phase-1
+// solve. The returned basis warm-starts this node's children (nil when
+// only the tableau solver ran or the relaxation was not solved to
+// optimality).
 //
-//lint:hotpath=bounded one node relaxation allocates an overlay plus solver workspace; no closures or goroutine launches
-func (s *searcher) solveNodeLP(fixes *fixChain, depth int, from *lp.Basis, heuristicFix []float64) (*lp.Solution, *lp.Basis, error) {
+// Every solve runs on ws, the calling worker's private workspace. The
+// basis-publishing paths return independent Solutions, safe to hold across
+// later solves; the tableau paths (DisableWarmStart, heuristicFix) return
+// Solutions aliasing ws buffers, valid only until the next solve on this
+// worker — process captures what it needs before re-solving.
+//
+//lint:hotpath=bounded one node relaxation allocates an overlay plus the published basis; solver scratch comes from the worker's workspace
+func (s *searcher) solveNodeLP(fixes *fixChain, depth int, from *lp.Basis, heuristicFix []float64, ws *lp.Workspace) (*lp.Solution, *lp.Basis, error) {
 	p := s.prob.LP.Overlay()
 	if s.opts.BranchRows {
 		// Replay the chain oldest-first so row order (and hence the basis
@@ -372,7 +391,7 @@ func (s *searcher) solveNodeLP(fixes *fixChain, depth int, from *lp.Basis, heuri
 	rows := p.NumConstraints()
 
 	if s.opts.DisableWarmStart {
-		sol, err := lp.Solve(p, lpOpts)
+		sol, err := ws.SolveTableau(p, lpOpts)
 		s.countSolve(false, false, rows)
 		return sol, nil, err
 	}
@@ -382,21 +401,21 @@ func (s *searcher) solveNodeLP(fixes *fixChain, depth int, from *lp.Basis, heuri
 		// that many simultaneous changes (the dual repair walks farther
 		// than a fresh solve), so go straight to the tableau solver.
 		// Children never inherit from heuristic solves.
-		sol, err := lp.Solve(p, lpOpts)
+		sol, err := ws.SolveTableau(p, lpOpts)
 		s.countSolve(false, false, rows)
 		return sol, nil, err
 	}
 	if from != nil {
-		if sol, basis, err := lp.SolveFrom(p, from, lpOpts); err == nil {
+		if sol, basis, err := ws.SolveBasisFrom(p, from, lpOpts); err == nil {
 			s.countSolve(true, sol.FactorRebuilt, rows)
 			return sol, basis, nil
 		}
 		// Warm start failed; fall through to a cold solve.
 	}
-	sol, basis, err := lp.SolveBasis(p, lpOpts)
+	sol, basis, err := ws.SolveBasis(p, lpOpts)
 	if err != nil {
 		// Last-resort fallback: the independent tableau implementation.
-		sol, err = lp.Solve(p, lpOpts)
+		sol, err = ws.SolveTableau(p, lpOpts)
 		basis = nil
 		if err != nil {
 			return nil, nil, err

@@ -3,9 +3,12 @@
 #
 # Runs, in order: gofmt (no unformatted files), build, go vet, the
 # project's own static analyzers (cmd/dsctalint), the hot-path escape gate
-# (dsctalint -escape against the committed LINT_ESCAPE.json baseline) and
-# the race-enabled test suite. Idempotent: safe to run repeatedly from any
-# working directory. Exits non-zero on the first failure.
+# (dsctalint -escape against the committed LINT_ESCAPE.json baseline), the
+# zero-allocation pins (the TestAllocs* AllocsPerRun tests, which the race
+# suite skips because -race perturbs allocation counts, so they get their
+# own non-race pass here) and the race-enabled test suite. Idempotent: safe
+# to run repeatedly from any working directory. Exits non-zero on the first
+# failure.
 #
 # With -bench, additionally runs the simplex benchmark suite — cold-vs-warm
 # (BenchmarkMIPColdVsWarm, BenchmarkWarmVsColdLP), dense-vs-sparse
@@ -16,11 +19,15 @@
 # BenchmarkMIPFactorLUVsBinv), plus the xl-family pricing and presolve
 # pairings (BenchmarkPricingXLLP dantzig-vs-devex/partial,
 # BenchmarkPresolveXLLP nopresolve-vs-presolve; the tier-1-sized xl smoke
-# member runs as TestXLAutoSmoke in the ordinary race suite above) —
+# member runs as TestXLAutoSmoke in the ordinary race suite above) and the
+# batch-throughput harness (BenchmarkBatchThroughputLP over the 240-instance
+# corpus, BenchmarkBatchThroughputXLLP over an xl shard; fresh-vs-pooled-vs-
+# batch segments reporting instances/sec and allocs/op) —
 # records the parsed results, including
 # per-pair speedups, in BENCH_PR<cur>.json via cmd/benchjson, and diffs
 # them against the committed BENCH_PR<prev>.json baseline (shared
-# benchmarks only; threshold x2.5 to ride out machine noise). <prev> is
+# benchmarks only; threshold x2.5 to ride out machine noise; the diff
+# gates allocs/op, nodes and instances/sec alongside ns/op). <prev> is
 # the highest-numbered committed BENCH_PR*.json and <cur> is <prev>+1;
 # override with -pr N to write BENCH_PR<N>.json and diff against the
 # highest committed baseline below N.
@@ -85,6 +92,9 @@ go run ./cmd/dsctalint ./...
 echo "==> dsctalint -escape (LINT_ESCAPE.json baseline)"
 go run ./cmd/dsctalint -escape -baseline LINT_ESCAPE.json ./...
 
+echo "==> go test -run '^TestAllocs' ./internal/lp/ (zero-alloc pins, non-race)"
+go test -run '^TestAllocs' ./internal/lp/
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -114,6 +124,8 @@ if [ "$run_bench" = 1 ]; then
     go test -run='^$' -bench='^BenchmarkFactorLUVsBinvWarmLP$' -benchtime=10x -count=3 ./internal/lp/
     go test -run='^$' -bench='^BenchmarkPricingXLLP$' -benchtime=1x -count=2 -timeout 30m ./internal/lp/
     go test -run='^$' -bench='^BenchmarkPresolveXLLP$' -benchtime=1x -count=2 -timeout 30m ./internal/lp/
+    go test -run='^$' -bench='^BenchmarkBatchThroughputLP$' -benchtime=20x -count=3 ./internal/lp/
+    go test -run='^$' -bench='^BenchmarkBatchThroughputXLLP$' -benchtime=3x -count=3 ./internal/lp/
   } | tee /dev/stderr | go run ./cmd/benchjson -label "PR ${pr_cur}" -o "BENCH_PR${pr_cur}.json"
 
   if [ -n "$prev" ]; then
