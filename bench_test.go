@@ -138,19 +138,36 @@ func benchSkewedInstance(b *testing.B, n int) *task.Instance {
 	return in
 }
 
+// legacySearch returns the pre-branch-and-cut search configuration:
+// most-fractional branching, pure best-bound node order, no cutting
+// planes. The LP-machinery ablation benchmarks below pin it so that
+// their ns/op, allocs/op and node counts measure the kernel under test
+// rather than the search policy, and stay comparable across PRs;
+// BenchmarkMIPBranchAndCut measures the branch-and-cut defaults against
+// this baseline.
+func legacySearch() mip.Options {
+	return mip.Options{
+		Cuts:      mip.CutsOff,
+		Branching: mip.BranchMostFractional,
+		NodeOrder: mip.NodeOrderBestBound,
+	}
+}
+
 // BenchmarkAblationParallelMIP compares serial vs parallel branch-and-bound
-// on a fixed DSCT-EA instance.
+// on a fixed DSCT-EA instance (legacy search pinned: the parallel speedup
+// of the branch-and-cut defaults is tracked by BenchmarkMIPBranchAndCut
+// and the determinism tests).
 func BenchmarkAblationParallelMIP(b *testing.B) {
 	in := benchInstance(b, 8, 2, 2)
 	mm := model.BuildMIP(in)
 	for _, workers := range []int{1, 2, 4} {
 		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := mip.Solve(mm.Prob, mip.Options{
-					Workers:  workers,
-					Deadline: time.Now().Add(30 * time.Second),
-					Rounding: mm.RoundingHook(),
-				})
+				opts := legacySearch()
+				opts.Workers = workers
+				opts.Deadline = time.Now().Add(30 * time.Second)
+				opts.Rounding = mm.RoundingHook()
+				res, err := mip.Solve(mm.Prob, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -182,7 +199,9 @@ func BenchmarkMIPColdVsWarm(b *testing.B) {
 			b.Run(mode.name+"/n="+strconv.Itoa(n), func(b *testing.B) {
 				var last *mip.Result
 				for i := 0; i < b.N; i++ {
-					res, err := mip.Solve(mm.Prob, mip.Options{DisableWarmStart: mode.disable})
+					opts := legacySearch()
+					opts.DisableWarmStart = mode.disable
+					res, err := mip.Solve(mm.Prob, opts)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -219,7 +238,9 @@ func BenchmarkMIPDenseVsSparse(b *testing.B) {
 			b.Run(mode.name+"/n="+strconv.Itoa(n), func(b *testing.B) {
 				var last *mip.Result
 				for i := 0; i < b.N; i++ {
-					res, err := mip.Solve(mm.Prob, mip.Options{LP: lp.Options{Sparse: mode.sparse}})
+					opts := legacySearch()
+					opts.LP = lp.Options{Sparse: mode.sparse}
+					res, err := mip.Solve(mm.Prob, opts)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -257,7 +278,9 @@ func BenchmarkMIPFactorLUVsBinv(b *testing.B) {
 			b.Run(mode.name+"/n="+strconv.Itoa(n), func(b *testing.B) {
 				var last *mip.Result
 				for i := 0; i < b.N; i++ {
-					res, err := mip.Solve(mm.Prob, mip.Options{LP: lp.Options{Factor: mode.factor}})
+					opts := legacySearch()
+					opts.LP = lp.Options{Factor: mode.factor}
+					res, err := mip.Solve(mm.Prob, opts)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -297,8 +320,8 @@ func BenchmarkMIPBoundsVsRows(b *testing.B) {
 			prob *mip.Problem
 			opts mip.Options
 		}{
-			{"bounds", mm.Prob, mip.Options{}},
-			{"rows", rowsProb, mip.Options{BranchRows: true}},
+			{"bounds", mm.Prob, legacySearch()},
+			{"rows", rowsProb, func() mip.Options { o := legacySearch(); o.BranchRows = true; return o }()},
 		} {
 			b.Run(mode.name+"/n="+strconv.Itoa(n), func(b *testing.B) {
 				var last *mip.Result
@@ -319,6 +342,53 @@ func BenchmarkMIPBoundsVsRows(b *testing.B) {
 		}
 		if bo, ro := objs["bounds"], objs["rows"]; len(objs) == 2 && !numeric.AlmostEqual(bo, ro) {
 			b.Fatalf("n=%d: bounds objective %.17g != rows objective %.17g", n, bo, ro)
+		}
+	}
+}
+
+// BenchmarkMIPBranchAndCut: the legacy branch-and-bound versus the
+// branch-and-cut defaults (reliability branching primed by strong-
+// branching probes, best-bound with plunging, root cuts) on the hardest
+// exact-solve regime in the paper's evaluation — fig4 tight-deadline
+// instances (rho = 0.1, theta_max = 1.0) at n = 24 tasks on a 4-machine
+// fleet. Node counts are the point of the comparison: cmd/benchjson
+// pairs each legacy/... row with its bnc/... twin and reports the
+// node_reduction factor, which scripts/verify.sh diff-gates across PRs.
+// Both configurations must prove the identical optimum.
+func BenchmarkMIPBranchAndCut(b *testing.B) {
+	for _, seed := range []int64{3, 9} {
+		in, err := task.GenerateUniformFleet(rng.New(seed, "dsct-nodes"), task.PaperFig4(24), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mm := model.BuildMIP(in)
+		objs := make(map[string]float64)
+		for _, mode := range []struct {
+			name string
+			opts mip.Options
+		}{
+			{"legacy", legacySearch()},
+			{"bnc", mip.Options{}},
+		} {
+			b.Run(mode.name+"/fig4/n=24/s="+strconv.FormatInt(seed, 10), func(b *testing.B) {
+				var last *mip.Result
+				for i := 0; i < b.N; i++ {
+					res, err := mip.Solve(mm.Prob, mode.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Status != mip.Optimal {
+						b.Fatalf("status %v", res.Status)
+					}
+					last = res
+				}
+				objs[mode.name] = last.Objective
+				b.ReportMetric(float64(last.Nodes), "nodes")
+				b.ReportMetric(float64(last.StrongBranches), "strong-branches")
+			})
+		}
+		if lo, bo := objs["legacy"], objs["bnc"]; len(objs) == 2 && !numeric.AlmostEqual(lo, bo) {
+			b.Fatalf("s=%d: legacy objective %.17g != b&c objective %.17g", seed, lo, bo)
 		}
 	}
 }

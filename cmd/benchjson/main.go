@@ -20,8 +20,11 @@
 // (BenchmarkPricingXLLP/dantzig/... vs .../devex/... and .../partial/...)
 // with the pricing-rule speedups, and "nopresolve" vs "presolve" segments
 // (BenchmarkPresolveXLLP/nopresolve/... vs .../presolve/...) with the
-// presolve-layer speedup — which is how scripts/verify.sh -bench produces
-// the committed BENCH_*.json records.
+// presolve-layer speedup, and "legacy" vs "bnc" segments
+// (BenchmarkMIPBranchAndCut/legacy/... vs .../bnc/...) with both the
+// wall-clock speedup and the node-count reduction of the branch-and-cut
+// search — which is how scripts/verify.sh -bench produces the committed
+// BENCH_*.json records.
 //
 // In -diff mode the two JSON records are matched by benchmark name and the
 // new/old ns-per-op ratio is printed per benchmark; any common benchmark
@@ -101,6 +104,20 @@ type pricingPair struct {
 	Speedup     float64 `json:"speedup"`
 }
 
+// branchCutPair joins a legacy-search benchmark segment with its
+// branch-and-cut twin; NodeReduction is the legacy/bnc node-count ratio
+// (how many times fewer nodes the branch-and-cut search explored), 0 when
+// either segment did not report a nodes metric.
+type branchCutPair struct {
+	Name          string  `json:"name"`
+	LegacyNsOp    float64 `json:"legacy_ns_per_op"`
+	BncNsOp       float64 `json:"bnc_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+	LegacyNodes   float64 `json:"legacy_nodes,omitempty"`
+	BncNodes      float64 `json:"bnc_nodes,omitempty"`
+	NodeReduction float64 `json:"node_reduction,omitempty"`
+}
+
 // presolvePair joins a raw solve with its presolved twin.
 type presolvePair struct {
 	Name           string  `json:"name"`
@@ -122,6 +139,7 @@ type report struct {
 	BinvPairs     []binvLuPair      `json:"binv_vs_lu,omitempty"`
 	PricingPairs  []pricingPair     `json:"dantzig_vs_rule,omitempty"`
 	PresolvePairs []presolvePair    `json:"nopresolve_vs_presolve,omitempty"`
+	BranchPairs   []branchCutPair   `json:"legacy_vs_bnc,omitempty"`
 }
 
 func main() {
@@ -166,6 +184,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	rep.BinvPairs = pairBinvLu(rep.Benchmarks)
 	rep.PricingPairs = pairPricing(rep.Benchmarks)
 	rep.PresolvePairs = pairPresolve(rep.Benchmarks)
+	rep.BranchPairs = pairBranchCut(rep.Benchmarks)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -373,6 +392,38 @@ func pairPresolve(results []benchResult) []presolvePair {
 			Name: p.name, NoPresolveNsOp: p.slow, PresolveNsOp: p.fast, Speedup: p.slow / p.fast,
 		})
 	}
+	return pairs
+}
+
+// pairBranchCut records the legacy-search/branch-and-cut speedups and
+// node-count reductions (the tentpole metric of the branch-and-cut work:
+// how many times fewer nodes the cut-and-pseudo-cost search explores).
+func pairBranchCut(results []benchResult) []branchCutPair {
+	byName := make(map[string]benchResult, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	var pairs []branchCutPair
+	for _, r := range results {
+		key, ok := replaceSegment(r.Name, "legacy", "bnc")
+		if !ok {
+			continue
+		}
+		fast, ok := byName[key]
+		if !ok || fast.NsPerOp <= 0 {
+			continue
+		}
+		generic, _ := replaceSegment(r.Name, "legacy", "*")
+		p := branchCutPair{
+			Name: generic, LegacyNsOp: r.NsPerOp, BncNsOp: fast.NsPerOp,
+			Speedup: r.NsPerOp / fast.NsPerOp,
+		}
+		if ln, bn := r.Metrics["nodes"], fast.Metrics["nodes"]; ln > 0 && bn > 0 {
+			p.LegacyNodes, p.BncNodes, p.NodeReduction = ln, bn, ln/bn
+		}
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
 	return pairs
 }
 

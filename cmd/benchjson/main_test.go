@@ -351,3 +351,29 @@ func TestBenchjsonPairsBinvLu(t *testing.T) {
 		t.Errorf("mip pair = %+v", mipPair)
 	}
 }
+
+func TestBenchjsonPairsLegacyBnc(t *testing.T) {
+	input := "BenchmarkMIPBranchAndCut/legacy/fig4/n=24/s=9-8 1 5000000000 ns/op 15545 nodes\n" +
+		"BenchmarkMIPBranchAndCut/bnc/fig4/n=24/s=9-8 1 1500000000 ns/op 1983 nodes\n" +
+		"BenchmarkMIPBranchAndCut/legacy/fig4/n=24/s=3-8 1 9000000000 ns/op\n"
+	rep, err := runTool(t, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.BranchPairs) != 1 {
+		t.Fatalf("got %d legacy/bnc pairs, want 1 (unpaired legacy dropped):\n%+v",
+			len(rep.BranchPairs), rep.BranchPairs)
+	}
+	p := rep.BranchPairs[0]
+	if p.Name != "BenchmarkMIPBranchAndCut/*/fig4/n=24/s=9" {
+		t.Errorf("pair name = %q", p.Name)
+	}
+	if math.Abs(p.Speedup-5000000000.0/1500000000.0) > 1e-12 {
+		t.Errorf("speedup = %g", p.Speedup)
+	}
+	//lint:ignore floatcmp parsed node metrics round-trip the exact benchmark literals
+	if p.LegacyNodes != 15545 || p.BncNodes != 1983 ||
+		math.Abs(p.NodeReduction-15545.0/1983.0) > 1e-12 {
+		t.Errorf("node reduction fields = %+v", p)
+	}
+}

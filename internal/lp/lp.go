@@ -116,6 +116,20 @@ func (p *Problem) rowAt(i int) row {
 	return p.rows[i-len(p.base)]
 }
 
+// Constraint returns row i's terms, sense and right-hand side. The terms
+// slice aliases the problem's storage and must be treated as read-only.
+// Like AddConstraint's input, terms may repeat a variable; readers must
+// accumulate duplicates the way the solver cores do. It panics when i is
+// out of range. Cut separators and other structure scanners use this to
+// read rows without access to the package internals.
+func (p *Problem) Constraint(i int) ([]Term, Sense, float64) {
+	if i < 0 || i >= p.NumConstraints() {
+		panic(fmt.Sprintf("lp: constraint %d out of range [0,%d)", i, p.NumConstraints()))
+	}
+	r := p.rowAt(i)
+	return r.terms, r.sense, r.rhs
+}
+
 // SetObjCoef sets the objective coefficient of variable v.
 //
 //lint:freezer copies the shared objective before the first write (copy-on-write)
@@ -432,4 +446,16 @@ type Solution struct {
 	// refactorised the inherited column set from scratch instead. Always
 	// false for cold solves.
 	FactorRebuilt bool
+
+	// DualFeasible reports that the solve ended on a dual-feasible basis,
+	// making Objective a valid upper bound on the optimum even when the
+	// solve was truncated. Warm starts (SolveFrom) set it when the solve
+	// reached Optimal or when a pivot/deadline limit struck during the
+	// dual-simplex repair phase — which preserves dual feasibility pivot by
+	// pivot — so branch-and-bound strong-branching probes can run with a
+	// tiny Options.MaxIters and still trust the truncated objective as a
+	// bound. Limits hit in the primal clean-up phase, and every cold-solve
+	// status other than Optimal, leave it false: those objectives bound
+	// nothing.
+	DualFeasible bool
 }

@@ -1829,6 +1829,7 @@ func (t *rev) solveCold(p *Problem) (*Solution, *Basis, error) {
 		return nil, nil, err
 	}
 	sol, bs := t.finish(p, status)
+	sol.DualFeasible = sol.Status == Optimal
 	return sol, bs, nil
 }
 
@@ -1936,6 +1937,12 @@ func (t *rev) solveFrom(p *Problem, from *Basis) (*Solution, *Basis, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// A limit struck inside the dual phase leaves the basis dual feasible
+	// (the dual simplex preserves it pivot by pivot), so the truncated
+	// objective is still a valid upper bound — recorded on the Solution for
+	// strong-branching probes. Capture the flag before the primal clean-up
+	// can overwrite status: a primal-phase limit carries no such guarantee.
+	dualLimited := status == IterLimit || status == TimeLimit
 	// The dual phase preserves dual feasibility, so when it ends primal
 	// feasible with up-to-date reduced costs the basis is already optimal
 	// and the primal clean-up (one full pricing pass) can be skipped.
@@ -1947,5 +1954,6 @@ func (t *rev) solveFrom(p *Problem, from *Basis) (*Solution, *Basis, error) {
 	}
 	sol, bs := t.finish(p, status)
 	sol.FactorRebuilt = !inherited
+	sol.DualFeasible = dualLimited || sol.Status == Optimal
 	return sol, bs, nil
 }

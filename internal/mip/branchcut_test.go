@@ -1,0 +1,536 @@
+package mip
+
+// Branch-and-cut tests: the separator's cut families, the differential
+// corpus holding every Cuts × Branching × NodeOrder combination to the
+// legacy solver's answers, and the row-accounting guarantees when cut rows
+// are appended and removed.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lp"
+	"repro/internal/rng"
+)
+
+// --- separator unit tests -------------------------------------------------
+
+// binKnapLP builds max Σ v x s.t. Σ w x <= cap with x binary encoded as
+// x <= 1 rows (the separator must fold those into effective bounds).
+func binKnapLP(values, weights []float64, capacity float64) *Problem {
+	return knapsackProblem(values, weights, capacity)
+}
+
+func TestSeparatorCoverCut(t *testing.T) {
+	// Three items of weight 3, capacity 5: any two overflow, so the
+	// extended cover is x0+x1+x2 <= 1.
+	p := binKnapLP([]float64{1, 1, 1}, []float64{3, 3, 3}, 5)
+	sep := newSeparator(p.LP, p.Integers, nil)
+	if len(sep.knaps) != 1 {
+		t.Fatalf("knapsack rows detected = %d, want 1", len(sep.knaps))
+	}
+	for v := 0; v < 3; v++ {
+		if !sep.binary[v] {
+			t.Fatalf("x%d not recognised as binary (x <= 1 is a row, not a box)", v)
+		}
+	}
+	x := []float64{0.55, 0.55, 0.55} // feasible for the row (4.95 <= 5)
+	cuts := sep.separate(x, 8)
+	if len(cuts) != 1 {
+		t.Fatalf("cuts = %d, want 1 cover cut", len(cuts))
+	}
+	c := cuts[0]
+	//lint:ignore floatcmp the separator assigns the exact integer literal |C|-1
+	if len(c.terms) != 3 || c.rhs != 1 {
+		t.Fatalf("cover cut = %+v, want x0+x1+x2 <= 1", c)
+	}
+	var lhs float64
+	for _, tm := range c.terms {
+		//lint:ignore floatcmp cover coefficients are the exact literal 1
+		if tm.Coef != 1 {
+			t.Fatalf("cover coefficient %g, want 1", tm.Coef)
+		}
+		lhs += x[tm.Var]
+	}
+	if lhs <= c.rhs {
+		t.Fatalf("emitted cut not violated at x: lhs %g rhs %g", lhs, c.rhs)
+	}
+}
+
+func TestSeparatorComplementedCover(t *testing.T) {
+	// -3 y0 - 3 y1 - 3 y2 >= -5  ==  3 y0 + 3 y1 + 3 y2 <= 5 after the GE
+	// negation; the coefficients stay positive so this exercises the GE
+	// path, while a genuinely negative LE coefficient exercises
+	// complementation: 3 y0 + 3 y1 - 3 y2 <= 2 has the binary relaxation
+	// 3 y0 + 3 y1 + 3 y2'' <= 5 with y2'' = 1 - y2.
+	p := lp.NewProblem(3)
+	for i := 0; i < 3; i++ {
+		p.SetObjCoef(i, 1)
+		p.SetBounds(i, 0, 1)
+	}
+	p.AddConstraint([]lp.Term{
+		{Var: 0, Coef: 3}, {Var: 1, Coef: 3}, {Var: 2, Coef: -3},
+	}, lp.LE, 2)
+	sep := newSeparator(p, []int{0, 1, 2}, nil)
+	if len(sep.knaps) != 1 {
+		t.Fatalf("knapsack rows detected = %d, want 1", len(sep.knaps))
+	}
+	kr := sep.knaps[0]
+	if kr.pure {
+		t.Fatal("row with a negative binary coefficient marked pure")
+	}
+	// y = (0.55, 0.55, 0.45): row activity 1.95 <= 2 feasible, but
+	// y'' = (0.55, 0.55, 0.55) violates the cover y0 + y1 + y2'' <= 1,
+	// i.e. y0 + y1 - y2 <= 0.
+	cuts := sep.separate([]float64{0.55, 0.55, 0.45}, 8)
+	if len(cuts) != 1 {
+		t.Fatalf("cuts = %d, want 1", len(cuts))
+	}
+	c := cuts[0]
+	if c.rhs != 0 {
+		t.Fatalf("complemented cover rhs = %g, want 0 (= |C|-1 shifted by one complement)", c.rhs)
+	}
+	var neg int
+	for _, tm := range c.terms {
+		//lint:ignore floatcmp complemented terms carry the exact literal -1
+		if tm.Coef == -1 {
+			neg++
+		}
+	}
+	if neg != 1 {
+		t.Fatalf("complemented cover has %d negative terms, want exactly 1", neg)
+	}
+}
+
+func TestSeparatorGUBCover(t *testing.T) {
+	// Two assignment groups {0,1} and {2,3} (one-of-each GUB rows) sharing
+	// a knapsack 3 y0 + 3 y1 + 3 y2 + 3 y3 <= 5. The plain cover over the
+	// two per-group representatives lifts to all four variables with
+	// rhs 1 — stronger than the four-variable plain cover (rhs 1 needs a
+	// 2-cover; the plain greedy cover gets the same rhs here, so assert
+	// the GUB cut exists and is group-lifted).
+	p := lp.NewProblem(4)
+	for i := 0; i < 4; i++ {
+		p.SetObjCoef(i, 1)
+		p.SetBounds(i, 0, 1)
+	}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}}, lp.EQ, 1)
+	p.AddConstraint([]lp.Term{{Var: 2, Coef: 1}, {Var: 3, Coef: 1}}, lp.EQ, 1)
+	p.AddConstraint([]lp.Term{
+		{Var: 0, Coef: 3}, {Var: 1, Coef: 3}, {Var: 2, Coef: 3}, {Var: 3, Coef: 3},
+	}, lp.LE, 5)
+	sep := newSeparator(p, []int{0, 1, 2, 3}, nil)
+	if sep.gubOf[0] != sep.gubOf[1] || sep.gubOf[2] != sep.gubOf[3] ||
+		sep.gubOf[0] == sep.gubOf[2] || sep.gubOf[0] == -1 {
+		t.Fatalf("GUB groups = %v, want {0,1} and {2,3}", sep.gubOf)
+	}
+	cuts := sep.separate([]float64{0.45, 0.45, 0.45, 0.45}, 8)
+	if len(cuts) == 0 {
+		t.Fatal("no cuts at a point violating the GUB cover")
+	}
+	// The top cut must be the lifted 4-variable rhs-1 inequality.
+	c := cuts[0]
+	//lint:ignore floatcmp the separator assigns the exact integer literal 1
+	if len(c.terms) != 4 || c.rhs != 1 {
+		t.Fatalf("top cut = %+v, want y0+y1+y2+y3 <= 1", c)
+	}
+}
+
+func TestSeparatorVUBStrengthening(t *testing.T) {
+	// t <= 10 x (a VUB row) with box t <= 4: the strengthened link
+	// t <= 4 x cuts points the weak row admits. Detected both from the
+	// builder hint and the generic two-term-row scan.
+	build := func() *lp.Problem {
+		p := lp.NewProblem(2)
+		p.SetObjCoef(0, 1)
+		p.SetBounds(0, 0, 4)
+		p.SetBounds(1, 0, 1)
+		p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: -10}}, lp.LE, 0)
+		return p
+	}
+	for _, tc := range []struct {
+		name string
+		hint *Structure
+	}{
+		{"scan", nil},
+		{"hint", &Structure{VUBs: []VUB{{Cont: 0, Bin: 1, U: 10}}}},
+	} {
+		sep := newSeparator(build(), []int{1}, tc.hint)
+		if len(sep.vubs) != 1 {
+			t.Fatalf("%s: VUBs detected = %d, want 1", tc.name, len(sep.vubs))
+		}
+		if vb := sep.vubs[0]; vb.Cont != 0 || vb.Bin != 1 || math.Abs(vb.U-4) > 1e-12 {
+			t.Fatalf("%s: strengthened VUB = %+v, want {Cont:0 Bin:1 U:4}", tc.name, vb)
+		}
+		// t=4, x=0.4 satisfies t <= 10x but violates t <= 4x.
+		cuts := sep.separate([]float64{4, 0.4}, 8)
+		if len(cuts) != 1 {
+			t.Fatalf("%s: cuts = %d, want 1", tc.name, len(cuts))
+		}
+		c := cuts[0]
+		if c.rhs != 0 || len(c.terms) != 2 {
+			t.Fatalf("%s: VUB cut = %+v", tc.name, c)
+		}
+	}
+	// No strengthening when the box is not tighter than the link.
+	p := build()
+	p.SetBounds(0, 0, 10)
+	if sep := newSeparator(p, []int{1}, nil); len(sep.vubs) != 0 {
+		t.Fatalf("VUB strengthened with u >= U: %+v", sep.vubs)
+	}
+}
+
+func TestSeparatorSkipsContinuousKnapsack(t *testing.T) {
+	// The DSCT-EA energy row shape: all-continuous <= row. No binary
+	// items, so no knapsack relaxation and no cuts — the separator must
+	// report inactive rather than emit something bogus.
+	p := lp.NewProblem(3)
+	for i := 0; i < 3; i++ {
+		p.SetObjCoef(i, 1)
+		p.SetBounds(i, 0, 100)
+	}
+	p.AddConstraint([]lp.Term{
+		{Var: 0, Coef: 2}, {Var: 1, Coef: 3}, {Var: 2, Coef: 5},
+	}, lp.LE, 50)
+	sep := newSeparator(p, nil, nil)
+	if sep.active() {
+		t.Fatalf("separator active on a continuous-only problem: %d knaps, %d vubs",
+			len(sep.knaps), len(sep.vubs))
+	}
+}
+
+// --- differential corpus --------------------------------------------------
+
+// corpusProblem builds the i-th corpus instance: a deterministic mix of
+// plain knapsacks, GUB-structured assignment knapsacks and VUB-linked
+// fixed-charge problems, sized for exhaustive or LP-verified checking.
+func corpusProblem(i int) *Problem {
+	src := rng.NewReplicate(31, "bc-corpus", i)
+	switch i % 3 {
+	case 0: // plain 0/1 knapsack, brute-forceable
+		n := 10 + src.Intn(5)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		var total float64
+		for j := range values {
+			values[j] = src.Uniform(1, 100)
+			weights[j] = src.Uniform(1, 50)
+			total += weights[j]
+		}
+		return knapsackProblem(values, weights, total*src.Uniform(0.3, 0.6))
+	case 1: // assignment knapsack: g groups × 3 choices, shared capacity
+		g := 3 + src.Intn(3)
+		n := g * 3
+		p := lp.NewProblem(n)
+		var capTerms []lp.Term
+		var total float64
+		for j := 0; j < n; j++ {
+			p.SetObjCoef(j, src.Uniform(1, 100))
+			p.SetBounds(j, 0, 1)
+			w := src.Uniform(1, 50)
+			total += w
+			capTerms = append(capTerms, lp.Term{Var: j, Coef: w})
+		}
+		for k := 0; k < g; k++ {
+			p.AddConstraint([]lp.Term{
+				{Var: 3 * k, Coef: 1}, {Var: 3*k + 1, Coef: 1}, {Var: 3*k + 2, Coef: 1},
+			}, lp.EQ, 1)
+		}
+		p.AddConstraint(capTerms, lp.LE, total*src.Uniform(0.2, 0.4))
+		ints := make([]int, n)
+		for j := range ints {
+			ints[j] = j
+		}
+		return &Problem{LP: p, Integers: ints}
+	default: // fixed-charge: continuous t_j <= u_j x_j, budget on Σ t
+		k := 4 + src.Intn(3)
+		p := lp.NewProblem(2 * k) // t_0..t_{k-1}, x_0..x_{k-1}
+		var budget []lp.Term
+		var fixTerms []lp.Term
+		for j := 0; j < k; j++ {
+			p.SetObjCoef(j, src.Uniform(1, 10))    // reward per unit of t
+			p.SetObjCoef(k+j, -src.Uniform(5, 40)) // opening cost
+			u := src.Uniform(2, 8)
+			p.SetBounds(j, 0, u)
+			p.SetBounds(k+j, 0, 1)
+			bigU := u * src.Uniform(1.5, 4) // deliberately weak link
+			p.AddConstraint([]lp.Term{
+				{Var: j, Coef: 1}, {Var: k + j, Coef: -bigU},
+			}, lp.LE, 0)
+			budget = append(budget, lp.Term{Var: j, Coef: 1})
+			fixTerms = append(fixTerms, lp.Term{Var: k + j, Coef: src.Uniform(1, 3)})
+		}
+		p.AddConstraint(budget, lp.LE, src.Uniform(3, 10))
+		p.AddConstraint(fixTerms, lp.LE, src.Uniform(2, 6))
+		ints := make([]int, k)
+		for j := range ints {
+			ints[j] = k + j
+		}
+		return &Problem{LP: p, Integers: ints}
+	}
+}
+
+// checkIncumbentFeasible verifies integrality of the integer variables and
+// every constraint row at the returned incumbent.
+func checkIncumbentFeasible(t *testing.T, label string, prob *Problem, res *Result) {
+	t.Helper()
+	for _, v := range prob.Integers {
+		if f := math.Abs(res.X[v] - math.Round(res.X[v])); f > 1e-6 {
+			t.Fatalf("%s: x[%d] = %g not integral", label, v, res.X[v])
+		}
+	}
+	for i := 0; i < prob.LP.NumConstraints(); i++ {
+		terms, sense, rhs := prob.LP.Constraint(i)
+		var act float64
+		for _, tm := range terms {
+			act += tm.Coef * res.X[tm.Var]
+		}
+		tol := 1e-6 * (1 + math.Abs(rhs))
+		switch sense {
+		case lp.LE:
+			if act > rhs+tol {
+				t.Fatalf("%s: row %d violated: %g > %g", label, i, act, rhs)
+			}
+		case lp.GE:
+			if act < rhs-tol {
+				t.Fatalf("%s: row %d violated: %g < %g", label, i, act, rhs)
+			}
+		case lp.EQ:
+			if math.Abs(act-rhs) > tol {
+				t.Fatalf("%s: row %d violated: %g != %g", label, i, act, rhs)
+			}
+		}
+	}
+}
+
+// TestBranchAndCutDifferentialCorpus holds every non-legacy option
+// combination to the legacy solver's answer on a 240-instance corpus.
+// Combinations rotate across instances so each of the 24 combos sees 10
+// instances; the legacy reference runs on all 240.
+func TestBranchAndCutDifferentialCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus test skipped in -short mode")
+	}
+	legacy := Options{Cuts: CutsOff, Branching: BranchMostFractional, NodeOrder: NodeOrderBestBound}
+	var combos []Options
+	for _, cm := range []CutMode{CutsOff, CutsRoot, CutsTree} {
+		for _, br := range []BranchRule{BranchMostFractional, BranchPseudoCost, BranchReliability} {
+			for _, no := range []NodeOrder{NodeOrderBestBound, NodeOrderPlunge, NodeOrderDepthFirst} {
+				if cm == CutsOff && br == BranchMostFractional && no == NodeOrderBestBound {
+					continue // that is the reference itself
+				}
+				combos = append(combos, Options{Cuts: cm, Branching: br, NodeOrder: no})
+			}
+		}
+	}
+	// 26 combos; add presolve-off and BranchRows flavours of the default.
+	combos = append(combos,
+		Options{LP: lp.Options{Presolve: lp.PresolveOff}},
+		Options{BranchRows: true, Cuts: CutsTree}, // CutsTree must degrade to CutsRoot
+	)
+
+	const instances = 240
+	for i := 0; i < instances; i++ {
+		prob := corpusProblem(i)
+		ref, err := Solve(prob, legacy)
+		if err != nil {
+			t.Fatalf("instance %d legacy: %v", i, err)
+		}
+		opts := combos[i%len(combos)]
+		res, err := Solve(prob, opts)
+		if err != nil {
+			t.Fatalf("instance %d combo %d: %v", i, i%len(combos), err)
+		}
+		label := opts.Cuts.String() + "/" + opts.Branching.String() + "/" + opts.NodeOrder.String()
+		if ref.Status == Infeasible {
+			// Some assignment-knapsack draws are integer infeasible; every
+			// combination must prove the same.
+			if res.Status != Infeasible {
+				t.Fatalf("instance %d %s: status %v, legacy proved infeasible", i, label, res.Status)
+			}
+			continue
+		}
+		if ref.Status != Optimal {
+			t.Fatalf("instance %d legacy status %v", i, ref.Status)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("instance %d %s: status %v, want optimal", i, label, res.Status)
+		}
+		if math.Abs(res.Objective-ref.Objective) > 1e-6*(1+math.Abs(ref.Objective)) {
+			t.Fatalf("instance %d %s: objective %.12g, legacy %.12g", i, label, res.Objective, ref.Objective)
+		}
+		checkIncumbentFeasible(t, label, prob, res)
+		if res.Gap > 1e-6*(1+math.Abs(res.Objective)) {
+			t.Fatalf("instance %d %s: optimal with gap %g", i, label, res.Gap)
+		}
+		if res.DualBound < res.Objective-1e-9 {
+			t.Fatalf("instance %d %s: dual bound %g below objective %g", i, label, res.DualBound, res.Objective)
+		}
+	}
+}
+
+// TestBranchAndCutSmallCorpusShort is the -short stand-in: eight instances
+// across the default and legacy paths.
+func TestBranchAndCutSmallCorpusShort(t *testing.T) {
+	legacy := Options{Cuts: CutsOff, Branching: BranchMostFractional, NodeOrder: NodeOrderBestBound}
+	for i := 0; i < 8; i++ {
+		prob := corpusProblem(i)
+		ref, err := Solve(prob, legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(prob, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Status != Optimal || res.Status != Optimal ||
+			math.Abs(res.Objective-ref.Objective) > 1e-6*(1+math.Abs(ref.Objective)) {
+			t.Fatalf("instance %d: legacy %v %.12g vs default %v %.12g",
+				i, ref.Status, ref.Objective, res.Status, res.Objective)
+		}
+	}
+}
+
+// --- cut-row accounting ---------------------------------------------------
+
+// cutHeavyProblem is a knapsack family where root and tree cuts reliably
+// fire (weights clustered around half the capacity).
+func cutHeavyProblem(trial int) *Problem {
+	src := rng.NewReplicate(47, "cut-heavy", trial)
+	n := 14 + src.Intn(4)
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	var total float64
+	for i := range values {
+		values[i] = src.Uniform(10, 100)
+		weights[i] = src.Uniform(20, 30)
+		total += weights[i]
+	}
+	return knapsackProblem(values, weights, total*0.35)
+}
+
+// TestCutRowAccounting: appended cut rows must show up in the
+// Result.MaxNodeRows high-water mark, and the LU kernel must count an
+// inherit fallback for every warm re-solve whose problem grew rows under
+// it (the CutsTree mid-dive appends), while the dense kernel extends its
+// inverse and never falls back.
+func TestCutRowAccounting(t *testing.T) {
+	var prob *Problem
+	var root *Result
+	trial := 0
+	for ; trial < 20; trial++ {
+		prob = cutHeavyProblem(trial)
+		r, err := Solve(prob, Options{Cuts: CutsRoot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cuts > 0 && r.Nodes > 4 {
+			root = r
+			break
+		}
+	}
+	if root == nil {
+		t.Fatal("no cut-heavy trial produced root cuts; separator dead?")
+	}
+	baseRows := prob.LP.NumConstraints()
+	if root.MaxNodeRows < baseRows+root.Cuts {
+		t.Errorf("CutsRoot: MaxNodeRows = %d, want >= base %d + kept cuts %d",
+			root.MaxNodeRows, baseRows, root.Cuts)
+	}
+
+	tree, err := Solve(prob, Options{Cuts: CutsTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Status != Optimal || math.Abs(tree.Objective-root.Objective) > 1e-9*(1+math.Abs(root.Objective)) {
+		t.Fatalf("CutsTree objective %v %.12g, want %.12g", tree.Status, tree.Objective, root.Objective)
+	}
+	if tree.TreeCuts > 0 {
+		if tree.MaxNodeRows <= baseRows+tree.Cuts {
+			t.Errorf("CutsTree: MaxNodeRows = %d not above base %d + root cuts %d despite %d tree cuts",
+				tree.MaxNodeRows, baseRows, tree.Cuts, tree.TreeCuts)
+		}
+		// LU cannot adopt a parent snapshot across a row append; the
+		// tree-cut re-solves must be accounted as inherit fallbacks.
+		if tree.InheritFallbacks == 0 {
+			t.Errorf("CutsTree under LU: %d tree cuts but InheritFallbacks = 0", tree.TreeCuts)
+		}
+	} else {
+		t.Log("no tree cuts fired on this instance; tree-cut fallback branch unexercised")
+	}
+
+	binv, err := Solve(prob, Options{Cuts: CutsTree, LP: lp.Options{Factor: lp.FactorBinv}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binv.InheritFallbacks != 0 {
+		t.Errorf("CutsTree under Binv: InheritFallbacks = %d, want 0 (dense inverse extends across appended rows)",
+			binv.InheritFallbacks)
+	}
+	if math.Abs(binv.Objective-root.Objective) > 1e-6*(1+math.Abs(root.Objective)) {
+		t.Errorf("Binv CutsTree objective %.12g, want %.12g", binv.Objective, root.Objective)
+	}
+}
+
+// TestGapAndDualBound: RelGap terminates early with a Feasible status and
+// an honest Gap; a run to completion reports Gap 0 at the optimum.
+func TestGapAndDualBound(t *testing.T) {
+	prob := cutHeavyProblem(3)
+	exact, err := Solve(prob, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Status != Optimal {
+		t.Fatalf("status %v", exact.Status)
+	}
+	if exact.Gap != 0 {
+		t.Errorf("optimal Gap = %g, want 0", exact.Gap)
+	}
+	if math.Abs(exact.DualBound-exact.Objective) > 1e-9*(1+math.Abs(exact.Objective)) {
+		t.Errorf("optimal DualBound %.12g != Objective %.12g", exact.DualBound, exact.Objective)
+	}
+
+	loose, err := Solve(prob, Options{RelGap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch loose.Status {
+	case Optimal: // tree collapsed before the gap check fired — fine
+	case Feasible:
+		if loose.Gap > 0.5*(1+math.Abs(loose.Objective))+1e-9 {
+			t.Errorf("RelGap stop with Gap %g above tolerance", loose.Gap)
+		}
+		if loose.DualBound < exact.Objective-1e-9 {
+			t.Errorf("early-stop DualBound %.12g below true optimum %.12g", loose.DualBound, exact.Objective)
+		}
+	default:
+		t.Fatalf("RelGap run status %v", loose.Status)
+	}
+	if loose.Objective > exact.Objective+1e-9 {
+		t.Errorf("early incumbent %.12g above optimum %.12g", loose.Objective, exact.Objective)
+	}
+}
+
+// TestOptionEnumStrings covers the A/B switch enum stringers.
+func TestOptionEnumStrings(t *testing.T) {
+	for _, tc := range []struct {
+		got, want string
+	}{
+		{CutsAuto.String(), "auto"},
+		{CutsOff.String(), "off"},
+		{CutsRoot.String(), "root"},
+		{CutsTree.String(), "tree"},
+		{BranchAuto.String(), "auto"},
+		{BranchMostFractional.String(), "most-fractional"},
+		{BranchPseudoCost.String(), "pseudocost"},
+		{BranchReliability.String(), "reliability"},
+		{NodeOrderAuto.String(), "auto"},
+		{NodeOrderBestBound.String(), "best-bound"},
+		{NodeOrderPlunge.String(), "plunge"},
+		{NodeOrderDepthFirst.String(), "depth-first"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("String() = %q, want %q", tc.got, tc.want)
+		}
+	}
+}

@@ -113,10 +113,12 @@ func TestDeterministicWithRoundingHook(t *testing.T) {
 // basis-publishing chain, the tableau path under DisableWarmStart (whose
 // Solutions alias workspace buffers) and the heuristic re-solve on top of
 // it, which overwrites those buffers mid-node. Solutions must be
-// bit-identical to serial at every worker count. (Node counts are not
-// compared: a parallel worker may legitimately dequeue a node that an
-// in-flight incumbent would have pruned, so Nodes is scheduling-dependent
-// even though the incumbent is not.)
+// bit-identical to serial at every worker count. Node counts ARE pinned at
+// Workers = 1 — a serial search is fully schedule-determined, so two runs
+// must visit exactly the same tree — while at higher worker counts only
+// the incumbent is asserted (a parallel worker may legitimately dequeue a
+// node that an in-flight incumbent would have pruned, so Nodes is
+// scheduling-dependent even though the incumbent is not).
 func TestWorkspaceReuseAcrossWorkers(t *testing.T) {
 	hook := func(x []float64) ([]float64, bool) {
 		fixed := make([]float64, len(x))
@@ -148,9 +150,24 @@ func TestWorkspaceReuseAcrossWorkers(t *testing.T) {
 				if res.Status != Optimal {
 					t.Fatalf("trial %d %s workers=%d: status %v", trial, mode.name, workers, res.Status)
 				}
+				if workers == 1 {
+					// Serial reruns must retrace the identical tree.
+					again, err := Solve(prob, opts)
+					if err != nil {
+						t.Fatalf("trial %d %s workers=1 rerun: %v", trial, mode.name, err)
+					}
+					if again.Nodes != res.Nodes {
+						t.Errorf("trial %d %s: workers=1 node count not reproducible: %d vs %d",
+							trial, mode.name, res.Nodes, again.Nodes)
+					}
+				}
 				if base == nil {
 					base = res
 					continue
+				}
+				if math.Float64bits(base.Objective) != math.Float64bits(res.Objective) {
+					t.Errorf("trial %d %s: workers=%d incumbent objective %.17g differs from workers=1 %.17g",
+						trial, mode.name, workers, res.Objective, base.Objective)
 				}
 				if !sameSolution(base, res) {
 					t.Errorf("trial %d %s: workers=%d solution differs from workers=1:\nobj %.17g vs %.17g",
@@ -189,5 +206,48 @@ func TestWarmStartAccounting(t *testing.T) {
 	}
 	if cold.Status != warm.Status || math.Abs(cold.Objective-warm.Objective) > 1e-6 {
 		t.Errorf("cold obj %g != warm obj %g", cold.Objective, warm.Objective)
+	}
+}
+
+// TestDeterministicBranchAndCutModes: the branch-and-cut machinery — root
+// and tree cuts, pseudo-cost/reliability branching (whose observations
+// live on node-local immutable chains precisely so that worker scheduling
+// cannot perturb them) and plunging node order — must keep incumbents
+// bit-identical at Workers = 1, 4 and 8.
+func TestDeterministicBranchAndCutModes(t *testing.T) {
+	modes := []struct {
+		name string
+		opts Options
+	}{
+		{"default", Options{}},
+		{"cuts-root/pseudocost/best-bound", Options{Cuts: CutsRoot, Branching: BranchPseudoCost, NodeOrder: NodeOrderBestBound}},
+		{"cuts-tree/reliability/plunge", Options{Cuts: CutsTree, Branching: BranchReliability, NodeOrder: NodeOrderPlunge}},
+		{"cuts-off/reliability/plunge", Options{Cuts: CutsOff, Branching: BranchReliability, NodeOrder: NodeOrderPlunge}},
+		{"cuts-tree/most-fractional/depth-first", Options{Cuts: CutsTree, Branching: BranchMostFractional, NodeOrder: NodeOrderDepthFirst}},
+	}
+	for trial := 0; trial < 4; trial++ {
+		prob := detKnapsack(400 + trial)
+		for _, mode := range modes {
+			var base *Result
+			for _, workers := range []int{1, 4, 8} {
+				opts := mode.opts
+				opts.Workers = workers
+				res, err := Solve(prob, opts)
+				if err != nil {
+					t.Fatalf("trial %d %s workers=%d: %v", trial, mode.name, workers, err)
+				}
+				if res.Status != Optimal {
+					t.Fatalf("trial %d %s workers=%d: status %v", trial, mode.name, workers, res.Status)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				if !sameSolution(base, res) {
+					t.Errorf("trial %d %s: workers=%d solution differs from workers=1:\nobj %.17g vs %.17g\nX    %v\nvs   %v",
+						trial, mode.name, workers, base.Objective, res.Objective, base.X, res.X)
+				}
+			}
+		}
 	}
 }

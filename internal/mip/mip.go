@@ -44,6 +44,38 @@ const intTol = 1e-6
 type Problem struct {
 	LP       *lp.Problem
 	Integers []int // variable indices required to take integer values
+
+	// Structure optionally describes model rows the cut separator can
+	// exploit (knapsack/budget rows, GUB assignment rows, variable upper
+	// bounds). Model builders that know their row layout — internal/model
+	// does — fill it in; when nil, or when a root presolve remaps the rows
+	// out from under it, the separator detects the same structure from the
+	// LP itself.
+	Structure *Structure
+}
+
+// Structure is builder-provided row metadata for the cut separator. All
+// indices refer to the rows and variables of Problem.LP as built.
+type Structure struct {
+	// BudgetRows are <=-rows with nonnegative coefficients over mixed or
+	// continuous variables, e.g. the DSCT-EA energy row Σ P_r·t_jr <= B:
+	// cover-cut candidates after continuous terms are shifted to the
+	// right-hand side by their bounds.
+	BudgetRows []int
+	// GUBRows are generalised-upper-bound assignment rows: Σ x in G {<=,=} 1
+	// over binaries, e.g. the one-machine-per-task rows Σ_r x_jr = 1.
+	GUBRows []int
+	// VUBs are variable-upper-bound links t <= U·x with x binary, e.g. the
+	// DSCT-EA deadline links t_jr <= d_j·x_jr. The separator strengthens U
+	// down to t's own upper bound when that is tighter.
+	VUBs []VUB
+}
+
+// VUB is one variable-upper-bound link Cont <= U·Bin.
+type VUB struct {
+	Cont int     // continuous variable
+	Bin  int     // binary variable
+	U    float64 // link coefficient as built
 }
 
 // Status reports how the search terminated.
@@ -103,12 +135,150 @@ func (s Strategy) String() string {
 	}
 }
 
+// CutMode selects the cutting-plane layer (see cuts.go).
+type CutMode int
+
+// Cut modes.
+const (
+	// CutsAuto separates cuts at the root (equivalent to CutsRoot).
+	CutsAuto CutMode = iota
+	// CutsOff disables the separator entirely: the legacy pure
+	// branch-and-bound path, kept selectable for A/B comparison.
+	CutsOff
+	// CutsRoot separates cover/GUB-cover/VUB cuts at the root only: rounds
+	// of separate → append → dual-simplex re-optimise, then slack cuts are
+	// dropped and the surviving pool becomes part of every node relaxation.
+	CutsRoot
+	// CutsTree additionally separates at shallow tree nodes (depth <=
+	// cutTreeDepth), carried on an immutable per-node cut chain so sibling
+	// subtrees stay independent. Node row counts then exceed the root's —
+	// the Result.MaxNodeRows high-water mark records it. Ignored (treated
+	// as CutsRoot) under Options.BranchRows, whose appended fix rows would
+	// interleave with cut rows and break the parent-basis row-prefix rule.
+	CutsTree
+)
+
+// String names the mode.
+func (c CutMode) String() string {
+	switch c {
+	case CutsAuto:
+		return "auto"
+	case CutsOff:
+		return "off"
+	case CutsRoot:
+		return "root"
+	case CutsTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("cutmode(%d)", int(c))
+	}
+}
+
+// BranchRule selects how the branching variable is chosen at a node with
+// fractional integers (see pseudocost.go).
+type BranchRule int
+
+// Branching rules.
+const (
+	// BranchAuto uses reliability branching (equivalent to
+	// BranchReliability).
+	BranchAuto BranchRule = iota
+	// BranchMostFractional picks the variable farthest from integrality —
+	// the legacy rule, kept selectable for A/B comparison.
+	BranchMostFractional
+	// BranchPseudoCost scores candidates by the per-unit objective
+	// degradation observed on ancestor branchings (the node-local
+	// pseudo-cost chain), product rule over the up/down estimates. No
+	// probing; unobserved variables fall back to the fractionality score.
+	BranchPseudoCost
+	// BranchReliability is pseudo-cost branching with strong-branching
+	// probes on unreliable candidates: variables with no observations yet
+	// are probed by bounded dual-simplex re-solves (Workspace.SolveFrom
+	// with a small pivot budget) before the scores are compared. Probe
+	// side effects — infeasible directions and truncated-but-dual-feasible
+	// objectives — tighten the resulting children.
+	BranchReliability
+)
+
+// String names the rule.
+func (b BranchRule) String() string {
+	switch b {
+	case BranchAuto:
+		return "auto"
+	case BranchMostFractional:
+		return "most-fractional"
+	case BranchPseudoCost:
+		return "pseudocost"
+	case BranchReliability:
+		return "reliability"
+	default:
+		return fmt.Sprintf("branchrule(%d)", int(b))
+	}
+}
+
+// NodeOrder selects the open-node exploration order.
+type NodeOrder int
+
+// Node orders.
+const (
+	// NodeOrderAuto plunges under best-bound ordering (equivalent to
+	// NodeOrderPlunge), except under Strategy DepthFirst which it respects.
+	NodeOrderAuto NodeOrder = iota
+	// NodeOrderBestBound is the legacy pure best-bound queue: every child
+	// goes through the global heap (highest bound first, path tie-break).
+	NodeOrderBestBound
+	// NodeOrderPlunge keeps best-bound ordering for the global queue but
+	// lets a worker dive onto one child of the node it just processed (the
+	// down child first, bounded depth), pushing the sibling. Plunging only
+	// reorders exploration — the tree, the pruning and the incumbents are
+	// identical at any worker count.
+	NodeOrderPlunge
+	// NodeOrderDepthFirst is the legacy depth-first queue (Strategy
+	// DepthFirst expressed as a NodeOrder).
+	NodeOrderDepthFirst
+)
+
+// String names the order.
+func (n NodeOrder) String() string {
+	switch n {
+	case NodeOrderAuto:
+		return "auto"
+	case NodeOrderBestBound:
+		return "best-bound"
+	case NodeOrderPlunge:
+		return "plunge"
+	case NodeOrderDepthFirst:
+		return "depth-first"
+	default:
+		return fmt.Sprintf("nodeorder(%d)", int(n))
+	}
+}
+
 // Options tunes the search. The zero value uses defaults: serial
-// best-bound search, no deadline, gap 1e-6, node limit 1<<20.
+// branch-and-cut (root cuts, reliability branching, plunging best-bound
+// order), no deadline, gap 1e-6, node limit 1<<20. The legacy pure
+// branch-and-bound path of PRs 1–8 is the combination
+// {Cuts: CutsOff, Branching: BranchMostFractional, NodeOrder:
+// NodeOrderBestBound}.
 type Options struct {
 	Deadline time.Time // wall-clock limit (zero: none)
 	MaxNodes int       // node budget (0: default 1<<20)
 	Gap      float64   // absolute optimality gap for termination (0: 1e-6)
+
+	// RelGap, when positive, terminates the search early once
+	// (DualBound - incumbent) <= RelGap * max(1, |incumbent|): the
+	// incumbent is then reported as Feasible with Result.Gap recording the
+	// proven relative gap. Zero keeps the exact Gap-based criterion.
+	RelGap float64
+
+	// Cuts selects the cutting-plane layer (default CutsAuto: root cuts).
+	Cuts CutMode
+	// Branching selects the branching rule (default BranchAuto:
+	// reliability branching).
+	Branching BranchRule
+	// NodeOrder selects the exploration order (default NodeOrderAuto:
+	// plunging best-bound; Strategy DepthFirst keeps depth-first).
+	NodeOrder NodeOrder
 
 	// Workers is the number of parallel node processors (<=1: serial).
 	// Each worker goroutine owns a private lp.Workspace for the lifetime
@@ -174,9 +344,30 @@ type Result struct {
 
 	// MaxNodeRows is the largest constraint-row count of any node
 	// relaxation solved during the search. With bound branching (the
-	// default) it equals the root LP's row count at any tree depth; with
-	// Options.BranchRows it grows by one per branching level.
+	// default) it equals the root LP's row count — plus the root cut pool
+	// kept after the cut loop — at any tree depth; CutsTree node-local cuts
+	// and Options.BranchRows fix rows grow it further.
 	MaxNodeRows int
+
+	// DualBound is the best proven upper bound on the optimum (identical
+	// to Bound; the name matches the branch-and-cut literature). Gap is
+	// DualBound - Objective when an incumbent exists (0 at Optimal, +Inf
+	// otherwise).
+	DualBound float64
+	Gap       float64
+
+	// Cuts is the number of cut rows in the root pool after slack removal
+	// (the rows every node relaxation carries); CutRounds is how many
+	// separate→re-optimise rounds the root loop ran; TreeCuts counts cuts
+	// separated at shallow tree nodes under CutsTree.
+	Cuts      int
+	CutRounds int
+	TreeCuts  int
+
+	// StrongBranches counts bounded strong-branching probe solves spent by
+	// reliability branching (two per probed candidate). Probe solves are
+	// not nodes: they are excluded from Nodes, WarmSolves and ColdSolves.
+	StrongBranches int
 }
 
 // fix is one branching decision: variable Var constrained to <= or >= Val.
@@ -198,6 +389,34 @@ type fixChain struct {
 	prev *fixChain
 }
 
+// cutChain is an immutable singly-linked list of node-local cuts, newest
+// first — the CutsTree mirror of fixChain: a child shares its parent's
+// chain, and nodes that separate fresh cuts prepend them, so sibling
+// subtrees never see each other's cuts and replaying a node's cuts costs
+// O(cuts on the root path).
+//
+//lint:frozen nodes share chain tails across the whole search tree
+type cutChain struct {
+	c    cut
+	prev *cutChain
+}
+
+// pcObs is one pseudo-cost observation: branching variable v in direction
+// dir (0 = down, 1 = up) degraded the relaxation objective by delta per
+// unit of bound movement. Observations form an immutable chain inherited
+// parent→child exactly like fixChain, so a node's pseudo-cost estimates
+// depend only on its ancestry — never on what other workers explored —
+// which keeps the tree shape and hence the incumbents bit-identical at
+// any Workers setting (a shared mutable pseudo-cost store would not).
+//
+//lint:frozen nodes share chain tails across the whole search tree
+type pcObs struct {
+	v     int
+	dir   int8 // 0 = down branch, 1 = up branch
+	delta float64
+	prev  *pcObs
+}
+
 // node is a subproblem in the search tree.
 //
 // path is the node's position in the tree as a bit string ("0" = down
@@ -213,6 +432,18 @@ type node struct {
 	bound float64   // parent relaxation objective (upper bound)
 	path  string
 	basis *lp.Basis
+
+	pc    *pcObs    // inherited pseudo-cost observations, newest first
+	cuts  *cutChain // inherited node-local cuts (CutsTree), newest first
+	nCuts int       // the chain's length, for oldest-first replay
+
+	// brVar/brDir/brDist record the branching step that created this node
+	// (-1/0/0 at the root): after the node's own solve, the observed
+	// objective degradation per unit of brDist becomes a new pseudo-cost
+	// observation for brVar in direction brDir.
+	brVar  int
+	brDir  int8
+	brDist float64
 }
 
 // nodeQueue is a heap of open nodes ordered by the search strategy.

@@ -252,7 +252,9 @@ func TestRoundingHookProvidesIncumbent(t *testing.T) {
 		}
 		return fixed, true
 	}
-	res, err := Solve(prob, Options{Rounding: hook})
+	// Cuts off: the cover cut makes this root integral, and the heuristic
+	// only runs at nodes that still have a fractional relaxation.
+	res, err := Solve(prob, Options{Rounding: hook, Cuts: CutsOff})
 	if err != nil {
 		t.Fatal(err)
 	}

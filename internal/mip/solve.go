@@ -13,7 +13,7 @@ import (
 // ErrUnbounded is returned when the root relaxation is unbounded.
 var ErrUnbounded = errors.New("mip: unbounded relaxation")
 
-// Solve runs branch-and-bound on p.
+// Solve runs branch-and-cut on p.
 func Solve(p *Problem, opts Options) (*Result, error) {
 	start := time.Now() //lint:ignore wallclock sanctioned once-per-solve stamp for Result wall-time reporting
 	if opts.MaxNodes == 0 {
@@ -26,10 +26,34 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	cuts := opts.Cuts
+	if cuts == CutsAuto {
+		cuts = CutsRoot
+	}
+	if opts.BranchRows && cuts == CutsTree {
+		// Node-local cut rows would interleave with the appended fix rows
+		// and break the row-prefix rule parent bases rely on; see CutsTree.
+		cuts = CutsRoot
+	}
+	branch := opts.Branching
+	if branch == BranchAuto {
+		branch = BranchReliability
+	}
+	order := opts.NodeOrder
+	if order == NodeOrderAuto {
+		if opts.Strategy == DepthFirst {
+			order = NodeOrderDepthFirst
+		} else {
+			order = NodeOrderPlunge
+		}
+	}
 
 	s := &searcher{
 		prob:      p,
 		opts:      opts,
+		branch:    branch,
+		plunge:    order == NodeOrderPlunge,
+		treeCuts:  cuts == CutsTree,
 		incumbent: math.Inf(-1),
 		inflight:  make(map[*node]struct{}),
 	}
@@ -41,7 +65,10 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	// to stay coherent across the warm-start chain.
 	if ps := lp.RootPresolve(p.LP, p.Integers, opts.LP); ps != nil {
 		if ps.Status() == lp.Infeasible {
-			return &Result{Status: Infeasible, Bound: math.Inf(-1), Elapsed: time.Since(start)}, nil
+			return &Result{
+				Status: Infeasible, Bound: math.Inf(-1), DualBound: math.Inf(-1),
+				Gap: math.Inf(1), Elapsed: time.Since(start),
+			}, nil
 		}
 		if red := ps.Reduced(); red != nil {
 			ints := make([]int, len(p.Integers))
@@ -71,25 +98,47 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 				}
 				return &Result{
 					Status: Optimal, Objective: obj, X: x, Bound: obj,
-					Nodes: 0, Elapsed: time.Since(start),
+					DualBound: obj, Nodes: 0, Elapsed: time.Since(start),
 				}, nil
 			}
 		}
 	}
+	// Root cutting loop: separate valid inequalities from the model
+	// structure, append the violated ones and re-optimise, then drop the
+	// slack ones and make the surviving pool part of every node relaxation
+	// (see cuts.go). Builder hints index the as-built rows, so they only
+	// apply when no root presolve remapped them.
+	if cuts != CutsOff && len(s.prob.Integers) > 0 {
+		var hint *Structure
+		if s.ps == nil {
+			hint = p.Structure
+		}
+		sep := newSeparator(s.prob.LP, s.prob.Integers, hint)
+		if sep.active() {
+			s.rootCuts(sep)
+			if s.treeCuts {
+				s.sep = sep
+			}
+		}
+	}
 	s.cond = sync.NewCond(&s.mu)
-	s.queue.strat = opts.Strategy
-	heap.Push(&s.queue, &node{bound: math.Inf(1)})
+	if order == NodeOrderDepthFirst {
+		s.queue.strat = DepthFirst
+	} else {
+		s.queue.strat = BestBound
+	}
+	heap.Push(&s.queue, &node{bound: math.Inf(1), brVar: -1})
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Each worker owns a private lp.Workspace, reused across every
-			// node it dequeues: node solves hit zero steady-state solver
-			// allocations, and workspaces are never shared across
-			// goroutines (see Options.Workers).
-			s.run(lp.NewWorkspace())
+			// Each worker owns a private lp.Workspace and branching scratch,
+			// reused across every node it dequeues: node solves hit zero
+			// steady-state solver allocations, and workspaces are never
+			// shared across goroutines (see Options.Workers).
+			s.run(lp.NewWorkspace(), newBranchScratch(s.prob.LP.NumVars()))
 		}()
 	}
 	wg.Wait()
@@ -104,6 +153,10 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		ColdSolves:       s.coldSolves,
 		InheritFallbacks: s.inheritFallbacks,
 		MaxNodeRows:      s.maxNodeRows,
+		Cuts:             s.cutsKept,
+		CutRounds:        s.cutRounds,
+		TreeCuts:         s.treeCutCount,
+		StrongBranches:   s.strongBranches,
 	}
 	hasIncumbent := !math.IsInf(s.incumbent, -1)
 	if hasIncumbent {
@@ -137,12 +190,26 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		}
 		res.Bound += s.ps.ObjOffset()
 	}
+	res.DualBound = res.Bound
+	if hasIncumbent {
+		res.Gap = math.Max(0, res.Bound-res.Objective)
+	} else {
+		res.Gap = math.Inf(1)
+	}
 	return res, nil
 }
 
 type searcher struct {
 	prob *Problem
 	opts Options
+	// Resolved search configuration (Auto modes mapped to concrete ones).
+	branch   BranchRule
+	plunge   bool
+	treeCuts bool
+	// sep separates cuts at shallow tree nodes under CutsTree; its
+	// detection structures are immutable after construction, so concurrent
+	// workers share it read-only (separation scratch is per-call).
+	sep *separator
 	// ps is non-nil when the search runs in root-presolved reduced space:
 	// prob then holds the reduced LP with remapped integer indices, and
 	// the final result is postsolved back (see Solve).
@@ -160,6 +227,10 @@ type searcher struct {
 	coldSolves       int
 	inheritFallbacks int
 	maxNodeRows      int
+	cutsKept         int
+	cutRounds        int
+	treeCutCount     int
+	strongBranches   int
 	stopped          bool
 	err              error
 }
@@ -169,6 +240,12 @@ type searcher struct {
 func (s *searcher) openBound() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.dualBoundLocked()
+}
+
+// dualBoundLocked is openBound's locked core: the global dual bound over
+// the open queue, the in-flight nodes and the incumbent.
+func (s *searcher) dualBoundLocked() float64 {
 	b := s.incumbent
 	for _, nd := range s.queue.items {
 		if nd.bound > b {
@@ -183,9 +260,57 @@ func (s *searcher) openBound() float64 {
 	return b
 }
 
-// run is one worker's loop. ws is the worker's private solver workspace;
-// it must not be shared with any other goroutine.
-func (s *searcher) run(ws *lp.Workspace) {
+// gapMetLocked reports whether the RelGap early-termination criterion
+// holds: an incumbent exists and the global dual bound (including extra,
+// the node the caller is about to process) is within the relative gap of
+// it. Caller holds the mutex.
+func (s *searcher) gapMetLocked(extra *node) bool {
+	if s.opts.RelGap <= 0 || math.IsInf(s.incumbent, -1) {
+		return false
+	}
+	db := s.dualBoundLocked()
+	if extra != nil && extra.bound > db {
+		db = extra.bound
+	}
+	return db-s.incumbent <= s.opts.RelGap*math.Max(1, math.Abs(s.incumbent))
+}
+
+// admitLocked runs the node-budget and deadline gates for a node about to
+// be processed and, when admitted, registers it in flight and counts it.
+// It returns false — with nd pushed back on the queue for bound reporting
+// and the search stopped — when a limit struck. Caller holds the mutex.
+func (s *searcher) admitLocked(nd *node) bool {
+	if s.nodes >= s.opts.MaxNodes {
+		heap.Push(&s.queue, nd)
+		s.stopped = true
+		s.cond.Broadcast()
+		return false
+	}
+	//lint:ignore wallclock sanctioned deadline probe, once per admitted branch-and-bound node
+	if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
+		heap.Push(&s.queue, nd)
+		s.stopped = true
+		s.cond.Broadcast()
+		return false
+	}
+	if s.gapMetLocked(nd) {
+		heap.Push(&s.queue, nd)
+		s.stopped = true
+		s.cond.Broadcast()
+		return false
+	}
+	s.nodes++
+	s.inflight[nd] = struct{}{}
+	if s.opts.OnNode != nil {
+		s.opts.OnNode(s.nodes)
+	}
+	return true
+}
+
+// run is one worker's loop. ws is the worker's private solver workspace
+// and scr its private branching scratch; neither may be shared with any
+// other goroutine.
+func (s *searcher) run(ws *lp.Workspace, scr *branchScratch) {
 	for {
 		s.mu.Lock()
 		for s.queue.Len() == 0 && len(s.inflight) > 0 && !s.stopped {
@@ -202,48 +327,61 @@ func (s *searcher) run(ws *lp.Workspace) {
 			s.mu.Unlock()
 			continue
 		}
-		if s.nodes >= s.opts.MaxNodes {
-			heap.Push(&s.queue, nd) // keep for bound reporting
-			s.stopped = true
-			s.cond.Broadcast()
+		if !s.admitLocked(nd) {
 			s.mu.Unlock()
 			return
 		}
-		//lint:ignore wallclock sanctioned deadline probe, once per dequeued branch-and-bound node
-		if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
-			heap.Push(&s.queue, nd)
-			s.stopped = true
+		s.mu.Unlock()
+
+		// Process nd, then — when plunging — continue directly with one of
+		// its children instead of going back through the global queue: the
+		// worker dives down one path (bounded depth), keeping the parent's
+		// basis hot in its workspace. Plunging only reorders exploration;
+		// the tree, the pruning and the incumbents are untouched, so
+		// determinism across worker counts is preserved.
+		for depth := 0; nd != nil; depth++ {
+			children, fatal := s.process(nd, ws, scr)
+
+			s.mu.Lock()
+			delete(s.inflight, nd)
+			if fatal != nil && s.err == nil {
+				s.err = fatal
+				s.stopped = true
+			}
+			var carry *node
+			if s.plunge && !s.stopped && depth < maxPlunge {
+				// Dive onto the child with the stronger bound (tie: the
+				// down branch, matching the queue's path tie-break).
+				for _, c := range children {
+					if c.bound <= s.incumbent+s.opts.Gap {
+						continue
+					}
+					if carry == nil || c.bound > carry.bound ||
+						//lint:ignore floatcmp deterministic tie-break mirroring the queue comparator's exact ordering
+						(c.bound == carry.bound && c.path < carry.path) {
+						carry = c
+					}
+				}
+			}
+			for _, c := range children {
+				if c != carry {
+					heap.Push(&s.queue, c)
+				}
+			}
+			if carry != nil && !s.admitLocked(carry) {
+				carry = nil
+			}
+			nd = carry
 			s.cond.Broadcast()
 			s.mu.Unlock()
-			return
 		}
-		s.nodes++
-		s.inflight[nd] = struct{}{}
-		if s.opts.OnNode != nil {
-			s.opts.OnNode(s.nodes)
-		}
-		s.mu.Unlock()
-
-		children, fatal := s.process(nd, ws)
-
-		s.mu.Lock()
-		delete(s.inflight, nd)
-		if fatal != nil && s.err == nil {
-			s.err = fatal
-			s.stopped = true
-		}
-		for _, c := range children {
-			heap.Push(&s.queue, c)
-		}
-		s.cond.Broadcast()
-		s.mu.Unlock()
 	}
 }
 
 // process solves one node relaxation (on the worker's workspace) and
 // returns child nodes.
-func (s *searcher) process(nd *node, ws *lp.Workspace) (children []*node, fatal error) {
-	sol, basis, err := s.solveNodeLP(nd.fixes, nd.depth, nd.basis, nil, ws)
+func (s *searcher) process(nd *node, ws *lp.Workspace, scr *branchScratch) (children []*node, fatal error) {
+	sol, basis, err := s.solveNodeLP(nd, nd.basis, nil, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -269,10 +407,64 @@ func (s *searcher) process(nd *node, ws *lp.Workspace) (children []*node, fatal 
 		return nil, nil
 	}
 
-	branchVar := s.mostFractional(sol.X)
-	if branchVar == -1 {
+	// Shallow-node separation (CutsTree): cut off the fractional optimum
+	// with fresh globally-valid inequalities, carried on the node's
+	// immutable cut chain so only this subtree pays for their rows, and
+	// re-solve warm from the node's own basis (the appended rows enter
+	// with their logicals basic, so the dual simplex repairs them in a few
+	// pivots — the same mechanics as the root loop).
+	if s.treeCuts && s.sep != nil && nd.depth > 0 && nd.depth <= cutTreeDepth && basis != nil {
+		if fresh := s.sep.separate(sol.X, treeCutsPerNode); len(fresh) > 0 {
+			for i := range fresh {
+				nd.cuts = &cutChain{c: fresh[i], prev: nd.cuts}
+				nd.nCuts++
+			}
+			s.mu.Lock()
+			s.treeCutCount += len(fresh)
+			s.mu.Unlock()
+			nsol, nbasis, nerr := s.solveNodeLP(nd, basis, nil, ws)
+			if nerr != nil {
+				return nil, nerr
+			}
+			switch nsol.Status {
+			case lp.Optimal:
+				sol, basis = nsol, nbasis
+			case lp.Infeasible:
+				// Valid cuts proved the subtree holds no integer point.
+				return nil, nil
+			}
+			// Limit statuses: keep the pre-cut solution; the chain stays,
+			// so the children still inherit the (valid) cuts.
+			s.mu.Lock()
+			pruned = sol.Objective <= s.incumbent+s.opts.Gap
+			s.mu.Unlock()
+			if pruned {
+				return nil, nil
+			}
+		}
+	}
+
+	// Record the pseudo-cost observation of the branching step that created
+	// this node: the relaxation degraded by (parent bound - node objective)
+	// over a bound movement of brDist. The chain extension is node-local
+	// and immutable, so estimates depend only on ancestry (see pcObs).
+	if s.branch != BranchMostFractional && nd.brVar >= 0 && nd.brDist > intTol && !math.IsInf(nd.bound, 1) {
+		nd.pc = &pcObs{
+			v: nd.brVar, dir: nd.brDir,
+			delta: math.Max(0, nd.bound-sol.Objective) / nd.brDist,
+			prev:  nd.pc,
+		}
+	}
+
+	pick := s.selectBranch(nd, sol, basis, scr, ws)
+	if pick.v == -1 {
 		// Integral: candidate incumbent.
 		s.offerIncumbent(sol.Objective, sol.X, nd.path)
+		return nil, nil
+	}
+	if pick.downInfeas && pick.upInfeas {
+		// Strong-branching probes proved both directions infeasible: the
+		// node itself holds no integer point.
 		return nil, nil
 	}
 
@@ -280,7 +472,7 @@ func (s *searcher) process(nd *node, ws *lp.Workspace) (children []*node, fatal 
 	// worker's workspace: the tableau-routed solves below (heuristic, or
 	// everything under DisableWarmStart) return Solutions that alias
 	// workspace buffers, so the heuristic re-solve would overwrite sol.
-	val := sol.X[branchVar]
+	val := pick.val
 	bound := sol.Objective
 
 	// Primal heuristic: at the root and periodically thereafter, round the
@@ -291,7 +483,7 @@ func (s *searcher) process(nd *node, ws *lp.Workspace) (children []*node, fatal 
 	d := nd.depth
 	if s.opts.Rounding != nil && (d == 0 || d%4 == 0) {
 		if fixed, ok := s.opts.Rounding(sol.X); ok && len(fixed) == len(s.prob.Integers) {
-			if hsol, _, err := s.solveNodeLP(nd.fixes, nd.depth, basis, fixed, ws); err == nil && hsol.Status == lp.Optimal {
+			if hsol, _, err := s.solveNodeLP(nd, basis, fixed, ws); err == nil && hsol.Status == lp.Optimal {
 				if s.mostFractional(hsol.X) == -1 {
 					s.offerIncumbent(hsol.Objective, hsol.X, nd.path+"h")
 				}
@@ -301,35 +493,103 @@ func (s *searcher) process(nd *node, ws *lp.Workspace) (children []*node, fatal 
 
 	// Children share the parent's immutable fix chain and prepend their one
 	// new decision: O(1) per child instead of the O(depth) copy (O(depth²)
-	// per root-to-leaf path) the slice encoding used to pay.
-	down := &node{
-		fixes: &fixChain{f: fix{Var: branchVar, Sense: lp.LE, Val: math.Floor(val)}, prev: nd.fixes},
-		depth: nd.depth + 1,
-		bound: bound,
-		path:  nd.path + "0",
-		basis: basis,
+	// per root-to-leaf path) the slice encoding used to pay. Probe results
+	// tighten the child bounds (a truncated dual-feasible probe objective
+	// is a valid upper bound on its subtree) and drop probe-proven
+	// infeasible directions outright.
+	children = make([]*node, 0, 2)
+	if !pick.downInfeas {
+		children = append(children, &node{
+			fixes: &fixChain{f: fix{Var: pick.v, Sense: lp.LE, Val: math.Floor(val)}, prev: nd.fixes},
+			depth: nd.depth + 1,
+			bound: math.Min(bound, pick.downBound),
+			path:  nd.path + "0",
+			basis: basis,
+			pc:    pick.pc,
+			cuts:  nd.cuts, nCuts: nd.nCuts,
+			brVar: pick.v, brDir: 0, brDist: val - math.Floor(val),
+		})
 	}
-	up := &node{
-		fixes: &fixChain{f: fix{Var: branchVar, Sense: lp.GE, Val: math.Ceil(val)}, prev: nd.fixes},
-		depth: nd.depth + 1,
-		bound: bound,
-		path:  nd.path + "1",
-		basis: basis,
+	if !pick.upInfeas {
+		children = append(children, &node{
+			fixes: &fixChain{f: fix{Var: pick.v, Sense: lp.GE, Val: math.Ceil(val)}, prev: nd.fixes},
+			depth: nd.depth + 1,
+			bound: math.Min(bound, pick.upBound),
+			path:  nd.path + "1",
+			basis: basis,
+			pc:    pick.pc,
+			cuts:  nd.cuts, nCuts: nd.nCuts,
+			brVar: pick.v, brDir: 1, brDist: math.Ceil(val) - val,
+		})
 	}
-	return []*node{down, up}, nil
+	return children, nil
 }
 
-// solveNodeLP derives the node problem as a copy-free overlay of the
-// immutable base LP and solves it. By default branching decisions become
-// tightened variable bounds on the overlay (LE fix: hi = min(hi, val); GE
-// fix: lo = max(lo, val)) — the node keeps exactly the root's constraint
-// rows and basis dimension at any depth, and an empty box (hi < lo) proves
-// infeasibility without invoking the solver at all. With Options.BranchRows
-// the legacy encoding appends one explicit bound row per fix instead. A
-// non-nil heuristicFix additionally pins every integer variable to the
-// given value (fixed box by default, EQ row under BranchRows). The base LP
-// is never mutated during the search, which is what makes concurrent
-// overlays by parallel workers safe.
+// nodeProblem derives the node relaxation as a copy-free overlay of the
+// immutable base LP: branching decisions become tightened variable bounds
+// (or appended bound rows under Options.BranchRows), inherited CutsTree
+// cuts are replayed as rows oldest-first (so the row order matches the
+// ancestor append order a parent basis describes), and a non-nil
+// heuristicFix pins every integer variable. It returns ok=false when a
+// replayed box is empty — infeasibility proven without invoking the
+// solver. The base LP is never mutated during the search, which is what
+// makes concurrent overlays by parallel workers safe.
+//
+//lint:hotpath=bounded one node derivation allocates an overlay plus the O(depth) replay scratch
+func (s *searcher) nodeProblem(nd *node, heuristicFix []float64) (*lp.Problem, bool) {
+	p := s.prob.LP.Overlay()
+	if nd.cuts != nil {
+		cs := make([]*cutChain, nd.nCuts)
+		for c, i := nd.cuts, nd.nCuts-1; c != nil; c, i = c.prev, i-1 {
+			cs[i] = c
+		}
+		for _, cc := range cs {
+			p.AddConstraint(cc.c.terms, lp.LE, cc.c.rhs)
+		}
+	}
+	if s.opts.BranchRows {
+		// Replay the chain oldest-first so row order (and hence the basis
+		// row layout a parent basis describes) matches insertion order.
+		fs := make([]fix, nd.depth)
+		for c, i := nd.fixes, nd.depth-1; c != nil; c, i = c.prev, i-1 {
+			fs[i] = c.f
+		}
+		for _, f := range fs {
+			p.AddConstraint([]lp.Term{{Var: f.Var, Coef: 1}}, f.Sense, f.Val)
+		}
+		if heuristicFix != nil {
+			for i, v := range s.prob.Integers {
+				p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.EQ, heuristicFix[i])
+			}
+		}
+	} else {
+		for c := nd.fixes; c != nil; c = c.prev {
+			lo, hi := p.Bounds(c.f.Var)
+			if c.f.Sense == lp.LE {
+				hi = math.Min(hi, c.f.Val)
+			} else {
+				lo = math.Max(lo, c.f.Val)
+			}
+			if hi < lo {
+				return nil, false
+			}
+			p.SetBounds(c.f.Var, lo, hi)
+		}
+		if heuristicFix != nil {
+			for i, v := range s.prob.Integers {
+				val := heuristicFix[i]
+				lo, hi := p.Bounds(v)
+				if val < lo-intTol || val > hi+intTol {
+					return nil, false
+				}
+				p.SetBounds(v, val, val)
+			}
+		}
+	}
+	return p, true
+}
+
+// solveNodeLP derives the node relaxation via nodeProblem and solves it.
 //
 // When warm starts are enabled and a parent basis is available, the node
 // is re-optimised with the dual simplex via ws.SolveBasisFrom; a failed
@@ -345,46 +605,10 @@ func (s *searcher) process(nd *node, ws *lp.Workspace) (children []*node, fatal 
 // worker — process captures what it needs before re-solving.
 //
 //lint:hotpath=bounded one node relaxation allocates an overlay plus the published basis; solver scratch comes from the worker's workspace
-func (s *searcher) solveNodeLP(fixes *fixChain, depth int, from *lp.Basis, heuristicFix []float64, ws *lp.Workspace) (*lp.Solution, *lp.Basis, error) {
-	p := s.prob.LP.Overlay()
-	if s.opts.BranchRows {
-		// Replay the chain oldest-first so row order (and hence the basis
-		// row layout a parent basis describes) matches insertion order.
-		fs := make([]fix, depth)
-		for c, i := fixes, depth-1; c != nil; c, i = c.prev, i-1 {
-			fs[i] = c.f
-		}
-		for _, f := range fs {
-			p.AddConstraint([]lp.Term{{Var: f.Var, Coef: 1}}, f.Sense, f.Val)
-		}
-		if heuristicFix != nil {
-			for i, v := range s.prob.Integers {
-				p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.EQ, heuristicFix[i])
-			}
-		}
-	} else {
-		for c := fixes; c != nil; c = c.prev {
-			lo, hi := p.Bounds(c.f.Var)
-			if c.f.Sense == lp.LE {
-				hi = math.Min(hi, c.f.Val)
-			} else {
-				lo = math.Max(lo, c.f.Val)
-			}
-			if hi < lo {
-				return &lp.Solution{Status: lp.Infeasible}, nil, nil
-			}
-			p.SetBounds(c.f.Var, lo, hi)
-		}
-		if heuristicFix != nil {
-			for i, v := range s.prob.Integers {
-				val := heuristicFix[i]
-				lo, hi := p.Bounds(v)
-				if val < lo-intTol || val > hi+intTol {
-					return &lp.Solution{Status: lp.Infeasible}, nil, nil
-				}
-				p.SetBounds(v, val, val)
-			}
-		}
+func (s *searcher) solveNodeLP(nd *node, from *lp.Basis, heuristicFix []float64, ws *lp.Workspace) (*lp.Solution, *lp.Basis, error) {
+	p, ok := s.nodeProblem(nd, heuristicFix)
+	if !ok {
+		return &lp.Solution{Status: lp.Infeasible}, nil, nil
 	}
 	lpOpts := s.opts.LP
 	lpOpts.Deadline = s.opts.Deadline
@@ -427,8 +651,11 @@ func (s *searcher) solveNodeLP(fixes *fixChain, depth int, from *lp.Basis, heuri
 
 // countSolve tallies warm vs cold relaxation solves, inherit fallbacks
 // (warm starts that had to refactorise because the parent snapshot could
-// not be adopted) and the node row-count high-water mark for Result
-// reporting.
+// not be adopted) and the relaxation row-count high-water mark for Result
+// reporting. Node solves and tree-cut re-solves go through here; root
+// cut-loop solves and strong-branching probes do not (they keep their own
+// counters so WarmSolves+ColdSolves stays comparable across search
+// configurations).
 func (s *searcher) countSolve(warm, inheritFallback bool, rows int) {
 	s.mu.Lock()
 	if warm {

@@ -22,7 +22,10 @@
 # member runs as TestXLAutoSmoke in the ordinary race suite above) and the
 # batch-throughput harness (BenchmarkBatchThroughputLP over the 240-instance
 # corpus, BenchmarkBatchThroughputXLLP over an xl shard; fresh-vs-pooled-vs-
-# batch segments reporting instances/sec and allocs/op) —
+# batch segments reporting instances/sec and allocs/op) and the
+# branch-and-cut node-count comparison (BenchmarkMIPBranchAndCut,
+# legacy-vs-bnc segments on hard fig4 instances; benchjson pairs them
+# into a node_reduction factor) —
 # records the parsed results, including
 # per-pair speedups, in BENCH_PR<cur>.json via cmd/benchjson, and diffs
 # them against the committed BENCH_PR<prev>.json baseline (shared
@@ -116,6 +119,7 @@ if [ "$run_bench" = 1 ]; then
     go test -run='^$' -bench='^BenchmarkMIPDenseVsSparse$' -benchtime=2x -count=3 .
     go test -run='^$' -bench='^BenchmarkMIPBoundsVsRows$' -benchtime=2x -count=3 .
     go test -run='^$' -bench='^BenchmarkMIPFactorLUVsBinv$' -benchtime=2x -count=3 .
+    go test -run='^$' -bench='^BenchmarkMIPBranchAndCut$' -benchtime=1x -count=2 -timeout 30m .
     go test -run='^$' -bench='^BenchmarkWarmVsColdLP$' -benchtime=50x -count=4 ./internal/lp/
     go test -run='^$' -bench='^BenchmarkSparseVsDenseLP$' -benchtime=1x -count=3 ./internal/lp/
     go test -run='^$' -bench='^BenchmarkSparseVsDenseWarmLP$' -benchtime=10x -count=3 ./internal/lp/
