@@ -9,7 +9,8 @@
 // Every benchmark result line is captured with its iteration count, ns/op
 // and any custom metrics reported via b.ReportMetric. Benchmarks whose
 // sub-test path contains a "cold" and a matching "warm" segment (e.g.
-// BenchmarkMIPColdVsWarm/cold/n=16 and .../warm/n=16) are additionally
+// BenchmarkMIPColdVsWarm/cold/n=16 and .../warm/n=16, or the incremental
+// engine's BenchmarkIncrementalResolve/cold vs .../warm) are additionally
 // paired with the cold/warm speedup recorded, likewise "dense" vs
 // "sparse" segments (BenchmarkSparseVsDenseLP/dense/... vs .../sparse/...)
 // with the dense/sparse speedup, "rows" vs "bounds" segments
@@ -37,9 +38,10 @@
 // records carry them, direction-aware under the same threshold factor:
 // allocs/op and nodes regress when the new value grows past threshold×old
 // (allocs/op is stricter still: any growth from an old value of 0 fails,
-// so a zero-allocation pin cannot silently rot), instances/sec regresses
-// when the new value drops below old/threshold. Metrics outside this set
-// (pivots, warm-fraction, ...) are recorded but never gated.
+// so a zero-allocation pin cannot silently rot), instances/sec and
+// events/sec regress when the new value drops below old/threshold.
+// Metrics outside this set (pivots, warm-fraction, ...) are recorded but
+// never gated.
 package main
 
 import (
@@ -443,6 +445,7 @@ var gatedMetrics = []gatedMetric{
 	{unit: "allocs/op", zeroStrict: true},
 	{unit: "nodes"},
 	{unit: "instances/sec", higherBetter: true},
+	{unit: "events/sec", higherBetter: true},
 }
 
 // diffMetric compares one gated metric, returning the printed ratio (new

@@ -1,0 +1,231 @@
+// Command dsctd is the incremental DSCT-EA scheduler daemon: it keeps one
+// warm problem instance alive and re-optimises it per scheduler event
+// instead of solving from scratch each time (internal/incremental).
+//
+// Usage:
+//
+//	dsctd                          # JSON-lines events on stdin
+//	dsctd -replay 120 -tasks 8 -machines 2 -seed 7
+//	dsctd -replay 120 -shards 2 -batch 4 -workers 2
+//
+// In stdin mode each input line is one incremental.Event, e.g.:
+//
+//	{"kind":"machine-join","machine":"m0","speed":9500,"power":180}
+//	{"kind":"budget-change","budget":4000}
+//	{"kind":"task-arrive","task":"t0","deadline":1.5,"breaks":[0,40,90],"values":[0.001,0.61,0.82]}
+//	{"kind":"task-depart","task":"t0"}
+//
+// Each re-solve prints one JSON line on stdout with the schedule summary;
+// -v adds the full per-task time maps. With -replay N a deterministic
+// N-event synthetic trace (internal/incremental.GenTrace) is replayed
+// instead of reading stdin — the smoke-test and benchmarking mode. Final
+// engine stats (warm-hit rate, events/sec, solve-latency summary) go to
+// stderr on exit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/incremental"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "dsctd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// summary is the per-flush stdout record.
+type summary struct {
+	Event         int                           `json:"event"`
+	Status        string                        `json:"status"`
+	Tasks         int                           `json:"tasks"`
+	Machines      int                           `json:"machines"`
+	TotalAccuracy float64                       `json:"total_accuracy"`
+	Energy        float64                       `json:"energy_joules"`
+	Nodes         int                           `json:"nodes"`
+	Assigned      map[string]string             `json:"assigned,omitempty"`
+	Times         map[string]map[string]float64 `json:"times,omitempty"`
+}
+
+// poster abstracts the single-engine and sharded drive paths.
+type poster interface {
+	post(ev incremental.Event) error
+	flush() (*incremental.Solution, error)
+	stats() incremental.Stats
+	live() (tasks, machines int)
+}
+
+func run(args []string, in io.Reader, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("dsctd", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		replay   = fs.Int("replay", 0, "replay an N-event synthetic trace instead of reading stdin")
+		seed     = fs.Int64("seed", 1, "trace seed (with -replay)")
+		tasks    = fs.Int("tasks", 8, "initial live tasks of the trace (with -replay)")
+		machines = fs.Int("machines", 2, "initial live machines of the trace (with -replay)")
+		shards   = fs.Int("shards", 1, "machine-pool shards (independent engines)")
+		workers  = fs.Int("workers", 0, "branch-and-bound workers per re-solve (0: serial)")
+		batch    = fs.Int("batch", 1, "event coalescing window (re-solve every N events)")
+		cold     = fs.Bool("cold", false, "disable warm starts (cold re-solve per batch)")
+		verbose  = fs.Bool("v", false, "include per-task time maps in the output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *shards < 1 || *batch < 1 {
+		return fmt.Errorf("-shards and -batch must be >= 1 (got %d, %d)", *shards, *batch)
+	}
+
+	opts := incremental.Options{Workers: *workers, BatchWindow: *batch, DisableWarm: *cold}
+	var p poster
+	if *shards > 1 {
+		p = &shardedPoster{s: incremental.NewSharded(*shards, opts), window: *batch}
+	} else {
+		p = &enginePoster{e: incremental.New(opts)}
+	}
+
+	events, err := eventSource(*replay, *seed, *tasks, *machines, in)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	n := 0
+	for {
+		ev, ok, err := events()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n++
+		if err := p.post(ev); err != nil {
+			return err
+		}
+		if n%*batch != 0 {
+			continue
+		}
+		if err := report(enc, p, n, *verbose); err != nil {
+			return err
+		}
+	}
+	if n%*batch != 0 { // drain the partial tail batch
+		if err := report(enc, p, n, *verbose); err != nil {
+			return err
+		}
+	}
+	st := p.stats()
+	_, _ = fmt.Fprintf(errw, "dsctd: %d events, %d solves (%d warm, %d cold, warm-hit %.0f%%), %d nodes\n",
+		st.Events, st.Solves, st.WarmResolves, st.ColdResolves, 100*st.WarmHitRate(), st.Nodes)
+	_, _ = fmt.Fprintf(errw, "dsctd: solve time %v total, %v avg, %v max, %.0f events/sec\n",
+		st.SolveTime, st.AvgSolve(), st.MaxSolve, st.EventsPerSec())
+	return nil
+}
+
+// report flushes pending events and writes one summary line.
+func report(enc *json.Encoder, p poster, n int, verbose bool) error {
+	sol, err := p.flush()
+	if err != nil {
+		return err
+	}
+	if sol == nil {
+		return nil
+	}
+	tn, mn := p.live()
+	s := summary{
+		Event:         n,
+		Status:        sol.Status.String(),
+		Tasks:         tn,
+		Machines:      mn,
+		TotalAccuracy: sol.TotalAccuracy,
+		Energy:        sol.Energy,
+		Nodes:         sol.Nodes,
+	}
+	if verbose {
+		s.Assigned = sol.Assigned
+		s.Times = sol.Times
+	}
+	return enc.Encode(s)
+}
+
+// eventSource returns a pull iterator over the replayed trace or decoded
+// stdin lines: next() yields (event, true, nil) until the stream ends.
+func eventSource(replay int, seed int64, tasks, machines int, in io.Reader) (func() (incremental.Event, bool, error), error) {
+	if replay > 0 {
+		trace, err := incremental.GenTrace(incremental.DefaultTraceConfig(seed, replay, tasks, machines))
+		if err != nil {
+			return nil, err
+		}
+		i := 0
+		return func() (incremental.Event, bool, error) {
+			if i >= len(trace) {
+				return incremental.Event{}, false, nil
+			}
+			ev := trace[i]
+			i++
+			return ev, true, nil
+		}, nil
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	return func() (incremental.Event, bool, error) {
+		for sc.Scan() {
+			line++
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var ev incremental.Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				return incremental.Event{}, false, fmt.Errorf("stdin line %d: %w", line, err)
+			}
+			return ev, true, nil
+		}
+		if err := sc.Err(); err != nil {
+			return incremental.Event{}, false, fmt.Errorf("stdin: %w", err)
+		}
+		return incremental.Event{}, false, nil
+	}, nil
+}
+
+// enginePoster drives a single engine; flushing is explicit so -batch
+// controls the solve cadence from the daemon loop.
+type enginePoster struct{ e *incremental.Engine }
+
+func (p *enginePoster) post(ev incremental.Event) error {
+	// BatchWindow is configured on the engine, but the daemon flushes on
+	// its own cadence; buffering never solves here because report() flushes
+	// at every window boundary.
+	_, err := p.e.Post(ev)
+	return err
+}
+func (p *enginePoster) flush() (*incremental.Solution, error) { return p.e.Flush() }
+func (p *enginePoster) stats() incremental.Stats              { return p.e.Stats() }
+func (p *enginePoster) live() (int, int)                      { return p.e.LiveTasks(), p.e.LiveMachines() }
+
+type shardedPoster struct {
+	s      *incremental.Sharded
+	window int
+}
+
+func (p *shardedPoster) post(ev incremental.Event) error       { return p.s.Post(ev) }
+func (p *shardedPoster) flush() (*incremental.Solution, error) { return p.s.Flush() }
+func (p *shardedPoster) stats() incremental.Stats              { return p.s.Stats() }
+func (p *shardedPoster) live() (int, int) {
+	var t, m int
+	for i := 0; i < p.s.Shards(); i++ {
+		t += p.s.Engine(i).LiveTasks()
+		m += p.s.Engine(i).LiveMachines()
+	}
+	return t, m
+}

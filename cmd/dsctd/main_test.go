@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeSummaries parses the stdout JSON lines.
+func decodeSummaries(t *testing.T, out string) []summary {
+	t.Helper()
+	var sums []summary
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var s summary
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad output line %q: %v", sc.Text(), err)
+		}
+		sums = append(sums, s)
+	}
+	return sums
+}
+
+func TestStdinMode(t *testing.T) {
+	input := strings.Join([]string{
+		`{"kind":"machine-join","machine":"m0","speed":9500,"power":180}`,
+		`{"kind":"budget-change","budget":4000}`,
+		`{"kind":"task-arrive","task":"t0","deadline":1.5,"breaks":[0,40,90],"values":[0.001,0.61,0.82]}`,
+		`{"kind":"task-arrive","task":"t1","deadline":2.5,"breaks":[0,30,80],"values":[0.001,0.55,0.80]}`,
+		``, // blank lines are skipped
+		`{"kind":"task-depart","task":"t0"}`,
+	}, "\n")
+	var out, errw strings.Builder
+	if err := run([]string{"-v"}, strings.NewReader(input), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	sums := decodeSummaries(t, out.String())
+	if len(sums) != 5 {
+		t.Fatalf("got %d summaries, want 5 (one per event)", len(sums))
+	}
+	final := sums[len(sums)-1]
+	if final.Status != "optimal" || final.Tasks != 1 || final.Machines != 1 {
+		t.Errorf("final summary %+v, want optimal with 1 task on 1 machine", final)
+	}
+	if final.TotalAccuracy <= 0 || final.TotalAccuracy > 0.80+1e-9 {
+		t.Errorf("final accuracy %g outside (0, 0.80]", final.TotalAccuracy)
+	}
+	if _, ok := final.Times["t1"]; !ok {
+		t.Errorf("-v output missing time map for t1: %+v", final.Times)
+	}
+	if !strings.Contains(errw.String(), "events/sec") {
+		t.Errorf("stats footer missing from stderr: %q", errw.String())
+	}
+}
+
+func TestStdinRejectsBadLine(t *testing.T) {
+	var out, errw strings.Builder
+	err := run(nil, strings.NewReader("{not json}\n"), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("err = %v, want line-1 decode error", err)
+	}
+}
+
+func TestReplayMode(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-replay", "30", "-tasks", "5", "-machines", "2", "-seed", "11"},
+		strings.NewReader(""), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	sums := decodeSummaries(t, out.String())
+	if len(sums) != 30 {
+		t.Fatalf("got %d summaries, want 30", len(sums))
+	}
+	for _, s := range sums[5:] { // past the warm-up joins
+		if s.Status != "optimal" {
+			t.Fatalf("event %d: status %q", s.Event, s.Status)
+		}
+	}
+	// Deterministic: a second replay produces identical output.
+	var out2 strings.Builder
+	if err := run([]string{"-replay", "30", "-tasks", "5", "-machines", "2", "-seed", "11"},
+		strings.NewReader(""), &out2, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != out2.String() {
+		t.Error("replay output not deterministic")
+	}
+}
+
+func TestReplayShardedAndBatched(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-replay", "30", "-tasks", "6", "-machines", "2", "-seed", "13", "-shards", "2", "-batch", "4", "-workers", "2"},
+		strings.NewReader(""), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	sums := decodeSummaries(t, out.String())
+	// 30 events in windows of 4: 7 full flushes plus the partial tail.
+	if len(sums) != 8 {
+		t.Fatalf("got %d summaries, want 8", len(sums))
+	}
+	if got := sums[len(sums)-1].Event; got != 30 {
+		t.Errorf("last summary at event %d, want 30", got)
+	}
+	if !strings.Contains(errw.String(), "30 events") {
+		t.Errorf("stats footer %q does not account 30 events", errw.String())
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"positional args": {"extra"},
+		"bad shards":      {"-shards", "0"},
+		"bad batch":       {"-batch", "0"},
+	} {
+		var out, errw strings.Builder
+		if err := run(args, strings.NewReader(""), &out, &errw); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,10 +1,16 @@
-// Adaptive replanning: a machine fails mid-execution (thermal throttling
-// to 30% speed) and the operator replans the remaining work at the failure
-// instant — rebuilding a sub-instance with shifted deadlines and the
-// unspent energy budget — instead of riding the stale plan. The example
-// composes the public API: plan with SolveApprox, detect the degradation
-// with the simulator, replan, and compare the accuracy actually delivered
-// with and without the intervention.
+// Adaptive replanning on the incremental engine: a machine fails
+// mid-execution (thermal throttling to 30% speed) and the operator replans
+// the remaining work at the failure instant — but instead of rebuilding
+// and solving a fresh instance from scratch, the running dscted.Engine is
+// updated in place: the finished work departs, the unfinished tasks
+// re-arrive with shifted deadlines and residual accuracy curves, the
+// throttled machine leaves and rejoins at its degraded speed, and the
+// budget drops to whatever phase one left unspent. The re-solve then warm
+// starts from the initial plan's basis instead of solving cold.
+//
+// The example composes the public API: plan with the Engine, detect the
+// degradation with the simulator, post the delta events, and compare the
+// accuracy actually delivered with and without the intervention.
 package main
 
 import (
@@ -15,81 +21,166 @@ import (
 )
 
 func main() {
+	out, err := runReplan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := float64(out.inst.N())
+	fmt.Printf("plan: avg accuracy %.4f (energy %.1f of %.1f J)\n\n",
+		out.plan.TotalAccuracy/n, out.planSched.Energy(out.inst), out.inst.Budget)
+	fmt.Printf("stale plan under failure:   accuracy %.4f, %d misses avoided by abandoning late tasks\n",
+		out.staleAcc/n, out.staleMisses)
+	fmt.Printf("replanned at failure time:  accuracy %.4f (energy %.1f of %.1f J)\n",
+		out.deliveredAcc/n, out.energy, out.inst.Budget)
+	fmt.Printf("\nreplanning recovered %.1f accuracy points per 100 tasks\n",
+		(out.deliveredAcc-out.staleAcc)/n*100)
+	st := out.stats
+	fmt.Printf("engine: %d events, %d solves (%d warm) — the replan reused the plan's basis\n",
+		st.Events, st.Solves, st.WarmResolves)
+}
+
+// outcome carries everything the narrative prints and the example test
+// asserts against a cold from-scratch solve.
+type outcome struct {
+	inst      *dscted.Instance
+	plan      *dscted.EngineSolution
+	planSched *dscted.Schedule
+
+	staleAcc    float64
+	staleMisses int
+
+	tFail   float64
+	rest    *dscted.Instance // the phase-2 instance the engine state mirrors
+	restIdx []int            // rest task -> original task index
+	replan  *dscted.EngineSolution
+
+	deliveredAcc float64
+	energy       float64
+	stats        dscted.EngineStats
+}
+
+func runReplan() (*outcome, error) {
 	fleet := dscted.Fleet{
 		dscted.NewMachine("a100", 19_500, 49),
 		dscted.NewMachine("v100", 14_100, 56),
 	}
-	cfg := dscted.DefaultConfig(60, 0.02, 1.0)
+	cfg := dscted.DefaultConfig(10, 0.1, 1.0)
 	cfg.ThetaMax = 2.0
-	inst, err := dscted.Generate(dscted.NewRand(23, "replan"), cfg, fleet)
+	inst, err := dscted.Generate(dscted.NewRand(51, "replan"), cfg, fleet)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	inst.Budget *= 0.6 // a constrained site
-	plan, err := dscted.SolveApprox(inst, dscted.ApproxOptions{})
-	if err != nil {
-		log.Fatal(err)
+
+	// Load the engine: machines join, the budget arrives, the tasks arrive,
+	// one batched flush plans the initial schedule.
+	eng := dscted.NewEngine(dscted.EngineOptions{BatchWindow: 1 << 20})
+	for _, mc := range inst.Machines {
+		if _, err := eng.Post(dscted.Event{Kind: dscted.MachineJoin, Machine: mc.Name, Speed: mc.Speed, Power: mc.Power}); err != nil {
+			return nil, err
+		}
 	}
-	n := float64(inst.N())
-	fmt.Printf("plan: avg accuracy %.4f (energy %.1f of %.1f J)\n\n",
-		plan.TotalAccuracy/n, plan.Schedule.Energy(inst), inst.Budget)
+	if _, err := eng.Post(dscted.Event{Kind: dscted.BudgetChange, Budget: inst.Budget}); err != nil {
+		return nil, err
+	}
+	for _, tk := range inst.Tasks {
+		if _, err := eng.Post(dscted.Event{Kind: dscted.TaskArrive, Task: tk.Name, Deadline: tk.Deadline, Acc: tk.Acc}); err != nil {
+			return nil, err
+		}
+	}
+	plan, err := eng.Flush()
+	if err != nil {
+		return nil, err
+	}
+	out := &outcome{inst: inst, plan: plan, planSched: toSchedule(inst, plan)}
 
 	// Failure: machine 0 throttles to 30% from tFail onward, early enough
 	// to hit most of the planned busy window.
-	tFail := 0.0
-	for _, load := range plan.Schedule.Profile() {
-		if load > tFail {
-			tFail = load
+	for _, load := range out.planSched.Profile() {
+		if load > out.tFail {
+			out.tFail = load
 		}
 	}
-	tFail *= 0.25
-	failure := dscted.Slowdown{Machine: 0, From: tFail, To: inst.MaxDeadline() * 10, Factor: 0.3}
+	out.tFail *= 0.25
+	failure := dscted.Slowdown{Machine: 0, From: out.tFail, To: inst.MaxDeadline() * 10, Factor: 0.3}
 
 	// Strategy A: ride the stale plan through the failure.
-	stale, err := dscted.Simulate(inst, plan.Schedule, dscted.SimOptions{
+	stale, err := dscted.Simulate(inst, out.planSched, dscted.SimOptions{
 		Slowdowns:         []dscted.Slowdown{failure},
 		AbandonAtDeadline: true,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	fmt.Printf("stale plan under failure:   accuracy %.4f, %d misses avoided by abandoning late tasks\n",
-		stale.TotalAccuracy/n, len(stale.Missed))
+	out.staleAcc, out.staleMisses = stale.TotalAccuracy, len(stale.Missed)
 
 	// Strategy B: replan at tFail. Execute the original plan up to tFail,
-	// then rebuild an instance from the unfinished tasks: deadlines shift
-	// by tFail, the throttled machine's speed drops to 30%, and the budget
-	// is whatever the first phase left unspent.
-	phase1 := truncatePlan(inst, plan.Schedule, tFail)
+	// then post the failure as engine deltas: every task departs, the
+	// unfinished ones re-arrive with deadlines shifted to the failure
+	// instant and residual accuracy curves (crediting delivered work), the
+	// throttled machine rejoins at 30% speed, and the budget shrinks to the
+	// unspent remainder.
+	phase1 := truncatePlan(inst, out.planSched, out.tFail)
 	p1res, err := dscted.Simulate(inst, phase1, dscted.SimOptions{
 		Slowdowns: []dscted.Slowdown{failure},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
+	out.rest, out.restIdx = remainingInstance(inst, p1res.WorkDone, out.tFail)
+	out.rest.Machines[0].Speed *= 0.3 // plan against the degraded reality
+	out.rest.Budget = inst.Budget - p1res.Energy
 
-	rest, restIdx := remainingInstance(inst, p1res.WorkDone, tFail)
-	rest.Machines[0].Speed *= 0.3 // plan against the degraded reality
-	rest.Budget = inst.Budget - p1res.Energy
-	replanned, err := dscted.SolveApprox(rest, dscted.ApproxOptions{})
-	if err != nil {
-		log.Fatal(err)
+	for _, tk := range inst.Tasks {
+		if _, err := eng.Post(dscted.Event{Kind: dscted.TaskDepart, Task: tk.Name}); err != nil {
+			return nil, err
+		}
+	}
+	for sj, j := range out.restIdx {
+		rt := out.rest.Tasks[sj]
+		if _, err := eng.Post(dscted.Event{Kind: dscted.TaskArrive, Task: inst.Tasks[j].Name, Deadline: rt.Deadline, Acc: rt.Acc}); err != nil {
+			return nil, err
+		}
+	}
+	deg := out.rest.Machines[0]
+	if _, err := eng.Post(dscted.Event{Kind: dscted.MachineLeave, Machine: deg.Name}); err != nil {
+		return nil, err
+	}
+	if _, err := eng.Post(dscted.Event{Kind: dscted.MachineJoin, Machine: deg.Name, Speed: deg.Speed, Power: deg.Power}); err != nil {
+		return nil, err
+	}
+	if _, err := eng.Post(dscted.Event{Kind: dscted.BudgetChange, Budget: out.rest.Budget}); err != nil {
+		return nil, err
+	}
+	if out.replan, err = eng.Flush(); err != nil {
+		return nil, err
 	}
 
 	// Deliverables: phase-1 work plus phase-2 work per original task.
 	total := append([]float64(nil), p1res.WorkDone...)
-	for sj, j := range restIdx {
-		total[j] += replanned.Schedule.Work(rest, sj)
+	replanSched := toSchedule(out.rest, out.replan)
+	for sj, j := range out.restIdx {
+		total[j] += replanSched.Work(out.rest, sj)
 	}
-	var acc float64
 	for j, tk := range inst.Tasks {
-		acc += tk.Acc.Eval(total[j])
+		out.deliveredAcc += tk.Acc.Eval(total[j])
 	}
-	energy := p1res.Energy + replanned.Schedule.Energy(rest)
-	fmt.Printf("replanned at failure time:  accuracy %.4f (energy %.1f of %.1f J)\n",
-		acc/n, energy, inst.Budget)
-	fmt.Printf("\nreplanning recovered %.1f accuracy points per 100 tasks\n",
-		(acc-stale.TotalAccuracy)/n*100)
+	out.energy = p1res.Energy + replanSched.Energy(out.rest)
+	out.stats = eng.Stats()
+	return out, nil
+}
+
+// toSchedule maps an engine solution's name-keyed time maps onto the
+// instance's Times[j][r] matrix.
+func toSchedule(inst *dscted.Instance, sol *dscted.EngineSolution) *dscted.Schedule {
+	s := &dscted.Schedule{Times: make([][]float64, inst.N())}
+	for j, tk := range inst.Tasks {
+		s.Times[j] = make([]float64, inst.M())
+		for r, mc := range inst.Machines {
+			s.Times[j][r] = sol.Times[tk.Name][mc.Name]
+		}
+	}
+	return s
 }
 
 // truncatePlan keeps only the processing time each machine can start

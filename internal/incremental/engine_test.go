@@ -1,0 +1,438 @@
+package incremental
+
+// Stream-vs-cold differential suite: replayed event traces must keep the
+// warm-started engine, the cold-solving engine and a from-scratch solve of
+// the live instance in agreement after every event, and the warm path must
+// stay bitwise deterministic across worker counts and shard replays.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/machine"
+	"repro/internal/mip"
+	"repro/internal/model"
+	"repro/internal/task"
+)
+
+// oracle mirrors an event stream into a compact live instance for the
+// from-scratch reference solve.
+type oracle struct {
+	tasks  map[string]*oTask
+	machs  map[string]machine.Machine
+	tSeq   []string // arrival order (live ids only, compacted lazily)
+	mSeq   []string
+	budget float64
+}
+
+type oTask struct {
+	deadline float64
+	acc      *accuracy.PWL
+	seq      int
+}
+
+func newOracle() *oracle {
+	return &oracle{tasks: map[string]*oTask{}, machs: map[string]machine.Machine{}}
+}
+
+func (o *oracle) apply(ev Event) {
+	switch ev.Kind {
+	case TaskArrive:
+		o.tasks[ev.Task] = &oTask{deadline: ev.Deadline, acc: ev.Acc, seq: len(o.tSeq)}
+		o.tSeq = append(o.tSeq, ev.Task)
+	case TaskDepart:
+		delete(o.tasks, ev.Task)
+	case MachineJoin:
+		o.machs[ev.Machine] = machine.Machine{Name: ev.Machine, Speed: ev.Speed, Power: ev.Power}
+		o.mSeq = append(o.mSeq, ev.Machine)
+	case MachineLeave:
+		delete(o.machs, ev.Machine)
+	case BudgetChange:
+		o.budget = ev.Budget
+	}
+}
+
+// instance builds the live task.Instance with the engine's (deadline,
+// arrival) task order and join-order machines. Nil when empty.
+func (o *oracle) instance() *task.Instance {
+	if len(o.tasks) == 0 || len(o.machs) == 0 {
+		return nil
+	}
+	in := &task.Instance{Budget: o.budget}
+	for _, id := range o.tSeq {
+		if tk, ok := o.tasks[id]; ok {
+			in.Tasks = append(in.Tasks, task.Task{Name: id, Deadline: tk.deadline, Acc: tk.acc})
+		}
+	}
+	sort.SliceStable(in.Tasks, func(a, b int) bool { return in.Tasks[a].Deadline < in.Tasks[b].Deadline })
+	for _, id := range o.mSeq {
+		if mc, ok := o.machs[id]; ok {
+			in.Machines = append(in.Machines, mc)
+		}
+	}
+	return in
+}
+
+// solveScratch solves the live instance from scratch and returns the total
+// accuracy (the MIP's maximisation objective).
+func solveScratch(t *testing.T, in *task.Instance) float64 {
+	t.Helper()
+	mm := model.BuildMIP(in)
+	res, err := mip.Solve(mm.Prob, mip.Options{Rounding: mm.RoundingHook()})
+	if err != nil {
+		t.Fatalf("scratch solve: %v", err)
+	}
+	if res.Status != mip.Optimal {
+		t.Fatalf("scratch solve status %v", res.Status)
+	}
+	return res.Objective
+}
+
+// checkFeasible asserts the engine solution is a feasible DSCT-EA schedule
+// of the oracle's live instance and that TotalAccuracy is consistent with
+// the reported times.
+func checkFeasible(t *testing.T, o *oracle, sol *Solution) {
+	t.Helper()
+	const tol = 1e-6
+	if len(sol.Times) != len(o.tasks) {
+		t.Fatalf("solution covers %d tasks, %d live", len(sol.Times), len(o.tasks))
+	}
+	ids := make([]string, 0, len(o.tasks))
+	for id := range o.tasks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	perMachine := map[string][]string{} // machine -> tasks with time on it
+	var totalAcc, totalEnergy float64
+	for _, id := range ids {
+		tk := o.tasks[id]
+		times, ok := sol.Times[id]
+		if !ok {
+			t.Fatalf("task %q missing from solution", id)
+		}
+		asg := sol.Assigned[id]
+		if _, live := o.machs[asg]; !live {
+			t.Fatalf("task %q assigned to non-live machine %q", id, asg)
+		}
+		mids := make([]string, 0, len(times))
+		for mid := range times {
+			mids = append(mids, mid)
+		}
+		sort.Strings(mids)
+		var flops float64
+		for _, mid := range mids {
+			tt := times[mid]
+			mc, live := o.machs[mid]
+			if !live {
+				if tt > tol {
+					t.Fatalf("task %q runs %g s on departed machine %q", id, tt, mid)
+				}
+				continue
+			}
+			if tt > tol && mid != asg {
+				t.Fatalf("task %q runs %g s on %q but is assigned to %q", id, tt, mid, asg)
+			}
+			if tt > tol {
+				if tt > tk.deadline+tol {
+					t.Fatalf("task %q time %g exceeds deadline %g", id, tt, tk.deadline)
+				}
+				perMachine[mid] = append(perMachine[mid], id)
+			}
+			flops += mc.Speed * tt
+			totalEnergy += mc.Power * tt
+		}
+		totalAcc += tk.acc.Eval(flops)
+	}
+	// Deadline staircases: per machine, the prefix completion times in
+	// deadline order must respect every deadline.
+	for mid, ids := range perMachine {
+		sort.Slice(ids, func(a, b int) bool { return o.tasks[ids[a]].deadline < o.tasks[ids[b]].deadline })
+		var sum float64
+		for _, id := range ids {
+			sum += sol.Times[id][mid]
+			if sum > o.tasks[id].deadline+tol {
+				t.Fatalf("machine %q: completion %g exceeds deadline %g of %q", mid, sum, o.tasks[id].deadline, id)
+			}
+		}
+	}
+	if totalEnergy > o.budget+tol*(1+o.budget) {
+		t.Fatalf("energy %g exceeds budget %g", totalEnergy, o.budget)
+	}
+	if math.Abs(totalAcc-sol.TotalAccuracy) > tol*(1+math.Abs(totalAcc)) {
+		t.Fatalf("reported accuracy %g, recomputed %g", sol.TotalAccuracy, totalAcc)
+	}
+}
+
+func genTestTrace(t *testing.T, seed int64, events int) []Event {
+	t.Helper()
+	cfg := DefaultTraceConfig(seed, events, 5, 2)
+	cfg.MaxTasks = 6
+	cfg.MaxMachines = 3
+	cfg.Segments = 3
+	trace, err := GenTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// TestStreamVsCold is the differential gate: after every event of a
+// 220-event trace the warm engine, the cold engine and a from-scratch
+// solve of the live instance must agree on the optimum, and the warm
+// engine's schedule must be feasible.
+func TestStreamVsCold(t *testing.T) {
+	trace := genTestTrace(t, 41, 220)
+	warm := New(Options{})
+	cold := New(Options{DisableWarm: true})
+	o := newOracle()
+	for i, ev := range trace {
+		o.apply(ev)
+		ws, err := warm.Apply(ev)
+		if err != nil {
+			t.Fatalf("event %d (%s): warm: %v", i, ev.Kind, err)
+		}
+		cs, err := cold.Apply(ev)
+		if err != nil {
+			t.Fatalf("event %d (%s): cold: %v", i, ev.Kind, err)
+		}
+		in := o.instance()
+		if in == nil {
+			continue
+		}
+		ref := solveScratch(t, in)
+		if ws.Status != mip.Optimal || cs.Status != mip.Optimal {
+			t.Fatalf("event %d: warm status %v, cold status %v", i, ws.Status, cs.Status)
+		}
+		tol := 1e-6 * (1 + math.Abs(ref))
+		if math.Abs(ws.TotalAccuracy-ref) > tol {
+			t.Fatalf("event %d (%s): warm accuracy %.12g, scratch %.12g", i, ev.Kind, ws.TotalAccuracy, ref)
+		}
+		if math.Abs(cs.TotalAccuracy-ref) > tol {
+			t.Fatalf("event %d (%s): cold accuracy %.12g, scratch %.12g", i, ev.Kind, cs.TotalAccuracy, ref)
+		}
+		checkFeasible(t, o, ws)
+	}
+	st := warm.Stats()
+	if st.WarmResolves == 0 {
+		t.Error("warm engine never imported warm state")
+	}
+	if st.Solves != st.WarmResolves+st.ColdResolves {
+		t.Errorf("solve accounting: %d != %d warm + %d cold", st.Solves, st.WarmResolves, st.ColdResolves)
+	}
+	if cold.Stats().WarmResolves != 0 {
+		t.Errorf("cold engine reported %d warm re-solves", cold.Stats().WarmResolves)
+	}
+}
+
+// sameEngineSolution compares two solutions bitwise (objective and every
+// reported time).
+func sameEngineSolution(a, b *Solution) bool {
+	if a.Status != b.Status ||
+		math.Float64bits(a.TotalAccuracy) != math.Float64bits(b.TotalAccuracy) ||
+		len(a.Times) != len(b.Times) {
+		return false
+	}
+	for id, at := range a.Times {
+		bt, ok := b.Times[id]
+		if !ok || len(at) != len(bt) {
+			return false
+		}
+		for mid, av := range at {
+			if math.Float64bits(av) != math.Float64bits(bt[mid]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestEngineDeterministicAcrossWorkers replays one trace at Workers 1, 4
+// and 8: every post-event solution must be bitwise identical.
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	trace := genTestTrace(t, 43, 80)
+	var base []*Solution
+	for _, workers := range []int{1, 4, 8} {
+		e := New(Options{Workers: workers})
+		var sols []*Solution
+		for i, ev := range trace {
+			sol, err := e.Apply(ev)
+			if err != nil {
+				t.Fatalf("workers=%d event %d: %v", workers, i, err)
+			}
+			sols = append(sols, sol)
+		}
+		if base == nil {
+			base = sols
+			continue
+		}
+		for i := range sols {
+			if !sameEngineSolution(base[i], sols[i]) {
+				t.Fatalf("workers=%d diverged from workers=1 at event %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestBatchWindow checks coalescing: posts buffer until the window fills,
+// and a manual Flush drains early.
+func TestBatchWindow(t *testing.T) {
+	trace := genTestTrace(t, 47, 20)
+	e := New(Options{BatchWindow: 4})
+	flushes := 0
+	for i, ev := range trace {
+		sol, err := e.Post(ev)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if sol != nil {
+			flushes++
+			if e.Pending() != 0 {
+				t.Fatalf("event %d: %d pending after flush", i, e.Pending())
+			}
+		}
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Events != len(trace) {
+		t.Errorf("events = %d, want %d", st.Events, len(trace))
+	}
+	if st.Batches >= len(trace) || st.Batches == 0 {
+		t.Errorf("batches = %d, want coalescing (0 < batches < %d)", st.Batches, len(trace))
+	}
+	if flushes != len(trace)/4 {
+		t.Errorf("auto-flushes = %d, want %d", flushes, len(trace)/4)
+	}
+	// Batched and per-event replay agree on the final state.
+	single := New(Options{})
+	var last *Solution
+	for _, ev := range trace {
+		var err error
+		if last, err = single.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(e.Solution().TotalAccuracy-last.TotalAccuracy) > 1e-6 {
+		t.Errorf("batched accuracy %g, per-event %g", e.Solution().TotalAccuracy, last.TotalAccuracy)
+	}
+}
+
+// TestPostValidation exercises the projection-level event validation.
+func TestPostValidation(t *testing.T) {
+	e := New(Options{Budget: 10})
+	pwl, err := accuracy.FitChord(accuracy.NewExponential(1.0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(ev Event) {
+		t.Helper()
+		if _, err := e.Post(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reject := func(name string, ev Event) {
+		t.Helper()
+		if _, err := e.Post(ev); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	must(Event{Kind: MachineJoin, Machine: "m0", Speed: 5_000, Power: 150})
+	must(Event{Kind: TaskArrive, Task: "t0", Deadline: 1, Acc: pwl})
+	reject("duplicate task", Event{Kind: TaskArrive, Task: "t0", Deadline: 1, Acc: pwl})
+	reject("duplicate machine", Event{Kind: MachineJoin, Machine: "m0", Speed: 1, Power: 1})
+	reject("unknown depart", Event{Kind: TaskDepart, Task: "zz"})
+	reject("unknown leave", Event{Kind: MachineLeave, Machine: "zz"})
+	reject("empty task id", Event{Kind: TaskArrive, Deadline: 1, Acc: pwl})
+	reject("bad deadline", Event{Kind: TaskArrive, Task: "t1", Deadline: -1, Acc: pwl})
+	reject("bad curve", Event{Kind: TaskArrive, Task: "t1", Deadline: 1, Breaks: []float64{1, 0}, Values: []float64{0, 1}})
+	reject("bad speed", Event{Kind: MachineJoin, Machine: "m1", Speed: -1, Power: 1})
+	reject("negative budget", Event{Kind: BudgetChange, Budget: -5})
+	reject("nan budget", Event{Kind: BudgetChange, Budget: math.NaN()})
+	reject("unknown kind", Event{Kind: "frobnicate"})
+	// Re-arrival after departure is legal and creates a fresh task.
+	must(Event{Kind: TaskDepart, Task: "t0"})
+	must(Event{Kind: TaskArrive, Task: "t0", Deadline: 2, Acc: pwl})
+	if e.LiveTasks() != 1 || e.LiveMachines() != 1 {
+		t.Errorf("live = %d tasks %d machines, want 1/1", e.LiveTasks(), e.LiveMachines())
+	}
+}
+
+// TestShardedDeterministicReplay replays one trace through a 2-shard
+// engine twice; the merged solutions must be bitwise identical, feasible
+// against the global budget, and the stats must account every event.
+func TestShardedDeterministicReplay(t *testing.T) {
+	trace := genTestTrace(t, 53, 90)
+	run := func() (*Solution, Stats, float64) {
+		s := NewSharded(2, Options{Workers: 2})
+		var budget float64
+		for i, ev := range trace {
+			if ev.Kind == BudgetChange {
+				budget = ev.Budget
+			}
+			if err := s.Post(ev); err != nil {
+				t.Fatalf("event %d: %v", i, err)
+			}
+			if (i+1)%5 == 0 {
+				if _, err := s.Flush(); err != nil {
+					t.Fatalf("flush at %d: %v", i, err)
+				}
+			}
+		}
+		sol, err := s.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol, s.Stats(), budget
+	}
+	a, stA, budget := run()
+	b, stB, _ := run()
+	if !sameEngineSolution(a, b) {
+		t.Fatal("sharded replay diverged")
+	}
+	if stA.Events != len(trace) || stB.Events != len(trace) {
+		t.Errorf("sharded stats counted %d/%d events, want %d", stA.Events, stB.Events, len(trace))
+	}
+	if a.Energy > budget+1e-6*(1+budget) {
+		t.Errorf("merged energy %g exceeds global budget %g", a.Energy, budget)
+	}
+	if a.Status != mip.Optimal {
+		t.Errorf("merged status %v", a.Status)
+	}
+}
+
+// TestEngineStats sanity-checks the derived stats accessors.
+func TestEngineStats(t *testing.T) {
+	var zero Stats
+	if zero.WarmHitRate() != 0 || zero.EventsPerSec() != 0 || zero.AvgSolve() != 0 {
+		t.Error("zero stats must derive zeros")
+	}
+	trace := genTestTrace(t, 59, 30)
+	e := New(Options{})
+	for _, ev := range trace {
+		if _, err := e.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Solves != len(trace) {
+		t.Errorf("solves = %d, want %d (per-event flushing)", st.Solves, len(trace))
+	}
+	if st.ColdResolves != 1 {
+		t.Errorf("cold re-solves = %d, want exactly the first", st.ColdResolves)
+	}
+	if got := st.WarmHitRate(); math.Abs(got-float64(st.Solves-1)/float64(st.Solves)) > 1e-12 {
+		t.Errorf("warm hit rate = %g", got)
+	}
+	if st.SolveTime <= 0 || st.MaxSolve < st.LastSolve && st.MaxSolve <= 0 {
+		t.Errorf("degenerate timings: %+v", st)
+	}
+	if st.EventsPerSec() <= 0 {
+		t.Error("events/sec not positive after solves")
+	}
+	if st.AvgSolve() <= 0 || st.AvgSolve() > st.MaxSolve {
+		t.Errorf("avg solve %v out of range (max %v)", st.AvgSolve(), st.MaxSolve)
+	}
+}

@@ -1,0 +1,180 @@
+package incremental
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/accuracy"
+	"repro/internal/machine"
+	"repro/internal/rng"
+)
+
+// TraceConfig parameterises GenTrace's synthetic event streams. The zero
+// value is not usable; start from DefaultTraceConfig.
+type TraceConfig struct {
+	Seed   int64
+	Events int // total events in the stream (including the warm-up prefix)
+
+	Tasks    int // initial live tasks (warm-up arrivals)
+	Machines int // initial live machines (warm-up joins)
+
+	MaxTasks    int // live-task ceiling during the mixed stream
+	MinMachines int // live-machine floor (never drops below)
+	MaxMachines int // live-machine ceiling
+
+	// Theta bounds the uniform task-efficiency draw (paper's θ, the
+	// accuracy curve's initial slope in accuracy per GFLOP).
+	Theta [2]float64
+	// Segments per fitted accuracy curve (accuracy.DefaultSegments-style).
+	Segments int
+
+	// DeadlineScale multiplies the drawn deadlines (0 means 1). Values
+	// above ~2 leave machine time slack, so the LP relaxation is close to
+	// integral and re-solve cost is root-LP-dominated — the steady-state
+	// regime incremental warm starts target. Values near 1 make machine
+	// time contended and branch-and-bound-dominated.
+	DeadlineScale float64
+	// BudgetScale multiplies the base budget estimate (0 means 1).
+	BudgetScale float64
+}
+
+// DefaultTraceConfig is a fig-3-scale stream: n initial tasks on m
+// machines, then a mixed churn of arrivals, departures, machine churn and
+// budget renegotiations.
+func DefaultTraceConfig(seed int64, events, tasks, machines int) TraceConfig {
+	return TraceConfig{
+		Seed:        seed,
+		Events:      events,
+		Tasks:       tasks,
+		Machines:    machines,
+		MaxTasks:    tasks + tasks/2 + 1,
+		MinMachines: 1,
+		MaxMachines: machines + 2,
+		Theta:       [2]float64{0.1, 2.0},
+		Segments:    accuracy.DefaultSegments,
+	}
+}
+
+// GenTrace generates a deterministic event stream: first the warm-up
+// prefix (machine joins, one budget-change sized to the initial load,
+// task arrivals), then a mixed stream drawn event-by-event while
+// respecting the live-set bounds. Arrival curves are chord fits of the
+// paper's exponential accuracy model with uniform θ; machines are drawn
+// from the paper's uniform fleet distribution; budget renegotiations draw
+// uniform factors in [0.8, 1.2) of the base budget so both tightenings
+// and cut-dropping increases occur.
+func GenTrace(cfg TraceConfig) ([]Event, error) {
+	if cfg.Events < cfg.Tasks+cfg.Machines+1 {
+		return nil, fmt.Errorf("incremental: trace needs at least %d events for the warm-up prefix, got %d",
+			cfg.Tasks+cfg.Machines+1, cfg.Events)
+	}
+	if cfg.Machines < cfg.MinMachines || cfg.MinMachines < 1 {
+		return nil, fmt.Errorf("incremental: machine bounds (start %d, floor %d) invalid", cfg.Machines, cfg.MinMachines)
+	}
+	dScale, bScale := cfg.DeadlineScale, cfg.BudgetScale
+	if dScale == 0 {
+		dScale = 1
+	}
+	if bScale == 0 {
+		bScale = 1
+	}
+	src := rng.New(cfg.Seed, "incremental-trace")
+	events := make([]Event, 0, cfg.Events)
+
+	var nextTask, nextMach int
+	liveTasks := []string{}
+	liveMachs := []string{}
+	var speedSum, fmaxSum float64
+
+	newMachine := func() Event {
+		speed := src.Uniform(machine.MinSpeed, machine.MaxSpeed)
+		eff := src.Uniform(machine.MinEfficiency, machine.MaxEfficiency)
+		id := fmt.Sprintf("m%d", nextMach)
+		nextMach++
+		liveMachs = append(liveMachs, id)
+		speedSum += speed
+		return Event{Kind: MachineJoin, Machine: id, Speed: speed, Power: speed / eff}
+	}
+	// horizon estimates a deadline scale that keeps the machines contended
+	// but feasible: about half the serial completion time of a full task
+	// load on the average machine.
+	horizon := func() float64 {
+		if len(liveMachs) == 0 || nextTask == 0 {
+			return 1
+		}
+		avgSpeed := speedSum / float64(nextMach)
+		avgFMax := fmaxSum / float64(nextTask)
+		maxTasks := float64(cfg.MaxTasks)
+		return 0.5 * maxTasks * avgFMax / (avgSpeed * float64(len(liveMachs)))
+	}
+	newTask := func() (Event, error) {
+		theta := src.Uniform(cfg.Theta[0], cfg.Theta[1])
+		pwl, err := accuracy.FitChord(accuracy.NewExponential(theta), cfg.Segments)
+		if err != nil {
+			return Event{}, fmt.Errorf("incremental: trace curve (theta=%g): %w", theta, err)
+		}
+		fmaxSum += pwl.FMax()
+		id := fmt.Sprintf("t%d", nextTask)
+		nextTask++
+		liveTasks = append(liveTasks, id)
+		deadline := src.Uniform(0.4, 1.6) * dScale * horizon()
+		return Event{
+			Kind: TaskArrive, Task: id, Deadline: deadline,
+			Breaks: pwl.Breakpoints(), Values: pwl.Values(), Acc: pwl,
+		}, nil
+	}
+
+	// Warm-up prefix: machines, budget, initial tasks.
+	for i := 0; i < cfg.Machines; i++ {
+		events = append(events, newMachine())
+	}
+	// Base budget: enough to run every initial task at roughly half its
+	// curve on an average-efficiency machine. avgPower ≈ avgSpeed/avgEff.
+	avgSpeed := speedSum / float64(cfg.Machines)
+	avgPower := avgSpeed / ((machine.MinEfficiency + machine.MaxEfficiency) / 2)
+	// fmaxSum is still 0; estimate from the θ midpoint's curve.
+	mid, err := accuracy.FitChord(accuracy.NewExponential((cfg.Theta[0]+cfg.Theta[1])/2), cfg.Segments)
+	if err != nil {
+		return nil, err
+	}
+	baseBudget := bScale * 0.5 * float64(cfg.Tasks) * mid.FMax() / avgSpeed * avgPower
+	if baseBudget <= 0 || math.IsNaN(baseBudget) {
+		baseBudget = 1
+	}
+	events = append(events, Event{Kind: BudgetChange, Budget: baseBudget})
+	for i := 0; i < cfg.Tasks; i++ {
+		ev, err := newTask()
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+
+	// Mixed stream: weighted draws constrained by the live-set bounds.
+	for len(events) < cfg.Events {
+		roll := src.Float64()
+		switch {
+		case roll < 0.35 && len(liveTasks) < cfg.MaxTasks:
+			ev, err := newTask()
+			if err != nil {
+				return nil, err
+			}
+			events = append(events, ev)
+		case roll < 0.60 && len(liveTasks) > 0:
+			i := src.Intn(len(liveTasks))
+			id := liveTasks[i]
+			liveTasks = append(liveTasks[:i], liveTasks[i+1:]...)
+			events = append(events, Event{Kind: TaskDepart, Task: id})
+		case roll < 0.72 && len(liveMachs) < cfg.MaxMachines:
+			events = append(events, newMachine())
+		case roll < 0.84 && len(liveMachs) > cfg.MinMachines:
+			i := src.Intn(len(liveMachs))
+			id := liveMachs[i]
+			liveMachs = append(liveMachs[:i], liveMachs[i+1:]...)
+			events = append(events, Event{Kind: MachineLeave, Machine: id})
+		default:
+			events = append(events, Event{Kind: BudgetChange, Budget: src.Uniform(0.8, 1.2) * baseBudget})
+		}
+	}
+	return events, nil
+}

@@ -1834,9 +1834,11 @@ func (t *rev) solveCold(p *Problem) (*Solution, *Basis, error) {
 }
 
 // SolveFrom solves p warm-started from a basis produced by a previous
-// SolveBasis/SolveFrom on a related problem: p must have the same
-// variables, its first from.NumRows() rows must be identical to the rows
-// of the producing problem, and any further rows are treated as newly
+// SolveBasis/SolveFrom on a related problem: p's first from.NumVars()
+// variables must be the variables of the producing problem (any further
+// ones are treated as newly appended columns and start nonbasic at their
+// lower bound), its first from.NumRows() rows must be identical to the
+// rows of the producing problem, and any further rows are treated as newly
 // appended (their logical columns complete the starting basis). Variable
 // bounds may differ from the producing problem's — the usual warm-start
 // delta is a branch-and-bound child that only tightened one box — since a
@@ -1858,15 +1860,17 @@ func SolveFrom(p *Problem, from *Basis, opts Options) (*Solution, *Basis, error)
 	return t.solveFrom(p, from)
 }
 
-// checkBasisFit validates that from can warm-start p: same variable count,
-// no more basis rows than p has constraints. Shared by the package-level
-// and Workspace warm-start entry points.
+// checkBasisFit validates that from can warm-start p: no more basis
+// variables than p has (columns appended after the snapshot start nonbasic
+// at their lower bound, so a basis over fewer variables still describes a
+// valid starting point), and no more basis rows than p has constraints.
+// Shared by the package-level and Workspace warm-start entry points.
 func checkBasisFit(p *Problem, from *Basis) error {
 	if from == nil {
 		return errors.New("lp: SolveFrom with nil basis")
 	}
-	if from.nVars != p.nVars {
-		return fmt.Errorf("lp: basis is over %d variables, problem has %d", from.nVars, p.nVars)
+	if from.nVars > p.nVars {
+		return fmt.Errorf("lp: basis is over %d variables, problem only has %d", from.nVars, p.nVars)
 	}
 	if len(from.entries) > p.NumConstraints() {
 		return fmt.Errorf("lp: basis has %d rows, problem only %d", len(from.entries), p.NumConstraints())
@@ -1903,9 +1907,15 @@ func (t *rev) solveFrom(p *Problem, from *Basis) (*Solution, *Basis, error) {
 	t.setBasis(cols)
 	// Restore nonbasic-at-bound state for structural columns, guarded by
 	// the child's boxes: at-upper needs a finite upper bound here (a child
-	// may have relaxed a bound the parent rested on).
+	// may have relaxed a bound the parent rested on). Columns appended
+	// after the snapshot (v >= len(from.atUpper)) rest at their lower
+	// bound.
 	if from.atUpper != nil {
-		for v := 0; v < t.n; v++ {
+		vn := t.n
+		if len(from.atUpper) < vn {
+			vn = len(from.atUpper)
+		}
+		for v := 0; v < vn; v++ {
 			if from.atUpper[v] && !t.inBasis[v] && !math.IsInf(t.hi[v], 1) {
 				t.atUpper[v] = true
 			}
@@ -1915,8 +1925,13 @@ func (t *rev) solveFrom(p *Problem, from *Basis) (*Solution, *Basis, error) {
 	// Adopt the parent's devex reference weights (when both sides price
 	// with them) before the kernel decides how to build B⁻¹: a successful
 	// inherit keeps them, while the refactorisation fallback below resets
-	// them to unit like any other refactorisation.
-	t.pp.inheritWeights(from.devex, t.n)
+	// them to unit like any other refactorisation. The snapshot's layout —
+	// [0, n) structural, then logicals by row — only lines up when the
+	// variable counts match; after appended columns the weights restart at
+	// unit instead of misreading parent logical weights as structural.
+	if from.nVars == t.n {
+		t.pp.inheritWeights(from.devex, t.n)
+	}
 	inherited := false
 	if t.factorLU {
 		inherited = t.inheritFactor(from)

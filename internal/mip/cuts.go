@@ -544,24 +544,38 @@ func gubCoverCut(kr *knapRow, gubOf []int, yv []float64) (res struct {
 }
 
 // rootCuts runs the root cutting loop on the searcher's (possibly
-// presolved) problem: solve the root relaxation, separate, append the
-// violated top slice, warm re-optimise with the dual simplex, repeat until
-// no violated cut is found, the bound stops moving, or the round budget is
-// spent. Slack cuts are then dropped and s.prob is replaced by an overlay
-// carrying the surviving pool, which every node relaxation inherits. Any
-// solver trouble abandons the cuts — the search then runs on the original
-// root, never on a half-built one.
-func (s *searcher) rootCuts(sep *separator) {
+// presolved, possibly warm-imported) problem: solve the root relaxation —
+// warm from the imported root basis when one was adopted — separate,
+// append the violated top slice, warm re-optimise with the dual simplex,
+// repeat until no violated cut is found, the bound stops moving, or the
+// round budget is spent. Slack cuts (imported and fresh alike) are then
+// dropped and s.prob is rebuilt as an overlay of the pre-cut base LP
+// carrying the surviving pool, which every node relaxation inherits; in
+// warm mode the final root basis is adapted to that kept-row layout and
+// seeds the root node. Any solver trouble abandons the fresh cuts — the
+// search then runs on the pre-loop root (imported pool included), never on
+// a half-built one. ws is the caller's pre-search workspace.
+func (s *searcher) rootCuts(sep *separator, ws *lp.Workspace) {
 	lpOpts := s.opts.LP
 	lpOpts.Deadline = s.opts.Deadline
-	ws := lp.NewWorkspace()
 	work := s.prob.LP.Overlay()
-	sol, basis, err := ws.SolveBasis(work, lpOpts)
+	var sol *lp.Solution
+	var basis *lp.Basis
+	var err error
+	if s.rootFrom != nil && !s.opts.DisableWarmStart {
+		sol, basis, err = ws.SolveBasisFrom(work, s.rootFrom, lpOpts)
+		if err != nil {
+			sol, basis, err = ws.SolveBasis(work, lpOpts)
+		}
+	} else {
+		sol, basis, err = ws.SolveBasis(work, lpOpts)
+	}
 	if err != nil || sol.Status != lp.Optimal {
 		return
 	}
 	s.noteRootRows(work.NumConstraints())
-	var pool []cut
+	imported := s.pool
+	var fresh []cut
 	prevObj := sol.Objective
 	for round := 0; round < cutMaxRounds; round++ {
 		//lint:ignore wallclock sanctioned deadline probe, once per root cutting round
@@ -575,7 +589,7 @@ func (s *searcher) rootCuts(sep *separator) {
 		for _, c := range found {
 			work.AddConstraint(c.terms, lp.LE, c.rhs)
 		}
-		pool = append(pool, found...)
+		fresh = append(fresh, found...)
 		s.cutRounds++
 		var nsol *lp.Solution
 		var nbasis *lp.Basis
@@ -589,8 +603,11 @@ func (s *searcher) rootCuts(sep *separator) {
 			}
 		}
 		if nerr != nil {
-			pool = nil // abandon cutting; search the original root
-			break
+			// Abandon the fresh cuts; the imported pool (already part of
+			// s.prob) stays, but the loop's basis describes rows the search
+			// will not carry, so the root node starts cold.
+			s.rootFrom = nil
+			return
 		}
 		s.noteRootRows(work.NumConstraints())
 		if nsol.Status == lp.Infeasible {
@@ -609,33 +626,75 @@ func (s *searcher) rootCuts(sep *separator) {
 		}
 		prevObj = sol.Objective
 	}
-	if len(pool) == 0 {
+	combined := imported
+	if len(fresh) > 0 {
+		combined = append(append(make([]cut, 0, len(imported)+len(fresh)), imported...), fresh...)
+	}
+	if len(combined) == 0 {
+		if s.warmMode {
+			s.rootFrom = basis // cut-free layout: directly adoptable
+		}
 		return
 	}
 	// Drop cuts that ended up slack at the final root optimum: they did
 	// their work guiding the loop but would only burden every node solve.
-	kept := pool
-	if sol.X != nil {
-		kept = kept[:0]
-		for _, c := range pool {
+	keep := make([]bool, len(combined))
+	nKept := 0
+	for k, c := range combined {
+		if sol.X != nil {
 			var act float64
 			for _, t := range c.terms {
 				act += t.Coef * sol.X[t.Var]
 			}
-			if act >= c.rhs-cutSlackTol*(1+math.Abs(c.rhs)) {
-				kept = append(kept, c)
+			if act < c.rhs-cutSlackTol*(1+math.Abs(c.rhs)) {
+				continue
 			}
 		}
+		keep[k] = true
+		nKept++
 	}
-	if len(kept) == 0 {
-		return
+	if nKept == 0 && !s.warmMode {
+		return // nothing to carry and s.prob already is the base LP
 	}
-	aug := s.prob.LP.Overlay()
-	for _, c := range kept {
-		aug.AddConstraint(c.terms, lp.LE, c.rhs)
+	kept := make([]cut, 0, nKept)
+	aug := s.baseLP.Overlay()
+	for k, c := range combined {
+		if keep[k] {
+			kept = append(kept, c)
+			aug.AddConstraint(c.terms, lp.LE, c.rhs)
+		}
 	}
 	s.prob = &Problem{LP: aug, Integers: s.prob.Integers, Structure: s.prob.Structure}
+	s.pool = kept
 	s.cutsKept = len(kept)
+	s.rootFrom = nil
+	if s.warmMode && basis != nil {
+		// The loop's final basis describes [0, baseRows) plus the cut rows
+		// present at its last successful solve; route the kept ones to their
+		// positions in the rebuilt layout and drop the rest.
+		rowMap := make([]int, basis.NumRows())
+		pos := make([]int, len(combined))
+		p := s.baseRows
+		for k := range combined {
+			if keep[k] {
+				pos[k] = p
+				p++
+			} else {
+				pos[k] = -1
+			}
+		}
+		for i := range rowMap {
+			switch {
+			case i < s.baseRows:
+				rowMap[i] = i
+			case i-s.baseRows < len(combined):
+				rowMap[i] = pos[i-s.baseRows]
+			default:
+				rowMap[i] = -1
+			}
+		}
+		s.rootFrom = basis.AdaptRows(rowMap, s.baseRows+len(kept))
+	}
 }
 
 // noteRootRows records a root cut-loop relaxation's row count in the

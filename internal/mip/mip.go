@@ -309,6 +309,26 @@ type Options struct {
 	// for A/B benchmarking the row-free branching win; leave false in
 	// normal use.
 	BranchRows bool
+
+	// Warm imports search state exported by a previous Solve over a
+	// compatibly-mutated problem (see WarmState for the compatibility
+	// contract): the cut pool joins every node relaxation, the root basis
+	// warm-starts the root solve, and the pseudo-cost observations seed
+	// branching. Ignored under root presolve (the exported state lives in
+	// original row/column space); any non-adoptable piece degrades to the
+	// cold equivalent rather than failing the solve.
+	Warm *WarmState
+
+	// ExportWarm asks Solve to assemble Result.Warm for the next re-solve.
+	// Ignored under root presolve.
+	ExportWarm bool
+
+	// Workspace, when non-nil and Workers <= 1, is the caller-owned
+	// lp.Workspace the root cut loop and the single search worker run on,
+	// letting consecutive re-solves reuse one workspace's buffers. The
+	// caller must not use it concurrently with Solve. Ignored when
+	// Workers > 1 (each worker owns a private workspace).
+	Workspace *lp.Workspace
 }
 
 // RoundingHook is an optional primal heuristic: given the fractional LP
@@ -368,6 +388,10 @@ type Result struct {
 	// reliability branching (two per probed candidate). Probe solves are
 	// not nodes: they are excluded from Nodes, WarmSolves and ColdSolves.
 	StrongBranches int
+
+	// Warm is the exported cross-solve state (Options.ExportWarm); nil
+	// when export was off or the solve ran under root presolve.
+	Warm *WarmState
 }
 
 // fix is one branching decision: variable Var constrained to <= or >= Val.

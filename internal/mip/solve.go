@@ -103,6 +103,22 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 			}
 		}
 	}
+	// Cross-solve warm state (incremental re-solves): record the base-row
+	// watermark first — export needs it even without an import — then graft
+	// the imported cut pool, adapted root basis and pseudo-cost chain onto
+	// the searcher. Both directions are disabled under root presolve, whose
+	// row/column remapping the exported state does not survive.
+	s.baseLP = s.prob.LP
+	s.baseRows = s.prob.LP.NumConstraints()
+	if opts.Warm != nil && s.ps == nil {
+		s.importWarm(opts.Warm)
+	}
+	// The caller-owned workspace serves the serial pre-search phases (root
+	// cut loop) and, below, the single worker; parallel searches ignore it.
+	rootWS := opts.Workspace
+	if rootWS == nil || workers > 1 {
+		rootWS = lp.NewWorkspace()
+	}
 	// Root cutting loop: separate valid inequalities from the model
 	// structure, append the violated ones and re-optimise, then drop the
 	// slack ones and make the surviving pool part of every node relaxation
@@ -115,7 +131,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		}
 		sep := newSeparator(s.prob.LP, s.prob.Integers, hint)
 		if sep.active() {
-			s.rootCuts(sep)
+			s.rootCuts(sep, rootWS)
 			if s.treeCuts {
 				s.sep = sep
 			}
@@ -127,7 +143,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	} else {
 		s.queue.strat = BestBound
 	}
-	heap.Push(&s.queue, &node{bound: math.Inf(1), brVar: -1})
+	heap.Push(&s.queue, &node{bound: math.Inf(1), brVar: -1, basis: s.rootFrom, pc: s.rootPC})
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -137,8 +153,14 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 			// Each worker owns a private lp.Workspace and branching scratch,
 			// reused across every node it dequeues: node solves hit zero
 			// steady-state solver allocations, and workspaces are never
-			// shared across goroutines (see Options.Workers).
-			s.run(lp.NewWorkspace(), newBranchScratch(s.prob.LP.NumVars()))
+			// shared across goroutines (see Options.Workers). A serial
+			// search reuses the pre-search workspace (the caller's, when
+			// Options.Workspace provided one).
+			ws := rootWS
+			if workers > 1 {
+				ws = lp.NewWorkspace()
+			}
+			s.run(ws, newBranchScratch(s.prob.LP.NumVars()))
 		}()
 	}
 	wg.Wait()
@@ -196,6 +218,9 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	} else {
 		res.Gap = math.Inf(1)
 	}
+	if opts.ExportWarm && s.ps == nil {
+		res.Warm = s.exportWarm()
+	}
 	return res, nil
 }
 
@@ -215,6 +240,19 @@ type searcher struct {
 	// the final result is postsolved back (see Solve).
 	ps *lp.Presolved
 
+	// Cross-solve warm state (see warm.go). baseLP/baseRows snapshot the
+	// problem before any cut rows joined it — the layout WarmState.BaseRows
+	// describes. pool is the current root cut pool (imported then updated
+	// by the root loop); rootFrom/rootPC seed the root node's basis and
+	// pseudo-cost chain (nil outside warm mode, keeping the legacy tree
+	// shape bit-identical); warmMode records that an import happened.
+	baseLP   *lp.Problem
+	baseRows int
+	pool     []cut
+	rootFrom *lp.Basis
+	rootPC   *pcObs
+	warmMode bool
+
 	mu               sync.Mutex
 	cond             *sync.Cond
 	queue            nodeQueue
@@ -222,6 +260,8 @@ type searcher struct {
 	incumbent        float64
 	incumbentX       []float64
 	incumbentPath    string
+	incumbentPC      *pcObs    // pseudo-cost chain at the incumbent's node (export)
+	rootBasis        *lp.Basis // root relaxation basis captured for export
 	nodes            int
 	warmSolves       int
 	coldSolves       int
@@ -400,6 +440,15 @@ func (s *searcher) process(nd *node, ws *lp.Workspace, scr *branchScratch) (chil
 		return nil, nil
 	}
 
+	if nd.depth == 0 && s.opts.ExportWarm && basis != nil {
+		// Root relaxation basis for WarmState export. Captured before the
+		// pruning gate so even a one-node search exports it; an independent
+		// copy-out, safe to hold past this worker's next solve.
+		s.mu.Lock()
+		s.rootBasis = basis
+		s.mu.Unlock()
+	}
+
 	s.mu.Lock()
 	pruned := sol.Objective <= s.incumbent+s.opts.Gap
 	s.mu.Unlock()
@@ -459,7 +508,7 @@ func (s *searcher) process(nd *node, ws *lp.Workspace, scr *branchScratch) (chil
 	pick := s.selectBranch(nd, sol, basis, scr, ws)
 	if pick.v == -1 {
 		// Integral: candidate incumbent.
-		s.offerIncumbent(sol.Objective, sol.X, nd.path)
+		s.offerIncumbent(sol.Objective, sol.X, nd.path, pick.pc)
 		return nil, nil
 	}
 	if pick.downInfeas && pick.upInfeas {
@@ -485,7 +534,7 @@ func (s *searcher) process(nd *node, ws *lp.Workspace, scr *branchScratch) (chil
 		if fixed, ok := s.opts.Rounding(sol.X); ok && len(fixed) == len(s.prob.Integers) {
 			if hsol, _, err := s.solveNodeLP(nd, basis, fixed, ws); err == nil && hsol.Status == lp.Optimal {
 				if s.mostFractional(hsol.X) == -1 {
-					s.offerIncumbent(hsol.Objective, hsol.X, nd.path+"h")
+					s.offerIncumbent(hsol.Objective, hsol.X, nd.path+"h", pick.pc)
 				}
 			}
 		}
@@ -713,7 +762,10 @@ const incumbentTieTol = 1e-9
 // worker reported first, so Solve returns identical X at any Workers
 // setting (up to exact-objective ties between distinct optima, which the
 // path ordering then resolves deterministically as well).
-func (s *searcher) offerIncumbent(obj float64, x []float64, path string) {
+// pc is the offering node's pseudo-cost chain; the winning candidate's
+// chain is what ExportWarm hands to the next solve (the deterministic
+// tie-break keeps it scheduling-independent too).
+func (s *searcher) offerIncumbent(obj float64, x []float64, path string, pc *pcObs) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	better := obj > s.incumbent+incumbentTieTol
@@ -727,4 +779,5 @@ func (s *searcher) offerIncumbent(obj float64, x []float64, path string) {
 	}
 	s.incumbentX = append([]float64(nil), x...)
 	s.incumbentPath = path
+	s.incumbentPC = pc
 }

@@ -6,8 +6,9 @@
 # (dsctalint -escape against the committed LINT_ESCAPE.json baseline), the
 # zero-allocation pins (the TestAllocs* AllocsPerRun tests, which the race
 # suite skips because -race perturbs allocation counts, so they get their
-# own non-race pass here) and the race-enabled test suite. Idempotent: safe
-# to run repeatedly from any working directory. Exits non-zero on the first
+# own non-race pass here), the race-enabled test suite and a cmd/dsctd
+# trace-replay smoke test (sharded + batched). Idempotent: safe to run
+# repeatedly from any working directory. Exits non-zero on the first
 # failure.
 #
 # With -bench, additionally runs the simplex benchmark suite — cold-vs-warm
@@ -25,12 +26,14 @@
 # batch segments reporting instances/sec and allocs/op) and the
 # branch-and-cut node-count comparison (BenchmarkMIPBranchAndCut,
 # legacy-vs-bnc segments on hard fig4 instances; benchjson pairs them
-# into a node_reduction factor) —
+# into a node_reduction factor) and the incremental-engine event-stream
+# pair (BenchmarkIncrementalResolve cold-vs-warm per-event re-solves,
+# BenchmarkEventThroughput events/sec over a full mixed trace) —
 # records the parsed results, including
 # per-pair speedups, in BENCH_PR<cur>.json via cmd/benchjson, and diffs
 # them against the committed BENCH_PR<prev>.json baseline (shared
 # benchmarks only; threshold x2.5 to ride out machine noise; the diff
-# gates allocs/op, nodes and instances/sec alongside ns/op). <prev> is
+# gates allocs/op, nodes, instances/sec and events/sec alongside ns/op). <prev> is
 # the highest-numbered committed BENCH_PR*.json and <cur> is <prev>+1;
 # override with -pr N to write BENCH_PR<N>.json and diff against the
 # highest committed baseline below N.
@@ -101,6 +104,9 @@ go test -run '^TestAllocs' ./internal/lp/
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> dsctd replay smoke test"
+go run ./cmd/dsctd -replay 60 -tasks 8 -machines 2 -seed 1 -shards 2 -batch 4 >/dev/null
+
 if [ "$run_bench" = 1 ]; then
   if [ -z "$pr_cur" ]; then
     prev="$(bench_prev 1000000)"
@@ -130,6 +136,8 @@ if [ "$run_bench" = 1 ]; then
     go test -run='^$' -bench='^BenchmarkPresolveXLLP$' -benchtime=1x -count=2 -timeout 30m ./internal/lp/
     go test -run='^$' -bench='^BenchmarkBatchThroughputLP$' -benchtime=20x -count=3 ./internal/lp/
     go test -run='^$' -bench='^BenchmarkBatchThroughputXLLP$' -benchtime=3x -count=3 ./internal/lp/
+    go test -run='^$' -bench='^BenchmarkIncrementalResolve$' -benchtime=3x -count=3 -timeout 30m ./internal/incremental/
+    go test -run='^$' -bench='^BenchmarkEventThroughput$' -benchtime=3x -count=3 -timeout 30m ./internal/incremental/
   } | tee /dev/stderr | go run ./cmd/benchjson -label "PR ${pr_cur}" -o "BENCH_PR${pr_cur}.json"
 
   if [ -n "$prev" ]; then
